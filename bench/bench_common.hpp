@@ -1,0 +1,77 @@
+// Shared scaffolding for the per-figure bench binaries: every bench
+// prints the paper's rows as an aligned table, mirrors them into
+// `<bench-name>.csv` in the working directory, and accepts
+//   --scale {tiny,small,medium,large}   suite size (default medium)
+//   --k <int>                           dense columns K (default 64)
+//   --matrix <path.mtx>                 run a real Matrix Market file too
+#pragma once
+
+#include <iostream>
+#include <string>
+
+#include "core/spmm_engine.hpp"
+#include "formats/matrix_market.hpp"
+#include "util/cli.hpp"
+#include "util/error.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+namespace nmdt::bench {
+
+struct BenchEnv {
+  std::string name;
+  CliParser cli;
+  SuiteScale scale = SuiteScale::kMedium;
+  index_t K = 64;
+  std::string matrix_path;
+
+  BenchEnv(std::string bench_name, int argc, const char* const* argv)
+      : name(std::move(bench_name)), cli(argc, argv) {
+    cli.declare("scale", "suite scale: tiny | small | medium | large (default medium)");
+    cli.declare("k", "number of dense B columns (default 64)");
+    cli.declare("matrix", "optional Matrix Market file to include");
+    if (cli.has("help")) {
+      std::cout << cli.help(name) << std::flush;
+      std::exit(0);
+    }
+    cli.validate();
+    const std::string s = cli.get("scale", "medium");
+    if (s == "tiny") scale = SuiteScale::kTiny;
+    else if (s == "small") scale = SuiteScale::kSmall;
+    else if (s == "medium") scale = SuiteScale::kMedium;
+    else if (s == "large") scale = SuiteScale::kLarge;
+    else throw ParseError("unknown --scale value: " + s);
+    K = static_cast<index_t>(cli.get_int("k", 64));
+    matrix_path = cli.get("matrix", "");
+  }
+
+  std::vector<MatrixSpec> suite() const { return standard_suite(scale); }
+
+  /// Optional user-supplied real matrix (empty optional when --matrix
+  /// was not passed).
+  std::optional<Csr> user_matrix() const {
+    if (matrix_path.empty()) return std::nullopt;
+    Coo coo = read_matrix_market_file(matrix_path);
+    Rng rng(42);
+    bool pattern = true;
+    for (value_t v : coo.val) {
+      if (v != 1.0f) pattern = false;
+    }
+    if (pattern) randomize_values(coo, rng);  // paper Sec. 5.1
+    return csr_from_coo(coo);
+  }
+
+  void emit(const Table& table) const {
+    table.print(std::cout);
+    const std::string csv = name + ".csv";
+    table.write_csv(csv);
+    std::cout << "\n[" << name << "] wrote " << csv << "\n\n";
+  }
+};
+
+/// Header line every bench prints first.
+inline void banner(const std::string& name, const std::string& what) {
+  std::cout << "==== " << name << " — " << what << " ====\n\n";
+}
+
+}  // namespace nmdt::bench

@@ -1,0 +1,58 @@
+// Fig. 9 — storage overhead of tiled DCSR relative to the original
+// (untiled) CSR, per matrix, sorted.  The paper: ~1.3-1.4x on average,
+// ~2x max, except a few tall-skinny matrices; metadata-only overhead is
+// higher than metadata+data.
+#include <algorithm>
+
+#include "bench_common.hpp"
+
+#include "formats/footprint.hpp"
+
+using namespace nmdt;
+
+int main(int argc, char** argv) {
+  bench::BenchEnv env("fig09_tiling_overhead", argc, argv);
+  bench::banner(env.name, "size(tiled DCSR) / size(CSR) (paper: avg 1.3-1.4x, max ~2x)");
+
+  struct Row {
+    std::string name;
+    double meta_ratio, total_ratio;
+  };
+  std::vector<Row> rows;
+  const TilingSpec spec{64, 64};
+
+  auto add = [&](const std::string& name, const Csr& A) {
+    if (A.nnz() == 0) return;
+    const Footprint fcsr = footprint(A);
+    const Footprint ftiled = footprint(tiled_dcsr_from_csr(A, spec));
+    rows.push_back({name,
+                    static_cast<double>(ftiled.metadata_bytes) / fcsr.metadata_bytes,
+                    static_cast<double>(ftiled.total()) / fcsr.total()});
+  };
+  for (const auto& spec_it : env.suite()) add(spec_it.name, spec_it.generate());
+  if (auto user = env.user_matrix()) add("user:" + env.matrix_path, *user);
+
+  std::sort(rows.begin(), rows.end(),
+            [](const Row& a, const Row& b) { return a.total_ratio < b.total_ratio; });
+
+  Table table({"matrix#", "matrix", "metadata_ratio", "metadata+data_ratio"});
+  std::vector<double> meta, total;
+  for (usize i = 0; i < rows.size(); ++i) {
+    table.begin_row()
+        .cell(static_cast<i64>(i))
+        .cell(rows[i].name)
+        .cell(rows[i].meta_ratio, 3)
+        .cell(rows[i].total_ratio, 3);
+    meta.push_back(rows[i].meta_ratio);
+    total.push_back(rows[i].total_ratio);
+  }
+  env.emit(table);
+
+  std::cout << "metadata+data overhead: mean " << format_double(mean(total), 2)
+            << "x, median " << format_double(median(total), 2) << "x, max "
+            << format_double(percentile(total, 100), 2)
+            << "x  (paper: 1.3-1.4x avg, <=2x except tall-skinny)\n"
+            << "metadata-only overhead: mean " << format_double(mean(meta), 2)
+            << "x (higher than total, as in the paper)\n";
+  return 0;
+}

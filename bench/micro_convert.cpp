@@ -1,0 +1,75 @@
+// Microbenchmarks (google-benchmark) for the transform engine: the
+// comparator tree at various widths, full-strip conversion throughput
+// (functional-model elements/s and the modelled hardware GB/s against
+// the 13.6 GB/s pseudo-channel delivery target), and strip-cursor
+// opening.
+#include <benchmark/benchmark.h>
+
+#include "formats/convert.hpp"
+#include "matgen/generators.hpp"
+#include "transform/comparator.hpp"
+#include "transform/engine.hpp"
+
+namespace nmdt {
+namespace {
+
+void BM_ComparatorTree(benchmark::State& state) {
+  const int lanes = static_cast<int>(state.range(0));
+  Rng rng(1);
+  std::vector<index_t> coords(static_cast<usize>(lanes));
+  std::vector<u8> valid(static_cast<usize>(lanes), 1);
+  for (auto& c : coords) c = static_cast<index_t>(rng.below(1000));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(comparator_tree_min(coords, valid));
+  }
+  state.SetItemsProcessed(state.iterations() * lanes);
+}
+BENCHMARK(BM_ComparatorTree)->Arg(4)->Arg(16)->Arg(32)->Arg(64);
+
+void BM_ConvertStrip(benchmark::State& state) {
+  const double density = static_cast<double>(state.range(0)) / 10000.0;
+  const Csr csr = gen_uniform(4096, 64, density, 7);
+  const Csc csc = csc_from_csr(csr);
+  const TilingSpec spec{64, 64};
+  ConversionEngine engine;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(engine.convert_strip(csc, 0, spec));
+  }
+  state.SetItemsProcessed(state.iterations() * csr.nnz());
+  // Modelled hardware time for the same work vs the delivery target.
+  const double hw_ns = engine.stats().busy_ns(engine.hw()) /
+                       static_cast<double>(state.iterations());
+  const double bytes = static_cast<double>(csr.nnz()) * 8.0;
+  state.counters["model_GBps"] = bytes / hw_ns;  // should be <= 13.6
+}
+BENCHMARK(BM_ConvertStrip)->Arg(10)->Arg(100)->Arg(1000);
+
+void BM_StripCursorOpen(benchmark::State& state) {
+  const Csr csr = gen_uniform(4096, 4096, 0.001, 8);
+  const Csc csc = csc_from_csr(csr);
+  const TilingSpec spec{64, 64};
+  index_t strip = 0;
+  for (auto _ : state) {
+    StripCursor cursor(csc, strip, spec);
+    benchmark::DoNotOptimize(cursor.frontier().data());
+    strip = (strip + 1) % spec.num_strips(csc.cols);
+  }
+}
+BENCHMARK(BM_StripCursorOpen);
+
+void BM_OfflineTiledDcsrBuild(benchmark::State& state) {
+  // The preprocessing cost online conversion eliminates: host-side
+  // offline tiling of a whole matrix.
+  const Csr csr = gen_uniform(2048, 2048, 0.002, 9);
+  const TilingSpec spec{64, 64};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tiled_dcsr_from_csr(csr, spec));
+  }
+  state.SetItemsProcessed(state.iterations() * csr.nnz());
+}
+BENCHMARK(BM_OfflineTiledDcsrBuild);
+
+}  // namespace
+}  // namespace nmdt
+
+BENCHMARK_MAIN();

@@ -1,0 +1,78 @@
+// Microbenchmarks (google-benchmark) for the SpMM kernel simulations:
+// host-side throughput of each kernel variant (simulated non-zeros per
+// second) in counting and cache-sim modes — this bounds how large a
+// suite sweep is practical.
+#include <benchmark/benchmark.h>
+
+#include "kernels/spmm.hpp"
+#include "matgen/generators.hpp"
+
+namespace nmdt {
+namespace {
+
+const Csr& test_matrix() {
+  static const Csr m = gen_uniform(2048, 2048, 0.002, 42);
+  return m;
+}
+
+const DenseMatrix& test_b() {
+  static const DenseMatrix b = [] {
+    Rng rng(1);
+    DenseMatrix m(2048, 64);
+    m.randomize(rng);
+    return m;
+  }();
+  return b;
+}
+
+void run_kernel_bench(benchmark::State& state, KernelKind kind, MemMode mode) {
+  SpmmConfig cfg;
+  cfg.mem_mode = mode;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(run_spmm(kind, test_matrix(), test_b(), cfg));
+  }
+  state.SetItemsProcessed(state.iterations() * test_matrix().nnz());
+}
+
+void BM_BaselineCounting(benchmark::State& s) {
+  run_kernel_bench(s, KernelKind::kCsrCStationaryRowWarp, MemMode::kCounting);
+}
+void BM_BaselineCacheSim(benchmark::State& s) {
+  run_kernel_bench(s, KernelKind::kCsrCStationaryRowWarp, MemMode::kCacheSim);
+}
+void BM_DcsrCStationary(benchmark::State& s) {
+  run_kernel_bench(s, KernelKind::kDcsrCStationary, MemMode::kCacheSim);
+}
+void BM_TiledCsrB(benchmark::State& s) {
+  run_kernel_bench(s, KernelKind::kTiledCsrBStationary, MemMode::kCacheSim);
+}
+void BM_TiledDcsrB(benchmark::State& s) {
+  run_kernel_bench(s, KernelKind::kTiledDcsrBStationary, MemMode::kCacheSim);
+}
+void BM_TiledDcsrOnline(benchmark::State& s) {
+  run_kernel_bench(s, KernelKind::kTiledDcsrOnline, MemMode::kCacheSim);
+}
+void BM_AStationary(benchmark::State& s) {
+  run_kernel_bench(s, KernelKind::kAStationary, MemMode::kCacheSim);
+}
+
+BENCHMARK(BM_BaselineCounting);
+BENCHMARK(BM_BaselineCacheSim);
+BENCHMARK(BM_DcsrCStationary);
+BENCHMARK(BM_TiledCsrB);
+BENCHMARK(BM_TiledDcsrB);
+BENCHMARK(BM_TiledDcsrOnline);
+BENCHMARK(BM_AStationary);
+
+void BM_Reference(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(spmm_reference(test_matrix(), test_b()));
+  }
+  state.SetItemsProcessed(state.iterations() * test_matrix().nnz());
+}
+BENCHMARK(BM_Reference);
+
+}  // namespace
+}  // namespace nmdt
+
+BENCHMARK_MAIN();

@@ -1,0 +1,55 @@
+// Sec. 5.2 ablation — the row-skew critical path and the merge-based
+// fix the paper points at (Merrill & Garland [21]).
+//
+// On matrices with heavy rows, row-per-warp kernels serialize the
+// heaviest row in one warp; merge-based decomposition bounds every
+// warp's span, collapsing the critical path at the cost of a few atomic
+// fixups.  The paper calls this orthogonal to its proposal — this bench
+// shows it composing: merge-based fixes the C arm; tiling already
+// bounds chains in the B arm.
+#include "bench_common.hpp"
+
+#include "matgen/generators.hpp"
+
+using namespace nmdt;
+
+int main(int argc, char** argv) {
+  bench::BenchEnv env("sec52_merge_ablation", argc, argv);
+  bench::banner(env.name, "row-skew critical path vs merge-based decomposition");
+
+  Table table({"matrix", "kernel", "max_chain", "latency_us", "total_us", "atomics",
+               "speedup_vs_rowwarp"});
+  Rng rng(0x52);
+
+  for (const auto& [label, A] : {
+           std::pair<const char*, Csr>{"mild skew (zipf 1.0)",
+                                       gen_powerlaw_rows(4096, 4096, 0.002, 1.0, 51)},
+           std::pair<const char*, Csr>{"heavy skew (zipf 1.6)",
+                                       gen_powerlaw_rows(4096, 4096, 0.002, 1.6, 52)},
+           std::pair<const char*, Csr>{"extreme skew (zipf 2.2)",
+                                       gen_powerlaw_rows(4096, 4096, 0.002, 2.2, 53)},
+       }) {
+    DenseMatrix B(A.cols, env.K);
+    B.randomize(rng);
+    const SpmmConfig cfg = evaluation_config(A.rows, env.K);
+    double rowwarp_ns = 0.0;
+    for (KernelKind kind : {KernelKind::kDcsrCStationary, KernelKind::kMergeCStationary,
+                            KernelKind::kTiledDcsrOnline}) {
+      const SpmmResult r = run_spmm(kind, A, B, cfg);
+      if (kind == KernelKind::kDcsrCStationary) rowwarp_ns = r.timing.total_ns;
+      table.begin_row()
+          .cell(label)
+          .cell(kernel_name(kind))
+          .cell(static_cast<i64>(r.counters.max_chain_iters))
+          .cell(r.timing.latency_ns * 1e-3, 2)
+          .cell(r.timing.total_ns * 1e-3, 1)
+          .cell(static_cast<i64>(r.counters.atomic_updates))
+          .cell(rowwarp_ns / r.timing.total_ns, 2);
+    }
+  }
+  env.emit(table);
+  std::cout << "merge-based bounds max_chain at merge_chunk; under heavy skew it\n"
+            << "recovers the critical-path loss of row-per-warp C-stationary while\n"
+            << "the online B-stationary arm is already chain-bounded by tiling.\n";
+  return 0;
+}

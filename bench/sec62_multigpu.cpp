@@ -1,0 +1,90 @@
+// Sec. 6.2 / Fig. 18 — large-scale SpMM on multi-GPU systems: dense B/C
+// exceed GPU memory (the paper's 2M×2M ⇒ ~17 TB example) and are
+// streamed as vertical strips while the space-efficient sparse A is
+// replicated.  Shows the chunking plan, transfer/compute overlap, and
+// the capacity advantage of replicating compact CSC instead of
+// pre-tiled DCSR (~1.4x larger, Fig. 9).
+#include "bench_common.hpp"
+
+#include "sched/multigpu.hpp"
+#include "sched/stream_sim.hpp"
+
+using namespace nmdt;
+
+int main(int argc, char** argv) {
+  bench::BenchEnv env("sec62_multigpu", argc, argv);
+  bench::banner(env.name, "multi-GPU streaming SpMM plans (Sec. 6.2)");
+
+  MultiGpuConfig cfg;
+
+  Table plans({"n", "K", "gpus", "A_format", "A_GB", "B_per_gpu_GB", "chunks",
+               "transfer_ms", "compute_ms", "total_ms", "overlap_eff"});
+  for (const i64 n : {i64{500'000}, i64{2'000'000}}) {
+    const double density = 1e-5;
+    MatrixStats s;
+    s.rows = static_cast<index_t>(n);
+    s.cols = static_cast<index_t>(n);
+    s.nnz = static_cast<i64>(density * static_cast<double>(n) * static_cast<double>(n));
+    s.density = density;
+    const index_t K = static_cast<index_t>(n);  // square dense B, as in the paper
+    for (int gpus : {1, 4, 16}) {
+      cfg.gpus = gpus;
+      const i64 csc_bytes = csr_bytes(s.rows, s.nnz);
+      const i64 tiled_bytes = static_cast<i64>(static_cast<double>(csc_bytes) * 1.4);
+      for (const auto& [fmt, a_bytes] :
+           {std::pair<const char*, i64>{"CSC (online)", csc_bytes},
+            std::pair<const char*, i64>{"tiled DCSR (offline)", tiled_bytes}}) {
+        const MultiGpuPlan p = plan_multi_gpu(s, K, a_bytes, cfg);
+        plans.begin_row()
+            .cell(n)
+            .cell(i64{K})
+            .cell(i64{gpus})
+            .cell(fmt)
+            .cell(static_cast<double>(a_bytes) / 1e9, 2)
+            .cell(static_cast<double>(p.b_bytes_per_gpu) / 1e9, 1)
+            .cell(p.num_chunks)
+            .cell(p.transfer_ns * 1e-6, 0)
+            .cell(p.compute_ns * 1e-6, 0)
+            .cell(p.total_ns * 1e-6, 0)
+            .cell(p.overlap_efficiency, 3);
+      }
+    }
+  }
+  env.emit(plans);
+
+  // Event-level validation of the overlap claim: replay the 4-GPU CSC
+  // plan's chunks through the stream simulator at several staging-buffer
+  // depths (double buffering recovers the analytic bound; one buffer
+  // serializes).
+  {
+    MatrixStats s;
+    s.rows = 2'000'000;
+    s.cols = 2'000'000;
+    s.nnz = static_cast<i64>(1e-5 * 2e6 * 2e6);
+    cfg.gpus = 4;
+    const MultiGpuPlan plan =
+        plan_multi_gpu(s, 2'000'000, csr_bytes(s.rows, s.nnz), cfg);
+    const auto chunks = chunks_from_plan(plan);
+    Table sim({"staging_buffers", "simulated_total_ms", "analytic_total_ms",
+               "overlap_efficiency", "compute_stall_ms"});
+    for (int buffers : {1, 2, 3}) {
+      const StreamTimeline t = simulate_stream(chunks, buffers);
+      sim.begin_row()
+          .cell(i64{buffers})
+          .cell(t.total_ns * 1e-6, 1)
+          .cell(plan.total_ns * 1e-6, 1)
+          .cell(t.overlap_efficiency, 3)
+          .cell(t.compute_stall_ns * 1e-6, 1);
+    }
+    sim.print(std::cout);
+    sim.write_csv(env.name + "_stream.csv");
+    std::cout << "\n";
+  }
+
+  std::cout << "2M x 2M dense B is "
+            << format_bytes(4.0 * 2e6 * 2e6)
+            << " — cannot fit in 16 GB GPU memory (paper's ~17 TB example);\n"
+            << "streaming + overlap keeps the GPUs busy, and the compact CSC format\n"
+            << "leaves more chunk capacity than pre-tiled DCSR (fewer A re-reads).\n";
+  return 0;
+}

@@ -1,0 +1,120 @@
+// Blocked eigensolver: subspace (block power) iteration for the
+// dominant eigenvalues of a symmetric sparse matrix — the classic
+// blocked-eigensolver workload the paper cites as an SpMM consumer
+// (Sec. 2: blocked eigen solvers, LOBPCG-family methods).
+//
+// Every iteration is one SpMM  Y = A·X  followed by a host-side
+// Gram-Schmidt re-orthonormalization of the block.  The matrix is the
+// 5-point Laplacian stencil on a grid, whose extreme eigenvalues are
+// known in closed form — so the example checks the numerics end to end.
+//
+//   ./example_block_eigensolver [--grid 64] [--block 8] [--iters 60]
+#include <cmath>
+#include <iostream>
+
+#include "core/spmm_engine.hpp"
+#include "matgen/generators.hpp"
+#include "util/cli.hpp"
+#include "util/table.hpp"
+
+using namespace nmdt;
+
+namespace {
+
+/// Orthonormalize the columns of X in place (modified Gram-Schmidt).
+void orthonormalize(DenseMatrix& X) {
+  for (index_t j = 0; j < X.cols(); ++j) {
+    for (index_t i = 0; i < j; ++i) {
+      double dot = 0.0;
+      for (index_t r = 0; r < X.rows(); ++r) dot += X.at(r, i) * X.at(r, j);
+      for (index_t r = 0; r < X.rows(); ++r) {
+        X.at(r, j) -= static_cast<value_t>(dot) * X.at(r, i);
+      }
+    }
+    double norm = 0.0;
+    for (index_t r = 0; r < X.rows(); ++r) norm += X.at(r, j) * X.at(r, j);
+    norm = std::sqrt(norm);
+    if (norm > 0) {
+      for (index_t r = 0; r < X.rows(); ++r) {
+        X.at(r, j) = static_cast<value_t>(X.at(r, j) / norm);
+      }
+    }
+  }
+}
+
+/// Rayleigh quotient of column j: xᵀ(Ax).
+double rayleigh(const DenseMatrix& X, const DenseMatrix& AX, index_t j) {
+  double q = 0.0;
+  for (index_t r = 0; r < X.rows(); ++r) q += X.at(r, j) * AX.at(r, j);
+  return q;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CliParser cli(argc, argv);
+  cli.declare("grid", "stencil grid side; matrix is grid^2 x grid^2 (default 64)");
+  cli.declare("block", "subspace block width (default 8)");
+  cli.declare("iters", "subspace iterations (default 60)");
+  if (cli.has("help")) {
+    std::cout << cli.help("block power iteration for the 2D Laplacian via SpMM");
+    return 0;
+  }
+  cli.validate();
+  const index_t grid = static_cast<index_t>(cli.get_int("grid", 64));
+  const index_t block = static_cast<index_t>(cli.get_int("block", 8));
+  const int iters = static_cast<int>(cli.get_int("iters", 60));
+
+  const Csr A = gen_stencil_5pt(grid, grid);
+  std::cout << "2D Laplacian: " << A.rows << " x " << A.cols << ", nnz " << A.nnz()
+            << ", block " << block << "\n";
+
+  Rng rng(11);
+  DenseMatrix X(A.rows, block);
+  X.randomize(rng);
+  orthonormalize(X);
+
+  EngineOptions options;
+  options.spmm = evaluation_config(A.rows, block);
+  options.verify = false;
+  options.run_baseline = false;
+  const SpmmEngine engine(options);
+
+  double total_model_us = 0.0;
+  DenseMatrix AX(A.rows, block);
+  for (int it = 0; it < iters; ++it) {
+    const SpmmReport step = engine.run(A, X);
+    total_model_us += step.result.timing.total_ns * 1e-3;
+    AX = step.result.C;
+    X = AX;
+    orthonormalize(X);
+  }
+  // One more product for clean Rayleigh quotients.
+  AX = engine.run(A, X).result.C;
+
+  // Exact dominant eigenvalue of the 5-point Laplacian on a grid with
+  // Dirichlet boundary: 4 + 4·cos(pi/(g+1)) → 8 as g grows.
+  const double exact =
+      4.0 + 4.0 * std::cos(3.14159265358979323846 / (static_cast<double>(grid) + 1.0));
+
+  Table table({"eigenpair", "rayleigh_quotient", "exact_top", "rel_err_vs_top"});
+  for (index_t j = 0; j < block; ++j) {
+    const double q = rayleigh(X, AX, j);
+    table.begin_row()
+        .cell(static_cast<i64>(j))
+        .cell(q, 6)
+        .cell(j == 0 ? format_double(exact, 6) : std::string("-"))
+        .cell(j == 0 ? format_sci(std::abs(q - exact) / exact) : std::string("-"));
+  }
+  table.print(std::cout);
+  std::cout << "\nmodelled GPU time for " << iters
+            << " subspace iterations: " << format_double(total_model_us, 1) << " us\n";
+
+  const double q0 = rayleigh(X, AX, 0);
+  if (std::abs(q0 - exact) / exact > 0.02) {
+    std::cerr << "eigenvalue did not converge to the analytic value\n";
+    return 1;
+  }
+  std::cout << "dominant eigenvalue converged to the analytic value (<2% error)\n";
+  return 0;
+}

@@ -1,0 +1,51 @@
+#include "analysis/heuristic.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace nmdt {
+
+SsfThreshold learn_ssf_threshold(std::span<const SsfSample> samples) {
+  NMDT_REQUIRE(!samples.empty(), "learn_ssf_threshold requires at least one sample");
+  std::vector<SsfSample> sorted(samples.begin(), samples.end());
+  std::sort(sorted.begin(), sorted.end(),
+            [](const SsfSample& a, const SsfSample& b) { return a.ssf < b.ssf; });
+
+  const i64 n = static_cast<i64>(sorted.size());
+  // b_wins_suffix[i] = #samples in [i, n) where B-stationary is faster;
+  // classifying threshold between i-1 and i predicts B for the suffix.
+  std::vector<i64> b_wins_suffix(static_cast<usize>(n) + 1, 0);
+  for (i64 i = n - 1; i >= 0; --i) {
+    b_wins_suffix[i] = b_wins_suffix[i + 1] +
+                       (sorted[static_cast<usize>(i)].runtime_ratio_c_over_b > 1.0 ? 1 : 0);
+  }
+
+  SsfThreshold best;
+  best.total = n;
+  best.accuracy = -1.0;
+  i64 c_wins_prefix = 0;  // samples in [0, i) where C-stationary is faster
+  for (i64 split = 0; split <= n; ++split) {
+    const i64 correct = c_wins_prefix + b_wins_suffix[split];
+    const double acc = static_cast<double>(correct) / static_cast<double>(n);
+    if (acc > best.accuracy) {
+      best.accuracy = acc;
+      best.misclassified = n - correct;
+      if (split == 0) {
+        best.threshold = sorted.front().ssf - 1.0;  // everything → B
+      } else if (split == n) {
+        best.threshold = sorted.back().ssf + 1.0;  // everything → C
+      } else {
+        best.threshold = 0.5 * (sorted[static_cast<usize>(split) - 1].ssf +
+                                sorted[static_cast<usize>(split)].ssf);
+      }
+    }
+    if (split < n) {
+      c_wins_prefix +=
+          sorted[static_cast<usize>(split)].runtime_ratio_c_over_b <= 1.0 ? 1 : 0;
+    }
+  }
+  return best;
+}
+
+}  // namespace nmdt

@@ -1,0 +1,41 @@
+// SSF-threshold learning and algorithm selection (paper Sec. 3.1.4,
+// Fig. 4): profile a training sweep of matrices, record the measured
+// C-stationary/B-stationary runtime ratio for each, and pick the SSF
+// threshold that maximizes classification accuracy.  At inference time,
+// SSF > threshold ⇒ B-stationary (with online tiled DCSR), otherwise
+// C-stationary (with untiled DCSR).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "analysis/traffic_model.hpp"
+
+namespace nmdt {
+
+/// One training observation: a matrix's SSF value and the ratio
+/// t_C-stationary / t_B-stationary (> 1 means B-stationary is faster,
+/// i.e. "above the line" in Fig. 4).
+struct SsfSample {
+  double ssf = 0.0;
+  double runtime_ratio_c_over_b = 1.0;
+};
+
+struct SsfThreshold {
+  double threshold = 0.0;
+  double accuracy = 0.0;       ///< fraction classified optimally
+  i64 misclassified = 0;
+  i64 total = 0;
+};
+
+/// Sweep all candidate thresholds (midpoints between consecutive sorted
+/// SSF values plus the two open ends) and return the accuracy-maximizing
+/// one.  Ties break towards the smaller threshold.
+SsfThreshold learn_ssf_threshold(std::span<const SsfSample> samples);
+
+/// The selection rule used by SpmmEngine.
+inline Strategy select_strategy(double ssf, double threshold) {
+  return ssf > threshold ? Strategy::kBStationary : Strategy::kCStationary;
+}
+
+}  // namespace nmdt

@@ -1,0 +1,1 @@
+// placeholder; replaced as the module is implemented

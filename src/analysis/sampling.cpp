@@ -1,0 +1,82 @@
+#include "analysis/sampling.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "formats/convert.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace nmdt {
+
+SampledProfile profile_matrix_sampled(const Csr& csr, const TilingSpec& spec,
+                                      double row_fraction, u64 seed) {
+  NMDT_CHECK_CONFIG(row_fraction > 0.0 && row_fraction <= 1.0,
+                    "row_fraction must be in (0, 1]");
+  spec.validate();
+
+  // Choose the sampled row set (uniform without replacement).
+  Rng rng(seed);
+  const i64 target =
+      std::max<i64>(32, static_cast<i64>(std::llround(row_fraction * csr.rows)));
+  const i64 take = std::min<i64>(target, csr.rows);
+  std::vector<index_t> rows(static_cast<usize>(csr.rows));
+  std::iota(rows.begin(), rows.end(), index_t{0});
+  for (i64 i = 0; i < take; ++i) {
+    const i64 j = i + static_cast<i64>(rng.below(static_cast<u64>(csr.rows - i)));
+    std::swap(rows[i], rows[j]);
+  }
+  rows.resize(static_cast<usize>(take));
+  std::sort(rows.begin(), rows.end());
+
+  // Build the row-subsampled matrix (same column space).
+  Coo sub;
+  sub.rows = static_cast<index_t>(take);
+  sub.cols = csr.cols;
+  for (index_t i = 0; i < static_cast<index_t>(take); ++i) {
+    const index_t r = rows[static_cast<usize>(i)];
+    for (index_t k = csr.row_ptr[r]; k < csr.row_ptr[r + 1]; ++k) {
+      sub.push(i, csr.col_idx[k], csr.val[k]);
+    }
+  }
+  const Csr sub_csr = csr_from_coo(sub);
+
+  SampledProfile out;
+  out.rows_sampled = take;
+  out.nnz_sampled = sub_csr.nnz();
+  out.sample_fraction = static_cast<double>(take) / static_cast<double>(csr.rows);
+
+  const MatrixProfile sampled = profile_matrix(sub_csr, spec);
+  const double scale = 1.0 / out.sample_fraction;
+
+  // Scale back: counts by 1/p, row-fraction quantities unchanged,
+  // H_norm re-normalized against the estimated full Hartley entropy
+  // (sampling scales the segment count but preserves the segment-size
+  // distribution, so Shannon entropy gains ~log(1/p)).
+  out.profile = sampled;
+  out.profile.stats.rows = csr.rows;
+  out.profile.stats.cols = csr.cols;
+  out.profile.stats.nnz = static_cast<i64>(std::llround(sampled.stats.nnz * scale));
+  out.profile.stats.nonzero_rows =
+      static_cast<i64>(std::llround(sampled.stats.nonzero_rows * scale));
+  out.profile.total_strip_row_segments =
+      static_cast<i64>(std::llround(sampled.total_strip_row_segments * scale));
+  out.profile.total_tile_row_segments =
+      static_cast<i64>(std::llround(sampled.total_tile_row_segments * scale));
+
+  if (out.profile.stats.nnz > 1 && sampled.stats.nnz > 1) {
+    const double h_sampled = sampled.h_norm * std::log(static_cast<double>(sampled.stats.nnz));
+    const double h_full_est = h_sampled + std::log(scale);
+    out.profile.h_norm = std::clamp(
+        h_full_est / std::log(static_cast<double>(out.profile.stats.nnz)), 0.0, 1.0);
+  }
+  if (out.profile.mean_strip_nnzrow_frac > 0.0) {
+    out.profile.ssf = (out.profile.nnzrow_frac / out.profile.mean_strip_nnzrow_frac) *
+                      static_cast<double>(out.profile.stats.nnz) *
+                      (1.0 - out.profile.h_norm);
+  }
+  return out;
+}
+
+}  // namespace nmdt

@@ -1,0 +1,29 @@
+// Sampling-based SSF estimation — the paper's stated future work
+// ("we believe these parameters can be obtained through sampling to
+// minimize profiling time", Sec. 3.1.4), implemented.
+//
+// Row sampling is the natural unit because an SSF row segment is a
+// (strip, row) pair: sampling whole rows keeps every sampled segment
+// intact, so the segment-size distribution (and hence H_norm) is
+// estimated without bias from partial segments.  Counts (nnz, strip
+// row segments) scale by 1/p; row-fraction quantities are invariant.
+#pragma once
+
+#include "analysis/profile.hpp"
+
+namespace nmdt {
+
+struct SampledProfile {
+  MatrixProfile profile;      ///< estimated full-matrix profile
+  i64 rows_sampled = 0;
+  i64 nnz_sampled = 0;
+  double sample_fraction = 0; ///< requested row fraction p
+};
+
+/// Profile A from a uniform row sample of fraction `row_fraction`
+/// (clamped to at least 32 rows), scaling the estimates back to the
+/// full matrix.  Deterministic given `seed`.
+SampledProfile profile_matrix_sampled(const Csr& csr, const TilingSpec& spec,
+                                      double row_fraction, u64 seed);
+
+}  // namespace nmdt

@@ -1,0 +1,60 @@
+// The paper's compulsory-memory-traffic analytical model (Table 1) and
+// the bytes/FLOP balance model (Sec. 2).
+//
+// Table 1 reconstruction for an m×n sparse A, K dense columns, tile
+// dimension k (strip width = B-tile height = k), counting bytes with
+// 4 B elements, atomics charged 2×:
+//
+//                A                    B                 C
+//  A-stationary  size(A.csr)          nnz·K             Σ_s R_s · K · 2
+//  B-stationary  size(A.csr)·(K/k)    n_nnzcol·K        Σ_s R_s · K · 2
+//  C-stationary  size(A.csr)·(K/k)    nnz·K             n_nnzrow·K
+//
+// where R_s is the number of non-empty rows of A in vertical strip s
+// (measured, or {1-(1-d)^k}·m under the uniform model), n_nnzrow /
+// n_nnzcol the counts of non-empty rows/columns.  A-stationary keeps A
+// resident (single fetch) but pays per-non-zero B rows and atomic C
+// partials; B-stationary re-reads A once per B tile across K; and
+// C-stationary re-reads A once per vertical B strip but writes C once.
+#pragma once
+
+#include "analysis/profile.hpp"
+#include "formats/footprint.hpp"
+
+namespace nmdt {
+
+enum class Strategy { kAStationary, kBStationary, kCStationary };
+
+const char* strategy_name(Strategy s);
+
+struct TrafficEstimate {
+  double a_bytes = 0.0;
+  double b_bytes = 0.0;
+  double c_bytes = 0.0;
+
+  double total() const { return a_bytes + b_bytes + c_bytes; }
+};
+
+/// Table-1 estimate from a measured profile.
+TrafficEstimate estimate_traffic(const MatrixProfile& p, Strategy strategy, index_t K,
+                                 const TilingSpec& spec);
+
+/// Closed-form uniform-distribution variant (the "analytical model"
+/// column of Table 1): square n×n A with density d.
+TrafficEstimate estimate_traffic_uniform(index_t n, double density, Strategy strategy,
+                                         index_t K, const TilingSpec& spec);
+
+/// Expected non-empty rows per k-wide strip under uniform density:
+/// {1 - (1-d)^k} · n.
+double expected_strip_rows_uniform(index_t n, double density, index_t strip_width);
+
+/// Sec. 2 bytes/FLOP model for square N×N SpMM with K = N dense
+/// columns: (8·nnz + 4·(N+1) + 8·N²) / (2·nnz·N).
+double bytes_per_flop(index_t n, i64 nnz);
+
+/// Machine balance of the modelled GPU (bytes of DRAM bandwidth per
+/// peak FP32 FLOP); SpMM is memory-bound whenever bytes_per_flop()
+/// exceeds this.
+double machine_balance_bytes_per_flop(double bandwidth_gbps, double peak_tflops);
+
+}  // namespace nmdt

@@ -1,0 +1,35 @@
+// The online-conversion API of paper Fig. 11.
+//
+// Device code keeps a per-strip `col_frontier` array (initialized to
+// zero) and calls GetDCSRTile once per DCSR_HEIGHT rows; the intrinsic
+// ships the frontier to the FB-partition conversion unit, which returns
+// the tile in DCSR form together with its nnzrows/nnz counts and the
+// advanced frontier.  `col_frontier[l]` holds the *within-column* offset
+// of strip column l (so an all-zero array means "start of the strip",
+// matching the Fig. 11 initialization).
+#pragma once
+
+#include <span>
+
+#include "formats/csc.hpp"
+#include "formats/tiling.hpp"
+#include "transform/engine.hpp"
+
+namespace nmdt {
+
+struct DcsrTileHandle {
+  DcsrTile tile;
+  index_t nnzrows = 0;
+  i64 nnz = 0;
+};
+
+/// Convert rows [row_start, row_start + spec.tile_height) of vertical
+/// strip `strip_id` from `csc` into a DCSR tile.  `col_frontier` must
+/// have one entry per strip column and is advanced past the consumed
+/// elements.  Sequential calls down a strip (row_start += tile_height,
+/// as in the Fig. 11 loop) convert the whole strip in one pass.
+DcsrTileHandle GetDCSRTile(const Csc& csc, index_t strip_id, index_t row_start,
+                           std::span<index_t> col_frontier, const TilingSpec& spec,
+                           ConversionEngine& engine);
+
+}  // namespace nmdt

@@ -1,0 +1,90 @@
+// The top-level public API: profile a sparse matrix, pick the
+// algorithm with the SSF heuristic (Sec. 3.1.4), run it on the GPU
+// model, and report performance against the baseline — the full
+// pipeline behind Fig. 16.
+#pragma once
+
+#include <functional>
+#include <optional>
+
+#include "analysis/heuristic.hpp"
+#include "analysis/profile.hpp"
+#include "kernels/spmm.hpp"
+#include "matgen/suite.hpp"
+
+namespace nmdt {
+
+struct EngineOptions {
+  SpmmConfig spmm = evaluation_config();
+  /// SSF decision threshold.  The shipped default was learned by
+  /// training on the medium standard suite (bench/fig04_ssf_heuristic
+  /// re-derives it); pass a trained value for other workload mixes.
+  double ssf_threshold = default_ssf_threshold();
+  /// Verify the kernel output against the dense reference (the paper
+  /// verifies against cuSPARSE output, Sec. 5.1).
+  bool verify = true;
+  /// Also run the baseline kernel and report speedup.
+  bool run_baseline = true;
+  /// Row fraction used to profile A; 1.0 scans the full matrix, smaller
+  /// values use sampled SSF estimation (the paper's Sec. 3.1.4 future
+  /// work; see analysis/sampling.hpp and bench/ssf_sampling).
+  double profile_sample_fraction = 1.0;
+
+  static double default_ssf_threshold();
+};
+
+struct SpmmReport {
+  MatrixProfile profile;
+  Strategy chosen = Strategy::kCStationary;
+  KernelKind kernel = KernelKind::kDcsrCStationary;
+  SpmmResult result;
+  std::optional<SpmmResult> baseline;  ///< CSR C-stationary row-per-warp
+  double speedup_vs_baseline = 1.0;
+  double max_abs_error = 0.0;  ///< vs dense reference when verify = true
+};
+
+class SpmmEngine {
+ public:
+  explicit SpmmEngine(EngineOptions options = {});
+
+  const EngineOptions& options() const { return options_; }
+
+  /// Profile A, select B- vs C-stationary via SSF, run, report.
+  SpmmReport run(const Csr& A, const DenseMatrix& B) const;
+
+  /// Run a specific kernel with this engine's configuration (bypasses
+  /// the heuristic).
+  SpmmResult run_kernel(KernelKind kind, const Csr& A, const DenseMatrix& B) const;
+
+ private:
+  EngineOptions options_;
+};
+
+/// One row of a suite sweep: everything Fig. 4 / Fig. 16 plot per
+/// matrix.
+struct SuiteRow {
+  MatrixSpec spec;
+  MatrixProfile profile;
+  double t_baseline_ms = 0.0;      ///< CSR C-stationary row-per-warp
+  double t_dcsr_c_ms = 0.0;        ///< untiled DCSR C-stationary
+  double t_online_b_ms = 0.0;      ///< online tiled DCSR B-stationary
+  double t_offline_b_ms = 0.0;     ///< offline tiled DCSR B-stationary
+  double offline_prep_ms = 0.0;    ///< tiling preprocessing cost
+
+  double ratio_c_over_b() const { return t_dcsr_c_ms / t_online_b_ms; }
+  double speedup_c_arm() const { return t_baseline_ms / t_dcsr_c_ms; }
+  double speedup_online_b_arm() const { return t_baseline_ms / t_online_b_ms; }
+  double speedup_offline_b_arm() const { return t_baseline_ms / t_offline_b_ms; }
+};
+
+using SuiteProgress = std::function<void(usize done, usize total, const SuiteRow&)>;
+
+/// Run the four Fig. 16 kernels over a suite with dense B of K columns.
+std::vector<SuiteRow> run_suite(std::span<const MatrixSpec> specs, const SpmmConfig& cfg,
+                                index_t K, const SuiteProgress& progress = {});
+
+/// Derive the SSF threshold from completed suite rows (the Fig. 4
+/// training pass).
+SsfThreshold train_threshold(std::span<const SuiteRow> rows);
+
+}  // namespace nmdt

@@ -1,0 +1,147 @@
+#include "formats/convert.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace nmdt {
+
+Csr csr_from_coo(const Coo& coo_in) {
+  coo_in.validate();
+  Coo coo = coo_in;
+  coo.coalesce();
+
+  Csr csr;
+  csr.rows = coo.rows;
+  csr.cols = coo.cols;
+  csr.row_ptr.assign(static_cast<usize>(coo.rows) + 1, 0);
+  csr.col_idx.resize(coo.val.size());
+  csr.val.resize(coo.val.size());
+
+  for (index_t r : coo.row) ++csr.row_ptr[r + 1];
+  for (index_t r = 0; r < coo.rows; ++r) csr.row_ptr[r + 1] += csr.row_ptr[r];
+
+  // coalesce() left entries in row-major order, so a single pass fills
+  // both arrays without a scatter cursor.
+  for (usize k = 0; k < coo.val.size(); ++k) {
+    csr.col_idx[k] = coo.col[k];
+    csr.val[k] = coo.val[k];
+  }
+  csr.validate();
+  return csr;
+}
+
+Coo coo_from_csr(const Csr& csr) {
+  Coo coo;
+  coo.rows = csr.rows;
+  coo.cols = csr.cols;
+  coo.row.reserve(csr.val.size());
+  coo.col = csr.col_idx;
+  coo.val = csr.val;
+  for (index_t r = 0; r < csr.rows; ++r) {
+    for (index_t k = csr.row_ptr[r]; k < csr.row_ptr[r + 1]; ++k) coo.row.push_back(r);
+  }
+  return coo;
+}
+
+Csc csc_from_csr(const Csr& csr) {
+  Csc csc;
+  csc.rows = csr.rows;
+  csc.cols = csr.cols;
+  csc.col_ptr.assign(static_cast<usize>(csr.cols) + 1, 0);
+  csc.row_idx.resize(csr.val.size());
+  csc.val.resize(csr.val.size());
+
+  for (index_t c : csr.col_idx) ++csc.col_ptr[c + 1];
+  for (index_t c = 0; c < csr.cols; ++c) csc.col_ptr[c + 1] += csc.col_ptr[c];
+
+  std::vector<index_t> cursor(csc.col_ptr.begin(), csc.col_ptr.end() - 1);
+  for (index_t r = 0; r < csr.rows; ++r) {
+    for (index_t k = csr.row_ptr[r]; k < csr.row_ptr[r + 1]; ++k) {
+      const index_t c = csr.col_idx[k];
+      const index_t dst = cursor[c]++;
+      csc.row_idx[dst] = r;
+      csc.val[dst] = csr.val[k];
+    }
+  }
+  // Row-major iteration guarantees ascending row indices per column.
+  return csc;
+}
+
+Csr csr_from_csc(const Csc& csc) {
+  Csr csr;
+  csr.rows = csc.rows;
+  csr.cols = csc.cols;
+  csr.row_ptr.assign(static_cast<usize>(csc.rows) + 1, 0);
+  csr.col_idx.resize(csc.val.size());
+  csr.val.resize(csc.val.size());
+
+  for (index_t r : csc.row_idx) ++csr.row_ptr[r + 1];
+  for (index_t r = 0; r < csc.rows; ++r) csr.row_ptr[r + 1] += csr.row_ptr[r];
+
+  std::vector<index_t> cursor(csr.row_ptr.begin(), csr.row_ptr.end() - 1);
+  for (index_t c = 0; c < csc.cols; ++c) {
+    for (index_t k = csc.col_ptr[c]; k < csc.col_ptr[c + 1]; ++k) {
+      const index_t r = csc.row_idx[k];
+      const index_t dst = cursor[r]++;
+      csr.col_idx[dst] = c;
+      csr.val[dst] = csc.val[k];
+    }
+  }
+  return csr;
+}
+
+Csc csc_from_coo(const Coo& coo) { return csc_from_csr(csr_from_coo(coo)); }
+
+Dcsr dcsr_from_csr(const Csr& csr) {
+  Dcsr d;
+  d.rows = csr.rows;
+  d.cols = csr.cols;
+  d.col_idx = csr.col_idx;
+  d.val = csr.val;
+  d.row_ptr.push_back(0);
+  for (index_t r = 0; r < csr.rows; ++r) {
+    if (csr.row_empty(r)) continue;
+    d.row_idx.push_back(r);
+    d.row_ptr.push_back(csr.row_ptr[r + 1]);
+  }
+  return d;
+}
+
+Csr csr_from_dcsr(const Dcsr& d) {
+  Csr csr;
+  csr.rows = d.rows;
+  csr.cols = d.cols;
+  csr.col_idx = d.col_idx;
+  csr.val = d.val;
+  csr.row_ptr.assign(static_cast<usize>(d.rows) + 1, 0);
+  for (i64 k = 0; k < d.nnz_rows(); ++k) {
+    csr.row_ptr[d.row_idx[k] + 1] = static_cast<index_t>(d.dense_row_nnz(k));
+  }
+  for (index_t r = 0; r < d.rows; ++r) csr.row_ptr[r + 1] += csr.row_ptr[r];
+  return csr;
+}
+
+DenseMatrix dense_from_csr(const Csr& csr) {
+  DenseMatrix m(csr.rows, csr.cols, 0.0f);
+  for (index_t r = 0; r < csr.rows; ++r) {
+    for (index_t k = csr.row_ptr[r]; k < csr.row_ptr[r + 1]; ++k) {
+      m.at(r, csr.col_idx[k]) = csr.val[k];
+    }
+  }
+  return m;
+}
+
+Csr csr_from_dense(const DenseMatrix& m, value_t zero_tolerance) {
+  Coo coo;
+  coo.rows = m.rows();
+  coo.cols = m.cols();
+  for (index_t r = 0; r < m.rows(); ++r) {
+    for (index_t c = 0; c < m.cols(); ++c) {
+      if (std::abs(m.at(r, c)) > zero_tolerance) coo.push(r, c, m.at(r, c));
+    }
+  }
+  return csr_from_coo(coo);
+}
+
+}  // namespace nmdt

@@ -1,0 +1,34 @@
+// Offline format conversions.
+//
+// These are the software (preprocessing) conversions the paper contrasts
+// with its near-memory online engine: they are correct and reusable, but
+// csr→tiled-DCSR in particular is the "non-trivial transformation cost"
+// (Sec. 3.3) that the online engine eliminates.  transform/ implements
+// the hardware engine; tests assert its output is bit-identical to
+// tiled_dcsr_from_* here.
+#pragma once
+
+#include "formats/coo.hpp"
+#include "formats/csc.hpp"
+#include "formats/csr.hpp"
+#include "formats/dcsr.hpp"
+#include "formats/dense.hpp"
+
+namespace nmdt {
+
+Csr csr_from_coo(const Coo& coo);   ///< duplicates are summed
+Coo coo_from_csr(const Csr& csr);
+
+Csc csc_from_csr(const Csr& csr);
+Csr csr_from_csc(const Csc& csc);
+Csc csc_from_coo(const Coo& coo);
+
+/// Densify: drop empty rows into the row_idx indirection (Fig. 6 right).
+Dcsr dcsr_from_csr(const Csr& csr);
+Csr csr_from_dcsr(const Dcsr& dcsr);
+
+/// Expand to a dense matrix (testing / small examples only).
+DenseMatrix dense_from_csr(const Csr& csr);
+Csr csr_from_dense(const DenseMatrix& m, value_t zero_tolerance = 0.0f);
+
+}  // namespace nmdt

@@ -1,0 +1,62 @@
+#include "formats/coo.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/error.hpp"
+
+namespace nmdt {
+
+double Coo::density() const {
+  if (rows <= 0 || cols <= 0) return 0.0;
+  return static_cast<double>(nnz()) /
+         (static_cast<double>(rows) * static_cast<double>(cols));
+}
+
+void Coo::push(index_t r, index_t c, value_t v) {
+  row.push_back(r);
+  col.push_back(c);
+  val.push_back(v);
+}
+
+void Coo::coalesce() {
+  const usize n = val.size();
+  std::vector<usize> order(n);
+  std::iota(order.begin(), order.end(), usize{0});
+  std::sort(order.begin(), order.end(), [&](usize a, usize b) {
+    if (row[a] != row[b]) return row[a] < row[b];
+    return col[a] < col[b];
+  });
+
+  std::vector<index_t> nr, nc;
+  std::vector<value_t> nv;
+  nr.reserve(n);
+  nc.reserve(n);
+  nv.reserve(n);
+  for (usize k : order) {
+    if (!nr.empty() && nr.back() == row[k] && nc.back() == col[k]) {
+      nv.back() += val[k];
+    } else {
+      nr.push_back(row[k]);
+      nc.push_back(col[k]);
+      nv.push_back(val[k]);
+    }
+  }
+  row = std::move(nr);
+  col = std::move(nc);
+  val = std::move(nv);
+}
+
+void Coo::validate() const {
+  NMDT_REQUIRE(rows >= 0 && cols >= 0, "COO dimensions must be non-negative");
+  NMDT_REQUIRE(row.size() == val.size() && col.size() == val.size(),
+               "COO vectors must have equal length");
+  for (usize k = 0; k < val.size(); ++k) {
+    NMDT_REQUIRE(row[k] >= 0 && row[k] < rows,
+                 "COO row coordinate out of range at entry " + std::to_string(k));
+    NMDT_REQUIRE(col[k] >= 0 && col[k] < cols,
+                 "COO column coordinate out of range at entry " + std::to_string(k));
+  }
+}
+
+}  // namespace nmdt

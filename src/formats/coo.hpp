@@ -1,0 +1,37 @@
+// Coordinate-list (COO) sparse format.
+//
+// COO is the interchange format: Matrix Market files deserialize into it
+// (paper Sec. 4.1 notes MM uses COO) and all generators emit it before
+// compression into CSR/CSC.
+#pragma once
+
+#include <vector>
+
+#include "util/types.hpp"
+
+namespace nmdt {
+
+struct Coo {
+  index_t rows = 0;
+  index_t cols = 0;
+  std::vector<index_t> row;  ///< row coordinate per non-zero
+  std::vector<index_t> col;  ///< column coordinate per non-zero
+  std::vector<value_t> val;  ///< value per non-zero
+
+  i64 nnz() const { return static_cast<i64>(val.size()); }
+
+  /// Density nnz / (rows*cols); 0 for degenerate dimensions.
+  double density() const;
+
+  /// Append one entry (no duplicate detection; see coalesce()).
+  void push(index_t r, index_t c, value_t v);
+
+  /// Sort entries into row-major order and sum duplicates in place.
+  void coalesce();
+
+  /// Throw FormatError unless coordinates are in range and vector
+  /// lengths agree.
+  void validate() const;
+};
+
+}  // namespace nmdt

@@ -1,0 +1,38 @@
+#include "formats/csc.hpp"
+
+#include <string>
+
+#include "util/error.hpp"
+
+namespace nmdt {
+
+double Csc::density() const {
+  if (rows <= 0 || cols <= 0) return 0.0;
+  return static_cast<double>(nnz()) /
+         (static_cast<double>(rows) * static_cast<double>(cols));
+}
+
+void Csc::validate() const {
+  NMDT_REQUIRE(rows >= 0 && cols >= 0, "CSC dimensions must be non-negative");
+  NMDT_REQUIRE(col_ptr.size() == static_cast<usize>(cols) + 1,
+               "CSC col_ptr must have cols+1 entries");
+  NMDT_REQUIRE(row_idx.size() == val.size(), "CSC row_idx/val length mismatch");
+  NMDT_REQUIRE(col_ptr.front() == 0, "CSC col_ptr must start at 0");
+  NMDT_REQUIRE(col_ptr.back() == static_cast<index_t>(val.size()),
+               "CSC col_ptr must end at nnz");
+  for (index_t c = 0; c < cols; ++c) {
+    NMDT_REQUIRE(col_ptr[c] <= col_ptr[c + 1],
+                 "CSC col_ptr non-monotone at column " + std::to_string(c));
+    for (index_t k = col_ptr[c]; k < col_ptr[c + 1]; ++k) {
+      NMDT_REQUIRE(row_idx[k] >= 0 && row_idx[k] < rows,
+                   "CSC row index out of range at entry " + std::to_string(k));
+      if (k > col_ptr[c]) {
+        NMDT_REQUIRE(row_idx[k - 1] < row_idx[k],
+                     "CSC row indices must be strictly ascending within column " +
+                         std::to_string(c));
+      }
+    }
+  }
+}
+
+}  // namespace nmdt

@@ -1,0 +1,37 @@
+// Compressed Sparse Column (CSC), the paper's baseline *storage* format
+// for the near-memory engine (Sec. 4.1): columns are contiguous, so
+// extracting a vertical strip is a contiguous walk from `col_ptr`, which
+// is exactly what makes online strip/tile extraction cheap compared to
+// CSR's jagged row frontier.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "util/types.hpp"
+
+namespace nmdt {
+
+struct Csc {
+  index_t rows = 0;
+  index_t cols = 0;
+  std::vector<index_t> col_ptr;  ///< cols+1 entries, non-decreasing
+  std::vector<index_t> row_idx;  ///< nnz entries, ascending within a column
+  std::vector<value_t> val;      ///< nnz entries
+
+  i64 nnz() const { return static_cast<i64>(val.size()); }
+  double density() const;
+
+  i64 col_nnz(index_t c) const { return col_ptr[c + 1] - col_ptr[c]; }
+
+  std::span<const index_t> col_rows(index_t c) const {
+    return {row_idx.data() + col_ptr[c], static_cast<usize>(col_nnz(c))};
+  }
+  std::span<const value_t> col_vals(index_t c) const {
+    return {val.data() + col_ptr[c], static_cast<usize>(col_nnz(c))};
+  }
+
+  void validate() const;
+};
+
+}  // namespace nmdt

@@ -1,0 +1,83 @@
+#include "formats/dcsc.hpp"
+
+#include <string>
+
+#include "util/error.hpp"
+
+namespace nmdt {
+
+void Dcsc::validate() const {
+  NMDT_REQUIRE(rows >= 0 && cols >= 0, "DCSC dimensions must be non-negative");
+  NMDT_REQUIRE(col_ptr.size() == col_idx.size() + 1,
+               "DCSC col_ptr must have nnz_cols+1 entries");
+  NMDT_REQUIRE(row_idx.size() == val.size(), "DCSC row_idx/val length mismatch");
+  NMDT_REQUIRE(col_ptr.front() == 0, "DCSC col_ptr must start at 0");
+  NMDT_REQUIRE(col_ptr.back() == static_cast<index_t>(val.size()),
+               "DCSC col_ptr must end at nnz");
+  for (usize k = 0; k < col_idx.size(); ++k) {
+    NMDT_REQUIRE(col_idx[k] >= 0 && col_idx[k] < cols,
+                 "DCSC column index out of range at dense column " + std::to_string(k));
+    if (k > 0) {
+      NMDT_REQUIRE(col_idx[k - 1] < col_idx[k],
+                   "DCSC column indices must be strictly ascending");
+    }
+    NMDT_REQUIRE(col_ptr[k] < col_ptr[k + 1],
+                 "DCSC must not contain empty columns (dense column " + std::to_string(k) +
+                     ")");
+  }
+  for (usize k = 0; k < row_idx.size(); ++k) {
+    NMDT_REQUIRE(row_idx[k] >= 0 && row_idx[k] < rows,
+                 "DCSC row index out of range at entry " + std::to_string(k));
+  }
+}
+
+Dcsc dcsc_from_csc(const Csc& csc) {
+  Dcsc d;
+  d.rows = csc.rows;
+  d.cols = csc.cols;
+  d.row_idx = csc.row_idx;
+  d.val = csc.val;
+  d.col_ptr.push_back(0);
+  for (index_t c = 0; c < csc.cols; ++c) {
+    if (csc.col_nnz(c) == 0) continue;
+    d.col_idx.push_back(c);
+    d.col_ptr.push_back(csc.col_ptr[c + 1]);
+  }
+  return d;
+}
+
+Csc csc_from_dcsc(const Dcsc& d) {
+  Csc csc;
+  csc.rows = d.rows;
+  csc.cols = d.cols;
+  csc.row_idx = d.row_idx;
+  csc.val = d.val;
+  csc.col_ptr.assign(static_cast<usize>(d.cols) + 1, 0);
+  for (i64 k = 0; k < d.nnz_cols(); ++k) {
+    csc.col_ptr[d.col_idx[k] + 1] = static_cast<index_t>(d.dense_col_nnz(k));
+  }
+  for (index_t c = 0; c < d.cols; ++c) csc.col_ptr[c + 1] += csc.col_ptr[c];
+  return csc;
+}
+
+Csc transpose_view(const Csr& csr) {
+  Csc out;
+  out.rows = csr.cols;  // transpose: A^T is cols x rows
+  out.cols = csr.rows;
+  out.col_ptr = csr.row_ptr;
+  out.row_idx = csr.col_idx;
+  out.val = csr.val;
+  return out;
+}
+
+Csr transpose_view(const Csc& csc) {
+  Csr out;
+  out.rows = csc.cols;
+  out.cols = csc.rows;
+  out.row_ptr = csc.col_ptr;
+  out.col_idx = csc.row_idx;
+  out.val = csc.val;
+  return out;
+}
+
+}  // namespace nmdt

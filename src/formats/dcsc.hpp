@@ -1,0 +1,69 @@
+// Densified CSC (DCSC) — the transpose twin of DCSR.
+//
+// Sec. 4.1: for wide matrices, CSC's col_ptr outgrows CSR's row_ptr, so
+// the storage format flips to CSR and "a DCSC kernel can potentially be
+// a host kernel at SMs, performing CSR-to-DCSC conversion using the
+// same engine".  DCSC lists only the non-empty columns (`col_idx`) with
+// a compressed `col_ptr`; entries within a column carry their row
+// index.  Structurally it is a Dcsr of the transpose, and the
+// conversion engine produces it by walking CSR rows exactly as it walks
+// CSC columns (transform/engine.hpp::convert_strip_dcsc).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "formats/csc.hpp"
+#include "formats/csr.hpp"
+#include "util/types.hpp"
+
+namespace nmdt {
+
+struct Dcsc {
+  index_t rows = 0;
+  index_t cols = 0;
+  std::vector<index_t> col_idx;  ///< non-empty columns, strictly ascending
+  std::vector<index_t> col_ptr;  ///< nnz_cols+1 entries
+  std::vector<index_t> row_idx;  ///< nnz entries
+  std::vector<value_t> val;      ///< nnz entries
+
+  i64 nnz() const { return static_cast<i64>(val.size()); }
+  i64 nnz_cols() const { return static_cast<i64>(col_idx.size()); }
+
+  index_t dense_col(i64 k) const { return col_idx[k]; }
+  i64 dense_col_nnz(i64 k) const { return col_ptr[k + 1] - col_ptr[k]; }
+
+  std::span<const index_t> dense_col_rows(i64 k) const {
+    return {row_idx.data() + col_ptr[k], static_cast<usize>(dense_col_nnz(k))};
+  }
+  std::span<const value_t> dense_col_vals(i64 k) const {
+    return {val.data() + col_ptr[k], static_cast<usize>(dense_col_nnz(k))};
+  }
+
+  void validate() const;
+};
+
+/// Densify: drop empty columns of a CSC matrix.
+Dcsc dcsc_from_csc(const Csc& csc);
+Csc csc_from_dcsc(const Dcsc& dcsc);
+
+/// Reinterpret a CSR matrix as the CSC of its transpose (pure copy of
+/// the three vectors with dimensions swapped) — the relabeling that
+/// lets one engine datapath serve both conversion directions.
+Csc transpose_view(const Csr& csr);
+Csr transpose_view(const Csc& csc);
+
+/// One tile of A in DCSC form, produced from a *horizontal* strip of
+/// `strip_width` rows advancing `tile_height` columns per request.
+/// Local coordinates, mirroring DcsrTile.
+struct DcscTile {
+  index_t strip_id = 0;   ///< horizontal strip index (rows)
+  index_t row_begin = 0;  ///< global row of the strip's first row
+  index_t col_begin = 0;  ///< global column of the tile's first column
+  Dcsc body;
+
+  i64 nnz() const { return body.nnz(); }
+  i64 nnz_cols() const { return body.nnz_cols(); }
+};
+
+}  // namespace nmdt

@@ -1,0 +1,33 @@
+#include "formats/dcsr.hpp"
+
+#include <string>
+
+#include "util/error.hpp"
+
+namespace nmdt {
+
+void Dcsr::validate() const {
+  NMDT_REQUIRE(rows >= 0 && cols >= 0, "DCSR dimensions must be non-negative");
+  NMDT_REQUIRE(row_ptr.size() == row_idx.size() + 1,
+               "DCSR row_ptr must have nnz_rows+1 entries");
+  NMDT_REQUIRE(col_idx.size() == val.size(), "DCSR col_idx/val length mismatch");
+  NMDT_REQUIRE(row_ptr.front() == 0, "DCSR row_ptr must start at 0");
+  NMDT_REQUIRE(row_ptr.back() == static_cast<index_t>(val.size()),
+               "DCSR row_ptr must end at nnz");
+  for (usize k = 0; k < row_idx.size(); ++k) {
+    NMDT_REQUIRE(row_idx[k] >= 0 && row_idx[k] < rows,
+                 "DCSR row index out of range at dense row " + std::to_string(k));
+    if (k > 0) {
+      NMDT_REQUIRE(row_idx[k - 1] < row_idx[k],
+                   "DCSR row indices must be strictly ascending");
+    }
+    NMDT_REQUIRE(row_ptr[k] < row_ptr[k + 1],
+                 "DCSR must not contain empty rows (dense row " + std::to_string(k) + ")");
+  }
+  for (usize k = 0; k < col_idx.size(); ++k) {
+    NMDT_REQUIRE(col_idx[k] >= 0 && col_idx[k] < cols,
+                 "DCSR column index out of range at entry " + std::to_string(k));
+  }
+}
+
+}  // namespace nmdt

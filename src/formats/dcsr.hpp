@@ -1,0 +1,43 @@
+// Densified CSR (DCSR), the compute-efficient format (paper Sec. 3.2,
+// Fig. 6, after Hong et al. [12]): a `row_idx` vector lists only the
+// rows that contain at least one non-zero, and `row_ptr` shrinks to
+// nnz_rows+1 entries.  For the 64-wide vertical strips the paper tiles A
+// into, ~99% of rows are empty (Fig. 5), so DCSR removes both the
+// redundant row_ptr traffic and the wasted warp slots spent skipping
+// empty rows.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "util/types.hpp"
+
+namespace nmdt {
+
+struct Dcsr {
+  index_t rows = 0;  ///< logical row count (including empty rows)
+  index_t cols = 0;  ///< logical column count
+  std::vector<index_t> row_idx;  ///< non-empty rows, strictly ascending
+  std::vector<index_t> row_ptr;  ///< nnz_rows+1 entries
+  std::vector<index_t> col_idx;  ///< nnz entries
+  std::vector<value_t> val;      ///< nnz entries
+
+  i64 nnz() const { return static_cast<i64>(val.size()); }
+  i64 nnz_rows() const { return static_cast<i64>(row_idx.size()); }
+
+  /// k-th non-empty row: its global row number.
+  index_t dense_row(i64 k) const { return row_idx[k]; }
+
+  i64 dense_row_nnz(i64 k) const { return row_ptr[k + 1] - row_ptr[k]; }
+
+  std::span<const index_t> dense_row_cols(i64 k) const {
+    return {col_idx.data() + row_ptr[k], static_cast<usize>(dense_row_nnz(k))};
+  }
+  std::span<const value_t> dense_row_vals(i64 k) const {
+    return {val.data() + row_ptr[k], static_cast<usize>(dense_row_nnz(k))};
+  }
+
+  void validate() const;
+};
+
+}  // namespace nmdt

@@ -1,0 +1,32 @@
+#include "formats/dense.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace nmdt {
+
+DenseMatrix::DenseMatrix(index_t rows, index_t cols, value_t fill_value)
+    : rows_(rows), cols_(cols) {
+  NMDT_REQUIRE(rows >= 0 && cols >= 0, "DenseMatrix dimensions must be non-negative");
+  data_.assign(static_cast<usize>(rows) * static_cast<usize>(cols), fill_value);
+}
+
+void DenseMatrix::fill(value_t v) { std::fill(data_.begin(), data_.end(), v); }
+
+void DenseMatrix::randomize(Rng& rng) {
+  for (auto& x : data_) x = static_cast<value_t>(rng.uniform(-1.0, 1.0));
+}
+
+double DenseMatrix::max_abs_diff(const DenseMatrix& other) const {
+  NMDT_REQUIRE(rows_ == other.rows_ && cols_ == other.cols_,
+               "max_abs_diff requires matrices of equal shape");
+  double worst = 0.0;
+  for (usize i = 0; i < data_.size(); ++i) {
+    worst = std::max(worst, std::abs(static_cast<double>(data_[i]) - other.data_[i]));
+  }
+  return worst;
+}
+
+}  // namespace nmdt

@@ -1,0 +1,52 @@
+// Row-major dense matrix used for the multi-vector operand B and the
+// output C of SpMM.  Row-major keeps a warp's K-wide access to one row
+// of B contiguous, which is the layout the paper's row-per-warp mapping
+// assumes.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "util/rng.hpp"
+#include "util/types.hpp"
+
+namespace nmdt {
+
+class DenseMatrix {
+ public:
+  DenseMatrix() = default;
+  DenseMatrix(index_t rows, index_t cols, value_t fill = 0.0f);
+
+  index_t rows() const { return rows_; }
+  index_t cols() const { return cols_; }
+  i64 size_bytes() const { return static_cast<i64>(data_.size()) * kValueBytes; }
+
+  value_t& at(index_t r, index_t c) { return data_[static_cast<usize>(r) * cols_ + c]; }
+  value_t at(index_t r, index_t c) const { return data_[static_cast<usize>(r) * cols_ + c]; }
+
+  std::span<value_t> row(index_t r) {
+    return {data_.data() + static_cast<usize>(r) * cols_, static_cast<usize>(cols_)};
+  }
+  std::span<const value_t> row(index_t r) const {
+    return {data_.data() + static_cast<usize>(r) * cols_, static_cast<usize>(cols_)};
+  }
+
+  std::span<const value_t> data() const { return data_; }
+  std::span<value_t> data() { return data_; }
+
+  void fill(value_t v);
+
+  /// Fill with uniform values in [-1, 1); deterministic given the rng.
+  void randomize(Rng& rng);
+
+  /// Max absolute elementwise difference to another matrix of the same
+  /// shape (throws FormatError on shape mismatch).
+  double max_abs_diff(const DenseMatrix& other) const;
+
+ private:
+  index_t rows_ = 0;
+  index_t cols_ = 0;
+  std::vector<value_t> data_;
+};
+
+}  // namespace nmdt

@@ -1,0 +1,50 @@
+#include "formats/footprint.hpp"
+
+namespace nmdt {
+
+Footprint footprint(const Csr& m) {
+  Footprint f;
+  f.data_bytes = m.nnz() * kValueBytes;
+  f.metadata_bytes = m.nnz() * kIndexBytes +
+                     static_cast<i64>(m.row_ptr.size()) * kIndexBytes;
+  return f;
+}
+
+Footprint footprint(const Csc& m) {
+  Footprint f;
+  f.data_bytes = m.nnz() * kValueBytes;
+  f.metadata_bytes = m.nnz() * kIndexBytes +
+                     static_cast<i64>(m.col_ptr.size()) * kIndexBytes;
+  return f;
+}
+
+Footprint footprint(const Dcsr& m) {
+  Footprint f;
+  f.data_bytes = m.nnz() * kValueBytes;
+  f.metadata_bytes = m.nnz() * kIndexBytes +
+                     static_cast<i64>(m.row_ptr.size()) * kIndexBytes +
+                     static_cast<i64>(m.row_idx.size()) * kIndexBytes;
+  return f;
+}
+
+Footprint footprint(const TiledCsr& m) {
+  Footprint f;
+  for (const auto& strip : m.strips) {
+    for (const auto& tile : strip) f += footprint(tile.body);
+  }
+  return f;
+}
+
+Footprint footprint(const TiledDcsr& m) {
+  Footprint f;
+  for (const auto& strip : m.strips) {
+    for (const auto& tile : strip) f += footprint(tile.body);
+  }
+  return f;
+}
+
+i64 csr_bytes(i64 rows, i64 nnz) {
+  return (kValueBytes + kIndexBytes) * nnz + kIndexBytes * (rows + 1);
+}
+
+}  // namespace nmdt

@@ -1,0 +1,43 @@
+// Storage-footprint accounting under the paper's byte conventions
+// (Sec. 2): 4 bytes per index, 4 bytes per value.
+//
+//   CSR        : data 4·nnz,  metadata 4·nnz (col_idx) + 4·(rows+1)
+//   CSC        : data 4·nnz,  metadata 4·nnz (row_idx) + 4·(cols+1)
+//   DCSR       : data 4·nnz,  metadata 4·nnz + 4·(nnz_rows+1) + 4·nnz_rows
+//   tiled CSR  : Σ tile CSR footprints — each tile pays a full
+//                (tile_rows+1) row_ptr even when nearly all rows are
+//                empty, which is the Fig. 8 pathology
+//   tiled DCSR : Σ tile DCSR footprints — the 1.3–1.4x-vs-untiled-CSR
+//                overhead of Fig. 9
+#pragma once
+
+#include "formats/csc.hpp"
+#include "formats/csr.hpp"
+#include "formats/dcsr.hpp"
+#include "formats/tiling.hpp"
+
+namespace nmdt {
+
+struct Footprint {
+  i64 data_bytes = 0;      ///< value vector(s)
+  i64 metadata_bytes = 0;  ///< index/pointer vectors
+
+  i64 total() const { return data_bytes + metadata_bytes; }
+
+  Footprint& operator+=(const Footprint& o) {
+    data_bytes += o.data_bytes;
+    metadata_bytes += o.metadata_bytes;
+    return *this;
+  }
+};
+
+Footprint footprint(const Csr& m);
+Footprint footprint(const Csc& m);
+Footprint footprint(const Dcsr& m);
+Footprint footprint(const TiledCsr& m);
+Footprint footprint(const TiledDcsr& m);
+
+/// Analytical CSR size in bytes: 8·nnz + 4·(rows+1) (paper Sec. 2).
+i64 csr_bytes(i64 rows, i64 nnz);
+
+}  // namespace nmdt

@@ -1,0 +1,117 @@
+#include "formats/matrix_market.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <fstream>
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace nmdt {
+
+namespace {
+
+std::string to_lower(std::string s) {
+  std::transform(s.begin(), s.end(), s.begin(),
+                 [](unsigned char c) { return static_cast<char>(std::tolower(c)); });
+  return s;
+}
+
+[[noreturn]] void fail(i64 line, const std::string& msg) {
+  throw ParseError("matrix market line " + std::to_string(line) + ": " + msg);
+}
+
+}  // namespace
+
+Coo read_matrix_market(std::istream& is) {
+  std::string line;
+  i64 lineno = 0;
+
+  // Banner: %%MatrixMarket matrix coordinate <field> <symmetry>
+  if (!std::getline(is, line)) fail(1, "empty input");
+  ++lineno;
+  std::istringstream banner(to_lower(line));
+  std::string magic, object, fmt, field, symmetry;
+  banner >> magic >> object >> fmt >> field >> symmetry;
+  if (magic != "%%matrixmarket") fail(lineno, "missing %%MatrixMarket banner");
+  if (object != "matrix") fail(lineno, "unsupported object '" + object + "'");
+  if (fmt != "coordinate") fail(lineno, "only coordinate format is supported");
+  const bool pattern = field == "pattern";
+  if (field != "real" && field != "integer" && !pattern) {
+    fail(lineno, "unsupported field '" + field + "'");
+  }
+  const bool symmetric = symmetry == "symmetric";
+  const bool skew = symmetry == "skew-symmetric";
+  if (!symmetric && !skew && symmetry != "general") {
+    fail(lineno, "unsupported symmetry '" + symmetry + "'");
+  }
+
+  // Size line (skipping comments).
+  i64 rows = 0, cols = 0, entries = 0;
+  for (;;) {
+    if (!std::getline(is, line)) fail(lineno, "missing size line");
+    ++lineno;
+    if (!line.empty() && line[0] == '%') continue;
+    if (line.find_first_not_of(" \t\r") == std::string::npos) continue;
+    std::istringstream sz(line);
+    if (!(sz >> rows >> cols >> entries)) fail(lineno, "malformed size line");
+    break;
+  }
+  if (rows < 0 || cols < 0 || entries < 0) fail(lineno, "negative size");
+
+  Coo coo;
+  coo.rows = static_cast<index_t>(rows);
+  coo.cols = static_cast<index_t>(cols);
+  coo.row.reserve(static_cast<usize>(entries));
+  coo.col.reserve(static_cast<usize>(entries));
+  coo.val.reserve(static_cast<usize>(entries));
+
+  i64 seen = 0;
+  while (seen < entries) {
+    if (!std::getline(is, line)) fail(lineno, "unexpected end of file");
+    ++lineno;
+    if (!line.empty() && line[0] == '%') continue;
+    if (line.find_first_not_of(" \t\r") == std::string::npos) continue;
+    std::istringstream entry(line);
+    i64 r = 0, c = 0;
+    double v = 1.0;
+    if (!(entry >> r >> c)) fail(lineno, "malformed entry");
+    if (!pattern && !(entry >> v)) fail(lineno, "missing value");
+    if (r < 1 || r > rows || c < 1 || c > cols) fail(lineno, "coordinate out of range");
+    coo.push(static_cast<index_t>(r - 1), static_cast<index_t>(c - 1),
+             static_cast<value_t>(v));
+    if ((symmetric || skew) && r != c) {
+      coo.push(static_cast<index_t>(c - 1), static_cast<index_t>(r - 1),
+               static_cast<value_t>(skew ? -v : v));
+    }
+    ++seen;
+  }
+  coo.validate();
+  return coo;
+}
+
+Coo read_matrix_market_file(const std::string& path) {
+  std::ifstream is(path);
+  if (!is.good()) throw ParseError("cannot open matrix market file: " + path);
+  return read_matrix_market(is);
+}
+
+void write_matrix_market(std::ostream& os, const Coo& coo) {
+  os << "%%MatrixMarket matrix coordinate real general\n";
+  os << coo.rows << ' ' << coo.cols << ' ' << coo.nnz() << '\n';
+  for (i64 k = 0; k < coo.nnz(); ++k) {
+    os << coo.row[k] + 1 << ' ' << coo.col[k] + 1 << ' ' << coo.val[k] << '\n';
+  }
+}
+
+void write_matrix_market_file(const std::string& path, const Coo& coo) {
+  std::ofstream os(path);
+  if (!os.good()) throw ParseError("cannot open matrix market file for writing: " + path);
+  write_matrix_market(os, coo);
+}
+
+void randomize_values(Coo& coo, Rng& rng) {
+  for (auto& v : coo.val) v = static_cast<value_t>(rng.uniform(-1.0, 1.0));
+}
+
+}  // namespace nmdt

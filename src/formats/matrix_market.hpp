@@ -1,0 +1,37 @@
+// Matrix Market (coordinate) I/O.
+//
+// The paper's dataset is the SuiteSparse collection distributed as
+// Matrix Market files; when real files are available they can be fed to
+// every bench via --matrix.  Supports `matrix coordinate
+// {real,integer,pattern} {general,symmetric,skew-symmetric}`.
+// Pattern matrices get value 1.0 per entry; the paper assigns random
+// values to connectivity-only matrices, which callers do explicitly via
+// randomize_values() so the seed stays under their control.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "formats/coo.hpp"
+#include "util/rng.hpp"
+
+namespace nmdt {
+
+/// Parse a Matrix Market stream; throws ParseError with a line number on
+/// malformed input.
+Coo read_matrix_market(std::istream& is);
+
+/// Convenience file overload; throws ParseError if the file cannot be
+/// opened.
+Coo read_matrix_market_file(const std::string& path);
+
+/// Write `coo` as `matrix coordinate real general` (1-based indices).
+void write_matrix_market(std::ostream& os, const Coo& coo);
+void write_matrix_market_file(const std::string& path, const Coo& coo);
+
+/// Replace all values with uniform samples in [-1, 1); used for
+/// pattern-only (connectivity) matrices, mirroring the paper's
+/// methodology (Sec. 5.1).
+void randomize_values(Coo& coo, Rng& rng);
+
+}  // namespace nmdt

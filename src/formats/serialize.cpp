@@ -1,0 +1,165 @@
+#include "formats/serialize.hpp"
+
+#include <cstring>
+#include <fstream>
+#include <istream>
+#include <ostream>
+
+#include "util/error.hpp"
+
+namespace nmdt {
+
+namespace {
+
+constexpr char kMagic[4] = {'N', 'M', 'D', 'T'};
+constexpr u32 kVersion = 1;
+constexpr u32 kKindCsr = 1;
+constexpr u32 kKindDense = 2;
+
+void write_u32(std::ostream& os, u32 v) {
+  os.write(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+void write_i64(std::ostream& os, i64 v) {
+  os.write(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+
+u32 read_u32(std::istream& is, const char* what) {
+  u32 v = 0;
+  is.read(reinterpret_cast<char*>(&v), sizeof(v));
+  if (!is.good()) throw ParseError(std::string("truncated input reading ") + what);
+  return v;
+}
+i64 read_i64(std::istream& is, const char* what) {
+  i64 v = 0;
+  is.read(reinterpret_cast<char*>(&v), sizeof(v));
+  if (!is.good()) throw ParseError(std::string("truncated input reading ") + what);
+  return v;
+}
+
+template <typename T>
+void write_vector(std::ostream& os, const std::vector<T>& v) {
+  write_i64(os, static_cast<i64>(v.size()));
+  os.write(reinterpret_cast<const char*>(v.data()),
+           static_cast<std::streamsize>(v.size() * sizeof(T)));
+}
+
+template <typename T>
+std::vector<T> read_vector(std::istream& is, const char* what, i64 sanity_max) {
+  const i64 n = read_i64(is, what);
+  if (n < 0 || n > sanity_max) {
+    throw ParseError(std::string("implausible vector length for ") + what + ": " +
+                     std::to_string(n));
+  }
+  std::vector<T> v(static_cast<usize>(n));
+  is.read(reinterpret_cast<char*>(v.data()),
+          static_cast<std::streamsize>(v.size() * sizeof(T)));
+  if (!is.good()) throw ParseError(std::string("truncated input reading ") + what);
+  return v;
+}
+
+void write_header(std::ostream& os, u32 kind) {
+  os.write(kMagic, sizeof(kMagic));
+  write_u32(os, kVersion);
+  write_u32(os, kind);
+}
+
+void check_header(std::istream& is, u32 expected_kind) {
+  char magic[4] = {};
+  is.read(magic, sizeof(magic));
+  if (!is.good() || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+    throw ParseError("not an NMDT binary matrix (bad magic)");
+  }
+  const u32 version = read_u32(is, "version");
+  if (version != kVersion) {
+    throw ParseError("unsupported NMDT binary version " + std::to_string(version));
+  }
+  const u32 kind = read_u32(is, "kind");
+  if (kind != expected_kind) {
+    throw ParseError("NMDT binary holds a different matrix kind (" +
+                     std::to_string(kind) + ")");
+  }
+}
+
+// 2^31 entries of 4 bytes = 8 GiB per vector: anything above is either
+// corruption or far outside this library's scale.
+constexpr i64 kSanityMax = i64{1} << 31;
+
+}  // namespace
+
+void save_csr(std::ostream& os, const Csr& m) {
+  m.validate();
+  write_header(os, kKindCsr);
+  write_i64(os, m.rows);
+  write_i64(os, m.cols);
+  write_vector(os, m.row_ptr);
+  write_vector(os, m.col_idx);
+  write_vector(os, m.val);
+  NMDT_REQUIRE(os.good(), "write failed while saving CSR");
+}
+
+Csr load_csr(std::istream& is) {
+  check_header(is, kKindCsr);
+  Csr m;
+  m.rows = static_cast<index_t>(read_i64(is, "rows"));
+  m.cols = static_cast<index_t>(read_i64(is, "cols"));
+  m.row_ptr = read_vector<index_t>(is, "row_ptr", kSanityMax);
+  m.col_idx = read_vector<index_t>(is, "col_idx", kSanityMax);
+  m.val = read_vector<value_t>(is, "val", kSanityMax);
+  m.validate();  // corruption that survives the header dies here
+  return m;
+}
+
+void save_dense(std::ostream& os, const DenseMatrix& m) {
+  write_header(os, kKindDense);
+  write_i64(os, m.rows());
+  write_i64(os, m.cols());
+  os.write(reinterpret_cast<const char*>(m.data().data()),
+           static_cast<std::streamsize>(m.data().size() * sizeof(value_t)));
+  NMDT_REQUIRE(os.good(), "write failed while saving dense matrix");
+}
+
+DenseMatrix load_dense(std::istream& is) {
+  check_header(is, kKindDense);
+  const i64 rows = read_i64(is, "rows");
+  const i64 cols = read_i64(is, "cols");
+  if (rows < 0 || cols < 0 || rows * cols > kSanityMax) {
+    throw ParseError("implausible dense dimensions");
+  }
+  DenseMatrix m(static_cast<index_t>(rows), static_cast<index_t>(cols));
+  is.read(reinterpret_cast<char*>(m.data().data()),
+          static_cast<std::streamsize>(m.data().size() * sizeof(value_t)));
+  if (!is.good()) throw ParseError("truncated input reading dense payload");
+  return m;
+}
+
+namespace {
+template <typename SaveFn, typename T>
+void save_to_file(const std::string& path, const T& m, SaveFn&& fn) {
+  std::ofstream os(path, std::ios::binary);
+  if (!os.good()) throw ParseError("cannot open for writing: " + path);
+  fn(os, m);
+}
+}  // namespace
+
+void save_csr_file(const std::string& path, const Csr& m) {
+  save_to_file(path, m, [](std::ostream& os, const Csr& x) { save_csr(os, x); });
+}
+
+Csr load_csr_file(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is.good()) throw ParseError("cannot open NMDT binary: " + path);
+  return load_csr(is);
+}
+
+void save_dense_file(const std::string& path, const DenseMatrix& m) {
+  save_to_file(path, m,
+               [](std::ostream& os, const DenseMatrix& x) { save_dense(os, x); });
+}
+
+DenseMatrix load_dense_file(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is.good()) throw ParseError("cannot open NMDT binary: " + path);
+  return load_dense(is);
+}
+
+}  // namespace nmdt

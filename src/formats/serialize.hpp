@@ -1,0 +1,29 @@
+// Binary serialization of sparse/dense matrices.
+//
+// Matrix Market is the interchange format (human-readable, slow); this
+// is the fast path for caching generated suites or shipping matrices
+// between tools: a small header (magic, version, kind, dims, vector
+// lengths) followed by the raw little-endian vectors.  Loads validate
+// the header and the reconstructed structure, throwing ParseError /
+// FormatError on truncation or corruption.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "formats/csr.hpp"
+#include "formats/dense.hpp"
+
+namespace nmdt {
+
+void save_csr(std::ostream& os, const Csr& m);
+void save_csr_file(const std::string& path, const Csr& m);
+Csr load_csr(std::istream& is);
+Csr load_csr_file(const std::string& path);
+
+void save_dense(std::ostream& os, const DenseMatrix& m);
+void save_dense_file(const std::string& path, const DenseMatrix& m);
+DenseMatrix load_dense(std::istream& is);
+DenseMatrix load_dense_file(const std::string& path);
+
+}  // namespace nmdt

@@ -1,0 +1,209 @@
+#include "formats/tiling.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace nmdt {
+
+void TilingSpec::validate() const {
+  NMDT_CHECK_CONFIG(strip_width > 0, "TilingSpec.strip_width must be positive");
+  NMDT_CHECK_CONFIG(tile_height > 0, "TilingSpec.tile_height must be positive");
+}
+
+i64 TiledDcsr::nnz() const {
+  i64 n = 0;
+  for (const auto& strip : strips) {
+    for (const auto& tile : strip) n += tile.nnz();
+  }
+  return n;
+}
+
+i64 TiledDcsr::total_nnz_rows() const {
+  i64 n = 0;
+  for (const auto& strip : strips) {
+    for (const auto& tile : strip) n += tile.nnz_rows();
+  }
+  return n;
+}
+
+i64 TiledCsr::nnz() const {
+  i64 n = 0;
+  for (const auto& strip : strips) {
+    for (const auto& tile : strip) n += tile.nnz();
+  }
+  return n;
+}
+
+namespace {
+
+/// Gather per-tile COO buckets in one pass over the CSR matrix.
+struct TileBuckets {
+  index_t num_strips = 0;
+  index_t num_tile_rows = 0;
+  // bucket[s * num_tile_rows + t] holds (local_row, local_col, val).
+  struct Entry {
+    index_t r, c;
+    value_t v;
+  };
+  std::vector<std::vector<Entry>> buckets;
+};
+
+TileBuckets bucketize(const Csr& csr, const TilingSpec& spec) {
+  TileBuckets out;
+  out.num_strips = spec.num_strips(csr.cols);
+  out.num_tile_rows = spec.tiles_per_strip(csr.rows);
+  out.buckets.resize(static_cast<usize>(out.num_strips) * out.num_tile_rows);
+  for (index_t r = 0; r < csr.rows; ++r) {
+    const index_t t = r / spec.tile_height;
+    const index_t lr = r - t * spec.tile_height;
+    for (index_t k = csr.row_ptr[r]; k < csr.row_ptr[r + 1]; ++k) {
+      const index_t c = csr.col_idx[k];
+      const index_t s = c / spec.strip_width;
+      const index_t lc = c - s * spec.strip_width;
+      out.buckets[static_cast<usize>(s) * out.num_tile_rows + t].push_back(
+          {lr, lc, csr.val[k]});
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+TiledDcsr tiled_dcsr_from_csr(const Csr& csr, const TilingSpec& spec) {
+  csr.validate();
+  spec.validate();
+  TiledDcsr out;
+  out.rows = csr.rows;
+  out.cols = csr.cols;
+  out.spec = spec;
+
+  TileBuckets b = bucketize(csr, spec);
+  out.strips.resize(b.num_strips);
+  for (index_t s = 0; s < b.num_strips; ++s) {
+    out.strips[s].resize(b.num_tile_rows);
+    for (index_t t = 0; t < b.num_tile_rows; ++t) {
+      DcsrTile& tile = out.strips[s][t];
+      tile.strip_id = s;
+      tile.row_begin = t * spec.tile_height;
+      tile.col_begin = s * spec.strip_width;
+      tile.body.rows = std::min<index_t>(spec.tile_height, csr.rows - tile.row_begin);
+      tile.body.cols = std::min<index_t>(spec.strip_width, csr.cols - tile.col_begin);
+      tile.body.row_ptr.push_back(0);
+      const auto& entries = b.buckets[static_cast<usize>(s) * b.num_tile_rows + t];
+      // Entries arrive row-major (csr iteration order), so consecutive
+      // equal local rows form one dense-row segment.
+      index_t current_row = -1;
+      for (const auto& e : entries) {
+        if (e.r != current_row) {
+          tile.body.row_idx.push_back(e.r);
+          tile.body.row_ptr.push_back(tile.body.row_ptr.back());
+          current_row = e.r;
+        }
+        tile.body.col_idx.push_back(e.c);
+        tile.body.val.push_back(e.v);
+        ++tile.body.row_ptr.back();
+      }
+    }
+  }
+  return out;
+}
+
+TiledCsr tiled_csr_from_csr(const Csr& csr, const TilingSpec& spec) {
+  csr.validate();
+  spec.validate();
+  TiledCsr out;
+  out.rows = csr.rows;
+  out.cols = csr.cols;
+  out.spec = spec;
+
+  TileBuckets b = bucketize(csr, spec);
+  out.strips.resize(b.num_strips);
+  for (index_t s = 0; s < b.num_strips; ++s) {
+    out.strips[s].resize(b.num_tile_rows);
+    for (index_t t = 0; t < b.num_tile_rows; ++t) {
+      CsrTile& tile = out.strips[s][t];
+      tile.strip_id = s;
+      tile.row_begin = t * spec.tile_height;
+      tile.col_begin = s * spec.strip_width;
+      tile.body.rows = std::min<index_t>(spec.tile_height, csr.rows - tile.row_begin);
+      tile.body.cols = std::min<index_t>(spec.strip_width, csr.cols - tile.col_begin);
+      tile.body.row_ptr.assign(static_cast<usize>(tile.body.rows) + 1, 0);
+      const auto& entries = b.buckets[static_cast<usize>(s) * b.num_tile_rows + t];
+      for (const auto& e : entries) ++tile.body.row_ptr[e.r + 1];
+      for (index_t r = 0; r < tile.body.rows; ++r) {
+        tile.body.row_ptr[r + 1] += tile.body.row_ptr[r];
+      }
+      tile.body.col_idx.resize(entries.size());
+      tile.body.val.resize(entries.size());
+      std::vector<index_t> cursor(tile.body.row_ptr.begin(), tile.body.row_ptr.end() - 1);
+      for (const auto& e : entries) {
+        const index_t dst = cursor[e.r]++;
+        tile.body.col_idx[dst] = e.c;
+        tile.body.val[dst] = e.v;
+      }
+    }
+  }
+  return out;
+}
+
+Coo coo_from_tiled(const TiledDcsr& tiled) {
+  Coo coo;
+  coo.rows = tiled.rows;
+  coo.cols = tiled.cols;
+  for (const auto& strip : tiled.strips) {
+    for (const auto& tile : strip) {
+      for (i64 k = 0; k < tile.body.nnz_rows(); ++k) {
+        const index_t gr = tile.row_begin + tile.body.dense_row(k);
+        const auto cols = tile.body.dense_row_cols(k);
+        const auto vals = tile.body.dense_row_vals(k);
+        for (usize j = 0; j < cols.size(); ++j) {
+          coo.push(gr, tile.col_begin + cols[j], vals[j]);
+        }
+      }
+    }
+  }
+  return coo;
+}
+
+Coo coo_from_tiled(const TiledCsr& tiled) {
+  Coo coo;
+  coo.rows = tiled.rows;
+  coo.cols = tiled.cols;
+  for (const auto& strip : tiled.strips) {
+    for (const auto& tile : strip) {
+      for (index_t r = 0; r < tile.body.rows; ++r) {
+        for (index_t k = tile.body.row_ptr[r]; k < tile.body.row_ptr[r + 1]; ++k) {
+          coo.push(tile.row_begin + r, tile.col_begin + tile.body.col_idx[k],
+                   tile.body.val[k]);
+        }
+      }
+    }
+  }
+  return coo;
+}
+
+std::vector<Dcsr> strip_dcsr_from_csr(const Csr& csr, index_t strip_width) {
+  TilingSpec spec;
+  spec.strip_width = strip_width;
+  spec.tile_height = std::max<index_t>(csr.rows, 1);  // one tile = whole strip
+  TiledDcsr tiled = tiled_dcsr_from_csr(csr, spec);
+  std::vector<Dcsr> out;
+  out.reserve(tiled.strips.size());
+  for (auto& strip : tiled.strips) out.push_back(std::move(strip.front().body));
+  return out;
+}
+
+std::vector<double> strip_nonzero_row_density(const Csr& csr, index_t strip_width) {
+  const std::vector<Dcsr> strips = strip_dcsr_from_csr(csr, strip_width);
+  std::vector<double> density;
+  density.reserve(strips.size());
+  for (const auto& s : strips) {
+    density.push_back(csr.rows == 0
+                          ? 0.0
+                          : static_cast<double>(s.nnz_rows()) / static_cast<double>(csr.rows));
+  }
+  return density;
+}
+
+}  // namespace nmdt

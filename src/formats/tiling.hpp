@@ -1,0 +1,100 @@
+// Vertical-strip tiling of the sparse input matrix A (paper Sec. 3).
+//
+// A is cut into vertical strips of `strip_width` columns (64 in the
+// paper, matching the 64x64 B tile held in shared memory), and each
+// strip into tiles of `tile_height` rows (DCSR_HEIGHT = 64 in the
+// Fig. 11 API).  A tile stores *local* coordinates:
+//   * row indices in [0, tile_height)  relative to the tile's row_begin,
+//   * column indices in [0, strip_width) relative to the strip's
+//     col_begin,
+// because that is what the hardware engine emits and what the kernel
+// needs to index the shared-memory-resident B tile.  Globals are
+// recovered via row_begin/col_begin.
+#pragma once
+
+#include <vector>
+
+#include "formats/coo.hpp"
+#include "formats/csc.hpp"
+#include "formats/csr.hpp"
+#include "formats/dcsr.hpp"
+
+namespace nmdt {
+
+struct TilingSpec {
+  index_t strip_width = 64;
+  index_t tile_height = 64;
+
+  void validate() const;
+
+  index_t num_strips(index_t cols) const {
+    return (cols + strip_width - 1) / strip_width;
+  }
+  index_t tiles_per_strip(index_t rows) const {
+    return (rows + tile_height - 1) / tile_height;
+  }
+};
+
+/// One tile of A in DCSR form (the unit returned by GetDCSRTile).
+struct DcsrTile {
+  index_t strip_id = 0;
+  index_t row_begin = 0;  ///< global row of the tile's first row
+  index_t col_begin = 0;  ///< global column of the strip's first column
+  Dcsr body;              ///< body.rows = tile height, body.cols = strip width (clamped)
+
+  i64 nnz() const { return body.nnz(); }
+  i64 nnz_rows() const { return body.nnz_rows(); }
+};
+
+/// One tile of A kept in CSR form (the inefficient strawman of Fig. 6).
+struct CsrTile {
+  index_t strip_id = 0;
+  index_t row_begin = 0;
+  index_t col_begin = 0;
+  Csr body;
+
+  i64 nnz() const { return body.nnz(); }
+};
+
+struct TiledDcsr {
+  index_t rows = 0;
+  index_t cols = 0;
+  TilingSpec spec;
+  /// strips[s][t] is the tile at strip s, rows [t*H, (t+1)*H). All tiles
+  /// are materialized (empty tiles carry only the 4-byte row_ptr stub).
+  std::vector<std::vector<DcsrTile>> strips;
+
+  index_t num_strips() const { return static_cast<index_t>(strips.size()); }
+  i64 nnz() const;
+  i64 total_nnz_rows() const;  ///< sum of per-tile non-empty row segments
+};
+
+struct TiledCsr {
+  index_t rows = 0;
+  index_t cols = 0;
+  TilingSpec spec;
+  std::vector<std::vector<CsrTile>> strips;
+
+  index_t num_strips() const { return static_cast<index_t>(strips.size()); }
+  i64 nnz() const;
+};
+
+/// Offline tiling (the preprocessing step whose cost and storage the
+/// near-memory engine avoids).
+TiledDcsr tiled_dcsr_from_csr(const Csr& csr, const TilingSpec& spec);
+TiledCsr tiled_csr_from_csr(const Csr& csr, const TilingSpec& spec);
+
+/// Reassemble into global-coordinate COO — used by the partition-property
+/// tests (every non-zero appears in exactly one tile).
+Coo coo_from_tiled(const TiledDcsr& tiled);
+Coo coo_from_tiled(const TiledCsr& tiled);
+
+/// Per-strip DCSR over all rows (no tile_height cut). This is the
+/// "strip" granularity used in the Fig. 5 density analysis.
+std::vector<Dcsr> strip_dcsr_from_csr(const Csr& csr, index_t strip_width);
+
+/// Fraction of rows with at least one non-zero, per vertical strip
+/// (the quantity histogrammed in Fig. 5).
+std::vector<double> strip_nonzero_row_density(const Csr& csr, index_t strip_width);
+
+}  // namespace nmdt

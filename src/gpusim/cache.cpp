@@ -1,0 +1,87 @@
+#include "gpusim/cache.hpp"
+
+#include <bit>
+
+#include "util/error.hpp"
+
+namespace nmdt {
+
+L2Cache::L2Cache(const ArchConfig& arch)
+    : ways_(arch.l2_ways),
+      line_bytes_(arch.l2_line_bytes),
+      sector_bytes_(arch.l2_sector_bytes),
+      sectors_per_line_(arch.l2_line_bytes / arch.l2_sector_bytes) {
+  arch.validate();
+  num_sets_ = static_cast<int>(arch.l2_bytes / (static_cast<i64>(ways_) * line_bytes_));
+  NMDT_CHECK_CONFIG(num_sets_ > 0, "L2 must have at least one set");
+  NMDT_CHECK_CONFIG(sectors_per_line_ <= 32, "sector bitmap limited to 32 sectors");
+  lines_.assign(static_cast<usize>(num_sets_) * ways_, Line{});
+}
+
+void L2Cache::reset() {
+  for (auto& l : lines_) l = Line{};
+  stats_ = CacheStats{};
+  access_clock_ = 0;
+}
+
+L2Cache::AccessResult L2Cache::access(u64 addr, bool is_write) {
+  ++stats_.accesses;
+  ++access_clock_;
+  AccessResult res;
+
+  const u64 line_addr = addr / static_cast<u64>(line_bytes_);
+  const int sector = static_cast<int>((addr % static_cast<u64>(line_bytes_)) /
+                                      static_cast<u64>(sector_bytes_));
+  const u32 sector_bit = u32{1} << sector;
+  const int set = static_cast<int>(line_addr % static_cast<u64>(num_sets_));
+  const u64 tag = line_addr / static_cast<u64>(num_sets_);
+
+  Line* base = &lines_[static_cast<usize>(set) * ways_];
+
+  // Lookup.
+  for (int w = 0; w < ways_; ++w) {
+    Line& line = base[w];
+    if (line.valid && line.tag == tag) {
+      line.lru_stamp = access_clock_;
+      if (line.valid_sectors & sector_bit) {
+        ++stats_.sector_hits;
+        res.hit = true;
+      } else {
+        // Line resident, sector not: sector fill.
+        ++stats_.sector_misses;
+        line.valid_sectors |= sector_bit;
+        res.dram_read_bytes = sector_bytes_;
+      }
+      if (is_write) line.dirty_sectors |= sector_bit;
+      return res;
+    }
+  }
+
+  // Miss: choose LRU victim.
+  ++stats_.sector_misses;
+  Line* victim = base;
+  for (int w = 1; w < ways_; ++w) {
+    if (!base[w].valid) {
+      victim = &base[w];
+      break;
+    }
+    if (base[w].lru_stamp < victim->lru_stamp) victim = &base[w];
+  }
+  if (victim->valid) {
+    ++stats_.evictions;
+    if (victim->dirty_sectors != 0) {
+      ++stats_.writebacks;
+      res.dram_write_bytes =
+          static_cast<i64>(std::popcount(victim->dirty_sectors)) * sector_bytes_;
+    }
+  }
+  victim->valid = true;
+  victim->tag = tag;
+  victim->valid_sectors = sector_bit;
+  victim->dirty_sectors = is_write ? sector_bit : 0;
+  victim->lru_stamp = access_clock_;
+  res.dram_read_bytes += sector_bytes_;
+  return res;
+}
+
+}  // namespace nmdt

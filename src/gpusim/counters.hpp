@@ -1,0 +1,73 @@
+// Performance counters collected while a kernel executes on the
+// simulator.  These are the NVPROF-style counters behind Fig. 2 (stall
+// reasons) and Fig. 7 (active vs inactive thread executions).
+#pragma once
+
+#include <algorithm>
+
+#include "util/types.hpp"
+
+namespace nmdt {
+
+enum class InstrClass {
+  kFp,       ///< FMA / floating-point arithmetic
+  kInt,      ///< integer / address arithmetic
+  kControl,  ///< branches, loop overhead, predicate handling
+  kMemory,   ///< load/store/atomic instructions
+};
+
+struct KernelCounters {
+  // Warp-granularity issue counts per class.
+  u64 fp_instr = 0;
+  u64 int_instr = 0;
+  u64 control_instr = 0;
+  u64 memory_instr = 0;
+
+  // Thread-execution (lane-slot) granularity: every issued warp
+  // instruction contributes warp_size slots, split into lanes that did
+  // work and lanes that were predicated off / divergent (Fig. 7's
+  // "Inactive").
+  u64 lane_slots_active = 0;
+  u64 lane_slots_inactive = 0;
+
+  u64 flops = 0;             ///< useful floating-point operations
+  u64 atomic_updates = 0;    ///< atomicAdd invocations (warp granularity)
+  u64 kernel_launches = 0;
+
+  // Latency-regime inputs: warp work-item visits (each pays a
+  // dependent-load chain) and serial inner-loop iterations per warp.
+  u64 warp_visits = 0;
+  u64 serial_iterations = 0;
+  /// Longest serial chain any single warp executes — the critical path
+  /// a skewed row imposes on row-per-warp kernels (Sec. 5.2).  Tiled
+  /// kernels bound this by the strip width.
+  u64 max_chain_iters = 0;
+
+  void observe_chain(u64 iters) { max_chain_iters = std::max(max_chain_iters, iters); }
+
+  u64 total_instr() const { return fp_instr + int_instr + control_instr + memory_instr; }
+  u64 total_lane_slots() const { return lane_slots_active + lane_slots_inactive; }
+
+  double inactive_fraction() const {
+    const u64 total = total_lane_slots();
+    return total == 0 ? 0.0 : static_cast<double>(lane_slots_inactive) / total;
+  }
+
+  KernelCounters& operator+=(const KernelCounters& o) {
+    fp_instr += o.fp_instr;
+    int_instr += o.int_instr;
+    control_instr += o.control_instr;
+    memory_instr += o.memory_instr;
+    lane_slots_active += o.lane_slots_active;
+    lane_slots_inactive += o.lane_slots_inactive;
+    flops += o.flops;
+    atomic_updates += o.atomic_updates;
+    kernel_launches += o.kernel_launches;
+    warp_visits += o.warp_visits;
+    serial_iterations += o.serial_iterations;
+    max_chain_iters = std::max(max_chain_iters, o.max_chain_iters);
+    return *this;
+  }
+};
+
+}  // namespace nmdt

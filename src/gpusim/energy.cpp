@@ -1,0 +1,22 @@
+#include "gpusim/energy.hpp"
+
+namespace nmdt {
+
+EnergyBreakdown estimate_energy(const EnergyModel& model, const ArchConfig& arch,
+                                const KernelCounters& counters, const MemStats& mem,
+                                u64 engine_rows, const TimingBreakdown& timing) {
+  constexpr double kPjToUj = 1e-6;
+  EnergyBreakdown e;
+  e.dram_uj = static_cast<double>(mem.total_dram_bytes()) * model.dram_pj_per_byte *
+              kPjToUj;
+  e.l2_uj = static_cast<double>(mem.l2_service_bytes) * model.l2_pj_per_byte * kPjToUj;
+  e.xbar_uj = static_cast<double>(mem.xbar_bytes) * model.xbar_pj_per_byte * kPjToUj;
+  e.core_uj = static_cast<double>(counters.total_instr()) * model.instr_pj * kPjToUj;
+  e.engine_uj = static_cast<double>(engine_rows) * model.engine_pj_per_row * kPjToUj;
+  // Idle (leakage + uncore) power burns for the whole kernel runtime:
+  // W × ns = 1e-3 µJ.
+  e.static_uj = arch.idle_watts * timing.total_ns * 1e-3;
+  return e;
+}
+
+}  // namespace nmdt

@@ -1,0 +1,47 @@
+// Whole-kernel energy accounting — the quantitative backing for the
+// paper's Sec. 5.3 claim that "our average speedup (2.26×) more than
+// amortizes the added power and energy": engine energy per converted
+// row is orders of magnitude below the DRAM traffic it saves.
+//
+// Per-event energies are first-order public numbers: HBM2 access
+// ≈ 3.9 pJ/bit, on-die SRAM a few pJ per 32 B sector, the engine's
+// 6.29 pJ/row from the paper's synthesis, and a per-warp-instruction
+// core cost.  Static energy charges idle power over the kernel's
+// modelled runtime.
+#pragma once
+
+#include "gpusim/arch.hpp"
+#include "gpusim/counters.hpp"
+#include "gpusim/memory_system.hpp"
+#include "gpusim/timing.hpp"
+
+namespace nmdt {
+
+struct EnergyModel {
+  double dram_pj_per_byte = 31.0;  ///< HBM2 ≈ 3.9 pJ/bit
+  double l2_pj_per_byte = 1.2;     ///< on-die SRAM slice access
+  double xbar_pj_per_byte = 0.6;   ///< on-die interconnect transfer
+  double instr_pj = 45.0;          ///< per warp instruction, issue+execute
+  double engine_pj_per_row = 6.29; ///< Sec. 5.3, FP32 payload
+};
+
+struct EnergyBreakdown {
+  double dram_uj = 0.0;
+  double l2_uj = 0.0;
+  double xbar_uj = 0.0;
+  double core_uj = 0.0;
+  double engine_uj = 0.0;
+  double static_uj = 0.0;  ///< idle power × runtime
+
+  double total_uj() const {
+    return dram_uj + l2_uj + xbar_uj + core_uj + engine_uj + static_uj;
+  }
+};
+
+/// Energy of one kernel execution from its counters, memory statistics,
+/// engine beats, and modelled runtime.
+EnergyBreakdown estimate_energy(const EnergyModel& model, const ArchConfig& arch,
+                                const KernelCounters& counters, const MemStats& mem,
+                                u64 engine_rows, const TimingBreakdown& timing);
+
+}  // namespace nmdt

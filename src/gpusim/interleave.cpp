@@ -1,0 +1,18 @@
+#include "gpusim/interleave.hpp"
+
+#include "util/error.hpp"
+
+namespace nmdt {
+
+Interleaver::Interleaver(const ArchConfig& arch)
+    : channels_(arch.pseudo_channels),
+      partitions_(arch.fb_partitions),
+      channels_per_partition_(arch.pseudo_channels / arch.fb_partitions) {
+  arch.validate();
+  granule_shift_ = 0;
+  while ((i64{1} << granule_shift_) < arch.interleave_bytes) ++granule_shift_;
+  NMDT_CHECK_CONFIG((i64{1} << granule_shift_) == arch.interleave_bytes,
+                    "interleave_bytes must be a power of two");
+}
+
+}  // namespace nmdt

@@ -1,0 +1,43 @@
+// Physical-address interleaving across HBM2 pseudo channels.
+//
+// `interleave_bytes` granules map to channels through a hash of the
+// granule index — the scheme real GPUs use (post-Fermi "partition
+// camping" fixes) so that strided or structured access patterns spread
+// evenly instead of resonating with the channel count.  A given address
+// always maps to the same channel (it is physical), which is what makes
+// hot single lines a per-channel load.  Channels group into FB
+// partitions (channels_per_partition consecutive channel ids per
+// partition), the granularity at which the Sec. 6.1 camping problem
+// shows up.
+#pragma once
+
+#include "gpusim/arch.hpp"
+
+namespace nmdt {
+
+class Interleaver {
+ public:
+  explicit Interleaver(const ArchConfig& arch);
+
+  int channel_of(u64 addr) const {
+    u64 g = addr >> granule_shift_;
+    g *= 0x9e3779b97f4a7c15ULL;  // Fibonacci hash: decorrelate strides
+    return static_cast<int>((g >> 40) % static_cast<u64>(channels_));
+  }
+
+  int partition_of(u64 addr) const { return channel_of(addr) / channels_per_partition_; }
+
+  int partition_of_channel(int channel) const { return channel / channels_per_partition_; }
+
+  i64 granule_bytes() const { return i64{1} << granule_shift_; }
+  int channels() const { return channels_; }
+  int partitions() const { return partitions_; }
+
+ private:
+  int channels_;
+  int partitions_;
+  int channels_per_partition_;
+  int granule_shift_;
+};
+
+}  // namespace nmdt

@@ -1,0 +1,76 @@
+#include "gpusim/timing.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace nmdt {
+
+TimingBreakdown compute_timing(const ArchConfig& arch, const KernelCounters& counters,
+                               const MemStats& mem, double compute_inflation,
+                               double engine_ns) {
+  arch.validate();
+  NMDT_CHECK_CONFIG(compute_inflation >= 1.0, "compute_inflation must be >= 1");
+  TimingBreakdown t;
+
+  // Compute: warp instructions over all SM issue slots, derated by the
+  // achievable issue efficiency (dependency/pipeline stalls).
+  const double issue_rate_per_ns = static_cast<double>(arch.num_sms) *
+                                   arch.issue_slots_per_sm * arch.core_clock_ghz *
+                                   arch.issue_efficiency;
+  t.compute_ns = static_cast<double>(counters.total_instr()) / issue_rate_per_ns *
+                 compute_inflation;
+
+  // Latency regime: every warp visit pays a dependent-load chain and
+  // each serial iteration a pipelined step; resident warps across all
+  // SMs hide it.  A single chain is the floor when occupancy is low.
+  const double chain_ns = static_cast<double>(counters.warp_visits) * arch.visit_latency_ns +
+                          static_cast<double>(counters.serial_iterations) *
+                              arch.iter_latency_ns;
+  const double concurrency = static_cast<double>(arch.num_sms) * arch.max_warps_per_sm;
+  if (counters.warp_visits > 0) {
+    // The kernel cannot retire before its longest single-warp chain
+    // (a skewed row serializing one warp, Sec. 5.2).
+    const double critical_path_ns =
+        arch.visit_latency_ns +
+        static_cast<double>(counters.max_chain_iters) * arch.iter_latency_ns;
+    t.latency_ns =
+        std::max(critical_path_ns, chain_ns / concurrency) * compute_inflation;
+  }
+
+  // Memory: the most loaded pseudo channel bounds DRAM service time —
+  // transfer bytes at pin rate plus, when the bank model ran, row-miss
+  // penalties (1 GB/s == 1 byte/ns).
+  t.memory_ns = mem.max_channel_service_ns(arch.bw_per_channel_gbps);
+
+  // LLC: all SM traffic is serviced by L2; atomic RMWs consume
+  // (multiplier − 1)× extra of its bandwidth.
+  t.llc_ns = (static_cast<double>(mem.l2_service_bytes) +
+              static_cast<double>(mem.atomic_rmw_bytes) *
+                  (arch.atomic_cost_multiplier - 1.0)) /
+             arch.l2_bandwidth_gbps;
+
+  // Crossbar delivery of engine output.
+  t.xbar_ns = static_cast<double>(mem.xbar_bytes) / arch.xbar_bandwidth_gbps;
+
+  t.engine_ns = engine_ns;
+  t.overhead_ns = static_cast<double>(counters.kernel_launches) * arch.launch_overhead_ns;
+
+  const double bottleneck = std::max(
+      {t.compute_ns, t.latency_ns, t.memory_ns, t.llc_ns, t.xbar_ns, t.engine_ns});
+  t.total_ns = bottleneck + t.overhead_ns;
+
+  if (t.total_ns > 0.0) {
+    // While the kernel runs, SMs are either issuing (compute_ns) or
+    // waiting on the memory system — bandwidth or dependent-load
+    // latency, both memory stalls in the NVPROF sense; launch overhead
+    // is "other".
+    const double waiting = bottleneck - std::min(t.compute_ns, bottleneck);
+    t.frac_memory = waiting / t.total_ns;
+    t.frac_other = t.overhead_ns / t.total_ns;
+    t.frac_sm = 1.0 - t.frac_memory - t.frac_other;
+  }
+  return t;
+}
+
+}  // namespace nmdt

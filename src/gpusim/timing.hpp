@@ -1,0 +1,44 @@
+// First-order kernel timing, matching the analytical style the paper
+// itself uses (Sec. 2, Sec. 5.3): a kernel's execution time is the
+// maximum of its compute-issue time and the service time of its most
+// loaded memory channel (perfect compute/memory overlap), plus launch
+// overheads.  Stall attribution reproduces the NVPROF breakdown of
+// Fig. 2: time waiting on the memory system vs time the SMs were
+// actually issuing vs fixed overhead.
+#pragma once
+
+#include "gpusim/counters.hpp"
+#include "gpusim/memory_system.hpp"
+
+namespace nmdt {
+
+struct TimingBreakdown {
+  double compute_ns = 0.0;   ///< warp-issue time across all SMs
+  double latency_ns = 0.0;   ///< warp-visit dependent-latency time
+  double memory_ns = 0.0;    ///< most-loaded pseudo channel service time
+  double llc_ns = 0.0;       ///< L2 service time incl. 2× atomic RMWs
+  double xbar_ns = 0.0;      ///< crossbar transfer time (engine delivery)
+  double engine_ns = 0.0;    ///< near-memory conversion engine busy time
+  double overhead_ns = 0.0;  ///< kernel launch overheads
+  double total_ns = 0.0;
+
+  // Stall-reason attribution (sums to 1 when total_ns > 0), Fig. 2 style.
+  double frac_memory = 0.0;
+  double frac_sm = 0.0;
+  double frac_other = 0.0;
+
+  double total_ms() const { return total_ns * 1e-6; }
+};
+
+/// Combine counters and memory statistics into a kernel time.
+///
+/// `compute_inflation` models intra-warp critical-path imbalance (e.g.
+/// row-length skew lengthening a warp's slowest lane, Sec. 5.2); 1.0
+/// means perfectly balanced.  `engine_ns` is the busy time of the
+/// near-memory transform engines for online-conversion kernels (0 for
+/// pure-software kernels).
+TimingBreakdown compute_timing(const ArchConfig& arch, const KernelCounters& counters,
+                               const MemStats& mem, double compute_inflation = 1.0,
+                               double engine_ns = 0.0);
+
+}  // namespace nmdt

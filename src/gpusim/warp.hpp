@@ -1,0 +1,44 @@
+// Warp-issue recording helpers used by the kernels.
+//
+// Kernels in kernels/ execute the real arithmetic on the host while
+// narrating their warp-level instruction stream into KernelCounters via
+// these helpers; lane activity is recorded per issue so the Fig. 7
+// inactive-thread analysis falls out of the same trace.
+#pragma once
+
+#include <algorithm>
+
+#include "gpusim/arch.hpp"
+#include "gpusim/counters.hpp"
+
+namespace nmdt {
+
+/// Record `times` warp instructions of class `cls` with `active_lanes`
+/// lanes doing useful work (the rest are predicated off / divergent).
+inline void issue(KernelCounters& c, const ArchConfig& arch, InstrClass cls,
+                  int active_lanes, u64 times = 1) {
+  active_lanes = std::clamp(active_lanes, 0, arch.warp_size);
+  switch (cls) {
+    case InstrClass::kFp: c.fp_instr += times; break;
+    case InstrClass::kInt: c.int_instr += times; break;
+    case InstrClass::kControl: c.control_instr += times; break;
+    case InstrClass::kMemory: c.memory_instr += times; break;
+  }
+  c.lane_slots_active += times * static_cast<u64>(active_lanes);
+  c.lane_slots_inactive += times * static_cast<u64>(arch.warp_size - active_lanes);
+}
+
+/// Record the warp instructions needed to process `elements` parallel
+/// work items `lanes_per_wave` at a time (e.g. a K-wide row handled by a
+/// 32-lane warp takes ceil(K/32) waves, the last one partially active —
+/// the paper's "last column slice is load imbalanced" case).
+inline void issue_waves(KernelCounters& c, const ArchConfig& arch, InstrClass cls,
+                        i64 elements, u64 instrs_per_wave = 1) {
+  if (elements <= 0) return;
+  const i64 full = elements / arch.warp_size;
+  const int rem = static_cast<int>(elements % arch.warp_size);
+  if (full > 0) issue(c, arch, cls, arch.warp_size, static_cast<u64>(full) * instrs_per_wave);
+  if (rem > 0) issue(c, arch, cls, rem, instrs_per_wave);
+}
+
+}  // namespace nmdt

@@ -1,0 +1,86 @@
+// A-stationary SpMM (paper Sec. 3.1.1, Table 1): each tile of the
+// sparse matrix is loaded into shared memory exactly once (single fetch
+// of A), but every non-zero then pulls a full K-wide row of B from
+// DRAM and partial C contributions go out through atomics — the most
+// bandwidth-hungry of the three strategies, implemented as the Table 1
+// reference point.
+#include <algorithm>
+
+#include "kernels/detail.hpp"
+
+namespace nmdt::detail {
+
+SpmmResult spmm_a_stationary(const Csr& A, const DenseMatrix& B, const SpmmConfig& cfg) {
+  const TilingSpec& spec = cfg.tiling;
+  const TiledCsr tiled = tiled_csr_from_csr(A, spec);
+
+  Ctx ctx(cfg);
+  const index_t K = B.cols();
+  const DenseLayout b = DenseLayout::allocate(B, ctx.mem, "B");
+  const DenseLayout c = DenseLayout::allocate(DenseMatrix(A.rows, K), ctx.mem, "C");
+  i64 total_rowptr = 0, total_entries = 0;
+  for (const auto& strip : tiled.strips) {
+    for (const auto& tile : strip) {
+      total_rowptr += static_cast<i64>(tile.body.row_ptr.size());
+      total_entries += tile.nnz();
+    }
+  }
+  const u64 rowptr_base = ctx.mem.allocate(total_rowptr * kIndexBytes, "A.tiles.row_ptr");
+  const u64 entry_base =
+      ctx.mem.allocate(total_entries * (kIndexBytes + kValueBytes), "A.tiles.entries");
+
+  DenseMatrix C(A.rows, K, 0.0f);
+  ctx.counters.kernel_launches = 1;
+
+  i64 rowptr_off = 0, entry_off = 0;
+  for (const auto& strip : tiled.strips) {
+    for (const auto& tile : strip) {
+      // Single fetch of the A tile into shared memory (plus the tile
+      // scan visits, as in tiled CSR).
+      ctx.counters.warp_visits += 1 + static_cast<u64>((tile.body.rows + 31) / 32);
+      ctx.waves(InstrClass::kMemory, tile.body.rows + 1);
+      ctx.mem.warp_load(rowptr_base + static_cast<u64>(rowptr_off) * kIndexBytes,
+                        static_cast<i64>(tile.body.row_ptr.size()) * kIndexBytes);
+      rowptr_off += static_cast<i64>(tile.body.row_ptr.size());
+      if (tile.nnz() > 0) {
+        ctx.mem.warp_load(
+            entry_base + static_cast<u64>(entry_off) * (kIndexBytes + kValueBytes),
+            tile.nnz() * (kIndexBytes + kValueBytes));
+      }
+      entry_off += tile.nnz();
+      if (tile.nnz() == 0) continue;
+
+      for (index_t lr = 0; lr < tile.body.rows; ++lr) {
+        const i64 cnt = tile.body.row_nnz(lr);
+        if (cnt == 0) {
+          ctx.issue(InstrClass::kControl, 1);
+          continue;
+        }
+        const index_t grow = tile.row_begin + lr;
+        ++ctx.counters.warp_visits;
+        ctx.counters.serial_iterations += static_cast<u64>(cnt);
+        ctx.counters.observe_chain(static_cast<u64>(cnt));  // ≤ strip width
+        auto c_row = C.row(grow);
+        for (index_t j = tile.body.row_ptr[lr]; j < tile.body.row_ptr[lr + 1]; ++j) {
+          const index_t gcol = tile.col_begin + tile.body.col_idx[j];
+          const value_t a_val = tile.body.val[j];
+          // Every non-zero streams a K-wide B row from DRAM: B has no
+          // residency anywhere in this strategy.
+          ctx.waves(InstrClass::kMemory, K);
+          ctx.waves(InstrClass::kFp, K);
+          ctx.mem.warp_load(b.addr(gcol), static_cast<i64>(K) * kValueBytes);
+          const auto b_row = B.row(gcol);
+          for (index_t k = 0; k < K; ++k) c_row[k] += a_val * b_row[k];
+          ctx.counters.flops += static_cast<u64>(2 * K);
+        }
+        // Partial C row for this tile, atomically merged.
+        ctx.waves(InstrClass::kMemory, K);
+        ctx.mem.warp_atomic(c.addr(grow), static_cast<i64>(K) * kValueBytes);
+        ++ctx.counters.atomic_updates;
+      }
+    }
+  }
+  return finish(ctx, std::move(C));
+}
+
+}  // namespace nmdt::detail

@@ -1,0 +1,336 @@
+// B-stationary SpMM kernels (paper Sec. 3.1.1): a 64×64 tile of B lives
+// in shared memory; vertical strips of A stream through it; partial C
+// contributions are accumulated with atomics (charged 2× at the memory
+// system, Table 1).  B-tile traversal order is configurable
+// (Sec. 3.1.3): column-major (default, C partials stay LLC-hot) or
+// row-major (A strip stays LLC-hot, C thrashes).
+//
+// Three variants share the loop structure and differ in where the A
+// tiles come from:
+//   * tiled CSR      — offline tiles, full per-tile row_ptr scans (the
+//                      Fig. 6 strawman: redundant row pointers + one
+//                      active lane skipping each empty row),
+//   * tiled DCSR     — offline tiles, dense row segments only, but the
+//                      larger tiled-DCSR footprint is re-read from DRAM
+//                      once per B tile column (Fig. 9's bandwidth tax),
+//   * online DCSR    — tiles produced on demand by the near-memory
+//                      CSC→DCSR engines and delivered over the crossbar;
+//                      DRAM sees only the compact CSC stream.
+#include <algorithm>
+
+#include "kernels/detail.hpp"
+
+namespace nmdt::detail {
+
+namespace {
+
+/// Per-strip nnz (to skip strips with no work — knowable from col_ptr /
+/// tile metadata in every variant).
+std::vector<i64> strip_nnz_counts(const Csr& A, const TilingSpec& spec) {
+  std::vector<i64> nnz(static_cast<usize>(spec.num_strips(A.cols)), 0);
+  for (index_t c : A.col_idx) ++nnz[c / spec.strip_width];
+  return nnz;
+}
+
+/// The (b_col_begin, strip) visit sequence for the configured traversal
+/// order (Sec. 3.1.3).
+std::vector<std::pair<index_t, index_t>> visit_order(index_t K, index_t bt,
+                                                     index_t num_strips,
+                                                     TraversalOrder order) {
+  std::vector<std::pair<index_t, index_t>> out;
+  if (order == TraversalOrder::kColumnMajor) {
+    for (index_t bc = 0; bc < K; bc += bt) {
+      for (index_t s = 0; s < num_strips; ++s) out.emplace_back(bc, s);
+    }
+  } else {
+    for (index_t s = 0; s < num_strips; ++s) {
+      for (index_t bc = 0; bc < K; bc += bt) out.emplace_back(bc, s);
+    }
+  }
+  return out;
+}
+
+/// SM-side processing of one DCSR tile whose data is already on chip
+/// (shared memory): per dense row, stream the entries against the B
+/// tile and atomically add the partial C row.
+void process_dcsr_tile(Ctx& ctx, const DcsrTile& tile, const DenseMatrix& B,
+                       DenseMatrix& C, const DenseLayout& c_layout, index_t b_col_begin,
+                       index_t tile_cols) {
+  for (i64 g = 0; g < tile.body.nnz_rows(); ++g) {
+    const index_t grow = tile.row_begin + tile.body.dense_row(g);
+    const auto cols = tile.body.dense_row_cols(g);
+    const auto vals = tile.body.dense_row_vals(g);
+    ctx.issue(InstrClass::kControl, ctx.cfg.arch.warp_size);
+    ++ctx.counters.warp_visits;
+    ctx.counters.serial_iterations += cols.size();
+    ctx.counters.observe_chain(cols.size());  // bounded by strip width
+    for (usize j = 0; j < cols.size(); ++j) {
+      const index_t gcol = tile.col_begin + cols[j];
+      const value_t a = vals[j];
+      // Broadcast entry read + shared-memory B row sweep + FMA waves.
+      ctx.issue(InstrClass::kMemory, ctx.cfg.arch.warp_size);
+      ctx.waves(InstrClass::kMemory, tile_cols);
+      ctx.waves(InstrClass::kFp, tile_cols);
+      auto c_row = C.row(grow);
+      const auto b_row = B.row(gcol);
+      for (index_t k = 0; k < tile_cols; ++k) {
+        c_row[b_col_begin + k] += a * b_row[b_col_begin + k];
+      }
+      ctx.counters.flops += static_cast<u64>(2 * tile_cols);
+    }
+    // Partial-sum accumulation: atomicAdd of the tile_cols-wide C row
+    // segment (other SMs may be contributing to the same C tile).
+    ctx.waves(InstrClass::kMemory, tile_cols);
+    ctx.mem.warp_atomic(c_layout.addr(grow, b_col_begin),
+                        static_cast<i64>(tile_cols) * kValueBytes);
+    ++ctx.counters.atomic_updates;
+  }
+}
+
+/// Offline preprocessing cost of building a tiled format: stream the
+/// CSR source in and scatter the tiled output.  Scatter writes land at
+/// sector granularity, modelled as a 4× write penalty — this is the
+/// "non-trivial transformation cost" of Sec. 3.3 that online conversion
+/// eliminates.
+double offline_tiling_cost_ns(const Footprint& src, const Footprint& dst,
+                              const ArchConfig& arch) {
+  constexpr double kScatterPenalty = 4.0;
+  return (static_cast<double>(src.total()) +
+          static_cast<double>(dst.total()) * kScatterPenalty) /
+         arch.total_bandwidth_gbps();
+}
+
+/// Per-tile device offsets of an offline tiled format stored as two
+/// concatenated blobs (metadata words, entry pairs).
+struct TileOffsets {
+  std::vector<std::vector<i64>> meta;     ///< [strip][tile] word offset
+  std::vector<std::vector<i64>> entries;  ///< [strip][tile] entry offset
+  i64 total_meta_words = 0;
+  i64 total_entries = 0;
+};
+
+template <typename Tiled, typename MetaWordsFn>
+TileOffsets compute_offsets(const Tiled& tiled, MetaWordsFn&& meta_words_of) {
+  TileOffsets off;
+  off.meta.resize(tiled.strips.size());
+  off.entries.resize(tiled.strips.size());
+  for (usize s = 0; s < tiled.strips.size(); ++s) {
+    off.meta[s].reserve(tiled.strips[s].size());
+    off.entries[s].reserve(tiled.strips[s].size());
+    for (const auto& tile : tiled.strips[s]) {
+      off.meta[s].push_back(off.total_meta_words);
+      off.entries[s].push_back(off.total_entries);
+      off.total_meta_words += meta_words_of(tile);
+      off.total_entries += tile.nnz();
+    }
+  }
+  return off;
+}
+
+}  // namespace
+
+SpmmResult spmm_tiled_csr_b_stationary(const Csr& A, const DenseMatrix& B,
+                                       const SpmmConfig& cfg) {
+  const TilingSpec& spec = cfg.tiling;
+  const TiledCsr tiled = tiled_csr_from_csr(A, spec);
+  const std::vector<i64> strip_nnz = strip_nnz_counts(A, spec);
+  const TileOffsets off = compute_offsets(
+      tiled, [](const CsrTile& t) { return static_cast<i64>(t.body.row_ptr.size()); });
+
+  Ctx ctx(cfg);
+  const index_t K = B.cols();
+  const DenseLayout b = DenseLayout::allocate(B, ctx.mem, "B");
+  const DenseLayout c = DenseLayout::allocate(DenseMatrix(A.rows, K), ctx.mem, "C");
+  const u64 rowptr_base =
+      ctx.mem.allocate(off.total_meta_words * kIndexBytes, "A.tiles.row_ptr");
+  const u64 entry_base =
+      ctx.mem.allocate(off.total_entries * (kIndexBytes + kValueBytes), "A.tiles.entries");
+
+  DenseMatrix C(A.rows, K, 0.0f);
+  const index_t bt = spec.strip_width;  // B tile is bt×bt
+  ctx.counters.kernel_launches = static_cast<u64>((K + bt - 1) / bt);
+
+  for (const auto& [bc, s] : visit_order(K, bt, tiled.num_strips(), cfg.traversal)) {
+    if (strip_nnz[s] == 0) continue;
+    const index_t tile_cols = std::min<index_t>(bt, K - bc);
+    const index_t width = std::min<index_t>(spec.strip_width, A.cols - s * spec.strip_width);
+    load_b_tile(ctx, b, s * spec.strip_width, width, bc, tile_cols);
+
+    for (usize t = 0; t < tiled.strips[s].size(); ++t) {
+      const CsrTile& tile = tiled.strips[s][t];
+      // Full row_ptr scan: (tile_rows+1) pointers regardless of how
+      // many rows are empty — the redundant-metadata pathology.  The
+      // scan itself costs warp visits proportional to tile height.
+      ctx.counters.warp_visits += 1 + static_cast<u64>((tile.body.rows + 31) / 32);
+      ctx.waves(InstrClass::kMemory, tile.body.rows + 1);
+      ctx.mem.warp_load(rowptr_base + static_cast<u64>(off.meta[s][t]) * kIndexBytes,
+                        static_cast<i64>(tile.body.row_ptr.size()) * kIndexBytes);
+      if (tile.nnz() > 0) {
+        ctx.mem.warp_load(
+            entry_base + static_cast<u64>(off.entries[s][t]) * (kIndexBytes + kValueBytes),
+            tile.nnz() * (kIndexBytes + kValueBytes));
+      }
+
+      for (index_t lr = 0; lr < tile.body.rows; ++lr) {
+        const i64 cnt = tile.body.row_nnz(lr);
+        if (cnt == 0) {
+          // One active lane discovers the empty row (Fig. 6 ②).
+          ctx.issue(InstrClass::kControl, 1);
+          continue;
+        }
+        const index_t grow = tile.row_begin + lr;
+        ctx.issue(InstrClass::kControl, ctx.cfg.arch.warp_size);
+        ++ctx.counters.warp_visits;
+        ctx.counters.serial_iterations += static_cast<u64>(cnt);
+        ctx.counters.observe_chain(static_cast<u64>(cnt));  // ≤ strip width
+        for (index_t j = tile.body.row_ptr[lr]; j < tile.body.row_ptr[lr + 1]; ++j) {
+          const index_t gcol = tile.col_begin + tile.body.col_idx[j];
+          const value_t a = tile.body.val[j];
+          ctx.issue(InstrClass::kMemory, ctx.cfg.arch.warp_size);
+          ctx.waves(InstrClass::kMemory, tile_cols);
+          ctx.waves(InstrClass::kFp, tile_cols);
+          auto c_row = C.row(grow);
+          const auto b_row = B.row(gcol);
+          for (index_t k = 0; k < tile_cols; ++k) c_row[bc + k] += a * b_row[bc + k];
+          ctx.counters.flops += static_cast<u64>(2 * tile_cols);
+        }
+        ctx.waves(InstrClass::kMemory, tile_cols);
+        ctx.mem.warp_atomic(c.addr(grow, bc), static_cast<i64>(tile_cols) * kValueBytes);
+        ++ctx.counters.atomic_updates;
+      }
+    }
+  }
+
+  const double prep = offline_tiling_cost_ns(footprint(A), footprint(tiled), cfg.arch);
+  return finish(ctx, std::move(C), 1.0, {}, 0.0, prep);
+}
+
+SpmmResult spmm_tiled_dcsr_b_stationary(const Csr& A, const DenseMatrix& B,
+                                        const SpmmConfig& cfg) {
+  const TilingSpec& spec = cfg.tiling;
+  const TiledDcsr tiled = tiled_dcsr_from_csr(A, spec);
+  const std::vector<i64> strip_nnz = strip_nnz_counts(A, spec);
+  const TileOffsets off = compute_offsets(tiled, [](const DcsrTile& t) {
+    return static_cast<i64>(t.body.row_idx.size() + t.body.row_ptr.size());
+  });
+
+  Ctx ctx(cfg);
+  const index_t K = B.cols();
+  const DenseLayout b = DenseLayout::allocate(B, ctx.mem, "B");
+  const DenseLayout c = DenseLayout::allocate(DenseMatrix(A.rows, K), ctx.mem, "C");
+  const u64 meta_base = ctx.mem.allocate(off.total_meta_words * kIndexBytes, "A.tiles.meta");
+  const u64 entry_base =
+      ctx.mem.allocate(off.total_entries * (kIndexBytes + kValueBytes), "A.tiles.entries");
+
+  DenseMatrix C(A.rows, K, 0.0f);
+  const index_t bt = spec.strip_width;
+  ctx.counters.kernel_launches = static_cast<u64>((K + bt - 1) / bt);
+
+  for (const auto& [bc, s] : visit_order(K, bt, tiled.num_strips(), cfg.traversal)) {
+    if (strip_nnz[s] == 0) continue;
+    const index_t tile_cols = std::min<index_t>(bt, K - bc);
+    const index_t width = std::min<index_t>(spec.strip_width, A.cols - s * spec.strip_width);
+    load_b_tile(ctx, b, s * spec.strip_width, width, bc, tile_cols);
+
+    for (usize t = 0; t < tiled.strips[s].size(); ++t) {
+      const DcsrTile& tile = tiled.strips[s][t];
+      const i64 meta_words =
+          static_cast<i64>(tile.body.row_idx.size() + tile.body.row_ptr.size());
+      // DCSR metadata: proportional to non-empty rows, not tile height.
+      ++ctx.counters.warp_visits;
+      ctx.waves(InstrClass::kMemory, meta_words);
+      ctx.mem.warp_load(meta_base + static_cast<u64>(off.meta[s][t]) * kIndexBytes,
+                        meta_words * kIndexBytes);
+      if (tile.nnz() > 0) {
+        ctx.mem.warp_load(
+            entry_base + static_cast<u64>(off.entries[s][t]) * (kIndexBytes + kValueBytes),
+            tile.nnz() * (kIndexBytes + kValueBytes));
+      }
+      process_dcsr_tile(ctx, tile, B, C, c, bc, tile_cols);
+    }
+  }
+
+  const double prep = offline_tiling_cost_ns(footprint(A), footprint(tiled), cfg.arch);
+  return finish(ctx, std::move(C), 1.0, {}, 0.0, prep);
+}
+
+SpmmResult spmm_tiled_dcsr_online(const Csr& A, const DenseMatrix& B,
+                                  const SpmmConfig& cfg) {
+  const TilingSpec& spec = cfg.tiling;
+  const Csc csc = csc_from_csr(A);
+
+  Ctx ctx(cfg);
+  const index_t K = B.cols();
+  const DenseLayout b = DenseLayout::allocate(B, ctx.mem, "B");
+  const DenseLayout c = DenseLayout::allocate(DenseMatrix(A.rows, K), ctx.mem, "C");
+  const CscDeviceLayout a = CscDeviceLayout::allocate(csc, ctx.mem);
+
+  // One conversion engine per pseudo channel; tiles route to the
+  // channel that owns their data under the configured placement.
+  const StripPlacement placement(cfg.placement, cfg.arch.pseudo_channels);
+  std::vector<ConversionEngine> engines;
+  engines.reserve(static_cast<usize>(cfg.arch.pseudo_channels));
+  for (int ch = 0; ch < cfg.arch.pseudo_channels; ++ch) engines.emplace_back(cfg.engine_hw);
+
+  DenseMatrix C(A.rows, K, 0.0f);
+  const index_t bt = spec.strip_width;
+  ctx.counters.kernel_launches = static_cast<u64>((K + bt - 1) / bt);
+  const index_t num_strips = spec.num_strips(A.cols);
+
+  // Engine occupancy is phase-structured: the SMs sweep one strip's
+  // tiles concurrently (that is what creates the Fig. 17 camping
+  // problem), so per strip phase the busiest engine bounds conversion
+  // time; phases accumulate.
+  double engine_busy_ns = 0.0;
+  auto engine_beats = [&](int ch) {
+    const EngineStats& st = engines[static_cast<usize>(ch)].stats();
+    return st.steps + st.requests;
+  };
+  std::vector<u64> beats_before(static_cast<usize>(cfg.arch.pseudo_channels));
+
+  for (const auto& [bc, s] : visit_order(K, bt, num_strips, cfg.traversal)) {
+    const index_t tile_cols = std::min<index_t>(bt, K - bc);
+    const index_t col_begin = s * spec.strip_width;
+    const index_t col_end = std::min<index_t>(col_begin + spec.strip_width, A.cols);
+    // Strip emptiness is one col_ptr subtraction away in CSC.
+    if (csc.col_ptr[col_end] == csc.col_ptr[col_begin]) continue;
+    for (int ch = 0; ch < cfg.arch.pseudo_channels; ++ch) {
+      beats_before[static_cast<usize>(ch)] = engine_beats(ch);
+    }
+    // CSC knows which strip columns are empty (one col_ptr
+    // subtraction), so the online kernel loads only the B rows that
+    // can be touched — the n_nnzcol·K "single fetch" of Table 1 that
+    // row-major offline tiles cannot achieve (Sec. 3.1.4).
+    for (index_t col = col_begin; col < col_end; ++col) {
+      if (csc.col_ptr[col + 1] == csc.col_ptr[col]) continue;
+      ctx.waves(InstrClass::kMemory, tile_cols);
+      ctx.mem.warp_load(b.addr(col, bc), static_cast<i64>(tile_cols) * kValueBytes);
+    }
+
+    StripCursor cursor(csc, s, spec);
+    for (index_t row_start = 0, t = 0; row_start < A.rows;
+         row_start += spec.tile_height, ++t) {
+      const int ch = placement.channel_for(s, t);
+      // GetDCSRTile intrinsic: the request message to the conversion
+      // unit (Fig. 11); requests stream ahead of consumption, so they
+      // pipeline rather than serializing the warp.
+      ctx.issue(InstrClass::kMemory, ctx.cfg.arch.warp_size);
+      const DcsrTile tile = engines[static_cast<usize>(ch)].convert_tile(
+          csc, cursor, row_start, spec, &ctx.mem, &a, ch);
+      if (tile.nnz() == 0) continue;
+      process_dcsr_tile(ctx, tile, B, C, c, bc, tile_cols);
+    }
+    u64 phase_max = 0;
+    for (int ch = 0; ch < cfg.arch.pseudo_channels; ++ch) {
+      phase_max =
+          std::max(phase_max, engine_beats(ch) - beats_before[static_cast<usize>(ch)]);
+    }
+    engine_busy_ns += static_cast<double>(phase_max) * cfg.engine_hw.cycle_ns_sp;
+  }
+
+  EngineStats total_engine;
+  for (const auto& e : engines) total_engine += e.stats();
+  return finish(ctx, std::move(C), 1.0, total_engine, engine_busy_ns, 0.0);
+}
+
+}  // namespace nmdt::detail

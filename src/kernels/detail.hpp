@@ -1,0 +1,100 @@
+// Internal helpers shared by the SpMM kernel implementations.  Not part
+// of the public API.
+#pragma once
+
+#include "gpusim/warp.hpp"
+#include "kernels/spmm.hpp"
+
+namespace nmdt::detail {
+
+/// Device placement of a row-major dense matrix.
+struct DenseLayout {
+  u64 base = 0;
+  index_t cols = 0;
+
+  u64 addr(index_t r, index_t col_off = 0) const {
+    return base + (static_cast<u64>(r) * static_cast<u64>(cols) + static_cast<u64>(col_off)) *
+                      kValueBytes;
+  }
+
+  static DenseLayout allocate(const DenseMatrix& m, MemorySystem& mem,
+                              const std::string& name) {
+    return {mem.allocate(m.size_bytes(), name), m.cols()};
+  }
+};
+
+/// Device placement of a CSR matrix.
+struct CsrLayout {
+  u64 row_ptr = 0;
+  u64 col_idx = 0;
+  u64 val = 0;
+
+  static CsrLayout allocate(const Csr& a, MemorySystem& mem) {
+    CsrLayout l;
+    l.row_ptr = mem.allocate(static_cast<i64>(a.row_ptr.size()) * kIndexBytes, "A.row_ptr");
+    l.col_idx = mem.allocate(static_cast<i64>(a.col_idx.size()) * kIndexBytes, "A.col_idx");
+    l.val = mem.allocate(static_cast<i64>(a.val.size()) * kValueBytes, "A.val");
+    return l;
+  }
+};
+
+/// Device placement of an (untiled) DCSR matrix.
+struct DcsrLayout {
+  u64 row_idx = 0;
+  u64 row_ptr = 0;
+  u64 col_idx = 0;
+  u64 val = 0;
+
+  static DcsrLayout allocate(const Dcsr& a, MemorySystem& mem) {
+    DcsrLayout l;
+    l.row_idx = mem.allocate(static_cast<i64>(a.row_idx.size()) * kIndexBytes, "A.row_idx");
+    l.row_ptr = mem.allocate(static_cast<i64>(a.row_ptr.size()) * kIndexBytes, "A.row_ptr");
+    l.col_idx = mem.allocate(static_cast<i64>(a.col_idx.size()) * kIndexBytes, "A.col_idx");
+    l.val = mem.allocate(static_cast<i64>(a.val.size()) * kValueBytes, "A.val");
+    return l;
+  }
+};
+
+/// Shared kernel-execution state.
+struct Ctx {
+  const SpmmConfig& cfg;
+  MemorySystem mem;
+  KernelCounters counters;
+
+  explicit Ctx(const SpmmConfig& c) : cfg(c), mem(c.arch, c.mem_mode) { c.arch.validate(); }
+
+  void issue(InstrClass cls, int lanes, u64 times = 1) {
+    nmdt::issue(counters, cfg.arch, cls, lanes, times);
+  }
+  /// `elements` parallel lanes of work processed 32 at a time.
+  void waves(InstrClass cls, i64 elements, u64 per_wave = 1) {
+    issue_waves(counters, cfg.arch, cls, elements, per_wave);
+  }
+};
+
+/// Assemble the result: snapshot counters/memory, compute timing.
+SpmmResult finish(Ctx& ctx, DenseMatrix C, double compute_inflation = 1.0,
+                  EngineStats engine = {}, double engine_busy_ns = 0.0,
+                  double offline_prep_ns = 0.0);
+
+/// Cooperative load of a B tile into shared memory: `width` B rows
+/// (one per A strip column) by `tile_cols` columns starting at
+/// (row_begin, col_begin).  Returns bytes loaded.
+void load_b_tile(Ctx& ctx, const DenseLayout& b, index_t row_begin, index_t width,
+                 index_t col_begin, index_t tile_cols);
+
+// Kernel implementations (one translation unit per family).
+SpmmResult spmm_csr_row_warp(const Csr& A, const DenseMatrix& B, const SpmmConfig& cfg);
+SpmmResult spmm_csr_row_thread(const Csr& A, const DenseMatrix& B, const SpmmConfig& cfg);
+SpmmResult spmm_dcsr_c_stationary(const Csr& A, const DenseMatrix& B, const SpmmConfig& cfg);
+SpmmResult spmm_tiled_csr_b_stationary(const Csr& A, const DenseMatrix& B,
+                                       const SpmmConfig& cfg);
+SpmmResult spmm_tiled_dcsr_b_stationary(const Csr& A, const DenseMatrix& B,
+                                        const SpmmConfig& cfg);
+SpmmResult spmm_tiled_dcsr_online(const Csr& A, const DenseMatrix& B, const SpmmConfig& cfg);
+SpmmResult spmm_a_stationary(const Csr& A, const DenseMatrix& B, const SpmmConfig& cfg);
+SpmmResult spmm_merge_c_stationary(const Csr& A, const DenseMatrix& B,
+                                   const SpmmConfig& cfg);
+SpmmResult spmm_hong_hybrid(const Csr& A, const DenseMatrix& B, const SpmmConfig& cfg);
+
+}  // namespace nmdt::detail

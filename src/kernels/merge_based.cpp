@@ -1,0 +1,93 @@
+// Merge-based C-stationary SpMM (Merrill & Garland [21], the orthogonal
+// load-balancing fix the paper points at in Sec. 5.2).
+//
+// Row-per-warp kernels serialize each row in one warp, so a single
+// heavy row sets the kernel's critical path on skewed matrices.  The
+// merge-based decomposition splits the (row boundary, non-zero) merge
+// path into equal spans: every warp gets at most `merge_chunk`
+// non-zeros regardless of row structure.  Spans that end mid-row
+// contribute their partial C row with an atomicAdd fixup; spans that
+// own whole rows write C directly (the common case).  DCSR supplies
+// the row stream so empty rows cost nothing — this composes the
+// paper's densification with merge-based balancing, and the
+// sec52_merge_ablation bench shows the critical path collapsing while
+// traffic stays put.
+#include <algorithm>
+
+#include "kernels/detail.hpp"
+#include "util/error.hpp"
+
+namespace nmdt::detail {
+
+SpmmResult spmm_merge_c_stationary(const Csr& A, const DenseMatrix& B,
+                                   const SpmmConfig& cfg) {
+  NMDT_CHECK_CONFIG(cfg.merge_chunk > 0, "merge_chunk must be positive");
+  const Dcsr D = dcsr_from_csr(A);
+
+  Ctx ctx(cfg);
+  const index_t K = B.cols();
+  const DcsrLayout a = DcsrLayout::allocate(D, ctx.mem);
+  const DenseLayout b = DenseLayout::allocate(B, ctx.mem, "B");
+  const DenseLayout c = DenseLayout::allocate(DenseMatrix(A.rows, K), ctx.mem, "C");
+  DenseMatrix C(A.rows, K, 0.0f);
+  ctx.counters.kernel_launches = 1;
+  const index_t chunk = cfg.merge_chunk;
+
+  // Metadata stream: each warp binary-searches its span start on the
+  // merge path; amortized, the row_idx/row_ptr arrays stream once.
+  const i64 meta_words = D.nnz_rows() * 2 + 1;
+  ctx.waves(InstrClass::kMemory, meta_words);
+  ctx.mem.warp_load(a.row_idx, D.nnz_rows() * kIndexBytes);
+  ctx.mem.warp_load(a.row_ptr, (D.nnz_rows() + 1) * kIndexBytes);
+
+  for (i64 g = 0; g < D.nnz_rows(); ++g) {
+    const index_t r = D.dense_row(g);
+    const index_t row_begin = D.row_ptr[g];
+    const index_t row_end = D.row_ptr[g + 1];
+    auto c_row = C.row(r);
+
+    for (index_t span = row_begin; span < row_end; span += chunk) {
+      const index_t span_end = std::min<index_t>(span + chunk, row_end);
+      const i64 cnt = span_end - span;
+      const bool whole_row = span == row_begin && span_end == row_end;
+
+      // One warp per span: bounded serial chain by construction.
+      ++ctx.counters.warp_visits;
+      ctx.counters.serial_iterations += static_cast<u64>(cnt);
+      ctx.counters.observe_chain(static_cast<u64>(cnt));
+      ctx.issue(InstrClass::kControl, ctx.cfg.arch.warp_size);
+      // Span's entries stream in coalesced.
+      ctx.mem.warp_load(a.col_idx + static_cast<u64>(span) * kIndexBytes,
+                        cnt * kIndexBytes);
+      ctx.mem.warp_load(a.val + static_cast<u64>(span) * kValueBytes, cnt * kValueBytes);
+      ctx.issue(InstrClass::kMemory, ctx.cfg.arch.warp_size, static_cast<u64>(cnt));
+
+      // Accumulate the span into registers (math on the host directly
+      // into C — partials sum associatively up to FP rounding).
+      for (index_t j = span; j < span_end; ++j) {
+        // D shares A's entry ordering (densification drops only rows).
+        const index_t col = D.col_idx[j];
+        const value_t v = D.val[j];
+        ctx.waves(InstrClass::kMemory, K);
+        ctx.waves(InstrClass::kFp, K);
+        ctx.mem.warp_load(b.addr(col), static_cast<i64>(K) * kValueBytes);
+        const auto b_row = B.row(col);
+        for (index_t k = 0; k < K; ++k) c_row[k] += v * b_row[k];
+        ctx.counters.flops += static_cast<u64>(2 * K);
+      }
+
+      ctx.waves(InstrClass::kMemory, K);
+      if (whole_row) {
+        // Exclusive owner: plain store.
+        ctx.mem.warp_store(c.addr(r), static_cast<i64>(K) * kValueBytes);
+      } else {
+        // Split row: partial contribution merges atomically.
+        ctx.mem.warp_atomic(c.addr(r), static_cast<i64>(K) * kValueBytes);
+        ++ctx.counters.atomic_updates;
+      }
+    }
+  }
+  return finish(ctx, std::move(C));
+}
+
+}  // namespace nmdt::detail

@@ -1,0 +1,110 @@
+#include "kernels/spmm.hpp"
+
+#include <algorithm>
+
+#include "kernels/detail.hpp"
+#include "util/error.hpp"
+
+namespace nmdt {
+
+const char* kernel_name(KernelKind k) {
+  switch (k) {
+    case KernelKind::kCsrCStationaryRowWarp: return "csr_c_stationary_row_warp";
+    case KernelKind::kCsrCStationaryRowThread: return "csr_c_stationary_row_thread";
+    case KernelKind::kDcsrCStationary: return "dcsr_c_stationary";
+    case KernelKind::kTiledCsrBStationary: return "tiled_csr_b_stationary";
+    case KernelKind::kTiledDcsrBStationary: return "tiled_dcsr_b_stationary";
+    case KernelKind::kTiledDcsrOnline: return "tiled_dcsr_online";
+    case KernelKind::kAStationary: return "a_stationary";
+    case KernelKind::kMergeCStationary: return "merge_c_stationary";
+    case KernelKind::kHongHybrid: return "hong_hybrid";
+  }
+  return "unknown";
+}
+
+const char* traversal_name(TraversalOrder t) {
+  switch (t) {
+    case TraversalOrder::kColumnMajor: return "column-major";
+    case TraversalOrder::kRowMajor: return "row-major";
+  }
+  return "unknown";
+}
+
+SpmmConfig evaluation_config(index_t n, index_t K) {
+  NMDT_CHECK_CONFIG(n > 0 && K > 0, "evaluation_config requires positive dimensions");
+  SpmmConfig cfg;
+  cfg.mem_mode = MemMode::kCacheSim;
+  const i64 b_bytes = static_cast<i64>(n) * K * kValueBytes;
+  const i64 set_bytes = static_cast<i64>(cfg.arch.l2_ways) * cfg.arch.l2_line_bytes;
+  i64 l2 = static_cast<i64>(static_cast<double>(b_bytes) / 1.8);
+  l2 = std::max<i64>(l2 / set_bytes, 64) * set_bytes;       // ≥ 64 sets
+  cfg.arch.l2_bytes = std::min<i64>(l2, 6144 * 1024);       // never above GV100
+  cfg.arch.launch_overhead_ns = 500.0;
+  cfg.arch.validate();
+  return cfg;
+}
+
+SpmmResult run_spmm(KernelKind kind, const Csr& A, const DenseMatrix& B,
+                    const SpmmConfig& cfg) {
+  NMDT_REQUIRE(A.cols == B.rows(), "SpMM shape mismatch: A.cols != B.rows");
+  cfg.tiling.validate();
+  switch (kind) {
+    case KernelKind::kCsrCStationaryRowWarp: return detail::spmm_csr_row_warp(A, B, cfg);
+    case KernelKind::kCsrCStationaryRowThread:
+      return detail::spmm_csr_row_thread(A, B, cfg);
+    case KernelKind::kDcsrCStationary: return detail::spmm_dcsr_c_stationary(A, B, cfg);
+    case KernelKind::kTiledCsrBStationary:
+      return detail::spmm_tiled_csr_b_stationary(A, B, cfg);
+    case KernelKind::kTiledDcsrBStationary:
+      return detail::spmm_tiled_dcsr_b_stationary(A, B, cfg);
+    case KernelKind::kTiledDcsrOnline: return detail::spmm_tiled_dcsr_online(A, B, cfg);
+    case KernelKind::kAStationary: return detail::spmm_a_stationary(A, B, cfg);
+    case KernelKind::kMergeCStationary: return detail::spmm_merge_c_stationary(A, B, cfg);
+    case KernelKind::kHongHybrid: return detail::spmm_hong_hybrid(A, B, cfg);
+  }
+  throw ConfigError("unknown kernel kind");
+}
+
+DenseMatrix spmm_reference(const Csr& A, const DenseMatrix& B) {
+  NMDT_REQUIRE(A.cols == B.rows(), "SpMM shape mismatch: A.cols != B.rows");
+  DenseMatrix C(A.rows, B.cols(), 0.0f);
+  for (index_t r = 0; r < A.rows; ++r) {
+    auto c_row = C.row(r);
+    for (index_t j = A.row_ptr[r]; j < A.row_ptr[r + 1]; ++j) {
+      const value_t a = A.val[j];
+      const auto b_row = B.row(A.col_idx[j]);
+      for (index_t k = 0; k < B.cols(); ++k) c_row[k] += a * b_row[k];
+    }
+  }
+  return C;
+}
+
+namespace detail {
+
+SpmmResult finish(Ctx& ctx, DenseMatrix C, double compute_inflation, EngineStats engine,
+                  double engine_busy_ns, double offline_prep_ns) {
+  SpmmResult res;
+  res.C = std::move(C);
+  res.counters = ctx.counters;
+  res.mem = ctx.mem.stats();
+  res.engine = engine;
+  res.engine_busy_ns = engine_busy_ns;
+  res.offline_prep_ns = offline_prep_ns;
+  res.timing =
+      compute_timing(ctx.cfg.arch, ctx.counters, res.mem, compute_inflation, engine_busy_ns);
+  return res;
+}
+
+void load_b_tile(Ctx& ctx, const DenseLayout& b, index_t row_begin, index_t width,
+                 index_t col_begin, index_t tile_cols) {
+  // One coalesced load per B-tile row into shared memory.
+  for (index_t i = 0; i < width; ++i) {
+    ctx.waves(InstrClass::kMemory, tile_cols);
+    ctx.mem.warp_load(b.addr(row_begin + i, col_begin),
+                      static_cast<i64>(tile_cols) * kValueBytes);
+  }
+}
+
+}  // namespace detail
+
+}  // namespace nmdt

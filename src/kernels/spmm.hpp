@@ -1,0 +1,120 @@
+// SpMM kernels executed on the GPU performance model.
+//
+// Each kernel computes C = A·B for real (host-side correctness is
+// verified against the dense reference, the way the paper verifies
+// against cuSPARSE) while narrating its warp instruction stream and
+// memory requests into the simulator.  The seven variants cover the
+// paper's design space:
+//
+//   kCsrCStationaryRowWarp    untiled CSR, row-per-warp — the baseline
+//                             (cuSPARSE-csrmm-style kernel, speedups in
+//                             Fig. 16 normalize to this)
+//   kCsrCStationaryRowThread  row-per-thread ablation (Sec. 3.1.1's
+//                             load-imbalance argument)
+//   kDcsrCStationary          untiled DCSR, row-per-warp — the paper's
+//                             "offline CSR/DCSR" C-stationary arm
+//   kTiledCsrBStationary      tiled CSR strawman (Fig. 6 inefficiency)
+//   kTiledDcsrBStationary     offline-converted tiled DCSR (2.03x arm)
+//   kTiledDcsrOnline          tiled DCSR produced on the fly by the
+//                             near-memory CSC→DCSR engines (the paper's
+//                             proposal; 2.26x arm with the heuristic)
+//   kAStationary              A-stationary reference (Table 1 row)
+//   kMergeCStationary         merge-based row decomposition (Merrill &
+//                             Garland [21], the orthogonal fix the paper
+//                             suggests for row-skew critical paths,
+//                             Sec. 5.2): rows split into bounded chunks
+//                             so no single warp serializes a heavy row
+//   kHongHybrid               the Hong et al. [12] offline hybrid the
+//                             paper discusses in Sec. 7: heavily
+//                             clustered row segments extracted into
+//                             offline tiled DCSR (B-stationary), the
+//                             light remainder kept in CSR
+//                             (C-stationary) — suffers the B-overlap
+//                             re-reads and preprocessing cost the
+//                             online engine avoids
+#pragma once
+
+#include <string>
+
+#include "analysis/traffic_model.hpp"
+#include "formats/convert.hpp"
+#include "formats/dense.hpp"
+#include "formats/tiling.hpp"
+#include "gpusim/timing.hpp"
+#include "sched/layout.hpp"
+#include "transform/engine.hpp"
+
+namespace nmdt {
+
+enum class KernelKind {
+  kCsrCStationaryRowWarp,
+  kCsrCStationaryRowThread,
+  kDcsrCStationary,
+  kTiledCsrBStationary,
+  kTiledDcsrBStationary,
+  kTiledDcsrOnline,
+  kAStationary,
+  kMergeCStationary,
+  kHongHybrid,
+};
+
+const char* kernel_name(KernelKind k);
+
+/// B-tile traversal order (Sec. 3.1.3).  Column-major walks all strips
+/// for one 64-wide block of B columns before advancing (C partials stay
+/// hot in the LLC); row-major sweeps the B column blocks of one strip
+/// first (A strip stays hot, entire C touched per strip).  The paper
+/// finds column-major usually wins because A's footprint is much
+/// smaller than C's; bench/sec313_traversal reproduces the comparison.
+enum class TraversalOrder { kColumnMajor, kRowMajor };
+
+const char* traversal_name(TraversalOrder t);
+
+struct SpmmConfig {
+  ArchConfig arch = ArchConfig::gv100();
+  MemMode mem_mode = MemMode::kCounting;
+  TilingSpec tiling{64, 64};  ///< B tile 64×64, DCSR_HEIGHT 64 (Sec. 5.1)
+  PlacementPolicy placement = PlacementPolicy::kTileRotation;
+  TraversalOrder traversal = TraversalOrder::kColumnMajor;
+  EngineHwModel engine_hw{};
+  /// Maximum non-zeros one warp processes before the row is split
+  /// (merge-based kernel only).
+  index_t merge_chunk = 256;
+  /// Minimum non-zeros a (strip, row) segment needs to be extracted
+  /// into the heavy DCSR part (Hong-hybrid kernel only).
+  index_t hong_heavy_threshold = 4;
+};
+
+/// The realistic evaluation configuration used by the benches and the
+/// SpmmEngine default: cache simulation on a GV100 whose L2 capacity is
+/// scaled so that the dense operand B (n×K) exceeds the LLC by the same
+/// ~1.8× ratio the paper's evaluation had (44k-row matrices, 11 MB B vs
+/// 6 MB L2) — without this, suite-scale matrices fit entirely in a
+/// full-size L2 and every locality effect the paper studies vanishes.
+/// Launch overhead scales with the grid the same way.
+SpmmConfig evaluation_config(index_t n = 4096, index_t K = 64);
+
+struct SpmmResult {
+  DenseMatrix C;
+  KernelCounters counters;
+  MemStats mem;
+  TimingBreakdown timing;
+  EngineStats engine;        ///< zeros for kernels without the engine
+  double engine_busy_ns = 0.0;  ///< max per-channel engine time
+  /// Offline format-conversion cost (tiling / densification done by a
+  /// preprocessing kernel), NOT included in timing — reported separately
+  /// the way the paper treats it (Sec. 5.2: offline results are
+  /// "optimistic" because they exclude this).
+  double offline_prep_ns = 0.0;
+};
+
+/// Run one kernel.  A is given as CSR; kernels that consume other
+/// formats (CSC for online conversion, tiled forms for offline)
+/// convert internally and charge the offline arms their prep cost.
+SpmmResult run_spmm(KernelKind kind, const Csr& A, const DenseMatrix& B,
+                    const SpmmConfig& cfg);
+
+/// Reference result: dense row-major triple loop (no simulation).
+DenseMatrix spmm_reference(const Csr& A, const DenseMatrix& B);
+
+}  // namespace nmdt

@@ -1,0 +1,282 @@
+#include "matgen/generators.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <unordered_set>
+
+#include "formats/convert.hpp"
+#include "util/error.hpp"
+
+namespace nmdt {
+
+namespace {
+
+value_t random_value(Rng& rng) { return static_cast<value_t>(rng.uniform(-1.0, 1.0)); }
+
+/// Poisson sample; Knuth's method for small lambda, normal approximation
+/// for large.  Degree distributions only — no statistical test rides on
+/// the tail shape of the approximation.
+i64 sample_poisson(Rng& rng, double lambda) {
+  if (lambda <= 0.0) return 0;
+  if (lambda < 30.0) {
+    const double limit = std::exp(-lambda);
+    double p = 1.0;
+    i64 k = 0;
+    do {
+      ++k;
+      p *= rng.uniform();
+    } while (p > limit);
+    return k - 1;
+  }
+  const double x = lambda + std::sqrt(lambda) * rng.normal();
+  return std::max<i64>(0, static_cast<i64>(std::llround(x)));
+}
+
+/// Sample `count` distinct column indices in [0, cols) into `out`.
+void sample_distinct_cols(Rng& rng, index_t cols, i64 count, std::vector<index_t>& out) {
+  out.clear();
+  count = std::min<i64>(count, cols);
+  if (count <= 0) return;
+  if (count * 3 >= cols) {
+    // Dense case: reservoir over the full range.
+    out.resize(static_cast<usize>(cols));
+    std::iota(out.begin(), out.end(), index_t{0});
+    for (index_t i = 0; i < count; ++i) {
+      const i64 j = static_cast<i64>(i) + static_cast<i64>(rng.below(static_cast<u64>(cols - i)));
+      std::swap(out[i], out[j]);
+    }
+    out.resize(static_cast<usize>(count));
+  } else {
+    std::unordered_set<index_t> seen;
+    seen.reserve(static_cast<usize>(count) * 2);
+    while (static_cast<i64>(seen.size()) < count) {
+      seen.insert(static_cast<index_t>(rng.below(static_cast<u64>(cols))));
+    }
+    out.assign(seen.begin(), seen.end());
+  }
+  std::sort(out.begin(), out.end());
+}
+
+}  // namespace
+
+Csr gen_uniform(index_t rows, index_t cols, double density, u64 seed) {
+  NMDT_CHECK_CONFIG(rows > 0 && cols > 0, "gen_uniform requires positive dimensions");
+  NMDT_CHECK_CONFIG(density >= 0.0 && density <= 1.0, "density must be in [0, 1]");
+  Rng rng(seed);
+  Csr csr;
+  csr.rows = rows;
+  csr.cols = cols;
+  csr.row_ptr.reserve(static_cast<usize>(rows) + 1);
+  csr.row_ptr.push_back(0);
+  std::vector<index_t> row_cols;
+  const double lambda = density * static_cast<double>(cols);
+  for (index_t r = 0; r < rows; ++r) {
+    sample_distinct_cols(rng, cols, sample_poisson(rng, lambda), row_cols);
+    for (index_t c : row_cols) {
+      csr.col_idx.push_back(c);
+      csr.val.push_back(random_value(rng));
+    }
+    csr.row_ptr.push_back(static_cast<index_t>(csr.col_idx.size()));
+  }
+  return csr;
+}
+
+Csr gen_uniform_nnz(index_t rows, index_t cols, i64 nnz, u64 seed) {
+  NMDT_CHECK_CONFIG(rows > 0 && cols > 0, "gen_uniform_nnz requires positive dimensions");
+  const i64 cells = static_cast<i64>(rows) * cols;
+  NMDT_CHECK_CONFIG(nnz >= 0 && nnz <= cells, "nnz must be in [0, rows*cols]");
+  Rng rng(seed);
+  std::unordered_set<i64> seen;
+  seen.reserve(static_cast<usize>(nnz) * 2);
+  Coo coo;
+  coo.rows = rows;
+  coo.cols = cols;
+  while (static_cast<i64>(seen.size()) < nnz) {
+    const i64 cell = static_cast<i64>(rng.below(static_cast<u64>(cells)));
+    if (seen.insert(cell).second) {
+      coo.push(static_cast<index_t>(cell / cols), static_cast<index_t>(cell % cols),
+               random_value(rng));
+    }
+  }
+  return csr_from_coo(coo);
+}
+
+namespace {
+
+/// Shared core for the two power-law generators: sample target nnz
+/// entries with one heavy-tailed axis and one uniform axis; duplicates
+/// collapse in coalesce (slightly under-shooting nnz, as real collision
+/// processes do).
+Csr gen_powerlaw(index_t rows, index_t cols, double density, double skew, u64 seed,
+                 bool heavy_rows) {
+  NMDT_CHECK_CONFIG(rows > 0 && cols > 0, "power-law generator requires positive dims");
+  NMDT_CHECK_CONFIG(density >= 0.0 && density <= 1.0, "density must be in [0, 1]");
+  NMDT_CHECK_CONFIG(skew >= 0.0, "skew (zipf exponent) must be non-negative");
+  Rng rng(seed);
+  const i64 target = static_cast<i64>(density * static_cast<double>(rows) *
+                                      static_cast<double>(cols));
+  const ZipfSampler zipf(heavy_rows ? rows : cols, skew);
+  // Scatter heavy labels across the index space (real heavy rows are not
+  // sorted to the top), with a deterministic shuffle.
+  std::vector<index_t> perm(static_cast<usize>(heavy_rows ? rows : cols));
+  std::iota(perm.begin(), perm.end(), index_t{0});
+  for (usize i = perm.size(); i > 1; --i) {
+    std::swap(perm[i - 1], perm[rng.below(i)]);
+  }
+  Coo coo;
+  coo.rows = rows;
+  coo.cols = cols;
+  for (i64 k = 0; k < target; ++k) {
+    const index_t heavy = perm[static_cast<usize>(zipf(rng))];
+    const index_t uniform_axis = static_cast<index_t>(
+        rng.below(static_cast<u64>(heavy_rows ? cols : rows)));
+    if (heavy_rows) {
+      coo.push(heavy, uniform_axis, random_value(rng));
+    } else {
+      coo.push(uniform_axis, heavy, random_value(rng));
+    }
+  }
+  coo.coalesce();
+  // Duplicate collisions summed by coalesce would skew the value
+  // distribution; re-draw values so entries stay in [-1, 1).
+  for (auto& v : coo.val) v = random_value(rng);
+  return csr_from_coo(coo);
+}
+
+}  // namespace
+
+Csr gen_powerlaw_rows(index_t rows, index_t cols, double density, double skew, u64 seed) {
+  return gen_powerlaw(rows, cols, density, skew, seed, /*heavy_rows=*/true);
+}
+
+Csr gen_powerlaw_cols(index_t rows, index_t cols, double density, double skew, u64 seed) {
+  return gen_powerlaw(rows, cols, density, skew, seed, /*heavy_rows=*/false);
+}
+
+Csr gen_rmat(index_t scale, double edge_factor, double a, double b, double c, double d,
+             u64 seed) {
+  NMDT_CHECK_CONFIG(scale > 0 && scale < 31, "rmat scale must be in (0, 31)");
+  NMDT_CHECK_CONFIG(edge_factor > 0.0, "rmat edge_factor must be positive");
+  NMDT_CHECK_CONFIG(std::abs(a + b + c + d - 1.0) < 1e-9, "rmat probabilities must sum to 1");
+  Rng rng(seed);
+  const index_t n = index_t{1} << scale;
+  const i64 edges = static_cast<i64>(edge_factor * static_cast<double>(n));
+  Coo coo;
+  coo.rows = n;
+  coo.cols = n;
+  for (i64 e = 0; e < edges; ++e) {
+    index_t r = 0, col = 0;
+    for (index_t bit = 0; bit < scale; ++bit) {
+      const double u = rng.uniform();
+      // Quadrant choice with +-5% per-level noise, the standard
+      // smoothing that avoids perfectly self-similar artifacts.
+      const double na = a * rng.uniform(0.95, 1.05);
+      const double nb = b * rng.uniform(0.95, 1.05);
+      const double nc = c * rng.uniform(0.95, 1.05);
+      const double nd = d * rng.uniform(0.95, 1.05);
+      const double sum = na + nb + nc + nd;
+      const double x = u * sum;
+      r <<= 1;
+      col <<= 1;
+      if (x < na) {
+        // top-left
+      } else if (x < na + nb) {
+        col |= 1;
+      } else if (x < na + nb + nc) {
+        r |= 1;
+      } else {
+        r |= 1;
+        col |= 1;
+      }
+    }
+    coo.push(r, col, random_value(rng));
+  }
+  coo.coalesce();
+  for (auto& v : coo.val) v = random_value(rng);
+  return csr_from_coo(coo);
+}
+
+Csr gen_banded(index_t n, index_t bandwidth, double density_in_band, u64 seed) {
+  NMDT_CHECK_CONFIG(n > 0, "gen_banded requires positive dimension");
+  NMDT_CHECK_CONFIG(bandwidth >= 0, "bandwidth must be non-negative");
+  NMDT_CHECK_CONFIG(density_in_band >= 0.0 && density_in_band <= 1.0,
+                    "density_in_band must be in [0, 1]");
+  Rng rng(seed);
+  Csr csr;
+  csr.rows = n;
+  csr.cols = n;
+  csr.row_ptr.push_back(0);
+  for (index_t r = 0; r < n; ++r) {
+    const index_t lo = std::max<index_t>(0, r - bandwidth);
+    const index_t hi = std::min<index_t>(n - 1, r + bandwidth);
+    for (index_t c = lo; c <= hi; ++c) {
+      if (c == r || rng.chance(density_in_band)) {  // keep the diagonal
+        csr.col_idx.push_back(c);
+        csr.val.push_back(random_value(rng));
+      }
+    }
+    csr.row_ptr.push_back(static_cast<index_t>(csr.col_idx.size()));
+  }
+  return csr;
+}
+
+Csr gen_block_clustered(index_t n, index_t num_blocks, double intra_density,
+                        double inter_density, u64 seed) {
+  NMDT_CHECK_CONFIG(n > 0 && num_blocks > 0 && num_blocks <= n,
+                    "gen_block_clustered requires 0 < num_blocks <= n");
+  Rng rng(seed);
+  const index_t block = (n + num_blocks - 1) / num_blocks;
+  Coo coo;
+  coo.rows = n;
+  coo.cols = n;
+  // Dense-ish diagonal blocks.
+  for (index_t b = 0; b < num_blocks; ++b) {
+    const index_t lo = b * block;
+    const index_t hi = std::min<index_t>(n, lo + block);
+    for (index_t r = lo; r < hi; ++r) {
+      for (index_t c = lo; c < hi; ++c) {
+        if (rng.chance(intra_density)) coo.push(r, c, random_value(rng));
+      }
+    }
+  }
+  // Sparse background: sampled by expected count, duplicates coalesced.
+  const double off_cells = static_cast<double>(n) * n -
+                           static_cast<double>(num_blocks) * block * block;
+  const i64 inter = static_cast<i64>(std::max(0.0, inter_density * off_cells));
+  for (i64 k = 0; k < inter; ++k) {
+    const index_t r = static_cast<index_t>(rng.below(static_cast<u64>(n)));
+    const index_t c = static_cast<index_t>(rng.below(static_cast<u64>(n)));
+    if (r / block != c / block) coo.push(r, c, random_value(rng));
+  }
+  coo.coalesce();
+  for (auto& v : coo.val) v = random_value(rng);
+  return csr_from_coo(coo);
+}
+
+Csr gen_stencil_5pt(index_t grid_x, index_t grid_y) {
+  NMDT_CHECK_CONFIG(grid_x > 0 && grid_y > 0, "stencil grid must be positive");
+  const index_t n = grid_x * grid_y;
+  Csr csr;
+  csr.rows = n;
+  csr.cols = n;
+  csr.row_ptr.push_back(0);
+  for (index_t y = 0; y < grid_y; ++y) {
+    for (index_t x = 0; x < grid_x; ++x) {
+      const index_t i = y * grid_x + x;
+      auto add = [&](index_t j, value_t v) {
+        csr.col_idx.push_back(j);
+        csr.val.push_back(v);
+      };
+      if (y > 0) add(i - grid_x, -1.0f);
+      if (x > 0) add(i - 1, -1.0f);
+      add(i, 4.0f);
+      if (x + 1 < grid_x) add(i + 1, -1.0f);
+      if (y + 1 < grid_y) add(i + grid_x, -1.0f);
+      csr.row_ptr.push_back(static_cast<index_t>(csr.col_idx.size()));
+    }
+  }
+  return csr;
+}
+
+}  // namespace nmdt

@@ -1,0 +1,76 @@
+// The named evaluation suite: a reproducible list of generator
+// configurations standing in for the paper's SuiteSparse sweep
+// (substitution documented in DESIGN.md).  Every spec carries its own
+// seed, so a suite is fully determined by its scale.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "formats/csr.hpp"
+#include "matgen/generators.hpp"
+
+namespace nmdt {
+
+enum class MatrixFamily {
+  kUniform,
+  kPowerlawRows,
+  kPowerlawCols,
+  kRmat,
+  kBanded,
+  kBlockClustered,
+  kStencil,
+};
+
+const char* family_name(MatrixFamily f);
+
+struct MatrixSpec {
+  std::string name;
+  MatrixFamily family = MatrixFamily::kUniform;
+  index_t rows = 0;
+  index_t cols = 0;
+  double density = 0.0;  ///< target density (uniform/power-law/clustered)
+  double skew = 0.0;     ///< zipf exponent (power-law) or rmat 'a'
+  index_t aux = 0;       ///< bandwidth / num_blocks / grid_x / rmat scale
+  u64 seed = 0;
+
+  /// Materialize the matrix. Deterministic.
+  Csr generate() const;
+};
+
+/// How big the suite's matrices are.  The paper uses 4k–44k rows; the
+/// simulator is size-parametric, so smaller scales preserve all ratios
+/// while keeping host runtime bounded (see DESIGN.md Sec. 2).
+enum class SuiteScale {
+  kTiny,    ///< unit tests: ~256–512 rows
+  kSmall,   ///< fast benches: ~512–2k rows
+  kMedium,  ///< default figures: ~1k–4k rows
+  kLarge,   ///< overnight-quality figures: ~4k–16k rows
+};
+
+/// Build the standard suite: families × densities × skews × seeds.
+std::vector<MatrixSpec> standard_suite(SuiteScale scale);
+
+/// A minimal diverse sample (one spec per family) for smoke tests.
+std::vector<MatrixSpec> smoke_suite();
+
+/// Descriptive statistics of a sparse matrix used by the heuristics and
+/// several benches.
+struct MatrixStats {
+  index_t rows = 0;
+  index_t cols = 0;
+  i64 nnz = 0;
+  double density = 0.0;
+  double nnz_row_mean = 0.0;
+  double nnz_row_max = 0.0;
+  double nnz_row_cv = 0.0;  ///< coefficient of variation across rows
+  double nnz_col_mean = 0.0;
+  double nnz_col_max = 0.0;
+  double nnz_col_cv = 0.0;
+  i64 nonzero_rows = 0;
+  i64 nonzero_cols = 0;
+};
+
+MatrixStats compute_stats(const Csr& csr);
+
+}  // namespace nmdt

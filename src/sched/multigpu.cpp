@@ -1,0 +1,60 @@
+#include "sched/multigpu.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace nmdt {
+
+MultiGpuPlan plan_multi_gpu(const MatrixStats& stats, index_t K, i64 a_format_bytes,
+                            const MultiGpuConfig& cfg) {
+  NMDT_CHECK_CONFIG(cfg.gpus > 0, "plan_multi_gpu requires at least one GPU");
+  NMDT_CHECK_CONFIG(K > 0, "plan_multi_gpu requires K > 0");
+  NMDT_CHECK_CONFIG(cfg.gpu_memory_gb > 0 && cfg.host_link_gbps > 0 &&
+                        cfg.spmm_effective_gbps > 0,
+                    "multi-GPU config rates must be positive");
+
+  MultiGpuPlan plan;
+  plan.gpus = cfg.gpus;
+  plan.a_bytes = a_format_bytes;
+
+  // Each GPU owns a vertical strip of C: ceil(K / gpus) columns.
+  const index_t cols_per_gpu = (K + cfg.gpus - 1) / cfg.gpus;
+  const i64 n = stats.rows;
+  plan.b_bytes_per_gpu = n * static_cast<i64>(cols_per_gpu) * kValueBytes;
+  plan.c_bytes_per_gpu = plan.b_bytes_per_gpu;
+
+  const double capacity = cfg.gpu_memory_gb * 1024.0 * 1024.0 * 1024.0;
+  // Double-buffered streaming: two B chunks + one C chunk resident
+  // besides the replicated A.
+  const double free_bytes = capacity - static_cast<double>(plan.a_bytes);
+  NMDT_CHECK_CONFIG(free_bytes > 0, "sparse matrix alone exceeds GPU memory");
+  const double bytes_per_col = static_cast<double>(n) * kValueBytes;
+  const i64 max_chunk_cols = static_cast<i64>(free_bytes / (3.0 * bytes_per_col));
+  NMDT_CHECK_CONFIG(max_chunk_cols > 0, "GPU memory too small for a single B column");
+
+  plan.fits_unchunked = max_chunk_cols >= cols_per_gpu;
+  plan.chunk_cols = static_cast<index_t>(std::min<i64>(max_chunk_cols, cols_per_gpu));
+  plan.num_chunks = (cols_per_gpu + plan.chunk_cols - 1) / plan.chunk_cols;
+
+  // Transfer: stream B in, stream C out (1 GB/s == 1 byte/ns).
+  plan.transfer_ns = static_cast<double>(plan.b_bytes_per_gpu + plan.c_bytes_per_gpu) /
+                     cfg.host_link_gbps;
+  // Compute: the SpMM kernel moves A once per chunk plus B and C once,
+  // at the kernel's achieved bandwidth.
+  const double kernel_bytes = static_cast<double>(plan.a_bytes) * plan.num_chunks +
+                              static_cast<double>(plan.b_bytes_per_gpu) +
+                              static_cast<double>(plan.c_bytes_per_gpu);
+  plan.compute_ns = kernel_bytes / cfg.spmm_effective_gbps;
+
+  // Chunks pipeline: total = max(transfer, compute) + the smaller
+  // stage's first-chunk fill.
+  const double fill = std::min(plan.transfer_ns, plan.compute_ns) /
+                      static_cast<double>(plan.num_chunks);
+  plan.total_ns = std::max(plan.transfer_ns, plan.compute_ns) + fill;
+  plan.overlap_efficiency = plan.compute_ns / plan.total_ns;
+  return plan;
+}
+
+}  // namespace nmdt

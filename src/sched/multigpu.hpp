@@ -1,0 +1,46 @@
+// Large-scale / multi-GPU SpMM planning (paper Sec. 6.2, Fig. 18).
+//
+// For matrices whose dense B and C exceed GPU memory, the paper
+// partitions C into vertical strips (one per GPU), replicates the
+// space-efficient sparse A on every GPU, and streams B strips from
+// system memory, overlapping transfer with compute (CUDA streams /
+// UVM).  This model computes the chunking, transfer and compute times,
+// and the overlap efficiency — including the capacity benefit of
+// storing A as CSC instead of pre-tiled DCSR (more room for B/C
+// chunks, fewer stream round trips).
+#pragma once
+
+#include "gpusim/arch.hpp"
+#include "matgen/suite.hpp"
+
+namespace nmdt {
+
+struct MultiGpuConfig {
+  int gpus = 4;
+  double gpu_memory_gb = 16.0;       ///< per-GPU HBM capacity
+  double host_link_gbps = 32.0;      ///< PCIe/NVLink per GPU
+  double spmm_effective_gbps = 500.0;  ///< achieved DRAM bw of the SpMM kernel
+};
+
+struct MultiGpuPlan {
+  int gpus = 0;
+  i64 a_bytes = 0;            ///< replicated sparse input per GPU
+  i64 b_bytes_per_gpu = 0;    ///< B columns this GPU must stream in
+  i64 c_bytes_per_gpu = 0;
+  index_t chunk_cols = 0;     ///< B/C columns per streamed chunk
+  i64 num_chunks = 0;
+  double transfer_ns = 0.0;   ///< total host→device streaming time
+  double compute_ns = 0.0;    ///< total SpMM kernel time
+  double total_ns = 0.0;      ///< with transfer/compute overlap
+  double overlap_efficiency = 0.0;  ///< compute_ns / total_ns
+  bool fits_unchunked = false;
+};
+
+/// Plan SpMM of an n×n sparse matrix (given stats) by K dense columns
+/// across `cfg.gpus` GPUs.  `a_format_bytes` is the storage footprint of
+/// the replicated A (CSC vs pre-tiled DCSR changes the chunk capacity —
+/// the Sec. 6.2 argument for keeping A untiled and converting online).
+MultiGpuPlan plan_multi_gpu(const MatrixStats& stats, index_t K, i64 a_format_bytes,
+                            const MultiGpuConfig& cfg);
+
+}  // namespace nmdt

@@ -1,0 +1,58 @@
+#include "sched/stream_sim.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace nmdt {
+
+StreamTimeline simulate_stream(std::span<const StreamChunk> chunks, int buffers) {
+  NMDT_CHECK_CONFIG(buffers >= 1, "stream pipeline needs at least one buffer");
+  StreamTimeline t;
+  t.chunk_finish_ns.reserve(chunks.size());
+
+  // finish_compute[i] = when chunk i's compute retired; a transfer for
+  // chunk i may only start once chunk i-buffers has retired (its buffer
+  // is then free).
+  std::vector<double> finish_compute;
+  finish_compute.reserve(chunks.size());
+  double transfer_free = 0.0;  // DMA engine availability
+  double compute_free = 0.0;   // compute engine availability
+
+  for (usize i = 0; i < chunks.size(); ++i) {
+    NMDT_CHECK_CONFIG(chunks[i].transfer_ns >= 0.0 && chunks[i].compute_ns >= 0.0,
+                      "chunk times must be non-negative");
+    double start_transfer = transfer_free;
+    if (i >= static_cast<usize>(buffers)) {
+      start_transfer = std::max(start_transfer, finish_compute[i - buffers]);
+    }
+    const double landed = start_transfer + chunks[i].transfer_ns;
+    transfer_free = landed;
+    t.transfer_busy_ns += chunks[i].transfer_ns;
+
+    const double start_compute = std::max(landed, compute_free);
+    t.compute_stall_ns += std::max(0.0, landed - compute_free);
+    const double done = start_compute + chunks[i].compute_ns;
+    compute_free = done;
+    t.compute_busy_ns += chunks[i].compute_ns;
+    finish_compute.push_back(done);
+    t.chunk_finish_ns.push_back(done);
+  }
+  t.total_ns = chunks.empty() ? 0.0 : finish_compute.back();
+  t.overlap_efficiency = t.total_ns > 0.0 ? t.compute_busy_ns / t.total_ns : 0.0;
+  return t;
+}
+
+std::vector<StreamChunk> chunks_from_plan(const MultiGpuPlan& plan) {
+  NMDT_CHECK_CONFIG(plan.num_chunks > 0, "plan has no chunks");
+  std::vector<StreamChunk> chunks(static_cast<usize>(plan.num_chunks));
+  const double per_transfer = plan.transfer_ns / static_cast<double>(plan.num_chunks);
+  const double per_compute = plan.compute_ns / static_cast<double>(plan.num_chunks);
+  for (auto& c : chunks) {
+    c.transfer_ns = per_transfer;
+    c.compute_ns = per_compute;
+  }
+  return chunks;
+}
+
+}  // namespace nmdt

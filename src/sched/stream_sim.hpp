@@ -1,0 +1,42 @@
+// Discrete simulation of the Sec. 6.2 streaming pipeline: B/C chunks
+// transferred over the host link while previous chunks compute, with a
+// bounded number of staging buffers (double buffering by default).
+//
+// The analytic MultiGpuPlan gives the steady-state bound; this
+// event-level model validates it and exposes the transients (pipeline
+// fill/drain, buffer stalls) so the sec62 bench can show where overlap
+// breaks down — e.g. a single staging buffer serializing transfer and
+// compute.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "sched/multigpu.hpp"
+
+namespace nmdt {
+
+struct StreamChunk {
+  double transfer_ns = 0.0;  ///< host→device time for this chunk
+  double compute_ns = 0.0;   ///< SpMM time for this chunk
+};
+
+struct StreamTimeline {
+  double total_ns = 0.0;
+  double transfer_busy_ns = 0.0;
+  double compute_busy_ns = 0.0;
+  double compute_stall_ns = 0.0;      ///< compute idle waiting for data
+  double overlap_efficiency = 0.0;    ///< compute_busy / total
+  std::vector<double> chunk_finish_ns;
+};
+
+/// Simulate the chunk pipeline: one DMA engine transfers chunks in
+/// order; one compute engine processes a chunk once it has landed and a
+/// staging buffer is free (`buffers` chunks may be resident at once —
+/// the one computing plus those prefetched).
+StreamTimeline simulate_stream(std::span<const StreamChunk> chunks, int buffers = 2);
+
+/// Expand a MultiGpuPlan into its uniform chunk sequence.
+std::vector<StreamChunk> chunks_from_plan(const MultiGpuPlan& plan);
+
+}  // namespace nmdt

@@ -1,0 +1,91 @@
+#include "transform/buffer_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace nmdt {
+
+BufferSimResult simulate_prefetch_buffer(const EngineHwModel& hw,
+                                         std::span<const int> lane_trace,
+                                         bool double_precision) {
+  const double element_bytes = double_precision ? 12.0 : 8.0;
+  const i64 capacity =
+      std::max<i64>(1, static_cast<i64>(static_cast<double>(hw.buffer_bytes_per_lane) /
+                                        element_bytes));
+  const double beat_ns = double_precision ? hw.cycle_ns_dp : hw.cycle_ns_sp;
+  const double refill_beats_f = hw.latency_to_hide_ns() / beat_ns;
+  const i64 refill_beats = static_cast<i64>(std::ceil(refill_beats_f));
+
+  int max_lane = -1;
+  for (int l : lane_trace) {
+    NMDT_REQUIRE(l >= 0 && l < hw.lanes, "lane id out of range in trace");
+    max_lane = std::max(max_lane, l);
+  }
+  const usize lanes = static_cast<usize>(max_lane + 1);
+
+  // Per lane: current occupancy and the arrival beats of in-flight
+  // refills (a FIFO; refills issue the moment a slot frees).
+  std::vector<i64> occupancy(lanes, capacity);
+  std::vector<std::vector<i64>> inflight(lanes);
+
+  BufferSimResult res;
+  i64 now = 0;
+  for (int lane : lane_trace) {
+    auto& fifo = inflight[static_cast<usize>(lane)];
+    i64& occ = occupancy[static_cast<usize>(lane)];
+    // Retire arrivals up to now.
+    usize arrived = 0;
+    while (arrived < fifo.size() && fifo[arrived] <= now) ++arrived;
+    occ += static_cast<i64>(arrived);
+    fifo.erase(fifo.begin(), fifo.begin() + static_cast<i64>(arrived));
+
+    if (occ == 0) {
+      // Stall until the next in-flight element lands.
+      NMDT_REQUIRE(!fifo.empty(), "buffer empty with no refill in flight");
+      const i64 wake = fifo.front();
+      res.stall_beats += static_cast<u64>(wake - now);
+      now = wake;
+      fifo.erase(fifo.begin());
+      occ += 1;
+    }
+    // Consume one element; its slot immediately refills from DRAM.
+    --occ;
+    fifo.push_back(now + refill_beats);
+    ++res.productive_beats;
+    ++now;
+  }
+  return res;
+}
+
+std::vector<int> single_lane_trace(i64 n) {
+  NMDT_REQUIRE(n >= 0, "trace length must be non-negative");
+  return std::vector<int>(static_cast<usize>(n), 0);
+}
+
+std::vector<int> conversion_lane_trace(const Csc& csc, index_t strip_id,
+                                       const TilingSpec& spec) {
+  spec.validate();
+  const index_t col_begin = strip_id * spec.strip_width;
+  NMDT_REQUIRE(col_begin >= 0 && col_begin < csc.cols, "strip_id out of range");
+  const index_t col_end = std::min<index_t>(col_begin + spec.strip_width, csc.cols);
+
+  // (row, lane) pairs of every element in the strip, in emission order.
+  std::vector<std::pair<index_t, int>> elems;
+  for (index_t c = col_begin; c < col_end; ++c) {
+    for (index_t k = csc.col_ptr[c]; k < csc.col_ptr[c + 1]; ++k) {
+      elems.emplace_back(csc.row_idx[k], static_cast<int>(c - col_begin));
+    }
+  }
+  std::sort(elems.begin(), elems.end());
+  std::vector<int> trace;
+  trace.reserve(elems.size());
+  for (const auto& [row, lane] : elems) {
+    (void)row;
+    trace.push_back(lane);
+  }
+  return trace;
+}
+
+}  // namespace nmdt

@@ -1,0 +1,54 @@
+// Dynamic model of the engine's per-column prefetch buffer (Sec. 5.3,
+// "Internal buffer demand").
+//
+// The conversion pipeline consumes one element per beat from the lane
+// the comparator selects; the buffer feeding each lane refills from
+// DRAM with a round-trip of frontier-update + column-access latency
+// (~18.3 ns).  The paper's case study is the worst-case drain — every
+// beat consumes from the *same* column — and sizes the buffer at 256 B
+// per column to ride through it.  This model replays a consumption
+// trace beat by beat, tracking per-lane occupancy and in-flight
+// refills, and reports the stall beats — so the sizing claim becomes a
+// measurable sweep (bench/sec53_area_energy) instead of an assertion.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "formats/csc.hpp"
+#include "formats/tiling.hpp"
+#include "transform/hw_model.hpp"
+
+namespace nmdt {
+
+struct BufferSimResult {
+  u64 productive_beats = 0;
+  u64 stall_beats = 0;
+
+  u64 total_beats() const { return productive_beats + stall_beats; }
+  double stall_fraction() const {
+    return total_beats() == 0
+               ? 0.0
+               : static_cast<double>(stall_beats) / static_cast<double>(total_beats());
+  }
+};
+
+/// Replay a lane-consumption trace (one entry per consumed element,
+/// value = lane id) against per-lane buffers of `hw.buffer_bytes_per_lane`.
+/// Refills are fully pipelined (one element arrives latency_to_hide_ns
+/// after its slot frees); buffers start full, as after the strip-open
+/// prefetch.
+BufferSimResult simulate_prefetch_buffer(const EngineHwModel& hw,
+                                         std::span<const int> lane_trace,
+                                         bool double_precision = false);
+
+/// The paper's worst case: `n` consecutive beats draining one column.
+std::vector<int> single_lane_trace(i64 n);
+
+/// The lane-consumption order of a real conversion: elements of the
+/// strip sorted by (row, column) — exactly the order the comparator
+/// emits them.
+std::vector<int> conversion_lane_trace(const Csc& csc, index_t strip_id,
+                                       const TilingSpec& spec);
+
+}  // namespace nmdt

@@ -1,0 +1,103 @@
+#include "transform/comparator.hpp"
+
+#include <limits>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace nmdt {
+
+namespace {
+
+struct Node {
+  index_t coord = std::numeric_limits<index_t>::max();
+  u64 mask = 0;
+  bool valid = false;
+};
+
+/// One 2-input comparator unit (Fig. 15a): minimum coordinate plus the
+/// merged position bitvector on ties.
+Node combine(const Node& a, const Node& b, u64& ops) {
+  ++ops;
+  if (!a.valid) return b;
+  if (!b.valid) return a;
+  Node out;
+  out.valid = true;
+  if (a.coord < b.coord) {
+    out.coord = a.coord;
+    out.mask = a.mask;
+  } else if (b.coord < a.coord) {
+    out.coord = b.coord;
+    out.mask = b.mask;
+  } else {
+    out.coord = a.coord;
+    out.mask = a.mask | b.mask;  // tie: report all minimum positions
+  }
+  return out;
+}
+
+}  // namespace
+
+MinReduceResult comparator_tree_min(std::span<const index_t> coords,
+                                    std::span<const u8> valid) {
+  NMDT_REQUIRE(coords.size() == valid.size(), "coords/valid length mismatch");
+  NMDT_REQUIRE(coords.size() <= 64, "comparator tree limited to 64 lanes");
+  MinReduceResult res;
+  if (coords.empty()) return res;
+
+  std::vector<Node> level(coords.size());
+  for (usize i = 0; i < coords.size(); ++i) {
+    level[i].coord = coords[i];
+    level[i].mask = u64{1} << i;
+    level[i].valid = valid[i] != 0;
+  }
+  // Pairwise tree reduction, exactly the Fig. 15b topology.
+  while (level.size() > 1) {
+    std::vector<Node> next;
+    next.reserve((level.size() + 1) / 2);
+    for (usize i = 0; i + 1 < level.size(); i += 2) {
+      next.push_back(combine(level[i], level[i + 1], res.comparator_ops));
+    }
+    if (level.size() % 2 == 1) next.push_back(level.back());  // odd lane bypasses
+    level = std::move(next);
+  }
+  res.any_valid = level[0].valid;
+  if (res.any_valid) {
+    res.min_coord = level[0].coord;
+    res.lane_mask = level[0].mask;
+  }
+  return res;
+}
+
+MinReduceResult linear_scan_min(std::span<const index_t> coords,
+                                std::span<const u8> valid) {
+  NMDT_REQUIRE(coords.size() == valid.size(), "coords/valid length mismatch");
+  NMDT_REQUIRE(coords.size() <= 64, "linear scan limited to 64 lanes");
+  MinReduceResult res;
+  index_t best = std::numeric_limits<index_t>::max();
+  for (usize i = 0; i < coords.size(); ++i) {
+    if (!valid[i]) continue;
+    ++res.comparator_ops;
+    if (!res.any_valid || coords[i] < best) {
+      best = coords[i];
+      res.lane_mask = u64{1} << i;
+      res.any_valid = true;
+    } else if (coords[i] == best) {
+      res.lane_mask |= u64{1} << i;
+    }
+  }
+  if (res.any_valid) res.min_coord = best;
+  return res;
+}
+
+int comparator_stages(int lanes) {
+  int stages = 0;
+  int width = 1;
+  while (width < lanes) {
+    width *= 2;
+    ++stages;
+  }
+  return stages;
+}
+
+}  // namespace nmdt

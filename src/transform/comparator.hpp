@@ -1,0 +1,42 @@
+// The minimum-coordinate comparator tree of the conversion engine
+// (paper Fig. 15).
+//
+// N lane coordinates (the row indices at each column's frontier) reduce
+// through a binary tree of 2-input comparator units.  Each unit forwards
+// the smaller coordinate and a bitvector marking *every* position that
+// holds the minimum — ties must merge (min[3:0] = 0101 in the paper's
+// example) because one engine step consumes all columns whose frontier
+// sits on the same row.  The functional model mirrors that structure
+// stage by stage so the unit tests can check tie handling exactly as
+// the hardware would produce it, and so stage/op counts feed the
+// Sec. 5.3 pipeline model.
+#pragma once
+
+#include <span>
+
+#include "util/types.hpp"
+
+namespace nmdt {
+
+struct MinReduceResult {
+  index_t min_coord = 0;  ///< smallest valid coordinate
+  u64 lane_mask = 0;      ///< bit i set ⇔ lane i holds min_coord
+  bool any_valid = false;
+  u64 comparator_ops = 0; ///< 2-input comparisons performed (N-1 for N lanes)
+};
+
+/// Hierarchical reduction over up to 64 lanes. `valid[i]` false means
+/// lane i has exhausted its column (boundary reached) and must not win.
+MinReduceResult comparator_tree_min(std::span<const index_t> coords,
+                                    std::span<const u8> valid);
+
+/// Reference linear scan with identical semantics; the property tests
+/// assert tree == reference on random inputs.
+MinReduceResult linear_scan_min(std::span<const index_t> coords,
+                                std::span<const u8> valid);
+
+/// Number of tree stages for an N-input unit (log2 rounded up) — the
+/// pipeline depth contribution of the comparator in Sec. 5.3.
+int comparator_stages(int lanes);
+
+}  // namespace nmdt

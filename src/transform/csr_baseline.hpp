@@ -1,0 +1,64 @@
+// The CSR-baseline conversion strawmen of Sec. 4.1 — why the engine's
+// storage format is CSC.
+//
+// To cut vertical strips out of a *row-major* CSR matrix the conversion
+// logic has two options, both implemented here with full cost
+// accounting so bench/sec41_baseline_format can reproduce the paper's
+// argument quantitatively:
+//
+//  * stateless — for every tile request, binary-search every row's
+//    segment for the strip's column range: O(rows · log nnz_row) scan
+//    work per strip pass and row_ptr traffic for all rows, repeated for
+//    every request stream;
+//  * stateful — keep a per-row frontier (the "jagged frontier" of
+//    Fig. 12a): sequential strip walks are cheap, but the frontier is
+//    4·rows bytes of metadata per consumer, and random strip access
+//    degenerates to the stateless scan.
+//
+// The CSC engine (transform/engine.hpp) needs only strip_width+1
+// col_ptr entries per strip and supports random strip access — the
+// comparison table is the Sec. 4.1 design argument.
+#pragma once
+
+#include "formats/csr.hpp"
+#include "formats/tiling.hpp"
+
+namespace nmdt {
+
+struct CsrConversionCosts {
+  u64 rows_scanned = 0;        ///< row segments examined
+  u64 binary_search_steps = 0; ///< log-time probe steps
+  u64 elements_emitted = 0;
+  i64 metadata_bytes_read = 0; ///< row_ptr/frontier traffic
+  i64 state_bytes = 0;         ///< persistent converter state
+};
+
+/// Stateless CSR→tiled-DCSR conversion of one strip (all its tiles).
+/// Output is identical to tiled_dcsr_from_csr's strip; costs accumulate
+/// into `costs`.
+std::vector<DcsrTile> csr_stateless_convert_strip(const Csr& csr, index_t strip_id,
+                                                  const TilingSpec& spec,
+                                                  CsrConversionCosts& costs);
+
+/// Stateful CSR→tiled-DCSR converter: owns the per-row jagged frontier.
+/// Strips must be visited left-to-right (sequential contract); random
+/// access would require re-deriving the frontier, i.e. the stateless
+/// scan.
+class CsrStatefulConverter {
+ public:
+  explicit CsrStatefulConverter(const Csr& csr);
+
+  /// Convert the next strip (strips must be requested in ascending
+  /// order; throws FormatError otherwise).
+  std::vector<DcsrTile> convert_strip(index_t strip_id, const TilingSpec& spec);
+
+  const CsrConversionCosts& costs() const { return costs_; }
+
+ private:
+  const Csr& csr_;
+  std::vector<index_t> frontier_;  ///< per-row cursor into col_idx
+  index_t next_strip_ = 0;
+  CsrConversionCosts costs_;
+};
+
+}  // namespace nmdt

@@ -1,0 +1,195 @@
+#include "transform/engine.hpp"
+
+#include <algorithm>
+#include <bit>
+
+#include "transform/comparator.hpp"
+#include "util/error.hpp"
+
+namespace nmdt {
+
+CscDeviceLayout CscDeviceLayout::allocate(const Csc& csc, MemorySystem& mem) {
+  CscDeviceLayout l;
+  l.col_ptr_base = mem.allocate(static_cast<i64>(csc.col_ptr.size()) * kIndexBytes,
+                                "A.csc.col_ptr");
+  l.row_idx_base = mem.allocate(static_cast<i64>(csc.row_idx.size()) * kIndexBytes,
+                                "A.csc.row_idx");
+  l.val_base = mem.allocate(static_cast<i64>(csc.val.size()) * kValueBytes, "A.csc.val");
+  return l;
+}
+
+EngineStats& EngineStats::operator+=(const EngineStats& o) {
+  requests += o.requests;
+  steps += o.steps;
+  elements += o.elements;
+  comparator_ops += o.comparator_ops;
+  dram_bytes_in += o.dram_bytes_in;
+  xbar_bytes_out += o.xbar_bytes_out;
+  return *this;
+}
+
+double EngineStats::busy_ns(const EngineHwModel& hw) const {
+  // One pipeline beat per emitted DCSR row plus one beat of head/tail
+  // per request (the paper argues head/tail effects are negligible —
+  // one beat keeps empty-tile requests from being entirely free).
+  return static_cast<double>(steps + requests) * hw.cycle_ns_sp;
+}
+
+StripCursor::StripCursor(const Csc& csc, index_t strip_id, const TilingSpec& spec)
+    : strip_id_(strip_id), col_begin_(strip_id * spec.strip_width) {
+  spec.validate();
+  NMDT_REQUIRE(strip_id >= 0 && col_begin_ < csc.cols,
+               "strip_id out of range: " + std::to_string(strip_id));
+  const index_t col_end = std::min<index_t>(col_begin_ + spec.strip_width, csc.cols);
+  frontier_.reserve(static_cast<usize>(col_end - col_begin_));
+  boundary_.reserve(frontier_.capacity());
+  for (index_t c = col_begin_; c < col_end; ++c) {
+    frontier_.push_back(csc.col_ptr[c]);
+    boundary_.push_back(csc.col_ptr[c + 1]);
+  }
+}
+
+ConversionEngine::ConversionEngine(EngineHwModel hw) : hw_(hw) {
+  NMDT_CHECK_CONFIG(hw_.lanes > 0 && hw_.lanes <= 64,
+                    "conversion engine supports 1..64 lanes");
+}
+
+DcsrTile ConversionEngine::convert_tile(const Csc& csc, StripCursor& cursor,
+                                        index_t row_start, const TilingSpec& spec,
+                                        MemorySystem* mem, const CscDeviceLayout* layout,
+                                        int pinned_channel) {
+  spec.validate();
+  NMDT_REQUIRE(row_start >= 0 && row_start < csc.rows, "row_start out of range");
+  NMDT_REQUIRE(row_start >= cursor.watermark(),
+               "strip cursor used out of order (tile requests must be monotone)");
+  NMDT_REQUIRE(cursor.lanes() <= hw_.lanes,
+               "strip wider than the engine's lane count");
+  const index_t row_end = std::min<index_t>(row_start + spec.tile_height, csc.rows);
+  cursor.advance_watermark(row_end);
+  const int lanes = cursor.lanes();
+
+  DcsrTile tile;
+  tile.strip_id = cursor.strip_id();
+  tile.row_begin = row_start;
+  tile.col_begin = cursor.col_begin();
+  tile.body.rows = row_end - row_start;
+  tile.body.cols = lanes;
+  tile.body.row_ptr.push_back(0);
+
+  EngineStats local;
+  ++local.requests;
+
+  auto frontier = cursor.frontier();
+  const auto boundary = cursor.boundary();
+
+  // Request metadata: the SM's GetDCSRTile message plus the engine's
+  // col_frontier/boundary registers are on-chip; only element fetches
+  // touch DRAM.  The col_ptr arrays were read when the strip was
+  // opened (frontier_ptr/boundary_ptr initialization, Fig. 14 step 1);
+  // charge that on the first tile of the strip.
+  const bool first_tile_of_strip = row_start == 0;
+  if (first_tile_of_strip) {
+    const i64 col_ptr_bytes = static_cast<i64>(lanes + 1) * kIndexBytes;
+    local.dram_bytes_in += col_ptr_bytes;
+    if (mem != nullptr && pinned_channel >= 0) {
+      mem->engine_read_channel(pinned_channel, col_ptr_bytes);
+    } else if (mem != nullptr && layout != nullptr) {
+      mem->engine_read(layout->col_ptr_base +
+                           static_cast<u64>(cursor.col_begin()) * kIndexBytes,
+                       col_ptr_bytes);
+    }
+  }
+
+  std::vector<index_t> coords(static_cast<usize>(lanes));
+  std::vector<u8> valid(static_cast<usize>(lanes));
+
+  for (;;) {
+    // (1)+(2): load each lane's frontier coordinate; a lane is live if
+    // its column still has elements and the next one falls in this tile.
+    for (int l = 0; l < lanes; ++l) {
+      const bool has_element = frontier[l] < boundary[l];
+      const index_t row = has_element ? csc.row_idx[frontier[l]] : 0;
+      if (has_element) {
+        NMDT_REQUIRE(row >= row_start,
+                     "strip cursor used out of order (element above tile)");
+      }
+      valid[l] = has_element && row < row_end ? 1 : 0;
+      coords[l] = valid[l] ? row : 0;
+    }
+    const MinReduceResult min = comparator_tree_min(coords, valid);
+    local.comparator_ops += min.comparator_ops;
+    if (!min.any_valid) break;
+
+    // (3): emit one DCSR row from every lane holding the minimum.
+    ++local.steps;
+    tile.body.row_idx.push_back(min.min_coord - row_start);
+    tile.body.row_ptr.push_back(tile.body.row_ptr.back());
+    for (int l = 0; l < lanes; ++l) {
+      if ((min.lane_mask >> l & 1) == 0) continue;
+      const index_t src = frontier[l];
+      tile.body.col_idx.push_back(l);
+      tile.body.val.push_back(csc.val[src]);
+      ++tile.body.row_ptr.back();
+      ++frontier[l];
+      ++local.elements;
+      local.dram_bytes_in += kIndexBytes + kValueBytes;
+      if (mem != nullptr && pinned_channel >= 0) {
+        mem->engine_read_channel(pinned_channel, kIndexBytes + kValueBytes);
+      } else if (mem != nullptr && layout != nullptr) {
+        mem->engine_read(layout->row_idx_base + static_cast<u64>(src) * kIndexBytes,
+                         kIndexBytes);
+        mem->engine_read(layout->val_base + static_cast<u64>(src) * kValueBytes,
+                         kValueBytes);
+      }
+    }
+  }
+
+  // (4): stream the tile to the requesting SM over the crossbar.
+  const i64 out_bytes =
+      static_cast<i64>(tile.body.val.size()) * (kValueBytes + kIndexBytes) +
+      static_cast<i64>(tile.body.row_ptr.size() + tile.body.row_idx.size()) * kIndexBytes;
+  local.xbar_bytes_out += out_bytes;
+  if (mem != nullptr) mem->xbar_transfer(out_bytes);
+
+  stats_ += local;
+  return tile;
+}
+
+std::vector<DcsrTile> ConversionEngine::convert_strip(const Csc& csc, index_t strip_id,
+                                                      const TilingSpec& spec,
+                                                      MemorySystem* mem,
+                                                      const CscDeviceLayout* layout) {
+  StripCursor cursor(csc, strip_id, spec);
+  std::vector<DcsrTile> tiles;
+  for (index_t row_start = 0; row_start < csc.rows; row_start += spec.tile_height) {
+    tiles.push_back(convert_tile(csc, cursor, row_start, spec, mem, layout));
+  }
+  return tiles;
+}
+
+std::vector<DcscTile> ConversionEngine::convert_strip_dcsc(const Csr& csr,
+                                                           index_t strip_id,
+                                                           const TilingSpec& spec) {
+  // The CSR matrix is the CSC of its transpose: run the strip through
+  // the normal datapath and relabel the output axes.
+  const Csc transposed = transpose_view(csr);
+  const std::vector<DcsrTile> raw = convert_strip(transposed, strip_id, spec);
+  std::vector<DcscTile> tiles;
+  tiles.reserve(raw.size());
+  for (const DcsrTile& t : raw) {
+    DcscTile out;
+    out.strip_id = t.strip_id;
+    out.row_begin = t.col_begin;   // transpose: strip columns are A rows
+    out.col_begin = t.row_begin;   // tile advance direction is A columns
+    out.body.rows = t.body.cols;
+    out.body.cols = t.body.rows;
+    out.body.col_idx = t.body.row_idx;
+    out.body.col_ptr = t.body.row_ptr;
+    out.body.row_idx = t.body.col_idx;
+    out.body.val = t.body.val;
+    tiles.push_back(std::move(out));
+  }
+  return tiles;
+}
+
+}  // namespace nmdt

@@ -1,0 +1,128 @@
+// The near-memory CSC→DCSR conversion engine (paper Sec. 4.2).
+//
+// Functional model of the walk-through in Fig. 13 / datapath in Fig. 14:
+//  (1) per-lane frontier_ptr initialized from CSC col_ptr (boundary_ptr
+//      holds col_ptr of the next column),
+//  (2) the comparator tree finds the minimum row coordinate across lane
+//      frontiers and the bitvector of lanes holding it,
+//  (3) those lanes' elements are emitted as one DCSR row (row_idx = min
+//      coordinate, row_ptr incremented by popcount, col_idx = lane ids),
+//      and their frontiers advance,
+//  (4) repeat until every lane passes the tile's row range.
+//
+// One engine step ⇔ one emitted DCSR row ⇔ one pipeline beat of
+// cycle_ns (0.588 ns single precision, Sec. 5.3), which is the paper's
+// worst-case throughput anchor (one 8-byte element per beat = the
+// 13.6 GB/s a pseudo channel can deliver).
+//
+// The engine reads DRAM directly (it sits beside the memory controller)
+// and streams its output to the requesting SM across the crossbar; both
+// are accounted in the supplied MemorySystem.
+#pragma once
+
+#include <algorithm>
+#include <span>
+
+#include "formats/csc.hpp"
+#include "formats/dcsc.hpp"
+#include "formats/tiling.hpp"
+#include "gpusim/memory_system.hpp"
+#include "transform/hw_model.hpp"
+
+namespace nmdt {
+
+/// Device placement of the CSC arrays (for DRAM traffic attribution).
+struct CscDeviceLayout {
+  u64 col_ptr_base = 0;
+  u64 row_idx_base = 0;
+  u64 val_base = 0;
+
+  /// Allocate the three arrays in `mem` for matrix `csc`.
+  static CscDeviceLayout allocate(const Csc& csc, MemorySystem& mem);
+};
+
+struct EngineStats {
+  u64 requests = 0;         ///< GetDCSRTile invocations
+  u64 steps = 0;            ///< comparator beats = DCSR rows emitted
+  u64 elements = 0;         ///< non-zeros converted
+  u64 comparator_ops = 0;
+  i64 dram_bytes_in = 0;    ///< CSC data pulled from DRAM
+  i64 xbar_bytes_out = 0;   ///< DCSR tiles delivered to SMs
+
+  EngineStats& operator+=(const EngineStats& o);
+
+  /// Engine busy time under the Sec. 5.3 pipeline model.
+  double busy_ns(const EngineHwModel& hw) const;
+};
+
+/// Per-strip conversion cursor: the col_frontier of Fig. 11/13, absolute
+/// indices into the CSC row_idx/val arrays, one per lane.  Sequential
+/// tile requests down a strip resume from where the previous request
+/// stopped — the stateful-but-cheap design the CSC baseline enables.
+class StripCursor {
+ public:
+  /// Open strip `strip_id` of `csc`: frontier[l] = col_ptr[c0 + l].
+  StripCursor(const Csc& csc, index_t strip_id, const TilingSpec& spec);
+
+  index_t strip_id() const { return strip_id_; }
+  index_t col_begin() const { return col_begin_; }
+  int lanes() const { return static_cast<int>(frontier_.size()); }
+
+  std::span<index_t> frontier() { return frontier_; }
+  std::span<const index_t> boundary() const { return boundary_; }
+
+  /// First row the next tile request may start at (tile requests must
+  /// walk down the strip monotonically — the stateful-conversion
+  /// contract of Sec. 4.1).
+  index_t watermark() const { return watermark_; }
+  void advance_watermark(index_t row_end) { watermark_ = std::max(watermark_, row_end); }
+
+ private:
+  index_t strip_id_;
+  index_t col_begin_;
+  index_t watermark_ = 0;
+  std::vector<index_t> frontier_;  ///< next unconsumed element per lane
+  std::vector<index_t> boundary_;  ///< col_ptr of the following column
+};
+
+/// One conversion engine instance (there is one per pseudo channel in
+/// the full system; EngineStats aggregates whatever work the caller
+/// routes to this instance).
+class ConversionEngine {
+ public:
+  explicit ConversionEngine(EngineHwModel hw = EngineHwModel{});
+
+  const EngineHwModel& hw() const { return hw_; }
+  const EngineStats& stats() const { return stats_; }
+  void reset_stats() { stats_ = EngineStats{}; }
+
+  /// Convert rows [row_start, row_start + spec.tile_height) of the
+  /// cursor's strip into a DCSR tile with tile-local coordinates
+  /// (GetDCSRTile of Fig. 11).  Advances the cursor.  `mem` (optional)
+  /// receives DRAM/crossbar traffic using `layout` addresses; when
+  /// `pinned_channel >= 0` the engine's DRAM reads are charged to that
+  /// pseudo channel instead (strip data placed by a sched layout
+  /// policy rather than globally interleaved — Sec. 6.1).
+  DcsrTile convert_tile(const Csc& csc, StripCursor& cursor, index_t row_start,
+                        const TilingSpec& spec, MemorySystem* mem = nullptr,
+                        const CscDeviceLayout* layout = nullptr, int pinned_channel = -1);
+
+  /// Convert an entire strip tile-by-tile (convenience for offline
+  /// comparisons and tests).
+  std::vector<DcsrTile> convert_strip(const Csc& csc, index_t strip_id,
+                                      const TilingSpec& spec, MemorySystem* mem = nullptr,
+                                      const CscDeviceLayout* layout = nullptr);
+
+  /// Sec. 4.1 wide-matrix path: convert one *horizontal* strip of a CSR
+  /// matrix into DCSC tiles.  The CSR matrix is the CSC of its
+  /// transpose, so the identical datapath serves both directions; only
+  /// the output labelling differs.
+  std::vector<DcscTile> convert_strip_dcsc(const Csr& csr, index_t strip_id,
+                                           const TilingSpec& spec);
+
+ private:
+  EngineHwModel hw_;
+  EngineStats stats_;
+};
+
+}  // namespace nmdt

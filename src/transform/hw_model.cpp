@@ -1,0 +1,38 @@
+#include "transform/hw_model.hpp"
+
+#include "util/error.hpp"
+
+namespace nmdt {
+
+double EngineHwModel::buffer_coverage_ns(bool double_precision) const {
+  const double element_bytes = double_precision ? 12.0 : 8.0;
+  const double entries = static_cast<double>(buffer_bytes_per_lane) / element_bytes;
+  return entries * (double_precision ? cycle_ns_dp : cycle_ns_sp);
+}
+
+bool EngineHwModel::pipeline_meets_throughput(bool double_precision) const {
+  return worst_stage_ns <= (double_precision ? cycle_ns_dp : cycle_ns_sp);
+}
+
+double EngineHwModel::engine_peak_watts(bool double_precision) const {
+  const double pj = double_precision ? energy_pj_per_row_dp : energy_pj_per_row_sp;
+  const double cycle = double_precision ? cycle_ns_dp : cycle_ns_sp;
+  return pj * 1e-12 / (cycle * 1e-9);
+}
+
+EngineSystemCosts engine_system_costs(const EngineHwModel& hw, const ArchConfig& arch) {
+  arch.validate();
+  NMDT_CHECK_CONFIG(hw.lanes > 0, "engine must have at least one lane");
+  EngineSystemCosts c;
+  c.engines = arch.pseudo_channels;
+  c.total_area_mm2 = hw.area_mm2 * c.engines;
+  c.area_fraction_of_die = c.total_area_mm2 / arch.die_area_mm2;
+  c.peak_power_w_sp = hw.engine_peak_watts(false) * c.engines;
+  c.peak_power_w_dp = hw.engine_peak_watts(true) * c.engines;
+  c.power_fraction_of_tdp = c.peak_power_w_sp / arch.tdp_watts;
+  c.power_fraction_of_idle = c.peak_power_w_sp / arch.idle_watts;
+  c.total_buffer_bytes = hw.buffer_bytes_total() * c.engines;
+  return c;
+}
+
+}  // namespace nmdt

@@ -1,0 +1,73 @@
+// Circuit-level cost model of the conversion engine (paper Sec. 5.3).
+//
+// The constants are the paper's published synthesis results (TSMC 16 nm
+// standard cells + CACTI for the buffer): per-engine area 0.077 mm²,
+// worst pipeline stage 0.339 ns, per-row energy 6.29 pJ (FP32 payload) /
+// 7.09 pJ (FP64), 256 B prefetch buffer per column lane.  Everything
+// else (engine count, totals, utilization power, throughput checks) is
+// derived from these and an ArchConfig, which is how the paper scales
+// the same design from GV100 (64 engines) to TU116 (24 engines).
+#pragma once
+
+#include "gpusim/arch.hpp"
+
+namespace nmdt {
+
+struct EngineHwModel {
+  int lanes = 64;                      ///< DCSR output width (columns)
+
+  // Pipeline (Sec. 5.3 "Throughput demand").
+  double cycle_ns_sp = 0.588;          ///< 8 B (idx+fp32) per pseudo-channel beat
+  double cycle_ns_dp = 0.882;          ///< 12 B (idx+fp64) beat
+  double worst_stage_ns = 0.339;       ///< longest synthesized stage (comparator)
+
+  // Prefetch buffer ("Internal buffer demand").
+  i64 buffer_bytes_per_lane = 256;
+  double frontier_update_ns = 3.3;     ///< figure out which columns to refill
+  double dram_cl_ns = 15.0;            ///< column-access latency to DRAM
+
+  // Physical costs ("Area and energy consumption").
+  double area_mm2 = 0.077;             ///< one engine
+  double energy_pj_per_row_sp = 6.29;  ///< worst case: 1-element DCSR row
+  double energy_pj_per_row_dp = 7.09;
+
+  i64 buffer_bytes_total() const { return buffer_bytes_per_lane * lanes; }
+
+  /// Latency the buffer must hide: frontier bookkeeping + DRAM CL.
+  double latency_to_hide_ns() const { return frontier_update_ns + dram_cl_ns; }
+
+  /// How long the buffer can feed the worst-case drain (one lane
+  /// consuming one element per beat): entries_per_lane × cycle.
+  double buffer_coverage_ns(bool double_precision) const;
+
+  /// True iff the pipeline meets the pseudo-channel delivery rate
+  /// (worst stage fits in the beat) — the paper's design criterion.
+  bool pipeline_meets_throughput(bool double_precision) const;
+
+  /// Beat required to match a pseudo-channel of `bw_gbps` with an
+  /// 8-byte FP32 payload, and whether the synthesized pipeline fits it
+  /// — how the same engine ports to faster memories (e.g. HBM2e).
+  static double required_beat_ns(double bw_gbps) { return 8.0 / bw_gbps; }
+  bool pipeline_meets_bandwidth(double bw_gbps) const {
+    return worst_stage_ns <= required_beat_ns(bw_gbps);
+  }
+
+  /// Peak power of one engine at full tilt (one row per beat).
+  double engine_peak_watts(bool double_precision) const;
+};
+
+/// System-level accounting for `arch` with one engine per pseudo channel.
+struct EngineSystemCosts {
+  int engines = 0;
+  double total_area_mm2 = 0.0;
+  double area_fraction_of_die = 0.0;
+  double peak_power_w_sp = 0.0;
+  double peak_power_w_dp = 0.0;
+  double power_fraction_of_tdp = 0.0;   ///< SP worst case
+  double power_fraction_of_idle = 0.0;  ///< SP worst case vs idle power
+  i64 total_buffer_bytes = 0;
+};
+
+EngineSystemCosts engine_system_costs(const EngineHwModel& hw, const ArchConfig& arch);
+
+}  // namespace nmdt

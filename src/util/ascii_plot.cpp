@@ -1,0 +1,95 @@
+#include "util/ascii_plot.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <iomanip>
+#include <limits>
+#include <ostream>
+
+#include "util/error.hpp"
+#include "util/table.hpp"
+
+namespace nmdt {
+
+AsciiScatter::AsciiScatter(int width, int height) : width_(width), height_(height) {
+  NMDT_CHECK_CONFIG(width >= 10 && height >= 4, "scatter grid too small");
+}
+
+void AsciiScatter::add(double x, double y, char marker) {
+  points_.push_back({x, y, marker});
+}
+
+void AsciiScatter::set_labels(std::string x_label, std::string y_label) {
+  x_label_ = std::move(x_label);
+  y_label_ = std::move(y_label);
+}
+
+void AsciiScatter::render(std::ostream& os) const {
+  auto tx = [&](double v) { return log_x_ ? std::log10(v) : v; };
+  auto ty = [&](double v) { return log_y_ ? std::log10(v) : v; };
+  auto usable = [&](const Point& p) {
+    if (!std::isfinite(p.x) || !std::isfinite(p.y)) return false;
+    if (log_x_ && p.x <= 0.0) return false;
+    if (log_y_ && p.y <= 0.0) return false;
+    return true;
+  };
+
+  double xmin = std::numeric_limits<double>::infinity(), xmax = -xmin;
+  double ymin = xmin, ymax = -xmin;
+  usize plotted = 0;
+  for (const auto& p : points_) {
+    if (!usable(p)) continue;
+    ++plotted;
+    xmin = std::min(xmin, tx(p.x));
+    xmax = std::max(xmax, tx(p.x));
+    ymin = std::min(ymin, ty(p.y));
+    ymax = std::max(ymax, ty(p.y));
+  }
+  for (double h : hlines_) {
+    if (!log_y_ || h > 0.0) {
+      ymin = std::min(ymin, ty(h));
+      ymax = std::max(ymax, ty(h));
+    }
+  }
+  if (plotted == 0) {
+    os << "(no plottable points)\n";
+    return;
+  }
+  if (xmax - xmin < 1e-12) xmax = xmin + 1.0;
+  if (ymax - ymin < 1e-12) ymax = ymin + 1.0;
+
+  std::vector<std::string> grid(static_cast<usize>(height_),
+                                std::string(static_cast<usize>(width_), ' '));
+  auto row_of = [&](double v) {
+    const double t = (ty(v) - ymin) / (ymax - ymin);
+    return std::clamp(height_ - 1 - static_cast<int>(t * (height_ - 1) + 0.5), 0,
+                      height_ - 1);
+  };
+  for (double h : hlines_) {
+    if (log_y_ && h <= 0.0) continue;
+    std::fill(grid[static_cast<usize>(row_of(h))].begin(),
+              grid[static_cast<usize>(row_of(h))].end(), '-');
+  }
+  for (const auto& p : points_) {
+    if (!usable(p)) continue;
+    const double u = (tx(p.x) - xmin) / (xmax - xmin);
+    const int col = std::clamp(static_cast<int>(u * (width_ - 1) + 0.5), 0, width_ - 1);
+    grid[static_cast<usize>(row_of(p.y))][static_cast<usize>(col)] = p.marker;
+  }
+
+  auto fmt_edge = [&](double v, bool log_axis) {
+    return log_axis ? format_sci(std::pow(10.0, v)) : format_double(v, 2);
+  };
+  os << y_label_ << "\n";
+  for (int r = 0; r < height_; ++r) {
+    const double v = ymax - (ymax - ymin) * r / (height_ - 1);
+    os << std::setw(9) << fmt_edge(v, log_y_) << " |" << grid[static_cast<usize>(r)]
+       << "\n";
+  }
+  os << std::string(11, ' ') << std::string(static_cast<usize>(width_), '-') << "\n"
+     << std::string(11, ' ') << fmt_edge(xmin, log_x_)
+     << std::string(static_cast<usize>(std::max(1, width_ - 18)), ' ')
+     << fmt_edge(xmax, log_x_) << "   (" << x_label_ << ")\n";
+}
+
+}  // namespace nmdt

@@ -1,0 +1,46 @@
+// Terminal scatter plots for the figure benches: a log-log character
+// grid that makes the Fig. 4 / Fig. 16 dot clouds legible straight from
+// the bench output (the CSVs remain the precise record).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "util/types.hpp"
+
+namespace nmdt {
+
+class AsciiScatter {
+ public:
+  /// `width`×`height` character cells.
+  AsciiScatter(int width = 72, int height = 24);
+
+  /// Add a point of series `marker` (later series overdraw earlier ones
+  /// in shared cells).  Non-finite or non-positive values are dropped
+  /// in log mode.
+  void add(double x, double y, char marker);
+
+  void set_log_x(bool on) { log_x_ = on; }
+  void set_log_y(bool on) { log_y_ = on; }
+  void set_labels(std::string x_label, std::string y_label);
+  /// Draw a horizontal reference line (e.g. y = 1 for speedup plots).
+  void add_hline(double y) { hlines_.push_back(y); }
+
+  void render(std::ostream& os) const;
+
+ private:
+  struct Point {
+    double x, y;
+    char marker;
+  };
+  int width_, height_;
+  bool log_x_ = true;
+  bool log_y_ = true;
+  std::string x_label_ = "x";
+  std::string y_label_ = "y";
+  std::vector<Point> points_;
+  std::vector<double> hlines_;
+};
+
+}  // namespace nmdt

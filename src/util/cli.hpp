@@ -1,0 +1,40 @@
+// Minimal command-line flag parser for the example / bench binaries.
+//
+// Supports `--name value` and `--name=value`; unknown flags raise
+// ParseError so typos fail loudly instead of silently running the
+// default experiment.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "util/types.hpp"
+
+namespace nmdt {
+
+class CliParser {
+ public:
+  CliParser(int argc, const char* const* argv);
+
+  /// Declare a flag (for --help and unknown-flag detection).
+  void declare(const std::string& name, const std::string& help);
+
+  bool has(const std::string& name) const;
+  std::string get(const std::string& name, const std::string& fallback) const;
+  i64 get_int(const std::string& name, i64 fallback) const;
+  double get_double(const std::string& name, double fallback) const;
+
+  /// Throws ParseError listing any flag that was passed but not declared.
+  void validate() const;
+
+  /// Render declared flags as a help string.
+  std::string help(const std::string& program_summary) const;
+
+ private:
+  std::map<std::string, std::string> values_;
+  std::vector<std::pair<std::string, std::string>> declared_;
+};
+
+}  // namespace nmdt

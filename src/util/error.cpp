@@ -1,0 +1,23 @@
+#include "util/error.hpp"
+
+#include <sstream>
+
+namespace nmdt::detail {
+
+namespace {
+std::string compose(const char* cond, const char* file, int line, const std::string& msg) {
+  std::ostringstream os;
+  os << msg << " [" << cond << " failed at " << file << ":" << line << "]";
+  return os.str();
+}
+}  // namespace
+
+void throw_format_error(const char* cond, const char* file, int line, const std::string& msg) {
+  throw FormatError(compose(cond, file, line, msg));
+}
+
+void throw_config_error(const char* cond, const char* file, int line, const std::string& msg) {
+  throw ConfigError(compose(cond, file, line, msg));
+}
+
+}  // namespace nmdt::detail

@@ -1,0 +1,63 @@
+// Typed error hierarchy and checked-precondition macros.
+//
+// Library code throws (never aborts) on malformed inputs so that callers
+// such as the Matrix Market reader can surface actionable diagnostics;
+// internal invariants use NMDT_ASSERT which compiles out in release-only
+// hot paths is deliberately avoided — invariant checks here are cheap
+// relative to the simulation work they guard.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace nmdt {
+
+/// Base class for all library errors.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Malformed sparse-matrix data (non-monotone row_ptr, index out of
+/// range, inconsistent vector lengths, ...).
+class FormatError : public Error {
+ public:
+  explicit FormatError(const std::string& what) : Error(what) {}
+};
+
+/// Unparsable or unsupported external input (Matrix Market files, CLI).
+class ParseError : public Error {
+ public:
+  explicit ParseError(const std::string& what) : Error(what) {}
+};
+
+/// Invalid configuration (zero-width tiles, bandwidth <= 0, ...).
+class ConfigError : public Error {
+ public:
+  explicit ConfigError(const std::string& what) : Error(what) {}
+};
+
+namespace detail {
+[[noreturn]] void throw_format_error(const char* cond, const char* file, int line,
+                                     const std::string& msg);
+[[noreturn]] void throw_config_error(const char* cond, const char* file, int line,
+                                     const std::string& msg);
+}  // namespace detail
+
+}  // namespace nmdt
+
+/// Validate user-provided matrix data; throws FormatError on failure.
+#define NMDT_REQUIRE(cond, msg)                                              \
+  do {                                                                       \
+    if (!(cond)) {                                                           \
+      ::nmdt::detail::throw_format_error(#cond, __FILE__, __LINE__, (msg));  \
+    }                                                                        \
+  } while (0)
+
+/// Validate configuration values; throws ConfigError on failure.
+#define NMDT_CHECK_CONFIG(cond, msg)                                         \
+  do {                                                                       \
+    if (!(cond)) {                                                           \
+      ::nmdt::detail::throw_config_error(#cond, __FILE__, __LINE__, (msg));  \
+    }                                                                        \
+  } while (0)

@@ -1,0 +1,84 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace nmdt {
+
+double mean(std::span<const double> xs) {
+  if (xs.empty()) return 0.0;
+  double acc = 0.0;
+  for (double x : xs) acc += x;
+  return acc / static_cast<double>(xs.size());
+}
+
+double geomean(std::span<const double> xs) {
+  if (xs.empty()) return 0.0;
+  double acc = 0.0;
+  for (double x : xs) {
+    NMDT_REQUIRE(x > 0.0, "geomean requires strictly positive inputs");
+    acc += std::log(x);
+  }
+  return std::exp(acc / static_cast<double>(xs.size()));
+}
+
+double stddev(std::span<const double> xs) {
+  if (xs.size() < 2) return 0.0;
+  const double m = mean(xs);
+  double acc = 0.0;
+  for (double x : xs) acc += (x - m) * (x - m);
+  return std::sqrt(acc / static_cast<double>(xs.size() - 1));
+}
+
+double median(std::span<const double> xs) { return percentile(xs, 50.0); }
+
+double percentile(std::span<const double> xs, double p) {
+  NMDT_REQUIRE(p >= 0.0 && p <= 100.0, "percentile requires p in [0, 100]");
+  if (xs.empty()) return 0.0;
+  std::vector<double> sorted(xs.begin(), xs.end());
+  std::sort(sorted.begin(), sorted.end());
+  const double rank = p / 100.0 * static_cast<double>(sorted.size() - 1);
+  const usize lo = static_cast<usize>(rank);
+  const usize hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+double fraction_above(std::span<const double> xs, double threshold) {
+  if (xs.empty()) return 0.0;
+  usize n = 0;
+  for (double x : xs) {
+    if (x > threshold) ++n;
+  }
+  return static_cast<double>(n) / static_cast<double>(xs.size());
+}
+
+Histogram::Histogram(double lo, double hi, usize bins) : lo_(lo), hi_(hi) {
+  NMDT_REQUIRE(hi > lo, "Histogram requires hi > lo");
+  NMDT_REQUIRE(bins > 0, "Histogram requires at least one bin");
+  counts_.assign(bins, 0);
+}
+
+void Histogram::add(double x) {
+  const double t = (x - lo_) / (hi_ - lo_);
+  i64 bin = static_cast<i64>(t * static_cast<double>(counts_.size()));
+  bin = std::clamp<i64>(bin, 0, static_cast<i64>(counts_.size()) - 1);
+  ++counts_[static_cast<usize>(bin)];
+  ++total_;
+}
+
+void Histogram::add(std::span<const double> xs) {
+  for (double x : xs) add(x);
+}
+
+double Histogram::bin_lo(usize bin) const {
+  return lo_ + (hi_ - lo_) * static_cast<double>(bin) / static_cast<double>(counts_.size());
+}
+
+double Histogram::bin_hi(usize bin) const {
+  return lo_ + (hi_ - lo_) * static_cast<double>(bin + 1) / static_cast<double>(counts_.size());
+}
+
+}  // namespace nmdt

@@ -1,0 +1,27 @@
+// Wall-clock stopwatch for host-side timing (suite runner progress,
+// offline-conversion cost measurements).  Simulated GPU time comes from
+// gpusim::TimingModel, never from this clock.
+#pragma once
+
+#include <chrono>
+
+namespace nmdt {
+
+class Stopwatch {
+ public:
+  Stopwatch() : start_(clock::now()) {}
+
+  void reset() { start_ = clock::now(); }
+
+  double elapsed_seconds() const {
+    return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+
+  double elapsed_ms() const { return elapsed_seconds() * 1e3; }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+}  // namespace nmdt

@@ -1,0 +1,108 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace nmdt {
+
+Table::Table(std::vector<std::string> header) : header_(std::move(header)) {
+  NMDT_REQUIRE(!header_.empty(), "Table requires at least one column");
+}
+
+Table& Table::begin_row() {
+  rows_.emplace_back();
+  rows_.back().reserve(header_.size());
+  return *this;
+}
+
+Table& Table::cell(const std::string& s) {
+  NMDT_REQUIRE(!rows_.empty(), "Table::cell before begin_row");
+  rows_.back().push_back(s);
+  return *this;
+}
+
+Table& Table::cell(double v, int precision) { return cell(format_double(v, precision)); }
+Table& Table::cell(i64 v) { return cell(std::to_string(v)); }
+Table& Table::cell(u64 v) { return cell(std::to_string(v)); }
+
+void Table::print(std::ostream& os) const {
+  std::vector<usize> widths(header_.size());
+  for (usize c = 0; c < header_.size(); ++c) widths[c] = header_[c].size();
+  for (const auto& row : rows_) {
+    for (usize c = 0; c < row.size() && c < widths.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  auto emit_row = [&](const std::vector<std::string>& row) {
+    for (usize c = 0; c < header_.size(); ++c) {
+      const std::string& s = c < row.size() ? row[c] : std::string();
+      os << std::left << std::setw(static_cast<int>(widths[c]) + 2) << s;
+    }
+    os << '\n';
+  };
+  emit_row(header_);
+  usize rule = 0;
+  for (usize w : widths) rule += w + 2;
+  os << std::string(rule, '-') << '\n';
+  for (const auto& row : rows_) emit_row(row);
+}
+
+namespace {
+std::string csv_escape(const std::string& s) {
+  if (s.find_first_of(",\"\n") == std::string::npos) return s;
+  std::string out = "\"";
+  for (char ch : s) {
+    if (ch == '"') out += "\"\"";
+    else out += ch;
+  }
+  out += '"';
+  return out;
+}
+}  // namespace
+
+void Table::write_csv(const std::string& path) const {
+  std::ofstream os(path);
+  NMDT_REQUIRE(os.good(), "cannot open CSV output file: " + path);
+  auto emit = [&](const std::vector<std::string>& row) {
+    for (usize c = 0; c < row.size(); ++c) {
+      if (c) os << ',';
+      os << csv_escape(row[c]);
+    }
+    os << '\n';
+  };
+  emit(header_);
+  for (const auto& row : rows_) emit(row);
+}
+
+std::string format_double(double v, int precision) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision) << v;
+  return os.str();
+}
+
+std::string format_sci(double v) {
+  std::ostringstream os;
+  os << std::scientific << std::setprecision(2) << v;
+  return os.str();
+}
+
+std::string format_bytes(double bytes) {
+  static constexpr const char* kUnits[] = {"B", "KiB", "MiB", "GiB", "TiB"};
+  int unit = 0;
+  double v = bytes;
+  while (std::abs(v) >= 1024.0 && unit < 4) {
+    v /= 1024.0;
+    ++unit;
+  }
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(unit == 0 ? 0 : 1) << v << ' ' << kUnits[unit];
+  return os.str();
+}
+
+}  // namespace nmdt

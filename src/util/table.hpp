@@ -1,0 +1,52 @@
+// Console table / CSV emission used by every bench binary.
+//
+// Each bench prints the paper's rows as an aligned table on stdout and
+// mirrors them into `<bench>.csv` so EXPERIMENTS.md can be regenerated
+// mechanically.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "util/types.hpp"
+
+namespace nmdt {
+
+/// Column-aligned table builder. Cells are strings; numeric helpers
+/// format with sensible fixed precision.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  Table& begin_row();
+  Table& cell(const std::string& s);
+  Table& cell(const char* s) { return cell(std::string(s)); }
+  Table& cell(double v, int precision = 3);
+  Table& cell(i64 v);
+  Table& cell(u64 v);
+  Table& cell(int v) { return cell(static_cast<i64>(v)); }
+
+  usize rows() const { return rows_.size(); }
+
+  /// Render with padded columns and a rule under the header.
+  void print(std::ostream& os) const;
+
+  /// Write RFC-4180-ish CSV (cells containing commas/quotes are quoted).
+  void write_csv(const std::string& path) const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Format a double with `precision` digits after the point.
+std::string format_double(double v, int precision = 3);
+
+/// Format as scientific notation with 2 significant decimals (1.23e-05).
+std::string format_sci(double v);
+
+/// Human-readable byte count ("1.5 MiB").
+std::string format_bytes(double bytes);
+
+}  // namespace nmdt

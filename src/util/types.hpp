@@ -1,0 +1,34 @@
+// Fundamental scalar types shared across the library.
+//
+// The paper (Sec. 2) assumes 4-byte indices and 4-byte single-precision
+// values for all sparse-format vectors; `index_t`/`value_t` encode that
+// assumption once so footprint accounting (Figs. 8/9) stays consistent.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace nmdt {
+
+using i8 = std::int8_t;
+using i16 = std::int16_t;
+using i32 = std::int32_t;
+using i64 = std::int64_t;
+using u8 = std::uint8_t;
+using u16 = std::uint16_t;
+using u32 = std::uint32_t;
+using u64 = std::uint64_t;
+using usize = std::size_t;
+
+/// Index type of sparse-format vectors (col_idx, row_ptr, ...): 4 bytes.
+using index_t = i32;
+/// Value type of matrix elements: IEEE binary32, matching the paper's
+/// FP32 evaluation datatype.
+using value_t = float;
+
+/// Size in bytes of one index entry in any sparse-format vector.
+inline constexpr i64 kIndexBytes = sizeof(index_t);
+/// Size in bytes of one value entry.
+inline constexpr i64 kValueBytes = sizeof(value_t);
+
+}  // namespace nmdt

@@ -1,0 +1,136 @@
+// Robustness fuzzing: randomized single-field corruptions of valid
+// structures must either remain valid (benign mutation) or throw a
+// typed error — never crash, hang, or silently corrupt downstream
+// consumers.  Every trial that survives validation is pushed through
+// the converters and a kernel to make "benign" mean benign end to end.
+#include <gtest/gtest.h>
+
+#include "formats/convert.hpp"
+#include "formats/serialize.hpp"
+#include "kernels/spmm.hpp"
+#include "matgen/generators.hpp"
+#include "transform/engine.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+#include <sstream>
+
+namespace nmdt {
+namespace {
+
+Csr base_matrix(u64 seed) { return gen_uniform(96, 96, 0.05, seed); }
+
+/// Apply one random mutation to a CSR structure.
+void mutate(Csr& m, Rng& rng) {
+  switch (rng.below(6)) {
+    case 0:
+      if (!m.row_ptr.empty()) {
+        m.row_ptr[rng.below(m.row_ptr.size())] =
+            static_cast<index_t>(rng.range(-3, static_cast<i64>(m.val.size()) + 3));
+      }
+      break;
+    case 1:
+      if (!m.col_idx.empty()) {
+        m.col_idx[rng.below(m.col_idx.size())] =
+            static_cast<index_t>(rng.range(-2, m.cols + 2));
+      }
+      break;
+    case 2:
+      m.rows = static_cast<index_t>(rng.range(-1, m.rows + 1));
+      break;
+    case 3:
+      m.cols = static_cast<index_t>(rng.range(-1, m.cols + 1));
+      break;
+    case 4:
+      if (!m.val.empty()) m.val.pop_back();
+      break;
+    default:
+      m.row_ptr.push_back(m.row_ptr.back());
+      break;
+  }
+}
+
+TEST(Fuzz, MutatedCsrEitherValidatesOrThrowsTypedError) {
+  Rng rng(0xf022);
+  int benign = 0, rejected = 0;
+  for (int trial = 0; trial < 300; ++trial) {
+    Csr m = base_matrix(1 + trial % 5);
+    const int mutations = 1 + static_cast<int>(rng.below(3));
+    for (int i = 0; i < mutations; ++i) mutate(m, rng);
+    bool valid = true;
+    try {
+      m.validate();
+    } catch (const Error&) {
+      valid = false;
+      ++rejected;
+    }
+    if (!valid) continue;
+    ++benign;
+    // A structure that validates must survive the full pipeline.
+    const Csc csc = csc_from_csr(m);
+    csc.validate();
+    const Dcsr d = dcsr_from_csr(m);
+    d.validate();
+    Rng brng(7);
+    DenseMatrix B(m.cols, 8);
+    B.randomize(brng);
+    SpmmConfig cfg;
+    const SpmmResult r = run_spmm(KernelKind::kTiledDcsrOnline, m, B, cfg);
+    EXPECT_LE(r.C.max_abs_diff(spmm_reference(m, B)), 1e-3);
+  }
+  // The mutation mix must actually exercise both branches.
+  EXPECT_GT(rejected, 50);
+  EXPECT_GT(benign, 5);
+}
+
+TEST(Fuzz, CorruptedBinaryStreamsNeverCrash) {
+  Rng rng(0xf023);
+  const Csr m = base_matrix(9);
+  std::stringstream ss;
+  save_csr(ss, m);
+  const std::string golden = ss.str();
+  int loaded = 0, rejected = 0;
+  for (int trial = 0; trial < 300; ++trial) {
+    std::string bytes = golden;
+    // Flip 1-4 random bytes anywhere in the stream.
+    const int flips = 1 + static_cast<int>(rng.below(4));
+    for (int i = 0; i < flips; ++i) {
+      bytes[rng.below(bytes.size())] ^= static_cast<char>(1 + rng.below(255));
+    }
+    std::stringstream corrupted(bytes);
+    try {
+      const Csr back = load_csr(corrupted);
+      back.validate();  // anything that loads must be structurally sound
+      ++loaded;
+    } catch (const Error&) {
+      ++rejected;
+    }
+  }
+  EXPECT_EQ(loaded + rejected, 300);
+  EXPECT_GT(rejected, 100) << "most random corruption must be caught";
+}
+
+TEST(Fuzz, EngineHandlesArbitraryValidInputs) {
+  Rng rng(0xf024);
+  for (int trial = 0; trial < 50; ++trial) {
+    const index_t rows = static_cast<index_t>(1 + rng.below(200));
+    const index_t cols = static_cast<index_t>(1 + rng.below(200));
+    const double density = rng.uniform(0.0, 0.2);
+    const Csr csr = gen_uniform(rows, cols, density, 5000 + trial);
+    const Csc csc = csc_from_csr(csr);
+    const TilingSpec spec{static_cast<index_t>(1 + rng.below(64)),
+                          static_cast<index_t>(1 + rng.below(128))};
+    ConversionEngine engine;
+    i64 total = 0;
+    for (index_t s = 0; s < spec.num_strips(cols); ++s) {
+      for (const auto& tile : engine.convert_strip(csc, s, spec)) {
+        tile.body.validate();
+        total += tile.nnz();
+      }
+    }
+    EXPECT_EQ(total, csr.nnz()) << "rows=" << rows << " cols=" << cols;
+  }
+}
+
+}  // namespace
+}  // namespace nmdt

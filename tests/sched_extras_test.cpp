@@ -1,0 +1,101 @@
+// Tests for the streaming-pipeline simulator (Sec. 6.2) and its
+// agreement with the analytic multi-GPU plan.
+#include <gtest/gtest.h>
+
+#include "formats/footprint.hpp"
+#include "sched/stream_sim.hpp"
+#include "util/error.hpp"
+
+namespace nmdt {
+namespace {
+
+TEST(StreamSim, SingleChunkIsSequential) {
+  const std::vector<StreamChunk> chunks{{100.0, 50.0}};
+  const StreamTimeline t = simulate_stream(chunks);
+  EXPECT_DOUBLE_EQ(t.total_ns, 150.0);
+  EXPECT_DOUBLE_EQ(t.compute_stall_ns, 100.0);  // pipeline fill
+}
+
+TEST(StreamSim, TransferBoundPipelineHidesCompute) {
+  // transfer 100/chunk, compute 40/chunk: steady state is transfer
+  // bound; total ≈ n*100 + last compute.
+  std::vector<StreamChunk> chunks(10, {100.0, 40.0});
+  const StreamTimeline t = simulate_stream(chunks, 2);
+  EXPECT_NEAR(t.total_ns, 10 * 100.0 + 40.0, 1e-9);
+  EXPECT_NEAR(t.compute_busy_ns, 400.0, 1e-9);
+}
+
+TEST(StreamSim, ComputeBoundPipelineHidesTransfer) {
+  std::vector<StreamChunk> chunks(10, {40.0, 100.0});
+  const StreamTimeline t = simulate_stream(chunks, 2);
+  // First transfer fills the pipe, then compute back-to-back.
+  EXPECT_NEAR(t.total_ns, 40.0 + 10 * 100.0, 1e-9);
+  EXPECT_NEAR(t.overlap_efficiency, 1000.0 / 1040.0, 1e-9);
+}
+
+TEST(StreamSim, SingleBufferSerializesAlternately) {
+  // With one buffer the next transfer cannot start until the resident
+  // chunk has been computed: total = Σ(transfer+compute).
+  std::vector<StreamChunk> chunks(5, {100.0, 100.0});
+  const StreamTimeline one = simulate_stream(chunks, 1);
+  const StreamTimeline two = simulate_stream(chunks, 2);
+  EXPECT_NEAR(one.total_ns, 5 * 200.0, 1e-9);
+  EXPECT_NEAR(two.total_ns, 100.0 + 5 * 100.0, 1e-9);
+  EXPECT_LT(two.total_ns, one.total_ns);
+}
+
+TEST(StreamSim, MoreBuffersNeverHurt) {
+  std::vector<StreamChunk> chunks;
+  for (int i = 0; i < 20; ++i) {
+    chunks.push_back({static_cast<double>(10 + (i * 37) % 90),
+                      static_cast<double>(10 + (i * 53) % 90)});
+  }
+  double prev = simulate_stream(chunks, 1).total_ns;
+  for (int buffers = 2; buffers <= 4; ++buffers) {
+    const double cur = simulate_stream(chunks, buffers).total_ns;
+    EXPECT_LE(cur, prev + 1e-9);
+    prev = cur;
+  }
+}
+
+TEST(StreamSim, EmptyPipelineIsZero) {
+  const StreamTimeline t = simulate_stream({});
+  EXPECT_DOUBLE_EQ(t.total_ns, 0.0);
+}
+
+TEST(StreamSim, RejectsBadInputs) {
+  std::vector<StreamChunk> chunks{{1.0, 1.0}};
+  EXPECT_THROW(simulate_stream(chunks, 0), ConfigError);
+  std::vector<StreamChunk> negative{{-1.0, 1.0}};
+  EXPECT_THROW(simulate_stream(negative), ConfigError);
+}
+
+TEST(StreamSim, AgreesWithAnalyticPlanBound) {
+  MatrixStats s;
+  s.rows = 400'000;
+  s.cols = 400'000;
+  s.nnz = 4'000'000;
+  MultiGpuConfig cfg;
+  const MultiGpuPlan plan = plan_multi_gpu(s, 400'000, csr_bytes(s.rows, s.nnz), cfg);
+  ASSERT_GT(plan.num_chunks, 1);
+  const StreamTimeline t = simulate_stream(chunks_from_plan(plan), 2);
+  // The event simulation must land within one chunk of the analytic
+  // steady-state bound.
+  const double chunk_slack =
+      (plan.transfer_ns + plan.compute_ns) / static_cast<double>(plan.num_chunks);
+  EXPECT_NEAR(t.total_ns, plan.total_ns, chunk_slack + 1.0);
+}
+
+TEST(StreamSim, ChunksFromPlanSplitEvenly) {
+  MultiGpuPlan plan;
+  plan.num_chunks = 4;
+  plan.transfer_ns = 400.0;
+  plan.compute_ns = 200.0;
+  const auto chunks = chunks_from_plan(plan);
+  ASSERT_EQ(chunks.size(), 4u);
+  EXPECT_DOUBLE_EQ(chunks[0].transfer_ns, 100.0);
+  EXPECT_DOUBLE_EQ(chunks[0].compute_ns, 50.0);
+}
+
+}  // namespace
+}  // namespace nmdt

@@ -1,0 +1,112 @@
+// Binary serialization tests: round trips, cross-kind rejection, and
+// corruption/truncation failure injection.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "formats/serialize.hpp"
+#include "matgen/generators.hpp"
+#include "util/error.hpp"
+
+namespace nmdt {
+namespace {
+
+TEST(Serialize, CsrRoundTrip) {
+  const Csr m = gen_uniform(200, 150, 0.03, 1);
+  std::stringstream ss;
+  save_csr(ss, m);
+  const Csr back = load_csr(ss);
+  EXPECT_EQ(back.rows, m.rows);
+  EXPECT_EQ(back.cols, m.cols);
+  EXPECT_EQ(back.row_ptr, m.row_ptr);
+  EXPECT_EQ(back.col_idx, m.col_idx);
+  EXPECT_EQ(back.val, m.val);
+}
+
+TEST(Serialize, EmptyCsrRoundTrip) {
+  Csr m;
+  m.rows = 5;
+  m.cols = 7;
+  m.row_ptr.assign(6, 0);
+  std::stringstream ss;
+  save_csr(ss, m);
+  const Csr back = load_csr(ss);
+  EXPECT_EQ(back.nnz(), 0);
+  EXPECT_EQ(back.cols, 7);
+}
+
+TEST(Serialize, DenseRoundTrip) {
+  Rng rng(2);
+  DenseMatrix m(33, 17);
+  m.randomize(rng);
+  std::stringstream ss;
+  save_dense(ss, m);
+  const DenseMatrix back = load_dense(ss);
+  EXPECT_DOUBLE_EQ(m.max_abs_diff(back), 0.0);
+}
+
+TEST(Serialize, FileRoundTrip) {
+  const std::string path = testing::TempDir() + "/nmdt_serialize_test.bin";
+  const Csr m = gen_banded(100, 4, 0.5, 3);
+  save_csr_file(path, m);
+  const Csr back = load_csr_file(path);
+  EXPECT_EQ(back.val, m.val);
+}
+
+TEST(Serialize, RejectsBadMagic) {
+  std::stringstream ss;
+  ss << "JUNKJUNKJUNKJUNKJUNK";
+  EXPECT_THROW(load_csr(ss), ParseError);
+}
+
+TEST(Serialize, RejectsWrongKind) {
+  Rng rng(4);
+  DenseMatrix m(4, 4);
+  m.randomize(rng);
+  std::stringstream ss;
+  save_dense(ss, m);
+  EXPECT_THROW(load_csr(ss), ParseError);
+}
+
+TEST(Serialize, RejectsTruncation) {
+  const Csr m = gen_uniform(64, 64, 0.1, 5);
+  std::stringstream ss;
+  save_csr(ss, m);
+  const std::string full = ss.str();
+  for (usize cut : {usize{3}, usize{10}, full.size() / 2, full.size() - 2}) {
+    std::stringstream truncated(full.substr(0, cut));
+    EXPECT_THROW(load_csr(truncated), Error) << "cut at " << cut;
+  }
+}
+
+TEST(Serialize, RejectsCorruptedStructure) {
+  const Csr m = gen_uniform(64, 64, 0.1, 6);
+  std::stringstream ss;
+  save_csr(ss, m);
+  std::string bytes = ss.str();
+  // Flip a byte inside row_ptr payload (past the 28-byte header+dims).
+  bytes[40] = static_cast<char>(bytes[40] ^ 0x7f);
+  std::stringstream corrupted(bytes);
+  EXPECT_THROW(load_csr(corrupted), Error);
+}
+
+TEST(Serialize, RejectsImplausibleVectorLength) {
+  // Hand-craft a header with an absurd row_ptr length.
+  std::stringstream ss;
+  ss.write("NMDT", 4);
+  const u32 version = 1, kind = 1;
+  ss.write(reinterpret_cast<const char*>(&version), 4);
+  ss.write(reinterpret_cast<const char*>(&kind), 4);
+  const i64 rows = 4, cols = 4, absurd = i64{1} << 40;
+  ss.write(reinterpret_cast<const char*>(&rows), 8);
+  ss.write(reinterpret_cast<const char*>(&cols), 8);
+  ss.write(reinterpret_cast<const char*>(&absurd), 8);
+  EXPECT_THROW(load_csr(ss), ParseError);
+}
+
+TEST(Serialize, RejectsMissingFile) {
+  EXPECT_THROW(load_csr_file("/nonexistent/m.bin"), ParseError);
+}
+
+}  // namespace
+}  // namespace nmdt

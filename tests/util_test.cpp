@@ -1,0 +1,247 @@
+// Unit and property tests for the util module: RNG determinism and
+// distribution sanity, statistics helpers, histogram edge handling,
+// table/CSV emission, CLI parsing.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <fstream>
+#include <set>
+#include <sstream>
+
+#include "util/cli.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+namespace nmdt {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 1000; ++i) {
+    if (a() == b()) ++same;
+  }
+  EXPECT_LT(same, 5);
+}
+
+TEST(Rng, ReseedRestartsStream) {
+  Rng a(7);
+  const u64 first = a();
+  a();
+  a.reseed(7);
+  EXPECT_EQ(a(), first);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(3);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformRangeRespectsBounds) {
+  Rng rng(4);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform(-3.0, 5.0);
+    EXPECT_GE(u, -3.0);
+    EXPECT_LT(u, 5.0);
+  }
+}
+
+TEST(Rng, BelowCoversRange) {
+  Rng rng(5);
+  std::set<u64> seen;
+  for (int i = 0; i < 2000; ++i) seen.insert(rng.below(7));
+  EXPECT_EQ(seen.size(), 7u);
+  EXPECT_EQ(*seen.rbegin(), 6u);
+}
+
+TEST(Rng, BelowRejectsZero) { EXPECT_THROW(Rng(1).below(0), FormatError); }
+
+TEST(Rng, RangeInclusive) {
+  Rng rng(6);
+  std::set<i64> seen;
+  for (int i = 0; i < 2000; ++i) seen.insert(rng.range(-2, 2));
+  EXPECT_EQ(seen.size(), 5u);
+}
+
+TEST(Rng, NormalHasApproximatelyUnitVariance) {
+  Rng rng(8);
+  std::vector<double> xs(20000);
+  for (auto& x : xs) x = rng.normal();
+  EXPECT_NEAR(mean(xs), 0.0, 0.05);
+  EXPECT_NEAR(stddev(xs), 1.0, 0.05);
+}
+
+TEST(Rng, ChanceProbability) {
+  Rng rng(9);
+  int hits = 0;
+  for (int i = 0; i < 20000; ++i) hits += rng.chance(0.25);
+  EXPECT_NEAR(hits / 20000.0, 0.25, 0.02);
+}
+
+TEST(Zipf, UniformExponentIsFlat) {
+  Rng rng(10);
+  ZipfSampler z(4, 0.0);
+  std::vector<int> counts(4, 0);
+  for (int i = 0; i < 40000; ++i) ++counts[z(rng)];
+  for (int c : counts) EXPECT_NEAR(c / 40000.0, 0.25, 0.02);
+}
+
+TEST(Zipf, HeavyTailFavorsSmallIndices) {
+  Rng rng(11);
+  ZipfSampler z(1000, 1.2);
+  i64 first_decile = 0;
+  const int samples = 20000;
+  for (int i = 0; i < samples; ++i) {
+    if (z(rng) < 100) ++first_decile;
+  }
+  // Under zipf(1.2) the first 10% of ranks receives far more than 10% of
+  // the mass.
+  EXPECT_GT(static_cast<double>(first_decile) / samples, 0.5);
+}
+
+TEST(Zipf, SamplesInRange) {
+  Rng rng(12);
+  ZipfSampler z(17, 0.8);
+  for (int i = 0; i < 5000; ++i) {
+    const i64 s = z(rng);
+    EXPECT_GE(s, 0);
+    EXPECT_LT(s, 17);
+  }
+}
+
+TEST(Zipf, RejectsEmptyDomain) { EXPECT_THROW(ZipfSampler(0, 1.0), FormatError); }
+
+TEST(Stats, MeanAndStddev) {
+  const std::vector<double> xs{1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(mean(xs), 2.5);
+  EXPECT_NEAR(stddev(xs), std::sqrt(5.0 / 3.0), 1e-12);
+}
+
+TEST(Stats, GeomeanOfPowers) {
+  const std::vector<double> xs{1.0, 4.0, 16.0};
+  EXPECT_NEAR(geomean(xs), 4.0, 1e-12);
+}
+
+TEST(Stats, GeomeanRejectsNonPositive) {
+  const std::vector<double> xs{1.0, 0.0};
+  EXPECT_THROW(geomean(xs), FormatError);
+}
+
+TEST(Stats, MedianOddEven) {
+  const std::vector<double> odd{3.0, 1.0, 2.0};
+  EXPECT_DOUBLE_EQ(median(odd), 2.0);
+  const std::vector<double> even{4.0, 1.0, 3.0, 2.0};
+  EXPECT_DOUBLE_EQ(median(even), 2.5);
+}
+
+TEST(Stats, PercentileEndpoints) {
+  const std::vector<double> xs{10.0, 20.0, 30.0};
+  EXPECT_DOUBLE_EQ(percentile(xs, 0.0), 10.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 100.0), 30.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 50.0), 20.0);
+}
+
+TEST(Stats, FractionAbove) {
+  const std::vector<double> xs{0.5, 1.5, 2.5, 3.5};
+  EXPECT_DOUBLE_EQ(fraction_above(xs, 1.0), 0.75);
+  EXPECT_DOUBLE_EQ(fraction_above(xs, 10.0), 0.0);
+}
+
+TEST(Histogram, BinningAndClamping) {
+  Histogram h(0.0, 10.0, 10);
+  h.add(0.5);    // bin 0
+  h.add(9.99);   // bin 9
+  h.add(-5.0);   // clamped to bin 0
+  h.add(42.0);   // clamped to bin 9
+  EXPECT_EQ(h.count(0), 2u);
+  EXPECT_EQ(h.count(9), 2u);
+  EXPECT_EQ(h.total(), 4u);
+}
+
+TEST(Histogram, BinEdges) {
+  Histogram h(0.0, 1.0, 4);
+  EXPECT_DOUBLE_EQ(h.bin_lo(1), 0.25);
+  EXPECT_DOUBLE_EQ(h.bin_hi(1), 0.5);
+}
+
+TEST(Histogram, RejectsDegenerateRange) {
+  EXPECT_THROW(Histogram(1.0, 1.0, 4), FormatError);
+  EXPECT_THROW(Histogram(0.0, 1.0, 0), FormatError);
+}
+
+TEST(Table, PrintAligned) {
+  Table t({"name", "value"});
+  t.begin_row().cell("alpha").cell(1.5, 1);
+  t.begin_row().cell("b").cell(i64{42});
+  std::ostringstream os;
+  t.print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("alpha"), std::string::npos);
+  EXPECT_NE(out.find("1.5"), std::string::npos);
+  EXPECT_NE(out.find("42"), std::string::npos);
+}
+
+TEST(Table, CsvEscaping) {
+  Table t({"a"});
+  t.begin_row().cell("x,y\"z");
+  const std::string path = testing::TempDir() + "/nmdt_table_test.csv";
+  t.write_csv(path);
+  std::ifstream is(path);
+  std::string header, row;
+  std::getline(is, header);
+  std::getline(is, row);
+  EXPECT_EQ(header, "a");
+  EXPECT_EQ(row, "\"x,y\"\"z\"");
+}
+
+TEST(Table, FormatHelpers) {
+  EXPECT_EQ(format_double(1.23456, 2), "1.23");
+  EXPECT_EQ(format_bytes(1536.0), "1.5 KiB");
+  EXPECT_EQ(format_sci(0.000123).substr(0, 4), "1.23");
+}
+
+TEST(Cli, ParsesBothSyntaxes) {
+  const char* argv[] = {"prog", "--n", "128", "--density=0.01", "--flag"};
+  CliParser cli(5, argv);
+  cli.declare("n", "");
+  cli.declare("density", "");
+  cli.declare("flag", "");
+  cli.validate();
+  EXPECT_EQ(cli.get_int("n", 0), 128);
+  EXPECT_DOUBLE_EQ(cli.get_double("density", 0.0), 0.01);
+  EXPECT_TRUE(cli.has("flag"));
+  EXPECT_EQ(cli.get_int("missing", 7), 7);
+}
+
+TEST(Cli, RejectsUnknownFlag) {
+  const char* argv[] = {"prog", "--bogus", "1"};
+  CliParser cli(3, argv);
+  cli.declare("n", "");
+  EXPECT_THROW(cli.validate(), ParseError);
+}
+
+TEST(Cli, RejectsMalformedNumbers) {
+  const char* argv[] = {"prog", "--n", "abc"};
+  CliParser cli(3, argv);
+  EXPECT_THROW(cli.get_int("n", 0), ParseError);
+  EXPECT_THROW(cli.get_double("n", 0.0), ParseError);
+}
+
+TEST(Cli, RejectsPositional) {
+  const char* argv[] = {"prog", "stray"};
+  EXPECT_THROW(CliParser(2, argv), ParseError);
+}
+
+}  // namespace
+}  // namespace nmdt
