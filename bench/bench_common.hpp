@@ -4,6 +4,8 @@
 //   --scale {tiny,small,medium,large}   suite size (default medium)
 //   --k <int>                           dense columns K (default 64)
 //   --matrix <path.mtx>                 run a real Matrix Market file too
+//   --jobs <int>                        suite-runner thread pool size
+//                                       (default hardware concurrency)
 #pragma once
 
 #include <iostream>
@@ -24,12 +26,15 @@ struct BenchEnv {
   SuiteScale scale = SuiteScale::kMedium;
   index_t K = 64;
   std::string matrix_path;
+  /// Suite-runner thread pool size; <= 0 means hardware concurrency.
+  int jobs = 0;
 
   BenchEnv(std::string bench_name, int argc, const char* const* argv)
       : name(std::move(bench_name)), cli(argc, argv) {
     cli.declare("scale", "suite scale: tiny | small | medium | large (default medium)");
     cli.declare("k", "number of dense B columns (default 64)");
     cli.declare("matrix", "optional Matrix Market file to include");
+    cli.declare("jobs", "suite-runner threads (default: hardware concurrency)");
     if (cli.has("help")) {
       std::cout << cli.help(name) << std::flush;
       std::exit(0);
@@ -43,6 +48,7 @@ struct BenchEnv {
     else throw ParseError("unknown --scale value: " + s);
     K = static_cast<index_t>(cli.get_int("k", 64));
     matrix_path = cli.get("matrix", "");
+    jobs = static_cast<int>(cli.get_int("jobs", 0));
   }
 
   std::vector<MatrixSpec> suite() const { return standard_suite(scale); }

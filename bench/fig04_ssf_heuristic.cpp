@@ -15,7 +15,7 @@ int main(int argc, char** argv) {
   bench::banner(env.name, "SSF heuristic training (paper: >93% classified optimally)");
 
   const SpmmConfig cfg = evaluation_config(4096, env.K);
-  const auto rows = run_suite(env.suite(), cfg, env.K);
+  const auto rows = run_suite(env.suite(), cfg, env.K, {}, env.jobs);
 
   Table dots({"matrix", "ssf", "ratio_tC_over_tB", "h_norm", "nnz", "density"});
   for (const auto& r : rows) {

@@ -23,7 +23,8 @@ int main(int argc, char** argv) {
                                 if (d % 20 == 0) {
                                   std::cout << "... " << d << "/" << total << "\n";
                                 }
-                              });
+                              },
+                              env.jobs);
   const SsfThreshold th = train_threshold(rows);
 
   Table dots({"matrix", "ssf", "speedup_offline_C_arm", "speedup_online_B_arm",

@@ -102,11 +102,13 @@ int cmd_suite(const CliParser& cli) {
   else if (scale_name == "large") scale = SuiteScale::kLarge;
   else throw ParseError("unknown --scale: " + scale_name);
   const index_t K = static_cast<index_t>(cli.get_int("k", 64));
+  const int jobs = static_cast<int>(cli.get_int("jobs", 0));
   const auto rows =
       run_suite(standard_suite(scale), evaluation_config(4096, K), K,
                 [](usize done, usize total, const SuiteRow&) {
                   if (done % 25 == 0) std::cerr << done << "/" << total << "\n";
-                });
+                },
+                jobs);
   Table t({"matrix", "ssf", "t_baseline_ms", "t_dcsr_c_ms", "t_online_b_ms"});
   for (const auto& r : rows) {
     t.begin_row()
@@ -135,6 +137,7 @@ int main(int argc, char** argv) {
   cli.declare("k", "dense columns (run/suite; default 64)");
   cli.declare("sample", "row fraction for sampled profiling (default 1.0 = full)");
   cli.declare("scale", "suite scale (suite; default small)");
+  cli.declare("jobs", "suite-runner threads (suite; default: hardware concurrency)");
   if (cli.has("help")) {
     std::cout << cli.help("nmdt_cli: profile / run / convert / suite");
     return 0;

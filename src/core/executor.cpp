@@ -1,0 +1,156 @@
+#include "core/executor.hpp"
+
+#include <atomic>
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <optional>
+
+#include "util/error.hpp"
+#include "util/rng.hpp"
+#include "util/thread_pool.hpp"
+
+namespace nmdt {
+
+SpmmExecutor::SpmmExecutor(SpmmConfig cfg) : cfg_(std::move(cfg)) {
+  cfg_.arch.validate();
+  cfg_.tiling.validate();
+}
+
+SpmmResult SpmmExecutor::execute(const SpmmPlan& plan, const DenseMatrix& B) const {
+  return execute(plan.kernel(), plan, B);
+}
+
+SpmmResult SpmmExecutor::execute(KernelKind kind, const SpmmPlan& plan,
+                                 const DenseMatrix& B) const {
+  // A plan's tiled artifacts are only valid under the tiling they were
+  // built with; a mismatch would silently fall back to in-kernel
+  // conversion and defeat the amortization, so fail loudly instead.
+  NMDT_CHECK_CONFIG(plan.options().tiling == cfg_.tiling,
+                    "plan was built under a different TilingSpec than the executor's");
+  return run_spmm(kind, plan.operands(), B, cfg_);
+}
+
+namespace {
+
+/// Shared per-row state for the arm fan-out.  The four arm tasks write
+/// disjoint SuiteRow fields; the last one to finish reports the row.
+struct RowJob {
+  std::shared_ptr<const SpmmPlan> plan;
+  std::shared_ptr<const DenseMatrix> B;
+  std::atomic<int> arms_left{4};
+};
+
+}  // namespace
+
+std::vector<SuiteRow> run_suite(std::span<const MatrixSpec> specs, const SpmmConfig& cfg,
+                                index_t K, const SuiteProgress& progress, int jobs) {
+  NMDT_CHECK_CONFIG(K > 0, "run_suite requires K > 0");
+  const usize total = specs.size();
+  std::vector<std::optional<SuiteRow>> slots(total);
+
+  std::mutex mu;
+  std::condition_variable cv;
+  std::deque<usize> ready;  // completed non-degenerate rows, completion order
+  usize finished = 0;       // completed specs, including degenerate draws
+
+  {
+    ThreadPool pool(jobs);
+    auto row_done = [&](usize idx, bool has_row) {
+      {
+        std::lock_guard<std::mutex> lock(mu);
+        ++finished;
+        if (has_row) ready.push_back(idx);
+      }
+      cv.notify_one();
+    };
+
+    for (usize idx = 0; idx < total; ++idx) {
+      pool.submit([&, idx] {
+        SuiteRow row;
+        row.spec = specs[idx];
+        const Csr A = specs[idx].generate();
+        if (A.nnz() == 0) {  // degenerate draw: nothing to measure
+          row_done(idx, false);
+          return;
+        }
+        auto job = std::make_shared<RowJob>();
+        // Plan once per matrix: profile + all conversions; the four
+        // arms below share the converted artifacts.
+        job->plan = build_plan(A, {cfg.tiling, default_ssf_threshold(), 1.0});
+        // Per-task seeding: B depends only on the row index, so results
+        // are identical at any thread count.
+        Rng b_rng(0xb0b0 + static_cast<u64>(idx));
+        auto B = std::make_shared<DenseMatrix>(A.cols, K);
+        B->randomize(b_rng);
+        job->B = std::move(B);
+        row.profile = job->plan->profile();
+        slots[idx] = std::move(row);
+
+        // Modelled timing depends only on matrix structure (never on
+        // B's values), so the arms are independent deterministic tasks.
+        auto submit_arm = [&, idx, job](KernelKind kind, auto&& commit) {
+          pool.submit([&, idx, job, kind, commit] {
+            const SpmmResult res = run_spmm(kind, job->plan->operands(), *job->B, cfg);
+            commit(*slots[idx], res);
+            if (job->arms_left.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+              row_done(idx, true);
+            }
+          });
+        };
+        submit_arm(KernelKind::kCsrCStationaryRowWarp,
+                   [](SuiteRow& r, const SpmmResult& res) {
+                     r.t_baseline_ms = res.timing.total_ms();
+                   });
+        submit_arm(KernelKind::kDcsrCStationary, [](SuiteRow& r, const SpmmResult& res) {
+          r.t_dcsr_c_ms = res.timing.total_ms();
+        });
+        submit_arm(KernelKind::kTiledDcsrOnline, [](SuiteRow& r, const SpmmResult& res) {
+          r.t_online_b_ms = res.timing.total_ms();
+        });
+        submit_arm(KernelKind::kTiledDcsrBStationary,
+                   [](SuiteRow& r, const SpmmResult& res) {
+                     r.t_offline_b_ms = res.timing.total_ms();
+                     r.offline_prep_ms = res.offline_prep_ns * 1e-6;
+                   });
+      });
+    }
+
+    // Single-threaded progress reporting from the calling thread, in
+    // completion order, with monotonically increasing `done`.
+    usize reported = 0;
+    std::unique_lock<std::mutex> lock(mu);
+    while (finished < total || !ready.empty()) {
+      cv.wait(lock, [&] { return !ready.empty() || finished == total; });
+      while (!ready.empty()) {
+        const usize idx = ready.front();
+        ready.pop_front();
+        if (progress) {
+          lock.unlock();
+          progress(++reported, total, *slots[idx]);
+          lock.lock();
+        } else {
+          ++reported;
+        }
+      }
+    }
+  }  // pool joins here; all tasks complete
+
+  std::vector<SuiteRow> rows;
+  rows.reserve(total);
+  for (auto& slot : slots) {
+    if (slot.has_value()) rows.push_back(std::move(*slot));
+  }
+  return rows;
+}
+
+SsfThreshold train_threshold(std::span<const SuiteRow> rows) {
+  std::vector<SsfSample> samples;
+  samples.reserve(rows.size());
+  for (const auto& r : rows) {
+    samples.push_back({r.profile.ssf, r.ratio_c_over_b()});
+  }
+  return learn_ssf_threshold(samples);
+}
+
+}  // namespace nmdt

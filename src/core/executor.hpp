@@ -1,0 +1,76 @@
+// Execute stage of the Plan → Cache → Execute pipeline.
+//
+// An SpmmExecutor runs a previously built SpmmPlan against any
+// conforming dense B (B.rows == A.cols): the kernels consume the plan's
+// pre-converted operand formats, so no profiling or conversion happens
+// on the execution path.
+//
+// run_suite — the Fig. 4 / Fig. 16 sweep — lives here too: each suite
+// matrix is planned once and its four kernel arms execute against the
+// shared plan, with per-matrix rows AND per-kernel arms fanned out
+// across one shared ThreadPool.  Results are bit-identical at any job
+// count: every task is a deterministic function of (spec, cfg, K, row
+// index) — matrix generation and the B block use per-task RNG seeding —
+// and rows are assembled in spec order.  The SuiteProgress callback is
+// always invoked from the calling thread with monotonically increasing
+// `done`, regardless of worker completion order.
+#pragma once
+
+#include <functional>
+
+#include "core/plan.hpp"
+#include "matgen/suite.hpp"
+
+namespace nmdt {
+
+class SpmmExecutor {
+ public:
+  explicit SpmmExecutor(SpmmConfig cfg);
+
+  const SpmmConfig& config() const { return cfg_; }
+
+  /// Run the plan's chosen kernel against B.
+  SpmmResult execute(const SpmmPlan& plan, const DenseMatrix& B) const;
+
+  /// Run a specific kernel against B using the plan's operands
+  /// (bypasses the plan's heuristic decision).
+  SpmmResult execute(KernelKind kind, const SpmmPlan& plan, const DenseMatrix& B) const;
+
+ private:
+  SpmmConfig cfg_;
+};
+
+/// One row of a suite sweep: everything Fig. 4 / Fig. 16 plot per
+/// matrix.
+struct SuiteRow {
+  MatrixSpec spec;
+  MatrixProfile profile;
+  double t_baseline_ms = 0.0;      ///< CSR C-stationary row-per-warp
+  double t_dcsr_c_ms = 0.0;        ///< untiled DCSR C-stationary
+  double t_online_b_ms = 0.0;      ///< online tiled DCSR B-stationary
+  double t_offline_b_ms = 0.0;     ///< offline tiled DCSR B-stationary
+  double offline_prep_ms = 0.0;    ///< tiling preprocessing cost
+
+  double ratio_c_over_b() const { return t_dcsr_c_ms / t_online_b_ms; }
+  double speedup_c_arm() const { return t_baseline_ms / t_dcsr_c_ms; }
+  double speedup_online_b_arm() const { return t_baseline_ms / t_online_b_ms; }
+  double speedup_offline_b_arm() const { return t_baseline_ms / t_offline_b_ms; }
+};
+
+/// Called once per completed (non-degenerate) matrix, from the thread
+/// that called run_suite, with `done` strictly increasing from 1.
+using SuiteProgress = std::function<void(usize done, usize total, const SuiteRow&)>;
+
+/// Run the four Fig. 16 kernels over a suite with dense B of K columns.
+/// `jobs` sizes the shared thread pool; <= 0 uses
+/// std::thread::hardware_concurrency().  Rows are bit-identical across
+/// job counts.
+std::vector<SuiteRow> run_suite(std::span<const MatrixSpec> specs, const SpmmConfig& cfg,
+                                index_t K, const SuiteProgress& progress = {},
+                                int jobs = 0);
+
+/// Derive the SSF threshold from completed suite rows (the Fig. 4
+/// training pass).
+SsfThreshold train_threshold(std::span<const SuiteRow> rows);
+
+}  // namespace nmdt

@@ -1,0 +1,132 @@
+#include "core/plan.hpp"
+
+#include "analysis/sampling.hpp"
+#include "formats/footprint.hpp"
+#include "util/error.hpp"
+#include "util/stopwatch.hpp"
+
+namespace nmdt {
+
+double default_ssf_threshold() {
+  // Learned on the medium standard suite under evaluation_config()
+  // (bench/fig04_ssf_heuristic re-derives and prints the trained value).
+  return 3.2e4;
+}
+
+SpmmPlan::SpmmPlan(const Csr& A, const PlanOptions& opts) : options_(opts), csr_(A) {
+  opts.tiling.validate();
+  NMDT_CHECK_CONFIG(
+      opts.profile_sample_fraction > 0.0 && opts.profile_sample_fraction <= 1.0,
+      "profile_sample_fraction must be in (0, 1]");
+  Stopwatch sw;
+  fingerprint_ = fingerprint_of(csr_);
+  if (opts.profile_sample_fraction < 1.0) {
+    profile_ = profile_matrix_sampled(csr_, opts.tiling, opts.profile_sample_fraction,
+                                      /*seed=*/0x5a3d)
+                   .profile;
+  } else {
+    profile_ = profile_matrix(csr_, opts.tiling);
+  }
+  strategy_ = select_strategy(profile_.ssf, opts.ssf_threshold);
+  kernel_ = strategy_ == Strategy::kBStationary ? KernelKind::kTiledDcsrOnline
+                                                : KernelKind::kDcsrCStationary;
+  csc_ = csc_from_csr(csr_);
+  dcsr_ = dcsr_from_csr(csr_);
+  tiled_dcsr_ = tiled_dcsr_from_csr(csr_, opts.tiling);
+  tiled_csr_ = tiled_csr_from_csr(csr_, opts.tiling);
+  bytes_ = footprint(csr_).total() + footprint(csc_).total() + footprint(dcsr_).total() +
+           footprint(tiled_dcsr_).total() + footprint(tiled_csr_).total();
+  build_ms_ = sw.elapsed_ms();
+}
+
+SpmmOperands SpmmPlan::operands() const {
+  SpmmOperands ops;
+  ops.csr = &csr_;
+  ops.csc = &csc_;
+  ops.dcsr = &dcsr_;
+  ops.tiled_dcsr = &tiled_dcsr_;
+  ops.tiled_csr = &tiled_csr_;
+  return ops;
+}
+
+std::shared_ptr<const SpmmPlan> build_plan(const Csr& A, const PlanOptions& opts) {
+  return std::make_shared<const SpmmPlan>(A, opts);
+}
+
+usize PlanCache::KeyHash::operator()(const Key& k) const {
+  u64 h = k.fp.combined();
+  h = fnv1a64(&k.opts.tiling.strip_width, sizeof(index_t), h);
+  h = fnv1a64(&k.opts.tiling.tile_height, sizeof(index_t), h);
+  h = fnv1a64(&k.opts.ssf_threshold, sizeof(double), h);
+  h = fnv1a64(&k.opts.profile_sample_fraction, sizeof(double), h);
+  return static_cast<usize>(h);
+}
+
+PlanCache::PlanCache(i64 byte_budget) : budget_(byte_budget) {
+  NMDT_CHECK_CONFIG(byte_budget > 0, "plan cache byte budget must be positive");
+  stats_.byte_budget = budget_;
+}
+
+std::shared_ptr<const SpmmPlan> PlanCache::get_or_build(const Csr& A,
+                                                        const PlanOptions& opts,
+                                                        bool* was_hit) {
+  const Key key{fingerprint_of(A), opts};
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = index_.find(key);
+    if (it != index_.end()) {
+      lru_.splice(lru_.begin(), lru_, it->second);  // bump to most recent
+      ++stats_.hits;
+      if (was_hit) *was_hit = true;
+      return lru_.front().second;
+    }
+    ++stats_.misses;
+  }
+  // Build outside the lock: planning is the expensive part, and two
+  // threads racing on the same key merely build twice (second insert
+  // finds the entry and reuses it).
+  auto plan = build_plan(A, opts);
+  if (was_hit) *was_hit = false;
+
+  std::lock_guard<std::mutex> lock(mu_);
+  if (auto it = index_.find(key); it != index_.end()) {
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return lru_.front().second;  // lost the race: adopt the winner
+  }
+  if (plan->bytes() > budget_) {
+    ++stats_.oversize;  // usable, but never resident
+    return plan;
+  }
+  lru_.emplace_front(key, plan);
+  index_[key] = lru_.begin();
+  stats_.bytes += plan->bytes();
+  stats_.entries = index_.size();
+  evict_to_budget_locked();
+  return plan;
+}
+
+void PlanCache::evict_to_budget_locked() {
+  while (stats_.bytes > budget_ && !lru_.empty()) {
+    const auto& victim = lru_.back();
+    stats_.bytes -= victim.second->bytes();
+    index_.erase(victim.first);
+    lru_.pop_back();
+    ++stats_.evictions;
+  }
+  stats_.entries = index_.size();
+}
+
+PlanCacheStats PlanCache::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+void PlanCache::clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  lru_.clear();
+  index_.clear();
+  stats_.bytes = 0;
+  stats_.entries = 0;
+}
+
+}  // namespace nmdt

@@ -1,18 +1,8 @@
 #include "core/spmm_engine.hpp"
 
-#include <optional>
-
-#include "analysis/sampling.hpp"
 #include "util/error.hpp"
 
 namespace nmdt {
-
-double EngineOptions::default_ssf_threshold() {
-  // Learned on the medium standard suite under evaluation_config()
-  // (bench/fig04_ssf_heuristic re-derives and prints the trained value;
-  // EXPERIMENTS.md records the training accuracy).
-  return 3.2e4;
-}
 
 SpmmEngine::SpmmEngine(EngineOptions options) : options_(std::move(options)) {
   options_.spmm.arch.validate();
@@ -20,6 +10,23 @@ SpmmEngine::SpmmEngine(EngineOptions options) : options_(std::move(options)) {
   NMDT_CHECK_CONFIG(
       options_.profile_sample_fraction > 0.0 && options_.profile_sample_fraction <= 1.0,
       "profile_sample_fraction must be in (0, 1]");
+  if (options_.plan_cache_bytes > 0) {
+    cache_ = std::make_shared<PlanCache>(options_.plan_cache_bytes);
+  }
+}
+
+PlanOptions SpmmEngine::plan_options() const {
+  return {options_.spmm.tiling, options_.ssf_threshold, options_.profile_sample_fraction};
+}
+
+std::shared_ptr<const SpmmPlan> SpmmEngine::plan_for(const Csr& A, bool* was_hit) const {
+  if (cache_) return cache_->get_or_build(A, plan_options(), was_hit);
+  if (was_hit) *was_hit = false;
+  return build_plan(A, plan_options());
+}
+
+PlanCacheStats SpmmEngine::cache_stats() const {
+  return cache_ ? cache_->stats() : PlanCacheStats{};
 }
 
 SpmmResult SpmmEngine::run_kernel(KernelKind kind, const Csr& A,
@@ -29,85 +36,27 @@ SpmmResult SpmmEngine::run_kernel(KernelKind kind, const Csr& A,
 
 SpmmReport SpmmEngine::run(const Csr& A, const DenseMatrix& B) const {
   SpmmReport report;
-  if (options_.profile_sample_fraction < 1.0) {
-    report.profile =
-        profile_matrix_sampled(A, options_.spmm.tiling, options_.profile_sample_fraction,
-                               /*seed=*/0x5a3d)
-            .profile;
-  } else {
-    report.profile = profile_matrix(A, options_.spmm.tiling);
-  }
-  report.chosen = select_strategy(report.profile.ssf, options_.ssf_threshold);
-  report.kernel = report.chosen == Strategy::kBStationary
-                      ? KernelKind::kTiledDcsrOnline
-                      : KernelKind::kDcsrCStationary;
-  report.result = run_spmm(report.kernel, A, B, options_.spmm);
+  const auto plan = plan_for(A, &report.plan_cache_hit);
+  report.plan_build_ms = report.plan_cache_hit ? 0.0 : plan->build_ms();
+  report.profile = plan->profile();
+  report.chosen = plan->strategy();
+  report.kernel = plan->kernel();
+
+  const SpmmExecutor executor(options_.spmm);
+  report.result = executor.execute(*plan, B);
 
   if (options_.verify) {
     const DenseMatrix ref = spmm_reference(A, B);
     report.max_abs_error = report.result.C.max_abs_diff(ref);
   }
   if (options_.run_baseline) {
-    report.baseline = run_spmm(KernelKind::kCsrCStationaryRowWarp, A, B, options_.spmm);
+    report.baseline = executor.execute(KernelKind::kCsrCStationaryRowWarp, *plan, B);
     if (report.result.timing.total_ns > 0.0) {
       report.speedup_vs_baseline =
           report.baseline->timing.total_ns / report.result.timing.total_ns;
     }
   }
   return report;
-}
-
-std::vector<SuiteRow> run_suite(std::span<const MatrixSpec> specs, const SpmmConfig& cfg,
-                                index_t K, const SuiteProgress& progress) {
-  NMDT_CHECK_CONFIG(K > 0, "run_suite requires K > 0");
-  std::vector<std::optional<SuiteRow>> slots(specs.size());
-  usize done = 0;
-
-  // Matrices are independent; modelled timing depends only on matrix
-  // structure (never on B's values), so per-spec seeding keeps results
-  // identical at any thread count.
-#pragma omp parallel for schedule(dynamic)
-  for (i64 i = 0; i < static_cast<i64>(specs.size()); ++i) {
-    const usize idx = static_cast<usize>(i);
-    SuiteRow row;
-    row.spec = specs[idx];
-    const Csr A = specs[idx].generate();
-    if (A.nnz() == 0) continue;  // degenerate draw: nothing to measure
-    Rng b_rng(0xb0b0 + static_cast<u64>(idx));
-    DenseMatrix B(A.cols, K);
-    B.randomize(b_rng);
-
-    row.profile = profile_matrix(A, cfg.tiling);
-    row.t_baseline_ms =
-        run_spmm(KernelKind::kCsrCStationaryRowWarp, A, B, cfg).timing.total_ms();
-    row.t_dcsr_c_ms = run_spmm(KernelKind::kDcsrCStationary, A, B, cfg).timing.total_ms();
-    row.t_online_b_ms = run_spmm(KernelKind::kTiledDcsrOnline, A, B, cfg).timing.total_ms();
-    const SpmmResult offline = run_spmm(KernelKind::kTiledDcsrBStationary, A, B, cfg);
-    row.t_offline_b_ms = offline.timing.total_ms();
-    row.offline_prep_ms = offline.offline_prep_ns * 1e-6;
-
-    slots[idx] = std::move(row);
-    if (progress) {
-#pragma omp critical(nmdt_suite_progress)
-      progress(++done, specs.size(), *slots[idx]);
-    }
-  }
-
-  std::vector<SuiteRow> rows;
-  rows.reserve(specs.size());
-  for (auto& slot : slots) {
-    if (slot.has_value()) rows.push_back(std::move(*slot));
-  }
-  return rows;
-}
-
-SsfThreshold train_threshold(std::span<const SuiteRow> rows) {
-  std::vector<SsfSample> samples;
-  samples.reserve(rows.size());
-  for (const auto& r : rows) {
-    samples.push_back({r.profile.ssf, r.ratio_c_over_b()});
-  }
-  return learn_ssf_threshold(samples);
 }
 
 }  // namespace nmdt

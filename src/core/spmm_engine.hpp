@@ -2,15 +2,20 @@
 // algorithm with the SSF heuristic (Sec. 3.1.4), run it on the GPU
 // model, and report performance against the baseline — the full
 // pipeline behind Fig. 16.
+//
+// Since the Plan → Cache → Execute split (DESIGN.md), the engine is a
+// thin composition: planning (core/plan.hpp) captures everything
+// derivable from A alone and is memoized in a per-engine PlanCache, so
+// repeated run() calls against the same A — the multi-vector pattern of
+// Sec. 2 — skip profiling and format conversion entirely; execution
+// (core/executor.hpp) runs the cached plan against each B block.
 #pragma once
 
-#include <functional>
+#include <memory>
 #include <optional>
 
-#include "analysis/heuristic.hpp"
-#include "analysis/profile.hpp"
-#include "kernels/spmm.hpp"
-#include "matgen/suite.hpp"
+#include "core/executor.hpp"
+#include "core/plan.hpp"
 
 namespace nmdt {
 
@@ -29,8 +34,11 @@ struct EngineOptions {
   /// values use sampled SSF estimation (the paper's Sec. 3.1.4 future
   /// work; see analysis/sampling.hpp and bench/ssf_sampling).
   double profile_sample_fraction = 1.0;
+  /// Byte budget of the per-engine plan cache; <= 0 disables caching
+  /// (every run() builds a one-shot plan).
+  i64 plan_cache_bytes = PlanCache::kDefaultByteBudget;
 
-  static double default_ssf_threshold();
+  static double default_ssf_threshold() { return ::nmdt::default_ssf_threshold(); }
 };
 
 struct SpmmReport {
@@ -41,6 +49,11 @@ struct SpmmReport {
   std::optional<SpmmResult> baseline;  ///< CSR C-stationary row-per-warp
   double speedup_vs_baseline = 1.0;
   double max_abs_error = 0.0;  ///< vs dense reference when verify = true
+  /// True when the plan (profile + conversions) came from the cache —
+  /// i.e. this call performed no profiling or format conversion.
+  bool plan_cache_hit = false;
+  /// Host wall-clock spent planning for this call (0 on a cache hit).
+  double plan_build_ms = 0.0;
 };
 
 class SpmmEngine {
@@ -49,42 +62,29 @@ class SpmmEngine {
 
   const EngineOptions& options() const { return options_; }
 
-  /// Profile A, select B- vs C-stationary via SSF, run, report.
+  /// Profile A (via the plan cache), select B- vs C-stationary via SSF,
+  /// run, report.
   SpmmReport run(const Csr& A, const DenseMatrix& B) const;
 
   /// Run a specific kernel with this engine's configuration (bypasses
-  /// the heuristic).
+  /// the heuristic and the plan cache — one-shot conversion).
   SpmmResult run_kernel(KernelKind kind, const Csr& A, const DenseMatrix& B) const;
 
+  /// The plan this engine would execute for A, from the cache when
+  /// resident.  Exposed so callers can amortize explicitly (e.g. plan
+  /// during setup, execute per block).  `was_hit` (optional) reports
+  /// whether the cache served it.
+  std::shared_ptr<const SpmmPlan> plan_for(const Csr& A, bool* was_hit = nullptr) const;
+
+  /// Hit/miss/eviction counters of the engine's plan cache (all zero
+  /// when caching is disabled).
+  PlanCacheStats cache_stats() const;
+
  private:
+  PlanOptions plan_options() const;
+
   EngineOptions options_;
+  std::shared_ptr<PlanCache> cache_;  ///< null when plan_cache_bytes <= 0
 };
-
-/// One row of a suite sweep: everything Fig. 4 / Fig. 16 plot per
-/// matrix.
-struct SuiteRow {
-  MatrixSpec spec;
-  MatrixProfile profile;
-  double t_baseline_ms = 0.0;      ///< CSR C-stationary row-per-warp
-  double t_dcsr_c_ms = 0.0;        ///< untiled DCSR C-stationary
-  double t_online_b_ms = 0.0;      ///< online tiled DCSR B-stationary
-  double t_offline_b_ms = 0.0;     ///< offline tiled DCSR B-stationary
-  double offline_prep_ms = 0.0;    ///< tiling preprocessing cost
-
-  double ratio_c_over_b() const { return t_dcsr_c_ms / t_online_b_ms; }
-  double speedup_c_arm() const { return t_baseline_ms / t_dcsr_c_ms; }
-  double speedup_online_b_arm() const { return t_baseline_ms / t_online_b_ms; }
-  double speedup_offline_b_arm() const { return t_baseline_ms / t_offline_b_ms; }
-};
-
-using SuiteProgress = std::function<void(usize done, usize total, const SuiteRow&)>;
-
-/// Run the four Fig. 16 kernels over a suite with dense B of K columns.
-std::vector<SuiteRow> run_suite(std::span<const MatrixSpec> specs, const SpmmConfig& cfg,
-                                index_t K, const SuiteProgress& progress = {});
-
-/// Derive the SSF threshold from completed suite rows (the Fig. 4
-/// training pass).
-SsfThreshold train_threshold(std::span<const SuiteRow> rows);
 
 }  // namespace nmdt

@@ -1,0 +1,38 @@
+#include "formats/fingerprint.hpp"
+
+namespace nmdt {
+
+u64 fnv1a64(const void* data, usize len, u64 seed) {
+  constexpr u64 kPrime = 0x100000001b3ULL;
+  const auto* p = static_cast<const unsigned char*>(data);
+  u64 h = seed;
+  for (usize i = 0; i < len; ++i) {
+    h ^= p[i];
+    h *= kPrime;
+  }
+  return h;
+}
+
+u64 MatrixFingerprint::combined() const {
+  u64 h = fnv1a64(&rows, sizeof(rows));
+  h = fnv1a64(&cols, sizeof(cols), h);
+  h = fnv1a64(&nnz, sizeof(nnz), h);
+  h = fnv1a64(&structure_hash, sizeof(structure_hash), h);
+  h = fnv1a64(&value_hash, sizeof(value_hash), h);
+  return h;
+}
+
+MatrixFingerprint fingerprint_of(const Csr& csr) {
+  MatrixFingerprint fp;
+  fp.rows = csr.rows;
+  fp.cols = csr.cols;
+  fp.nnz = csr.nnz();
+  fp.structure_hash =
+      fnv1a64(csr.row_ptr.data(), csr.row_ptr.size() * sizeof(index_t));
+  fp.structure_hash = fnv1a64(csr.col_idx.data(),
+                              csr.col_idx.size() * sizeof(index_t), fp.structure_hash);
+  fp.value_hash = fnv1a64(csr.val.data(), csr.val.size() * sizeof(value_t));
+  return fp;
+}
+
+}  // namespace nmdt

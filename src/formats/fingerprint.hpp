@@ -1,0 +1,40 @@
+// Cheap matrix fingerprints for plan-cache keying.
+//
+// A fingerprint is a constant-size summary of a CSR matrix: dimensions,
+// nnz, an FNV-1a hash of the structure vectors (row_ptr, col_idx), and a
+// second FNV-1a hash of the value vector.  Two matrices with the same
+// fingerprint are, for caching purposes, the same operand; the structure
+// hash keeps same-shape/same-nnz matrices with different sparsity
+// patterns apart, and the value hash keeps same-pattern matrices with
+// different numerics apart (a cached plan carries converted `val`
+// arrays, so values are part of plan identity, not just structure).
+//
+// One streaming pass over the index/value vectors — O(nnz), orders of
+// magnitude cheaper than profiling or format conversion, which is what
+// makes it a viable cache key for the amortization the plan cache
+// provides.
+#pragma once
+
+#include "formats/csr.hpp"
+
+namespace nmdt {
+
+struct MatrixFingerprint {
+  index_t rows = 0;
+  index_t cols = 0;
+  i64 nnz = 0;
+  u64 structure_hash = 0;  ///< FNV-1a over row_ptr then col_idx bytes
+  u64 value_hash = 0;      ///< FNV-1a over val bytes
+
+  bool operator==(const MatrixFingerprint&) const = default;
+
+  /// Mix all fields into one 64-bit word (for hash-table keying).
+  u64 combined() const;
+};
+
+/// FNV-1a 64-bit over a byte range, chainable via `seed`.
+u64 fnv1a64(const void* data, usize len, u64 seed = 0xcbf29ce484222325ULL);
+
+MatrixFingerprint fingerprint_of(const Csr& csr);
+
+}  // namespace nmdt

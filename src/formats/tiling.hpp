@@ -25,6 +25,8 @@ struct TilingSpec {
   index_t strip_width = 64;
   index_t tile_height = 64;
 
+  bool operator==(const TilingSpec&) const = default;
+
   void validate() const;
 
   index_t num_strips(index_t cols) const {

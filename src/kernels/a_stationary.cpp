@@ -5,14 +5,20 @@
 // bandwidth-hungry of the three strategies, implemented as the Table 1
 // reference point.
 #include <algorithm>
+#include <optional>
 
 #include "kernels/detail.hpp"
 
 namespace nmdt::detail {
 
-SpmmResult spmm_a_stationary(const Csr& A, const DenseMatrix& B, const SpmmConfig& cfg) {
+SpmmResult spmm_a_stationary(const SpmmOperands& ops, const DenseMatrix& B,
+                             const SpmmConfig& cfg) {
+  const Csr& A = *ops.csr;
   const TilingSpec& spec = cfg.tiling;
-  const TiledCsr tiled = tiled_csr_from_csr(A, spec);
+  std::optional<TiledCsr> local;
+  const TiledCsr& tiled = (ops.tiled_csr && ops.tiled_csr->spec == spec)
+                              ? *ops.tiled_csr
+                              : local.emplace(tiled_csr_from_csr(A, spec));
 
   Ctx ctx(cfg);
   const index_t K = B.cols();

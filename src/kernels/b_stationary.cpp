@@ -17,6 +17,7 @@
 //                      CSC→DCSR engines and delivered over the crossbar;
 //                      DRAM sees only the compact CSC stream.
 #include <algorithm>
+#include <optional>
 
 #include "kernels/detail.hpp"
 
@@ -129,10 +130,14 @@ TileOffsets compute_offsets(const Tiled& tiled, MetaWordsFn&& meta_words_of) {
 
 }  // namespace
 
-SpmmResult spmm_tiled_csr_b_stationary(const Csr& A, const DenseMatrix& B,
+SpmmResult spmm_tiled_csr_b_stationary(const SpmmOperands& ops, const DenseMatrix& B,
                                        const SpmmConfig& cfg) {
+  const Csr& A = *ops.csr;
   const TilingSpec& spec = cfg.tiling;
-  const TiledCsr tiled = tiled_csr_from_csr(A, spec);
+  std::optional<TiledCsr> local;
+  const TiledCsr& tiled = (ops.tiled_csr && ops.tiled_csr->spec == spec)
+                              ? *ops.tiled_csr
+                              : local.emplace(tiled_csr_from_csr(A, spec));
   const std::vector<i64> strip_nnz = strip_nnz_counts(A, spec);
   const TileOffsets off = compute_offsets(
       tiled, [](const CsrTile& t) { return static_cast<i64>(t.body.row_ptr.size()); });
@@ -205,10 +210,14 @@ SpmmResult spmm_tiled_csr_b_stationary(const Csr& A, const DenseMatrix& B,
   return finish(ctx, std::move(C), 1.0, {}, 0.0, prep);
 }
 
-SpmmResult spmm_tiled_dcsr_b_stationary(const Csr& A, const DenseMatrix& B,
+SpmmResult spmm_tiled_dcsr_b_stationary(const SpmmOperands& ops, const DenseMatrix& B,
                                         const SpmmConfig& cfg) {
+  const Csr& A = *ops.csr;
   const TilingSpec& spec = cfg.tiling;
-  const TiledDcsr tiled = tiled_dcsr_from_csr(A, spec);
+  std::optional<TiledDcsr> local;
+  const TiledDcsr& tiled = (ops.tiled_dcsr && ops.tiled_dcsr->spec == spec)
+                               ? *ops.tiled_dcsr
+                               : local.emplace(tiled_dcsr_from_csr(A, spec));
   const std::vector<i64> strip_nnz = strip_nnz_counts(A, spec);
   const TileOffsets off = compute_offsets(tiled, [](const DcsrTile& t) {
     return static_cast<i64>(t.body.row_idx.size() + t.body.row_ptr.size());
@@ -254,10 +263,12 @@ SpmmResult spmm_tiled_dcsr_b_stationary(const Csr& A, const DenseMatrix& B,
   return finish(ctx, std::move(C), 1.0, {}, 0.0, prep);
 }
 
-SpmmResult spmm_tiled_dcsr_online(const Csr& A, const DenseMatrix& B,
+SpmmResult spmm_tiled_dcsr_online(const SpmmOperands& ops, const DenseMatrix& B,
                                   const SpmmConfig& cfg) {
+  const Csr& A = *ops.csr;
   const TilingSpec& spec = cfg.tiling;
-  const Csc csc = csc_from_csr(A);
+  std::optional<Csc> local;
+  const Csc& csc = ops.csc ? *ops.csc : local.emplace(csc_from_csr(A));
 
   Ctx ctx(cfg);
   const index_t K = B.cols();

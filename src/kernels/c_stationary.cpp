@@ -2,6 +2,7 @@
 // produced in full by one warp (or one thread), accumulating in
 // registers — no atomics, B fetched per non-zero.
 #include <algorithm>
+#include <optional>
 
 #include "kernels/detail.hpp"
 
@@ -42,7 +43,9 @@ void row_per_warp_body(Ctx& ctx, std::span<const index_t> cols,
 
 }  // namespace
 
-SpmmResult spmm_csr_row_warp(const Csr& A, const DenseMatrix& B, const SpmmConfig& cfg) {
+SpmmResult spmm_csr_row_warp(const SpmmOperands& ops, const DenseMatrix& B,
+                             const SpmmConfig& cfg) {
+  const Csr& A = *ops.csr;
   Ctx ctx(cfg);
   const index_t K = B.cols();
   const CsrLayout a = CsrLayout::allocate(A, ctx.mem);
@@ -83,7 +86,9 @@ SpmmResult spmm_csr_row_warp(const Csr& A, const DenseMatrix& B, const SpmmConfi
   return finish(ctx, std::move(C));
 }
 
-SpmmResult spmm_csr_row_thread(const Csr& A, const DenseMatrix& B, const SpmmConfig& cfg) {
+SpmmResult spmm_csr_row_thread(const SpmmOperands& ops, const DenseMatrix& B,
+                               const SpmmConfig& cfg) {
+  const Csr& A = *ops.csr;
   Ctx ctx(cfg);
   const index_t K = B.cols();
   const CsrLayout a = CsrLayout::allocate(A, ctx.mem);
@@ -145,12 +150,15 @@ SpmmResult spmm_csr_row_thread(const Csr& A, const DenseMatrix& B, const SpmmCon
   return finish(ctx, std::move(C));
 }
 
-SpmmResult spmm_dcsr_c_stationary(const Csr& A, const DenseMatrix& B,
+SpmmResult spmm_dcsr_c_stationary(const SpmmOperands& ops, const DenseMatrix& B,
                                   const SpmmConfig& cfg) {
+  const Csr& A = *ops.csr;
   // Offline densification is cheap and sequential (paper Sec. 5.2
   // includes untiled DCSR in the realistic baseline set): one streaming
-  // pass over CSR, one write of the DCSR arrays.
-  const Dcsr D = dcsr_from_csr(A);
+  // pass over CSR, one write of the DCSR arrays.  Planned callers carry
+  // the densified form; the legacy path converts one-shot.
+  std::optional<Dcsr> local;
+  const Dcsr& D = ops.dcsr ? *ops.dcsr : local.emplace(dcsr_from_csr(A));
 
   Ctx ctx(cfg);
   const index_t K = B.cols();

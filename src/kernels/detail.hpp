@@ -83,18 +83,27 @@ SpmmResult finish(Ctx& ctx, DenseMatrix C, double compute_inflation = 1.0,
 void load_b_tile(Ctx& ctx, const DenseLayout& b, index_t row_begin, index_t width,
                  index_t col_begin, index_t tile_cols);
 
-// Kernel implementations (one translation unit per family).
-SpmmResult spmm_csr_row_warp(const Csr& A, const DenseMatrix& B, const SpmmConfig& cfg);
-SpmmResult spmm_csr_row_thread(const Csr& A, const DenseMatrix& B, const SpmmConfig& cfg);
-SpmmResult spmm_dcsr_c_stationary(const Csr& A, const DenseMatrix& B, const SpmmConfig& cfg);
-SpmmResult spmm_tiled_csr_b_stationary(const Csr& A, const DenseMatrix& B,
+// Kernel implementations (one translation unit per family).  Each takes
+// the operand bundle and consumes the pre-converted artifact it needs,
+// converting locally only when the field is absent (legacy path) or
+// built under a different tiling than cfg.tiling.
+SpmmResult spmm_csr_row_warp(const SpmmOperands& A, const DenseMatrix& B,
+                             const SpmmConfig& cfg);
+SpmmResult spmm_csr_row_thread(const SpmmOperands& A, const DenseMatrix& B,
+                               const SpmmConfig& cfg);
+SpmmResult spmm_dcsr_c_stationary(const SpmmOperands& A, const DenseMatrix& B,
+                                  const SpmmConfig& cfg);
+SpmmResult spmm_tiled_csr_b_stationary(const SpmmOperands& A, const DenseMatrix& B,
                                        const SpmmConfig& cfg);
-SpmmResult spmm_tiled_dcsr_b_stationary(const Csr& A, const DenseMatrix& B,
+SpmmResult spmm_tiled_dcsr_b_stationary(const SpmmOperands& A, const DenseMatrix& B,
                                         const SpmmConfig& cfg);
-SpmmResult spmm_tiled_dcsr_online(const Csr& A, const DenseMatrix& B, const SpmmConfig& cfg);
-SpmmResult spmm_a_stationary(const Csr& A, const DenseMatrix& B, const SpmmConfig& cfg);
-SpmmResult spmm_merge_c_stationary(const Csr& A, const DenseMatrix& B,
+SpmmResult spmm_tiled_dcsr_online(const SpmmOperands& A, const DenseMatrix& B,
+                                  const SpmmConfig& cfg);
+SpmmResult spmm_a_stationary(const SpmmOperands& A, const DenseMatrix& B,
+                             const SpmmConfig& cfg);
+SpmmResult spmm_merge_c_stationary(const SpmmOperands& A, const DenseMatrix& B,
                                    const SpmmConfig& cfg);
-SpmmResult spmm_hong_hybrid(const Csr& A, const DenseMatrix& B, const SpmmConfig& cfg);
+SpmmResult spmm_hong_hybrid(const SpmmOperands& A, const DenseMatrix& B,
+                            const SpmmConfig& cfg);
 
 }  // namespace nmdt::detail

@@ -48,8 +48,12 @@ HongSplit split_by_segment_weight(const Csr& A, const TilingSpec& spec,
 
 }  // namespace
 
-SpmmResult spmm_hong_hybrid(const Csr& A, const DenseMatrix& B, const SpmmConfig& cfg) {
+SpmmResult spmm_hong_hybrid(const SpmmOperands& ops, const DenseMatrix& B,
+                            const SpmmConfig& cfg) {
   NMDT_CHECK_CONFIG(cfg.hong_heavy_threshold > 0, "hong_heavy_threshold must be positive");
+  const Csr& A = *ops.csr;
+  // The heavy/light split depends on cfg.hong_heavy_threshold, not on A
+  // alone, so it is not a plan-cacheable artifact: always derived here.
   const HongSplit split = split_by_segment_weight(A, cfg.tiling, cfg.hong_heavy_threshold);
 
   const index_t K = B.cols();
@@ -57,11 +61,11 @@ SpmmResult spmm_hong_hybrid(const Csr& A, const DenseMatrix& B, const SpmmConfig
   SpmmResult light_res;
   bool ran_heavy = false, ran_light = false;
   if (split.heavy.nnz() > 0) {
-    heavy_res = spmm_tiled_dcsr_b_stationary(split.heavy, B, cfg);
+    heavy_res = spmm_tiled_dcsr_b_stationary(SpmmOperands::from_csr(split.heavy), B, cfg);
     ran_heavy = true;
   }
   if (split.light.nnz() > 0) {
-    light_res = spmm_csr_row_warp(split.light, B, cfg);
+    light_res = spmm_csr_row_warp(SpmmOperands::from_csr(split.light), B, cfg);
     ran_light = true;
   }
 

@@ -13,16 +13,19 @@
 // sec52_merge_ablation bench shows the critical path collapsing while
 // traffic stays put.
 #include <algorithm>
+#include <optional>
 
 #include "kernels/detail.hpp"
 #include "util/error.hpp"
 
 namespace nmdt::detail {
 
-SpmmResult spmm_merge_c_stationary(const Csr& A, const DenseMatrix& B,
+SpmmResult spmm_merge_c_stationary(const SpmmOperands& ops, const DenseMatrix& B,
                                    const SpmmConfig& cfg) {
   NMDT_CHECK_CONFIG(cfg.merge_chunk > 0, "merge_chunk must be positive");
-  const Dcsr D = dcsr_from_csr(A);
+  const Csr& A = *ops.csr;
+  std::optional<Dcsr> local;
+  const Dcsr& D = ops.dcsr ? *ops.dcsr : local.emplace(dcsr_from_csr(A));
 
   Ctx ctx(cfg);
   const index_t K = B.cols();

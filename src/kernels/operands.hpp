@@ -1,0 +1,40 @@
+// Pre-converted operand bundle consumed by the SpMM kernels.
+//
+// Historically every kernel converted its own input (CSC for the online
+// engine, DCSR for the densified C-stationary arm, tiled forms for the
+// offline arms) on every call.  The Plan → Execute split moves those
+// conversions to plan time: a kernel receives this bundle and uses
+// whichever pre-converted artifact it needs, falling back to a local
+// one-shot conversion only when the field is absent (the legacy
+// `run_spmm(kind, A, B, cfg)` compatibility path) or when a tiled form
+// was built under a different TilingSpec than the run's config.
+//
+// All pointers are non-owning views; the caller (an SpmmPlan, or the
+// legacy shim's stack frame) guarantees they outlive the kernel call.
+// `csr` is always required — it is the canonical operand every kernel
+// can derive from.
+#pragma once
+
+#include "formats/csc.hpp"
+#include "formats/csr.hpp"
+#include "formats/dcsr.hpp"
+#include "formats/tiling.hpp"
+
+namespace nmdt {
+
+struct SpmmOperands {
+  const Csr* csr = nullptr;               ///< required
+  const Csc* csc = nullptr;               ///< online tiled-DCSR kernel
+  const Dcsr* dcsr = nullptr;             ///< untiled DCSR kernels
+  const TiledDcsr* tiled_dcsr = nullptr;  ///< offline B-stationary arm
+  const TiledCsr* tiled_csr = nullptr;    ///< tiled-CSR strawman, A-stationary
+
+  /// CSR-only bundle (every other format converts on demand).
+  static SpmmOperands from_csr(const Csr& a) {
+    SpmmOperands ops;
+    ops.csr = &a;
+    return ops;
+  }
+};
+
+}  // namespace nmdt

@@ -44,9 +44,10 @@ SpmmConfig evaluation_config(index_t n, index_t K) {
   return cfg;
 }
 
-SpmmResult run_spmm(KernelKind kind, const Csr& A, const DenseMatrix& B,
+SpmmResult run_spmm(KernelKind kind, const SpmmOperands& A, const DenseMatrix& B,
                     const SpmmConfig& cfg) {
-  NMDT_REQUIRE(A.cols == B.rows(), "SpMM shape mismatch: A.cols != B.rows");
+  NMDT_REQUIRE(A.csr != nullptr, "SpmmOperands must carry the CSR operand");
+  NMDT_REQUIRE(A.csr->cols == B.rows(), "SpMM shape mismatch: A.cols != B.rows");
   cfg.tiling.validate();
   switch (kind) {
     case KernelKind::kCsrCStationaryRowWarp: return detail::spmm_csr_row_warp(A, B, cfg);
@@ -63,6 +64,11 @@ SpmmResult run_spmm(KernelKind kind, const Csr& A, const DenseMatrix& B,
     case KernelKind::kHongHybrid: return detail::spmm_hong_hybrid(A, B, cfg);
   }
   throw ConfigError("unknown kernel kind");
+}
+
+SpmmResult run_spmm(KernelKind kind, const Csr& A, const DenseMatrix& B,
+                    const SpmmConfig& cfg) {
+  return run_spmm(kind, SpmmOperands::from_csr(A), B, cfg);
 }
 
 DenseMatrix spmm_reference(const Csr& A, const DenseMatrix& B) {

@@ -41,6 +41,7 @@
 #include "formats/dense.hpp"
 #include "formats/tiling.hpp"
 #include "gpusim/timing.hpp"
+#include "kernels/operands.hpp"
 #include "sched/layout.hpp"
 #include "transform/engine.hpp"
 
@@ -108,9 +109,18 @@ struct SpmmResult {
   double offline_prep_ns = 0.0;
 };
 
-/// Run one kernel.  A is given as CSR; kernels that consume other
-/// formats (CSC for online conversion, tiled forms for offline)
-/// convert internally and charge the offline arms their prep cost.
+/// Run one kernel against a pre-converted operand bundle (the planned
+/// path): each kernel consumes the artifact it needs from `A` and only
+/// converts locally when it is missing.  The modelled offline-prep cost
+/// (`SpmmResult::offline_prep_ns`) is unchanged either way — it is part
+/// of the report semantics, not of host work.
+SpmmResult run_spmm(KernelKind kind, const SpmmOperands& A, const DenseMatrix& B,
+                    const SpmmConfig& cfg);
+
+/// Compatibility shim: A given as CSR only; kernels that consume other
+/// formats (CSC for online conversion, tiled forms for offline) convert
+/// internally, one-shot.  Prefer building an SpmmPlan (core/plan.hpp)
+/// when the same A is multiplied repeatedly.
 SpmmResult run_spmm(KernelKind kind, const Csr& A, const DenseMatrix& B,
                     const SpmmConfig& cfg);
 

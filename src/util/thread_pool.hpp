@@ -1,0 +1,58 @@
+// Fixed-size worker pool for host-side parallelism (the suite runner's
+// per-matrix rows and per-kernel arms).  Simulated GPU work stays
+// single-threaded per task; the pool only overlaps independent
+// simulations across host cores.
+//
+// Tasks may submit further tasks (the suite runner's prep tasks fan out
+// per-kernel arm tasks), so workers never block on each other: a task
+// either runs to completion or enqueues follow-up work.
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "util/types.hpp"
+
+namespace nmdt {
+
+class ThreadPool {
+ public:
+  /// `threads <= 0` selects default_jobs().
+  explicit ThreadPool(int threads = 0);
+
+  /// Drains outstanding tasks, then joins the workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int size() const { return static_cast<int>(workers_.size()); }
+
+  /// Enqueue a task.  Safe from any thread, including pool workers.
+  void submit(std::function<void()> task);
+
+  /// Block until the queue is empty and every worker is idle.  Only
+  /// meaningful when no other thread is concurrently submitting.
+  void wait_idle();
+
+  /// Hardware concurrency clamped to at least 1 (the value used when a
+  /// caller passes jobs <= 0).
+  static int default_jobs();
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::deque<std::function<void()>> queue_;
+  std::mutex mu_;
+  std::condition_variable work_cv_;   ///< queue became non-empty / stopping
+  std::condition_variable idle_cv_;   ///< a worker went idle
+  usize active_ = 0;                  ///< tasks currently executing
+  bool stop_ = false;
+};
+
+}  // namespace nmdt

@@ -1,0 +1,124 @@
+// Concurrency tests: the ThreadPool primitive and the parallel suite
+// runner.  The load-bearing property is determinism — run_suite must
+// produce bit-identical rows at any job count — plus the SuiteProgress
+// contract (caller thread only, monotonically increasing `done`).
+// These are the tests the tsan CMake preset runs under ThreadSanitizer.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "core/executor.hpp"
+#include "util/thread_pool.hpp"
+
+namespace nmdt {
+namespace {
+
+TEST(ThreadPool, RunsEverySubmittedTask) {
+  ThreadPool pool(4);
+  std::atomic<int> count{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.submit([&] { count.fetch_add(1, std::memory_order_relaxed); });
+  }
+  pool.wait_idle();
+  EXPECT_EQ(count.load(), 100);
+}
+
+TEST(ThreadPool, TasksMaySubmitTasks) {
+  // The suite runner's fan-out shape: a prep task enqueues four arm
+  // tasks.  Workers must never block waiting for their children.
+  ThreadPool pool(2);
+  std::atomic<int> arms{0};
+  for (int i = 0; i < 10; ++i) {
+    pool.submit([&] {
+      for (int a = 0; a < 4; ++a) {
+        pool.submit([&] { arms.fetch_add(1, std::memory_order_relaxed); });
+      }
+    });
+  }
+  pool.wait_idle();
+  EXPECT_EQ(arms.load(), 40);
+}
+
+TEST(ThreadPool, DestructorDrainsPendingTasks) {
+  std::atomic<int> count{0};
+  {
+    ThreadPool pool(1);
+    for (int i = 0; i < 50; ++i) {
+      pool.submit([&] { count.fetch_add(1, std::memory_order_relaxed); });
+    }
+  }  // destructor joins after the queue is empty
+  EXPECT_EQ(count.load(), 50);
+}
+
+TEST(ThreadPool, NonPositiveThreadCountMeansHardwareConcurrency) {
+  ThreadPool pool(0);
+  EXPECT_GE(pool.size(), 1);
+  EXPECT_EQ(pool.size(), ThreadPool::default_jobs());
+}
+
+std::vector<MatrixSpec> tiny_specs() {
+  // A slice of the standard suite, small enough to run all four arms
+  // per matrix quickly but large enough to exercise the fan-out.
+  auto specs = standard_suite(SuiteScale::kTiny);
+  if (specs.size() > 12) specs.resize(12);
+  return specs;
+}
+
+void expect_rows_identical(const std::vector<SuiteRow>& a,
+                           const std::vector<SuiteRow>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (usize i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].spec.name, b[i].spec.name) << "row " << i;
+    // Bit-identical doubles — not approximate — is the contract.
+    EXPECT_EQ(a[i].profile.ssf, b[i].profile.ssf) << a[i].spec.name;
+    EXPECT_EQ(a[i].t_baseline_ms, b[i].t_baseline_ms) << a[i].spec.name;
+    EXPECT_EQ(a[i].t_dcsr_c_ms, b[i].t_dcsr_c_ms) << a[i].spec.name;
+    EXPECT_EQ(a[i].t_online_b_ms, b[i].t_online_b_ms) << a[i].spec.name;
+    EXPECT_EQ(a[i].t_offline_b_ms, b[i].t_offline_b_ms) << a[i].spec.name;
+    EXPECT_EQ(a[i].offline_prep_ms, b[i].offline_prep_ms) << a[i].spec.name;
+  }
+}
+
+TEST(ParallelSuite, RowsAreBitIdenticalAcrossJobCounts) {
+  const auto specs = tiny_specs();
+  const index_t K = 8;
+  const SpmmConfig cfg = evaluation_config(4096, K);
+  const auto seq = run_suite(specs, cfg, K, {}, 1);
+  const auto par = run_suite(specs, cfg, K, {}, 4);
+  expect_rows_identical(seq, par);
+}
+
+TEST(ParallelSuite, RepeatedParallelRunsAreDeterministic) {
+  const auto specs = tiny_specs();
+  const index_t K = 8;
+  const SpmmConfig cfg = evaluation_config(4096, K);
+  const auto first = run_suite(specs, cfg, K, {}, 4);
+  const auto second = run_suite(specs, cfg, K, {}, 4);
+  expect_rows_identical(first, second);
+}
+
+TEST(ParallelSuite, ProgressIsMonotoneAndCallerThreadOnly) {
+  const auto specs = tiny_specs();
+  const index_t K = 8;
+  const SpmmConfig cfg = evaluation_config(4096, K);
+  const std::thread::id caller = std::this_thread::get_id();
+  usize last_done = 0;
+  usize calls = 0;
+  const auto rows = run_suite(
+      specs, cfg, K,
+      [&](usize done, usize total, const SuiteRow&) {
+        EXPECT_EQ(std::this_thread::get_id(), caller);
+        EXPECT_EQ(done, last_done + 1);  // strictly increasing by one
+        EXPECT_LE(done, total);
+        last_done = done;
+        ++calls;
+      },
+      4);
+  EXPECT_EQ(calls, rows.size());
+  EXPECT_EQ(last_done, rows.size());
+}
+
+}  // namespace
+}  // namespace nmdt

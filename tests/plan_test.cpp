@@ -1,0 +1,259 @@
+// Plan → Cache → Execute tests: matrix fingerprinting, PlanCache
+// hit/miss/eviction accounting, and the SpmmEngine regression that a
+// second run() against the same A is served entirely from the cache
+// (zero conversion work) yet reports bit-identical results.
+#include <gtest/gtest.h>
+
+#include "core/spmm_engine.hpp"
+#include "matgen/generators.hpp"
+#include "util/error.hpp"
+
+namespace nmdt {
+namespace {
+
+/// Two matrices with identical dims, nnz, and values but different
+/// sparsity patterns — the case a naive (dims, nnz) cache key would
+/// alias.
+std::pair<Csr, Csr> same_shape_different_pattern() {
+  Csr a;
+  a.rows = 2;
+  a.cols = 4;
+  a.row_ptr = {0, 2, 4};
+  a.col_idx = {0, 1, 2, 3};
+  a.val = {1.0f, 2.0f, 3.0f, 4.0f};
+  Csr b = a;
+  b.col_idx = {0, 2, 1, 3};
+  return {a, b};
+}
+
+TEST(Fingerprint, EqualForIdenticalMatrices) {
+  const Csr A = gen_uniform(100, 80, 0.05, 7);
+  const Csr B = A;
+  EXPECT_EQ(fingerprint_of(A), fingerprint_of(B));
+  EXPECT_EQ(fingerprint_of(A).combined(), fingerprint_of(B).combined());
+}
+
+TEST(Fingerprint, DistinguishesPatternAtEqualDimsAndNnz) {
+  const auto [a, b] = same_shape_different_pattern();
+  const MatrixFingerprint fa = fingerprint_of(a);
+  const MatrixFingerprint fb = fingerprint_of(b);
+  ASSERT_EQ(fa.rows, fb.rows);
+  ASSERT_EQ(fa.cols, fb.cols);
+  ASSERT_EQ(fa.nnz, fb.nnz);
+  EXPECT_NE(fa.structure_hash, fb.structure_hash);
+  EXPECT_FALSE(fa == fb);
+}
+
+TEST(Fingerprint, DistinguishesValuesAtEqualStructure) {
+  const Csr a = gen_uniform(64, 64, 0.1, 3);
+  Csr b = a;
+  b.val[0] += 1.0f;
+  const MatrixFingerprint fa = fingerprint_of(a);
+  const MatrixFingerprint fb = fingerprint_of(b);
+  EXPECT_EQ(fa.structure_hash, fb.structure_hash);
+  EXPECT_NE(fa.value_hash, fb.value_hash);
+}
+
+TEST(PlanCache, CountsHitsAndMisses) {
+  PlanCache cache;
+  const Csr A = gen_uniform(100, 100, 0.05, 1);
+  const Csr B = gen_uniform(100, 100, 0.05, 2);
+  const PlanOptions opts;
+
+  bool hit = true;
+  const auto p1 = cache.get_or_build(A, opts, &hit);
+  EXPECT_FALSE(hit);
+  const auto p2 = cache.get_or_build(A, opts, &hit);
+  EXPECT_TRUE(hit);
+  EXPECT_EQ(p1.get(), p2.get());  // same resident plan, not a rebuild
+  cache.get_or_build(B, opts, &hit);
+  EXPECT_FALSE(hit);
+
+  const PlanCacheStats s = cache.stats();
+  EXPECT_EQ(s.hits, 1u);
+  EXPECT_EQ(s.misses, 2u);
+  EXPECT_EQ(s.entries, 2u);
+  EXPECT_EQ(s.evictions, 0u);
+  EXPECT_GT(s.bytes, 0);
+}
+
+TEST(PlanCache, DifferentOptionsAreDifferentEntries) {
+  PlanCache cache;
+  const Csr A = gen_uniform(100, 100, 0.05, 1);
+  PlanOptions a;
+  PlanOptions b;
+  b.tiling = TilingSpec{32, 32};
+  cache.get_or_build(A, a);
+  bool hit = true;
+  cache.get_or_build(A, b, &hit);
+  EXPECT_FALSE(hit);
+  EXPECT_EQ(cache.stats().entries, 2u);
+}
+
+TEST(PlanCache, SameShapeDifferentPatternAreDifferentEntries) {
+  PlanCache cache;
+  const auto [a, b] = same_shape_different_pattern();
+  const PlanOptions opts;
+  const auto pa = cache.get_or_build(a, opts);
+  bool hit = true;
+  const auto pb = cache.get_or_build(b, opts, &hit);
+  EXPECT_FALSE(hit);  // must NOT alias despite equal dims/nnz/values
+  EXPECT_NE(pa.get(), pb.get());
+  EXPECT_EQ(cache.stats().entries, 2u);
+  EXPECT_NE(pa->csr().col_idx, pb->csr().col_idx);
+}
+
+TEST(PlanCache, LruEvictsOldestUnderByteBudget) {
+  // Size the budget from a real plan so the test tracks format changes:
+  // room for two same-shape plans but not three.
+  const Csr A = gen_uniform(200, 200, 0.05, 1);
+  const Csr B = gen_uniform(200, 200, 0.05, 2);
+  const Csr C = gen_uniform(200, 200, 0.05, 3);
+  const PlanOptions opts;
+  const i64 one = build_plan(A, opts)->bytes();
+  PlanCache cache(one * 5 / 2);
+
+  cache.get_or_build(A, opts);
+  cache.get_or_build(B, opts);
+  EXPECT_EQ(cache.stats().evictions, 0u);
+  cache.get_or_build(A, opts);  // bump A to most-recently-used
+  cache.get_or_build(C, opts);  // over budget -> evict LRU = B
+
+  PlanCacheStats s = cache.stats();
+  EXPECT_GE(s.evictions, 1u);
+  EXPECT_LE(s.bytes, s.byte_budget);
+
+  bool hit = false;
+  cache.get_or_build(A, opts, &hit);
+  EXPECT_TRUE(hit);  // A was bumped, so it survived
+  cache.get_or_build(B, opts, &hit);
+  EXPECT_FALSE(hit);  // B was the LRU victim
+}
+
+TEST(PlanCache, OversizePlansAreBuiltButNotStored) {
+  PlanCache cache(16);  // smaller than any real plan
+  const Csr A = gen_uniform(64, 64, 0.1, 1);
+  bool hit = true;
+  const auto p = cache.get_or_build(A, {}, &hit);
+  ASSERT_NE(p, nullptr);
+  EXPECT_FALSE(hit);
+  const PlanCacheStats s = cache.stats();
+  EXPECT_EQ(s.entries, 0u);
+  EXPECT_EQ(s.bytes, 0);
+  EXPECT_EQ(s.oversize, 1u);
+}
+
+TEST(Plan, ConvertsEveryOperandFormat) {
+  const Csr A = gen_powerlaw_rows(300, 200, 0.02, 1.2, 5);
+  const auto plan = build_plan(A);
+  EXPECT_EQ(plan->csr().nnz(), A.nnz());
+  EXPECT_EQ(plan->dcsr().nnz(), A.nnz());
+  EXPECT_EQ(plan->tiled_dcsr().nnz(), A.nnz());
+  EXPECT_GT(plan->bytes(), 0);
+  const SpmmOperands ops = plan->operands();
+  EXPECT_EQ(ops.csr, &plan->csr());
+  EXPECT_EQ(ops.csc, &plan->csc());
+  EXPECT_EQ(ops.dcsr, &plan->dcsr());
+  EXPECT_EQ(ops.tiled_dcsr, &plan->tiled_dcsr());
+  EXPECT_EQ(ops.tiled_csr, &plan->tiled_csr());
+}
+
+TEST(Executor, PlannedRunMatchesLegacyShimBitwise) {
+  const Csr A = gen_powerlaw_rows(256, 256, 0.03, 1.2, 9);
+  const index_t K = 32;
+  Rng rng(4);
+  DenseMatrix B(A.cols, K);
+  B.randomize(rng);
+  const SpmmConfig cfg = evaluation_config(A.rows, K);
+  const auto plan = build_plan(A, {cfg.tiling, default_ssf_threshold(), 1.0});
+  const SpmmExecutor ex(cfg);
+  for (KernelKind kind :
+       {KernelKind::kCsrCStationaryRowWarp, KernelKind::kDcsrCStationary,
+        KernelKind::kTiledDcsrOnline, KernelKind::kTiledDcsrBStationary}) {
+    const SpmmResult planned = ex.execute(kind, *plan, B);
+    const SpmmResult legacy = run_spmm(kind, A, B, cfg);
+    EXPECT_EQ(planned.C.max_abs_diff(legacy.C), 0.0) << kernel_name(kind);
+    EXPECT_EQ(planned.timing.total_ns, legacy.timing.total_ns) << kernel_name(kind);
+    EXPECT_EQ(planned.counters.flops, legacy.counters.flops) << kernel_name(kind);
+  }
+}
+
+TEST(Executor, RejectsPlanBuiltUnderDifferentTiling) {
+  const Csr A = gen_uniform(64, 64, 0.1, 1);
+  SpmmConfig cfg = evaluation_config(64, 8);
+  PlanOptions opts{cfg.tiling, default_ssf_threshold(), 1.0};
+  opts.tiling = TilingSpec{32, 32};
+  const auto plan = build_plan(A, opts);
+  DenseMatrix B(A.cols, 8);
+  Rng rng(1);
+  B.randomize(rng);
+  EXPECT_THROW(SpmmExecutor(cfg).execute(*plan, B), ConfigError);
+}
+
+TEST(SpmmEngine, SecondRunOnSameMatrixIsACacheHitWithIdenticalReport) {
+  const Csr A = gen_powerlaw_rows(256, 256, 0.03, 1.2, 11);
+  const index_t K = 16;
+  Rng rng(6);
+  DenseMatrix B(A.cols, K);
+  B.randomize(rng);
+  EngineOptions options;
+  options.spmm = evaluation_config(A.rows, K);
+  const SpmmEngine engine(options);
+
+  const SpmmReport first = engine.run(A, B);
+  const SpmmReport second = engine.run(A, B);
+
+  // Regression: the cache must not change what the engine computes.
+  EXPECT_EQ(first.profile.ssf, second.profile.ssf);
+  EXPECT_EQ(first.chosen, second.chosen);
+  EXPECT_EQ(first.kernel, second.kernel);
+  EXPECT_EQ(first.result.C.max_abs_diff(second.result.C), 0.0);
+  EXPECT_EQ(first.result.timing.total_ns, second.result.timing.total_ns);
+  EXPECT_EQ(first.speedup_vs_baseline, second.speedup_vs_baseline);
+  EXPECT_EQ(first.max_abs_error, second.max_abs_error);
+
+  // The second call performed zero profiling/conversion work.
+  EXPECT_FALSE(first.plan_cache_hit);
+  EXPECT_TRUE(second.plan_cache_hit);
+  EXPECT_EQ(second.plan_build_ms, 0.0);
+  const PlanCacheStats s = engine.cache_stats();
+  EXPECT_EQ(s.misses, 1u);
+  EXPECT_EQ(s.hits, 1u);
+  EXPECT_EQ(s.entries, 1u);
+}
+
+TEST(SpmmEngine, CachingCanBeDisabled) {
+  const Csr A = gen_uniform(100, 100, 0.05, 1);
+  DenseMatrix B(A.cols, 8);
+  Rng rng(2);
+  B.randomize(rng);
+  EngineOptions options;
+  options.spmm = evaluation_config(100, 8);
+  options.plan_cache_bytes = 0;
+  const SpmmEngine engine(options);
+  const SpmmReport r1 = engine.run(A, B);
+  const SpmmReport r2 = engine.run(A, B);
+  EXPECT_FALSE(r1.plan_cache_hit);
+  EXPECT_FALSE(r2.plan_cache_hit);  // every run plans from scratch
+  EXPECT_EQ(r1.result.C.max_abs_diff(r2.result.C), 0.0);
+  EXPECT_EQ(engine.cache_stats().entries, 0u);
+}
+
+TEST(SpmmEngine, PlanForExposesTheCachedPlan) {
+  const Csr A = gen_uniform(128, 128, 0.05, 3);
+  const SpmmEngine engine;
+  bool hit = true;
+  const auto p1 = engine.plan_for(A, &hit);
+  EXPECT_FALSE(hit);
+  DenseMatrix B(A.cols, 8);
+  Rng rng(2);
+  B.randomize(rng);
+  engine.run(A, B);  // must reuse p1, not rebuild
+  const auto p2 = engine.plan_for(A, &hit);
+  EXPECT_TRUE(hit);
+  EXPECT_EQ(p1.get(), p2.get());
+  EXPECT_EQ(engine.cache_stats().misses, 1u);
+}
+
+}  // namespace
+}  // namespace nmdt
