@@ -1,78 +1,189 @@
-// Microbenchmarks (google-benchmark) for the SpMM kernel simulations:
-// host-side throughput of each kernel variant (simulated non-zeros per
-// second) in counting and cache-sim modes — this bounds how large a
-// suite sweep is practical.
-#include <benchmark/benchmark.h>
+// Kernel-simulation throughput bench: times every SpMM kernel variant
+// serially (--jobs 1) and with intra-kernel sharding (--jobs N) on the
+// largest matrix of the chosen suite scale, and writes the comparison
+// to a JSON report (BENCH_kernels.json by default).
+//
+// The sharded run produces bit-identical C and metrics (enforced by the
+// KernelShardingSweep tests and re-checked here), so the only thing
+// that changes with --jobs is host wall-clock.
+//
+//   --scale {tiny,small,medium,large}  suite scale (default medium)
+//   --k <int>        dense B columns (default 64)
+//   --jobs <int>     shard threads for the parallel arm (default:
+//                    hardware concurrency)
+//   --warmup <int>   untimed iterations per arm (default 1)
+//   --iters <int>    timed iterations per arm; best is kept (default 3)
+//   --mode {counting,cachesim}  memory model (default cachesim)
+//   --out <path>     JSON report path (default BENCH_kernels.json)
+#include <algorithm>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
 
 #include "kernels/spmm.hpp"
-#include "matgen/generators.hpp"
+#include "matgen/suite.hpp"
+#include "util/cli.hpp"
+#include "util/error.hpp"
+#include "util/stopwatch.hpp"
+#include "util/thread_pool.hpp"
 
 namespace nmdt {
 namespace {
 
-const Csr& test_matrix() {
-  static const Csr m = gen_uniform(2048, 2048, 0.002, 42);
-  return m;
+constexpr KernelKind kAllKernels[] = {
+    KernelKind::kCsrCStationaryRowWarp,  KernelKind::kCsrCStationaryRowThread,
+    KernelKind::kDcsrCStationary,        KernelKind::kTiledCsrBStationary,
+    KernelKind::kTiledDcsrBStationary,   KernelKind::kTiledDcsrOnline,
+    KernelKind::kAStationary,            KernelKind::kMergeCStationary,
+    KernelKind::kHongHybrid,
+};
+
+struct ArmTiming {
+  double best_ms = 0.0;
+  double mean_ms = 0.0;
+};
+
+ArmTiming time_kernel(KernelKind kind, const Csr& A, const DenseMatrix& B,
+                      const SpmmConfig& cfg, int warmup, int iters) {
+  for (int i = 0; i < warmup; ++i) (void)run_spmm(kind, A, B, cfg);
+  ArmTiming t;
+  t.best_ms = 1e300;
+  for (int i = 0; i < iters; ++i) {
+    Stopwatch sw;
+    (void)run_spmm(kind, A, B, cfg);
+    const double ms = sw.elapsed_ms();
+    t.best_ms = std::min(t.best_ms, ms);
+    t.mean_ms += ms / iters;
+  }
+  return t;
 }
 
-const DenseMatrix& test_b() {
-  static const DenseMatrix b = [] {
-    Rng rng(1);
-    DenseMatrix m(2048, 64);
-    m.randomize(rng);
-    return m;
-  }();
-  return b;
+bool bitwise_equal(const DenseMatrix& x, const DenseMatrix& y) {
+  const auto xs = x.data();
+  const auto ys = y.data();
+  for (usize i = 0; i < xs.size(); ++i) {
+    if (xs[i] != ys[i]) return false;
+  }
+  return true;
 }
 
-void run_kernel_bench(benchmark::State& state, KernelKind kind, MemMode mode) {
+int run(int argc, char** argv) {
+  CliParser cli(argc, argv);
+  cli.declare("scale", "suite scale: tiny | small | medium | large (default medium)");
+  cli.declare("k", "dense B columns (default 64)");
+  cli.declare("jobs", "shard threads for the parallel arm (default: hardware concurrency)");
+  cli.declare("warmup", "untimed iterations per arm (default 1)");
+  cli.declare("iters", "timed iterations per arm, best kept (default 3)");
+  cli.declare("mode", "memory model: counting | cachesim (default cachesim)");
+  cli.declare("out", "JSON report path (default BENCH_kernels.json)");
+  if (cli.has("help")) {
+    std::cout << cli.help("micro_kernels: serial vs sharded kernel timing");
+    return 0;
+  }
+  cli.validate();
+
+  const std::string scale_name = cli.get("scale", "medium");
+  SuiteScale scale = SuiteScale::kMedium;
+  if (scale_name == "tiny") scale = SuiteScale::kTiny;
+  else if (scale_name == "small") scale = SuiteScale::kSmall;
+  else if (scale_name == "medium") scale = SuiteScale::kMedium;
+  else if (scale_name == "large") scale = SuiteScale::kLarge;
+  else throw ParseError("unknown --scale value: " + scale_name);
+  const index_t K = static_cast<index_t>(cli.get_int("k", 64));
+  int jobs = static_cast<int>(cli.get_int("jobs", 0));
+  if (jobs <= 0) jobs = ThreadPool::default_jobs();
+  const int warmup = static_cast<int>(cli.get_int("warmup", 1));
+  const int iters = std::max(1, static_cast<int>(cli.get_int("iters", 3)));
+  const std::string mode_name = cli.get("mode", "cachesim");
+  const std::string out_path = cli.get("out", "BENCH_kernels.json");
+
+  // The largest suite matrix is the one whose serial latency bounds a
+  // sweep, so it is the one the intra-kernel speedup matters for.
+  const auto specs = standard_suite(scale);
+  const MatrixSpec* pick = &specs.front();
+  for (const auto& s : specs) {
+    if (static_cast<i64>(s.rows) * s.cols > static_cast<i64>(pick->rows) * pick->cols ||
+        (static_cast<i64>(s.rows) * s.cols == static_cast<i64>(pick->rows) * pick->cols &&
+         s.density > pick->density)) {
+      pick = &s;
+    }
+  }
+  const Csr A = pick->generate();
+  Rng rng(1);
+  DenseMatrix B(A.cols, K);
+  B.randomize(rng);
+
   SpmmConfig cfg;
-  cfg.mem_mode = mode;
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(run_spmm(kind, test_matrix(), test_b(), cfg));
+  if (mode_name == "cachesim") {
+    cfg = evaluation_config(std::max<index_t>(A.rows, 64), K);
+  } else if (mode_name != "counting") {
+    throw ParseError("unknown --mode value: " + mode_name);
   }
-  state.SetItemsProcessed(state.iterations() * test_matrix().nnz());
-}
 
-void BM_BaselineCounting(benchmark::State& s) {
-  run_kernel_bench(s, KernelKind::kCsrCStationaryRowWarp, MemMode::kCounting);
-}
-void BM_BaselineCacheSim(benchmark::State& s) {
-  run_kernel_bench(s, KernelKind::kCsrCStationaryRowWarp, MemMode::kCacheSim);
-}
-void BM_DcsrCStationary(benchmark::State& s) {
-  run_kernel_bench(s, KernelKind::kDcsrCStationary, MemMode::kCacheSim);
-}
-void BM_TiledCsrB(benchmark::State& s) {
-  run_kernel_bench(s, KernelKind::kTiledCsrBStationary, MemMode::kCacheSim);
-}
-void BM_TiledDcsrB(benchmark::State& s) {
-  run_kernel_bench(s, KernelKind::kTiledDcsrBStationary, MemMode::kCacheSim);
-}
-void BM_TiledDcsrOnline(benchmark::State& s) {
-  run_kernel_bench(s, KernelKind::kTiledDcsrOnline, MemMode::kCacheSim);
-}
-void BM_AStationary(benchmark::State& s) {
-  run_kernel_bench(s, KernelKind::kAStationary, MemMode::kCacheSim);
-}
+  std::cout << "matrix " << pick->name << " (" << A.rows << " x " << A.cols << ", nnz "
+            << A.nnz() << "), K " << K << ", mode " << mode_name << ", jobs " << jobs
+            << ", host cores " << ThreadPool::default_jobs() << "\n";
 
-BENCHMARK(BM_BaselineCounting);
-BENCHMARK(BM_BaselineCacheSim);
-BENCHMARK(BM_DcsrCStationary);
-BENCHMARK(BM_TiledCsrB);
-BENCHMARK(BM_TiledDcsrB);
-BENCHMARK(BM_TiledDcsrOnline);
-BENCHMARK(BM_AStationary);
+  std::ofstream json(out_path);
+  NMDT_REQUIRE(json.good(), "cannot open JSON output path");
+  json << "{\n"
+       << "  \"bench\": \"micro_kernels\",\n"
+       << "  \"matrix\": \"" << pick->name << "\",\n"
+       << "  \"rows\": " << A.rows << ",\n"
+       << "  \"cols\": " << A.cols << ",\n"
+       << "  \"nnz\": " << A.nnz() << ",\n"
+       << "  \"k\": " << K << ",\n"
+       << "  \"mode\": \"" << mode_name << "\",\n"
+       << "  \"jobs\": " << jobs << ",\n"
+       << "  \"host_cores\": " << ThreadPool::default_jobs() << ",\n"
+       << "  \"warmup\": " << warmup << ",\n"
+       << "  \"iters\": " << iters << ",\n"
+       << "  \"note\": \"speedup is parallel-arm best vs serial best; "
+          "meaningful only when host_cores > 1\",\n"
+       << "  \"kernels\": [\n";
 
-void BM_Reference(benchmark::State& state) {
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(spmm_reference(test_matrix(), test_b()));
+  bool first = true;
+  for (KernelKind kind : kAllKernels) {
+    SpmmConfig serial_cfg = cfg;
+    serial_cfg.jobs = 1;
+    SpmmConfig parallel_cfg = cfg;
+    parallel_cfg.jobs = jobs;
+
+    const SpmmResult serial_res = run_spmm(kind, A, B, serial_cfg);
+    const SpmmResult parallel_res = run_spmm(kind, A, B, parallel_cfg);
+    const bool identical = bitwise_equal(serial_res.C, parallel_res.C) &&
+                           serial_res.counters == parallel_res.counters &&
+                           serial_res.mem == parallel_res.mem;
+
+    const ArmTiming serial = time_kernel(kind, A, B, serial_cfg, warmup, iters);
+    const ArmTiming parallel = time_kernel(kind, A, B, parallel_cfg, warmup, iters);
+    const double speedup = parallel.best_ms > 0.0 ? serial.best_ms / parallel.best_ms : 0.0;
+
+    std::cout << "  " << kernel_name(kind) << ": serial " << serial.best_ms
+              << " ms, jobs=" << jobs << " " << parallel.best_ms << " ms, speedup "
+              << speedup << (identical ? "" : "  [MISMATCH]") << "\n";
+
+    json << (first ? "" : ",\n") << "    {\"name\": \"" << kernel_name(kind)
+         << "\", \"serial_best_ms\": " << serial.best_ms
+         << ", \"serial_mean_ms\": " << serial.mean_ms
+         << ", \"parallel_best_ms\": " << parallel.best_ms
+         << ", \"parallel_mean_ms\": " << parallel.mean_ms
+         << ", \"speedup\": " << speedup << ", \"bit_identical\": "
+         << (identical ? "true" : "false") << "}";
+    first = false;
+    if (!identical) {
+      std::cerr << "FATAL: sharded run diverged for " << kernel_name(kind) << "\n";
+      json << "\n  ]\n}\n";
+      return 1;
+    }
   }
-  state.SetItemsProcessed(state.iterations() * test_matrix().nnz());
+  json << "\n  ]\n}\n";
+  std::cout << "wrote " << out_path << "\n";
+  return 0;
 }
-BENCHMARK(BM_Reference);
 
 }  // namespace
 }  // namespace nmdt
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) { return nmdt::run(argc, argv); }

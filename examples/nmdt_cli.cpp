@@ -70,6 +70,7 @@ int cmd_run(const CliParser& cli) {
   B.randomize(rng);
   EngineOptions options;
   options.spmm = evaluation_config(A.rows, K);
+  options.spmm.jobs = static_cast<int>(cli.get_int("jobs", 1));
   options.profile_sample_fraction = cli.get_double("sample", 1.0);
   const SpmmReport r = SpmmEngine(options).run(A, B);
   std::cout << "strategy " << strategy_name(r.chosen) << " via " << kernel_name(r.kernel)
@@ -137,7 +138,10 @@ int main(int argc, char** argv) {
   cli.declare("k", "dense columns (run/suite; default 64)");
   cli.declare("sample", "row fraction for sampled profiling (default 1.0 = full)");
   cli.declare("scale", "suite scale (suite; default small)");
-  cli.declare("jobs", "suite-runner threads (suite; default: hardware concurrency)");
+  cli.declare("jobs",
+              "host threads: suite-runner threads (suite; default: hardware "
+              "concurrency) or intra-kernel shard threads (run; default 1; "
+              "results are identical at any value)");
   if (cli.has("help")) {
     std::cout << cli.help("nmdt_cli: profile / run / convert / suite");
     return 0;

@@ -1,0 +1,26 @@
+#!/usr/bin/env bash
+# Tier-1 verification: the standard release build + full test suite
+# (ROADMAP.md), followed by the tsan preset re-running the concurrency
+# tests (thread pool, plan cache, parallel suite runner, and the
+# intra-kernel shard fan-out) under ThreadSanitizer.
+#
+# Usage: scripts/tier1.sh [--no-tsan]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+run_tsan=1
+if [[ "${1:-}" == "--no-tsan" ]]; then run_tsan=0; fi
+
+echo "==== tier-1: standard build + ctest ===="
+cmake -B build -S .
+cmake --build build -j
+ctest --test-dir build --output-on-failure -j
+
+if [[ "$run_tsan" == 1 ]]; then
+  echo "==== tier-1: tsan preset (concurrency tests) ===="
+  cmake --preset tsan
+  cmake --build --preset tsan -j
+  ctest --preset tsan --output-on-failure
+fi
+
+echo "==== tier-1: OK ===="

@@ -34,8 +34,10 @@ SpmmPlan::SpmmPlan(const Csr& A, const PlanOptions& opts) : options_(opts), csr_
   dcsr_ = dcsr_from_csr(csr_);
   tiled_dcsr_ = tiled_dcsr_from_csr(csr_, opts.tiling);
   tiled_csr_ = tiled_csr_from_csr(csr_, opts.tiling);
+  strip_nnz_ = strip_nnz_of(csr_, opts.tiling);
   bytes_ = footprint(csr_).total() + footprint(csc_).total() + footprint(dcsr_).total() +
-           footprint(tiled_dcsr_).total() + footprint(tiled_csr_).total();
+           footprint(tiled_dcsr_).total() + footprint(tiled_csr_).total() +
+           static_cast<i64>(strip_nnz_.counts.size()) * static_cast<i64>(sizeof(i64));
   build_ms_ = sw.elapsed_ms();
 }
 
@@ -46,6 +48,7 @@ SpmmOperands SpmmPlan::operands() const {
   ops.dcsr = &dcsr_;
   ops.tiled_dcsr = &tiled_dcsr_;
   ops.tiled_csr = &tiled_csr_;
+  ops.strip_nnz = &strip_nnz_;
   return ops;
 }
 

@@ -63,6 +63,7 @@ class SpmmPlan {
   const Dcsr& dcsr() const { return dcsr_; }
   const TiledDcsr& tiled_dcsr() const { return tiled_dcsr_; }
   const TiledCsr& tiled_csr() const { return tiled_csr_; }
+  const StripNnz& strip_nnz() const { return strip_nnz_; }
 
   /// Non-owning operand bundle over this plan's converted formats.  The
   /// plan must outlive any kernel call using the bundle.
@@ -85,6 +86,7 @@ class SpmmPlan {
   Dcsr dcsr_;
   TiledDcsr tiled_dcsr_;
   TiledCsr tiled_csr_;
+  StripNnz strip_nnz_;
   i64 bytes_ = 0;
   double build_ms_ = 0.0;
 };

@@ -183,6 +183,14 @@ Coo coo_from_tiled(const TiledCsr& tiled) {
   return coo;
 }
 
+StripNnz strip_nnz_of(const Csr& csr, const TilingSpec& spec) {
+  StripNnz out;
+  out.spec = spec;
+  out.counts.assign(static_cast<usize>(spec.num_strips(csr.cols)), 0);
+  for (index_t c : csr.col_idx) ++out.counts[static_cast<usize>(c / spec.strip_width)];
+  return out;
+}
+
 std::vector<Dcsr> strip_dcsr_from_csr(const Csr& csr, index_t strip_width) {
   TilingSpec spec;
   spec.strip_width = strip_width;

@@ -86,6 +86,17 @@ struct TiledCsr {
 TiledDcsr tiled_dcsr_from_csr(const Csr& csr, const TilingSpec& spec);
 TiledCsr tiled_csr_from_csr(const Csr& csr, const TilingSpec& spec);
 
+/// Per-strip non-zero counts under `spec` — the strip-skip table the
+/// B-stationary kernels consult before touching a strip.  Derivable
+/// from A alone (one col_idx scan), so plans compute it once and pass
+/// it through SpmmOperands instead of every kernel call rescanning.
+struct StripNnz {
+  TilingSpec spec;
+  std::vector<i64> counts;  ///< counts[s] = non-zeros in vertical strip s
+};
+
+StripNnz strip_nnz_of(const Csr& csr, const TilingSpec& spec);
+
 /// Reassemble into global-coordinate COO — used by the partition-property
 /// tests (every non-zero appears in exactly one tile).
 Coo coo_from_tiled(const TiledDcsr& tiled);

@@ -20,6 +20,8 @@ struct CacheStats {
   u64 evictions = 0;
   u64 writebacks = 0;
 
+  bool operator==(const CacheStats&) const = default;
+
   double hit_rate() const {
     return accesses == 0 ? 0.0 : static_cast<double>(sector_hits) / accesses;
   }

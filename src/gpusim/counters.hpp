@@ -43,6 +43,8 @@ struct KernelCounters {
   /// kernels bound this by the strip width.
   u64 max_chain_iters = 0;
 
+  bool operator==(const KernelCounters&) const = default;
+
   void observe_chain(u64 iters) { max_chain_iters = std::max(max_chain_iters, iters); }
 
   u64 total_instr() const { return fp_instr + int_instr + control_instr + memory_instr; }

@@ -104,6 +104,36 @@ const std::string& MemorySystem::operand_of(u64 addr) const {
   return addr < it->end ? it->tag : kUnknown;
 }
 
+i64& MemorySystem::operand_slot(u64 addr) {
+  if (addr < cached_begin_ || addr >= cached_end_) {
+    auto it = std::upper_bound(regions_.begin(), regions_.end(), addr,
+                               [](u64 a, const Region& r) { return a < r.begin; });
+    const Region* region = nullptr;
+    if (it != regions_.begin()) {
+      --it;
+      if (addr < it->end) region = &*it;
+    }
+    if (region != nullptr) {
+      cached_begin_ = region->begin;
+      cached_end_ = region->end;
+      cached_slot_ = &stats_.operand_bytes[region->tag];
+    } else {
+      static const std::string kUnknown = "?";
+      cached_begin_ = addr;
+      cached_end_ = addr + 1;
+      cached_slot_ = &stats_.operand_bytes[kUnknown];
+    }
+  }
+  return *cached_slot_;
+}
+
+void MemorySystem::merge(const MemorySystem& other) {
+  NMDT_REQUIRE(other.mode_ == mode_ &&
+                   other.stats_.channels.size() == stats_.channels.size(),
+               "MemorySystem::merge requires matching mode and channel geometry");
+  stats_ += other.stats_;
+}
+
 void MemorySystem::dram_access(u64 addr, i64 bytes, int kind) {
   const usize channel = static_cast<usize>(interleave_.channel_of(addr));
   ChannelStats& ch = stats_.channels[channel];
@@ -118,7 +148,7 @@ void MemorySystem::dram_access(u64 addr, i64 bytes, int kind) {
       ch.atomic_bytes += effective;
       break;
   }
-  stats_.operand_bytes[operand_of(addr)] += effective;
+  operand_slot(addr) += effective;
   if (!dram_.empty()) {
     DramChannelSim& bank_model = dram_[channel];
     bank_model.access(addr, effective);
@@ -187,6 +217,54 @@ void MemorySystem::warp_atomic(u64 addr, i64 bytes) {
   });
 }
 
+void MemorySystem::warp_load_run(std::span<const u64> addrs, i64 bytes_each) {
+  if (mode_ == MemMode::kCacheSim) {
+    // The L2 / DRAM bank models are stateful: preserve the exact
+    // per-entry event order so stats match the unbatched path bit for
+    // bit.
+    for (u64 addr : addrs) warp_load(addr, bytes_each);
+    return;
+  }
+  if (bytes_each <= 0) return;
+  const i64 sector = arch_.l2_sector_bytes;
+  for (u64 addr : addrs) {
+    const u64 first = addr / static_cast<u64>(sector);
+    const u64 last = (addr + static_cast<u64>(bytes_each) - 1) / static_cast<u64>(sector);
+    for (u64 s = first; s <= last; ++s) {
+      const u64 sector_addr = s * static_cast<u64>(sector);
+      stats_.l2_service_bytes += sector;
+      ChannelStats& ch = stats_.channels[static_cast<usize>(interleave_.channel_of(sector_addr))];
+      ++ch.requests;
+      ch.read_bytes += sector;
+      operand_slot(sector_addr) += sector;
+    }
+  }
+}
+
+void MemorySystem::warp_atomic_run(std::span<const u64> addrs, i64 bytes_each) {
+  if (mode_ == MemMode::kCacheSim) {
+    for (u64 addr : addrs) warp_atomic(addr, bytes_each);
+    return;
+  }
+  if (bytes_each <= 0) return;
+  const i64 sector = arch_.l2_sector_bytes;
+  const i64 effective =
+      static_cast<i64>(static_cast<double>(sector) * arch_.atomic_cost_multiplier);
+  for (u64 addr : addrs) {
+    const u64 first = addr / static_cast<u64>(sector);
+    const u64 last = (addr + static_cast<u64>(bytes_each) - 1) / static_cast<u64>(sector);
+    for (u64 s = first; s <= last; ++s) {
+      const u64 sector_addr = s * static_cast<u64>(sector);
+      stats_.l2_service_bytes += sector;
+      stats_.atomic_rmw_bytes += sector;
+      ChannelStats& ch = stats_.channels[static_cast<usize>(interleave_.channel_of(sector_addr))];
+      ++ch.requests;
+      ch.atomic_bytes += effective;
+      operand_slot(sector_addr) += effective;
+    }
+  }
+}
+
 void MemorySystem::engine_read(u64 addr, i64 bytes) {
   // The engine's per-column prefetch buffer turns its element stream
   // into full-sector sequential bursts: exact byte count, row-buffer
@@ -195,7 +273,7 @@ void MemorySystem::engine_read(u64 addr, i64 bytes) {
   ChannelStats& ch = stats_.channels[channel];
   ++ch.requests;
   ch.read_bytes += bytes;
-  stats_.operand_bytes[operand_of(addr)] += bytes;
+  operand_slot(addr) += bytes;
   if (!dram_.empty()) {
     dram_[channel].stream(bytes);
     ch.busy_ns = dram_[channel].busy_ns();
@@ -226,7 +304,10 @@ void MemorySystem::reset_stats() {
   stats_.xbar_bytes = 0;
   stats_.l2_service_bytes = 0;
   stats_.atomic_rmw_bytes = 0;
-  stats_.operand_bytes.clear();
+  stats_.operand_bytes.clear();  // invalidates cached operand slots
+  cached_begin_ = 1;
+  cached_end_ = 0;
+  cached_slot_ = nullptr;
   stats_.l2 = CacheStats{};
   if (l2_) l2_->reset();
   for (auto& d : dram_) d.reset();

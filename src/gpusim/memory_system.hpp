@@ -17,6 +17,7 @@
 
 #include <map>
 #include <memory>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -38,6 +39,8 @@ struct ChannelStats {
   u64 row_hits = 0;
   u64 row_misses = 0;
 
+  bool operator==(const ChannelStats&) const = default;
+
   i64 total_bytes() const { return read_bytes + write_bytes + atomic_bytes; }
 };
 
@@ -51,6 +54,8 @@ struct MemStats {
   /// (keyed by the allocation's name) — lets the Table 1 bench compare
   /// per-operand traffic against the analytical model.
   std::map<std::string, i64> operand_bytes;
+
+  bool operator==(const MemStats&) const = default;
 
   i64 total_dram_bytes() const;
   i64 max_channel_bytes() const;
@@ -86,6 +91,16 @@ class MemorySystem {
   /// Atomic RMW on [addr, addr+bytes): charged 2× at the owning channel.
   void warp_atomic(u64 addr, i64 bytes);
 
+  /// Batched equivalents: one call per *run* of same-sized warp requests
+  /// (a row's B-row fetches, a tile's per-row C atomics).  Addresses are
+  /// processed in order, so byte / hit / row-buffer accounting is
+  /// identical to issuing the per-entry calls one by one (asserted by
+  /// tests); the win is bookkeeping — in counting mode the per-sector
+  /// event plumbing collapses to plain arithmetic, and the allocation
+  /// lookup for operand attribution is cached across the run.
+  void warp_load_run(std::span<const u64> addrs, i64 bytes_each);
+  void warp_atomic_run(std::span<const u64> addrs, i64 bytes_each);
+
   /// Direct DRAM read issued by a near-memory engine (bypasses L2 — the
   /// engine sits beside the memory controller).
   void engine_read(u64 addr, i64 bytes);
@@ -101,6 +116,14 @@ class MemorySystem {
   const MemStats& stats() const { return stats_; }
   const Interleaver& interleaver() const { return interleave_; }
 
+  /// Fold another shard's statistics into this instance (intra-kernel
+  /// sharding: each shard records events into a private MemorySystem
+  /// that replayed the identical allocation sequence; the merged totals
+  /// equal the serial run's in counting mode because every per-sector
+  /// contribution is order-independent there).  Requires matching mode
+  /// and channel geometry.
+  void merge(const MemorySystem& other);
+
   void reset_stats();
 
  private:
@@ -110,6 +133,12 @@ class MemorySystem {
   /// any allocation — e.g. a writeback of an evicted line is attributed
   /// to its own address).
   const std::string& operand_of(u64 addr) const;
+
+  /// Cached accumulator for the operand-attribution map entry of the
+  /// allocation containing `addr`.  Consecutive accesses within one
+  /// allocation (the common case, and every run-API entry) skip both
+  /// the region binary search and the string-keyed map lookup.
+  i64& operand_slot(u64 addr);
 
   struct Region {
     u64 begin, end;
@@ -124,6 +153,11 @@ class MemorySystem {
   std::vector<Region> regions_;       ///< sorted by begin (allocation order)
   MemStats stats_;
   u64 next_base_ = 0;
+  // operand_slot cache (empty range = invalid; map nodes are stable, so
+  // the pointer survives later insertions until reset_stats()).
+  u64 cached_begin_ = 1;
+  u64 cached_end_ = 0;
+  i64* cached_slot_ = nullptr;
 };
 
 }  // namespace nmdt

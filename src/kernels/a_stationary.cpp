@@ -4,6 +4,11 @@
 // DRAM and partial C contributions go out through atomics — the most
 // bandwidth-hungry of the three strategies, implemented as the Table 1
 // reference point.
+//
+// Sharding: strips split across shards; strips overlap in C rows, so
+// each shard accumulates into a PartialC buffer reduced in shard-index
+// order (per C row the contribution order is strips-ascending, same as
+// the serial sweep).
 #include <algorithm>
 #include <optional>
 
@@ -20,73 +25,91 @@ SpmmResult spmm_a_stationary(const SpmmOperands& ops, const DenseMatrix& B,
                               ? *ops.tiled_csr
                               : local.emplace(tiled_csr_from_csr(A, spec));
 
-  Ctx ctx(cfg);
   const index_t K = B.cols();
-  const DenseLayout b = DenseLayout::allocate(B, ctx.mem, "B");
-  const DenseLayout c = DenseLayout::allocate(DenseMatrix(A.rows, K), ctx.mem, "C");
-  i64 total_rowptr = 0, total_entries = 0;
-  for (const auto& strip : tiled.strips) {
-    for (const auto& tile : strip) {
-      total_rowptr += static_cast<i64>(tile.body.row_ptr.size());
-      total_entries += tile.nnz();
+
+  // Per-strip starting offsets into the concatenated device blobs, so a
+  // shard can address its strips' tiles without walking its
+  // predecessors.
+  const usize num_strips = tiled.strips.size();
+  std::vector<i64> strip_rowptr_start(num_strips + 1, 0);
+  std::vector<i64> strip_entry_start(num_strips + 1, 0);
+  for (usize s = 0; s < num_strips; ++s) {
+    i64 rowptr_words = 0, entries = 0;
+    for (const auto& tile : tiled.strips[s]) {
+      rowptr_words += static_cast<i64>(tile.body.row_ptr.size());
+      entries += tile.nnz();
     }
+    strip_rowptr_start[s + 1] = strip_rowptr_start[s] + rowptr_words;
+    strip_entry_start[s + 1] = strip_entry_start[s] + entries;
   }
-  const u64 rowptr_base = ctx.mem.allocate(total_rowptr * kIndexBytes, "A.tiles.row_ptr");
-  const u64 entry_base =
-      ctx.mem.allocate(total_entries * (kIndexBytes + kValueBytes), "A.tiles.entries");
+  const i64 total_rowptr = strip_rowptr_start[num_strips];
+  const i64 total_entries = strip_entry_start[num_strips];
 
-  DenseMatrix C(A.rows, K, 0.0f);
-  ctx.counters.kernel_launches = 1;
+  ShardSet shards(cfg, static_cast<i64>(num_strips), kStripGrain);
+  PartialC partial(A.rows, K, shards.size());
+  shards.run([&](int sh, ShardRange range, Ctx& ctx) {
+    const DenseLayout b = DenseLayout::allocate(B, ctx.mem, "B");
+    const DenseLayout c = DenseLayout::allocate(A.rows, K, ctx.mem, "C");
+    const u64 rowptr_base = ctx.mem.allocate(total_rowptr * kIndexBytes, "A.tiles.row_ptr");
+    const u64 entry_base =
+        ctx.mem.allocate(total_entries * (kIndexBytes + kValueBytes), "A.tiles.entries");
+    DenseMatrix& C = partial.shard(sh);
+    std::vector<u64> b_addrs;
 
-  i64 rowptr_off = 0, entry_off = 0;
-  for (const auto& strip : tiled.strips) {
-    for (const auto& tile : strip) {
-      // Single fetch of the A tile into shared memory (plus the tile
-      // scan visits, as in tiled CSR).
-      ctx.counters.warp_visits += 1 + static_cast<u64>((tile.body.rows + 31) / 32);
-      ctx.waves(InstrClass::kMemory, tile.body.rows + 1);
-      ctx.mem.warp_load(rowptr_base + static_cast<u64>(rowptr_off) * kIndexBytes,
-                        static_cast<i64>(tile.body.row_ptr.size()) * kIndexBytes);
-      rowptr_off += static_cast<i64>(tile.body.row_ptr.size());
-      if (tile.nnz() > 0) {
-        ctx.mem.warp_load(
-            entry_base + static_cast<u64>(entry_off) * (kIndexBytes + kValueBytes),
-            tile.nnz() * (kIndexBytes + kValueBytes));
-      }
-      entry_off += tile.nnz();
-      if (tile.nnz() == 0) continue;
-
-      for (index_t lr = 0; lr < tile.body.rows; ++lr) {
-        const i64 cnt = tile.body.row_nnz(lr);
-        if (cnt == 0) {
-          ctx.issue(InstrClass::kControl, 1);
-          continue;
+    for (i64 s = range.begin; s < range.end; ++s) {
+      i64 rowptr_off = strip_rowptr_start[static_cast<usize>(s)];
+      i64 entry_off = strip_entry_start[static_cast<usize>(s)];
+      for (const auto& tile : tiled.strips[static_cast<usize>(s)]) {
+        // Single fetch of the A tile into shared memory (plus the tile
+        // scan visits, as in tiled CSR).
+        ctx.counters.warp_visits += 1 + static_cast<u64>((tile.body.rows + 31) / 32);
+        ctx.waves(InstrClass::kMemory, tile.body.rows + 1);
+        ctx.mem.warp_load(rowptr_base + static_cast<u64>(rowptr_off) * kIndexBytes,
+                          static_cast<i64>(tile.body.row_ptr.size()) * kIndexBytes);
+        rowptr_off += static_cast<i64>(tile.body.row_ptr.size());
+        if (tile.nnz() > 0) {
+          ctx.mem.warp_load(
+              entry_base + static_cast<u64>(entry_off) * (kIndexBytes + kValueBytes),
+              tile.nnz() * (kIndexBytes + kValueBytes));
         }
-        const index_t grow = tile.row_begin + lr;
-        ++ctx.counters.warp_visits;
-        ctx.counters.serial_iterations += static_cast<u64>(cnt);
-        ctx.counters.observe_chain(static_cast<u64>(cnt));  // ≤ strip width
-        auto c_row = C.row(grow);
-        for (index_t j = tile.body.row_ptr[lr]; j < tile.body.row_ptr[lr + 1]; ++j) {
-          const index_t gcol = tile.col_begin + tile.body.col_idx[j];
-          const value_t a_val = tile.body.val[j];
-          // Every non-zero streams a K-wide B row from DRAM: B has no
-          // residency anywhere in this strategy.
+        entry_off += tile.nnz();
+        if (tile.nnz() == 0) continue;
+
+        for (index_t lr = 0; lr < tile.body.rows; ++lr) {
+          const i64 cnt = tile.body.row_nnz(lr);
+          if (cnt == 0) {
+            ctx.issue(InstrClass::kControl, 1);
+            continue;
+          }
+          const index_t grow = tile.row_begin + lr;
+          ++ctx.counters.warp_visits;
+          ctx.counters.serial_iterations += static_cast<u64>(cnt);
+          ctx.counters.observe_chain(static_cast<u64>(cnt));  // ≤ strip width
+          value_t* NMDT_RESTRICT c_row = C.row(grow).data();
+          b_addrs.clear();
+          for (index_t j = tile.body.row_ptr[lr]; j < tile.body.row_ptr[lr + 1]; ++j) {
+            const index_t gcol = tile.col_begin + tile.body.col_idx[j];
+            // Every non-zero streams a K-wide B row from DRAM: B has no
+            // residency anywhere in this strategy.  The row's fetches
+            // form one request run.
+            ctx.waves(InstrClass::kMemory, K);
+            ctx.waves(InstrClass::kFp, K);
+            b_addrs.push_back(b.addr(gcol));
+            axpy_row(tile.body.val[j], B.row(gcol).data(), c_row, K);
+            ctx.counters.flops += static_cast<u64>(2 * K);
+          }
+          ctx.mem.warp_load_run(b_addrs, static_cast<i64>(K) * kValueBytes);
+          // Partial C row for this tile, atomically merged.
           ctx.waves(InstrClass::kMemory, K);
-          ctx.waves(InstrClass::kFp, K);
-          ctx.mem.warp_load(b.addr(gcol), static_cast<i64>(K) * kValueBytes);
-          const auto b_row = B.row(gcol);
-          for (index_t k = 0; k < K; ++k) c_row[k] += a_val * b_row[k];
-          ctx.counters.flops += static_cast<u64>(2 * K);
+          ctx.mem.warp_atomic(c.addr(grow), static_cast<i64>(K) * kValueBytes);
+          ++ctx.counters.atomic_updates;
         }
-        // Partial C row for this tile, atomically merged.
-        ctx.waves(InstrClass::kMemory, K);
-        ctx.mem.warp_atomic(c.addr(grow), static_cast<i64>(K) * kValueBytes);
-        ++ctx.counters.atomic_updates;
       }
     }
-  }
-  return finish(ctx, std::move(C));
+  });
+  Ctx& merged = shards.merge();
+  merged.counters.kernel_launches = 1;
+  return finish(merged, partial.take());
 }
 
 }  // namespace nmdt::detail

@@ -16,6 +16,13 @@
 //   * online DCSR    — tiles produced on demand by the near-memory
 //                      CSC→DCSR engines and delivered over the crossbar;
 //                      DRAM sees only the compact CSC stream.
+//
+// Sharding: the strip axis splits across shards (kStripGrain strips
+// each); every strip contributes to every C row, so each shard
+// accumulates into a private PartialC buffer, reduced in shard-index
+// order.  Per C element the contribution order is strips-ascending
+// under either traversal, so the reduced output is bit-identical to the
+// serial sweep.
 #include <algorithm>
 #include <optional>
 
@@ -25,38 +32,14 @@ namespace nmdt::detail {
 
 namespace {
 
-/// Per-strip nnz (to skip strips with no work — knowable from col_ptr /
-/// tile metadata in every variant).
-std::vector<i64> strip_nnz_counts(const Csr& A, const TilingSpec& spec) {
-  std::vector<i64> nnz(static_cast<usize>(spec.num_strips(A.cols)), 0);
-  for (index_t c : A.col_idx) ++nnz[c / spec.strip_width];
-  return nnz;
-}
-
-/// The (b_col_begin, strip) visit sequence for the configured traversal
-/// order (Sec. 3.1.3).
-std::vector<std::pair<index_t, index_t>> visit_order(index_t K, index_t bt,
-                                                     index_t num_strips,
-                                                     TraversalOrder order) {
-  std::vector<std::pair<index_t, index_t>> out;
-  if (order == TraversalOrder::kColumnMajor) {
-    for (index_t bc = 0; bc < K; bc += bt) {
-      for (index_t s = 0; s < num_strips; ++s) out.emplace_back(bc, s);
-    }
-  } else {
-    for (index_t s = 0; s < num_strips; ++s) {
-      for (index_t bc = 0; bc < K; bc += bt) out.emplace_back(bc, s);
-    }
-  }
-  return out;
-}
-
 /// SM-side processing of one DCSR tile whose data is already on chip
 /// (shared memory): per dense row, stream the entries against the B
-/// tile and atomically add the partial C row.
+/// tile and atomically add the partial C row.  The per-row atomics form
+/// one request run issued at tile end.
 void process_dcsr_tile(Ctx& ctx, const DcsrTile& tile, const DenseMatrix& B,
                        DenseMatrix& C, const DenseLayout& c_layout, index_t b_col_begin,
-                       index_t tile_cols) {
+                       index_t tile_cols, std::vector<u64>& atomic_addrs) {
+  atomic_addrs.clear();
   for (i64 g = 0; g < tile.body.nnz_rows(); ++g) {
     const index_t grow = tile.row_begin + tile.body.dense_row(g);
     const auto cols = tile.body.dense_row_cols(g);
@@ -65,27 +48,23 @@ void process_dcsr_tile(Ctx& ctx, const DcsrTile& tile, const DenseMatrix& B,
     ++ctx.counters.warp_visits;
     ctx.counters.serial_iterations += cols.size();
     ctx.counters.observe_chain(cols.size());  // bounded by strip width
+    value_t* NMDT_RESTRICT c_row = C.row(grow).data() + b_col_begin;
     for (usize j = 0; j < cols.size(); ++j) {
       const index_t gcol = tile.col_begin + cols[j];
-      const value_t a = vals[j];
       // Broadcast entry read + shared-memory B row sweep + FMA waves.
       ctx.issue(InstrClass::kMemory, ctx.cfg.arch.warp_size);
       ctx.waves(InstrClass::kMemory, tile_cols);
       ctx.waves(InstrClass::kFp, tile_cols);
-      auto c_row = C.row(grow);
-      const auto b_row = B.row(gcol);
-      for (index_t k = 0; k < tile_cols; ++k) {
-        c_row[b_col_begin + k] += a * b_row[b_col_begin + k];
-      }
+      axpy_row(vals[j], B.row(gcol).data() + b_col_begin, c_row, tile_cols);
       ctx.counters.flops += static_cast<u64>(2 * tile_cols);
     }
     // Partial-sum accumulation: atomicAdd of the tile_cols-wide C row
     // segment (other SMs may be contributing to the same C tile).
     ctx.waves(InstrClass::kMemory, tile_cols);
-    ctx.mem.warp_atomic(c_layout.addr(grow, b_col_begin),
-                        static_cast<i64>(tile_cols) * kValueBytes);
+    atomic_addrs.push_back(c_layout.addr(grow, b_col_begin));
     ++ctx.counters.atomic_updates;
   }
+  ctx.mem.warp_atomic_run(atomic_addrs, static_cast<i64>(tile_cols) * kValueBytes);
 }
 
 /// Offline preprocessing cost of building a tiled format: stream the
@@ -128,6 +107,14 @@ TileOffsets compute_offsets(const Tiled& tiled, MetaWordsFn&& meta_words_of) {
   return off;
 }
 
+/// Strip-skip table: take the plan's if it was built under this tiling,
+/// else compute locally (legacy path).
+const StripNnz& resolve_strip_nnz(const SpmmOperands& ops, const Csr& A,
+                                  const TilingSpec& spec, std::optional<StripNnz>& local) {
+  if (ops.strip_nnz && ops.strip_nnz->spec == spec) return *ops.strip_nnz;
+  return local.emplace(strip_nnz_of(A, spec));
+}
+
 }  // namespace
 
 SpmmResult spmm_tiled_csr_b_stationary(const SpmmOperands& ops, const DenseMatrix& B,
@@ -138,76 +125,86 @@ SpmmResult spmm_tiled_csr_b_stationary(const SpmmOperands& ops, const DenseMatri
   const TiledCsr& tiled = (ops.tiled_csr && ops.tiled_csr->spec == spec)
                               ? *ops.tiled_csr
                               : local.emplace(tiled_csr_from_csr(A, spec));
-  const std::vector<i64> strip_nnz = strip_nnz_counts(A, spec);
+  std::optional<StripNnz> local_nnz;
+  const StripNnz& strip_nnz = resolve_strip_nnz(ops, A, spec, local_nnz);
   const TileOffsets off = compute_offsets(
       tiled, [](const CsrTile& t) { return static_cast<i64>(t.body.row_ptr.size()); });
 
-  Ctx ctx(cfg);
   const index_t K = B.cols();
-  const DenseLayout b = DenseLayout::allocate(B, ctx.mem, "B");
-  const DenseLayout c = DenseLayout::allocate(DenseMatrix(A.rows, K), ctx.mem, "C");
-  const u64 rowptr_base =
-      ctx.mem.allocate(off.total_meta_words * kIndexBytes, "A.tiles.row_ptr");
-  const u64 entry_base =
-      ctx.mem.allocate(off.total_entries * (kIndexBytes + kValueBytes), "A.tiles.entries");
-
-  DenseMatrix C(A.rows, K, 0.0f);
   const index_t bt = spec.strip_width;  // B tile is bt×bt
-  ctx.counters.kernel_launches = static_cast<u64>((K + bt - 1) / bt);
 
-  for (const auto& [bc, s] : visit_order(K, bt, tiled.num_strips(), cfg.traversal)) {
-    if (strip_nnz[s] == 0) continue;
-    const index_t tile_cols = std::min<index_t>(bt, K - bc);
-    const index_t width = std::min<index_t>(spec.strip_width, A.cols - s * spec.strip_width);
-    load_b_tile(ctx, b, s * spec.strip_width, width, bc, tile_cols);
+  ShardSet shards(cfg, tiled.num_strips(), kStripGrain);
+  PartialC partial(A.rows, K, shards.size());
+  shards.run([&](int sh, ShardRange range, Ctx& ctx) {
+    const DenseLayout b = DenseLayout::allocate(B, ctx.mem, "B");
+    const DenseLayout c = DenseLayout::allocate(A.rows, K, ctx.mem, "C");
+    const u64 rowptr_base =
+        ctx.mem.allocate(off.total_meta_words * kIndexBytes, "A.tiles.row_ptr");
+    const u64 entry_base =
+        ctx.mem.allocate(off.total_entries * (kIndexBytes + kValueBytes), "A.tiles.entries");
+    DenseMatrix& C = partial.shard(sh);
+    std::vector<u64> b_addrs, atomic_addrs;
 
-    for (usize t = 0; t < tiled.strips[s].size(); ++t) {
-      const CsrTile& tile = tiled.strips[s][t];
-      // Full row_ptr scan: (tile_rows+1) pointers regardless of how
-      // many rows are empty — the redundant-metadata pathology.  The
-      // scan itself costs warp visits proportional to tile height.
-      ctx.counters.warp_visits += 1 + static_cast<u64>((tile.body.rows + 31) / 32);
-      ctx.waves(InstrClass::kMemory, tile.body.rows + 1);
-      ctx.mem.warp_load(rowptr_base + static_cast<u64>(off.meta[s][t]) * kIndexBytes,
-                        static_cast<i64>(tile.body.row_ptr.size()) * kIndexBytes);
-      if (tile.nnz() > 0) {
-        ctx.mem.warp_load(
-            entry_base + static_cast<u64>(off.entries[s][t]) * (kIndexBytes + kValueBytes),
-            tile.nnz() * (kIndexBytes + kValueBytes));
-      }
+    const VisitOrder visits(K, bt, static_cast<index_t>(range.begin),
+                            static_cast<index_t>(range.end), cfg.traversal);
+    for (i64 v = 0; v < visits.size(); ++v) {
+      const auto [bc, s] = visits[v];
+      if (strip_nnz.counts[static_cast<usize>(s)] == 0) continue;
+      const index_t tile_cols = std::min<index_t>(bt, K - bc);
+      const index_t width =
+          std::min<index_t>(spec.strip_width, A.cols - s * spec.strip_width);
+      load_b_tile(ctx, b, s * spec.strip_width, width, bc, tile_cols, b_addrs);
 
-      for (index_t lr = 0; lr < tile.body.rows; ++lr) {
-        const i64 cnt = tile.body.row_nnz(lr);
-        if (cnt == 0) {
-          // One active lane discovers the empty row (Fig. 6 ②).
-          ctx.issue(InstrClass::kControl, 1);
-          continue;
+      for (usize t = 0; t < tiled.strips[s].size(); ++t) {
+        const CsrTile& tile = tiled.strips[s][t];
+        // Full row_ptr scan: (tile_rows+1) pointers regardless of how
+        // many rows are empty — the redundant-metadata pathology.  The
+        // scan itself costs warp visits proportional to tile height.
+        ctx.counters.warp_visits += 1 + static_cast<u64>((tile.body.rows + 31) / 32);
+        ctx.waves(InstrClass::kMemory, tile.body.rows + 1);
+        ctx.mem.warp_load(rowptr_base + static_cast<u64>(off.meta[s][t]) * kIndexBytes,
+                          static_cast<i64>(tile.body.row_ptr.size()) * kIndexBytes);
+        if (tile.nnz() > 0) {
+          ctx.mem.warp_load(
+              entry_base + static_cast<u64>(off.entries[s][t]) * (kIndexBytes + kValueBytes),
+              tile.nnz() * (kIndexBytes + kValueBytes));
         }
-        const index_t grow = tile.row_begin + lr;
-        ctx.issue(InstrClass::kControl, ctx.cfg.arch.warp_size);
-        ++ctx.counters.warp_visits;
-        ctx.counters.serial_iterations += static_cast<u64>(cnt);
-        ctx.counters.observe_chain(static_cast<u64>(cnt));  // ≤ strip width
-        for (index_t j = tile.body.row_ptr[lr]; j < tile.body.row_ptr[lr + 1]; ++j) {
-          const index_t gcol = tile.col_begin + tile.body.col_idx[j];
-          const value_t a = tile.body.val[j];
-          ctx.issue(InstrClass::kMemory, ctx.cfg.arch.warp_size);
+
+        atomic_addrs.clear();
+        for (index_t lr = 0; lr < tile.body.rows; ++lr) {
+          const i64 cnt = tile.body.row_nnz(lr);
+          if (cnt == 0) {
+            // One active lane discovers the empty row (Fig. 6 ②).
+            ctx.issue(InstrClass::kControl, 1);
+            continue;
+          }
+          const index_t grow = tile.row_begin + lr;
+          ctx.issue(InstrClass::kControl, ctx.cfg.arch.warp_size);
+          ++ctx.counters.warp_visits;
+          ctx.counters.serial_iterations += static_cast<u64>(cnt);
+          ctx.counters.observe_chain(static_cast<u64>(cnt));  // ≤ strip width
+          value_t* NMDT_RESTRICT c_row = C.row(grow).data() + bc;
+          for (index_t j = tile.body.row_ptr[lr]; j < tile.body.row_ptr[lr + 1]; ++j) {
+            const index_t gcol = tile.col_begin + tile.body.col_idx[j];
+            ctx.issue(InstrClass::kMemory, ctx.cfg.arch.warp_size);
+            ctx.waves(InstrClass::kMemory, tile_cols);
+            ctx.waves(InstrClass::kFp, tile_cols);
+            axpy_row(tile.body.val[j], B.row(gcol).data() + bc, c_row, tile_cols);
+            ctx.counters.flops += static_cast<u64>(2 * tile_cols);
+          }
           ctx.waves(InstrClass::kMemory, tile_cols);
-          ctx.waves(InstrClass::kFp, tile_cols);
-          auto c_row = C.row(grow);
-          const auto b_row = B.row(gcol);
-          for (index_t k = 0; k < tile_cols; ++k) c_row[bc + k] += a * b_row[bc + k];
-          ctx.counters.flops += static_cast<u64>(2 * tile_cols);
+          atomic_addrs.push_back(c.addr(grow, bc));
+          ++ctx.counters.atomic_updates;
         }
-        ctx.waves(InstrClass::kMemory, tile_cols);
-        ctx.mem.warp_atomic(c.addr(grow, bc), static_cast<i64>(tile_cols) * kValueBytes);
-        ++ctx.counters.atomic_updates;
+        ctx.mem.warp_atomic_run(atomic_addrs, static_cast<i64>(tile_cols) * kValueBytes);
       }
     }
-  }
+  });
+  Ctx& merged = shards.merge();
+  merged.counters.kernel_launches = static_cast<u64>((K + bt - 1) / bt);
 
   const double prep = offline_tiling_cost_ns(footprint(A), footprint(tiled), cfg.arch);
-  return finish(ctx, std::move(C), 1.0, {}, 0.0, prep);
+  return finish(merged, partial.take(), 1.0, {}, 0.0, prep);
 }
 
 SpmmResult spmm_tiled_dcsr_b_stationary(const SpmmOperands& ops, const DenseMatrix& B,
@@ -218,49 +215,60 @@ SpmmResult spmm_tiled_dcsr_b_stationary(const SpmmOperands& ops, const DenseMatr
   const TiledDcsr& tiled = (ops.tiled_dcsr && ops.tiled_dcsr->spec == spec)
                                ? *ops.tiled_dcsr
                                : local.emplace(tiled_dcsr_from_csr(A, spec));
-  const std::vector<i64> strip_nnz = strip_nnz_counts(A, spec);
+  std::optional<StripNnz> local_nnz;
+  const StripNnz& strip_nnz = resolve_strip_nnz(ops, A, spec, local_nnz);
   const TileOffsets off = compute_offsets(tiled, [](const DcsrTile& t) {
     return static_cast<i64>(t.body.row_idx.size() + t.body.row_ptr.size());
   });
 
-  Ctx ctx(cfg);
   const index_t K = B.cols();
-  const DenseLayout b = DenseLayout::allocate(B, ctx.mem, "B");
-  const DenseLayout c = DenseLayout::allocate(DenseMatrix(A.rows, K), ctx.mem, "C");
-  const u64 meta_base = ctx.mem.allocate(off.total_meta_words * kIndexBytes, "A.tiles.meta");
-  const u64 entry_base =
-      ctx.mem.allocate(off.total_entries * (kIndexBytes + kValueBytes), "A.tiles.entries");
-
-  DenseMatrix C(A.rows, K, 0.0f);
   const index_t bt = spec.strip_width;
-  ctx.counters.kernel_launches = static_cast<u64>((K + bt - 1) / bt);
 
-  for (const auto& [bc, s] : visit_order(K, bt, tiled.num_strips(), cfg.traversal)) {
-    if (strip_nnz[s] == 0) continue;
-    const index_t tile_cols = std::min<index_t>(bt, K - bc);
-    const index_t width = std::min<index_t>(spec.strip_width, A.cols - s * spec.strip_width);
-    load_b_tile(ctx, b, s * spec.strip_width, width, bc, tile_cols);
+  ShardSet shards(cfg, tiled.num_strips(), kStripGrain);
+  PartialC partial(A.rows, K, shards.size());
+  shards.run([&](int sh, ShardRange range, Ctx& ctx) {
+    const DenseLayout b = DenseLayout::allocate(B, ctx.mem, "B");
+    const DenseLayout c = DenseLayout::allocate(A.rows, K, ctx.mem, "C");
+    const u64 meta_base =
+        ctx.mem.allocate(off.total_meta_words * kIndexBytes, "A.tiles.meta");
+    const u64 entry_base =
+        ctx.mem.allocate(off.total_entries * (kIndexBytes + kValueBytes), "A.tiles.entries");
+    DenseMatrix& C = partial.shard(sh);
+    std::vector<u64> b_addrs, atomic_addrs;
 
-    for (usize t = 0; t < tiled.strips[s].size(); ++t) {
-      const DcsrTile& tile = tiled.strips[s][t];
-      const i64 meta_words =
-          static_cast<i64>(tile.body.row_idx.size() + tile.body.row_ptr.size());
-      // DCSR metadata: proportional to non-empty rows, not tile height.
-      ++ctx.counters.warp_visits;
-      ctx.waves(InstrClass::kMemory, meta_words);
-      ctx.mem.warp_load(meta_base + static_cast<u64>(off.meta[s][t]) * kIndexBytes,
-                        meta_words * kIndexBytes);
-      if (tile.nnz() > 0) {
-        ctx.mem.warp_load(
-            entry_base + static_cast<u64>(off.entries[s][t]) * (kIndexBytes + kValueBytes),
-            tile.nnz() * (kIndexBytes + kValueBytes));
+    const VisitOrder visits(K, bt, static_cast<index_t>(range.begin),
+                            static_cast<index_t>(range.end), cfg.traversal);
+    for (i64 v = 0; v < visits.size(); ++v) {
+      const auto [bc, s] = visits[v];
+      if (strip_nnz.counts[static_cast<usize>(s)] == 0) continue;
+      const index_t tile_cols = std::min<index_t>(bt, K - bc);
+      const index_t width =
+          std::min<index_t>(spec.strip_width, A.cols - s * spec.strip_width);
+      load_b_tile(ctx, b, s * spec.strip_width, width, bc, tile_cols, b_addrs);
+
+      for (usize t = 0; t < tiled.strips[s].size(); ++t) {
+        const DcsrTile& tile = tiled.strips[s][t];
+        const i64 meta_words =
+            static_cast<i64>(tile.body.row_idx.size() + tile.body.row_ptr.size());
+        // DCSR metadata: proportional to non-empty rows, not tile height.
+        ++ctx.counters.warp_visits;
+        ctx.waves(InstrClass::kMemory, meta_words);
+        ctx.mem.warp_load(meta_base + static_cast<u64>(off.meta[s][t]) * kIndexBytes,
+                          meta_words * kIndexBytes);
+        if (tile.nnz() > 0) {
+          ctx.mem.warp_load(
+              entry_base + static_cast<u64>(off.entries[s][t]) * (kIndexBytes + kValueBytes),
+              tile.nnz() * (kIndexBytes + kValueBytes));
+        }
+        process_dcsr_tile(ctx, tile, B, C, c, bc, tile_cols, atomic_addrs);
       }
-      process_dcsr_tile(ctx, tile, B, C, c, bc, tile_cols);
     }
-  }
+  });
+  Ctx& merged = shards.merge();
+  merged.counters.kernel_launches = static_cast<u64>((K + bt - 1) / bt);
 
   const double prep = offline_tiling_cost_ns(footprint(A), footprint(tiled), cfg.arch);
-  return finish(ctx, std::move(C), 1.0, {}, 0.0, prep);
+  return finish(merged, partial.take(), 1.0, {}, 0.0, prep);
 }
 
 SpmmResult spmm_tiled_dcsr_online(const SpmmOperands& ops, const DenseMatrix& B,
@@ -270,78 +278,110 @@ SpmmResult spmm_tiled_dcsr_online(const SpmmOperands& ops, const DenseMatrix& B,
   std::optional<Csc> local;
   const Csc& csc = ops.csc ? *ops.csc : local.emplace(csc_from_csr(A));
 
-  Ctx ctx(cfg);
   const index_t K = B.cols();
-  const DenseLayout b = DenseLayout::allocate(B, ctx.mem, "B");
-  const DenseLayout c = DenseLayout::allocate(DenseMatrix(A.rows, K), ctx.mem, "C");
-  const CscDeviceLayout a = CscDeviceLayout::allocate(csc, ctx.mem);
-
-  // One conversion engine per pseudo channel; tiles route to the
-  // channel that owns their data under the configured placement.
-  const StripPlacement placement(cfg.placement, cfg.arch.pseudo_channels);
-  std::vector<ConversionEngine> engines;
-  engines.reserve(static_cast<usize>(cfg.arch.pseudo_channels));
-  for (int ch = 0; ch < cfg.arch.pseudo_channels; ++ch) engines.emplace_back(cfg.engine_hw);
-
-  DenseMatrix C(A.rows, K, 0.0f);
   const index_t bt = spec.strip_width;
-  ctx.counters.kernel_launches = static_cast<u64>((K + bt - 1) / bt);
   const index_t num_strips = spec.num_strips(A.cols);
 
-  // Engine occupancy is phase-structured: the SMs sweep one strip's
-  // tiles concurrently (that is what creates the Fig. 17 camping
-  // problem), so per strip phase the busiest engine bounds conversion
-  // time; phases accumulate.
+  // Tiles route to the channel that owns their data under the
+  // configured placement (shared across shards — pure function of the
+  // strip/tile coordinates).
+  const StripPlacement placement(cfg.placement, cfg.arch.pseudo_channels);
+
+  ShardSet shards(cfg, num_strips, kStripGrain);
+  PartialC partial(A.rows, K, shards.size());
+  // Per-shard engine occupancy and stats, folded in shard-index order
+  // after the run.  Each strip phase is self-contained (busiest-engine
+  // beat delta over the phase), so the per-shard sums add up to exactly
+  // the serial total.
+  std::vector<double> shard_busy_ns(static_cast<usize>(shards.size()), 0.0);
+  std::vector<EngineStats> shard_engine(static_cast<usize>(shards.size()));
+
+  shards.run([&](int sh, ShardRange range, Ctx& ctx) {
+    const DenseLayout b = DenseLayout::allocate(B, ctx.mem, "B");
+    const DenseLayout c = DenseLayout::allocate(A.rows, K, ctx.mem, "C");
+    const CscDeviceLayout a = CscDeviceLayout::allocate(csc, ctx.mem);
+
+    // One conversion engine per pseudo channel, private to the shard
+    // (its strips' tiles only ever route through its own engines).
+    std::vector<ConversionEngine> engines;
+    engines.reserve(static_cast<usize>(cfg.arch.pseudo_channels));
+    for (int ch = 0; ch < cfg.arch.pseudo_channels; ++ch) engines.emplace_back(cfg.engine_hw);
+
+    DenseMatrix& C = partial.shard(sh);
+    std::vector<u64> b_addrs, atomic_addrs;
+
+    // Engine occupancy is phase-structured: the SMs sweep one strip's
+    // tiles concurrently (that is what creates the Fig. 17 camping
+    // problem), so per strip phase the busiest engine bounds conversion
+    // time; phases accumulate.
+    double engine_busy_ns = 0.0;
+    auto engine_beats = [&](int ch) {
+      const EngineStats& st = engines[static_cast<usize>(ch)].stats();
+      return st.steps + st.requests;
+    };
+    std::vector<u64> beats_before(static_cast<usize>(cfg.arch.pseudo_channels));
+
+    const VisitOrder visits(K, bt, static_cast<index_t>(range.begin),
+                            static_cast<index_t>(range.end), cfg.traversal);
+    for (i64 v = 0; v < visits.size(); ++v) {
+      const auto [bc, s] = visits[v];
+      const index_t tile_cols = std::min<index_t>(bt, K - bc);
+      const index_t col_begin = s * spec.strip_width;
+      const index_t col_end = std::min<index_t>(col_begin + spec.strip_width, A.cols);
+      // Strip emptiness is one col_ptr subtraction away in CSC.
+      if (csc.col_ptr[col_end] == csc.col_ptr[col_begin]) continue;
+      for (int ch = 0; ch < cfg.arch.pseudo_channels; ++ch) {
+        beats_before[static_cast<usize>(ch)] = engine_beats(ch);
+      }
+      // CSC knows which strip columns are empty (one col_ptr
+      // subtraction), so the online kernel loads only the B rows that
+      // can be touched — the n_nnzcol·K "single fetch" of Table 1 that
+      // row-major offline tiles cannot achieve (Sec. 3.1.4).  The
+      // non-empty rows form one request run.
+      b_addrs.clear();
+      for (index_t col = col_begin; col < col_end; ++col) {
+        if (csc.col_ptr[col + 1] == csc.col_ptr[col]) continue;
+        ctx.waves(InstrClass::kMemory, tile_cols);
+        b_addrs.push_back(b.addr(col, bc));
+      }
+      ctx.mem.warp_load_run(b_addrs, static_cast<i64>(tile_cols) * kValueBytes);
+
+      StripCursor cursor(csc, s, spec);
+      for (index_t row_start = 0, t = 0; row_start < A.rows;
+           row_start += spec.tile_height, ++t) {
+        const int ch = placement.channel_for(s, t);
+        // GetDCSRTile intrinsic: the request message to the conversion
+        // unit (Fig. 11); requests stream ahead of consumption, so they
+        // pipeline rather than serializing the warp.
+        ctx.issue(InstrClass::kMemory, ctx.cfg.arch.warp_size);
+        const DcsrTile tile = engines[static_cast<usize>(ch)].convert_tile(
+            csc, cursor, row_start, spec, &ctx.mem, &a, ch);
+        if (tile.nnz() == 0) continue;
+        process_dcsr_tile(ctx, tile, B, C, c, bc, tile_cols, atomic_addrs);
+      }
+      u64 phase_max = 0;
+      for (int ch = 0; ch < cfg.arch.pseudo_channels; ++ch) {
+        phase_max =
+            std::max(phase_max, engine_beats(ch) - beats_before[static_cast<usize>(ch)]);
+      }
+      engine_busy_ns += static_cast<double>(phase_max) * cfg.engine_hw.cycle_ns_sp;
+    }
+
+    shard_busy_ns[static_cast<usize>(sh)] = engine_busy_ns;
+    EngineStats total;
+    for (const auto& e : engines) total += e.stats();
+    shard_engine[static_cast<usize>(sh)] = total;
+  });
+  Ctx& merged = shards.merge();
+  merged.counters.kernel_launches = static_cast<u64>((K + bt - 1) / bt);
+
   double engine_busy_ns = 0.0;
-  auto engine_beats = [&](int ch) {
-    const EngineStats& st = engines[static_cast<usize>(ch)].stats();
-    return st.steps + st.requests;
-  };
-  std::vector<u64> beats_before(static_cast<usize>(cfg.arch.pseudo_channels));
-
-  for (const auto& [bc, s] : visit_order(K, bt, num_strips, cfg.traversal)) {
-    const index_t tile_cols = std::min<index_t>(bt, K - bc);
-    const index_t col_begin = s * spec.strip_width;
-    const index_t col_end = std::min<index_t>(col_begin + spec.strip_width, A.cols);
-    // Strip emptiness is one col_ptr subtraction away in CSC.
-    if (csc.col_ptr[col_end] == csc.col_ptr[col_begin]) continue;
-    for (int ch = 0; ch < cfg.arch.pseudo_channels; ++ch) {
-      beats_before[static_cast<usize>(ch)] = engine_beats(ch);
-    }
-    // CSC knows which strip columns are empty (one col_ptr
-    // subtraction), so the online kernel loads only the B rows that
-    // can be touched — the n_nnzcol·K "single fetch" of Table 1 that
-    // row-major offline tiles cannot achieve (Sec. 3.1.4).
-    for (index_t col = col_begin; col < col_end; ++col) {
-      if (csc.col_ptr[col + 1] == csc.col_ptr[col]) continue;
-      ctx.waves(InstrClass::kMemory, tile_cols);
-      ctx.mem.warp_load(b.addr(col, bc), static_cast<i64>(tile_cols) * kValueBytes);
-    }
-
-    StripCursor cursor(csc, s, spec);
-    for (index_t row_start = 0, t = 0; row_start < A.rows;
-         row_start += spec.tile_height, ++t) {
-      const int ch = placement.channel_for(s, t);
-      // GetDCSRTile intrinsic: the request message to the conversion
-      // unit (Fig. 11); requests stream ahead of consumption, so they
-      // pipeline rather than serializing the warp.
-      ctx.issue(InstrClass::kMemory, ctx.cfg.arch.warp_size);
-      const DcsrTile tile = engines[static_cast<usize>(ch)].convert_tile(
-          csc, cursor, row_start, spec, &ctx.mem, &a, ch);
-      if (tile.nnz() == 0) continue;
-      process_dcsr_tile(ctx, tile, B, C, c, bc, tile_cols);
-    }
-    u64 phase_max = 0;
-    for (int ch = 0; ch < cfg.arch.pseudo_channels; ++ch) {
-      phase_max =
-          std::max(phase_max, engine_beats(ch) - beats_before[static_cast<usize>(ch)]);
-    }
-    engine_busy_ns += static_cast<double>(phase_max) * cfg.engine_hw.cycle_ns_sp;
-  }
-
   EngineStats total_engine;
-  for (const auto& e : engines) total_engine += e.stats();
-  return finish(ctx, std::move(C), 1.0, total_engine, engine_busy_ns, 0.0);
+  for (usize sh = 0; sh < shard_engine.size(); ++sh) {
+    engine_busy_ns += shard_busy_ns[sh];
+    total_engine += shard_engine[sh];
+  }
+  return finish(merged, partial.take(), 1.0, total_engine, engine_busy_ns, 0.0);
 }
 
 }  // namespace nmdt::detail

@@ -1,6 +1,11 @@
 // C-stationary SpMM kernels (paper Sec. 3.1.1): each row of C is
 // produced in full by one warp (or one thread), accumulating in
 // registers — no atomics, B fetched per non-zero.
+//
+// Sharding: the 32-row warp groups split across shards (kRowGroupGrain
+// groups each).  Groups own disjoint C rows, so shards write the shared
+// output matrix directly; counters and memory events merge in
+// shard-index order.
 #include <algorithm>
 #include <optional>
 
@@ -15,7 +20,7 @@ namespace {
 void row_per_warp_body(Ctx& ctx, std::span<const index_t> cols,
                        std::span<const value_t> vals, const DenseMatrix& B,
                        const DenseLayout& b_layout, std::span<value_t> c_row,
-                       index_t K) {
+                       index_t K, std::vector<u64>& addr_scratch) {
   const i64 cnt = static_cast<i64>(cols.size());
   // Per non-zero: broadcast load of (col_idx, val) + loop control; the
   // warp walks its row serially (dependent iterations).
@@ -26,18 +31,19 @@ void row_per_warp_body(Ctx& ctx, std::span<const index_t> cols,
   // end — nothing bounds the chain (unlike tiling, which cuts rows at
   // strip width).
   ctx.counters.observe_chain(static_cast<u64>(cnt));
+  addr_scratch.clear();
   for (i64 j = 0; j < cnt; ++j) {
     const index_t c = cols[j];
-    const value_t a = vals[j];
     // Lanes sweep the K columns of B row c in 32-wide waves: one load
     // and one FMA per wave (the K%32 tail runs partially active — the
     // paper's row-per-warp remainder imbalance).
     ctx.waves(InstrClass::kMemory, K);
     ctx.waves(InstrClass::kFp, K);
-    ctx.mem.warp_load(b_layout.addr(c), static_cast<i64>(K) * kValueBytes);
-    const auto b_row = B.row(c);
-    for (index_t k = 0; k < K; ++k) c_row[k] += a * b_row[k];
+    addr_scratch.push_back(b_layout.addr(c));
+    axpy_row(vals[j], B.row(c).data(), c_row.data(), K);
   }
+  // The row's B-row fetches form one request run.
+  ctx.mem.warp_load_run(addr_scratch, static_cast<i64>(K) * kValueBytes);
   ctx.counters.flops += static_cast<u64>(2 * cnt * K);
 }
 
@@ -46,108 +52,129 @@ void row_per_warp_body(Ctx& ctx, std::span<const index_t> cols,
 SpmmResult spmm_csr_row_warp(const SpmmOperands& ops, const DenseMatrix& B,
                              const SpmmConfig& cfg) {
   const Csr& A = *ops.csr;
-  Ctx ctx(cfg);
   const index_t K = B.cols();
-  const CsrLayout a = CsrLayout::allocate(A, ctx.mem);
-  const DenseLayout b = DenseLayout::allocate(B, ctx.mem, "B");
-  const DenseLayout c = DenseLayout::allocate(DenseMatrix(A.rows, K), ctx.mem, "C");
+  const i64 groups = (static_cast<i64>(A.rows) + 31) / 32;
   DenseMatrix C(A.rows, K, 0.0f);
-  ctx.counters.kernel_launches = 1;
 
-  for (index_t r0 = 0; r0 < A.rows; r0 += 32) {
-    const index_t rows_here = std::min<index_t>(32, A.rows - r0);
-    // The 32 warps of this block pull a contiguous row_ptr window; the
-    // hardware coalesces it into one stream.
-    ctx.waves(InstrClass::kMemory, rows_here + 1);
-    ctx.mem.warp_load(a.row_ptr + static_cast<u64>(r0) * kIndexBytes,
-                      static_cast<i64>(rows_here + 1) * kIndexBytes);
-    for (index_t r = r0; r < r0 + rows_here; ++r) {
-      // One warp visits every row — empty or not — and pays the
-      // row_ptr dependent-load chain before it can decide anything.
-      ++ctx.counters.warp_visits;
-      if (A.row_empty(r)) {
-        // One active thread discovers the empty row and exits — the
-        // divergence cost CSR pays per empty row (Fig. 6 ②).
-        ctx.issue(InstrClass::kControl, 1);
-        continue;
+  ShardSet shards(cfg, groups, kRowGroupGrain);
+  shards.run([&](int, ShardRange range, Ctx& ctx) {
+    // Every shard replays the identical allocation sequence, so device
+    // addresses (and channel/operand attribution) match the serial run.
+    const CsrLayout a = CsrLayout::allocate(A, ctx.mem);
+    const DenseLayout b = DenseLayout::allocate(B, ctx.mem, "B");
+    const DenseLayout c = DenseLayout::allocate(A.rows, K, ctx.mem, "C");
+    std::vector<u64> addr_scratch;
+    for (i64 g = range.begin; g < range.end; ++g) {
+      const index_t r0 = static_cast<index_t>(g) * 32;
+      const index_t rows_here = std::min<index_t>(32, A.rows - r0);
+      // The 32 warps of this block pull a contiguous row_ptr window; the
+      // hardware coalesces it into one stream.
+      ctx.waves(InstrClass::kMemory, rows_here + 1);
+      ctx.mem.warp_load(a.row_ptr + static_cast<u64>(r0) * kIndexBytes,
+                        static_cast<i64>(rows_here + 1) * kIndexBytes);
+      for (index_t r = r0; r < r0 + rows_here; ++r) {
+        // One warp visits every row — empty or not — and pays the
+        // row_ptr dependent-load chain before it can decide anything.
+        ++ctx.counters.warp_visits;
+        if (A.row_empty(r)) {
+          // One active thread discovers the empty row and exits — the
+          // divergence cost CSR pays per empty row (Fig. 6 ②).
+          ctx.issue(InstrClass::kControl, 1);
+          continue;
+        }
+        const i64 cnt = A.row_nnz(r);
+        // Row entries stream in coalesced (values and column indices).
+        ctx.mem.warp_load(a.col_idx + static_cast<u64>(A.row_ptr[r]) * kIndexBytes,
+                          cnt * kIndexBytes);
+        ctx.mem.warp_load(a.val + static_cast<u64>(A.row_ptr[r]) * kValueBytes,
+                          cnt * kValueBytes);
+        row_per_warp_body(ctx, A.row_cols(r), A.row_vals(r), B, b, C.row(r), K,
+                          addr_scratch);
+        // Write the finished C row once (C-stationary: single update).
+        ctx.waves(InstrClass::kMemory, K);
+        ctx.mem.warp_store(c.addr(r), static_cast<i64>(K) * kValueBytes);
       }
-      const i64 cnt = A.row_nnz(r);
-      // Row entries stream in coalesced (values and column indices).
-      ctx.mem.warp_load(a.col_idx + static_cast<u64>(A.row_ptr[r]) * kIndexBytes,
-                        cnt * kIndexBytes);
-      ctx.mem.warp_load(a.val + static_cast<u64>(A.row_ptr[r]) * kValueBytes,
-                        cnt * kValueBytes);
-      row_per_warp_body(ctx, A.row_cols(r), A.row_vals(r), B, b, C.row(r), K);
-      // Write the finished C row once (C-stationary: single update).
-      ctx.waves(InstrClass::kMemory, K);
-      ctx.mem.warp_store(c.addr(r), static_cast<i64>(K) * kValueBytes);
     }
-  }
-  return finish(ctx, std::move(C));
+  });
+  Ctx& merged = shards.merge();
+  merged.counters.kernel_launches = 1;
+  return finish(merged, std::move(C));
 }
 
 SpmmResult spmm_csr_row_thread(const SpmmOperands& ops, const DenseMatrix& B,
                                const SpmmConfig& cfg) {
   const Csr& A = *ops.csr;
-  Ctx ctx(cfg);
   const index_t K = B.cols();
-  const CsrLayout a = CsrLayout::allocate(A, ctx.mem);
-  const DenseLayout b = DenseLayout::allocate(B, ctx.mem, "B");
-  const DenseLayout c = DenseLayout::allocate(DenseMatrix(A.rows, K), ctx.mem, "C");
+  const i64 groups = (static_cast<i64>(A.rows) + 31) / 32;
   DenseMatrix C(A.rows, K, 0.0f);
-  ctx.counters.kernel_launches = 1;
 
-  for (index_t r0 = 0; r0 < A.rows; r0 += 32) {
-    const index_t rows_here = std::min<index_t>(32, A.rows - r0);
-    ctx.waves(InstrClass::kMemory, rows_here + 1);
-    ctx.mem.warp_load(a.row_ptr + static_cast<u64>(r0) * kIndexBytes,
-                      static_cast<i64>(rows_here + 1) * kIndexBytes);
+  ShardSet shards(cfg, groups, kRowGroupGrain);
+  shards.run([&](int, ShardRange range, Ctx& ctx) {
+    const CsrLayout a = CsrLayout::allocate(A, ctx.mem);
+    const DenseLayout b = DenseLayout::allocate(B, ctx.mem, "B");
+    const DenseLayout c = DenseLayout::allocate(A.rows, K, ctx.mem, "C");
+    std::vector<u64> idx_addrs, val_addrs, b_addrs;
+    for (i64 g = range.begin; g < range.end; ++g) {
+      const index_t r0 = static_cast<index_t>(g) * 32;
+      const index_t rows_here = std::min<index_t>(32, A.rows - r0);
+      ctx.waves(InstrClass::kMemory, rows_here + 1);
+      ctx.mem.warp_load(a.row_ptr + static_cast<u64>(r0) * kIndexBytes,
+                        static_cast<i64>(rows_here + 1) * kIndexBytes);
 
-    // Warp latency is set by the longest row in the 32-row group — the
-    // nnz-variation imbalance that makes row-per-thread the weaker
-    // choice (Sec. 3.1.1).
-    i64 max_cnt = 0;
-    for (index_t r = r0; r < r0 + rows_here; ++r) max_cnt = std::max(max_cnt, A.row_nnz(r));
-    ++ctx.counters.warp_visits;
-    ctx.counters.serial_iterations += static_cast<u64>(max_cnt);
-    // Row-per-thread serializes the whole K sweep per non-zero inside
-    // one thread (modest ILP assumed), so skewed rows hurt even more.
-    ctx.counters.observe_chain(static_cast<u64>(max_cnt) *
-                               static_cast<u64>((K + 7) / 8));
-    for (i64 it = 0; it < max_cnt; ++it) {
-      int active = 0;
-      for (index_t r = r0; r < r0 + rows_here; ++r) {
-        if (A.row_nnz(r) <= it) continue;
-        ++active;
-        const index_t j = A.row_ptr[r] + static_cast<index_t>(it);
-        const index_t col = A.col_idx[j];
-        const value_t v = A.val[j];
-        // Uncoalesced per-lane loads: each lane pulls its own sector for
-        // 4 useful bytes of col_idx/val, and walks its own B row.
-        ctx.mem.warp_load(a.col_idx + static_cast<u64>(j) * kIndexBytes, kIndexBytes);
-        ctx.mem.warp_load(a.val + static_cast<u64>(j) * kValueBytes, kValueBytes);
-        ctx.mem.warp_load(b.addr(col), static_cast<i64>(K) * kValueBytes);
-        auto c_row = C.row(r);
-        const auto b_row = B.row(col);
-        for (index_t k = 0; k < K; ++k) c_row[k] += v * b_row[k];
-        ctx.counters.flops += static_cast<u64>(2 * K);
+      // Warp latency is set by the longest row in the 32-row group — the
+      // nnz-variation imbalance that makes row-per-thread the weaker
+      // choice (Sec. 3.1.1).
+      i64 max_cnt = 0;
+      for (index_t r = r0; r < r0 + rows_here; ++r)
+        max_cnt = std::max(max_cnt, A.row_nnz(r));
+      ++ctx.counters.warp_visits;
+      ctx.counters.serial_iterations += static_cast<u64>(max_cnt);
+      // Row-per-thread serializes the whole K sweep per non-zero inside
+      // one thread (modest ILP assumed), so skewed rows hurt even more.
+      ctx.counters.observe_chain(static_cast<u64>(max_cnt) *
+                                 static_cast<u64>((K + 7) / 8));
+      for (i64 it = 0; it < max_cnt; ++it) {
+        int active = 0;
+        idx_addrs.clear();
+        val_addrs.clear();
+        b_addrs.clear();
+        for (index_t r = r0; r < r0 + rows_here; ++r) {
+          if (A.row_nnz(r) <= it) continue;
+          ++active;
+          const index_t j = A.row_ptr[r] + static_cast<index_t>(it);
+          const index_t col = A.col_idx[j];
+          const value_t v = A.val[j];
+          // Uncoalesced per-lane loads: each lane pulls its own sector
+          // for 4 useful bytes of col_idx/val, and walks its own B row.
+          // The lanes of one iteration issue together — three runs.
+          idx_addrs.push_back(a.col_idx + static_cast<u64>(j) * kIndexBytes);
+          val_addrs.push_back(a.val + static_cast<u64>(j) * kValueBytes);
+          b_addrs.push_back(b.addr(col));
+          axpy_row(v, B.row(col).data(), C.row(r).data(), K);
+          ctx.counters.flops += static_cast<u64>(2 * K);
+        }
+        ctx.mem.warp_load_run(idx_addrs, kIndexBytes);
+        ctx.mem.warp_load_run(val_addrs, kValueBytes);
+        ctx.mem.warp_load_run(b_addrs, static_cast<i64>(K) * kValueBytes);
+        ctx.issue(InstrClass::kMemory, active, 3);
+        ctx.issue(InstrClass::kControl, active);
+        ctx.issue(InstrClass::kMemory, active, static_cast<u64>(K));  // B element loads
+        ctx.issue(InstrClass::kFp, active, static_cast<u64>(K));
       }
-      ctx.issue(InstrClass::kMemory, active, 3);
-      ctx.issue(InstrClass::kControl, active);
-      ctx.issue(InstrClass::kMemory, active, static_cast<u64>(K));  // B element loads
-      ctx.issue(InstrClass::kFp, active, static_cast<u64>(K));
+      // Each thread writes its (non-empty) C row; rows are uncoalesced
+      // across lanes.
+      int writers = 0;
+      for (index_t r = r0; r < r0 + rows_here; ++r) {
+        if (A.row_empty(r)) continue;
+        ++writers;
+        ctx.mem.warp_store(c.addr(r), static_cast<i64>(K) * kValueBytes);
+      }
+      ctx.issue(InstrClass::kMemory, writers, static_cast<u64>(K));
     }
-    // Each thread writes its (non-empty) C row; rows are uncoalesced
-    // across lanes.
-    int writers = 0;
-    for (index_t r = r0; r < r0 + rows_here; ++r) {
-      if (A.row_empty(r)) continue;
-      ++writers;
-      ctx.mem.warp_store(c.addr(r), static_cast<i64>(K) * kValueBytes);
-    }
-    ctx.issue(InstrClass::kMemory, writers, static_cast<u64>(K));
-  }
-  return finish(ctx, std::move(C));
+  });
+  Ctx& merged = shards.merge();
+  merged.counters.kernel_launches = 1;
+  return finish(merged, std::move(C));
 }
 
 SpmmResult spmm_dcsr_c_stationary(const SpmmOperands& ops, const DenseMatrix& B,
@@ -160,46 +187,53 @@ SpmmResult spmm_dcsr_c_stationary(const SpmmOperands& ops, const DenseMatrix& B,
   std::optional<Dcsr> local;
   const Dcsr& D = ops.dcsr ? *ops.dcsr : local.emplace(dcsr_from_csr(A));
 
-  Ctx ctx(cfg);
   const index_t K = B.cols();
-  const DcsrLayout a = DcsrLayout::allocate(D, ctx.mem);
-  const DenseLayout b = DenseLayout::allocate(B, ctx.mem, "B");
-  const DenseLayout c = DenseLayout::allocate(DenseMatrix(A.rows, K), ctx.mem, "C");
-  DenseMatrix C(A.rows, K, 0.0f);
-  ctx.counters.kernel_launches = 1;
-
   const i64 nrows = D.nnz_rows();
-  for (i64 g0 = 0; g0 < nrows; g0 += 32) {
-    const i64 rows_here = std::min<i64>(32, nrows - g0);
-    // Dense-row window: row_idx + row_ptr, both nnz_rows-sized — the
-    // DCSR metadata saving vs a full rows+1 row_ptr.
-    ctx.waves(InstrClass::kMemory, rows_here);
-    ctx.mem.warp_load(a.row_idx + static_cast<u64>(g0) * kIndexBytes,
-                      rows_here * kIndexBytes);
-    ctx.waves(InstrClass::kMemory, rows_here + 1);
-    ctx.mem.warp_load(a.row_ptr + static_cast<u64>(g0) * kIndexBytes,
-                      (rows_here + 1) * kIndexBytes);
-    for (i64 g = g0; g < g0 + rows_here; ++g) {
-      // Warps visit only the densified (non-empty) rows.
-      ++ctx.counters.warp_visits;
-      const index_t r = D.dense_row(g);
-      const i64 cnt = D.dense_row_nnz(g);
-      ctx.mem.warp_load(a.col_idx + static_cast<u64>(D.row_ptr[g]) * kIndexBytes,
-                        cnt * kIndexBytes);
-      ctx.mem.warp_load(a.val + static_cast<u64>(D.row_ptr[g]) * kValueBytes,
-                        cnt * kValueBytes);
-      row_per_warp_body(ctx, D.dense_row_cols(g), D.dense_row_vals(g), B, b, C.row(r), K);
-      ctx.waves(InstrClass::kMemory, K);
-      ctx.mem.warp_store(c.addr(r), static_cast<i64>(K) * kValueBytes);
+  const i64 groups = (nrows + 31) / 32;
+  DenseMatrix C(A.rows, K, 0.0f);
+
+  ShardSet shards(cfg, groups, kRowGroupGrain);
+  shards.run([&](int, ShardRange range, Ctx& ctx) {
+    const DcsrLayout a = DcsrLayout::allocate(D, ctx.mem);
+    const DenseLayout b = DenseLayout::allocate(B, ctx.mem, "B");
+    const DenseLayout c = DenseLayout::allocate(A.rows, K, ctx.mem, "C");
+    std::vector<u64> addr_scratch;
+    for (i64 gr = range.begin; gr < range.end; ++gr) {
+      const i64 g0 = gr * 32;
+      const i64 rows_here = std::min<i64>(32, nrows - g0);
+      // Dense-row window: row_idx + row_ptr, both nnz_rows-sized — the
+      // DCSR metadata saving vs a full rows+1 row_ptr.
+      ctx.waves(InstrClass::kMemory, rows_here);
+      ctx.mem.warp_load(a.row_idx + static_cast<u64>(g0) * kIndexBytes,
+                        rows_here * kIndexBytes);
+      ctx.waves(InstrClass::kMemory, rows_here + 1);
+      ctx.mem.warp_load(a.row_ptr + static_cast<u64>(g0) * kIndexBytes,
+                        (rows_here + 1) * kIndexBytes);
+      for (i64 g = g0; g < g0 + rows_here; ++g) {
+        // Warps visit only the densified (non-empty) rows.
+        ++ctx.counters.warp_visits;
+        const index_t r = D.dense_row(g);
+        const i64 cnt = D.dense_row_nnz(g);
+        ctx.mem.warp_load(a.col_idx + static_cast<u64>(D.row_ptr[g]) * kIndexBytes,
+                          cnt * kIndexBytes);
+        ctx.mem.warp_load(a.val + static_cast<u64>(D.row_ptr[g]) * kValueBytes,
+                          cnt * kValueBytes);
+        row_per_warp_body(ctx, D.dense_row_cols(g), D.dense_row_vals(g), B, b, C.row(r),
+                          K, addr_scratch);
+        ctx.waves(InstrClass::kMemory, K);
+        ctx.mem.warp_store(c.addr(r), static_cast<i64>(K) * kValueBytes);
+      }
     }
-  }
+  });
+  Ctx& merged = shards.merge();
+  merged.counters.kernel_launches = 1;
 
   // Densification prep: stream CSR in, DCSR out, at full DRAM rate.
   const Footprint fc = footprint(A);
   const Footprint fd = footprint(D);
   const double prep_ns = static_cast<double>(fc.total() + fd.total()) /
                          cfg.arch.total_bandwidth_gbps();
-  return finish(ctx, std::move(C), 1.0, {}, 0.0, prep_ns);
+  return finish(merged, std::move(C), 1.0, {}, 0.0, prep_ns);
 }
 
 }  // namespace nmdt::detail

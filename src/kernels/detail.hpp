@@ -2,8 +2,18 @@
 // of the public API.
 #pragma once
 
+#include <functional>
+#include <utility>
+#include <vector>
+
 #include "gpusim/warp.hpp"
 #include "kernels/spmm.hpp"
+
+#if defined(__GNUC__) || defined(__clang__)
+#define NMDT_RESTRICT __restrict__
+#else
+#define NMDT_RESTRICT
+#endif
 
 namespace nmdt::detail {
 
@@ -20,6 +30,13 @@ struct DenseLayout {
   static DenseLayout allocate(const DenseMatrix& m, MemorySystem& mem,
                               const std::string& name) {
     return {mem.allocate(m.size_bytes(), name), m.cols()};
+  }
+
+  /// Placement by shape only — shard bodies replay the allocation
+  /// sequence without materializing a host-side matrix.
+  static DenseLayout allocate(index_t rows, index_t cols, MemorySystem& mem,
+                              const std::string& name) {
+    return {mem.allocate(static_cast<i64>(rows) * cols * kValueBytes, name), cols};
   }
 };
 
@@ -79,9 +96,140 @@ SpmmResult finish(Ctx& ctx, DenseMatrix C, double compute_inflation = 1.0,
 
 /// Cooperative load of a B tile into shared memory: `width` B rows
 /// (one per A strip column) by `tile_cols` columns starting at
-/// (row_begin, col_begin).  Returns bytes loaded.
+/// (row_begin, col_begin).  `addr_scratch` is a reusable buffer for the
+/// batched request run.
 void load_b_tile(Ctx& ctx, const DenseLayout& b, index_t row_begin, index_t width,
-                 index_t col_begin, index_t tile_cols);
+                 index_t col_begin, index_t tile_cols, std::vector<u64>& addr_scratch);
+
+/// c[0..k) += a·b[0..k): the K-blocked accumulate micro-kernel every
+/// kernel's FMA sweep routes through.  Eight-wide unrolled with
+/// restrict-qualified pointers so the compiler keeps the partials in
+/// registers (or vectorizes); each element still receives exactly one
+/// update per call, in the same per-element operation as the scalar
+/// loop it replaces, so the FP result is unchanged.
+inline void axpy_row(value_t a, const value_t* NMDT_RESTRICT b,
+                     value_t* NMDT_RESTRICT c, index_t k) {
+  index_t i = 0;
+  for (; i + 8 <= k; i += 8) {
+    c[i + 0] += a * b[i + 0];
+    c[i + 1] += a * b[i + 1];
+    c[i + 2] += a * b[i + 2];
+    c[i + 3] += a * b[i + 3];
+    c[i + 4] += a * b[i + 4];
+    c[i + 5] += a * b[i + 5];
+    c[i + 6] += a * b[i + 6];
+    c[i + 7] += a * b[i + 7];
+  }
+  for (; i < k; ++i) c[i] += a * b[i];
+}
+
+/// dst += src elementwise (the partial-C reduction step; always applied
+/// in ascending shard order so the FP accumulation order is fixed).
+void accumulate_dense(DenseMatrix& dst, const DenseMatrix& src);
+
+// ---- Intra-kernel sharding ------------------------------------------
+//
+// One SpMM call splits its visit sequence into shards executed on up to
+// cfg.jobs host threads.  The decomposition is a function of the work
+// size ALONE (shard_count never reads cfg.jobs), so the shard set — and
+// after the deterministic shard-index-order merge, every byte of the
+// result — is identical at any job count.  Each shard owns a private
+// Ctx whose MemorySystem replayed the identical allocation sequence;
+// counting-mode totals are order-independent sums, so the merged stats
+// also equal the pre-sharding serial implementation's.  In cache-sim
+// mode each shard carries its own L2/DRAM-bank state (a shard models a
+// group of SMs with a slice of the memory system); totals are summed.
+
+inline constexpr int kMaxKernelShards = 16;
+/// Work units per shard before a kernel splits: vertical strips for the
+/// B-/A-stationary families, 32-row warp groups for the C-stationary
+/// family, dense rows for the merge kernel.  Sized so the small
+/// matrices used by unit tests stay single-shard.
+inline constexpr i64 kStripGrain = 16;
+inline constexpr i64 kRowGroupGrain = 32;
+inline constexpr i64 kMergeRowGrain = 1024;
+
+/// clamp(items / grain, 1, kMaxKernelShards).
+int shard_count(i64 items, i64 grain);
+
+struct ShardRange {
+  i64 begin = 0;
+  i64 end = 0;
+};
+
+/// Contiguous, balanced slice of [0, items) for shard `shard` of
+/// `shards`.
+ShardRange shard_range(i64 items, int shards, int shard);
+
+/// The shard set of one kernel invocation: shard_count() private Ctxs
+/// plus the run/merge choreography.
+class ShardSet {
+ public:
+  ShardSet(const SpmmConfig& cfg, i64 items, i64 grain);
+
+  int size() const { return static_cast<int>(ctxs_.size()); }
+  ShardRange range(int shard) const { return shard_range(items_, size(), shard); }
+
+  /// Execute body(shard, range, ctx) for every shard on up to cfg.jobs
+  /// threads (inline when there is one shard or one job).
+  void run(const std::function<void(int, ShardRange, Ctx&)>& body);
+
+  /// Fold counters and memory stats of shards 1..n-1 into shard 0, in
+  /// shard-index order, and return shard 0's Ctx.
+  Ctx& merge();
+
+ private:
+  i64 items_;
+  std::vector<Ctx> ctxs_;
+};
+
+/// Per-shard partial C buffers for kernels whose shards contribute to
+/// overlapping C rows (B-/A-stationary).  Shard 0's buffer doubles as
+/// the final C: take() folds shards 1..n-1 into it in index order.
+class PartialC {
+ public:
+  PartialC(index_t rows, index_t cols, int shards);
+
+  DenseMatrix& shard(int s) { return buffers_[static_cast<usize>(s)]; }
+  DenseMatrix take();
+
+ private:
+  std::vector<DenseMatrix> buffers_;
+};
+
+/// Index-based generator of the (b_col_begin, strip) visit sequence of
+/// Sec. 3.1.3 for strips [strip_begin, strip_end): replaces the
+/// materialized pair vector (an O(strips·K/bt) allocation per call) and
+/// doubles as the shard slicer — a shard iterates its own strip range.
+class VisitOrder {
+ public:
+  VisitOrder(index_t K, index_t bt, index_t strip_begin, index_t strip_end,
+             TraversalOrder order)
+      : bt_(bt),
+        strip_begin_(strip_begin),
+        strips_(strip_end - strip_begin),
+        blocks_((K + bt - 1) / bt),
+        order_(order) {}
+
+  i64 size() const { return static_cast<i64>(strips_) * blocks_; }
+
+  /// i-th visit as (b_col_begin, strip).
+  std::pair<index_t, index_t> operator[](i64 i) const {
+    if (order_ == TraversalOrder::kColumnMajor) {
+      return {static_cast<index_t>(i / strips_) * bt_,
+              strip_begin_ + static_cast<index_t>(i % strips_)};
+    }
+    return {static_cast<index_t>(i % blocks_) * bt_,
+            strip_begin_ + static_cast<index_t>(i / blocks_)};
+  }
+
+ private:
+  index_t bt_;
+  index_t strip_begin_;
+  index_t strips_;
+  index_t blocks_;
+  TraversalOrder order_;
+};
 
 // Kernel implementations (one translation unit per family).  Each takes
 // the operand bundle and consumes the pre-converted artifact it needs,

@@ -72,11 +72,7 @@ SpmmResult spmm_hong_hybrid(const SpmmOperands& ops, const DenseMatrix& B,
   SpmmResult out;
   out.C = DenseMatrix(A.rows, K, 0.0f);
   auto merge_phase = [&](const SpmmResult& phase) {
-    for (index_t r = 0; r < A.rows; ++r) {
-      auto dst = out.C.row(r);
-      const auto src = phase.C.row(r);
-      for (index_t k = 0; k < K; ++k) dst[k] += src[k];
-    }
+    accumulate_dense(out.C, phase.C);
     out.counters += phase.counters;
     out.mem += phase.mem;
     // Phase preprocessing (heavy-part tiling) carries over; the split

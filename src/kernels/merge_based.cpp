@@ -12,6 +12,11 @@
 // paper's densification with merge-based balancing, and the
 // sec52_merge_ablation bench shows the critical path collapsing while
 // traffic stays put.
+//
+// Sharding: dense rows split across shards (kMergeRowGrain rows each);
+// shards own disjoint C rows, so they write the shared output directly.
+// The one-time metadata stream is charged to shard 0 so merged totals
+// match the serial kernel exactly.
 #include <algorithm>
 #include <optional>
 
@@ -27,70 +32,78 @@ SpmmResult spmm_merge_c_stationary(const SpmmOperands& ops, const DenseMatrix& B
   std::optional<Dcsr> local;
   const Dcsr& D = ops.dcsr ? *ops.dcsr : local.emplace(dcsr_from_csr(A));
 
-  Ctx ctx(cfg);
   const index_t K = B.cols();
-  const DcsrLayout a = DcsrLayout::allocate(D, ctx.mem);
-  const DenseLayout b = DenseLayout::allocate(B, ctx.mem, "B");
-  const DenseLayout c = DenseLayout::allocate(DenseMatrix(A.rows, K), ctx.mem, "C");
-  DenseMatrix C(A.rows, K, 0.0f);
-  ctx.counters.kernel_launches = 1;
   const index_t chunk = cfg.merge_chunk;
+  DenseMatrix C(A.rows, K, 0.0f);
 
-  // Metadata stream: each warp binary-searches its span start on the
-  // merge path; amortized, the row_idx/row_ptr arrays stream once.
-  const i64 meta_words = D.nnz_rows() * 2 + 1;
-  ctx.waves(InstrClass::kMemory, meta_words);
-  ctx.mem.warp_load(a.row_idx, D.nnz_rows() * kIndexBytes);
-  ctx.mem.warp_load(a.row_ptr, (D.nnz_rows() + 1) * kIndexBytes);
+  ShardSet shards(cfg, D.nnz_rows(), kMergeRowGrain);
+  shards.run([&](int sh, ShardRange range, Ctx& ctx) {
+    const DcsrLayout a = DcsrLayout::allocate(D, ctx.mem);
+    const DenseLayout b = DenseLayout::allocate(B, ctx.mem, "B");
+    const DenseLayout c = DenseLayout::allocate(A.rows, K, ctx.mem, "C");
+    std::vector<u64> b_addrs;
 
-  for (i64 g = 0; g < D.nnz_rows(); ++g) {
-    const index_t r = D.dense_row(g);
-    const index_t row_begin = D.row_ptr[g];
-    const index_t row_end = D.row_ptr[g + 1];
-    auto c_row = C.row(r);
+    if (sh == 0) {
+      // Metadata stream: each warp binary-searches its span start on the
+      // merge path; amortized, the row_idx/row_ptr arrays stream once.
+      const i64 meta_words = D.nnz_rows() * 2 + 1;
+      ctx.waves(InstrClass::kMemory, meta_words);
+      ctx.mem.warp_load(a.row_idx, D.nnz_rows() * kIndexBytes);
+      ctx.mem.warp_load(a.row_ptr, (D.nnz_rows() + 1) * kIndexBytes);
+    }
 
-    for (index_t span = row_begin; span < row_end; span += chunk) {
-      const index_t span_end = std::min<index_t>(span + chunk, row_end);
-      const i64 cnt = span_end - span;
-      const bool whole_row = span == row_begin && span_end == row_end;
+    for (i64 g = range.begin; g < range.end; ++g) {
+      const index_t r = D.dense_row(g);
+      const index_t row_begin = D.row_ptr[g];
+      const index_t row_end = D.row_ptr[g + 1];
+      value_t* NMDT_RESTRICT c_row = C.row(r).data();
 
-      // One warp per span: bounded serial chain by construction.
-      ++ctx.counters.warp_visits;
-      ctx.counters.serial_iterations += static_cast<u64>(cnt);
-      ctx.counters.observe_chain(static_cast<u64>(cnt));
-      ctx.issue(InstrClass::kControl, ctx.cfg.arch.warp_size);
-      // Span's entries stream in coalesced.
-      ctx.mem.warp_load(a.col_idx + static_cast<u64>(span) * kIndexBytes,
-                        cnt * kIndexBytes);
-      ctx.mem.warp_load(a.val + static_cast<u64>(span) * kValueBytes, cnt * kValueBytes);
-      ctx.issue(InstrClass::kMemory, ctx.cfg.arch.warp_size, static_cast<u64>(cnt));
+      for (index_t span = row_begin; span < row_end; span += chunk) {
+        const index_t span_end = std::min<index_t>(span + chunk, row_end);
+        const i64 cnt = span_end - span;
+        const bool whole_row = span == row_begin && span_end == row_end;
 
-      // Accumulate the span into registers (math on the host directly
-      // into C — partials sum associatively up to FP rounding).
-      for (index_t j = span; j < span_end; ++j) {
-        // D shares A's entry ordering (densification drops only rows).
-        const index_t col = D.col_idx[j];
-        const value_t v = D.val[j];
+        // One warp per span: bounded serial chain by construction.
+        ++ctx.counters.warp_visits;
+        ctx.counters.serial_iterations += static_cast<u64>(cnt);
+        ctx.counters.observe_chain(static_cast<u64>(cnt));
+        ctx.issue(InstrClass::kControl, ctx.cfg.arch.warp_size);
+        // Span's entries stream in coalesced.
+        ctx.mem.warp_load(a.col_idx + static_cast<u64>(span) * kIndexBytes,
+                          cnt * kIndexBytes);
+        ctx.mem.warp_load(a.val + static_cast<u64>(span) * kValueBytes, cnt * kValueBytes);
+        ctx.issue(InstrClass::kMemory, ctx.cfg.arch.warp_size, static_cast<u64>(cnt));
+
+        // Accumulate the span into registers (math on the host directly
+        // into C — partials sum associatively up to FP rounding).  The
+        // span's B-row fetches form one request run.
+        b_addrs.clear();
+        for (index_t j = span; j < span_end; ++j) {
+          // D shares A's entry ordering (densification drops only rows).
+          const index_t col = D.col_idx[j];
+          ctx.waves(InstrClass::kMemory, K);
+          ctx.waves(InstrClass::kFp, K);
+          b_addrs.push_back(b.addr(col));
+          axpy_row(D.val[j], B.row(col).data(), c_row, K);
+          ctx.counters.flops += static_cast<u64>(2 * K);
+        }
+        ctx.mem.warp_load_run(b_addrs, static_cast<i64>(K) * kValueBytes);
+
         ctx.waves(InstrClass::kMemory, K);
-        ctx.waves(InstrClass::kFp, K);
-        ctx.mem.warp_load(b.addr(col), static_cast<i64>(K) * kValueBytes);
-        const auto b_row = B.row(col);
-        for (index_t k = 0; k < K; ++k) c_row[k] += v * b_row[k];
-        ctx.counters.flops += static_cast<u64>(2 * K);
-      }
-
-      ctx.waves(InstrClass::kMemory, K);
-      if (whole_row) {
-        // Exclusive owner: plain store.
-        ctx.mem.warp_store(c.addr(r), static_cast<i64>(K) * kValueBytes);
-      } else {
-        // Split row: partial contribution merges atomically.
-        ctx.mem.warp_atomic(c.addr(r), static_cast<i64>(K) * kValueBytes);
-        ++ctx.counters.atomic_updates;
+        if (whole_row) {
+          // Exclusive owner: plain store.
+          ctx.mem.warp_store(c.addr(r), static_cast<i64>(K) * kValueBytes);
+        } else {
+          // Split row: partial contribution merges atomically.
+          ctx.mem.warp_atomic(c.addr(r), static_cast<i64>(K) * kValueBytes);
+          ++ctx.counters.atomic_updates;
+        }
       }
     }
-  }
-  return finish(ctx, std::move(C));
+  });
+  Ctx& merged = shards.merge();
+  merged.counters.kernel_launches = 1;
+  return finish(merged, std::move(C));
 }
 
 }  // namespace nmdt::detail

@@ -28,6 +28,7 @@ struct SpmmOperands {
   const Dcsr* dcsr = nullptr;             ///< untiled DCSR kernels
   const TiledDcsr* tiled_dcsr = nullptr;  ///< offline B-stationary arm
   const TiledCsr* tiled_csr = nullptr;    ///< tiled-CSR strawman, A-stationary
+  const StripNnz* strip_nnz = nullptr;    ///< B-stationary strip-skip table
 
   /// CSR-only bundle (every other format converts on demand).
   static SpmmOperands from_csr(const Csr& a) {

@@ -1,0 +1,61 @@
+// Intra-kernel sharding support: shard-set choreography and the
+// deterministic merge (see detail.hpp for the decomposition contract).
+#include <algorithm>
+
+#include "kernels/detail.hpp"
+#include "util/thread_pool.hpp"
+
+namespace nmdt::detail {
+
+int shard_count(i64 items, i64 grain) {
+  if (items <= 0) return 1;
+  return static_cast<int>(std::clamp<i64>(items / grain, 1, kMaxKernelShards));
+}
+
+ShardRange shard_range(i64 items, int shards, int shard) {
+  const i64 n = static_cast<i64>(shards);
+  const i64 s = static_cast<i64>(shard);
+  return {items * s / n, items * (s + 1) / n};
+}
+
+ShardSet::ShardSet(const SpmmConfig& cfg, i64 items, i64 grain) : items_(items) {
+  const int n = shard_count(items, grain);
+  ctxs_.reserve(static_cast<usize>(n));
+  for (int s = 0; s < n; ++s) ctxs_.emplace_back(cfg);
+}
+
+void ShardSet::run(const std::function<void(int, ShardRange, Ctx&)>& body) {
+  // jobs caps threads only; the shard set itself is already fixed.
+  const int jobs = size() == 1 ? 1 : ctxs_.front().cfg.jobs;
+  run_indexed(jobs, size(), [&](i64 s) {
+    const int shard = static_cast<int>(s);
+    body(shard, range(shard), ctxs_[static_cast<usize>(s)]);
+  });
+}
+
+Ctx& ShardSet::merge() {
+  for (usize s = 1; s < ctxs_.size(); ++s) {
+    ctxs_[0].counters += ctxs_[s].counters;
+    ctxs_[0].mem.merge(ctxs_[s].mem);
+  }
+  return ctxs_[0];
+}
+
+void accumulate_dense(DenseMatrix& dst, const DenseMatrix& src) {
+  const auto s = src.data();
+  auto d = dst.data();
+  for (usize i = 0; i < d.size(); ++i) d[i] += s[i];
+}
+
+PartialC::PartialC(index_t rows, index_t cols, int shards) {
+  buffers_.reserve(static_cast<usize>(shards));
+  for (int s = 0; s < shards; ++s) buffers_.emplace_back(rows, cols, 0.0f);
+}
+
+DenseMatrix PartialC::take() {
+  DenseMatrix out = std::move(buffers_[0]);
+  for (usize s = 1; s < buffers_.size(); ++s) accumulate_dense(out, buffers_[s]);
+  return out;
+}
+
+}  // namespace nmdt::detail

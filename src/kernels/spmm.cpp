@@ -102,13 +102,15 @@ SpmmResult finish(Ctx& ctx, DenseMatrix C, double compute_inflation, EngineStats
 }
 
 void load_b_tile(Ctx& ctx, const DenseLayout& b, index_t row_begin, index_t width,
-                 index_t col_begin, index_t tile_cols) {
-  // One coalesced load per B-tile row into shared memory.
+                 index_t col_begin, index_t tile_cols, std::vector<u64>& addr_scratch) {
+  // One coalesced load per B-tile row into shared memory, issued as a
+  // single per-tile request run.
+  addr_scratch.clear();
   for (index_t i = 0; i < width; ++i) {
     ctx.waves(InstrClass::kMemory, tile_cols);
-    ctx.mem.warp_load(b.addr(row_begin + i, col_begin),
-                      static_cast<i64>(tile_cols) * kValueBytes);
+    addr_scratch.push_back(b.addr(row_begin + i, col_begin));
   }
+  ctx.mem.warp_load_run(addr_scratch, static_cast<i64>(tile_cols) * kValueBytes);
 }
 
 }  // namespace detail

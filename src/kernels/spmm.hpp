@@ -84,6 +84,12 @@ struct SpmmConfig {
   /// Minimum non-zeros a (strip, row) segment needs to be extracted
   /// into the heavy DCSR part (Hong-hybrid kernel only).
   index_t hong_heavy_threshold = 4;
+  /// Host threads executing one kernel's shard set (<= 0 selects
+  /// hardware concurrency).  The shard decomposition depends only on
+  /// the matrix, never on this value, so C and every simulated metric
+  /// are bit-identical at any job count; the default of 1 keeps kernel
+  /// calls single-threaded under the parallel suite runner.
+  int jobs = 1;
 };
 
 /// The realistic evaluation configuration used by the benches and the

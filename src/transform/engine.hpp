@@ -49,6 +49,8 @@ struct EngineStats {
   i64 dram_bytes_in = 0;    ///< CSC data pulled from DRAM
   i64 xbar_bytes_out = 0;   ///< DCSR tiles delivered to SMs
 
+  bool operator==(const EngineStats&) const = default;
+
   EngineStats& operator+=(const EngineStats& o);
 
   /// Engine busy time under the Sec. 5.3 pipeline model.

@@ -55,4 +55,13 @@ class ThreadPool {
   bool stop_ = false;
 };
 
+/// Parallel index loop: run fn(i) for every i in [0, n) on up to `jobs`
+/// threads (<= 0 selects ThreadPool::default_jobs()).  Runs inline —
+/// no pool, no synchronization — when one thread suffices.  Indices are
+/// claimed from a shared counter, so callers must not depend on
+/// assignment of indices to threads; blocks until every index ran.  The
+/// first exception thrown by any fn is rethrown on the caller after the
+/// remaining indices finish.
+void run_indexed(int jobs, i64 n, const std::function<void(i64)>& fn);
+
 }  // namespace nmdt

@@ -332,6 +332,70 @@ TEST(MemStats, MergeAccumulatesEverything) {
   EXPECT_EQ(a.l2_service_bytes, 64);
 }
 
+TEST(MemorySystem, MergeFoldsPeerStatsIntoThis) {
+  // The shard merge: two instances that replayed the same allocation
+  // sequence, merged, must equal the elementwise sum of their stats.
+  MemorySystem a(ArchConfig::gv100(), MemMode::kCounting);
+  MemorySystem b(ArchConfig::gv100(), MemMode::kCounting);
+  const u64 pa = a.allocate(4096, "X");
+  const u64 pb = b.allocate(4096, "X");
+  ASSERT_EQ(pa, pb);
+  a.warp_load(pa, 128);
+  b.warp_load(pb + 256, 64);
+  b.warp_atomic(pb, 32);
+  b.xbar_transfer(10);
+  MemStats expected = a.stats();
+  expected += b.stats();
+  a.merge(b);
+  EXPECT_EQ(a.stats(), expected);
+}
+
+TEST(MemorySystem, MergeRejectsModeMismatch) {
+  MemorySystem a(ArchConfig::gv100(), MemMode::kCounting);
+  MemorySystem b(ArchConfig::gv100(), MemMode::kCacheSim);
+  EXPECT_THROW(a.merge(b), FormatError);
+}
+
+TEST(MemorySystem, WarpLoadRunMatchesPerEntryLoads) {
+  // The batched API must be a pure event-coalescing change: same
+  // addresses, same bytes, identical stats in both memory modes.
+  for (MemMode mode : {MemMode::kCounting, MemMode::kCacheSim}) {
+    MemorySystem per_entry(ArchConfig::gv100(), mode);
+    MemorySystem batched(ArchConfig::gv100(), mode);
+    const u64 base1 = per_entry.allocate(1 << 20, "B");
+    const u64 base2 = batched.allocate(1 << 20, "B");
+    ASSERT_EQ(base1, base2);
+    std::vector<u64> addrs;
+    for (u64 i = 0; i < 64; ++i) addrs.push_back(base1 + (i * 7919) % (1 << 19));
+    addrs.push_back(addrs.front());  // repeat (cache-mode hit path)
+    for (u64 addr : addrs) per_entry.warp_load(addr, 96);
+    batched.warp_load_run(addrs, 96);
+    EXPECT_EQ(per_entry.stats(), batched.stats()) << "mode " << static_cast<int>(mode);
+  }
+}
+
+TEST(MemorySystem, WarpAtomicRunMatchesPerEntryAtomics) {
+  for (MemMode mode : {MemMode::kCounting, MemMode::kCacheSim}) {
+    MemorySystem per_entry(ArchConfig::gv100(), mode);
+    MemorySystem batched(ArchConfig::gv100(), mode);
+    const u64 base1 = per_entry.allocate(1 << 18, "C");
+    const u64 base2 = batched.allocate(1 << 18, "C");
+    ASSERT_EQ(base1, base2);
+    std::vector<u64> addrs;
+    for (u64 i = 0; i < 48; ++i) addrs.push_back(base1 + i * 1024 + (i % 3) * 8);
+    for (u64 addr : addrs) per_entry.warp_atomic(addr, 256);
+    batched.warp_atomic_run(addrs, 256);
+    EXPECT_EQ(per_entry.stats(), batched.stats()) << "mode " << static_cast<int>(mode);
+  }
+}
+
+TEST(MemorySystem, RunApisTolerateEmptyRuns) {
+  MemorySystem mem(ArchConfig::gv100(), MemMode::kCounting);
+  mem.warp_load_run({}, 32);
+  mem.warp_atomic_run({}, 32);
+  EXPECT_EQ(mem.stats().total_dram_bytes(), 0);
+}
+
 TEST(MemStats, ServiceTimeTakesMaxOfTransferAndBusy) {
   MemStats s;
   s.channels.assign(2, {});

@@ -6,6 +6,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <stdexcept>
 #include <thread>
 #include <vector>
 
@@ -56,6 +57,45 @@ TEST(ThreadPool, NonPositiveThreadCountMeansHardwareConcurrency) {
   ThreadPool pool(0);
   EXPECT_GE(pool.size(), 1);
   EXPECT_EQ(pool.size(), ThreadPool::default_jobs());
+}
+
+TEST(ThreadPool, RunIndexedVisitsEveryIndexExactlyOnce) {
+  std::vector<std::atomic<int>> hits(257);
+  run_indexed(4, static_cast<i64>(hits.size()),
+              [&](i64 i) { hits[static_cast<usize>(i)].fetch_add(1); });
+  for (usize i = 0; i < hits.size(); ++i) {
+    EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ThreadPool, RunIndexedSingleJobRunsInline) {
+  // jobs == 1 must not spawn a pool: the shard bodies of a serial
+  // kernel run on the calling thread (and tools like gdb see one
+  // stack).
+  const auto caller = std::this_thread::get_id();
+  bool same_thread = true;
+  run_indexed(1, 16, [&](i64) {
+    if (std::this_thread::get_id() != caller) same_thread = false;
+  });
+  EXPECT_TRUE(same_thread);
+}
+
+TEST(ThreadPool, RunIndexedZeroItemsIsANoOp) {
+  int calls = 0;
+  run_indexed(4, 0, [&](i64) { ++calls; });
+  EXPECT_EQ(calls, 0);
+}
+
+TEST(ThreadPool, RunIndexedPropagatesTheFirstException) {
+  std::atomic<int> ran{0};
+  EXPECT_THROW(run_indexed(4, 64,
+                           [&](i64 i) {
+                             ran.fetch_add(1);
+                             if (i == 7) throw std::runtime_error("boom");
+                           }),
+               std::runtime_error);
+  // Remaining indices still execute (no worker abandons the loop).
+  EXPECT_EQ(ran.load(), 64);
 }
 
 std::vector<MatrixSpec> tiny_specs() {
