@@ -3,6 +3,13 @@
 // largest matrix of the chosen suite scale, and writes the comparison
 // to a JSON report (BENCH_kernels.json by default).
 //
+// The matrix is planned ONCE (SpmmPlan: profile + every format
+// conversion) and the kernels execute against the plan's operands, so
+// the report separates the pipeline phases: a "phases" object carries
+// plan/profile/convert wall-clock, the per-kernel timings are pure
+// execute, and a "metrics" object embeds the full MetricsRegistry
+// snapshot (counters / gauges / histograms) for the run.
+//
 // The sharded run produces bit-identical C and metrics (enforced by the
 // KernelShardingSweep tests and re-checked here), so the only thing
 // that changes with --jobs is host wall-clock.
@@ -21,11 +28,13 @@
 #include <string>
 #include <vector>
 
+#include "core/plan.hpp"
 #include "kernels/spmm.hpp"
 #include "matgen/suite.hpp"
+#include "obs/metrics.hpp"
+#include "obs/scoped_timer.hpp"
 #include "util/cli.hpp"
 #include "util/error.hpp"
-#include "util/stopwatch.hpp"
 #include "util/thread_pool.hpp"
 
 namespace nmdt {
@@ -44,15 +53,15 @@ struct ArmTiming {
   double mean_ms = 0.0;
 };
 
-ArmTiming time_kernel(KernelKind kind, const Csr& A, const DenseMatrix& B,
+ArmTiming time_kernel(KernelKind kind, const SpmmOperands& ops, const DenseMatrix& B,
                       const SpmmConfig& cfg, int warmup, int iters) {
-  for (int i = 0; i < warmup; ++i) (void)run_spmm(kind, A, B, cfg);
+  for (int i = 0; i < warmup; ++i) (void)run_spmm(kind, ops, B, cfg);
   ArmTiming t;
   t.best_ms = 1e300;
   for (int i = 0; i < iters; ++i) {
-    Stopwatch sw;
-    (void)run_spmm(kind, A, B, cfg);
-    const double ms = sw.elapsed_ms();
+    obs::ScopedTimer sw("bench.execute_ms");
+    (void)run_spmm(kind, ops, B, cfg);
+    const double ms = sw.stop();
     t.best_ms = std::min(t.best_ms, ms);
     t.mean_ms += ms / iters;
   }
@@ -121,9 +130,26 @@ int run(int argc, char** argv) {
     throw ParseError("unknown --mode value: " + mode_name);
   }
 
+  // Plan once (profile + every conversion), then run every kernel from
+  // the plan's operands so the timed arms measure the execute phase
+  // alone.  Start from a clean registry so the embedded metrics
+  // snapshot describes exactly this run.
+  obs::MetricsRegistry::global().reset();
+  const auto plan = [&] {
+    obs::ScopedTimer t("bench.plan_ms");
+    return build_plan(A, {cfg.tiling, default_ssf_threshold(), 1.0});
+  }();
+  const SpmmOperands ops = plan->operands();
+  const double profile_ms =
+      obs::MetricsRegistry::global().histogram("plan.profile_ms").snapshot().sum;
+  const double convert_ms =
+      obs::MetricsRegistry::global().histogram("plan.convert_ms").snapshot().sum;
+
   std::cout << "matrix " << pick->name << " (" << A.rows << " x " << A.cols << ", nnz "
             << A.nnz() << "), K " << K << ", mode " << mode_name << ", jobs " << jobs
             << ", host cores " << ThreadPool::default_jobs() << "\n";
+  std::cout << "plan " << plan->build_ms() << " ms (profile " << profile_ms
+            << " ms, convert " << convert_ms << " ms)\n";
 
   std::ofstream json(out_path);
   NMDT_REQUIRE(json.good(), "cannot open JSON output path");
@@ -141,6 +167,9 @@ int run(int argc, char** argv) {
        << "  \"iters\": " << iters << ",\n"
        << "  \"note\": \"speedup is parallel-arm best vs serial best; "
           "meaningful only when host_cores > 1\",\n"
+       << "  \"phases\": {\"plan_ms\": " << plan->build_ms()
+       << ", \"profile_ms\": " << profile_ms << ", \"convert_ms\": " << convert_ms
+       << "},\n"
        << "  \"kernels\": [\n";
 
   bool first = true;
@@ -150,14 +179,14 @@ int run(int argc, char** argv) {
     SpmmConfig parallel_cfg = cfg;
     parallel_cfg.jobs = jobs;
 
-    const SpmmResult serial_res = run_spmm(kind, A, B, serial_cfg);
-    const SpmmResult parallel_res = run_spmm(kind, A, B, parallel_cfg);
+    const SpmmResult serial_res = run_spmm(kind, ops, B, serial_cfg);
+    const SpmmResult parallel_res = run_spmm(kind, ops, B, parallel_cfg);
     const bool identical = bitwise_equal(serial_res.C, parallel_res.C) &&
                            serial_res.counters == parallel_res.counters &&
                            serial_res.mem == parallel_res.mem;
 
-    const ArmTiming serial = time_kernel(kind, A, B, serial_cfg, warmup, iters);
-    const ArmTiming parallel = time_kernel(kind, A, B, parallel_cfg, warmup, iters);
+    const ArmTiming serial = time_kernel(kind, ops, B, serial_cfg, warmup, iters);
+    const ArmTiming parallel = time_kernel(kind, ops, B, parallel_cfg, warmup, iters);
     const double speedup = parallel.best_ms > 0.0 ? serial.best_ms / parallel.best_ms : 0.0;
 
     std::cout << "  " << kernel_name(kind) << ": serial " << serial.best_ms
@@ -178,7 +207,9 @@ int run(int argc, char** argv) {
       return 1;
     }
   }
-  json << "\n  ]\n}\n";
+  json << "\n  ],\n  \"metrics\": ";
+  obs::MetricsRegistry::global().write_json(json);
+  json << "}\n";
   std::cout << "wrote " << out_path << "\n";
   return 0;
 }

@@ -7,7 +7,13 @@
 //   ./example_nmdt_cli --cmd run      --matrix m.mtx --k 64
 //   ./example_nmdt_cli --cmd convert  --matrix m.mtx --out m.bin
 //   ./example_nmdt_cli --cmd suite    --scale small --k 64 --out suite.csv
+//
+// Any command accepts --trace <out.json> (Chrome trace-event JSON,
+// loadable in Perfetto / chrome://tracing) and --metrics <out.json>
+// (counters/gauges/histograms snapshot).  Tracing off is a strict
+// no-op: outputs are bit-identical with or without it.
 #include <iostream>
+#include <optional>
 
 #include "analysis/sampling.hpp"
 #include "core/spmm_engine.hpp"
@@ -15,6 +21,8 @@
 #include "formats/matrix_market.hpp"
 #include "formats/serialize.hpp"
 #include "matgen/generators.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/cli.hpp"
 #include "util/error.hpp"
 #include "util/table.hpp"
@@ -142,16 +150,36 @@ int main(int argc, char** argv) {
               "host threads: suite-runner threads (suite; default: hardware "
               "concurrency) or intra-kernel shard threads (run; default 1; "
               "results are identical at any value)");
+  cli.declare("trace", "write a Chrome trace-event JSON of the command (any cmd)");
+  cli.declare("metrics", "write a counters/gauges/histograms JSON snapshot (any cmd)");
   if (cli.has("help")) {
     std::cout << cli.help("nmdt_cli: profile / run / convert / suite");
     return 0;
   }
   cli.validate();
+  const std::string trace_path = cli.get("trace", "");
+  const std::string metrics_path = cli.get("metrics", "");
+  std::optional<obs::TraceSession> session;
+  if (!trace_path.empty()) {
+    session.emplace();
+    session->install();
+  }
   const std::string cmd = cli.get("cmd", "run");
-  if (cmd == "profile") return cmd_profile(cli);
-  if (cmd == "run") return cmd_run(cli);
-  if (cmd == "convert") return cmd_convert(cli);
-  if (cmd == "suite") return cmd_suite(cli);
-  std::cerr << "unknown --cmd '" << cmd << "' (try --help)\n";
-  return 2;
+  int rc = 2;
+  if (cmd == "profile") rc = cmd_profile(cli);
+  else if (cmd == "run") rc = cmd_run(cli);
+  else if (cmd == "convert") rc = cmd_convert(cli);
+  else if (cmd == "suite") rc = cmd_suite(cli);
+  else std::cerr << "unknown --cmd '" << cmd << "' (try --help)\n";
+  if (session) {
+    session->uninstall();
+    session->write_chrome_json_file(trace_path);
+    std::cerr << "trace: " << trace_path << " (" << session->events().size()
+              << " spans)\n";
+  }
+  if (!metrics_path.empty()) {
+    obs::MetricsRegistry::global().write_json_file(metrics_path);
+    std::cerr << "metrics: " << metrics_path << "\n";
+  }
+  return rc;
 }

@@ -1,0 +1,56 @@
+// trace_lint: validate a Chrome trace-event JSON file (as written by
+// `nmdt_cli --trace` or the obs::TraceSession exporter) and print a
+// one-line summary.  Exit 0 iff the file is well-formed and every event
+// carries the required keys — used as the tier-1 trace smoke check.
+//
+//   ./example_trace_lint --trace trace.json
+//   ./example_trace_lint --trace metrics.json --json-only   (syntax check only)
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+#include "obs/json_check.hpp"
+#include "util/cli.hpp"
+
+int main(int argc, char** argv) {
+  nmdt::CliParser cli(argc, argv);
+  cli.declare("trace", "trace/metrics JSON file to validate");
+  cli.declare("json-only", "only check JSON well-formedness, not the trace schema");
+  if (cli.has("help")) {
+    std::cout << cli.help("trace_lint: validate Chrome trace-event JSON");
+    return 0;
+  }
+  cli.validate();
+  const std::string path = cli.get("trace", "");
+  if (path.empty()) {
+    std::cerr << "trace_lint: --trace <file.json> is required\n";
+    return 2;
+  }
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    std::cerr << "trace_lint: cannot open " << path << "\n";
+    return 2;
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  const std::string text = buf.str();
+
+  std::string error;
+  if (cli.has("json-only")) {
+    if (!nmdt::obs::json_is_valid(text, &error)) {
+      std::cerr << "trace_lint: " << path << ": " << error << "\n";
+      return 1;
+    }
+    std::cout << path << ": valid JSON (" << text.size() << " bytes)\n";
+    return 0;
+  }
+  nmdt::obs::TraceCheckReport report;
+  if (!nmdt::obs::validate_chrome_trace(text, &error, &report)) {
+    std::cerr << "trace_lint: " << path << ": " << error << "\n";
+    return 1;
+  }
+  std::cout << path << ": ok — " << report.events << " events ("
+            << report.complete_spans << " spans, " << report.metadata
+            << " metadata) on " << report.tracks << " tracks\n";
+  return 0;
+}

@@ -1,8 +1,9 @@
 #!/usr/bin/env bash
 # Tier-1 verification: the standard release build + full test suite
-# (ROADMAP.md), followed by the tsan preset re-running the concurrency
-# tests (thread pool, plan cache, parallel suite runner, and the
-# intra-kernel shard fan-out) under ThreadSanitizer.
+# (ROADMAP.md), a trace smoke run (nmdt_cli --trace/--metrics validated
+# by trace_lint), and the tsan preset re-running the concurrency tests
+# (thread pool, plan cache, parallel suite runner, the intra-kernel
+# shard fan-out, and the tracer) under ThreadSanitizer.
 #
 # Usage: scripts/tier1.sh [--no-tsan]
 set -euo pipefail
@@ -15,6 +16,14 @@ echo "==== tier-1: standard build + ctest ===="
 cmake -B build -S .
 cmake --build build -j
 ctest --test-dir build --output-on-failure -j
+
+echo "==== tier-1: trace smoke (run --trace + lint) ===="
+smoke_dir=build/trace_smoke
+mkdir -p "$smoke_dir"
+./build/examples/example_nmdt_cli --cmd run --k 16 --jobs 4 \
+  --trace "$smoke_dir/trace.json" --metrics "$smoke_dir/metrics.json"
+./build/examples/example_trace_lint --trace "$smoke_dir/trace.json"
+./build/examples/example_trace_lint --trace "$smoke_dir/metrics.json" --json-only
 
 if [[ "$run_tsan" == 1 ]]; then
   echo "==== tier-1: tsan preset (concurrency tests) ===="

@@ -6,6 +6,9 @@
 #include <mutex>
 #include <optional>
 
+#include "obs/metrics.hpp"
+#include "obs/scoped_timer.hpp"
+#include "obs/trace.hpp"
 #include "util/error.hpp"
 #include "util/rng.hpp"
 #include "util/thread_pool.hpp"
@@ -47,6 +50,15 @@ std::vector<SuiteRow> run_suite(std::span<const MatrixSpec> specs, const SpmmCon
                                 index_t K, const SuiteProgress& progress, int jobs) {
   NMDT_CHECK_CONFIG(K > 0, "run_suite requires K > 0");
   const usize total = specs.size();
+  obs::MetricsRegistry::global().counter("suite.runs").add(1);
+  obs::TraceSpan suite_span("suite.run");
+  suite_span.arg("total", static_cast<i64>(total))
+      .arg("jobs", jobs)
+      .arg("k", static_cast<i64>(K));
+  // Suite tasks run on pool threads whose thread-local track is unset;
+  // derive every row/arm track from the *caller's* track so the merged
+  // trace is independent of worker scheduling.
+  const u64 suite_track = obs::TraceTrack::current();
   std::vector<std::optional<SuiteRow>> slots(total);
 
   std::mutex mu;
@@ -67,6 +79,7 @@ std::vector<SuiteRow> run_suite(std::span<const MatrixSpec> specs, const SpmmCon
 
     for (usize idx = 0; idx < total; ++idx) {
       pool.submit([&, idx] {
+        obs::TraceTrack track(suite_track, "suite_row", static_cast<u64>(idx));
         SuiteRow row;
         row.spec = specs[idx];
         const Csr A = specs[idx].generate();
@@ -77,7 +90,13 @@ std::vector<SuiteRow> run_suite(std::span<const MatrixSpec> specs, const SpmmCon
         auto job = std::make_shared<RowJob>();
         // Plan once per matrix: profile + all conversions; the four
         // arms below share the converted artifacts.
-        job->plan = build_plan(A, {cfg.tiling, default_ssf_threshold(), 1.0});
+        {
+          obs::TraceSpan sp("suite.plan");
+          obs::ScopedTimer t("suite.plan_ms");
+          job->plan = build_plan(A, {cfg.tiling, default_ssf_threshold(), 1.0});
+          sp.arg("matrix", specs[idx].name.c_str())
+              .arg("nnz", static_cast<i64>(A.nnz()));
+        }
         // Per-task seeding: B depends only on the row index, so results
         // are identical at any thread count.
         Rng b_rng(0xb0b0 + static_cast<u64>(idx));
@@ -91,7 +110,16 @@ std::vector<SuiteRow> run_suite(std::span<const MatrixSpec> specs, const SpmmCon
         // B's values), so the arms are independent deterministic tasks.
         auto submit_arm = [&, idx, job](KernelKind kind, auto&& commit) {
           pool.submit([&, idx, job, kind, commit] {
+            // One span per matrix × kernel arm, on a track keyed by
+            // (kernel, row) so arms never share a lane.
+            obs::TraceTrack arm_track(suite_track, kernel_name(kind),
+                                      static_cast<u64>(idx));
+            obs::TraceSpan sp("suite.arm");
             const SpmmResult res = run_spmm(kind, job->plan->operands(), *job->B, cfg);
+            sp.arg("matrix", specs[idx].name.c_str())
+                .arg("kernel", kernel_name(kind))
+                .arg("jobs", cfg.jobs)
+                .arg("modelled_ms", res.timing.total_ms());
             commit(*slots[idx], res);
             if (job->arms_left.fetch_sub(1, std::memory_order_acq_rel) == 1) {
               row_done(idx, true);

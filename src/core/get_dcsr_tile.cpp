@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/error.hpp"
 
 namespace nmdt {
@@ -10,6 +12,10 @@ DcsrTileHandle GetDCSRTile(const Csc& csc, index_t strip_id, index_t row_start,
                            std::span<index_t> col_frontier, const TilingSpec& spec,
                            ConversionEngine& engine) {
   spec.validate();
+  static obs::Counter& requests =
+      obs::MetricsRegistry::global().counter("engine.get_dcsr_tile");
+  requests.add(1);
+  obs::TraceSpan span("GetDCSRTile");
   const index_t col_begin = strip_id * spec.strip_width;
   NMDT_REQUIRE(col_begin >= 0 && col_begin < csc.cols, "strip_id out of range");
   const index_t col_end = std::min<index_t>(col_begin + spec.strip_width, csc.cols);
@@ -36,6 +42,10 @@ DcsrTileHandle GetDCSRTile(const Csc& csc, index_t strip_id, index_t row_start,
   for (index_t l = 0; l < lanes; ++l) {
     col_frontier[l] = frontier[l] - csc.col_ptr[col_begin + l];
   }
+  span.arg("strip", static_cast<i64>(strip_id))
+      .arg("row_begin", static_cast<i64>(row_start))
+      .arg("nnzrows", static_cast<i64>(handle.nnzrows))
+      .arg("nnz", static_cast<i64>(handle.nnz));
   return handle;
 }
 

@@ -2,8 +2,9 @@
 
 #include "analysis/sampling.hpp"
 #include "formats/footprint.hpp"
+#include "obs/scoped_timer.hpp"
+#include "obs/trace.hpp"
 #include "util/error.hpp"
-#include "util/stopwatch.hpp"
 
 namespace nmdt {
 
@@ -18,27 +19,52 @@ SpmmPlan::SpmmPlan(const Csr& A, const PlanOptions& opts) : options_(opts), csr_
   NMDT_CHECK_CONFIG(
       opts.profile_sample_fraction > 0.0 && opts.profile_sample_fraction <= 1.0,
       "profile_sample_fraction must be in (0, 1]");
-  Stopwatch sw;
-  fingerprint_ = fingerprint_of(csr_);
-  if (opts.profile_sample_fraction < 1.0) {
-    profile_ = profile_matrix_sampled(csr_, opts.tiling, opts.profile_sample_fraction,
-                                      /*seed=*/0x5a3d)
-                   .profile;
-  } else {
-    profile_ = profile_matrix(csr_, opts.tiling);
+  obs::TraceSpan span("plan.build");
+  obs::ScopedTimer timer("plan.build_ms");
+  obs::MetricsRegistry::global().counter("plan.builds").add(1);
+  {
+    NMDT_TRACE_SCOPE("plan.fingerprint");
+    fingerprint_ = fingerprint_of(csr_);
+  }
+  {
+    NMDT_TRACE_SCOPE("plan.profile");
+    obs::ScopedTimer t("plan.profile_ms");
+    if (opts.profile_sample_fraction < 1.0) {
+      profile_ = profile_matrix_sampled(csr_, opts.tiling, opts.profile_sample_fraction,
+                                        /*seed=*/0x5a3d)
+                     .profile;
+    } else {
+      profile_ = profile_matrix(csr_, opts.tiling);
+    }
   }
   strategy_ = select_strategy(profile_.ssf, opts.ssf_threshold);
   kernel_ = strategy_ == Strategy::kBStationary ? KernelKind::kTiledDcsrOnline
                                                 : KernelKind::kDcsrCStationary;
-  csc_ = csc_from_csr(csr_);
-  dcsr_ = dcsr_from_csr(csr_);
-  tiled_dcsr_ = tiled_dcsr_from_csr(csr_, opts.tiling);
-  tiled_csr_ = tiled_csr_from_csr(csr_, opts.tiling);
-  strip_nnz_ = strip_nnz_of(csr_, opts.tiling);
+  // Each format conversion is timed separately: both as a child span and
+  // as an observation into the shared plan.convert_ms histogram.
+  auto convert = [](const char* span_name, auto&& body) {
+    obs::TraceSpan s(span_name);
+    obs::ScopedTimer t("plan.convert_ms");
+    body();
+  };
+  convert("plan.convert.csc", [&] { csc_ = csc_from_csr(csr_); });
+  convert("plan.convert.dcsr", [&] { dcsr_ = dcsr_from_csr(csr_); });
+  convert("plan.convert.tiled_dcsr",
+          [&] { tiled_dcsr_ = tiled_dcsr_from_csr(csr_, opts.tiling); });
+  convert("plan.convert.tiled_csr",
+          [&] { tiled_csr_ = tiled_csr_from_csr(csr_, opts.tiling); });
+  convert("plan.convert.strip_nnz", [&] { strip_nnz_ = strip_nnz_of(csr_, opts.tiling); });
   bytes_ = footprint(csr_).total() + footprint(csc_).total() + footprint(dcsr_).total() +
            footprint(tiled_dcsr_).total() + footprint(tiled_csr_).total() +
            static_cast<i64>(strip_nnz_.counts.size()) * static_cast<i64>(sizeof(i64));
-  build_ms_ = sw.elapsed_ms();
+  build_ms_ = timer.stop();
+  span.arg("rows", static_cast<i64>(csr_.rows))
+      .arg("cols", static_cast<i64>(csr_.cols))
+      .arg("nnz", static_cast<i64>(csr_.nnz()))
+      .arg("ssf", profile_.ssf)
+      .arg("strategy", strategy_name(strategy_))
+      .arg("kernel", kernel_name(kernel_))
+      .arg("bytes", bytes_);
 }
 
 SpmmOperands SpmmPlan::operands() const {
@@ -73,6 +99,10 @@ PlanCache::PlanCache(i64 byte_budget) : budget_(byte_budget) {
 std::shared_ptr<const SpmmPlan> PlanCache::get_or_build(const Csr& A,
                                                         const PlanOptions& opts,
                                                         bool* was_hit) {
+  static obs::Counter& hit_counter = obs::MetricsRegistry::global().counter("plan_cache.hits");
+  static obs::Counter& miss_counter =
+      obs::MetricsRegistry::global().counter("plan_cache.misses");
+  obs::TraceSpan span("plan_cache.lookup");
   const Key key{fingerprint_of(A), opts};
   {
     std::lock_guard<std::mutex> lock(mu_);
@@ -80,11 +110,15 @@ std::shared_ptr<const SpmmPlan> PlanCache::get_or_build(const Csr& A,
     if (it != index_.end()) {
       lru_.splice(lru_.begin(), lru_, it->second);  // bump to most recent
       ++stats_.hits;
+      hit_counter.add(1);
       if (was_hit) *was_hit = true;
+      span.arg("hit", i64{1});
       return lru_.front().second;
     }
     ++stats_.misses;
+    miss_counter.add(1);
   }
+  span.arg("hit", i64{0});
   // Build outside the lock: planning is the expensive part, and two
   // threads racing on the same key merely build twice (second insert
   // finds the entry and reuses it).
@@ -98,6 +132,7 @@ std::shared_ptr<const SpmmPlan> PlanCache::get_or_build(const Csr& A,
   }
   if (plan->bytes() > budget_) {
     ++stats_.oversize;  // usable, but never resident
+    obs::MetricsRegistry::global().counter("plan_cache.oversize").add(1);
     return plan;
   }
   lru_.emplace_front(key, plan);
@@ -105,16 +140,21 @@ std::shared_ptr<const SpmmPlan> PlanCache::get_or_build(const Csr& A,
   stats_.bytes += plan->bytes();
   stats_.entries = index_.size();
   evict_to_budget_locked();
+  obs::MetricsRegistry::global().gauge("plan_cache.resident_bytes").set(
+      static_cast<double>(stats_.bytes));
   return plan;
 }
 
 void PlanCache::evict_to_budget_locked() {
+  static obs::Counter& evict_counter =
+      obs::MetricsRegistry::global().counter("plan_cache.evictions");
   while (stats_.bytes > budget_ && !lru_.empty()) {
     const auto& victim = lru_.back();
     stats_.bytes -= victim.second->bytes();
     index_.erase(victim.first);
     lru_.pop_back();
     ++stats_.evictions;
+    evict_counter.add(1);
   }
   stats_.entries = index_.size();
 }

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/error.hpp"
 
 namespace nmdt {
@@ -131,7 +133,15 @@ void MemorySystem::merge(const MemorySystem& other) {
   NMDT_REQUIRE(other.mode_ == mode_ &&
                    other.stats_.channels.size() == stats_.channels.size(),
                "MemorySystem::merge requires matching mode and channel geometry");
+  // Shard flush point: a shard-local memory system drains its simulated
+  // traffic into the canonical one.
+  static obs::Counter& merges = obs::MetricsRegistry::global().counter("mem.merges");
+  merges.add(1);
+  obs::TraceSpan span("mem.merge");
   stats_ += other.stats_;
+  span.arg("channels", static_cast<i64>(stats_.channels.size()))
+      .arg("merged_dram_bytes", other.stats_.total_dram_bytes())
+      .arg("total_dram_bytes", stats_.total_dram_bytes());
 }
 
 void MemorySystem::dram_access(u64 addr, i64 bytes, int kind) {

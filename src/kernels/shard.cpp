@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "kernels/detail.hpp"
+#include "obs/trace.hpp"
 #include "util/thread_pool.hpp"
 
 namespace nmdt::detail {
@@ -27,13 +28,29 @@ ShardSet::ShardSet(const SpmmConfig& cfg, i64 items, i64 grain) : items_(items) 
 void ShardSet::run(const std::function<void(int, ShardRange, Ctx&)>& body) {
   // jobs caps threads only; the shard set itself is already fixed.
   const int jobs = size() == 1 ? 1 : ctxs_.front().cfg.jobs;
+  obs::TraceSpan span("shard_set");
+  span.arg("shards", size()).arg("jobs", jobs).arg("items", items_);
+  // Shard spans live on logical tracks derived from the *caller's*
+  // track and the shard index — never from the executing OS thread —
+  // so the merged trace is identical run-to-run at any job count.
+  const u64 parent_track = obs::TraceTrack::current();
   run_indexed(jobs, size(), [&](i64 s) {
     const int shard = static_cast<int>(s);
-    body(shard, range(shard), ctxs_[static_cast<usize>(s)]);
+    const ShardRange r = range(shard);
+    obs::TraceTrack track(parent_track, "shard", static_cast<u64>(s));
+    obs::TraceSpan sp("shard");
+    Ctx& ctx = ctxs_[static_cast<usize>(s)];
+    body(shard, r, ctx);
+    sp.arg("shard", shard)
+        .arg("begin", r.begin)
+        .arg("end", r.end)
+        .arg("instr", ctx.counters.total_instr())
+        .arg("dram_bytes", ctx.mem.stats().total_dram_bytes());
   });
 }
 
 Ctx& ShardSet::merge() {
+  NMDT_TRACE_SCOPE("shard_merge");
   for (usize s = 1; s < ctxs_.size(); ++s) {
     ctxs_[0].counters += ctxs_[s].counters;
     ctxs_[0].mem.merge(ctxs_[s].mem);

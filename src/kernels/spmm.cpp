@@ -3,6 +3,8 @@
 #include <algorithm>
 
 #include "kernels/detail.hpp"
+#include "obs/scoped_timer.hpp"
+#include "obs/trace.hpp"
 #include "util/error.hpp"
 
 namespace nmdt {
@@ -44,11 +46,10 @@ SpmmConfig evaluation_config(index_t n, index_t K) {
   return cfg;
 }
 
-SpmmResult run_spmm(KernelKind kind, const SpmmOperands& A, const DenseMatrix& B,
-                    const SpmmConfig& cfg) {
-  NMDT_REQUIRE(A.csr != nullptr, "SpmmOperands must carry the CSR operand");
-  NMDT_REQUIRE(A.csr->cols == B.rows(), "SpMM shape mismatch: A.cols != B.rows");
-  cfg.tiling.validate();
+namespace {
+
+SpmmResult dispatch_spmm(KernelKind kind, const SpmmOperands& A, const DenseMatrix& B,
+                         const SpmmConfig& cfg) {
   switch (kind) {
     case KernelKind::kCsrCStationaryRowWarp: return detail::spmm_csr_row_warp(A, B, cfg);
     case KernelKind::kCsrCStationaryRowThread:
@@ -64,6 +65,34 @@ SpmmResult run_spmm(KernelKind kind, const SpmmOperands& A, const DenseMatrix& B
     case KernelKind::kHongHybrid: return detail::spmm_hong_hybrid(A, B, cfg);
   }
   throw ConfigError("unknown kernel kind");
+}
+
+}  // namespace
+
+SpmmResult run_spmm(KernelKind kind, const SpmmOperands& A, const DenseMatrix& B,
+                    const SpmmConfig& cfg) {
+  NMDT_REQUIRE(A.csr != nullptr, "SpmmOperands must carry the CSR operand");
+  NMDT_REQUIRE(A.csr->cols == B.rows(), "SpMM shape mismatch: A.cols != B.rows");
+  cfg.tiling.validate();
+  static obs::Counter& runs = obs::MetricsRegistry::global().counter("kernel.runs");
+  runs.add(1);
+  obs::ScopedTimer timer("kernel.host_ms");
+  obs::TraceSpan span(kernel_name(kind));
+  SpmmResult res = dispatch_spmm(kind, A, B, cfg);
+  // Simulated metrics ride on the host span so modelled and measured
+  // time land in one artifact (args stay deterministic: they derive
+  // from the matrix alone, never from the clock).
+  span.arg("rows", static_cast<i64>(A.csr->rows))
+      .arg("nnz", static_cast<i64>(A.csr->nnz()))
+      .arg("k", static_cast<i64>(B.cols()))
+      .arg("jobs", cfg.jobs)
+      .arg("modelled_ns", res.timing.total_ns)
+      .arg("flops", res.counters.flops)
+      .arg("instr", res.counters.total_instr())
+      .arg("inactive_frac", res.counters.inactive_fraction())
+      .arg("dram_bytes", res.mem.total_dram_bytes())
+      .arg("engine_busy_ns", res.engine_busy_ns);
+  return res;
 }
 
 SpmmResult run_spmm(KernelKind kind, const Csr& A, const DenseMatrix& B,

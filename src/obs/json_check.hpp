@@ -1,0 +1,32 @@
+// Minimal JSON parser + Chrome trace-event schema validator, shared by
+// the trace-schema tests and the `example_trace_lint` CI checker.  Not
+// a general-purpose JSON library: it parses into an internal value tree
+// only to answer "is this well-formed?" and "does every event carry the
+// required keys?".
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "util/types.hpp"
+
+namespace nmdt::obs {
+
+/// Parse `text` as JSON; false (with *error set) on malformed input.
+bool json_is_valid(std::string_view text, std::string* error);
+
+struct TraceCheckReport {
+  usize events = 0;         ///< entries in traceEvents
+  usize complete_spans = 0; ///< ph == "X" events
+  usize metadata = 0;       ///< ph == "M" events
+  usize tracks = 0;         ///< distinct tids among complete spans
+};
+
+/// Validate a Chrome trace-event file: well-formed JSON, an object with
+/// a "traceEvents" array, and every event an object carrying string
+/// "name"/"ph" and numeric "ts"/"tid" (complete "X" events must also
+/// carry numeric "dur"; metadata "M" events are exempt from ts).
+bool validate_chrome_trace(std::string_view text, std::string* error,
+                           TraceCheckReport* report = nullptr);
+
+}  // namespace nmdt::obs

@@ -1,0 +1,102 @@
+// Process-wide metrics registry: named counters, gauges, and
+// log2-bucketed histograms, snapshotted to JSON.
+//
+// Instruments are created on first lookup (mutex-protected) and updated
+// lock-free afterwards; hot paths cache the returned reference
+// (instrument storage is node-stable, and reset() zeroes values in
+// place, so cached references stay valid for the process lifetime).
+// Collection is always on — updates are single relaxed atomics and
+// never perturb pipeline results; JSON is written only when a caller
+// asks (e.g. `nmdt_cli run --metrics out.json`).
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <limits>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <ostream>
+#include <string>
+
+#include "util/types.hpp"
+
+namespace nmdt::obs {
+
+class Counter {
+ public:
+  void add(i64 delta = 1) { v_.fetch_add(delta, std::memory_order_relaxed); }
+  i64 value() const { return v_.load(std::memory_order_relaxed); }
+  void reset() { v_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<i64> v_{0};
+};
+
+class Gauge {
+ public:
+  void set(double v) { v_.store(v, std::memory_order_relaxed); }
+  double value() const { return v_.load(std::memory_order_relaxed); }
+  void reset() { set(0.0); }
+
+ private:
+  std::atomic<double> v_{0.0};
+};
+
+/// Power-of-two-bucketed histogram for non-negative samples (host
+/// milliseconds, byte counts).  Bucket i holds samples ≤ 2^(i - kZero);
+/// the span 2^-20 … 2^23 covers ns-scale spans to multi-second suites.
+class Histogram {
+ public:
+  static constexpr int kBuckets = 44;
+  static constexpr int kZero = 20;  ///< bucket index whose upper bound is 2^0
+
+  void observe(double v);
+
+  struct Snapshot {
+    u64 count = 0;
+    double sum = 0.0;
+    double min = 0.0;  ///< 0 when count == 0
+    double max = 0.0;
+    std::array<u64, kBuckets> buckets{};
+    double mean() const { return count == 0 ? 0.0 : sum / static_cast<double>(count); }
+  };
+  Snapshot snapshot() const;
+  void reset();
+
+  /// Upper bound of bucket i (2^(i - kZero)).
+  static double bucket_bound(int i);
+
+ private:
+  std::atomic<u64> count_{0};
+  std::atomic<double> sum_{0.0};
+  std::atomic<double> min_{std::numeric_limits<double>::infinity()};
+  std::atomic<double> max_{-std::numeric_limits<double>::infinity()};
+  std::array<std::atomic<u64>, kBuckets> buckets_{};
+};
+
+class MetricsRegistry {
+ public:
+  /// The process-wide registry every instrumented module reports into.
+  static MetricsRegistry& global();
+
+  Counter& counter(const std::string& name);
+  Gauge& gauge(const std::string& name);
+  Histogram& histogram(const std::string& name);
+
+  /// Zero every instrument in place (names and references survive).
+  void reset();
+
+  /// JSON snapshot, names sorted, histograms with non-empty buckets
+  /// rendered as {"le": bound, "count": n} pairs.
+  void write_json(std::ostream& os) const;
+  void write_json_file(const std::string& path) const;
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+}  // namespace nmdt::obs

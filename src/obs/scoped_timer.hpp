@@ -1,0 +1,41 @@
+// RAII wall-clock timer reporting into a MetricsRegistry histogram —
+// the structured replacement for ad-hoc Stopwatch + manual bookkeeping
+// in the suite runner, plan builder, and bench harnesses.  Observes
+// elapsed host milliseconds exactly once, either at stop() (which also
+// returns the value) or at destruction.
+#pragma once
+
+#include "obs/metrics.hpp"
+#include "util/stopwatch.hpp"
+
+namespace nmdt::obs {
+
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(Histogram& hist) : hist_(&hist) {}
+  explicit ScopedTimer(const std::string& name)
+      : hist_(&MetricsRegistry::global().histogram(name)) {}
+
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+  ~ScopedTimer() { stop(); }
+
+  /// Record the elapsed milliseconds into the histogram (first call
+  /// only) and return them.
+  double stop() {
+    const double ms = sw_.elapsed_ms();
+    if (!stopped_) {
+      stopped_ = true;
+      hist_->observe(ms);
+    }
+    return ms;
+  }
+
+ private:
+  Stopwatch sw_;
+  Histogram* hist_;
+  bool stopped_ = false;
+};
+
+}  // namespace nmdt::obs

@@ -1,0 +1,270 @@
+#include "obs/trace.hpp"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+#include <fstream>
+
+#include "util/error.hpp"
+
+namespace nmdt::obs {
+
+namespace {
+
+std::atomic<TraceSession*> g_active{nullptr};
+std::atomic<u64> g_next_session_id{1};
+
+// Thread-local state: the current logical track, plus a cache of the
+// per-(session, thread) buffer so emission is lock-free after the first
+// span a thread records into a session.
+struct Tls {
+  u64 track = 0;
+  u64 session_id = 0;
+  void* buffer = nullptr;
+};
+thread_local Tls t_tls;
+
+constexpr u64 kFnvOffset = 1469598103934665603ull;
+constexpr u64 kFnvPrime = 1099511628211ull;
+
+u64 fnv_bytes(const void* data, usize n, u64 h) {
+  const unsigned char* p = static_cast<const unsigned char*>(data);
+  for (usize i = 0; i < n; ++i) h = (h ^ p[i]) * kFnvPrime;
+  return h;
+}
+
+void append_number(std::string& out, double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.9g", v);
+  out += buf;
+}
+
+}  // namespace
+
+std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+// ---- TraceSession ----------------------------------------------------
+
+TraceSession::TraceSession()
+    : id_(g_next_session_id.fetch_add(1, std::memory_order_relaxed)),
+      start_(std::chrono::steady_clock::now()) {}
+
+TraceSession::~TraceSession() {
+  if (active() == this) uninstall();
+}
+
+TraceSession* TraceSession::active() { return g_active.load(std::memory_order_acquire); }
+
+void TraceSession::install() { g_active.store(this, std::memory_order_release); }
+
+void TraceSession::uninstall() {
+  TraceSession* expected = this;
+  g_active.compare_exchange_strong(expected, nullptr, std::memory_order_acq_rel);
+}
+
+TraceSession::ThreadBuffer* TraceSession::buffer_for_this_thread() {
+  if (t_tls.session_id == id_ && t_tls.buffer != nullptr) {
+    return static_cast<ThreadBuffer*>(t_tls.buffer);
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  buffers_.push_back(std::make_unique<ThreadBuffer>());
+  ThreadBuffer* buf = buffers_.back().get();
+  t_tls.session_id = id_;
+  t_tls.buffer = buf;
+  return buf;
+}
+
+void TraceSession::record(TraceEvent&& ev) {
+  buffer_for_this_thread()->events.push_back(std::move(ev));
+}
+
+void TraceSession::register_track(u64 track, const std::string& label) {
+  std::lock_guard<std::mutex> lock(mu_);
+  track_labels_.try_emplace(track, label);
+}
+
+std::vector<TraceEvent> TraceSession::events() const {
+  std::vector<TraceEvent> all;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    usize total = 0;
+    for (const auto& b : buffers_) total += b->events.size();
+    all.reserve(total);
+    for (const auto& b : buffers_) {
+      all.insert(all.end(), b->events.begin(), b->events.end());
+    }
+  }
+  std::sort(all.begin(), all.end(), [](const TraceEvent& a, const TraceEvent& b) {
+    return a.track != b.track ? a.track < b.track : a.seq < b.seq;
+  });
+  return all;
+}
+
+namespace {
+
+/// Chrome trace tids are displayed as 32-bit ints; fold the 64-bit
+/// track deterministically (collisions only blend display lanes).
+u64 export_tid(u64 track) { return (track ^ (track >> 31)) & 0x7fffffff; }
+
+}  // namespace
+
+void TraceSession::write_chrome_json(std::ostream& os) const {
+  const std::vector<TraceEvent> evs = events();
+  std::map<u64, std::string> labels;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    labels = track_labels_;
+  }
+  os << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  bool first = true;
+  auto sep = [&] {
+    os << (first ? "\n" : ",\n");
+    first = false;
+  };
+  sep();
+  os << "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,\"tid\":0,"
+        "\"args\":{\"name\":\"nmdt\"}}";
+  for (const auto& [track, label] : labels) {
+    sep();
+    os << "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":" << export_tid(track)
+       << ",\"args\":{\"name\":\"" << json_escape(label) << "\"}}";
+  }
+  char buf[64];
+  for (const auto& ev : evs) {
+    sep();
+    os << "{\"name\":\"" << json_escape(ev.name) << "\",\"cat\":\"nmdt\",\"ph\":\"X\"";
+    std::snprintf(buf, sizeof(buf), ",\"ts\":%.3f,\"dur\":%.3f", ev.ts_us, ev.dur_us);
+    os << buf << ",\"pid\":1,\"tid\":" << export_tid(ev.track);
+    if (!ev.args_json.empty()) os << ",\"args\":{" << ev.args_json << "}";
+    os << "}";
+  }
+  os << "\n]}\n";
+}
+
+void TraceSession::write_chrome_json_file(const std::string& path) const {
+  std::ofstream os(path);
+  NMDT_REQUIRE(os.good(), "cannot open trace output path: " + path);
+  write_chrome_json(os);
+}
+
+// ---- TraceTrack ------------------------------------------------------
+
+u64 TraceTrack::current() { return t_tls.track; }
+
+u64 TraceTrack::derive(u64 parent, const char* label, u64 index) {
+  u64 h = fnv_bytes(&parent, sizeof(parent), kFnvOffset);
+  h = fnv_bytes(label, std::char_traits<char>::length(label), h);
+  h = fnv_bytes(&index, sizeof(index), h);
+  return h == 0 ? 1 : h;  // 0 is reserved for the main lane
+}
+
+TraceTrack::TraceTrack(const char* label, u64 index) { enter(current(), label, index); }
+
+TraceTrack::TraceTrack(u64 parent, const char* label, u64 index) {
+  enter(parent, label, index);
+}
+
+void TraceTrack::enter(u64 parent, const char* label, u64 index) {
+  track_ = derive(parent, label, index);
+  saved_ = t_tls.track;
+  t_tls.track = track_;
+  if (TraceSession* s = TraceSession::active()) {
+    char buf[96];
+    std::snprintf(buf, sizeof(buf), "%s[%" PRIu64 "]", label, index);
+    s->register_track(track_, buf);
+  }
+}
+
+TraceTrack::~TraceTrack() { t_tls.track = saved_; }
+
+// ---- TraceSpan -------------------------------------------------------
+
+TraceSpan::TraceSpan(const char* name) {
+  TraceSession* s = TraceSession::active();
+  if (s == nullptr) return;
+  session_ = s;
+  session_id_ = s->id();
+  name_ = name;
+  track_ = t_tls.track;
+  seq_ = s->next_seq();
+  begin_ = std::chrono::steady_clock::now();
+}
+
+TraceSpan::~TraceSpan() {
+  if (session_ == nullptr) return;
+  TraceSession* s = TraceSession::active();
+  if (s != session_ || s->id() != session_id_) return;  // session ended mid-span
+  const auto end = std::chrono::steady_clock::now();
+  TraceEvent ev;
+  ev.name = name_;
+  ev.track = track_;
+  ev.seq = seq_;
+  ev.ts_us = s->since_start_us(begin_);
+  ev.dur_us = std::chrono::duration<double, std::micro>(end - begin_).count();
+  ev.args_json = std::move(args_);
+  s->record(std::move(ev));
+}
+
+TraceSpan& TraceSpan::arg(const char* key, i64 v) {
+  if (!enabled()) return *this;
+  if (!args_.empty()) args_ += ',';
+  args_ += '"';
+  args_ += key;
+  args_ += "\":";
+  args_ += std::to_string(v);
+  return *this;
+}
+
+TraceSpan& TraceSpan::arg(const char* key, u64 v) {
+  if (!enabled()) return *this;
+  if (!args_.empty()) args_ += ',';
+  args_ += '"';
+  args_ += key;
+  args_ += "\":";
+  args_ += std::to_string(v);
+  return *this;
+}
+
+TraceSpan& TraceSpan::arg(const char* key, double v) {
+  if (!enabled()) return *this;
+  if (!args_.empty()) args_ += ',';
+  args_ += '"';
+  args_ += key;
+  args_ += "\":";
+  append_number(args_, v);
+  return *this;
+}
+
+TraceSpan& TraceSpan::arg(const char* key, const char* v) {
+  if (!enabled()) return *this;
+  if (!args_.empty()) args_ += ',';
+  args_ += '"';
+  args_ += key;
+  args_ += "\":\"";
+  args_ += json_escape(v);
+  args_ += '"';
+  return *this;
+}
+
+}  // namespace nmdt::obs

@@ -1,0 +1,167 @@
+// Span-based host-side tracer for the Plan → Cache → Execute pipeline.
+//
+// A TraceSession collects closed spans into lock-free per-thread
+// buffers (one vector per registered thread; emission never takes a
+// lock) and merges them at export time into Chrome trace-event JSON —
+// loadable in Perfetto / chrome://tracing.  The paper's methodology is
+// counter-driven profiling (Fig. 2 stall breakdowns, Fig. 7
+// active/inactive executions); this layer gives the host pipeline the
+// same discipline: where wall-clock goes, which plan stage dominates,
+// whether the PlanCache hits, how shards balance.
+//
+// Contracts:
+//  * Null path is a no-op.  With no session installed, NMDT_TRACE_SCOPE
+//    costs one relaxed atomic load; no allocation, no clock read, no
+//    output — pipeline results are bit-identical with tracing on or off
+//    because spans only observe.
+//  * Deterministic merge.  Every span carries a logical *track* (not an
+//    OS thread id) derived deterministically from its position in the
+//    work decomposition — e.g. a kernel shard's track is
+//    mix(parent_track, "shard", shard_index) — plus a session-global
+//    open sequence.  Export sorts by (track, seq); within a track,
+//    execution is serial, so the sorted order — and therefore the trace
+//    file modulo timestamps — is reproducible run-to-run at any --jobs.
+//  * Span args hold only deterministic values (simulated counters,
+//    sizes, decisions).  Host wall-clock lives exclusively in ts/dur.
+//  * A session must outlive every span opened under it; spans closing
+//    after uninstall() are dropped, not recorded.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "util/types.hpp"
+
+namespace nmdt::obs {
+
+/// One closed span, ready for export.
+struct TraceEvent {
+  std::string name;
+  u64 track = 0;          ///< logical lane (exported as tid)
+  u64 seq = 0;            ///< session-global open order; sort key within track
+  double ts_us = 0.0;     ///< open time relative to session start
+  double dur_us = 0.0;
+  std::string args_json;  ///< rendered `"k":v` fragments, comma-joined ("" = none)
+};
+
+class TraceSession {
+ public:
+  TraceSession();
+  ~TraceSession();  // uninstalls if still active
+
+  TraceSession(const TraceSession&) = delete;
+  TraceSession& operator=(const TraceSession&) = delete;
+
+  /// The process-wide active session (nullptr = tracing off).
+  static TraceSession* active();
+
+  /// Make this session the active one / stop recording into it.
+  void install();
+  void uninstall();
+
+  /// Merge every thread buffer and return the spans sorted by
+  /// (track, seq) — the deterministic export order.  Callable once all
+  /// recording threads have finished (e.g. after uninstall()).
+  std::vector<TraceEvent> events() const;
+
+  /// Chrome trace-event JSON ("traceEvents" array of ph:"X" complete
+  /// events plus thread-name metadata), events in (track, seq) order.
+  void write_chrome_json(std::ostream& os) const;
+  void write_chrome_json_file(const std::string& path) const;
+
+  // -- internal API used by TraceSpan / TraceTrack ---------------------
+  u64 next_seq() { return seq_.fetch_add(1, std::memory_order_relaxed); }
+  double since_start_us(std::chrono::steady_clock::time_point t) const {
+    return std::chrono::duration<double, std::micro>(t - start_).count();
+  }
+  void record(TraceEvent&& ev);
+  void register_track(u64 track, const std::string& label);
+  u64 id() const { return id_; }
+
+ private:
+  struct ThreadBuffer {
+    std::vector<TraceEvent> events;
+  };
+  ThreadBuffer* buffer_for_this_thread();
+
+  u64 id_;  ///< process-unique, so thread-local caches never cross sessions
+  std::chrono::steady_clock::time_point start_;
+  std::atomic<u64> seq_{0};
+  mutable std::mutex mu_;  ///< guards buffers_ registration and track_labels_
+  std::vector<std::unique_ptr<ThreadBuffer>> buffers_;
+  std::map<u64, std::string> track_labels_;
+};
+
+/// RAII logical-track guard.  Tracks name serial lanes of the work
+/// decomposition (suite row, kernel arm, shard); ids derive
+/// deterministically from (parent_track, label, index) so traces merge
+/// identically run-to-run regardless of which OS thread ran the lane.
+class TraceTrack {
+ public:
+  /// Child lane of the current thread's track.
+  TraceTrack(const char* label, u64 index);
+  /// Child lane of an explicit parent — for work handed to a thread
+  /// pool, where the executing thread's own track is meaningless.
+  TraceTrack(u64 parent, const char* label, u64 index);
+  ~TraceTrack();
+
+  TraceTrack(const TraceTrack&) = delete;
+  TraceTrack& operator=(const TraceTrack&) = delete;
+
+  u64 track() const { return track_; }
+
+  /// The calling thread's current track (0 = unguarded / main lane).
+  static u64 current();
+  /// Deterministic child-track id (pure function; exposed for tests).
+  static u64 derive(u64 parent, const char* label, u64 index);
+
+ private:
+  void enter(u64 parent, const char* label, u64 index);
+  u64 track_ = 0;
+  u64 saved_ = 0;
+};
+
+/// RAII span.  Open on construction (when a session is active), closed
+/// and recorded on destruction.  Args are rendered only while enabled.
+class TraceSpan {
+ public:
+  explicit TraceSpan(const char* name);
+  ~TraceSpan();
+
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+  bool enabled() const { return session_ != nullptr; }
+
+  TraceSpan& arg(const char* key, i64 v);
+  TraceSpan& arg(const char* key, u64 v);
+  TraceSpan& arg(const char* key, int v) { return arg(key, static_cast<i64>(v)); }
+  TraceSpan& arg(const char* key, double v);
+  TraceSpan& arg(const char* key, const char* v);
+
+ private:
+  TraceSession* session_ = nullptr;
+  u64 session_id_ = 0;
+  u64 seq_ = 0;
+  u64 track_ = 0;
+  const char* name_ = nullptr;
+  std::chrono::steady_clock::time_point begin_;
+  std::string args_;
+};
+
+/// JSON string escaping (shared with the metrics exporter).
+std::string json_escape(std::string_view s);
+
+#define NMDT_TRACE_CONCAT_INNER(a, b) a##b
+#define NMDT_TRACE_CONCAT(a, b) NMDT_TRACE_CONCAT_INNER(a, b)
+/// Anonymous scope span: `NMDT_TRACE_SCOPE("plan.profile");`
+#define NMDT_TRACE_SCOPE(name) \
+  ::nmdt::obs::TraceSpan NMDT_TRACE_CONCAT(_nmdt_trace_span_, __LINE__)(name)
+
+}  // namespace nmdt::obs

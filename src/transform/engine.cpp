@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <bit>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "transform/comparator.hpp"
 #include "util/error.hpp"
 
@@ -64,6 +66,10 @@ DcsrTile ConversionEngine::convert_tile(const Csc& csc, StripCursor& cursor,
                "strip cursor used out of order (tile requests must be monotone)");
   NMDT_REQUIRE(cursor.lanes() <= hw_.lanes,
                "strip wider than the engine's lane count");
+  static obs::Counter& tile_requests =
+      obs::MetricsRegistry::global().counter("engine.tile_requests");
+  tile_requests.add(1);
+  obs::TraceSpan span("engine.convert_tile");
   const index_t row_end = std::min<index_t>(row_start + spec.tile_height, csc.rows);
   cursor.advance_watermark(row_end);
   const int lanes = cursor.lanes();
@@ -152,6 +158,12 @@ DcsrTile ConversionEngine::convert_tile(const Csc& csc, StripCursor& cursor,
   if (mem != nullptr) mem->xbar_transfer(out_bytes);
 
   stats_ += local;
+  span.arg("strip", static_cast<i64>(cursor.strip_id()))
+      .arg("row_begin", static_cast<i64>(row_start))
+      .arg("rows_emitted", local.steps)
+      .arg("elements", local.elements)
+      .arg("dram_bytes_in", local.dram_bytes_in)
+      .arg("xbar_bytes_out", local.xbar_bytes_out);
   return tile;
 }
 

@@ -1,0 +1,273 @@
+// Unit tests for the observability layer (src/obs/): metrics
+// instruments and their JSON snapshot, ScopedTimer, the tracer's
+// session/track/span machinery, and the JSON / Chrome-trace validator
+// that backs `example_trace_lint`.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <sstream>
+#include <thread>
+
+#include "obs/json_check.hpp"
+#include "obs/metrics.hpp"
+#include "obs/scoped_timer.hpp"
+#include "obs/trace.hpp"
+
+namespace nmdt::obs {
+namespace {
+
+// ---------------------------------------------------------------------
+// Metrics instruments.
+
+TEST(Metrics, CounterAddAndReset) {
+  Counter c;
+  EXPECT_EQ(c.value(), 0);
+  c.add();
+  c.add(41);
+  EXPECT_EQ(c.value(), 42);
+  c.reset();
+  EXPECT_EQ(c.value(), 0);
+}
+
+TEST(Metrics, GaugeSetAndReset) {
+  Gauge g;
+  g.set(2.5);
+  EXPECT_DOUBLE_EQ(g.value(), 2.5);
+  g.reset();
+  EXPECT_DOUBLE_EQ(g.value(), 0.0);
+}
+
+TEST(Metrics, HistogramTracksCountSumMinMax) {
+  Histogram h;
+  h.observe(2.0);
+  h.observe(0.5);
+  h.observe(8.0);
+  const auto s = h.snapshot();
+  EXPECT_EQ(s.count, 3u);
+  EXPECT_DOUBLE_EQ(s.sum, 10.5);
+  EXPECT_DOUBLE_EQ(s.min, 0.5);
+  EXPECT_DOUBLE_EQ(s.max, 8.0);
+  EXPECT_DOUBLE_EQ(s.mean(), 3.5);
+}
+
+TEST(Metrics, HistogramBucketsArePowerOfTwoBounds) {
+  Histogram h;
+  h.observe(1.0);   // <= 2^0  -> bucket kZero
+  h.observe(3.0);   // <= 2^2  -> bucket kZero + 2
+  h.observe(0.0);   // non-positive -> bucket 0
+  const auto s = h.snapshot();
+  EXPECT_EQ(s.buckets[Histogram::kZero], 1u);
+  EXPECT_EQ(s.buckets[Histogram::kZero + 2], 1u);
+  EXPECT_EQ(s.buckets[0], 1u);
+  EXPECT_DOUBLE_EQ(Histogram::bucket_bound(Histogram::kZero), 1.0);
+  EXPECT_DOUBLE_EQ(Histogram::bucket_bound(Histogram::kZero + 3), 8.0);
+}
+
+TEST(Metrics, HistogramEmptySnapshotHasZeroMinMax) {
+  Histogram h;
+  const auto s = h.snapshot();
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_DOUBLE_EQ(s.min, 0.0);
+  EXPECT_DOUBLE_EQ(s.max, 0.0);
+}
+
+TEST(Metrics, RegistryReturnsStableReferences) {
+  MetricsRegistry& reg = MetricsRegistry::global();
+  Counter& a = reg.counter("obs_test.stable");
+  Counter& b = reg.counter("obs_test.stable");
+  EXPECT_EQ(&a, &b);
+  a.add(7);
+  reg.reset();
+  EXPECT_EQ(b.value(), 0);  // reset zeroes in place, reference survives
+}
+
+TEST(Metrics, RegistrySnapshotIsValidJson) {
+  MetricsRegistry& reg = MetricsRegistry::global();
+  reg.counter("obs_test.count\"quoted\"").add(3);
+  reg.gauge("obs_test.gauge").set(1.5);
+  reg.histogram("obs_test.hist").observe(4.0);
+  std::ostringstream os;
+  reg.write_json(os);
+  std::string error;
+  EXPECT_TRUE(json_is_valid(os.str(), &error)) << error;
+  EXPECT_NE(os.str().find("obs_test.gauge"), std::string::npos);
+}
+
+TEST(Metrics, ScopedTimerObservesOnceIntoHistogram) {
+  MetricsRegistry& reg = MetricsRegistry::global();
+  Histogram& h = reg.histogram("obs_test.timer_ms");
+  h.reset();
+  {
+    ScopedTimer t("obs_test.timer_ms");
+    const double ms = t.stop();
+    EXPECT_GE(ms, 0.0);
+  }  // dtor after stop() must not double-observe
+  EXPECT_EQ(h.snapshot().count, 1u);
+  { ScopedTimer t(h); }
+  EXPECT_EQ(h.snapshot().count, 2u);
+}
+
+// ---------------------------------------------------------------------
+// Tracer sessions, tracks, spans.
+
+TEST(Trace, NoSessionMeansDisabledSpans) {
+  ASSERT_EQ(TraceSession::active(), nullptr);
+  TraceSpan span("orphan");
+  EXPECT_FALSE(span.enabled());
+  span.arg("ignored", i64{1});  // must be a no-op, not a crash
+}
+
+TEST(Trace, SessionCollectsSpansInOrder) {
+  TraceSession session;
+  session.install();
+  EXPECT_EQ(TraceSession::active(), &session);
+  {
+    TraceSpan outer("outer");
+    outer.arg("n", i64{3});
+    { NMDT_TRACE_SCOPE("inner"); }
+  }
+  session.uninstall();
+  EXPECT_EQ(TraceSession::active(), nullptr);
+  const auto events = session.events();
+  ASSERT_EQ(events.size(), 2u);
+  // Same track; inner closed first but "outer" opened first (seq order).
+  EXPECT_EQ(events[0].name, "outer");
+  EXPECT_EQ(events[1].name, "inner");
+  EXPECT_EQ(events[0].track, events[1].track);
+  EXPECT_NE(events[0].args_json.find("\"n\":3"), std::string::npos);
+}
+
+TEST(Trace, SpansAfterUninstallAreDropped) {
+  TraceSession session;
+  session.install();
+  auto span = std::make_unique<TraceSpan>("late");
+  session.uninstall();
+  span.reset();  // closes after uninstall: must be dropped
+  EXPECT_TRUE(session.events().empty());
+}
+
+TEST(Trace, TrackDeriveIsAPureFunction) {
+  const u64 a = TraceTrack::derive(0, "shard", 3);
+  const u64 b = TraceTrack::derive(0, "shard", 3);
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, TraceTrack::derive(0, "shard", 4));
+  EXPECT_NE(a, TraceTrack::derive(1, "shard", 3));
+  EXPECT_NE(a, TraceTrack::derive(0, "row", 3));
+}
+
+TEST(Trace, TrackGuardNestsAndRestores) {
+  EXPECT_EQ(TraceTrack::current(), 0u);
+  {
+    TraceTrack outer("row", 1);
+    const u64 outer_id = TraceTrack::current();
+    EXPECT_EQ(outer_id, TraceTrack::derive(0, "row", 1));
+    {
+      TraceTrack inner("shard", 2);
+      EXPECT_EQ(TraceTrack::current(), TraceTrack::derive(outer_id, "shard", 2));
+    }
+    EXPECT_EQ(TraceTrack::current(), outer_id);
+  }
+  EXPECT_EQ(TraceTrack::current(), 0u);
+}
+
+TEST(Trace, ExplicitParentTrackIgnoresThreadState) {
+  const u64 parent = TraceTrack::derive(0, "suite_row", 5);
+  u64 seen = 0;
+  std::thread worker([&] {
+    TraceTrack track(parent, "shard", 1);
+    seen = TraceTrack::current();
+  });
+  worker.join();
+  EXPECT_EQ(seen, TraceTrack::derive(parent, "shard", 1));
+}
+
+TEST(Trace, CrossThreadSpansMergeByTrack) {
+  TraceSession session;
+  session.install();
+  {
+    TraceSpan main_span("main");
+    std::thread worker([&] {
+      TraceTrack track(0, "worker", 1);
+      NMDT_TRACE_SCOPE("work");
+    });
+    worker.join();
+  }
+  session.uninstall();
+  const auto events = session.events();
+  ASSERT_EQ(events.size(), 2u);
+  // Sorted by (track, seq): track 0 ("main") first, the derived worker
+  // lane after — regardless of which OS thread buffered what.
+  EXPECT_EQ(events[0].name, "main");
+  EXPECT_EQ(events[0].track, 0u);
+  EXPECT_EQ(events[1].name, "work");
+  EXPECT_EQ(events[1].track, TraceTrack::derive(0, "worker", 1));
+}
+
+TEST(Trace, ChromeExportPassesTheValidator) {
+  TraceSession session;
+  session.install();
+  {
+    TraceSpan span("export.me");
+    span.arg("bytes", i64{128}).arg("label", "a \"quoted\" name").arg("frac", 0.5);
+  }
+  session.uninstall();
+  std::ostringstream os;
+  session.write_chrome_json(os);
+  std::string error;
+  TraceCheckReport report;
+  EXPECT_TRUE(validate_chrome_trace(os.str(), &error, &report)) << error;
+  EXPECT_EQ(report.complete_spans, 1u);
+  EXPECT_GE(report.metadata, 1u);
+  EXPECT_EQ(report.tracks, 1u);
+}
+
+TEST(Trace, JsonEscapeHandlesControlCharacters) {
+  EXPECT_EQ(json_escape("plain"), "plain");
+  EXPECT_EQ(json_escape("a\"b"), "a\\\"b");
+  EXPECT_EQ(json_escape("a\\b"), "a\\\\b");
+  EXPECT_EQ(json_escape("a\nb"), "a\\nb");
+  EXPECT_EQ(json_escape(std::string_view("a\x01z", 3)), "a\\u0001z");
+}
+
+// ---------------------------------------------------------------------
+// JSON / trace-schema validator.
+
+TEST(JsonCheck, AcceptsWellFormedDocuments) {
+  std::string error;
+  EXPECT_TRUE(json_is_valid("{}", &error)) << error;
+  EXPECT_TRUE(json_is_valid("[1, -2.5e3, \"x\", true, false, null]", &error)) << error;
+  EXPECT_TRUE(json_is_valid("{\"a\": {\"b\": [1, {\"c\": \"\\u00e9\"}]}}", &error))
+      << error;
+}
+
+TEST(JsonCheck, RejectsMalformedDocuments) {
+  std::string error;
+  EXPECT_FALSE(json_is_valid("", &error));
+  EXPECT_FALSE(json_is_valid("{", &error));
+  EXPECT_FALSE(json_is_valid("{\"a\": 1,}", &error));
+  EXPECT_FALSE(json_is_valid("[1 2]", &error));
+  EXPECT_FALSE(json_is_valid("{\"a\": 1} trailing", &error));
+  EXPECT_FALSE(json_is_valid("{'a': 1}", &error));
+}
+
+TEST(JsonCheck, RejectsNonTraceSchemas) {
+  std::string error;
+  EXPECT_FALSE(validate_chrome_trace("[]", &error));              // not an object
+  EXPECT_FALSE(validate_chrome_trace("{}", &error));              // no traceEvents
+  EXPECT_FALSE(validate_chrome_trace("{\"traceEvents\": 3}", &error));
+  // A complete event without "dur" must fail.
+  EXPECT_FALSE(validate_chrome_trace(
+      "{\"traceEvents\": [{\"name\": \"x\", \"ph\": \"X\", \"ts\": 0, \"tid\": 1}]}",
+      &error));
+  // A well-formed complete event must pass.
+  TraceCheckReport report;
+  EXPECT_TRUE(validate_chrome_trace(
+      "{\"traceEvents\": [{\"name\": \"x\", \"ph\": \"X\", \"ts\": 0, "
+      "\"dur\": 2, \"pid\": 1, \"tid\": 1}]}",
+      &error, &report))
+      << error;
+  EXPECT_EQ(report.complete_spans, 1u);
+}
+
+}  // namespace
+}  // namespace nmdt::obs

@@ -1,0 +1,217 @@
+// Pipeline-level tracer tests — the three guarantees the obs layer
+// makes (DESIGN.md "Observability"):
+//
+//  * TracePipeline.*: a traced SpmmEngine run exports schema-valid
+//    Chrome trace JSON containing the plan, cache, per-shard kernel,
+//    and transform-engine spans.
+//  * TraceDeterminism.*: two identical runs at jobs=4 produce the same
+//    span tree — (track, name, args) in export order — modulo
+//    timestamps.
+//  * TraceNoop.*: with tracing disabled, the 9-kernel sweep is
+//    bit-identical to a traced run (spans only observe).
+#include <gtest/gtest.h>
+
+#include <set>
+#include <sstream>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "core/spmm_engine.hpp"
+#include "kernels/spmm.hpp"
+#include "matgen/generators.hpp"
+#include "obs/json_check.hpp"
+#include "obs/trace.hpp"
+#include "util/rng.hpp"
+
+namespace nmdt {
+namespace {
+
+constexpr KernelKind kAllKernels[] = {
+    KernelKind::kCsrCStationaryRowWarp,  KernelKind::kCsrCStationaryRowThread,
+    KernelKind::kDcsrCStationary,        KernelKind::kTiledCsrBStationary,
+    KernelKind::kTiledDcsrBStationary,   KernelKind::kTiledDcsrOnline,
+    KernelKind::kAStationary,            KernelKind::kMergeCStationary,
+    KernelKind::kHongHybrid,
+};
+
+DenseMatrix random_b(index_t rows, index_t cols, u64 seed) {
+  Rng rng(seed);
+  DenseMatrix B(rows, cols);
+  B.randomize(rng);
+  return B;
+}
+
+/// 4096 columns = 64 default-width strips = 4 shards for the tiled
+/// B-stationary family: wide enough that per-shard spans really fan
+/// out, small enough to keep the test fast.
+Csr test_matrix() { return gen_powerlaw_rows(512, 4096, 0.01, 1.2, 7); }
+
+void expect_identical(const SpmmResult& a, const SpmmResult& b) {
+  ASSERT_EQ(a.C.rows(), b.C.rows());
+  ASSERT_EQ(a.C.cols(), b.C.cols());
+  const auto xs = a.C.data();
+  const auto ys = b.C.data();
+  i64 mismatches = 0;
+  for (usize i = 0; i < xs.size(); ++i) mismatches += xs[i] != ys[i] ? 1 : 0;
+  EXPECT_EQ(mismatches, 0);
+  EXPECT_EQ(a.counters, b.counters);
+  EXPECT_EQ(a.mem, b.mem);
+  EXPECT_EQ(a.engine, b.engine);
+  EXPECT_EQ(a.engine_busy_ns, b.engine_busy_ns);
+  EXPECT_EQ(a.timing.total_ns, b.timing.total_ns);
+}
+
+// ---------------------------------------------------------------------
+// Schema: a traced engine run exports valid Chrome trace JSON carrying
+// every pipeline stage.
+
+TEST(TracePipeline, EngineRunExportsSchemaValidTraceWithPipelineSpans) {
+  const Csr A = test_matrix();
+  const DenseMatrix B = random_b(A.cols, 8, 2);
+  EngineOptions options;
+  options.spmm.jobs = 4;
+  options.verify = false;
+  options.run_baseline = false;
+  const SpmmEngine engine(options);
+
+  obs::TraceSession session;
+  session.install();
+  (void)engine.run(A, B);  // cache miss: plans, converts, executes
+  (void)engine.run(A, B);  // cache hit: execute only
+  // The online kernel drives the near-memory conversion engine
+  // explicitly so transform spans are guaranteed regardless of the
+  // SSF decision above.
+  (void)engine.run_kernel(KernelKind::kTiledDcsrOnline, A, B);
+  session.uninstall();
+
+  std::ostringstream os;
+  session.write_chrome_json(os);
+  std::string error;
+  obs::TraceCheckReport report;
+  ASSERT_TRUE(obs::validate_chrome_trace(os.str(), &error, &report)) << error;
+  EXPECT_GT(report.complete_spans, 0u);
+  EXPECT_GT(report.tracks, 1u);  // shards left the main lane
+
+  std::set<std::string> names;
+  for (const auto& ev : session.events()) names.insert(ev.name);
+  EXPECT_TRUE(names.count("plan.build"));
+  EXPECT_TRUE(names.count("plan.profile"));
+  EXPECT_TRUE(names.count("plan.convert.dcsr"));
+  EXPECT_TRUE(names.count("plan_cache.lookup"));
+  EXPECT_TRUE(names.count("shard_set"));
+  EXPECT_TRUE(names.count("shard"));
+  EXPECT_TRUE(names.count("shard_merge"));
+  EXPECT_TRUE(names.count("mem.merge"));
+  EXPECT_TRUE(names.count("engine.convert_tile"));
+  EXPECT_TRUE(names.count(kernel_name(KernelKind::kTiledDcsrOnline)));
+}
+
+TEST(TracePipeline, SuiteRunnerEmitsOneSpanPerMatrixKernelArm) {
+  std::vector<MatrixSpec> specs(2);
+  specs[0] = {"uniform-a", MatrixFamily::kUniform, 96, 96, 0.05, 0.0, 0, 11};
+  specs[1] = {"uniform-b", MatrixFamily::kUniform, 96, 96, 0.08, 0.0, 0, 12};
+
+  obs::TraceSession session;
+  session.install();
+  const auto rows = run_suite(specs, SpmmConfig{}, 4, {}, 4);
+  session.uninstall();
+  ASSERT_EQ(rows.size(), 2u);
+
+  usize arms = 0, plans = 0, suite_runs = 0;
+  for (const auto& ev : session.events()) {
+    arms += ev.name == "suite.arm" ? 1 : 0;
+    plans += ev.name == "suite.plan" ? 1 : 0;
+    suite_runs += ev.name == "suite.run" ? 1 : 0;
+  }
+  EXPECT_EQ(suite_runs, 1u);
+  EXPECT_EQ(plans, 2u);   // one plan per matrix
+  EXPECT_EQ(arms, 8u);    // 2 matrices x 4 kernel arms
+}
+
+// ---------------------------------------------------------------------
+// Determinism: the exported span tree is a pure function of the work,
+// not of OS scheduling.
+
+using SpanTree = std::vector<std::tuple<u64, std::string, std::string>>;
+
+SpanTree traced_online_run(int jobs) {
+  const Csr A = test_matrix();
+  SpmmConfig cfg;  // counting mode: fast and fully deterministic
+  cfg.jobs = jobs;
+  const auto plan = build_plan(A, {cfg.tiling, default_ssf_threshold(), 1.0});
+  const DenseMatrix B = random_b(A.cols, 8, 3);
+
+  obs::TraceSession session;
+  session.install();
+  (void)run_spmm(KernelKind::kTiledDcsrOnline, plan->operands(), B, cfg);
+  session.uninstall();
+
+  SpanTree tree;
+  for (const auto& ev : session.events()) {
+    tree.emplace_back(ev.track, ev.name, ev.args_json);
+  }
+  return tree;
+}
+
+TEST(TraceDeterminism, RepeatedJobs4RunsExportIdenticalSpanTrees) {
+  const SpanTree first = traced_online_run(4);
+  const SpanTree second = traced_online_run(4);
+  EXPECT_EQ(first, second);
+
+  usize shard_spans = 0;
+  std::set<u64> shard_tracks;
+  for (const auto& [track, name, args] : first) {
+    if (name == "shard") {
+      ++shard_spans;
+      shard_tracks.insert(track);
+    }
+  }
+  EXPECT_GE(shard_spans, 2u) << "matrix too small to shard: test is vacuous";
+  EXPECT_EQ(shard_tracks.size(), shard_spans) << "each shard must own its track";
+}
+
+TEST(TraceDeterminism, SuiteSpanTreeIsStableAcrossRuns) {
+  std::vector<MatrixSpec> specs(2);
+  specs[0] = {"uniform-a", MatrixFamily::kUniform, 96, 96, 0.05, 0.0, 0, 11};
+  specs[1] = {"uniform-b", MatrixFamily::kUniform, 96, 96, 0.08, 0.0, 0, 12};
+  auto traced_suite = [&] {
+    obs::TraceSession session;
+    session.install();
+    (void)run_suite(specs, SpmmConfig{}, 4, {}, 4);
+    session.uninstall();
+    SpanTree tree;
+    for (const auto& ev : session.events()) {
+      tree.emplace_back(ev.track, ev.name, ev.args_json);
+    }
+    return tree;
+  };
+  EXPECT_EQ(traced_suite(), traced_suite());
+}
+
+// ---------------------------------------------------------------------
+// No-op: tracing never changes results.
+
+TEST(TraceNoop, TracedSweepIsBitIdenticalToUntraced) {
+  const Csr A = test_matrix();
+  const DenseMatrix B = random_b(A.cols, 8, 5);
+  SpmmConfig cfg;
+  cfg.jobs = 4;
+
+  for (KernelKind kind : kAllKernels) {
+    SCOPED_TRACE(kernel_name(kind));
+    const SpmmResult bare = run_spmm(kind, A, B, cfg);
+    SpmmResult traced = [&] {
+      obs::TraceSession session;
+      session.install();
+      SpmmResult r = run_spmm(kind, A, B, cfg);
+      session.uninstall();
+      EXPECT_FALSE(session.events().empty());
+      return r;
+    }();
+    expect_identical(bare, traced);
+  }
+}
+
+}  // namespace
+}  // namespace nmdt
