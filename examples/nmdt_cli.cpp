@@ -12,11 +12,18 @@
 // loadable in Perfetto / chrome://tracing) and --metrics <out.json>
 // (counters/gauges/histograms snapshot).  Tracing off is a strict
 // no-op: outputs are bit-identical with or without it.
+//
+// Fault injection (--fault-site/--fault-rate/--fault-seed) installs a
+// deterministic fault plan for the whole command; --error-policy
+// selects how the suite runner treats typed failures.  Typed errors map
+// to distinct exit codes: 2 ParseError, 3 FormatError, 4 ConfigError,
+// 5 unrecovered fault, 1 anything else.
 #include <iostream>
 #include <optional>
 
 #include "analysis/sampling.hpp"
 #include "core/spmm_engine.hpp"
+#include "fault/fault.hpp"
 #include "formats/footprint.hpp"
 #include "formats/matrix_market.hpp"
 #include "formats/serialize.hpp"
@@ -85,6 +92,10 @@ int cmd_run(const CliParser& cli) {
             << "; modelled " << format_double(r.result.timing.total_ns * 1e-3, 1)
             << " us; speedup " << format_double(r.speedup_vs_baseline, 2)
             << "x; max |err| " << format_sci(r.max_abs_error) << "\n";
+  if (r.result.used_fallback) {
+    std::cerr << "note: unrecovered conversion fault degraded the run to the "
+                 "reference CSR kernel\n";
+  }
   return 0;
 }
 
@@ -112,28 +123,47 @@ int cmd_suite(const CliParser& cli) {
   else throw ParseError("unknown --scale: " + scale_name);
   const index_t K = static_cast<index_t>(cli.get_int("k", 64));
   const int jobs = static_cast<int>(cli.get_int("jobs", 0));
+  const SuiteErrorPolicy policy = parse_error_policy(cli.get("error-policy", "fail_fast"));
   const auto rows =
       run_suite(standard_suite(scale), evaluation_config(4096, K), K,
-                [](usize done, usize total, const SuiteRow&) {
-                  if (done % 25 == 0) std::cerr << done << "/" << total << "\n";
+                [](usize done, usize total, const SuiteRow& r) {
+                  if (!r.ok()) {
+                    std::cerr << r.spec.name << ": " << r.failure_summary() << "\n";
+                  } else if (done % 25 == 0) {
+                    std::cerr << done << "/" << total << "\n";
+                  }
                 },
-                jobs);
-  Table t({"matrix", "ssf", "t_baseline_ms", "t_dcsr_c_ms", "t_online_b_ms"});
+                jobs, policy);
+  Table t({"matrix", "status", "ssf", "t_baseline_ms", "t_dcsr_c_ms", "t_online_b_ms"});
+  std::vector<SuiteRow> ok_rows;
   for (const auto& r : rows) {
     t.begin_row()
         .cell(r.spec.name)
+        .cell(r.ok() ? "ok" : r.failure_summary())
         .cell(format_sci(r.profile.ssf))
         .cell(r.t_baseline_ms, 4)
         .cell(r.t_dcsr_c_ms, 4)
         .cell(r.t_online_b_ms, 4);
+    if (r.ok()) ok_rows.push_back(r);
   }
   const std::string out = cli.get("out", "suite.csv");
   t.write_csv(out);
-  const SsfThreshold th = train_threshold(rows);
-  std::cout << rows.size() << " matrices -> " << out << "; learned SSF_th "
-            << format_sci(th.threshold) << " (accuracy "
-            << format_double(th.accuracy, 3) << ")\n";
+  // Failed rows carry zero timings; train only on completed ones.
+  const SsfThreshold th = train_threshold(ok_rows);
+  std::cout << rows.size() << " matrices (" << rows.size() - ok_rows.size()
+            << " failed) -> " << out << "; learned SSF_th " << format_sci(th.threshold)
+            << " (accuracy " << format_double(th.accuracy, 3) << ")\n";
   return 0;
+}
+
+/// Exit codes documented in README: each typed error class is
+/// distinguishable by scripts.
+int exit_code_for(const std::exception& e) {
+  if (dynamic_cast<const FaultError*>(&e)) return 5;
+  if (dynamic_cast<const ConfigError*>(&e)) return 4;
+  if (dynamic_cast<const FormatError*>(&e)) return 3;
+  if (dynamic_cast<const ParseError*>(&e)) return 2;
+  return 1;
 }
 
 }  // namespace
@@ -152,25 +182,48 @@ int main(int argc, char** argv) {
               "results are identical at any value)");
   cli.declare("trace", "write a Chrome trace-event JSON of the command (any cmd)");
   cli.declare("metrics", "write a counters/gauges/histograms JSON snapshot (any cmd)");
+  cli.declare("fault-site",
+              "fault injection site: none | tile_row_id | tile_col_idx | tile_val | "
+              "cache_entry | suite_arm | shard_exec | serialized_stream (default none)");
+  cli.declare("fault-rate", "per-event injection probability in [0, 1] (default 0)");
+  cli.declare("fault-seed", "seed of the deterministic fault sequence (default 0)");
+  cli.declare("error-policy",
+              "suite failure handling: fail_fast | continue (suite; default fail_fast)");
   if (cli.has("help")) {
     std::cout << cli.help("nmdt_cli: profile / run / convert / suite");
     return 0;
   }
-  cli.validate();
-  const std::string trace_path = cli.get("trace", "");
-  const std::string metrics_path = cli.get("metrics", "");
+  int rc = 0;
+  std::string trace_path, metrics_path;
   std::optional<obs::TraceSession> session;
-  if (!trace_path.empty()) {
-    session.emplace();
-    session->install();
+  std::optional<fault::FaultScope> fault_scope;
+  try {
+    cli.validate();
+    trace_path = cli.get("trace", "");
+    metrics_path = cli.get("metrics", "");
+    fault::FaultPlan plan;
+    plan.site = fault::parse_site(cli.get("fault-site", "none"));
+    plan.rate = cli.get_double("fault-rate", 0.0);
+    plan.seed = static_cast<u64>(cli.get_int("fault-seed", 0));
+    NMDT_CHECK_CONFIG(plan.rate >= 0.0 && plan.rate <= 1.0,
+                      "--fault-rate must be in [0, 1]");
+    if (plan.site != fault::FaultSite::kNone) fault_scope.emplace(plan);
+    if (!trace_path.empty()) {
+      session.emplace();
+      session->install();
+    }
+    const std::string cmd = cli.get("cmd", "run");
+    if (cmd == "profile") rc = cmd_profile(cli);
+    else if (cmd == "run") rc = cmd_run(cli);
+    else if (cmd == "convert") rc = cmd_convert(cli);
+    else if (cmd == "suite") rc = cmd_suite(cli);
+    else throw ParseError("unknown --cmd '" + cmd + "' (try --help)");
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << describe_exception(e) << "\n";
+    rc = exit_code_for(e);
   }
-  const std::string cmd = cli.get("cmd", "run");
-  int rc = 2;
-  if (cmd == "profile") rc = cmd_profile(cli);
-  else if (cmd == "run") rc = cmd_run(cli);
-  else if (cmd == "convert") rc = cmd_convert(cli);
-  else if (cmd == "suite") rc = cmd_suite(cli);
-  else std::cerr << "unknown --cmd '" << cmd << "' (try --help)\n";
+  // Trace/metrics snapshots are written even when the command failed —
+  // they are the first thing to look at when diagnosing a fault.
   if (session) {
     session->uninstall();
     session->write_chrome_json_file(trace_path);

@@ -1,16 +1,24 @@
 #!/usr/bin/env bash
 # Tier-1 verification: the standard release build + full test suite
 # (ROADMAP.md), a trace smoke run (nmdt_cli --trace/--metrics validated
-# by trace_lint), and the tsan preset re-running the concurrency tests
+# by trace_lint), the tsan preset re-running the concurrency tests
 # (thread pool, plan cache, parallel suite runner, the intra-kernel
-# shard fan-out, and the tracer) under ThreadSanitizer.
+# shard fan-out, chaos sweep, and the tracer) under ThreadSanitizer,
+# and the asan-ubsan preset re-running the robustness tests (fault
+# injection, fuzzers, serialization, parsers) under Address+UBSan.
 #
-# Usage: scripts/tier1.sh [--no-tsan]
+# Usage: scripts/tier1.sh [--no-tsan] [--no-asan]
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 run_tsan=1
-if [[ "${1:-}" == "--no-tsan" ]]; then run_tsan=0; fi
+run_asan=1
+for arg in "$@"; do
+  case "$arg" in
+    --no-tsan) run_tsan=0 ;;
+    --no-asan) run_asan=0 ;;
+  esac
+done
 
 echo "==== tier-1: standard build + ctest ===="
 cmake -B build -S .
@@ -30,6 +38,13 @@ if [[ "$run_tsan" == 1 ]]; then
   cmake --preset tsan
   cmake --build --preset tsan -j
   ctest --preset tsan --output-on-failure
+fi
+
+if [[ "$run_asan" == 1 ]]; then
+  echo "==== tier-1: asan-ubsan preset (robustness tests) ===="
+  cmake --preset asan-ubsan
+  cmake --build --preset asan-ubsan -j
+  ctest --preset asan-ubsan --output-on-failure
 fi
 
 echo "==== tier-1: OK ===="

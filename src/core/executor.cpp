@@ -6,6 +6,7 @@
 #include <mutex>
 #include <optional>
 
+#include "fault/fault.hpp"
 #include "obs/metrics.hpp"
 #include "obs/scoped_timer.hpp"
 #include "obs/trace.hpp"
@@ -14,6 +15,31 @@
 #include "util/thread_pool.hpp"
 
 namespace nmdt {
+
+std::string SuiteRow::failure_summary() const {
+  static constexpr std::array<const char*, kArmCount> kArmNames = {
+      "baseline", "dcsr_c", "online_b", "offline_b"};
+  if (!error.empty()) return "FAILED(" + error + ")";
+  std::string out;
+  for (int a = 0; a < kArmCount; ++a) {
+    if (arm_error[static_cast<usize>(a)].empty()) continue;
+    if (!out.empty()) out += "; ";
+    out += std::string(kArmNames[static_cast<usize>(a)]) + ": " +
+           arm_error[static_cast<usize>(a)];
+  }
+  return out.empty() ? std::string{} : "FAILED(" + out + ")";
+}
+
+SuiteErrorPolicy parse_error_policy(const std::string& name) {
+  if (name == "fail_fast") return SuiteErrorPolicy::kFailFast;
+  if (name == "continue") return SuiteErrorPolicy::kContinue;
+  throw ConfigError("unknown suite error policy '" + name +
+                    "' (expected fail_fast or continue)");
+}
+
+const char* error_policy_name(SuiteErrorPolicy policy) {
+  return policy == SuiteErrorPolicy::kFailFast ? "fail_fast" : "continue";
+}
 
 SpmmExecutor::SpmmExecutor(SpmmConfig cfg) : cfg_(std::move(cfg)) {
   cfg_.arch.validate();
@@ -47,14 +73,36 @@ struct RowJob {
 }  // namespace
 
 std::vector<SuiteRow> run_suite(std::span<const MatrixSpec> specs, const SpmmConfig& cfg,
-                                index_t K, const SuiteProgress& progress, int jobs) {
+                                index_t K, const SuiteProgress& progress, int jobs,
+                                SuiteErrorPolicy policy) {
   NMDT_CHECK_CONFIG(K > 0, "run_suite requires K > 0");
   const usize total = specs.size();
   obs::MetricsRegistry::global().counter("suite.runs").add(1);
+  // Install the sweep-wide fault plan (a default plan leaves whatever is
+  // already installed untouched).
+  std::optional<fault::FaultScope> fault_scope;
+  if (cfg.fault.site != fault::FaultSite::kNone) fault_scope.emplace(cfg.fault);
   obs::TraceSpan suite_span("suite.run");
   suite_span.arg("total", static_cast<i64>(total))
       .arg("jobs", jobs)
       .arg("k", static_cast<i64>(K));
+
+  // Typed failures are isolated per row/arm.  Under kFailFast the
+  // lowest-(row, arm) failure is rethrown only after every submitted
+  // task has drained — aborting early would make which siblings ran
+  // depend on scheduling.
+  std::mutex err_mu;
+  i64 err_rank = -1;
+  std::exception_ptr err;
+  auto record_failure = [&](usize idx, int arm) {
+    // arm -1 = row-level failure, ranked ahead of the row's arms.
+    const i64 rank = static_cast<i64>(idx) * (SuiteRow::kArmCount + 1) + arm + 1;
+    std::lock_guard<std::mutex> lock(err_mu);
+    if (err_rank < 0 || rank < err_rank) {
+      err_rank = rank;
+      err = std::current_exception();
+    }
+  };
   // Suite tasks run on pool threads whose thread-local track is unset;
   // derive every row/arm track from the *caller's* track so the merged
   // trace is independent of worker scheduling.
@@ -82,61 +130,85 @@ std::vector<SuiteRow> run_suite(std::span<const MatrixSpec> specs, const SpmmCon
         obs::TraceTrack track(suite_track, "suite_row", static_cast<u64>(idx));
         SuiteRow row;
         row.spec = specs[idx];
-        const Csr A = specs[idx].generate();
-        if (A.nnz() == 0) {  // degenerate draw: nothing to measure
-          row_done(idx, false);
+        auto job = std::make_shared<RowJob>();
+        try {
+          const Csr A = specs[idx].generate();
+          if (A.nnz() == 0) {  // degenerate draw: nothing to measure
+            row_done(idx, false);
+            return;
+          }
+          // Plan once per matrix: profile + all conversions; the four
+          // arms below share the converted artifacts.
+          {
+            obs::TraceSpan sp("suite.plan");
+            obs::ScopedTimer t("suite.plan_ms");
+            job->plan = build_plan(A, {cfg.tiling, default_ssf_threshold(), 1.0});
+            sp.arg("matrix", specs[idx].name.c_str())
+                .arg("nnz", static_cast<i64>(A.nnz()));
+          }
+          // Per-task seeding: B depends only on the row index, so results
+          // are identical at any thread count.
+          Rng b_rng(0xb0b0 + static_cast<u64>(idx));
+          auto B = std::make_shared<DenseMatrix>(A.cols, K);
+          B->randomize(b_rng);
+          job->B = std::move(B);
+          row.profile = job->plan->profile();
+        } catch (...) {
+          // Row-level failure (generation or planning): record the typed
+          // error and report the row; no arms run for it.
+          row.error = describe_current_exception();
+          slots[idx] = std::move(row);
+          record_failure(idx, -1);
+          row_done(idx, true);
           return;
         }
-        auto job = std::make_shared<RowJob>();
-        // Plan once per matrix: profile + all conversions; the four
-        // arms below share the converted artifacts.
-        {
-          obs::TraceSpan sp("suite.plan");
-          obs::ScopedTimer t("suite.plan_ms");
-          job->plan = build_plan(A, {cfg.tiling, default_ssf_threshold(), 1.0});
-          sp.arg("matrix", specs[idx].name.c_str())
-              .arg("nnz", static_cast<i64>(A.nnz()));
-        }
-        // Per-task seeding: B depends only on the row index, so results
-        // are identical at any thread count.
-        Rng b_rng(0xb0b0 + static_cast<u64>(idx));
-        auto B = std::make_shared<DenseMatrix>(A.cols, K);
-        B->randomize(b_rng);
-        job->B = std::move(B);
-        row.profile = job->plan->profile();
         slots[idx] = std::move(row);
 
         // Modelled timing depends only on matrix structure (never on
         // B's values), so the arms are independent deterministic tasks.
-        auto submit_arm = [&, idx, job](KernelKind kind, auto&& commit) {
-          pool.submit([&, idx, job, kind, commit] {
+        auto submit_arm = [&, idx, job](int arm, KernelKind kind, auto&& commit) {
+          pool.submit([&, idx, job, arm, kind, commit] {
             // One span per matrix × kernel arm, on a track keyed by
             // (kernel, row) so arms never share a lane.
             obs::TraceTrack arm_track(suite_track, kernel_name(kind),
                                       static_cast<u64>(idx));
             obs::TraceSpan sp("suite.arm");
-            const SpmmResult res = run_spmm(kind, job->plan->operands(), *job->B, cfg);
-            sp.arg("matrix", specs[idx].name.c_str())
-                .arg("kernel", kernel_name(kind))
-                .arg("jobs", cfg.jobs)
-                .arg("modelled_ms", res.timing.total_ms());
-            commit(*slots[idx], res);
+            try {
+              fault::transient_point(
+                  fault::FaultSite::kSuiteArm,
+                  fault::mix(static_cast<u64>(idx), static_cast<u64>(arm)));
+              const SpmmResult res = run_spmm(kind, job->plan->operands(), *job->B, cfg);
+              sp.arg("matrix", specs[idx].name.c_str())
+                  .arg("kernel", kernel_name(kind))
+                  .arg("jobs", cfg.jobs)
+                  .arg("modelled_ms", res.timing.total_ms());
+              commit(*slots[idx], res);
+            } catch (...) {
+              std::string& slot = slots[idx]->arm_error[static_cast<usize>(arm)];
+              slot = describe_current_exception();
+              sp.arg("matrix", specs[idx].name.c_str())
+                  .arg("kernel", kernel_name(kind))
+                  .arg("error", slot.c_str());
+              record_failure(idx, arm);
+            }
             if (job->arms_left.fetch_sub(1, std::memory_order_acq_rel) == 1) {
               row_done(idx, true);
             }
           });
         };
-        submit_arm(KernelKind::kCsrCStationaryRowWarp,
+        submit_arm(SuiteRow::kArmBaseline, KernelKind::kCsrCStationaryRowWarp,
                    [](SuiteRow& r, const SpmmResult& res) {
                      r.t_baseline_ms = res.timing.total_ms();
                    });
-        submit_arm(KernelKind::kDcsrCStationary, [](SuiteRow& r, const SpmmResult& res) {
-          r.t_dcsr_c_ms = res.timing.total_ms();
-        });
-        submit_arm(KernelKind::kTiledDcsrOnline, [](SuiteRow& r, const SpmmResult& res) {
-          r.t_online_b_ms = res.timing.total_ms();
-        });
-        submit_arm(KernelKind::kTiledDcsrBStationary,
+        submit_arm(SuiteRow::kArmDcsrC, KernelKind::kDcsrCStationary,
+                   [](SuiteRow& r, const SpmmResult& res) {
+                     r.t_dcsr_c_ms = res.timing.total_ms();
+                   });
+        submit_arm(SuiteRow::kArmOnlineB, KernelKind::kTiledDcsrOnline,
+                   [](SuiteRow& r, const SpmmResult& res) {
+                     r.t_online_b_ms = res.timing.total_ms();
+                   });
+        submit_arm(SuiteRow::kArmOfflineB, KernelKind::kTiledDcsrBStationary,
                    [](SuiteRow& r, const SpmmResult& res) {
                      r.t_offline_b_ms = res.timing.total_ms();
                      r.offline_prep_ms = res.offline_prep_ns * 1e-6;
@@ -163,6 +235,8 @@ std::vector<SuiteRow> run_suite(std::span<const MatrixSpec> specs, const SpmmCon
       }
     }
   }  // pool joins here; all tasks complete
+
+  if (policy == SuiteErrorPolicy::kFailFast && err) std::rethrow_exception(err);
 
   std::vector<SuiteRow> rows;
   rows.reserve(total);

@@ -16,7 +16,9 @@
 // `done`, regardless of worker completion order.
 #pragma once
 
+#include <array>
 #include <functional>
+#include <string>
 
 #include "core/plan.hpp"
 #include "matgen/suite.hpp"
@@ -43,6 +45,9 @@ class SpmmExecutor {
 /// One row of a suite sweep: everything Fig. 4 / Fig. 16 plot per
 /// matrix.
 struct SuiteRow {
+  /// Index of a kernel arm in `arm_error` (the four Fig. 16 arms).
+  enum Arm : int { kArmBaseline = 0, kArmDcsrC, kArmOnlineB, kArmOfflineB, kArmCount };
+
   MatrixSpec spec;
   MatrixProfile profile;
   double t_baseline_ms = 0.0;      ///< CSR C-stationary row-per-warp
@@ -51,11 +56,41 @@ struct SuiteRow {
   double t_offline_b_ms = 0.0;     ///< offline tiled DCSR B-stationary
   double offline_prep_ms = 0.0;    ///< tiling preprocessing cost
 
+  /// Row-level failure (matrix generation or planning threw): the
+  /// "TypeName: what()" description; empty on success.
+  std::string error;
+  /// Per-arm failures (the arm's kernel threw); timings of failed arms
+  /// stay zero.  Distinct arms write distinct slots, so the array needs
+  /// no synchronization.
+  std::array<std::string, kArmCount> arm_error{};
+
+  bool ok() const {
+    if (!error.empty()) return false;
+    for (const auto& e : arm_error) {
+      if (!e.empty()) return false;
+    }
+    return true;
+  }
+  /// "FAILED(<typed error>)" for reporting; empty string when ok().
+  std::string failure_summary() const;
+
   double ratio_c_over_b() const { return t_dcsr_c_ms / t_online_b_ms; }
   double speedup_c_arm() const { return t_baseline_ms / t_dcsr_c_ms; }
   double speedup_online_b_arm() const { return t_baseline_ms / t_online_b_ms; }
   double speedup_offline_b_arm() const { return t_baseline_ms / t_offline_b_ms; }
 };
+
+/// What run_suite does with typed failures in row/arm tasks.  Either
+/// way every already-submitted task drains (determinism: no early
+/// abort); the policies differ only in what happens afterwards.
+enum class SuiteErrorPolicy {
+  kFailFast,  ///< rethrow the lowest-(row, arm) failure once all tasks drain
+  kContinue,  ///< record FAILED rows/arms and return every row
+};
+
+/// Parse "fail_fast" / "continue"; throws ConfigError on anything else.
+SuiteErrorPolicy parse_error_policy(const std::string& name);
+const char* error_policy_name(SuiteErrorPolicy policy);
 
 /// Called once per completed (non-degenerate) matrix, from the thread
 /// that called run_suite, with `done` strictly increasing from 1.
@@ -64,10 +99,12 @@ using SuiteProgress = std::function<void(usize done, usize total, const SuiteRow
 /// Run the four Fig. 16 kernels over a suite with dense B of K columns.
 /// `jobs` sizes the shared thread pool; <= 0 uses
 /// std::thread::hardware_concurrency().  Rows are bit-identical across
-/// job counts.
+/// job counts.  `cfg.fault` (when set) is installed for the whole
+/// sweep; typed failures in rows/arms are handled per `policy`.
 std::vector<SuiteRow> run_suite(std::span<const MatrixSpec> specs, const SpmmConfig& cfg,
                                 index_t K, const SuiteProgress& progress = {},
-                                int jobs = 0);
+                                int jobs = 0,
+                                SuiteErrorPolicy policy = SuiteErrorPolicy::kFailFast);
 
 /// Derive the SSF threshold from completed suite rows (the Fig. 4
 /// training pass).

@@ -34,11 +34,14 @@ DcsrTileHandle GetDCSRTile(const Csc& csc, index_t strip_id, index_t row_start,
   }
 
   DcsrTileHandle handle;
-  handle.tile = engine.convert_tile(csc, cursor, row_start, spec);
+  handle.tile = engine.convert_tile_checked(csc, cursor, row_start, spec);
   handle.nnzrows = static_cast<index_t>(handle.tile.nnz_rows());
   handle.nnz = handle.tile.nnz();
 
-  // Hand the advanced frontier back as within-column offsets.
+  // Hand the advanced frontier back as within-column offsets.  Re-read
+  // the span: a recovery retry may have reassigned the cursor's
+  // frontier storage.
+  frontier = cursor.frontier();
   for (index_t l = 0; l < lanes; ++l) {
     col_frontier[l] = frontier[l] - csc.col_ptr[col_begin + l];
   }

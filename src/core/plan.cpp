@@ -1,6 +1,7 @@
 #include "core/plan.hpp"
 
 #include "analysis/sampling.hpp"
+#include "fault/fault.hpp"
 #include "formats/footprint.hpp"
 #include "obs/scoped_timer.hpp"
 #include "obs/trace.hpp"
@@ -104,16 +105,36 @@ std::shared_ptr<const SpmmPlan> PlanCache::get_or_build(const Csr& A,
       obs::MetricsRegistry::global().counter("plan_cache.misses");
   obs::TraceSpan span("plan_cache.lookup");
   const Key key{fingerprint_of(A), opts};
+  bool recovering = false;
   {
     std::lock_guard<std::mutex> lock(mu_);
     auto it = index_.find(key);
     if (it != index_.end()) {
-      lru_.splice(lru_.begin(), lru_, it->second);  // bump to most recent
-      ++stats_.hits;
-      hit_counter.add(1);
-      if (was_hit) *was_hit = true;
-      span.arg("hit", i64{1});
-      return lru_.front().second;
+      // Re-verify the entry against the freshly computed fingerprint on
+      // every hit — a corrupted resident plan must never be served.
+      // The injection layer models the entry's bytes having been
+      // damaged while resident.
+      const bool injected =
+          fault::should_inject(fault::FaultSite::kCacheEntry, key.fp.combined());
+      const bool corrupt = injected || !(it->second->second->fingerprint() == key.fp);
+      if (!corrupt) {
+        lru_.splice(lru_.begin(), lru_, it->second);  // bump to most recent
+        ++stats_.hits;
+        hit_counter.add(1);
+        if (was_hit) *was_hit = true;
+        span.arg("hit", i64{1});
+        return lru_.front().second;
+      }
+      if (injected) fault::note_injected();
+      fault::note_detected();
+      recovering = true;
+      stats_.bytes -= it->second->second->bytes();
+      lru_.erase(it->second);
+      index_.erase(it);
+      stats_.entries = index_.size();
+      ++stats_.corrupt_evictions;
+      obs::MetricsRegistry::global().counter("plan_cache.corrupt_evictions").add(1);
+      span.arg("corrupt_eviction", i64{1});
     }
     ++stats_.misses;
     miss_counter.add(1);
@@ -123,6 +144,7 @@ std::shared_ptr<const SpmmPlan> PlanCache::get_or_build(const Csr& A,
   // threads racing on the same key merely build twice (second insert
   // finds the entry and reuses it).
   auto plan = build_plan(A, opts);
+  if (recovering) fault::note_recovered();
   if (was_hit) *was_hit = false;
 
   std::lock_guard<std::mutex> lock(mu_);

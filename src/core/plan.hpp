@@ -99,6 +99,9 @@ struct PlanCacheStats {
   u64 misses = 0;      ///< lookups that had to build a plan
   u64 evictions = 0;   ///< entries dropped by the LRU byte budget
   u64 oversize = 0;    ///< plans larger than the whole budget (built, not stored)
+  /// Entries whose fingerprint re-verification failed on lookup (real or
+  /// injected corruption); each was evicted and rebuilt as a miss.
+  u64 corrupt_evictions = 0;
   i64 bytes = 0;       ///< current resident artifact bytes
   i64 byte_budget = 0;
   usize entries = 0;

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cctype>
 #include <fstream>
+#include <limits>
 #include <sstream>
 
 #include "util/error.hpp"
@@ -58,6 +59,17 @@ Coo read_matrix_market(std::istream& is) {
     break;
   }
   if (rows < 0 || cols < 0 || entries < 0) fail(lineno, "negative size");
+  // Dimensions and entry counts are stored in index_t; anything larger
+  // would silently wrap in the casts below.
+  const i64 index_max = static_cast<i64>(std::numeric_limits<index_t>::max());
+  if (rows > index_max || cols > index_max) {
+    fail(lineno, "matrix dimensions exceed the index range (" +
+                     std::to_string(index_max) + ")");
+  }
+  if (entries > index_max) {
+    fail(lineno, "declared entry count exceeds the index range (" +
+                     std::to_string(index_max) + ")");
+  }
 
   Coo coo;
   coo.rows = static_cast<index_t>(rows);
@@ -85,6 +97,15 @@ Coo read_matrix_market(std::istream& is) {
                static_cast<value_t>(skew ? -v : v));
     }
     ++seen;
+  }
+  // Anything after the declared entries (other than comments and blank
+  // lines) means the size line lied about nnz — reject it rather than
+  // silently dropping data.
+  while (std::getline(is, line)) {
+    ++lineno;
+    if (!line.empty() && line[0] == '%') continue;
+    if (line.find_first_not_of(" \t\r") == std::string::npos) continue;
+    fail(lineno, "entry beyond the declared count of " + std::to_string(entries));
   }
   coo.validate();
   return coo;

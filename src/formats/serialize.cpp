@@ -1,10 +1,15 @@
 #include "formats/serialize.hpp"
 
+#include <algorithm>
 #include <cstring>
 #include <fstream>
 #include <istream>
+#include <iterator>
 #include <ostream>
+#include <sstream>
 
+#include "fault/fault.hpp"
+#include "util/crc32.hpp"
 #include "util/error.hpp"
 
 namespace nmdt {
@@ -12,7 +17,9 @@ namespace nmdt {
 namespace {
 
 constexpr char kMagic[4] = {'N', 'M', 'D', 'T'};
-constexpr u32 kVersion = 1;
+// Version 2 appends a CRC32 trailer over the kind + payload bytes;
+// version 1 (no checksum) is rejected with a re-save hint.
+constexpr u32 kVersion = 2;
 constexpr u32 kKindCsr = 1;
 constexpr u32 kKindDense = 2;
 
@@ -23,19 +30,6 @@ void write_i64(std::ostream& os, i64 v) {
   os.write(reinterpret_cast<const char*>(&v), sizeof(v));
 }
 
-u32 read_u32(std::istream& is, const char* what) {
-  u32 v = 0;
-  is.read(reinterpret_cast<char*>(&v), sizeof(v));
-  if (!is.good()) throw ParseError(std::string("truncated input reading ") + what);
-  return v;
-}
-i64 read_i64(std::istream& is, const char* what) {
-  i64 v = 0;
-  is.read(reinterpret_cast<char*>(&v), sizeof(v));
-  if (!is.good()) throw ParseError(std::string("truncated input reading ") + what);
-  return v;
-}
-
 template <typename T>
 void write_vector(std::ostream& os, const std::vector<T>& v) {
   write_i64(os, static_cast<i64>(v.size()));
@@ -43,37 +37,92 @@ void write_vector(std::ostream& os, const std::vector<T>& v) {
            static_cast<std::streamsize>(v.size() * sizeof(T)));
 }
 
-template <typename T>
-std::vector<T> read_vector(std::istream& is, const char* what, i64 sanity_max) {
-  const i64 n = read_i64(is, what);
-  if (n < 0 || n > sanity_max) {
-    throw ParseError(std::string("implausible vector length for ") + what + ": " +
-                     std::to_string(n));
-  }
-  std::vector<T> v(static_cast<usize>(n));
-  is.read(reinterpret_cast<char*>(v.data()),
-          static_cast<std::streamsize>(v.size() * sizeof(T)));
-  if (!is.good()) throw ParseError(std::string("truncated input reading ") + what);
-  return v;
-}
-
-void write_header(std::ostream& os, u32 kind) {
+/// magic + version + payload + CRC32(payload) trailer.
+void write_stream(std::ostream& os, const std::string& payload) {
   os.write(kMagic, sizeof(kMagic));
   write_u32(os, kVersion);
-  write_u32(os, kind);
+  os.write(payload.data(), static_cast<std::streamsize>(payload.size()));
+  write_u32(os, crc32(payload.data(), payload.size()));
 }
 
-void check_header(std::istream& is, u32 expected_kind) {
+/// Sequential reader over the checksum-verified payload.  Running out of
+/// bytes here means the writer and reader disagree about the layout —
+/// the payload itself is already known intact.
+struct PayloadReader {
+  const char* p = nullptr;
+  usize left = 0;
+
+  void read(void* dst, usize n, const char* what) {
+    if (n > left) {
+      throw FormatError(std::string("truncated NMDT payload reading ") + what);
+    }
+    if (n > 0) std::memcpy(dst, p, n);  // empty vectors have no storage
+    p += n;
+    left -= n;
+  }
+  u32 read_u32(const char* what) {
+    u32 v = 0;
+    read(&v, sizeof(v), what);
+    return v;
+  }
+  i64 read_i64(const char* what) {
+    i64 v = 0;
+    read(&v, sizeof(v), what);
+    return v;
+  }
+  template <typename T>
+  std::vector<T> read_vector(const char* what, i64 sanity_max) {
+    const i64 n = read_i64(what);
+    if (n < 0 || n > sanity_max) {
+      throw ParseError(std::string("implausible vector length for ") + what + ": " +
+                       std::to_string(n));
+    }
+    std::vector<T> v(static_cast<usize>(n));
+    read(v.data(), v.size() * sizeof(T), what);
+    return v;
+  }
+};
+
+/// Read magic + version, slurp the rest, verify the CRC32 trailer, and
+/// return the verified payload bytes.  Integrity failures (missing
+/// trailer, checksum mismatch) are detected-but-unrecoverable: the
+/// on-disk source of truth is damaged, so they surface as FormatError.
+std::string read_verified_payload(std::istream& is) {
   char magic[4] = {};
   is.read(magic, sizeof(magic));
   if (!is.good() || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
     throw ParseError("not an NMDT binary matrix (bad magic)");
   }
-  const u32 version = read_u32(is, "version");
+  u32 version = 0;
+  is.read(reinterpret_cast<char*>(&version), sizeof(version));
+  if (!is.good()) throw ParseError("truncated input reading version");
+  if (version == 1) {
+    throw ParseError(
+        "NMDT binary version 1 predates the checksum trailer; re-save the "
+        "matrix with this version of the tools");
+  }
   if (version != kVersion) {
     throw ParseError("unsupported NMDT binary version " + std::to_string(version));
   }
-  const u32 kind = read_u32(is, "kind");
+  std::string rest((std::istreambuf_iterator<char>(is)),
+                   std::istreambuf_iterator<char>());
+  if (rest.size() < sizeof(u32)) {
+    fault::note_detected();
+    fault::note_unrecovered();
+    throw FormatError("truncated NMDT binary: checksum trailer missing");
+  }
+  u32 stored = 0;
+  std::memcpy(&stored, rest.data() + rest.size() - sizeof(u32), sizeof(u32));
+  rest.resize(rest.size() - sizeof(u32));
+  if (crc32(rest.data(), rest.size()) != stored) {
+    fault::note_detected();
+    fault::note_unrecovered();
+    throw FormatError("NMDT binary checksum mismatch (file truncated or corrupted)");
+  }
+  return rest;
+}
+
+void check_kind(u32 kind, u32 expected_kind) {
   if (kind != expected_kind) {
     throw ParseError("NMDT binary holds a different matrix kind (" +
                      std::to_string(kind) + ")");
@@ -88,57 +137,85 @@ constexpr i64 kSanityMax = i64{1} << 31;
 
 void save_csr(std::ostream& os, const Csr& m) {
   m.validate();
-  write_header(os, kKindCsr);
-  write_i64(os, m.rows);
-  write_i64(os, m.cols);
-  write_vector(os, m.row_ptr);
-  write_vector(os, m.col_idx);
-  write_vector(os, m.val);
+  std::ostringstream buf(std::ios::binary);
+  write_u32(buf, kKindCsr);
+  write_i64(buf, m.rows);
+  write_i64(buf, m.cols);
+  write_vector(buf, m.row_ptr);
+  write_vector(buf, m.col_idx);
+  write_vector(buf, m.val);
+  write_stream(os, buf.str());
   NMDT_REQUIRE(os.good(), "write failed while saving CSR");
 }
 
 Csr load_csr(std::istream& is) {
-  check_header(is, kKindCsr);
+  const std::string payload = read_verified_payload(is);
+  PayloadReader r{payload.data(), payload.size()};
+  check_kind(r.read_u32("kind"), kKindCsr);
   Csr m;
-  m.rows = static_cast<index_t>(read_i64(is, "rows"));
-  m.cols = static_cast<index_t>(read_i64(is, "cols"));
-  m.row_ptr = read_vector<index_t>(is, "row_ptr", kSanityMax);
-  m.col_idx = read_vector<index_t>(is, "col_idx", kSanityMax);
-  m.val = read_vector<value_t>(is, "val", kSanityMax);
-  m.validate();  // corruption that survives the header dies here
+  m.rows = static_cast<index_t>(r.read_i64("rows"));
+  m.cols = static_cast<index_t>(r.read_i64("cols"));
+  m.row_ptr = r.read_vector<index_t>("row_ptr", kSanityMax);
+  m.col_idx = r.read_vector<index_t>("col_idx", kSanityMax);
+  m.val = r.read_vector<value_t>("val", kSanityMax);
+  m.validate();  // corruption that survives the checksum dies here
   return m;
 }
 
 void save_dense(std::ostream& os, const DenseMatrix& m) {
-  write_header(os, kKindDense);
-  write_i64(os, m.rows());
-  write_i64(os, m.cols());
-  os.write(reinterpret_cast<const char*>(m.data().data()),
-           static_cast<std::streamsize>(m.data().size() * sizeof(value_t)));
+  std::ostringstream buf(std::ios::binary);
+  write_u32(buf, kKindDense);
+  write_i64(buf, m.rows());
+  write_i64(buf, m.cols());
+  buf.write(reinterpret_cast<const char*>(m.data().data()),
+            static_cast<std::streamsize>(m.data().size() * sizeof(value_t)));
+  write_stream(os, buf.str());
   NMDT_REQUIRE(os.good(), "write failed while saving dense matrix");
 }
 
 DenseMatrix load_dense(std::istream& is) {
-  check_header(is, kKindDense);
-  const i64 rows = read_i64(is, "rows");
-  const i64 cols = read_i64(is, "cols");
-  if (rows < 0 || cols < 0 || rows * cols > kSanityMax) {
+  const std::string payload = read_verified_payload(is);
+  PayloadReader r{payload.data(), payload.size()};
+  check_kind(r.read_u32("kind"), kKindDense);
+  const i64 rows = r.read_i64("rows");
+  const i64 cols = r.read_i64("cols");
+  if (rows < 0 || cols < 0 || (rows > 0 && cols > kSanityMax / rows)) {
     throw ParseError("implausible dense dimensions");
   }
   DenseMatrix m(static_cast<index_t>(rows), static_cast<index_t>(cols));
-  is.read(reinterpret_cast<char*>(m.data().data()),
-          static_cast<std::streamsize>(m.data().size() * sizeof(value_t)));
-  if (!is.good()) throw ParseError("truncated input reading dense payload");
+  r.read(m.data().data(), m.data().size() * sizeof(value_t), "dense payload");
   return m;
 }
 
 namespace {
+
 template <typename SaveFn, typename T>
 void save_to_file(const std::string& path, const T& m, SaveFn&& fn) {
   std::ofstream os(path, std::ios::binary);
   if (!os.good()) throw ParseError("cannot open for writing: " + path);
   fn(os, m);
 }
+
+/// Load the whole file image, giving the kSerializedStream injection
+/// site its shot: a deterministic tail truncation (torn write / short
+/// read).  The checksum trailer turns any such damage into a typed
+/// FormatError instead of silently parsed garbage.
+std::string read_file_bytes(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is.good()) throw ParseError("cannot open NMDT binary: " + path);
+  std::string bytes((std::istreambuf_iterator<char>(is)),
+                    std::istreambuf_iterator<char>());
+  const u64 key = static_cast<u64>(bytes.size());
+  if (!bytes.empty() &&
+      fault::should_inject(fault::FaultSite::kSerializedStream, key)) {
+    const u64 max_cut = std::max<u64>(1, static_cast<u64>(bytes.size()) / 4);
+    const usize cut = static_cast<usize>(1 + fault::mix(key, 0xF11E) % max_cut);
+    bytes.resize(bytes.size() - std::min(bytes.size(), cut));
+    fault::note_injected();
+  }
+  return bytes;
+}
+
 }  // namespace
 
 void save_csr_file(const std::string& path, const Csr& m) {
@@ -146,8 +223,7 @@ void save_csr_file(const std::string& path, const Csr& m) {
 }
 
 Csr load_csr_file(const std::string& path) {
-  std::ifstream is(path, std::ios::binary);
-  if (!is.good()) throw ParseError("cannot open NMDT binary: " + path);
+  std::istringstream is(read_file_bytes(path), std::ios::binary);
   return load_csr(is);
 }
 
@@ -157,8 +233,7 @@ void save_dense_file(const std::string& path, const DenseMatrix& m) {
 }
 
 DenseMatrix load_dense_file(const std::string& path) {
-  std::ifstream is(path, std::ios::binary);
-  if (!is.good()) throw ParseError("cannot open NMDT binary: " + path);
+  std::istringstream is(read_file_bytes(path), std::ios::binary);
   return load_dense(is);
 }
 

@@ -2,10 +2,14 @@
 //
 // Matrix Market is the interchange format (human-readable, slow); this
 // is the fast path for caching generated suites or shipping matrices
-// between tools: a small header (magic, version, kind, dims, vector
-// lengths) followed by the raw little-endian vectors.  Loads validate
-// the header and the reconstructed structure, throwing ParseError /
-// FormatError on truncation or corruption.
+// between tools: a small header (magic, version) followed by the kind,
+// dims, and raw little-endian vectors, closed by a CRC32 trailer over
+// everything after the version word (format version 2).  Loads verify
+// the checksum before parsing a single payload byte and validate the
+// reconstructed structure afterwards: truncation or bit corruption
+// surfaces as FormatError, unparsable headers (bad magic, the
+// pre-checksum version 1, wrong kind) as ParseError — never silently
+// parsed garbage.
 #pragma once
 
 #include <iosfwd>

@@ -2,9 +2,31 @@
 
 #include <algorithm>
 
+#include "util/crc32.hpp"
 #include "util/error.hpp"
 
 namespace nmdt {
+
+u32 dcsr_tile_crc(const DcsrTile& tile) {
+  const index_t header[5] = {tile.strip_id, tile.row_begin, tile.col_begin,
+                             tile.body.rows, tile.body.cols};
+  u32 c = crc32(header, sizeof(header));
+  c = crc32(tile.body.row_idx.data(), tile.body.row_idx.size() * sizeof(index_t), c);
+  c = crc32(tile.body.row_ptr.data(), tile.body.row_ptr.size() * sizeof(index_t), c);
+  c = crc32(tile.body.col_idx.data(), tile.body.col_idx.size() * sizeof(index_t), c);
+  c = crc32(tile.body.val.data(), tile.body.val.size() * sizeof(value_t), c);
+  return c;
+}
+
+bool verify_dcsr_tile(const DcsrTile& tile) {
+  if (tile.crc_valid && dcsr_tile_crc(tile) != tile.crc) return false;
+  try {
+    tile.body.validate();
+  } catch (const FormatError&) {
+    return false;
+  }
+  return true;
+}
 
 void TilingSpec::validate() const {
   NMDT_CHECK_CONFIG(strip_width > 0, "TilingSpec.strip_width must be positive");

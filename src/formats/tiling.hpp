@@ -43,6 +43,8 @@ struct DcsrTile {
   index_t row_begin = 0;  ///< global row of the tile's first row
   index_t col_begin = 0;  ///< global column of the strip's first column
   Dcsr body;              ///< body.rows = tile height, body.cols = strip width (clamped)
+  u32 crc = 0;            ///< CRC32 over body arrays, stamped at conversion
+  bool crc_valid = false; ///< offline-built tiles skip the checksum
 
   i64 nnz() const { return body.nnz(); }
   i64 nnz_rows() const { return body.nnz_rows(); }
@@ -80,6 +82,16 @@ struct TiledCsr {
   index_t num_strips() const { return static_cast<index_t>(strips.size()); }
   i64 nnz() const;
 };
+
+/// CRC32 over a tile's body arrays (row_idx, row_ptr, col_idx, val) and
+/// its coordinate header — the integrity fingerprint the conversion
+/// engine stamps on each freshly fabricated tile.
+u32 dcsr_tile_crc(const DcsrTile& tile);
+
+/// Integrity check at the consumption point: structural validate() of
+/// the body plus (when crc_valid) a CRC recheck against `tile.crc`.
+/// Returns false instead of throwing so recovery paths can retry.
+bool verify_dcsr_tile(const DcsrTile& tile);
 
 /// Offline tiling (the preprocessing step whose cost and storage the
 /// near-memory engine avoids).

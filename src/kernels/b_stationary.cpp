@@ -354,7 +354,7 @@ SpmmResult spmm_tiled_dcsr_online(const SpmmOperands& ops, const DenseMatrix& B,
         // unit (Fig. 11); requests stream ahead of consumption, so they
         // pipeline rather than serializing the warp.
         ctx.issue(InstrClass::kMemory, ctx.cfg.arch.warp_size);
-        const DcsrTile tile = engines[static_cast<usize>(ch)].convert_tile(
+        const DcsrTile tile = engines[static_cast<usize>(ch)].convert_tile_checked(
             csc, cursor, row_start, spec, &ctx.mem, &a, ch);
         if (tile.nnz() == 0) continue;
         process_dcsr_tile(ctx, tile, B, C, c, bc, tile_cols, atomic_addrs);

@@ -2,6 +2,7 @@
 // deterministic merge (see detail.hpp for the decomposition contract).
 #include <algorithm>
 
+#include "fault/fault.hpp"
 #include "kernels/detail.hpp"
 #include "obs/trace.hpp"
 #include "util/thread_pool.hpp"
@@ -36,6 +37,10 @@ void ShardSet::run(const std::function<void(int, ShardRange, Ctx&)>& body) {
   const u64 parent_track = obs::TraceTrack::current();
   run_indexed(jobs, size(), [&](i64 s) {
     const int shard = static_cast<int>(s);
+    // Transient-failure injection point, before the shard touches its
+    // Ctx: a recovered retry re-enters a completely clean shard.
+    fault::transient_point(fault::FaultSite::kShardExec,
+                           fault::mix(static_cast<u64>(s), static_cast<u64>(items_)));
     const ShardRange r = range(shard);
     obs::TraceTrack track(parent_track, "shard", static_cast<u64>(s));
     obs::TraceSpan sp("shard");

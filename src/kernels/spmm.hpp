@@ -37,6 +37,7 @@
 #include <string>
 
 #include "analysis/traffic_model.hpp"
+#include "fault/fault.hpp"
 #include "formats/convert.hpp"
 #include "formats/dense.hpp"
 #include "formats/tiling.hpp"
@@ -90,6 +91,14 @@ struct SpmmConfig {
   /// are bit-identical at any job count; the default of 1 keeps kernel
   /// calls single-threaded under the parallel suite runner.
   int jobs = 1;
+  /// Fault-injection plan installed for the duration of the run (the
+  /// default — site none — leaves whatever plan is already installed
+  /// untouched, so the field is a bitwise no-op unless set).
+  fault::FaultPlan fault{};
+  /// When DCSR conversion exhausts its retry budget inside the online
+  /// kernel, degrade to the reference CSR baseline kernel instead of
+  /// surfacing the FaultError (SpmmResult::used_fallback records it).
+  bool fault_fallback = true;
 };
 
 /// The realistic evaluation configuration used by the benches and the
@@ -113,6 +122,9 @@ struct SpmmResult {
   /// the way the paper treats it (Sec. 5.2: offline results are
   /// "optimistic" because they exclude this).
   double offline_prep_ns = 0.0;
+  /// True when an unrecoverable conversion fault degraded this run to
+  /// the reference CSR kernel (see SpmmConfig::fault_fallback).
+  bool used_fallback = false;
 };
 
 /// Run one kernel against a pre-converted operand bundle (the planned

@@ -3,12 +3,40 @@
 #include <algorithm>
 #include <bit>
 
+#include "fault/fault.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "transform/comparator.hpp"
 #include "util/error.hpp"
 
 namespace nmdt {
+
+namespace {
+
+/// Post-conversion corruption injection: simulates the tile being
+/// damaged in transit between the engine and the consuming SM.  The CRC
+/// is stamped on the pristine tile first, so any flipped bit is caught
+/// by verify_dcsr_tile at the consumption point.  At most one site is
+/// installed at a time; the event key derives from the tile's stable
+/// coordinates plus the retry attempt, never from thread identity.
+void maybe_corrupt_tile(DcsrTile& tile, int attempt) {
+  using fault::FaultSite;
+  const u64 key = fault::mix(fault::mix(static_cast<u64>(tile.strip_id),
+                                        static_cast<u64>(tile.row_begin)),
+                             static_cast<u64>(attempt));
+  const auto flip = [&](FaultSite site, void* data, usize bytes) {
+    if (!fault::should_inject(site, key)) return;
+    if (fault::flip_bit(data, bytes, key)) fault::note_injected();
+  };
+  flip(FaultSite::kTileRowId, tile.body.row_idx.data(),
+       tile.body.row_idx.size() * sizeof(index_t));
+  flip(FaultSite::kTileColIdx, tile.body.col_idx.data(),
+       tile.body.col_idx.size() * sizeof(index_t));
+  flip(FaultSite::kTileVal, tile.body.val.data(),
+       tile.body.val.size() * sizeof(value_t));
+}
+
+}  // namespace
 
 CscDeviceLayout CscDeviceLayout::allocate(const Csc& csc, MemorySystem& mem) {
   CscDeviceLayout l;
@@ -59,7 +87,7 @@ ConversionEngine::ConversionEngine(EngineHwModel hw) : hw_(hw) {
 DcsrTile ConversionEngine::convert_tile(const Csc& csc, StripCursor& cursor,
                                         index_t row_start, const TilingSpec& spec,
                                         MemorySystem* mem, const CscDeviceLayout* layout,
-                                        int pinned_channel) {
+                                        int pinned_channel, int fault_attempt) {
   spec.validate();
   NMDT_REQUIRE(row_start >= 0 && row_start < csc.rows, "row_start out of range");
   NMDT_REQUIRE(row_start >= cursor.watermark(),
@@ -164,7 +192,53 @@ DcsrTile ConversionEngine::convert_tile(const Csc& csc, StripCursor& cursor,
       .arg("elements", local.elements)
       .arg("dram_bytes_in", local.dram_bytes_in)
       .arg("xbar_bytes_out", local.xbar_bytes_out);
+
+  // Stamp the integrity fingerprint on the pristine tile, then give the
+  // injection layer its shot at the in-transit copy.
+  tile.crc = dcsr_tile_crc(tile);
+  tile.crc_valid = true;
+  maybe_corrupt_tile(tile, fault_attempt);
   return tile;
+}
+
+DcsrTile ConversionEngine::convert_tile_checked(const Csc& csc, StripCursor& cursor,
+                                                index_t row_start, const TilingSpec& spec,
+                                                MemorySystem* mem,
+                                                const CscDeviceLayout* layout,
+                                                int pinned_channel) {
+  const StripCursor::Snapshot snap = cursor.save();
+  DcsrTile tile =
+      convert_tile(csc, cursor, row_start, spec, mem, layout, pinned_channel, 0);
+  if (verify_dcsr_tile(tile)) return tile;
+
+  // Integrity failure at the consumption point.  The first attempt's
+  // conversion itself was fault-free (corruption is applied to the
+  // output copy), so its simulated DRAM/crossbar traffic and engine
+  // counters already match the fault-free run exactly; retries therefore
+  // run with no MemorySystem and the engine stats pinned back to the
+  // post-attempt-0 value, keeping a recovered run bit-identical.
+  const EngineStats pinned = stats_;
+  for (int attempt = 1; attempt <= fault::kMaxRetries; ++attempt) {
+    fault::note_detected();
+    obs::TraceSpan span("fault.retry");
+    span.arg("site", "dcsr_tile")
+        .arg("strip", static_cast<i64>(cursor.strip_id()))
+        .arg("row_begin", static_cast<i64>(row_start))
+        .arg("attempt", attempt);
+    cursor.restore(snap);
+    tile = convert_tile(csc, cursor, row_start, spec, nullptr, nullptr, -1, attempt);
+    stats_ = pinned;
+    if (verify_dcsr_tile(tile)) {
+      fault::note_recovered();
+      return tile;
+    }
+  }
+  fault::note_detected();
+  fault::note_unrecovered();
+  throw FaultError("DCSR tile integrity check failed after " +
+                   std::to_string(fault::kMaxRetries) + " reconversions (strip " +
+                   std::to_string(cursor.strip_id()) + ", rows from " +
+                   std::to_string(row_start) + ")");
 }
 
 std::vector<DcsrTile> ConversionEngine::convert_strip(const Csc& csc, index_t strip_id,
@@ -174,7 +248,7 @@ std::vector<DcsrTile> ConversionEngine::convert_strip(const Csc& csc, index_t st
   StripCursor cursor(csc, strip_id, spec);
   std::vector<DcsrTile> tiles;
   for (index_t row_start = 0; row_start < csc.rows; row_start += spec.tile_height) {
-    tiles.push_back(convert_tile(csc, cursor, row_start, spec, mem, layout));
+    tiles.push_back(convert_tile_checked(csc, cursor, row_start, spec, mem, layout));
   }
   return tiles;
 }

@@ -79,6 +79,20 @@ class StripCursor {
   index_t watermark() const { return watermark_; }
   void advance_watermark(index_t row_end) { watermark_ = std::max(watermark_, row_end); }
 
+  /// Resumable cursor state (boundary_ is immutable, so frontier and
+  /// watermark are the whole story).  Recovery paths snapshot before a
+  /// tile conversion and restore to re-run it after an integrity
+  /// failure.
+  struct Snapshot {
+    index_t watermark = 0;
+    std::vector<index_t> frontier;
+  };
+  Snapshot save() const { return {watermark_, frontier_}; }
+  void restore(const Snapshot& s) {
+    watermark_ = s.watermark;
+    frontier_ = s.frontier;
+  }
+
  private:
   index_t strip_id_;
   index_t col_begin_;
@@ -105,9 +119,25 @@ class ConversionEngine {
   /// `pinned_channel >= 0` the engine's DRAM reads are charged to that
   /// pseudo channel instead (strip data placed by a sched layout
   /// policy rather than globally interleaved — Sec. 6.1).
+  /// `fault_attempt` keys the deterministic corruption injection (see
+  /// fault/fault.hpp): retries of the same tile redraw the fault with a
+  /// fresh attempt index.
   DcsrTile convert_tile(const Csc& csc, StripCursor& cursor, index_t row_start,
                         const TilingSpec& spec, MemorySystem* mem = nullptr,
-                        const CscDeviceLayout* layout = nullptr, int pinned_channel = -1);
+                        const CscDeviceLayout* layout = nullptr, int pinned_channel = -1,
+                        int fault_attempt = 0);
+
+  /// convert_tile plus the consumption-point integrity check (CRC32 +
+  /// structural validate) and bounded recovery: on a mismatch the strip
+  /// cursor is rewound and the tile reconverted, up to
+  /// fault::kMaxRetries times, with the engine's simulated counters and
+  /// DRAM/crossbar traffic pinned to the first attempt so a recovered
+  /// run is bit-identical to a fault-free one.  Throws FaultError when
+  /// the retry budget is exhausted.
+  DcsrTile convert_tile_checked(const Csc& csc, StripCursor& cursor, index_t row_start,
+                                const TilingSpec& spec, MemorySystem* mem = nullptr,
+                                const CscDeviceLayout* layout = nullptr,
+                                int pinned_channel = -1);
 
   /// Convert an entire strip tile-by-tile (convenience for offline
   /// comparisons and tests).

@@ -1,0 +1,31 @@
+#include "util/crc32.hpp"
+
+#include <array>
+
+namespace nmdt {
+
+namespace {
+
+constexpr u32 kPoly = 0xEDB88320u;
+
+std::array<u32, 256> make_table() {
+  std::array<u32, 256> t{};
+  for (u32 i = 0; i < 256; ++i) {
+    u32 c = i;
+    for (int k = 0; k < 8; ++k) c = (c & 1u) ? (kPoly ^ (c >> 1)) : (c >> 1);
+    t[i] = c;
+  }
+  return t;
+}
+
+}  // namespace
+
+u32 crc32(const void* data, usize len, u32 seed) {
+  static const std::array<u32, 256> table = make_table();
+  const u8* p = static_cast<const u8*>(data);
+  u32 c = seed ^ 0xFFFFFFFFu;
+  for (usize i = 0; i < len; ++i) c = table[(c ^ p[i]) & 0xFFu] ^ (c >> 8);
+  return c ^ 0xFFFFFFFFu;
+}
+
+}  // namespace nmdt

@@ -1,0 +1,17 @@
+// CRC-32 (IEEE 802.3, polynomial 0xEDB88320), the integrity checksum
+// used by the fault-tolerance layer: serialized matrices carry a CRC
+// trailer, and every engine-converted DCSR tile carries a CRC computed
+// at conversion time and re-checked at kernel consumption.  Chainable
+// via the `seed` parameter so multi-buffer digests need no scratch
+// concatenation.
+#pragma once
+
+#include "util/types.hpp"
+
+namespace nmdt {
+
+/// CRC-32 of `len` bytes at `data`.  Chain buffers by passing the
+/// previous call's result as `seed` (seed 0 starts a fresh digest).
+u32 crc32(const void* data, usize len, u32 seed = 0);
+
+}  // namespace nmdt

@@ -2,6 +2,35 @@
 
 #include <sstream>
 
+namespace nmdt {
+
+namespace {
+const char* type_name_of(const std::exception& e) {
+  if (dynamic_cast<const FaultError*>(&e)) return "FaultError";
+  if (dynamic_cast<const ParseError*>(&e)) return "ParseError";
+  if (dynamic_cast<const FormatError*>(&e)) return "FormatError";
+  if (dynamic_cast<const ConfigError*>(&e)) return "ConfigError";
+  if (dynamic_cast<const Error*>(&e)) return "Error";
+  return "std::exception";
+}
+}  // namespace
+
+std::string describe_exception(const std::exception& e) {
+  return std::string(type_name_of(e)) + ": " + e.what();
+}
+
+std::string describe_current_exception() {
+  try {
+    throw;
+  } catch (const std::exception& e) {
+    return describe_exception(e);
+  } catch (...) {
+    return "unknown exception";
+  }
+}
+
+}  // namespace nmdt
+
 namespace nmdt::detail {
 
 namespace {

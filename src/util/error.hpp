@@ -37,6 +37,19 @@ class ConfigError : public Error {
   explicit ConfigError(const std::string& what) : Error(what) {}
 };
 
+/// An injected or detected fault that exhausted its recovery budget
+/// (tile reconversion retries, transient-failure retries) and had to be
+/// surfaced to the caller instead of silently corrupting results.
+class FaultError : public Error {
+ public:
+  explicit FaultError(const std::string& what) : Error(what) {}
+};
+
+/// "TypeName: what()" for a caught exception — the uniform FAILED(...)
+/// label the suite runner and CLI attach to typed errors.
+std::string describe_exception(const std::exception& e);
+std::string describe_current_exception();
+
 namespace detail {
 [[noreturn]] void throw_format_error(const char* cond, const char* file, int line,
                                      const std::string& msg);

@@ -63,30 +63,44 @@ void run_indexed(int jobs, i64 n, const std::function<void(i64)>& fn) {
   if (n <= 0) return;
   if (jobs <= 0) jobs = ThreadPool::default_jobs();
   jobs = static_cast<int>(std::min<i64>(jobs, n));
-  if (jobs == 1) {
-    for (i64 i = 0; i < n; ++i) fn(i);
-    return;
-  }
-  std::atomic<i64> next{0};
-  std::mutex err_mu;
   std::exception_ptr err;
-  {
-    ThreadPool pool(jobs);
-    for (int w = 0; w < jobs; ++w) {
-      pool.submit([&] {
-        for (;;) {
-          const i64 i = next.fetch_add(1, std::memory_order_relaxed);
-          if (i >= n) return;
-          try {
-            fn(i);
-          } catch (...) {
-            std::lock_guard<std::mutex> lock(err_mu);
-            if (!err) err = std::current_exception();
-          }
+  i64 err_index = -1;
+  if (jobs == 1) {
+    // Sequential order: the first caught failure is the lowest index.
+    for (i64 i = 0; i < n; ++i) {
+      try {
+        fn(i);
+      } catch (...) {
+        if (err_index < 0) {
+          err = std::current_exception();
+          err_index = i;
         }
-      });
+      }
     }
-    pool.wait_idle();
+  } else {
+    std::atomic<i64> next{0};
+    std::mutex err_mu;
+    {
+      ThreadPool pool(jobs);
+      for (int w = 0; w < jobs; ++w) {
+        pool.submit([&] {
+          for (;;) {
+            const i64 i = next.fetch_add(1, std::memory_order_relaxed);
+            if (i >= n) return;
+            try {
+              fn(i);
+            } catch (...) {
+              std::lock_guard<std::mutex> lock(err_mu);
+              if (err_index < 0 || i < err_index) {
+                err = std::current_exception();
+                err_index = i;
+              }
+            }
+          }
+        });
+      }
+      pool.wait_idle();
+    }
   }
   if (err) std::rethrow_exception(err);
 }

@@ -59,9 +59,11 @@ class ThreadPool {
 /// threads (<= 0 selects ThreadPool::default_jobs()).  Runs inline —
 /// no pool, no synchronization — when one thread suffices.  Indices are
 /// claimed from a shared counter, so callers must not depend on
-/// assignment of indices to threads; blocks until every index ran.  The
-/// first exception thrown by any fn is rethrown on the caller after the
-/// remaining indices finish.
+/// assignment of indices to threads; blocks until every index ran.
+/// Every index runs even when some throw; afterwards the exception from
+/// the LOWEST throwing index is rethrown on the caller — a deterministic
+/// choice at any job count (which throw happens "first" in wall-clock
+/// depends on scheduling; the lowest index does not).
 void run_indexed(int jobs, i64 n, const std::function<void(i64)>& fn);
 
 }  // namespace nmdt

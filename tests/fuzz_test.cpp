@@ -6,6 +6,7 @@
 #include <gtest/gtest.h>
 
 #include "formats/convert.hpp"
+#include "formats/matrix_market.hpp"
 #include "formats/serialize.hpp"
 #include "kernels/spmm.hpp"
 #include "matgen/generators.hpp"
@@ -108,6 +109,75 @@ TEST(Fuzz, CorruptedBinaryStreamsNeverCrash) {
   }
   EXPECT_EQ(loaded + rejected, 300);
   EXPECT_GT(rejected, 100) << "most random corruption must be caught";
+}
+
+TEST(Fuzz, CorruptedMatrixMarketTextNeverCrashes) {
+  Rng rng(0xf025);
+  const Csr m = base_matrix(11);
+  std::stringstream ss;
+  write_matrix_market(ss, coo_from_csr(m));
+  const std::string golden = ss.str();
+  int loaded = 0, rejected = 0;
+  for (int trial = 0; trial < 300; ++trial) {
+    std::string text = golden;
+    // 1-4 random printable-character edits: overwrite, insert, or
+    // delete a span — models hand-edited or mis-transferred files.
+    const int edits = 1 + static_cast<int>(rng.below(4));
+    for (int i = 0; i < edits && !text.empty(); ++i) {
+      const usize pos = rng.below(text.size());
+      switch (rng.below(3)) {
+        case 0: text[pos] = static_cast<char>(32 + rng.below(95)); break;
+        case 1: text.insert(pos, 1, static_cast<char>(32 + rng.below(95))); break;
+        default: text.erase(pos, 1 + rng.below(8)); break;
+      }
+    }
+    std::istringstream is(text);
+    try {
+      const Coo coo = read_matrix_market(is);
+      coo.validate();
+      ++loaded;
+    } catch (const Error&) {
+      ++rejected;
+    }
+  }
+  EXPECT_EQ(loaded + rejected, 300);
+  EXPECT_GT(rejected, 50) << "the edit mix must actually damage the format";
+}
+
+TEST(Fuzz, MatrixMarketRejectsDimensionsBeyondIndexRange) {
+  std::istringstream is(
+      "%%MatrixMarket matrix coordinate real general\n"
+      "4294967296 10 1\n"
+      "1 1 1.0\n");
+  try {
+    read_matrix_market(is);
+    FAIL() << "2^32 rows must not silently wrap in index_t";
+  } catch (const ParseError& e) {
+    EXPECT_NE(std::string(e.what()).find("line 2"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("exceed the index range"), std::string::npos);
+  }
+}
+
+TEST(Fuzz, MatrixMarketRejectsEntryCountBeyondIndexRange) {
+  std::istringstream is(
+      "%%MatrixMarket matrix coordinate real general\n"
+      "10 10 4294967296\n");
+  EXPECT_THROW(read_matrix_market(is), ParseError);
+}
+
+TEST(Fuzz, MatrixMarketRejectsEntriesPastTheDeclaredCount) {
+  std::istringstream is(
+      "%%MatrixMarket matrix coordinate real general\n"
+      "2 2 1\n"
+      "1 1 1.0\n"
+      "2 2 2.0\n");
+  try {
+    read_matrix_market(is);
+    FAIL() << "extra entries mean the size line lied about nnz";
+  } catch (const ParseError& e) {
+    EXPECT_NE(std::string(e.what()).find("line 4"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("beyond the declared count"), std::string::npos);
+  }
 }
 
 TEST(Fuzz, EngineHandlesArbitraryValidInputs) {

@@ -98,6 +98,29 @@ TEST(ThreadPool, RunIndexedPropagatesTheFirstException) {
   EXPECT_EQ(ran.load(), 64);
 }
 
+TEST(ThreadPool, RunIndexedRethrowsTheLowestIndexExceptionAtAnyJobCount) {
+  // Several indices throw; the caller must deterministically see the
+  // lowest one — regardless of which worker finished first — and every
+  // index must still run (the drain-then-rethrow contract the suite
+  // runner's error isolation builds on).
+  for (int jobs : {1, 2, 8}) {
+    SCOPED_TRACE("jobs " + std::to_string(jobs));
+    std::atomic<int> ran{0};
+    try {
+      run_indexed(jobs, 64, [&](i64 i) {
+        ran.fetch_add(1);
+        if (i == 5 || i == 20 || i == 41) {
+          throw std::runtime_error("boom at " + std::to_string(i));
+        }
+      });
+      FAIL() << "the exception must propagate";
+    } catch (const std::runtime_error& e) {
+      EXPECT_STREQ(e.what(), "boom at 5");
+    }
+    EXPECT_EQ(ran.load(), 64);
+  }
+}
+
 std::vector<MatrixSpec> tiny_specs() {
   // A slice of the standard suite, small enough to run all four arms
   // per matrix quickly but large enough to exercise the fan-out.

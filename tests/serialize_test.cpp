@@ -6,6 +6,7 @@
 
 #include "formats/serialize.hpp"
 #include "matgen/generators.hpp"
+#include "util/crc32.hpp"
 #include "util/error.hpp"
 
 namespace nmdt {
@@ -91,17 +92,62 @@ TEST(Serialize, RejectsCorruptedStructure) {
 }
 
 TEST(Serialize, RejectsImplausibleVectorLength) {
-  // Hand-craft a header with an absurd row_ptr length.
+  // Hand-craft a version-2 payload (valid checksum) with an absurd
+  // row_ptr length: the rejection must come from the sanity bound, not
+  // from the CRC.
+  std::string payload;
+  const auto append = [&payload](const void* p, usize n) {
+    payload.append(static_cast<const char*>(p), n);
+  };
+  const u32 kind = 1;
+  const i64 rows = 4, cols = 4, absurd = i64{1} << 40;
+  append(&kind, 4);
+  append(&rows, 8);
+  append(&cols, 8);
+  append(&absurd, 8);
+  std::stringstream ss;
+  ss.write("NMDT", 4);
+  const u32 version = 2;
+  ss.write(reinterpret_cast<const char*>(&version), 4);
+  ss.write(payload.data(), static_cast<std::streamsize>(payload.size()));
+  const u32 crc = crc32(payload.data(), payload.size());
+  ss.write(reinterpret_cast<const char*>(&crc), 4);
+  EXPECT_THROW(load_csr(ss), ParseError);
+}
+
+TEST(Serialize, RejectsPreChecksumVersionWithClearError) {
   std::stringstream ss;
   ss.write("NMDT", 4);
   const u32 version = 1, kind = 1;
   ss.write(reinterpret_cast<const char*>(&version), 4);
   ss.write(reinterpret_cast<const char*>(&kind), 4);
-  const i64 rows = 4, cols = 4, absurd = i64{1} << 40;
-  ss.write(reinterpret_cast<const char*>(&rows), 8);
-  ss.write(reinterpret_cast<const char*>(&cols), 8);
-  ss.write(reinterpret_cast<const char*>(&absurd), 8);
-  EXPECT_THROW(load_csr(ss), ParseError);
+  try {
+    load_csr(ss);
+    FAIL() << "version-1 stream must be rejected";
+  } catch (const ParseError& e) {
+    EXPECT_NE(std::string(e.what()).find("version 1"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("re-save"), std::string::npos);
+  }
+}
+
+TEST(Serialize, ChecksumCatchesEveryPayloadByteFlip) {
+  Csr m;
+  m.rows = 2;
+  m.cols = 2;
+  m.row_ptr = {0, 1, 2};
+  m.col_idx = {0, 1};
+  m.val = {1.0f, 2.0f};
+  std::stringstream ss;
+  save_csr(ss, m);
+  const std::string golden = ss.str();
+  // Flip one bit of every byte past the version word (payload + CRC
+  // trailer): each single-bit corruption must be rejected.
+  for (usize i = 8; i < golden.size(); ++i) {
+    std::string bytes = golden;
+    bytes[i] = static_cast<char>(bytes[i] ^ 0x10);
+    std::stringstream corrupted(bytes);
+    EXPECT_THROW(load_csr(corrupted), FormatError) << "flip at byte " << i;
+  }
 }
 
 TEST(Serialize, RejectsMissingFile) {
