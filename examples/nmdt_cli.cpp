@@ -17,11 +17,21 @@
 // deterministic fault plan for the whole command; --error-policy
 // selects how the suite runner treats typed failures.  Typed errors map
 // to distinct exit codes: 2 ParseError, 3 FormatError, 4 ConfigError,
-// 5 unrecovered fault, 1 anything else.
+// 5 unrecovered fault, 6 deadline exceeded, 130 cancelled (SIGINT),
+// 1 anything else.
+//
+// Durable sweeps: `--cmd suite --journal sweep.nmdj` checkpoints every
+// completed (row, arm) to disk; Ctrl-C drains in-flight arms, writes a
+// final checkpoint, and exits 130 with a resume hint.  `--resume
+// sweep.nmdj` replays the journal and runs only the remainder —
+// bit-identical to an uninterrupted sweep.  `--arm-timeout` /
+// `--suite-timeout` bound runaway arms / the whole sweep.
+#include <csignal>
 #include <iostream>
 #include <optional>
 
 #include "analysis/sampling.hpp"
+#include "core/executor.hpp"
 #include "core/spmm_engine.hpp"
 #include "fault/fault.hpp"
 #include "formats/footprint.hpp"
@@ -37,6 +47,33 @@
 using namespace nmdt;
 
 namespace {
+
+/// Process-wide cancellation shared with the signal handler.  Touched
+/// once in main() before the handler is installed so the function-local
+/// static is constructed outside signal context.
+CancelToken& global_cancel() {
+  static CancelToken token;
+  return token;
+}
+
+/// CancelToken::request is a lone CAS on an atomic — async-signal-safe.
+/// The sweep drains cooperatively and main() exits 130.
+extern "C" void on_interrupt(int) { global_cancel().request(CancelReason::kUser); }
+
+void install_signal_handlers() {
+  (void)global_cancel();  // construct before any signal can arrive
+#if defined(__unix__) || defined(__APPLE__)
+  struct sigaction sa{};
+  sa.sa_handler = on_interrupt;
+  sigemptyset(&sa.sa_mask);
+  sa.sa_flags = 0;  // no SA_RESTART: interrupt blocking I/O so polls run
+  sigaction(SIGINT, &sa, nullptr);
+  sigaction(SIGTERM, &sa, nullptr);
+#else
+  std::signal(SIGINT, on_interrupt);
+  std::signal(SIGTERM, on_interrupt);
+#endif
+}
 
 Csr load_input(const CliParser& cli) {
   const std::string path = cli.get("matrix", "");
@@ -122,18 +159,35 @@ int cmd_suite(const CliParser& cli) {
   else if (scale_name == "large") scale = SuiteScale::kLarge;
   else throw ParseError("unknown --scale: " + scale_name);
   const index_t K = static_cast<index_t>(cli.get_int("k", 64));
-  const int jobs = static_cast<int>(cli.get_int("jobs", 0));
-  const SuiteErrorPolicy policy = parse_error_policy(cli.get("error-policy", "fail_fast"));
-  const auto rows =
-      run_suite(standard_suite(scale), evaluation_config(4096, K), K,
-                [](usize done, usize total, const SuiteRow& r) {
-                  if (!r.ok()) {
-                    std::cerr << r.spec.name << ": " << r.failure_summary() << "\n";
-                  } else if (done % 25 == 0) {
-                    std::cerr << done << "/" << total << "\n";
-                  }
-                },
-                jobs, policy);
+  SuiteOptions opts;
+  opts.jobs = static_cast<int>(cli.get_int("jobs", 0));
+  opts.policy = parse_error_policy(cli.get("error-policy", "fail_fast"));
+  // --resume <journal> both names the journal and requests the replay;
+  // --journal alone starts a fresh checkpointed sweep.
+  opts.journal_path = cli.get("resume", cli.get("journal", ""));
+  opts.resume = !cli.get("resume", "").empty();
+  opts.checkpoint_interval = static_cast<int>(cli.get_int("checkpoint-interval", 1));
+  opts.arm_timeout_ms = cli.get_double("arm-timeout", 0.0);
+  opts.suite_timeout_ms = cli.get_double("suite-timeout", 0.0);
+  opts.cancel = global_cancel();
+  std::vector<SuiteRow> rows;
+  try {
+    rows = run_suite(standard_suite(scale), evaluation_config(4096, K), K,
+                     [](usize done, usize total, const SuiteRow& r) {
+                       if (!r.ok()) {
+                         std::cerr << r.spec.name << ": " << r.failure_summary() << "\n";
+                       } else if (done % 25 == 0) {
+                         std::cerr << done << "/" << total << "\n";
+                       }
+                     },
+                     opts);
+  } catch (const CancelledError&) {
+    if (!opts.journal_path.empty()) {
+      std::cerr << "interrupted; resume with: --cmd suite --resume "
+                << opts.journal_path << "\n";
+    }
+    throw;
+  }
   Table t({"matrix", "status", "ssf", "t_baseline_ms", "t_dcsr_c_ms", "t_online_b_ms"});
   std::vector<SuiteRow> ok_rows;
   for (const auto& r : rows) {
@@ -148,6 +202,14 @@ int cmd_suite(const CliParser& cli) {
   }
   const std::string out = cli.get("out", "suite.csv");
   t.write_csv(out);
+  if (ok_rows.empty()) {
+    // Every row failed (e.g. an aggressive --arm-timeout under
+    // --error-policy continue): the table is still useful, training is
+    // not.
+    std::cout << rows.size() << " matrices (all failed) -> " << out
+              << "; no completed rows to train on\n";
+    return 0;
+  }
   // Failed rows carry zero timings; train only on completed ones.
   const SsfThreshold th = train_threshold(ok_rows);
   std::cout << rows.size() << " matrices (" << rows.size() - ok_rows.size()
@@ -157,8 +219,11 @@ int cmd_suite(const CliParser& cli) {
 }
 
 /// Exit codes documented in README: each typed error class is
-/// distinguishable by scripts.
+/// distinguishable by scripts.  130 follows the shell convention for
+/// SIGINT-terminated processes.
 int exit_code_for(const std::exception& e) {
+  if (dynamic_cast<const CancelledError*>(&e)) return 130;
+  if (dynamic_cast<const TimeoutError*>(&e)) return 6;
   if (dynamic_cast<const FaultError*>(&e)) return 5;
   if (dynamic_cast<const ConfigError*>(&e)) return 4;
   if (dynamic_cast<const FormatError*>(&e)) return 3;
@@ -189,10 +254,25 @@ int main(int argc, char** argv) {
   cli.declare("fault-seed", "seed of the deterministic fault sequence (default 0)");
   cli.declare("error-policy",
               "suite failure handling: fail_fast | continue (suite; default fail_fast)");
+  cli.declare("journal",
+              "checkpoint-journal path: append every completed (row, arm) so an "
+              "interrupted sweep can be resumed (suite)");
+  cli.declare("resume",
+              "resume a sweep from this checkpoint journal; replays completed work "
+              "and runs only the remainder (suite)");
+  cli.declare("checkpoint-interval",
+              "fsync the journal every N entries (suite; default 1)");
+  cli.declare("arm-timeout",
+              "deadline per kernel arm in ms; overrunning arms become typed "
+              "TimeoutError rows (suite; default 0 = off)");
+  cli.declare("suite-timeout",
+              "deadline for the whole sweep in ms; expiry cancels in-flight arms "
+              "and exits 6 (suite; default 0 = off)");
   if (cli.has("help")) {
     std::cout << cli.help("nmdt_cli: profile / run / convert / suite");
     return 0;
   }
+  install_signal_handlers();
   int rc = 0;
   std::string trace_path, metrics_path;
   std::optional<obs::TraceSession> session;

@@ -1,11 +1,18 @@
 #!/usr/bin/env bash
 # Tier-1 verification: the standard release build + full test suite
 # (ROADMAP.md), a trace smoke run (nmdt_cli --trace/--metrics validated
-# by trace_lint), the tsan preset re-running the concurrency tests
-# (thread pool, plan cache, parallel suite runner, the intra-kernel
-# shard fan-out, chaos sweep, and the tracer) under ThreadSanitizer,
-# and the asan-ubsan preset re-running the robustness tests (fault
-# injection, fuzzers, serialization, parsers) under Address+UBSan.
+# by trace_lint), a durable-sweep smoke (checkpoint journal written,
+# resumed, and linted; committed BENCH_kernels.json linted), the tsan
+# preset re-running the concurrency tests (thread pool, plan cache,
+# parallel suite runner, the intra-kernel shard fan-out, chaos sweep,
+# resume/cancellation, and the tracer) under ThreadSanitizer, and the
+# asan-ubsan preset re-running the robustness tests (fault injection,
+# fuzzers, serialization, parsers, journal corruption) under
+# Address+UBSan.
+#
+# Every stage runs under a hard `timeout`: a hung build or a deadlocked
+# test fails tier-1 instead of wedging it (the same policy the ctest
+# TIMEOUT property applies per test).
 #
 # Usage: scripts/tier1.sh [--no-tsan] [--no-asan]
 set -euo pipefail
@@ -21,30 +28,42 @@ for arg in "$@"; do
 done
 
 echo "==== tier-1: standard build + ctest ===="
-cmake -B build -S .
-cmake --build build -j
-ctest --test-dir build --output-on-failure -j
+timeout 600 cmake -B build -S .
+timeout 1800 cmake --build build -j
+timeout 1800 ctest --test-dir build --output-on-failure -j
 
 echo "==== tier-1: trace smoke (run --trace + lint) ===="
 smoke_dir=build/trace_smoke
 mkdir -p "$smoke_dir"
-./build/examples/example_nmdt_cli --cmd run --k 16 --jobs 4 \
+timeout 300 ./build/examples/example_nmdt_cli --cmd run --k 16 --jobs 4 \
   --trace "$smoke_dir/trace.json" --metrics "$smoke_dir/metrics.json"
-./build/examples/example_trace_lint --trace "$smoke_dir/trace.json"
-./build/examples/example_trace_lint --trace "$smoke_dir/metrics.json" --json-only
+timeout 60 ./build/examples/example_trace_lint --trace "$smoke_dir/trace.json"
+timeout 60 ./build/examples/example_trace_lint --trace "$smoke_dir/metrics.json" --json-only
+
+echo "==== tier-1: durable sweep smoke (journal + resume + lint) ===="
+rm -f "$smoke_dir/sweep.nmdj"
+timeout 600 ./build/examples/example_nmdt_cli --cmd suite --scale tiny --k 8 \
+  --journal "$smoke_dir/sweep.nmdj" --out "$smoke_dir/sweep.csv"
+# Resuming a completed sweep is a pure replay and must reproduce the
+# table byte-for-byte.
+timeout 600 ./build/examples/example_nmdt_cli --cmd suite --scale tiny --k 8 \
+  --resume "$smoke_dir/sweep.nmdj" --out "$smoke_dir/sweep_resumed.csv"
+cmp "$smoke_dir/sweep.csv" "$smoke_dir/sweep_resumed.csv"
+timeout 60 ./build/examples/example_trace_lint --journal "$smoke_dir/sweep.nmdj"
+timeout 60 ./build/examples/example_trace_lint --trace BENCH_kernels.json --json-only
 
 if [[ "$run_tsan" == 1 ]]; then
   echo "==== tier-1: tsan preset (concurrency tests) ===="
-  cmake --preset tsan
-  cmake --build --preset tsan -j
-  ctest --preset tsan --output-on-failure
+  timeout 600 cmake --preset tsan
+  timeout 1800 cmake --build --preset tsan -j
+  timeout 1800 ctest --preset tsan --output-on-failure
 fi
 
 if [[ "$run_asan" == 1 ]]; then
   echo "==== tier-1: asan-ubsan preset (robustness tests) ===="
-  cmake --preset asan-ubsan
-  cmake --build --preset asan-ubsan -j
-  ctest --preset asan-ubsan --output-on-failure
+  timeout 600 cmake --preset asan-ubsan
+  timeout 1800 cmake --build --preset asan-ubsan -j
+  timeout 1800 ctest --preset asan-ubsan --output-on-failure
 fi
 
 echo "==== tier-1: OK ===="

@@ -1,11 +1,15 @@
 #include "core/executor.hpp"
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <deque>
+#include <map>
 #include <mutex>
 #include <optional>
+#include <thread>
 
+#include "core/journal.hpp"
 #include "fault/fault.hpp"
 #include "obs/metrics.hpp"
 #include "obs/scoped_timer.hpp"
@@ -67,7 +71,63 @@ namespace {
 struct RowJob {
   std::shared_ptr<const SpmmPlan> plan;
   std::shared_ptr<const DenseMatrix> B;
-  std::atomic<int> arms_left{4};
+  std::atomic<int> arms_left{SuiteRow::kArmCount};
+  /// Set when any arm of this row was abandoned by cancellation: the
+  /// partial row must not be reported or counted as done work.
+  std::atomic<bool> cancelled{false};
+};
+
+/// Watchdog thread for deadline enforcement.  Every few milliseconds it
+/// scans the suite token and every registered in-flight arm token and
+/// *requests* cancellation on any whose deadline has expired — turning
+/// an implicit (clock-comparison) expiry into an explicit sticky
+/// request that every subsequent cancelled()/poll() observes without
+/// touching the clock.  It only ever cancels cooperatively; arms unwind
+/// at their next poll, never mid-write.
+class DeadlineWatchdog {
+ public:
+  explicit DeadlineWatchdog(CancelToken suite)
+      : suite_(std::move(suite)), thread_([this] { loop(); }) {}
+  ~DeadlineWatchdog() { stop(); }
+
+  usize add(const CancelToken& token) {
+    std::lock_guard<std::mutex> lock(mu_);
+    arms_[next_id_] = token;
+    return next_id_++;
+  }
+  void remove(usize id) {
+    std::lock_guard<std::mutex> lock(mu_);
+    arms_.erase(id);
+  }
+  void stop() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      stop_ = true;
+    }
+    cv_.notify_all();
+    if (thread_.joinable()) thread_.join();
+  }
+
+ private:
+  void loop() {
+    std::unique_lock<std::mutex> lock(mu_);
+    while (!stop_) {
+      cv_.wait_for(lock, std::chrono::milliseconds(2), [this] { return stop_; });
+      if (stop_) return;
+      if (suite_.cancelled()) suite_.request(suite_.reason());
+      for (auto& [id, token] : arms_) {
+        if (token.cancelled()) token.request(token.reason());
+      }
+    }
+  }
+
+  CancelToken suite_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+  std::map<usize, CancelToken> arms_;
+  usize next_id_ = 0;
+  std::thread thread_;
 };
 
 }  // namespace
@@ -75,7 +135,18 @@ struct RowJob {
 std::vector<SuiteRow> run_suite(std::span<const MatrixSpec> specs, const SpmmConfig& cfg,
                                 index_t K, const SuiteProgress& progress, int jobs,
                                 SuiteErrorPolicy policy) {
+  SuiteOptions opts;
+  opts.jobs = jobs;
+  opts.policy = policy;
+  return run_suite(specs, cfg, K, progress, opts);
+}
+
+std::vector<SuiteRow> run_suite(std::span<const MatrixSpec> specs, const SpmmConfig& cfg,
+                                index_t K, const SuiteProgress& progress,
+                                const SuiteOptions& opts) {
   NMDT_CHECK_CONFIG(K > 0, "run_suite requires K > 0");
+  NMDT_CHECK_CONFIG(!opts.resume || !opts.journal_path.empty(),
+                    "resume requires a checkpoint-journal path");
   const usize total = specs.size();
   obs::MetricsRegistry::global().counter("suite.runs").add(1);
   // Install the sweep-wide fault plan (a default plan leaves whatever is
@@ -84,8 +155,46 @@ std::vector<SuiteRow> run_suite(std::span<const MatrixSpec> specs, const SpmmCon
   if (cfg.fault.site != fault::FaultSite::kNone) fault_scope.emplace(cfg.fault);
   obs::TraceSpan suite_span("suite.run");
   suite_span.arg("total", static_cast<i64>(total))
-      .arg("jobs", jobs)
+      .arg("jobs", opts.jobs)
       .arg("k", static_cast<i64>(K));
+
+  // --- Durability setup: fingerprint, replay, journal writer. --------
+  const u64 fingerprint = suite_fingerprint(specs, cfg, K, SuiteRow::kArmCount);
+  JournalReplay replay;
+  if (opts.resume) {
+    replay = read_journal_file(opts.journal_path);
+    verify_journal(replay, fingerprint, total, K, SuiteRow::kArmCount);
+    obs::MetricsRegistry::global().counter("checkpoint.replayed").add(
+        static_cast<i64>(replay.entries));
+    suite_span.arg("replayed_entries", static_cast<i64>(replay.entries));
+  }
+  std::optional<JournalWriter> writer;
+  if (!opts.journal_path.empty()) {
+    // A resume over a journal that never got its header (empty file or
+    // fully torn) restarts from a fresh header.
+    const bool append = opts.resume && replay.has_header;
+    writer.emplace(opts.journal_path, fingerprint, total, K, SuiteRow::kArmCount,
+                   opts.checkpoint_interval, append);
+  }
+  auto checkpoint = [&] {
+    if (writer && opts.on_checkpoint) opts.on_checkpoint(writer->entries());
+  };
+
+  // --- Cancellation / deadlines. -------------------------------------
+  // Copying the caller's token shares its state: an external request()
+  // (SIGINT handler) is visible to every poll below.
+  const CancelToken suite_token = opts.cancel;
+  if (opts.suite_timeout_ms > 0.0) {
+    suite_token.set_deadline(
+        CancelToken::Clock::now() +
+            std::chrono::duration_cast<CancelToken::Clock::duration>(
+                std::chrono::duration<double, std::milli>(opts.suite_timeout_ms)),
+        CancelReason::kSuiteDeadline);
+  }
+  std::optional<DeadlineWatchdog> watchdog;
+  if (opts.arm_timeout_ms > 0.0 || opts.suite_timeout_ms > 0.0) {
+    watchdog.emplace(suite_token);
+  }
 
   // Typed failures are isolated per row/arm.  Under kFailFast the
   // lowest-(row, arm) failure is rethrown only after every submitted
@@ -103,19 +212,86 @@ std::vector<SuiteRow> run_suite(std::span<const MatrixSpec> specs, const SpmmCon
       err = std::current_exception();
     }
   };
+  // Replayed failures re-enter the same path as live ones: rebuild the
+  // typed exception from its journaled description so kFailFast rethrow
+  // after resume maps to the same CLI exit code as the original run.
+  auto record_replayed_failure = [&](usize idx, int arm, const std::string& desc) {
+    try {
+      std::rethrow_exception(exception_from_description(desc));
+    } catch (...) {
+      record_failure(idx, arm);
+    }
+  };
+
   // Suite tasks run on pool threads whose thread-local track is unset;
   // derive every row/arm track from the *caller's* track so the merged
   // trace is independent of worker scheduling.
   const u64 suite_track = obs::TraceTrack::current();
   std::vector<std::optional<SuiteRow>> slots(total);
 
+  // --- Replay prefill: rows the journal already finished. ------------
+  // Complete rows are materialized straight from the journal (their
+  // values are the original runs' exact bit patterns) and reported to
+  // progress, in index order, before any live work starts.  Partial
+  // rows keep a pointer so the live task can skip replayed arms.
+  std::vector<const JournalRow*> partial(total, nullptr);
+  usize prefilled_reported = 0;
+  usize prefilled_finished = 0;  // includes degenerate (unreported) rows
+  auto apply_replayed_arm = [](SuiteRow& row, int arm, const JournalArmOutcome& out) {
+    switch (arm) {
+      case SuiteRow::kArmBaseline: row.t_baseline_ms = out.t_ms; break;
+      case SuiteRow::kArmDcsrC: row.t_dcsr_c_ms = out.t_ms; break;
+      case SuiteRow::kArmOnlineB: row.t_online_b_ms = out.t_ms; break;
+      case SuiteRow::kArmOfflineB:
+        row.t_offline_b_ms = out.t_ms;
+        row.offline_prep_ms = out.prep_ms;
+        break;
+      default: break;
+    }
+  };
+  for (usize idx = 0; idx < total; ++idx) {
+    const auto it = replay.rows.find(idx);
+    if (it == replay.rows.end()) continue;
+    const JournalRow& jr = it->second;
+    if (!jr.complete(SuiteRow::kArmCount)) {
+      partial[idx] = &jr;
+      continue;
+    }
+    ++prefilled_finished;
+    if (jr.degenerate) continue;  // degenerate rows are never reported
+    SuiteRow row;
+    row.spec = specs[idx];
+    if (jr.error.has_value()) {
+      row.error = *jr.error;
+      record_replayed_failure(idx, -1, row.error);
+    } else {
+      row.profile = jr.profile;
+      for (int a = 0; a < SuiteRow::kArmCount; ++a) {
+        const JournalArmOutcome& out = *jr.arms[static_cast<usize>(a)];
+        if (out.failed()) {
+          row.arm_error[static_cast<usize>(a)] = out.error;
+          record_replayed_failure(idx, a, out.error);
+          if (out.error.rfind("TimeoutError", 0) == 0) {
+            obs::MetricsRegistry::global().counter("fault.timeout").add(1);
+          }
+        } else {
+          apply_replayed_arm(row, a, out);
+        }
+      }
+    }
+    slots[idx] = std::move(row);
+    if (progress) progress(++prefilled_reported, total, *slots[idx]);
+    else ++prefilled_reported;
+  }
+
+  const usize total_live = total - prefilled_finished;
   std::mutex mu;
   std::condition_variable cv;
   std::deque<usize> ready;  // completed non-degenerate rows, completion order
-  usize finished = 0;       // completed specs, including degenerate draws
+  usize finished = 0;       // completed live specs, including degenerate draws
 
   {
-    ThreadPool pool(jobs);
+    ThreadPool pool(opts.jobs);
     auto row_done = [&](usize idx, bool has_row) {
       {
         std::lock_guard<std::mutex> lock(mu);
@@ -126,19 +302,36 @@ std::vector<SuiteRow> run_suite(std::span<const MatrixSpec> specs, const SpmmCon
     };
 
     for (usize idx = 0; idx < total; ++idx) {
+      if (slots[idx].has_value() ||
+          (replay.rows.count(idx) != 0 &&
+           replay.rows.at(idx).complete(SuiteRow::kArmCount))) {
+        continue;  // fully replayed above
+      }
       pool.submit([&, idx] {
         obs::TraceTrack track(suite_track, "suite_row", static_cast<u64>(idx));
+        // Planning polls inside the conversion engine's tile loops, so
+        // a cancelled sweep unwinds even mid-plan.
+        CancelScope cancel_scope(suite_token);
+        const JournalRow* jrow = partial[idx];
         SuiteRow row;
         row.spec = specs[idx];
         auto job = std::make_shared<RowJob>();
         try {
+          poll_cancellation();
           const Csr A = specs[idx].generate();
           if (A.nnz() == 0) {  // degenerate draw: nothing to measure
+            if (writer && !(jrow && jrow->degenerate)) {
+              writer->row_degenerate(idx);
+              checkpoint();
+            }
             row_done(idx, false);
             return;
           }
           // Plan once per matrix: profile + all conversions; the four
-          // arms below share the converted artifacts.
+          // arms below share the converted artifacts.  Partially
+          // replayed rows re-plan too — the plan is a pure function of
+          // (spec, cfg) and its artifacts are needed by the remaining
+          // arms — but skip re-journaling.
           {
             obs::TraceSpan sp("suite.plan");
             obs::ScopedTimer t("suite.plan_ms");
@@ -153,27 +346,75 @@ std::vector<SuiteRow> run_suite(std::span<const MatrixSpec> specs, const SpmmCon
           B->randomize(b_rng);
           job->B = std::move(B);
           row.profile = job->plan->profile();
+          if (writer && !(jrow && jrow->planned)) {
+            writer->row_planned(idx, row.profile);
+            checkpoint();
+          }
+        } catch (const CancelledError&) {
+          // Abandoned row: nothing journaled, nothing reported — the
+          // resumed sweep re-runs it from scratch, bit-identically.
+          row_done(idx, false);
+          return;
         } catch (...) {
           // Row-level failure (generation or planning): record the typed
           // error and report the row; no arms run for it.
           row.error = describe_current_exception();
+          if (writer) {
+            writer->row_error(idx, row.error);
+            checkpoint();
+          }
           slots[idx] = std::move(row);
           record_failure(idx, -1);
           row_done(idx, true);
           return;
         }
+        // Fold replayed arm outcomes in before publishing the slot; the
+        // remaining arms are the only live tasks.
+        int missing = 0;
+        for (int a = 0; a < SuiteRow::kArmCount; ++a) {
+          const auto& rep =
+              jrow ? jrow->arms[static_cast<usize>(a)] : std::optional<JournalArmOutcome>{};
+          if (!rep.has_value()) {
+            ++missing;
+            continue;
+          }
+          if (rep->failed()) {
+            row.arm_error[static_cast<usize>(a)] = rep->error;
+            record_replayed_failure(idx, a, rep->error);
+          } else {
+            apply_replayed_arm(row, a, *rep);
+          }
+        }
+        job->arms_left.store(missing, std::memory_order_relaxed);
         slots[idx] = std::move(row);
 
         // Modelled timing depends only on matrix structure (never on
         // B's values), so the arms are independent deterministic tasks.
-        auto submit_arm = [&, idx, job](int arm, KernelKind kind, auto&& commit) {
+        auto submit_arm = [&, idx, job, jrow](int arm, KernelKind kind, auto&& commit) {
+          if (jrow && jrow->arms[static_cast<usize>(arm)].has_value()) return;
           pool.submit([&, idx, job, arm, kind, commit] {
+            // Each arm gets its own child token so a per-arm deadline
+            // never leaks into siblings; the watchdog sees it for the
+            // duration of the arm only.
+            const CancelToken arm_token = CancelToken::child_of(suite_token);
+            if (opts.arm_timeout_ms > 0.0) {
+              arm_token.set_deadline(
+                  CancelToken::Clock::now() +
+                      std::chrono::duration_cast<CancelToken::Clock::duration>(
+                          std::chrono::duration<double, std::milli>(
+                              opts.arm_timeout_ms)),
+                  CancelReason::kDeadline);
+            }
+            std::optional<usize> watch_id;
+            if (watchdog) watch_id = watchdog->add(arm_token);
+            CancelScope arm_scope(arm_token);
             // One span per matrix × kernel arm, on a track keyed by
             // (kernel, row) so arms never share a lane.
             obs::TraceTrack arm_track(suite_track, kernel_name(kind),
                                       static_cast<u64>(idx));
             obs::TraceSpan sp("suite.arm");
             try {
+              arm_token.poll();
               fault::transient_point(
                   fault::FaultSite::kSuiteArm,
                   fault::mix(static_cast<u64>(idx), static_cast<u64>(arm)));
@@ -183,16 +424,38 @@ std::vector<SuiteRow> run_suite(std::span<const MatrixSpec> specs, const SpmmCon
                   .arg("jobs", cfg.jobs)
                   .arg("modelled_ms", res.timing.total_ms());
               commit(*slots[idx], res);
+              if (writer) {
+                const double prep = arm == SuiteRow::kArmOfflineB
+                                        ? res.offline_prep_ns * 1e-6
+                                        : 0.0;
+                writer->arm_done(idx, arm, res.timing.total_ms(), prep);
+                checkpoint();
+              }
+            } catch (const CancelledError&) {
+              // Abandoned, not failed: leave the journal and the error
+              // table untouched so resume re-executes this arm.
+              job->cancelled.store(true, std::memory_order_relaxed);
+              sp.arg("matrix", specs[idx].name.c_str())
+                  .arg("kernel", kernel_name(kind))
+                  .arg("cancelled", i64{1});
             } catch (...) {
               std::string& slot = slots[idx]->arm_error[static_cast<usize>(arm)];
               slot = describe_current_exception();
+              if (slot.rfind("TimeoutError", 0) == 0) {
+                obs::MetricsRegistry::global().counter("fault.timeout").add(1);
+              }
               sp.arg("matrix", specs[idx].name.c_str())
                   .arg("kernel", kernel_name(kind))
                   .arg("error", slot.c_str());
+              if (writer) {
+                writer->arm_error(idx, arm, slot);
+                checkpoint();
+              }
               record_failure(idx, arm);
             }
+            if (watchdog && watch_id.has_value()) watchdog->remove(*watch_id);
             if (job->arms_left.fetch_sub(1, std::memory_order_acq_rel) == 1) {
-              row_done(idx, true);
+              row_done(idx, !job->cancelled.load(std::memory_order_relaxed));
             }
           });
         };
@@ -218,10 +481,10 @@ std::vector<SuiteRow> run_suite(std::span<const MatrixSpec> specs, const SpmmCon
 
     // Single-threaded progress reporting from the calling thread, in
     // completion order, with monotonically increasing `done`.
-    usize reported = 0;
+    usize reported = prefilled_reported;
     std::unique_lock<std::mutex> lock(mu);
-    while (finished < total || !ready.empty()) {
-      cv.wait(lock, [&] { return !ready.empty() || finished == total; });
+    while (finished < total_live || !ready.empty()) {
+      cv.wait(lock, [&] { return !ready.empty() || finished == total_live; });
       while (!ready.empty()) {
         const usize idx = ready.front();
         ready.pop_front();
@@ -236,7 +499,22 @@ std::vector<SuiteRow> run_suite(std::span<const MatrixSpec> specs, const SpmmCon
     }
   }  // pool joins here; all tasks complete
 
-  if (policy == SuiteErrorPolicy::kFailFast && err) std::rethrow_exception(err);
+  if (watchdog) watchdog->stop();
+  if (writer) writer->flush();  // final checkpoint lands before we report
+
+  if (suite_token.cancelled()) {
+    obs::MetricsRegistry::global().counter("suite.cancelled").add(1);
+    const std::string where =
+        opts.journal_path.empty()
+            ? std::string(" (no journal was configured; completed work is lost)")
+            : " (completed work is checkpointed in " + opts.journal_path + ")";
+    if (suite_token.reason() == CancelReason::kSuiteDeadline) {
+      throw TimeoutError("suite sweep exceeded its deadline" + where);
+    }
+    throw CancelledError("suite sweep cancelled" + where);
+  }
+
+  if (opts.policy == SuiteErrorPolicy::kFailFast && err) std::rethrow_exception(err);
 
   std::vector<SuiteRow> rows;
   rows.reserve(total);

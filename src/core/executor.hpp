@@ -14,6 +14,17 @@
 // and rows are assembled in spec order.  The SuiteProgress callback is
 // always invoked from the calling thread with monotonically increasing
 // `done`, regardless of worker completion order.
+//
+// Durable execution (SuiteOptions): a sweep can journal every completed
+// unit of work to a checkpoint file (core/journal.hpp), honor
+// cooperative cancellation (SIGINT via a shared CancelToken), and
+// enforce per-arm / whole-sweep deadlines.  The contract all three
+// share: interrupt at ANY point + resume from the journal is
+// bit-identical to an uninterrupted run.  Cancelled arms are therefore
+// *abandoned* — not journaled, not recorded as errors — so the resumed
+// sweep re-executes them from scratch, while timed-out arms are *typed
+// failures* (TimeoutError) that land in the journal and the suite table
+// like any other arm error.
 #pragma once
 
 #include <array>
@@ -22,6 +33,7 @@
 
 #include "core/plan.hpp"
 #include "matgen/suite.hpp"
+#include "util/cancel.hpp"
 
 namespace nmdt {
 
@@ -96,11 +108,49 @@ const char* error_policy_name(SuiteErrorPolicy policy);
 /// that called run_suite, with `done` strictly increasing from 1.
 using SuiteProgress = std::function<void(usize done, usize total, const SuiteRow&)>;
 
+/// Durability / scheduling knobs for run_suite.  Defaults reproduce the
+/// classic in-memory sweep: no journal, no deadlines, never cancelled.
+struct SuiteOptions {
+  /// Shared thread-pool size; <= 0 uses hardware concurrency.
+  int jobs = 0;
+  SuiteErrorPolicy policy = SuiteErrorPolicy::kFailFast;
+  /// Checkpoint-journal path; empty disables journaling.
+  std::string journal_path;
+  /// Replay `journal_path` before running and execute only the
+  /// remainder.  The journal must match this sweep's fingerprint
+  /// (ConfigError otherwise); a missing-but-empty or fresh journal is a
+  /// clean start.
+  bool resume = false;
+  /// fsync the journal every N appended entries (>= 1).  Larger
+  /// intervals trade post-crash re-execution for fewer syncs.
+  int checkpoint_interval = 1;
+  /// Deadline per kernel arm, in milliseconds; <= 0 disables.  An arm
+  /// over its deadline is cancelled cooperatively and recorded as a
+  /// typed TimeoutError arm failure under `policy`.
+  double arm_timeout_ms = 0.0;
+  /// Deadline for the whole sweep, in milliseconds; <= 0 disables.
+  /// Expiry cancels every in-flight arm and run_suite throws
+  /// TimeoutError after the drain.
+  double suite_timeout_ms = 0.0;
+  /// External cancellation (e.g. a SIGINT handler).  CancelToken copies
+  /// share state, so the caller keeps a copy and request()s it.
+  CancelToken cancel{};
+  /// Diagnostic/test hook invoked after every journal append with the
+  /// writer's entry count; called from worker threads.
+  std::function<void(usize entries)> on_checkpoint;
+};
+
 /// Run the four Fig. 16 kernels over a suite with dense B of K columns.
-/// `jobs` sizes the shared thread pool; <= 0 uses
-/// std::thread::hardware_concurrency().  Rows are bit-identical across
-/// job counts.  `cfg.fault` (when set) is installed for the whole
-/// sweep; typed failures in rows/arms are handled per `policy`.
+/// Rows are bit-identical across job counts AND across
+/// interrupt/resume cycles (see SuiteOptions).  `cfg.fault` (when set)
+/// is installed for the whole sweep.  Throws CancelledError when
+/// `opts.cancel` fires (after draining in-flight work and writing the
+/// final checkpoint) and TimeoutError when the suite deadline expires.
+std::vector<SuiteRow> run_suite(std::span<const MatrixSpec> specs, const SpmmConfig& cfg,
+                                index_t K, const SuiteProgress& progress,
+                                const SuiteOptions& opts);
+
+/// Classic entry point: in-memory sweep, no journal or deadlines.
 std::vector<SuiteRow> run_suite(std::span<const MatrixSpec> specs, const SpmmConfig& cfg,
                                 index_t K, const SuiteProgress& progress = {},
                                 int jobs = 0,

@@ -34,6 +34,10 @@ void ShardSet::run(const std::function<void(int, ShardRange, Ctx&)>& body) {
   // Shard spans live on logical tracks derived from the *caller's*
   // track and the shard index — never from the executing OS thread —
   // so the merged trace is identical run-to-run at any job count.
+  // run_indexed re-installs the caller's CancelToken on its workers and
+  // polls before every shard claim, so a cancelled kernel unwinds at
+  // shard granularity; per-tile polling inside the conversion engine
+  // tightens that further for the online kernel.
   const u64 parent_track = obs::TraceTrack::current();
   run_indexed(jobs, size(), [&](i64 s) {
     const int shard = static_cast<int>(s);

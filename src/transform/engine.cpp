@@ -7,6 +7,7 @@
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "transform/comparator.hpp"
+#include "util/cancel.hpp"
 #include "util/error.hpp"
 
 namespace nmdt {
@@ -89,6 +90,10 @@ DcsrTile ConversionEngine::convert_tile(const Csc& csc, StripCursor& cursor,
                                         MemorySystem* mem, const CscDeviceLayout* layout,
                                         int pinned_channel, int fault_attempt) {
   spec.validate();
+  // Tile-granularity cancellation point: a strip conversion loop (online
+  // kernel, offline tiling, planning) unwinds within one tile of a
+  // cancellation request instead of finishing the whole strip.
+  poll_cancellation();
   NMDT_REQUIRE(row_start >= 0 && row_start < csc.rows, "row_start out of range");
   NMDT_REQUIRE(row_start >= cursor.watermark(),
                "strip cursor used out of order (tile requests must be monotone)");

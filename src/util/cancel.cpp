@@ -1,0 +1,80 @@
+#include "util/cancel.hpp"
+
+#include "util/error.hpp"
+
+namespace nmdt {
+
+namespace {
+
+thread_local const CancelToken* t_current_token = nullptr;
+
+i64 to_ns(CancelToken::Clock::time_point at) {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(at.time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+CancelToken CancelToken::child_of(const CancelToken& parent) {
+  CancelToken child;
+  child.state_->parent = parent.state_;
+  return child;
+}
+
+void CancelToken::request(CancelReason reason) const {
+  int expected = 0;
+  state_->reason.compare_exchange_strong(expected, static_cast<int>(reason),
+                                         std::memory_order_relaxed);
+}
+
+void CancelToken::set_deadline(Clock::time_point at, CancelReason reason) const {
+  state_->deadline_reason.store(static_cast<int>(reason), std::memory_order_relaxed);
+  state_->deadline_ns.store(to_ns(at), std::memory_order_relaxed);
+}
+
+CancelReason CancelToken::own_reason(const State& s) {
+  const int requested = s.reason.load(std::memory_order_relaxed);
+  if (requested != 0) return static_cast<CancelReason>(requested);
+  const i64 deadline = s.deadline_ns.load(std::memory_order_relaxed);
+  if (deadline != 0 && to_ns(Clock::now()) >= deadline) {
+    return static_cast<CancelReason>(s.deadline_reason.load(std::memory_order_relaxed));
+  }
+  return CancelReason::kNone;
+}
+
+CancelReason CancelToken::reason() const {
+  for (const State* s = state_.get(); s != nullptr; s = s->parent.get()) {
+    const CancelReason r = own_reason(*s);
+    if (r != CancelReason::kNone) return r;
+  }
+  return CancelReason::kNone;
+}
+
+bool CancelToken::cancelled() const { return reason() != CancelReason::kNone; }
+
+void CancelToken::poll() const {
+  switch (reason()) {
+    case CancelReason::kNone:
+      return;
+    case CancelReason::kDeadline:
+      throw TimeoutError("work unit exceeded its deadline");
+    case CancelReason::kSuiteDeadline:
+      throw CancelledError("cancelled: suite deadline exceeded");
+    case CancelReason::kUser:
+      throw CancelledError("cancelled by request");
+  }
+}
+
+CancelScope::CancelScope(const CancelToken& token) : prev_(t_current_token) {
+  t_current_token = &token;
+}
+
+CancelScope::~CancelScope() { t_current_token = prev_; }
+
+const CancelToken* current_cancel_token() { return t_current_token; }
+
+void poll_cancellation() {
+  if (t_current_token != nullptr) t_current_token->poll();
+}
+
+}  // namespace nmdt

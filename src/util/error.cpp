@@ -6,6 +6,8 @@ namespace nmdt {
 
 namespace {
 const char* type_name_of(const std::exception& e) {
+  if (dynamic_cast<const TimeoutError*>(&e)) return "TimeoutError";
+  if (dynamic_cast<const CancelledError*>(&e)) return "CancelledError";
   if (dynamic_cast<const FaultError*>(&e)) return "FaultError";
   if (dynamic_cast<const ParseError*>(&e)) return "ParseError";
   if (dynamic_cast<const FormatError*>(&e)) return "FormatError";
@@ -17,6 +19,26 @@ const char* type_name_of(const std::exception& e) {
 
 std::string describe_exception(const std::exception& e) {
   return std::string(type_name_of(e)) + ": " + e.what();
+}
+
+std::exception_ptr exception_from_description(const std::string& description) {
+  std::string type = description;
+  std::string msg;
+  if (const auto sep = description.find(": "); sep != std::string::npos) {
+    type = description.substr(0, sep);
+    msg = description.substr(sep + 2);
+  }
+  try {
+    if (type == "TimeoutError") throw TimeoutError(msg);
+    if (type == "CancelledError") throw CancelledError(msg);
+    if (type == "FaultError") throw FaultError(msg);
+    if (type == "ParseError") throw ParseError(msg);
+    if (type == "FormatError") throw FormatError(msg);
+    if (type == "ConfigError") throw ConfigError(msg);
+    throw Error(msg.empty() ? description : msg);
+  } catch (...) {
+    return std::current_exception();
+  }
 }
 
 std::string describe_current_exception() {

@@ -7,6 +7,7 @@
 // relative to the simulation work they guard.
 #pragma once
 
+#include <exception>
 #include <stdexcept>
 #include <string>
 
@@ -45,10 +46,33 @@ class FaultError : public Error {
   explicit FaultError(const std::string& what) : Error(what) {}
 };
 
+/// A work unit exceeded its wall-clock deadline (per-arm --arm-timeout)
+/// and was cooperatively cancelled by the suite watchdog.  Recorded as a
+/// typed FAILED row like any other arm error; CLI exit code 6.
+class TimeoutError : public Error {
+ public:
+  explicit TimeoutError(const std::string& what) : Error(what) {}
+};
+
+/// Cooperative cancellation (SIGINT/SIGTERM, suite-level deadline):
+/// the work was *abandoned*, not failed — a resumed sweep re-runs it.
+/// CLI exit code 130, mirroring the shell's SIGINT convention.
+class CancelledError : public Error {
+ public:
+  explicit CancelledError(const std::string& what) : Error(what) {}
+};
+
 /// "TypeName: what()" for a caught exception — the uniform FAILED(...)
 /// label the suite runner and CLI attach to typed errors.
 std::string describe_exception(const std::exception& e);
 std::string describe_current_exception();
+
+/// Rebuild a throwable typed exception from a describe_exception()
+/// string ("TypeName: message").  Used when replaying journaled arm
+/// failures: fail_fast must rethrow the same *type* (and thus map to
+/// the same CLI exit code) whether the failure happened live or was
+/// restored from a checkpoint.  Unknown type names fall back to Error.
+std::exception_ptr exception_from_description(const std::string& description);
 
 namespace detail {
 [[noreturn]] void throw_format_error(const char* cond, const char* file, int line,

@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <atomic>
 #include <exception>
+#include <optional>
+
+#include "util/cancel.hpp"
 
 namespace nmdt {
 
@@ -63,11 +66,17 @@ void run_indexed(int jobs, i64 n, const std::function<void(i64)>& fn) {
   if (n <= 0) return;
   if (jobs <= 0) jobs = ThreadPool::default_jobs();
   jobs = static_cast<int>(std::min<i64>(jobs, n));
+  // Capture the caller's cancellation token so pool workers inherit it
+  // (thread-locals do not cross the submit boundary on their own).
+  std::optional<CancelToken> cancel;
+  if (const CancelToken* tok = current_cancel_token()) cancel = *tok;
+  const auto is_cancelled = [&] { return cancel && cancel->cancelled(); };
   std::exception_ptr err;
   i64 err_index = -1;
   if (jobs == 1) {
     // Sequential order: the first caught failure is the lowest index.
     for (i64 i = 0; i < n; ++i) {
+      if (is_cancelled()) break;  // abandon remaining indices
       try {
         fn(i);
       } catch (...) {
@@ -84,7 +93,10 @@ void run_indexed(int jobs, i64 n, const std::function<void(i64)>& fn) {
       ThreadPool pool(jobs);
       for (int w = 0; w < jobs; ++w) {
         pool.submit([&] {
+          std::optional<CancelScope> scope;
+          if (cancel) scope.emplace(*cancel);
           for (;;) {
+            if (is_cancelled()) return;  // stop claiming indices
             const i64 i = next.fetch_add(1, std::memory_order_relaxed);
             if (i >= n) return;
             try {
@@ -102,7 +114,11 @@ void run_indexed(int jobs, i64 n, const std::function<void(i64)>& fn) {
       pool.wait_idle();
     }
   }
+  // A real failure from an index that ran wins over the cancellation
+  // (it is the lower, more informative event); otherwise surface the
+  // cancellation as its typed error.
   if (err) std::rethrow_exception(err);
+  if (is_cancelled()) cancel->poll();
 }
 
 }  // namespace nmdt

@@ -64,6 +64,15 @@ class ThreadPool {
 /// the LOWEST throwing index is rethrown on the caller — a deterministic
 /// choice at any job count (which throw happens "first" in wall-clock
 /// depends on scheduling; the lowest index does not).
+///
+/// Cancellation: the caller's installed CancelToken (util/cancel.hpp)
+/// is captured at entry and re-installed on every pool worker, so fn
+/// can poll it no matter which thread runs the index; the loop itself
+/// polls before each claim.  Once the token fires, remaining indices
+/// are SKIPPED (the one documented exception to "every index runs" —
+/// the caller is abandoning the whole unit of work, so partial
+/// coverage can no longer be observed) and the cancellation error is
+/// rethrown unless a lower-index real failure beat it.
 void run_indexed(int jobs, i64 n, const std::function<void(i64)>& fn);
 
 }  // namespace nmdt

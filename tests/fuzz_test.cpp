@@ -5,6 +5,7 @@
 // the converters and a kernel to make "benign" mean benign end to end.
 #include <gtest/gtest.h>
 
+#include "core/journal.hpp"
 #include "formats/convert.hpp"
 #include "formats/matrix_market.hpp"
 #include "formats/serialize.hpp"
@@ -14,6 +15,8 @@
 #include "util/error.hpp"
 #include "util/rng.hpp"
 
+#include <cstdio>
+#include <fstream>
 #include <sstream>
 
 namespace nmdt {
@@ -178,6 +181,105 @@ TEST(Fuzz, MatrixMarketRejectsEntriesPastTheDeclaredCount) {
     EXPECT_NE(std::string(e.what()).find("line 4"), std::string::npos);
     EXPECT_NE(std::string(e.what()).find("beyond the declared count"), std::string::npos);
   }
+}
+
+/// A small but representative checkpoint journal: planned rows with
+/// successful and failed arms, a degenerate row, a row-level error.
+std::string golden_journal(u64 fingerprint) {
+  const std::string path = testing::TempDir() + "nmdt_fuzz_journal.nmdj";
+  std::remove(path.c_str());
+  {
+    JournalWriter w(path, fingerprint, 4, 8, 4, 1, /*append=*/false);
+    MatrixProfile p;
+    p.stats.rows = 96;
+    p.stats.nnz = 123;
+    p.ssf = 0.25;
+    w.row_planned(0, p);
+    w.arm_done(0, 0, 1.5, 0.0);
+    w.arm_done(0, 1, 2.5, 0.0);
+    w.arm_done(0, 2, 3.5, 0.0);
+    w.arm_done(0, 3, 4.5, 0.125);
+    w.row_degenerate(1);
+    w.row_error(2, "FaultError: injected transient fault");
+    w.row_planned(3, p);
+    w.arm_error(3, 2, "TimeoutError: work unit exceeded its deadline");
+  }
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+TEST(Fuzz, JournalRoundTripsTheGoldenBytes) {
+  const std::string golden = golden_journal(0xfeed);
+  std::istringstream is(golden);
+  const JournalReplay replay = read_journal(is);
+  EXPECT_TRUE(replay.has_header);
+  EXPECT_EQ(replay.fingerprint, 0xfeedu);
+  EXPECT_EQ(replay.entries, 9u);
+  ASSERT_EQ(replay.rows.size(), 4u);
+  EXPECT_TRUE(replay.rows.at(0).complete(4));
+  EXPECT_EQ(replay.rows.at(0).arms[3]->prep_ms, 0.125);
+  EXPECT_TRUE(replay.rows.at(1).degenerate);
+  EXPECT_TRUE(replay.rows.at(2).error.has_value());
+  EXPECT_FALSE(replay.rows.at(3).complete(4));
+  EXPECT_TRUE(replay.rows.at(3).arms[2]->failed());
+}
+
+TEST(Fuzz, TruncatedJournalYieldsAValidPrefixOrATypedError) {
+  // A crash can cut the file at ANY byte.  Every cut must give either a
+  // clean prefix replay (the dropped tail re-executes on resume) or a
+  // typed error — never UB and never a replay longer than the original.
+  const std::string golden = golden_journal(0xfeed);
+  for (usize cut = 0; cut < golden.size(); ++cut) {
+    std::istringstream is(golden.substr(0, cut));
+    try {
+      const JournalReplay replay = read_journal(is);
+      EXPECT_LE(replay.entries, 9u) << "cut at " << cut;
+      EXPECT_LE(replay.rows.size(), 4u) << "cut at " << cut;
+    } catch (const Error&) {
+      // Typed rejection (e.g. cut inside the magic) is equally fine.
+    }
+  }
+}
+
+TEST(Fuzz, BitFlippedJournalNeverResumesWrong) {
+  const std::string golden = golden_journal(0xfeed);
+  Rng rng(0xf026);
+  int accepted = 0, rejected = 0;
+  for (int trial = 0; trial < 500; ++trial) {
+    std::string bytes = golden;
+    const int flips = 1 + static_cast<int>(rng.below(4));
+    for (int i = 0; i < flips; ++i) {
+      bytes[rng.below(bytes.size())] ^= static_cast<char>(1 + rng.below(255));
+    }
+    std::istringstream is(bytes);
+    try {
+      const JournalReplay replay = read_journal(is);
+      // Flips that survive the CRC can only have landed in a dropped
+      // tail or cancelled out; the replay must still be structurally
+      // sane.
+      EXPECT_LE(replay.entries, 9u);
+      for (const auto& [idx, row] : replay.rows) EXPECT_LT(idx, 64u);
+      ++accepted;
+    } catch (const Error&) {
+      ++rejected;
+    }
+  }
+  EXPECT_EQ(accepted + rejected, 500);
+  EXPECT_GT(rejected, 250) << "CRC framing must catch most corruption";
+}
+
+TEST(Fuzz, StaleJournalFingerprintIsRejectedBeforeResume) {
+  const std::string golden = golden_journal(0xfeed);
+  std::istringstream is(golden);
+  const JournalReplay replay = read_journal(is);
+  // Matching sweep: accepted.
+  verify_journal(replay, 0xfeed, 4, 8, 4);
+  // The journal belongs to a different experiment: typed rejection.
+  EXPECT_THROW(verify_journal(replay, 0xbeef, 4, 8, 4), ConfigError);
+  EXPECT_THROW(verify_journal(replay, 0xfeed, 5, 8, 4), ConfigError);
+  EXPECT_THROW(verify_journal(replay, 0xfeed, 4, 16, 4), ConfigError);
 }
 
 TEST(Fuzz, EngineHandlesArbitraryValidInputs) {

@@ -4,9 +4,15 @@
 // (zero conversion work) yet reports bit-identical results.
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <thread>
+#include <vector>
+
 #include "core/spmm_engine.hpp"
 #include "matgen/generators.hpp"
+#include "util/cancel.hpp"
 #include "util/error.hpp"
+#include "util/rng.hpp"
 
 namespace nmdt {
 namespace {
@@ -141,6 +147,47 @@ TEST(PlanCache, OversizePlansAreBuiltButNotStored) {
   EXPECT_EQ(s.entries, 0u);
   EXPECT_EQ(s.bytes, 0);
   EXPECT_EQ(s.oversize, 1u);
+}
+
+TEST(PlanCache, ConcurrentHammerRacingCancellationConservesStats) {
+  // Several threads hammer get_or_build over a working set that
+  // overflows a tight byte budget (every lookup can race an eviction)
+  // while another thread flips a CancelToken mid-run.  Cancellation is
+  // observed only *between* lookups — the cache itself must never be
+  // torn by it — and the accounting must balance exactly:
+  // hits + misses == lookups that completed.
+  const int kThreads = 4;
+  const PlanOptions opts;
+  std::vector<Csr> matrices;
+  for (u64 s = 1; s <= 6; ++s) matrices.push_back(gen_uniform(200, 200, 0.05, s));
+  const i64 one = build_plan(matrices[0], opts)->bytes();
+  PlanCache cache(one * 5 / 2);  // room for ~2 of 6: constant churn
+
+  CancelToken token;
+  std::atomic<u64> lookups{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      Rng rng(0x9a9a + static_cast<u64>(t));
+      while (!token.cancelled()) {
+        const Csr& A = matrices[rng.below(matrices.size())];
+        cache.get_or_build(A, opts);
+        lookups.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+  // Let the hammer run long enough to guarantee evictions, then cancel.
+  while (lookups.load(std::memory_order_relaxed) < 400) std::this_thread::yield();
+  token.request(CancelReason::kUser);
+  for (auto& th : threads) th.join();
+
+  const PlanCacheStats s = cache.stats();
+  EXPECT_EQ(s.hits + s.misses, lookups.load());
+  EXPECT_GT(s.evictions, 0u);
+  EXPECT_GT(s.hits, 0u);
+  EXPECT_GT(s.misses, 0u);
+  EXPECT_LE(s.bytes, s.byte_budget);
 }
 
 TEST(Plan, ConvertsEveryOperandFormat) {
