@@ -170,6 +170,15 @@ int cmd_suite(const CliParser& cli) {
   opts.arm_timeout_ms = cli.get_double("arm-timeout", 0.0);
   opts.suite_timeout_ms = cli.get_double("suite-timeout", 0.0);
   opts.cancel = global_cancel();
+  // Both ways out of an unfinished sweep — SIGINT (CancelledError) and
+  // a suite deadline (TimeoutError) — leave completed work checkpointed,
+  // so both deserve the resume hint.
+  const auto resume_hint = [&opts] {
+    if (!opts.journal_path.empty()) {
+      std::cerr << "interrupted; resume with: --cmd suite --resume "
+                << opts.journal_path << "\n";
+    }
+  };
   std::vector<SuiteRow> rows;
   try {
     rows = run_suite(standard_suite(scale), evaluation_config(4096, K), K,
@@ -182,10 +191,10 @@ int cmd_suite(const CliParser& cli) {
                      },
                      opts);
   } catch (const CancelledError&) {
-    if (!opts.journal_path.empty()) {
-      std::cerr << "interrupted; resume with: --cmd suite --resume "
-                << opts.journal_path << "\n";
-    }
+    resume_hint();
+    throw;
+  } catch (const TimeoutError&) {
+    resume_hint();
     throw;
   }
   Table t({"matrix", "status", "ssf", "t_baseline_ms", "t_dcsr_c_ms", "t_online_b_ms"});

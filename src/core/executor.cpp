@@ -4,9 +4,11 @@
 #include <chrono>
 #include <condition_variable>
 #include <deque>
+#include <filesystem>
 #include <map>
 #include <mutex>
 #include <optional>
+#include <system_error>
 #include <thread>
 
 #include "core/journal.hpp"
@@ -173,6 +175,20 @@ std::vector<SuiteRow> run_suite(std::span<const MatrixSpec> specs, const SpmmCon
     // A resume over a journal that never got its header (empty file or
     // fully torn) restarts from a fresh header.
     const bool append = opts.resume && replay.has_header;
+    if (append && replay.torn_tail) {
+      // The reader dropped the torn trailing frame but its bytes are
+      // still on disk; appending after them would leave the stale
+      // length prefix spanning into the fresh frames, so the *next*
+      // read would report a CRC mismatch on perfectly good data.
+      // Truncate to the last complete frame before reopening.
+      std::error_code ec;
+      std::filesystem::resize_file(
+          opts.journal_path, static_cast<std::uintmax_t>(replay.valid_bytes), ec);
+      if (ec) {
+        throw ParseError("cannot truncate torn checkpoint-journal tail: " +
+                         opts.journal_path + " (" + ec.message() + ")");
+      }
+    }
     writer.emplace(opts.journal_path, fingerprint, total, K, SuiteRow::kArmCount,
                    opts.checkpoint_interval, append);
   }
@@ -181,9 +197,12 @@ std::vector<SuiteRow> run_suite(std::span<const MatrixSpec> specs, const SpmmCon
   };
 
   // --- Cancellation / deadlines. -------------------------------------
-  // Copying the caller's token shares its state: an external request()
-  // (SIGINT handler) is visible to every poll below.
-  const CancelToken suite_token = opts.cancel;
+  // The suite token is a *child* of the caller's: an external request()
+  // (SIGINT handler) on opts.cancel is visible to every poll below, but
+  // the suite deadline armed here lives on the child only — a caller
+  // that reuses its token for a second run_suite (or any other polled
+  // work) never inherits a stale expired deadline.
+  const CancelToken suite_token = CancelToken::child_of(opts.cancel);
   if (opts.suite_timeout_ms > 0.0) {
     suite_token.set_deadline(
         CancelToken::Clock::now() +
@@ -387,6 +406,14 @@ std::vector<SuiteRow> run_suite(std::span<const MatrixSpec> specs, const SpmmCon
         }
         job->arms_left.store(missing, std::memory_order_relaxed);
         slots[idx] = std::move(row);
+        if (missing == 0) {
+          // Only reachable via a CRC-valid journal the writer never
+          // produces (all arm outcomes but no row_planned entry, e.g.
+          // crafted bytes): with no live arms, no submit_arm callback
+          // would ever fire row_done and the suite would wait forever.
+          row_done(idx, true);
+          return;
+        }
 
         // Modelled timing depends only on matrix structure (never on
         // B's values), so the arms are independent deterministic tasks.

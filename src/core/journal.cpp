@@ -8,6 +8,7 @@
 
 #include "formats/fingerprint.hpp"
 #include "obs/metrics.hpp"
+#include "obs/trace.hpp"  // json_escape
 #include "util/crc32.hpp"
 #include "util/error.hpp"
 
@@ -270,6 +271,7 @@ JournalReplay read_journal(std::istream& is) {
                      std::to_string(version));
   }
   usize off = sizeof(kMagic) + sizeof(u32);
+  replay.valid_bytes = static_cast<i64>(off);
   while (off < bytes.size()) {
     if (bytes.size() - off < sizeof(u32)) {
       replay.torn_tail = true;  // torn mid-length
@@ -299,6 +301,7 @@ JournalReplay read_journal(std::istream& is) {
     // not the header frame.
     if (len > 0 && static_cast<u8>(payload[0]) != kHeader) ++replay.entries;
     off += sizeof(u32) + len + sizeof(u32);
+    replay.valid_bytes = static_cast<i64>(off);
   }
   return replay;
 }
@@ -342,7 +345,7 @@ std::string journal_summary_json(const JournalReplay& replay,
   }
   std::ostringstream os;
   os << "{\n";
-  os << "  \"journal\": \"" << path << "\",\n";
+  os << "  \"journal\": \"" << obs::json_escape(path) << "\",\n";
   os << "  \"fingerprint\": \"" << std::hex << replay.fingerprint << std::dec
      << "\",\n";
   os << "  \"total_rows\": " << replay.total << ",\n";

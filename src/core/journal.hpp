@@ -86,6 +86,12 @@ struct JournalReplay {
   std::map<usize, JournalRow> rows;
   usize entries = 0;   ///< complete entry frames read
   i64 bytes = 0;       ///< file bytes consumed (incl. dropped tail)
+  /// Byte offset just past the last complete frame — the append point.
+  /// When torn_tail is set this is smaller than `bytes`; the file must
+  /// be truncated here before appending, or the residual partial frame's
+  /// length prefix would span into the fresh frames and the next read
+  /// would mis-frame (CRC mismatch on perfectly good data).
+  i64 valid_bytes = 0;
   bool torn_tail = false;  ///< an incomplete trailing frame was dropped
   bool has_header = false;
 

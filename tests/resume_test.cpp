@@ -19,6 +19,7 @@
 
 #include "core/executor.hpp"
 #include "core/journal.hpp"
+#include "obs/json_check.hpp"
 #include "util/cancel.hpp"
 #include "util/error.hpp"
 
@@ -59,11 +60,15 @@ std::string journal_path(const std::string& stem) {
 /// Run a journaled sweep that cancels itself once `cancel_at` journal
 /// entries have been appended; returns true when the sweep was actually
 /// interrupted (it may finish first if cancel_at is past the end).
+/// With `resume` the sweep replays the journal first; `cancel_at` then
+/// counts freshly appended entries only.
 bool run_until(const std::vector<MatrixSpec>& specs, const SpmmConfig& cfg, index_t K,
-               const std::string& path, int jobs, usize cancel_at) {
+               const std::string& path, int jobs, usize cancel_at,
+               bool resume = false) {
   SuiteOptions opts;
   opts.jobs = jobs;
   opts.journal_path = path;
+  opts.resume = resume;
   CancelToken token;
   opts.cancel = token;
   opts.on_checkpoint = [token, cancel_at](usize entries) {
@@ -185,6 +190,49 @@ TEST(ResumeVerification, TornTailIsDroppedAndReExecuted) {
   expect_rows_identical(baseline, resume(specs, cfg, K, path, 1));
 }
 
+TEST(ResumeVerification, TornTailSurvivesResumeInterruptResumeCycle) {
+  const auto specs = tiny_specs();
+  const index_t K = 8;
+  const SpmmConfig cfg = evaluation_config(4096, K);
+  const auto baseline = run_suite(specs, cfg, K, {}, 1);
+  const std::string path = journal_path("torn_cycle");
+  ASSERT_TRUE(run_until(specs, cfg, K, path, 1, 4));
+  // Crash with a torn tail: chop the last frame mid-trailer.
+  std::filesystem::resize_file(path, std::filesystem::file_size(path) - 3);
+  ASSERT_TRUE(read_journal_file(path).torn_tail);
+  // Resume must truncate the residual torn bytes before appending;
+  // otherwise the next read would see the stale length prefix span into
+  // the fresh frames and report a CRC mismatch.  Interrupt this resumed
+  // run too, then re-read and resume again — the second resume is
+  // exactly the "one crash + one resume + any later interrupt" sequence
+  // that must not lose the checkpointed work.
+  ASSERT_TRUE(run_until(specs, cfg, K, path, 1, 3, /*resume=*/true));
+  const JournalReplay replay = read_journal_file(path);
+  EXPECT_FALSE(replay.torn_tail);  // drained cleanly: no new tear
+  EXPECT_TRUE(replay.has_header);
+  expect_rows_identical(baseline, resume(specs, cfg, K, path, 1));
+}
+
+TEST(ResumeVerification, ArmEntriesWithoutPlanEntryDoNotDeadlock) {
+  const auto specs = tiny_specs();
+  const index_t K = 8;
+  const SpmmConfig cfg = evaluation_config(4096, K);
+  const auto baseline = run_suite(specs, cfg, K, {}, 1);
+  const std::string path = journal_path("arms_no_plan");
+  // A CRC-valid journal in an order the writer never produces: all four
+  // arm outcomes for row 0 but no row_planned entry.  The row is not
+  // complete(), so it takes the live path with zero arms left to run —
+  // which must still report the row rather than wait forever for an arm
+  // callback that will never fire.
+  {
+    JournalWriter w(path, suite_fingerprint(specs, cfg, K, SuiteRow::kArmCount),
+                    specs.size(), K, SuiteRow::kArmCount, 1, false);
+    for (int a = 0; a < SuiteRow::kArmCount; ++a) w.arm_done(0, a, 1.0, 0.0);
+  }
+  const auto rows = resume(specs, cfg, K, path, 2);
+  EXPECT_EQ(rows.size(), baseline.size());
+}
+
 TEST(ResumeVerification, EmptyJournalIsACleanFreshStart) {
   const auto specs = tiny_specs();
   const index_t K = 8;
@@ -234,6 +282,27 @@ TEST(ResumeTimeouts, SuiteDeadlineThrowsTimeoutAfterDrain) {
   opts.jobs = 2;
   opts.suite_timeout_ms = 1e-6;  // expired before the first row starts
   EXPECT_THROW(run_suite(specs, cfg, K, {}, opts), TimeoutError);
+}
+
+TEST(ResumeTimeouts, SuiteDeadlineDoesNotPoisonTheCallersToken) {
+  const auto specs = tiny_specs();
+  const index_t K = 8;
+  const SpmmConfig cfg = evaluation_config(4096, K);
+  // run_suite arms the suite deadline on a child token, never on the
+  // caller's: a token reused for a second sweep (or any other polled
+  // work) must not inherit the first sweep's expired deadline.
+  CancelToken token;
+  SuiteOptions first;
+  first.jobs = 2;
+  first.suite_timeout_ms = 1e-6;
+  first.cancel = token;
+  EXPECT_THROW(run_suite(specs, cfg, K, {}, first), TimeoutError);
+  EXPECT_FALSE(token.cancelled());
+  SuiteOptions second;
+  second.jobs = 2;
+  second.cancel = token;
+  const auto rows = run_suite(specs, cfg, K, {}, second);
+  EXPECT_EQ(rows.size(), run_suite(specs, cfg, K, {}, 1).size());
 }
 
 TEST(ResumeTimeouts, TimedOutArmsAreJournaledAndReplayedAsFailures) {
@@ -293,6 +362,18 @@ TEST(JournalSummary, SummaryJsonCountsMatchTheReplay) {
   EXPECT_NE(json.find("\"entries\": " + std::to_string(replay.entries)),
             std::string::npos);
   EXPECT_NE(json.find("\"torn_tail\": false"), std::string::npos);
+  std::string error;
+  EXPECT_TRUE(obs::json_is_valid(json, &error)) << error;
+}
+
+TEST(JournalSummary, PathWithQuotesAndBackslashesYieldsValidJson) {
+  // The journal path is user input; embedding it unescaped would make
+  // the summary invalid JSON and trace_lint --journal would misreport
+  // the breakage as a library bug.
+  const std::string hostile = "sweeps\\\"2026\\torn.nmdj";
+  const std::string json = journal_summary_json(JournalReplay{}, hostile);
+  std::string error;
+  EXPECT_TRUE(obs::json_is_valid(json, &error)) << error << "\n" << json;
 }
 
 }  // namespace
