@@ -12,7 +12,15 @@
 //
 // The sharded run produces bit-identical C and metrics (enforced by the
 // KernelShardingSweep tests and re-checked here), so the only thing
-// that changes with --jobs is host wall-clock.
+// that changes with --jobs is host wall-clock.  On a single-core host
+// the parallel arm cannot beat the serial one, so "speedup" is reported
+// as null rather than a misleading ~1.0.
+//
+// The value-precision axis (--precision) selects the stored element
+// width of the timed sweep; a "precisions" section additionally runs
+// every kernel once at each of f32/f64/bf16 and reports the modelled
+// bytes/FLOP and the simulated DRAM traffic, including the bf16-vs-f32
+// traffic win the narrower values buy.
 //
 //   --scale {tiny,small,medium,large}  suite scale (default medium)
 //   --k <int>        dense B columns (default 64)
@@ -21,6 +29,8 @@
 //   --warmup <int>   untimed iterations per arm (default 1)
 //   --iters <int>    timed iterations per arm; best is kept (default 3)
 //   --mode {counting,cachesim}  memory model (default cachesim)
+//   --precision {f32,f64,bf16}  stored value type of the timed sweep
+//                    (default f32)
 //   --out <path>     JSON report path (default BENCH_kernels.json)
 #include <algorithm>
 #include <fstream>
@@ -28,6 +38,8 @@
 #include <string>
 #include <vector>
 
+#include "analysis/traffic_model.hpp"
+#include "core/executor.hpp"
 #include "core/plan.hpp"
 #include "kernels/spmm.hpp"
 #include "matgen/suite.hpp"
@@ -48,19 +60,22 @@ constexpr KernelKind kAllKernels[] = {
     KernelKind::kHongHybrid,
 };
 
+constexpr Precision kAllPrecisions[] = {Precision::kF32, Precision::kF64,
+                                        Precision::kBf16};
+
 struct ArmTiming {
   double best_ms = 0.0;
   double mean_ms = 0.0;
 };
 
-ArmTiming time_kernel(KernelKind kind, const SpmmOperands& ops, const DenseMatrix& B,
-                      const SpmmConfig& cfg, int warmup, int iters) {
-  for (int i = 0; i < warmup; ++i) (void)run_spmm(kind, ops, B, cfg);
+ArmTiming time_kernel(KernelKind kind, const SpmmExecutor& exec, const SpmmPlan& plan,
+                      const DenseMatrix& B, int warmup, int iters) {
+  for (int i = 0; i < warmup; ++i) (void)exec.execute(kind, plan, B);
   ArmTiming t;
   t.best_ms = 1e300;
   for (int i = 0; i < iters; ++i) {
     obs::ScopedTimer sw("bench.execute_ms");
-    (void)run_spmm(kind, ops, B, cfg);
+    (void)exec.execute(kind, plan, B);
     const double ms = sw.stop();
     t.best_ms = std::min(t.best_ms, ms);
     t.mean_ms += ms / iters;
@@ -68,9 +83,11 @@ ArmTiming time_kernel(KernelKind kind, const SpmmOperands& ops, const DenseMatri
   return t;
 }
 
-bool bitwise_equal(const DenseMatrix& x, const DenseMatrix& y) {
+template <class T>
+bool bitwise_equal(const DenseMatrixT<T>& x, const DenseMatrixT<T>& y) {
   const auto xs = x.data();
   const auto ys = y.data();
+  if (xs.size() != ys.size()) return false;
   for (usize i = 0; i < xs.size(); ++i) {
     if (xs[i] != ys[i]) return false;
   }
@@ -85,6 +102,7 @@ int run(int argc, char** argv) {
   cli.declare("warmup", "untimed iterations per arm (default 1)");
   cli.declare("iters", "timed iterations per arm, best kept (default 3)");
   cli.declare("mode", "memory model: counting | cachesim (default cachesim)");
+  cli.declare("precision", "stored value type: f32 | f64 | bf16 (default f32)");
   cli.declare("out", "JSON report path (default BENCH_kernels.json)");
   if (cli.has("help")) {
     std::cout << cli.help("micro_kernels: serial vs sharded kernel timing");
@@ -105,7 +123,9 @@ int run(int argc, char** argv) {
   const int warmup = static_cast<int>(cli.get_int("warmup", 1));
   const int iters = std::max(1, static_cast<int>(cli.get_int("iters", 3)));
   const std::string mode_name = cli.get("mode", "cachesim");
+  const Precision precision = parse_precision(cli.get("precision", "f32"));
   const std::string out_path = cli.get("out", "BENCH_kernels.json");
+  const int host_cores = ThreadPool::default_jobs();
 
   // The largest suite matrix is the one whose serial latency bounds a
   // sweep, so it is the one the intra-kernel speedup matters for.
@@ -129,6 +149,7 @@ int run(int argc, char** argv) {
   } else if (mode_name != "counting") {
     throw ParseError("unknown --mode value: " + mode_name);
   }
+  cfg.precision = precision;
 
   // Plan once (profile + every conversion), then run every kernel from
   // the plan's operands so the timed arms measure the execute phase
@@ -137,17 +158,17 @@ int run(int argc, char** argv) {
   obs::MetricsRegistry::global().reset();
   const auto plan = [&] {
     obs::ScopedTimer t("bench.plan_ms");
-    return build_plan(A, {cfg.tiling, default_ssf_threshold(), 1.0});
+    return build_plan(A, {cfg.tiling, default_ssf_threshold(), 1.0, precision});
   }();
-  const SpmmOperands ops = plan->operands();
   const double profile_ms =
       obs::MetricsRegistry::global().histogram("plan.profile_ms").snapshot().sum;
   const double convert_ms =
       obs::MetricsRegistry::global().histogram("plan.convert_ms").snapshot().sum;
 
   std::cout << "matrix " << pick->name << " (" << A.rows << " x " << A.cols << ", nnz "
-            << A.nnz() << "), K " << K << ", mode " << mode_name << ", jobs " << jobs
-            << ", host cores " << ThreadPool::default_jobs() << "\n";
+            << A.nnz() << "), K " << K << ", mode " << mode_name << ", precision "
+            << precision_name(precision) << ", jobs " << jobs << ", host cores "
+            << host_cores << "\n";
   std::cout << "plan " << plan->build_ms() << " ms (profile " << profile_ms
             << " ms, convert " << convert_ms << " ms)\n";
 
@@ -161,12 +182,13 @@ int run(int argc, char** argv) {
        << "  \"nnz\": " << A.nnz() << ",\n"
        << "  \"k\": " << K << ",\n"
        << "  \"mode\": \"" << mode_name << "\",\n"
+       << "  \"precision\": \"" << precision_name(precision) << "\",\n"
        << "  \"jobs\": " << jobs << ",\n"
-       << "  \"host_cores\": " << ThreadPool::default_jobs() << ",\n"
+       << "  \"host_cores\": " << host_cores << ",\n"
        << "  \"warmup\": " << warmup << ",\n"
        << "  \"iters\": " << iters << ",\n"
-       << "  \"note\": \"speedup is parallel-arm best vs serial best; "
-          "meaningful only when host_cores > 1\",\n"
+       << "  \"note\": \"speedup is parallel-arm best vs serial best; null "
+          "when host_cores == 1 (a single-core host cannot show one)\",\n"
        << "  \"phases\": {\"plan_ms\": " << plan->build_ms()
        << ", \"profile_ms\": " << profile_ms << ", \"convert_ms\": " << convert_ms
        << "},\n"
@@ -178,28 +200,37 @@ int run(int argc, char** argv) {
     serial_cfg.jobs = 1;
     SpmmConfig parallel_cfg = cfg;
     parallel_cfg.jobs = jobs;
+    const SpmmExecutor serial_exec(serial_cfg);
+    const SpmmExecutor parallel_exec(parallel_cfg);
 
-    const SpmmResult serial_res = run_spmm(kind, ops, B, serial_cfg);
-    const SpmmResult parallel_res = run_spmm(kind, ops, B, parallel_cfg);
+    const SpmmResult serial_res = serial_exec.execute(kind, *plan, B);
+    const SpmmResult parallel_res = parallel_exec.execute(kind, *plan, B);
     const bool identical = bitwise_equal(serial_res.C, parallel_res.C) &&
+                           bitwise_equal(serial_res.C64, parallel_res.C64) &&
                            serial_res.counters == parallel_res.counters &&
                            serial_res.mem == parallel_res.mem;
 
-    const ArmTiming serial = time_kernel(kind, ops, B, serial_cfg, warmup, iters);
-    const ArmTiming parallel = time_kernel(kind, ops, B, parallel_cfg, warmup, iters);
-    const double speedup = parallel.best_ms > 0.0 ? serial.best_ms / parallel.best_ms : 0.0;
+    const ArmTiming serial = time_kernel(kind, serial_exec, *plan, B, warmup, iters);
+    const ArmTiming parallel = time_kernel(kind, parallel_exec, *plan, B, warmup, iters);
+    // A lone host core serializes both arms: any ratio it produces is
+    // scheduler noise, not a speedup — report null instead.
+    const bool speedup_defined = host_cores > 1 && parallel.best_ms > 0.0;
+    const double speedup = speedup_defined ? serial.best_ms / parallel.best_ms : 0.0;
 
     std::cout << "  " << kernel_name(kind) << ": serial " << serial.best_ms
-              << " ms, jobs=" << jobs << " " << parallel.best_ms << " ms, speedup "
-              << speedup << (identical ? "" : "  [MISMATCH]") << "\n";
+              << " ms, jobs=" << jobs << " " << parallel.best_ms << " ms, speedup ";
+    if (speedup_defined) std::cout << speedup;
+    else std::cout << "n/a (single core)";
+    std::cout << (identical ? "" : "  [MISMATCH]") << "\n";
 
     json << (first ? "" : ",\n") << "    {\"name\": \"" << kernel_name(kind)
          << "\", \"serial_best_ms\": " << serial.best_ms
          << ", \"serial_mean_ms\": " << serial.mean_ms
          << ", \"parallel_best_ms\": " << parallel.best_ms
-         << ", \"parallel_mean_ms\": " << parallel.mean_ms
-         << ", \"speedup\": " << speedup << ", \"bit_identical\": "
-         << (identical ? "true" : "false") << "}";
+         << ", \"parallel_mean_ms\": " << parallel.mean_ms << ", \"speedup\": ";
+    if (speedup_defined) json << speedup;
+    else json << "null";
+    json << ", \"bit_identical\": " << (identical ? "true" : "false") << "}";
     first = false;
     if (!identical) {
       std::cerr << "FATAL: sharded run diverged for " << kernel_name(kind) << "\n";
@@ -207,7 +238,47 @@ int run(int argc, char** argv) {
       return 1;
     }
   }
-  json << "\n  ],\n  \"metrics\": ";
+  json << "\n  ],\n";
+
+  // Per-precision section: every kernel once per stored value type
+  // (jobs=1), reporting the Sec. 2 bytes/FLOP model at that width and
+  // the simulated DRAM traffic.  The narrower bf16 values shrink the
+  // value streams while index traffic stays fixed — the summary ratio
+  // is the traffic win the precision axis buys.
+  json << "  \"precisions\": [\n";
+  double f32_dram = 0.0, bf16_dram = 0.0;
+  for (usize pi = 0; pi < std::size(kAllPrecisions); ++pi) {
+    const Precision p = kAllPrecisions[pi];
+    SpmmConfig pcfg = cfg;
+    pcfg.precision = p;
+    pcfg.jobs = 1;
+    const SpmmExecutor exec(pcfg);
+    const auto pplan = p == precision
+                           ? plan
+                           : build_plan(A, {cfg.tiling, default_ssf_threshold(), 1.0, p});
+    i64 total_dram = 0;
+    json << (pi == 0 ? "" : ",\n") << "    {\"precision\": \"" << precision_name(p)
+         << "\", \"value_bytes\": " << value_bytes(p)
+         << ", \"model_bytes_per_flop\": "
+         << bytes_per_flop(A.rows, A.nnz(), value_bytes(p)) << ", \"kernels\": [";
+    for (usize ki = 0; ki < std::size(kAllKernels); ++ki) {
+      const SpmmResult res = exec.execute(kAllKernels[ki], *pplan, B);
+      const i64 dram = res.mem.total_dram_bytes();
+      total_dram += dram;
+      json << (ki == 0 ? "" : ", ") << "{\"name\": \"" << kernel_name(kAllKernels[ki])
+           << "\", \"dram_bytes\": " << dram << "}";
+    }
+    json << "], \"total_dram_bytes\": " << total_dram << "}";
+    if (p == Precision::kF32) f32_dram = static_cast<double>(total_dram);
+    if (p == Precision::kBf16) bf16_dram = static_cast<double>(total_dram);
+    std::cout << "  precision " << precision_name(p) << ": total sim DRAM "
+              << total_dram << " B, model bytes/flop "
+              << bytes_per_flop(A.rows, A.nnz(), value_bytes(p)) << "\n";
+  }
+  json << "\n  ],\n  \"bf16_traffic_win_vs_f32\": "
+       << (bf16_dram > 0.0 ? f32_dram / bf16_dram : 0.0) << ",\n";
+
+  json << "  \"metrics\": ";
   obs::MetricsRegistry::global().write_json(json);
   json << "}\n";
   std::cout << "wrote " << out_path << "\n";

@@ -32,14 +32,17 @@
 
 #include "analysis/sampling.hpp"
 #include "core/executor.hpp"
+#include "core/plan.hpp"
 #include "core/spmm_engine.hpp"
 #include "fault/fault.hpp"
 #include "formats/footprint.hpp"
 #include "formats/matrix_market.hpp"
+#include "formats/retype.hpp"
 #include "formats/serialize.hpp"
 #include "matgen/generators.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "transform/comparator.hpp"
 #include "util/cli.hpp"
 #include "util/error.hpp"
 #include "util/table.hpp"
@@ -114,6 +117,84 @@ int cmd_profile(const CliParser& cli) {
   return 0;
 }
 
+constexpr KernelKind kAllKernels[] = {
+    KernelKind::kCsrCStationaryRowWarp,  KernelKind::kCsrCStationaryRowThread,
+    KernelKind::kDcsrCStationary,        KernelKind::kTiledCsrBStationary,
+    KernelKind::kTiledDcsrBStationary,   KernelKind::kTiledDcsrOnline,
+    KernelKind::kAStationary,            KernelKind::kMergeCStationary,
+    KernelKind::kHongHybrid,
+};
+
+std::vector<KernelKind> parse_kernel_selection(const std::string& sel) {
+  if (sel == "all") return {std::begin(kAllKernels), std::end(kAllKernels)};
+  for (KernelKind k : kAllKernels) {
+    if (sel == kernel_name(k)) return {k};
+  }
+  std::string names = "all";
+  for (KernelKind k : kAllKernels) names += std::string(" | ") + kernel_name(k);
+  throw ParseError("unknown --kernel '" + sel + "' (expected " + names + ")");
+}
+
+template <class T>
+bool bitwise_equal(const DenseMatrixT<T>& x, const DenseMatrixT<T>& y) {
+  const auto xs = x.data();
+  const auto ys = y.data();
+  if (xs.size() != ys.size()) return false;
+  for (usize i = 0; i < xs.size(); ++i) {
+    if (xs[i] != ys[i]) return false;
+  }
+  return true;
+}
+
+/// --kernel sweep: run the selected kernel(s) directly (no heuristic),
+/// at jobs 1 and 4, checking (a) bit-identity across the jobs axis
+/// within the chosen precision and (b) the fSPMV tolerance bound
+/// against an f64 reference on the same stored operands.
+int run_kernel_sweep(const Csr& A, const DenseMatrix& B, const SpmmConfig& cfg,
+                     const std::vector<KernelKind>& kernels) {
+  const auto plan =
+      build_plan(A, {cfg.tiling, default_ssf_threshold(), 1.0, cfg.precision});
+  // One f64 reference and one set of row scales serve every kernel: all
+  // arms compute the same product from the same stored-precision A/B.
+  DenseMatrixT<double> ref(0, 0);
+  std::vector<double> scales;
+  dispatch_precision(cfg.precision, [&](auto tag) {
+    using V = typename decltype(tag)::type;
+    const CsrT<V>& a = plan->operands_at<V>().csr;
+    const DenseMatrixT<V> b = retype<V>(B);
+    ref = spmm_reference_f64(a, b);
+    scales = ToleranceComparator::row_scales(a, b);
+  });
+  const ToleranceComparator cmp(default_tolerance(cfg.precision));
+
+  Table t({"kernel", "jobs 1 == jobs 4", "tolerance", "max rel err"});
+  bool all_ok = true;
+  for (KernelKind kind : kernels) {
+    SpmmConfig c1 = cfg, c4 = cfg;
+    c1.jobs = 1;
+    c4.jobs = 4;
+    const SpmmResult r1 = SpmmExecutor(c1).execute(kind, *plan, B);
+    const SpmmResult r4 = SpmmExecutor(c4).execute(kind, *plan, B);
+    const bool identical = bitwise_equal(r1.C, r4.C) && bitwise_equal(r1.C64, r4.C64) &&
+                           r1.counters == r4.counters && r1.mem == r4.mem;
+    const DenseMatrixT<double> actual =
+        cfg.precision == Precision::kF64 ? r1.C64 : retype<double>(r1.C);
+    const ToleranceVerdict v = cmp.compare(ref, actual, scales);
+    all_ok = all_ok && identical && v.pass;
+    t.begin_row()
+        .cell(kernel_name(kind))
+        .cell(identical ? "yes" : "DIVERGED")
+        .cell(v.pass ? "pass" : "FAIL (" + std::to_string(v.mismatched) + " of " +
+                                    std::to_string(v.compared) + ")")
+        .cell(format_sci(v.max_rel_error));
+  }
+  t.print(std::cout);
+  std::cout << (all_ok ? "all kernels verified" : "VERIFICATION FAILED") << " at "
+            << precision_name(cfg.precision) << " (eps " << format_sci(cmp.eps())
+            << ")\n";
+  return all_ok ? 0 : 1;
+}
+
 int cmd_run(const CliParser& cli) {
   const Csr A = load_input(cli);
   const index_t K = static_cast<index_t>(cli.get_int("k", 64));
@@ -123,17 +204,28 @@ int cmd_run(const CliParser& cli) {
   EngineOptions options;
   options.spmm = evaluation_config(A.rows, K);
   options.spmm.jobs = static_cast<int>(cli.get_int("jobs", 1));
+  options.spmm.precision = parse_precision(cli.get("precision", "f32"));
   options.profile_sample_fraction = cli.get_double("sample", 1.0);
+  const std::string kernel_sel = cli.get("kernel", "");
+  if (!kernel_sel.empty()) {
+    return run_kernel_sweep(A, B, options.spmm, parse_kernel_selection(kernel_sel));
+  }
   const SpmmReport r = SpmmEngine(options).run(A, B);
   std::cout << "strategy " << strategy_name(r.chosen) << " via " << kernel_name(r.kernel)
             << "; modelled " << format_double(r.result.timing.total_ns * 1e-3, 1)
             << " us; speedup " << format_double(r.speedup_vs_baseline, 2)
             << "x; max |err| " << format_sci(r.max_abs_error) << "\n";
+  if (r.tolerance) {
+    std::cout << "tolerance (" << precision_name(options.spmm.precision) << "): "
+              << (r.tolerance->pass ? "pass" : "FAIL") << "; max rel err "
+              << format_sci(r.tolerance->max_rel_error) << "; " << r.tolerance->mismatched
+              << " of " << r.tolerance->compared << " elements out of bound\n";
+  }
   if (r.result.used_fallback) {
     std::cerr << "note: unrecovered conversion fault degraded the run to the "
                  "reference CSR kernel\n";
   }
-  return 0;
+  return r.tolerance && !r.tolerance->pass ? 1 : 0;
 }
 
 int cmd_convert(const CliParser& cli) {
@@ -179,9 +271,11 @@ int cmd_suite(const CliParser& cli) {
                 << opts.journal_path << "\n";
     }
   };
+  SpmmConfig suite_cfg = evaluation_config(4096, K);
+  suite_cfg.precision = parse_precision(cli.get("precision", "f32"));
   std::vector<SuiteRow> rows;
   try {
-    rows = run_suite(standard_suite(scale), evaluation_config(4096, K), K,
+    rows = run_suite(standard_suite(scale), suite_cfg, K,
                      [](usize done, usize total, const SuiteRow& r) {
                        if (!r.ok()) {
                          std::cerr << r.spec.name << ": " << r.failure_summary() << "\n";
@@ -254,6 +348,13 @@ int main(int argc, char** argv) {
               "host threads: suite-runner threads (suite; default: hardware "
               "concurrency) or intra-kernel shard threads (run; default 1; "
               "results are identical at any value)");
+  cli.declare("precision",
+              "stored value type: f32 | f64 | bf16 (run/suite; default f32). "
+              "Non-f32 runs are tolerance-verified against an f64 reference");
+  cli.declare("kernel",
+              "run this kernel (or 'all') directly at jobs {1, 4} with "
+              "bit-identity and tolerance checks instead of the heuristic "
+              "engine (run)");
   cli.declare("trace", "write a Chrome trace-event JSON of the command (any cmd)");
   cli.declare("metrics", "write a counters/gauges/histograms JSON snapshot (any cmd)");
   cli.declare("fault-site",

@@ -1,0 +1,78 @@
+#!/usr/bin/env python3
+"""Serial-perf regression gate for the kernel-simulation bench.
+
+Compares a fresh micro_kernels report against the committed
+BENCH_kernels.json baseline and fails (exit 1) when any kernel's
+serial_best_ms slowed down by more than --max-slowdown (default 10%).
+Only the serial arm is gated: it is simulation-dominated and
+deterministic in work, so its wall-clock is stable enough to gate on,
+unlike the parallel arm whose timing depends on host load.
+
+The two reports must describe the same experiment (matrix, k, mode,
+precision where present) — comparing different workloads is a config
+error (exit 2), not a pass.
+
+Usage: check_serial_perf.py BASELINE.json CURRENT.json [--max-slowdown 0.10]
+"""
+import argparse
+import json
+import sys
+
+
+def load(path):
+    try:
+        with open(path) as f:
+            return json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"check_serial_perf: cannot read {path}: {e}", file=sys.stderr)
+        sys.exit(2)
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("baseline")
+    ap.add_argument("current")
+    ap.add_argument("--max-slowdown", type=float, default=0.10,
+                    help="allowed fractional serial_best_ms increase (default 0.10)")
+    args = ap.parse_args()
+
+    base = load(args.baseline)
+    curr = load(args.current)
+
+    # Same experiment, or the comparison is meaningless.  `precision`
+    # is absent from pre-precision-axis baselines; treat that as f32.
+    for key in ("matrix", "k", "mode"):
+        if base.get(key) != curr.get(key):
+            print(f"check_serial_perf: {key} differs: baseline "
+                  f"{base.get(key)!r} vs current {curr.get(key)!r}", file=sys.stderr)
+            sys.exit(2)
+    if base.get("precision", "f32") != curr.get("precision", "f32"):
+        print("check_serial_perf: precision differs: baseline "
+              f"{base.get('precision', 'f32')!r} vs current "
+              f"{curr.get('precision', 'f32')!r}", file=sys.stderr)
+        sys.exit(2)
+
+    base_ms = {k["name"]: k["serial_best_ms"] for k in base.get("kernels", [])}
+    failures = []
+    for k in curr.get("kernels", []):
+        name = k["name"]
+        if name not in base_ms:
+            print(f"  {name}: no baseline entry, skipped")
+            continue
+        was, now = base_ms[name], k["serial_best_ms"]
+        ratio = now / was if was > 0 else float("inf")
+        verdict = "ok"
+        if ratio > 1.0 + args.max_slowdown:
+            verdict = "REGRESSION"
+            failures.append(name)
+        print(f"  {name}: {was:.4f} ms -> {now:.4f} ms (x{ratio:.3f}) {verdict}")
+    if failures:
+        print(f"check_serial_perf: serial slowdown > "
+              f"{args.max_slowdown:.0%} for: {', '.join(failures)}", file=sys.stderr)
+        sys.exit(1)
+    print(f"check_serial_perf: all kernels within {args.max_slowdown:.0%} "
+          "of baseline")
+
+
+if __name__ == "__main__":
+    main()

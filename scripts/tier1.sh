@@ -52,6 +52,25 @@ cmp "$smoke_dir/sweep.csv" "$smoke_dir/sweep_resumed.csv"
 timeout 60 ./build/examples/example_trace_lint --journal "$smoke_dir/sweep.nmdj"
 timeout 60 ./build/examples/example_trace_lint --trace BENCH_kernels.json --json-only
 
+echo "==== tier-1: precision smoke (f64/f32/bf16 kernel sweep) ===="
+# One matrix through all nine kernels at every stored precision: each
+# run checks jobs {1,4} bit-identity within the precision and the fSPMV
+# tolerance bound against an f64 reference (bf16 included — the
+# tolerance-verify of bf16 against f64 the precision axis promises).
+for prec in f64 f32 bf16; do
+  timeout 300 ./build/examples/example_nmdt_cli --cmd run --k 16 \
+    --precision "$prec" --kernel all
+done
+
+echo "==== tier-1: serial-perf regression gate (f32) ===="
+# Re-time the kernels at f32 on the same matrix the committed
+# BENCH_kernels.json baseline used (medium scale) and fail on a >10%
+# serial_best_ms slowdown for any kernel.
+timeout 900 ./build/bench/micro_kernels --scale medium --iters 3 \
+  --precision f32 --out "$smoke_dir/bench_now.json"
+timeout 60 python3 scripts/check_serial_perf.py \
+  BENCH_kernels.json "$smoke_dir/bench_now.json" --max-slowdown 0.10
+
 if [[ "$run_tsan" == 1 ]]; then
   echo "==== tier-1: tsan preset (concurrency tests) ===="
   timeout 600 cmake --preset tsan

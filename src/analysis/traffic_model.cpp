@@ -16,12 +16,14 @@ const char* strategy_name(Strategy s) {
 }
 
 TrafficEstimate estimate_traffic(const MatrixProfile& p, Strategy strategy, index_t K,
-                                 const TilingSpec& spec) {
+                                 const TilingSpec& spec, i64 value_bytes) {
   NMDT_CHECK_CONFIG(K > 0, "traffic model requires K > 0");
+  NMDT_CHECK_CONFIG(value_bytes > 0, "traffic model requires positive value_bytes");
   spec.validate();
-  const double size_a = static_cast<double>(csr_bytes(p.stats.rows, p.stats.nnz));
+  const double size_a =
+      static_cast<double>(csr_bytes(p.stats.rows, p.stats.nnz, value_bytes));
   const double nnz = static_cast<double>(p.stats.nnz);
-  const double elem = static_cast<double>(kValueBytes);
+  const double elem = static_cast<double>(value_bytes);
   const double b_tiles_across = std::ceil(static_cast<double>(K) / spec.strip_width);
   const double strip_rows = static_cast<double>(p.total_strip_row_segments);
   const double nnzrow = static_cast<double>(p.stats.nonzero_rows);
@@ -54,7 +56,8 @@ double expected_strip_rows_uniform(index_t n, double density, index_t strip_widt
 }
 
 TrafficEstimate estimate_traffic_uniform(index_t n, double density, Strategy strategy,
-                                         index_t K, const TilingSpec& spec) {
+                                         index_t K, const TilingSpec& spec,
+                                         i64 value_bytes) {
   NMDT_CHECK_CONFIG(n > 0 && density >= 0.0 && density <= 1.0,
                     "uniform traffic model requires n > 0 and density in [0, 1]");
   MatrixProfile p;
@@ -70,13 +73,18 @@ TrafficEstimate estimate_traffic_uniform(index_t n, double density, Strategy str
   const double per_strip = expected_strip_rows_uniform(n, density, spec.strip_width);
   const double num_strips = std::ceil(static_cast<double>(n) / spec.strip_width);
   p.total_strip_row_segments = static_cast<i64>(per_strip * num_strips);
-  return estimate_traffic(p, strategy, K, spec);
+  return estimate_traffic(p, strategy, K, spec, value_bytes);
 }
 
-double bytes_per_flop(index_t n, i64 nnz) {
+double bytes_per_flop(index_t n, i64 nnz, i64 value_bytes) {
   NMDT_CHECK_CONFIG(n > 0 && nnz > 0, "bytes_per_flop requires positive n and nnz");
-  const double traffic = 8.0 * static_cast<double>(nnz) + 4.0 * (static_cast<double>(n) + 1) +
-                         8.0 * static_cast<double>(n) * static_cast<double>(n);
+  NMDT_CHECK_CONFIG(value_bytes > 0, "bytes_per_flop requires positive value_bytes");
+  // Per non-zero: 4 B col index + one value; row_ptr stays 4 B; B read +
+  // C write are one value each per output element.
+  const double v = static_cast<double>(value_bytes);
+  const double traffic = (v + 4.0) * static_cast<double>(nnz) +
+                         4.0 * (static_cast<double>(n) + 1) +
+                         2.0 * v * static_cast<double>(n) * static_cast<double>(n);
   const double flops = 2.0 * static_cast<double>(nnz) * static_cast<double>(n);
   return traffic / flops;
 }

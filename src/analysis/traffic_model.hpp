@@ -35,22 +35,26 @@ struct TrafficEstimate {
   double total() const { return a_bytes + b_bytes + c_bytes; }
 };
 
-/// Table-1 estimate from a measured profile.
+/// Table-1 estimate from a measured profile.  `value_bytes` is the
+/// stored element width (4 f32 / 8 f64 / 2 bf16 — util/precision.hpp);
+/// index traffic inside size(A.csr) stays 4 B at every precision.
 TrafficEstimate estimate_traffic(const MatrixProfile& p, Strategy strategy, index_t K,
-                                 const TilingSpec& spec);
+                                 const TilingSpec& spec, i64 value_bytes = kValueBytes);
 
 /// Closed-form uniform-distribution variant (the "analytical model"
 /// column of Table 1): square n×n A with density d.
 TrafficEstimate estimate_traffic_uniform(index_t n, double density, Strategy strategy,
-                                         index_t K, const TilingSpec& spec);
+                                         index_t K, const TilingSpec& spec,
+                                         i64 value_bytes = kValueBytes);
 
 /// Expected non-empty rows per k-wide strip under uniform density:
 /// {1 - (1-d)^k} · n.
 double expected_strip_rows_uniform(index_t n, double density, index_t strip_width);
 
 /// Sec. 2 bytes/FLOP model for square N×N SpMM with K = N dense
-/// columns: (8·nnz + 4·(N+1) + 8·N²) / (2·nnz·N).
-double bytes_per_flop(index_t n, i64 nnz);
+/// columns, with v = value_bytes (default 4 B f32):
+/// ((v+4)·nnz + 4·(N+1) + 2v·N²) / (2·nnz·N).
+double bytes_per_flop(index_t n, i64 nnz, i64 value_bytes = kValueBytes);
 
 /// Machine balance of the modelled GPU (bytes of DRAM bandwidth per
 /// peak FP32 FLOP); SpMM is memory-bound whenever bytes_per_flop()

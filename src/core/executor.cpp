@@ -10,9 +10,11 @@
 #include <optional>
 #include <system_error>
 #include <thread>
+#include <type_traits>
 
 #include "core/journal.hpp"
 #include "fault/fault.hpp"
+#include "formats/retype.hpp"
 #include "obs/metrics.hpp"
 #include "obs/scoped_timer.hpp"
 #include "obs/trace.hpp"
@@ -63,7 +65,22 @@ SpmmResult SpmmExecutor::execute(KernelKind kind, const SpmmPlan& plan,
   // conversion and defeat the amortization, so fail loudly instead.
   NMDT_CHECK_CONFIG(plan.options().tiling == cfg_.tiling,
                     "plan was built under a different TilingSpec than the executor's");
-  return run_spmm(kind, plan.operands(), B, cfg_);
+  // Same for the value precision: running an f32 plan under a bf16
+  // config would silently measure the wrong value traffic.
+  NMDT_CHECK_CONFIG(plan.precision() == cfg_.precision,
+                    "plan was built at a different precision than the executor's");
+  return dispatch_precision(plan.precision(), [&](auto tag) -> SpmmResult {
+    using V = typename decltype(tag)::type;
+    const SpmmOperandsT<V> ops = plan.operands_at<V>().bundle();
+    if constexpr (std::is_same_v<V, value_t>) {
+      return run_spmm_t<V>(kind, ops, B, cfg_);
+    } else {
+      // B arrives at the canonical f32 precision; retype per call (the
+      // plan amortizes A's conversions, B changes every block anyway).
+      const DenseMatrixT<V> b = retype<V>(B);
+      return run_spmm_t<V>(kind, ops, b, cfg_);
+    }
+  });
 }
 
 namespace {
@@ -354,7 +371,8 @@ std::vector<SuiteRow> run_suite(std::span<const MatrixSpec> specs, const SpmmCon
           {
             obs::TraceSpan sp("suite.plan");
             obs::ScopedTimer t("suite.plan_ms");
-            job->plan = build_plan(A, {cfg.tiling, default_ssf_threshold(), 1.0});
+            job->plan = build_plan(
+                A, {cfg.tiling, default_ssf_threshold(), 1.0, cfg.precision});
             sp.arg("matrix", specs[idx].name.c_str())
                 .arg("nnz", static_cast<i64>(A.nnz()));
           }
@@ -445,7 +463,17 @@ std::vector<SuiteRow> run_suite(std::span<const MatrixSpec> specs, const SpmmCon
               fault::transient_point(
                   fault::FaultSite::kSuiteArm,
                   fault::mix(static_cast<u64>(idx), static_cast<u64>(arm)));
-              const SpmmResult res = run_spmm(kind, job->plan->operands(), *job->B, cfg);
+              const SpmmResult res =
+                  dispatch_precision(cfg.precision, [&](auto tag) -> SpmmResult {
+                    using V = typename decltype(tag)::type;
+                    const SpmmOperandsT<V> ops = job->plan->operands_at<V>().bundle();
+                    if constexpr (std::is_same_v<V, value_t>) {
+                      return run_spmm_t<V>(kind, ops, *job->B, cfg);
+                    } else {
+                      const DenseMatrixT<V> b = retype<V>(*job->B);
+                      return run_spmm_t<V>(kind, ops, b, cfg);
+                    }
+                  });
               sp.arg("matrix", specs[idx].name.c_str())
                   .arg("kernel", kernel_name(kind))
                   .arg("jobs", cfg.jobs)

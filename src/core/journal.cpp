@@ -247,6 +247,9 @@ u64 suite_fingerprint(std::span<const MatrixSpec> specs, const SpmmConfig& cfg,
   mix_f64(cfg.arch.bw_per_channel_gbps);
   mix_i64(cfg.engine_hw.lanes);
   mix_f64(cfg.engine_hw.cycle_ns_sp);
+  // Precision changes every arm's modelled traffic, so a journal written
+  // at one precision must never satisfy a resume at another.
+  mix_i64(static_cast<i64>(cfg.precision));
   return h;
 }
 

@@ -3,6 +3,7 @@
 #include "analysis/sampling.hpp"
 #include "fault/fault.hpp"
 #include "formats/footprint.hpp"
+#include "formats/retype.hpp"
 #include "obs/scoped_timer.hpp"
 #include "obs/trace.hpp"
 #include "util/error.hpp"
@@ -15,7 +16,57 @@ double default_ssf_threshold() {
   return 3.2e4;
 }
 
-SpmmPlan::SpmmPlan(const Csr& A, const PlanOptions& opts) : options_(opts), csr_(A) {
+template <class V>
+SpmmOperandsT<V> PlanOperandsT<V>::bundle() const {
+  SpmmOperandsT<V> ops;
+  ops.csr = &csr;
+  ops.csc = &csc;
+  ops.dcsr = &dcsr;
+  ops.tiled_dcsr = &tiled_dcsr;
+  ops.tiled_csr = &tiled_csr;
+  ops.strip_nnz = &strip_nnz;
+  return ops;
+}
+
+template <class V>
+i64 PlanOperandsT<V>::bytes() const {
+  return footprint(csr).total() + footprint(csc).total() + footprint(dcsr).total() +
+         footprint(tiled_dcsr).total() + footprint(tiled_csr).total() +
+         static_cast<i64>(strip_nnz.counts.size()) * static_cast<i64>(sizeof(i64));
+}
+
+template struct PlanOperandsT<float>;
+template struct PlanOperandsT<double>;
+template struct PlanOperandsT<bf16_t>;
+
+namespace {
+
+/// Derive every converted operand format from the retyped CSR matrix.
+/// Each conversion is timed separately: both as a child span and as an
+/// observation into the shared plan.convert_ms histogram.
+template <class V>
+PlanOperandsT<V> build_operands(CsrT<V> a, const TilingSpec& tiling) {
+  auto convert = [](const char* span_name, auto&& body) {
+    obs::TraceSpan s(span_name);
+    obs::ScopedTimer t("plan.convert_ms");
+    body();
+  };
+  PlanOperandsT<V> ops;
+  ops.csr = std::move(a);
+  convert("plan.convert.csc", [&] { ops.csc = csc_from_csr(ops.csr); });
+  convert("plan.convert.dcsr", [&] { ops.dcsr = dcsr_from_csr(ops.csr); });
+  convert("plan.convert.tiled_dcsr",
+          [&] { ops.tiled_dcsr = tiled_dcsr_from_csr(ops.csr, tiling); });
+  convert("plan.convert.tiled_csr",
+          [&] { ops.tiled_csr = tiled_csr_from_csr(ops.csr, tiling); });
+  convert("plan.convert.strip_nnz",
+          [&] { ops.strip_nnz = strip_nnz_of(ops.csr, tiling); });
+  return ops;
+}
+
+}  // namespace
+
+SpmmPlan::SpmmPlan(const Csr& A, const PlanOptions& opts) : options_(opts) {
   opts.tiling.validate();
   NMDT_CHECK_CONFIG(
       opts.profile_sample_fraction > 0.0 && opts.profile_sample_fraction <= 1.0,
@@ -25,58 +76,43 @@ SpmmPlan::SpmmPlan(const Csr& A, const PlanOptions& opts) : options_(opts), csr_
   obs::MetricsRegistry::global().counter("plan.builds").add(1);
   {
     NMDT_TRACE_SCOPE("plan.fingerprint");
-    fingerprint_ = fingerprint_of(csr_);
+    // Canonical-input fingerprint: precision selection never changes the
+    // cache identity of the matrix, only the PlanOptions half of the key.
+    fingerprint_ = fingerprint_of(A);
   }
   {
     NMDT_TRACE_SCOPE("plan.profile");
     obs::ScopedTimer t("plan.profile_ms");
+    // The profile is structural (row lengths, strip occupancy) — computed
+    // once from the canonical matrix, valid at every precision.
     if (opts.profile_sample_fraction < 1.0) {
-      profile_ = profile_matrix_sampled(csr_, opts.tiling, opts.profile_sample_fraction,
+      profile_ = profile_matrix_sampled(A, opts.tiling, opts.profile_sample_fraction,
                                         /*seed=*/0x5a3d)
                      .profile;
     } else {
-      profile_ = profile_matrix(csr_, opts.tiling);
+      profile_ = profile_matrix(A, opts.tiling);
     }
   }
   strategy_ = select_strategy(profile_.ssf, opts.ssf_threshold);
   kernel_ = strategy_ == Strategy::kBStationary ? KernelKind::kTiledDcsrOnline
                                                 : KernelKind::kDcsrCStationary;
-  // Each format conversion is timed separately: both as a child span and
-  // as an observation into the shared plan.convert_ms histogram.
-  auto convert = [](const char* span_name, auto&& body) {
-    obs::TraceSpan s(span_name);
-    obs::ScopedTimer t("plan.convert_ms");
-    body();
-  };
-  convert("plan.convert.csc", [&] { csc_ = csc_from_csr(csr_); });
-  convert("plan.convert.dcsr", [&] { dcsr_ = dcsr_from_csr(csr_); });
-  convert("plan.convert.tiled_dcsr",
-          [&] { tiled_dcsr_ = tiled_dcsr_from_csr(csr_, opts.tiling); });
-  convert("plan.convert.tiled_csr",
-          [&] { tiled_csr_ = tiled_csr_from_csr(csr_, opts.tiling); });
-  convert("plan.convert.strip_nnz", [&] { strip_nnz_ = strip_nnz_of(csr_, opts.tiling); });
-  bytes_ = footprint(csr_).total() + footprint(csc_).total() + footprint(dcsr_).total() +
-           footprint(tiled_dcsr_).total() + footprint(tiled_csr_).total() +
-           static_cast<i64>(strip_nnz_.counts.size()) * static_cast<i64>(sizeof(i64));
+  // Retype once, then derive all formats at the plan's precision —
+  // structural conversions commute with retyping, so every operand sees
+  // the same once-rounded values (formats/retype.hpp).
+  dispatch_precision(opts.precision, [&](auto tag) {
+    using V = typename decltype(tag)::type;
+    ops_ = build_operands<V>(retype<V>(A), opts.tiling);
+    bytes_ = std::get<PlanOperandsT<V>>(ops_).bytes();
+  });
   build_ms_ = timer.stop();
-  span.arg("rows", static_cast<i64>(csr_.rows))
-      .arg("cols", static_cast<i64>(csr_.cols))
-      .arg("nnz", static_cast<i64>(csr_.nnz()))
+  span.arg("rows", static_cast<i64>(A.rows))
+      .arg("cols", static_cast<i64>(A.cols))
+      .arg("nnz", static_cast<i64>(A.nnz()))
       .arg("ssf", profile_.ssf)
       .arg("strategy", strategy_name(strategy_))
       .arg("kernel", kernel_name(kernel_))
+      .arg("precision", precision_name(opts.precision))
       .arg("bytes", bytes_);
-}
-
-SpmmOperands SpmmPlan::operands() const {
-  SpmmOperands ops;
-  ops.csr = &csr_;
-  ops.csc = &csc_;
-  ops.dcsr = &dcsr_;
-  ops.tiled_dcsr = &tiled_dcsr_;
-  ops.tiled_csr = &tiled_csr_;
-  ops.strip_nnz = &strip_nnz_;
-  return ops;
 }
 
 std::shared_ptr<const SpmmPlan> build_plan(const Csr& A, const PlanOptions& opts) {
@@ -89,6 +125,10 @@ usize PlanCache::KeyHash::operator()(const Key& k) const {
   h = fnv1a64(&k.opts.tiling.tile_height, sizeof(index_t), h);
   h = fnv1a64(&k.opts.ssf_threshold, sizeof(double), h);
   h = fnv1a64(&k.opts.profile_sample_fraction, sizeof(double), h);
+  // Precision is part of the key: a bf16 plan and an f32 plan of the
+  // same matrix are distinct artifacts and must never alias.
+  const i64 precision = static_cast<i64>(k.opts.precision);
+  h = fnv1a64(&precision, sizeof(i64), h);
   return static_cast<usize>(h);
 }
 

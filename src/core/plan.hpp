@@ -19,11 +19,13 @@
 #include <memory>
 #include <mutex>
 #include <unordered_map>
+#include <variant>
 
 #include "analysis/heuristic.hpp"
 #include "analysis/profile.hpp"
 #include "formats/fingerprint.hpp"
 #include "kernels/spmm.hpp"
+#include "util/error.hpp"
 
 namespace nmdt {
 
@@ -40,34 +42,71 @@ struct PlanOptions {
   /// Row fraction used to profile A; < 1 uses sampled SSF estimation
   /// (analysis/sampling.hpp).
   double profile_sample_fraction = 1.0;
+  /// Stored value precision of the plan's converted operand formats.
+  /// Plans at different precisions are distinct cache entries — the
+  /// fingerprint covers the canonical f32 input, so the precision must
+  /// participate in the key or a bf16 plan would alias an f32 one.
+  Precision precision = Precision::kF32;
 
   bool operator==(const PlanOptions&) const = default;
+};
+
+/// The converted operand formats of one plan, stored at precision V.
+/// Structural layouts are precision-independent; only the value arrays
+/// (and hence bytes()) change width.
+template <class V>
+struct PlanOperandsT {
+  CsrT<V> csr;
+  CscT<V> csc;
+  DcsrT<V> dcsr;
+  TiledDcsrT<V> tiled_dcsr;
+  TiledCsrT<V> tiled_csr;
+  StripNnz strip_nnz;
+
+  /// Non-owning kernel bundle over these formats (the PlanOperandsT
+  /// must outlive any kernel call using it).
+  SpmmOperandsT<V> bundle() const;
+  /// Resident bytes of all artifacts (the cache budget unit).
+  i64 bytes() const;
 };
 
 /// Immutable result of planning: the profile, the strategy decision, and
 /// every operand format the kernels can consume, converted once.
 class SpmmPlan {
  public:
-  /// Profile A and convert all operand formats.  `A` is copied into the
-  /// plan so the plan can outlive the caller's matrix (cache residency).
+  /// Profile A and convert all operand formats.  `A` is the canonical
+  /// f32 matrix (the provenance rule of formats/retype.hpp): the
+  /// fingerprint and the profile are computed from it, then the value
+  /// arrays are retyped once to opts.precision and every operand format
+  /// is derived at that precision.  `A` is copied into the plan so the
+  /// plan can outlive the caller's matrix (cache residency).
   SpmmPlan(const Csr& A, const PlanOptions& opts);
 
   const PlanOptions& options() const { return options_; }
+  Precision precision() const { return options_.precision; }
   const MatrixFingerprint& fingerprint() const { return fingerprint_; }
   const MatrixProfile& profile() const { return profile_; }
   Strategy strategy() const { return strategy_; }
   KernelKind kernel() const { return kernel_; }
 
-  const Csr& csr() const { return csr_; }
-  const Csc& csc() const { return csc_; }
-  const Dcsr& dcsr() const { return dcsr_; }
-  const TiledDcsr& tiled_dcsr() const { return tiled_dcsr_; }
-  const TiledCsr& tiled_csr() const { return tiled_csr_; }
-  const StripNnz& strip_nnz() const { return strip_nnz_; }
+  /// Typed operand set at precision V; ConfigError if V is not the
+  /// plan's precision.
+  template <class V>
+  const PlanOperandsT<V>& operands_at() const;
 
-  /// Non-owning operand bundle over this plan's converted formats.  The
-  /// plan must outlive any kernel call using the bundle.
-  SpmmOperands operands() const;
+  // f32 accessors (ConfigError when the plan holds another precision —
+  // the overwhelmingly common canonical case keeps its terse spelling).
+  const Csr& csr() const { return operands_at<value_t>().csr; }
+  const Csc& csc() const { return operands_at<value_t>().csc; }
+  const Dcsr& dcsr() const { return operands_at<value_t>().dcsr; }
+  const TiledDcsr& tiled_dcsr() const { return operands_at<value_t>().tiled_dcsr; }
+  const TiledCsr& tiled_csr() const { return operands_at<value_t>().tiled_csr; }
+  const StripNnz& strip_nnz() const { return operands_at<value_t>().strip_nnz; }
+
+  /// Non-owning operand bundle over this plan's converted formats (f32
+  /// plans only; use operands_at<V>().bundle() for other precisions).
+  /// The plan must outlive any kernel call using the bundle.
+  SpmmOperands operands() const { return operands_at<value_t>().bundle(); }
 
   /// Resident bytes of all converted artifacts (the cache budget unit).
   i64 bytes() const { return bytes_; }
@@ -81,15 +120,20 @@ class SpmmPlan {
   MatrixProfile profile_;
   Strategy strategy_ = Strategy::kCStationary;
   KernelKind kernel_ = KernelKind::kDcsrCStationary;
-  Csr csr_;
-  Csc csc_;
-  Dcsr dcsr_;
-  TiledDcsr tiled_dcsr_;
-  TiledCsr tiled_csr_;
-  StripNnz strip_nnz_;
+  std::variant<PlanOperandsT<float>, PlanOperandsT<double>, PlanOperandsT<bf16_t>> ops_;
   i64 bytes_ = 0;
   double build_ms_ = 0.0;
 };
+
+template <class V>
+const PlanOperandsT<V>& SpmmPlan::operands_at() const {
+  const auto* ops = std::get_if<PlanOperandsT<V>>(&ops_);
+  NMDT_CHECK_CONFIG(ops != nullptr,
+                    std::string("plan operands requested at precision ") +
+                        precision_name(VTraits<V>::kPrecision) + " but plan was built at " +
+                        precision_name(precision()));
+  return *ops;
+}
 
 /// One-shot planning without a cache.
 std::shared_ptr<const SpmmPlan> build_plan(const Csr& A, const PlanOptions& opts = {});

@@ -1,5 +1,6 @@
 #include "core/spmm_engine.hpp"
 
+#include "formats/retype.hpp"
 #include "util/error.hpp"
 
 namespace nmdt {
@@ -16,7 +17,8 @@ SpmmEngine::SpmmEngine(EngineOptions options) : options_(std::move(options)) {
 }
 
 PlanOptions SpmmEngine::plan_options() const {
-  return {options_.spmm.tiling, options_.ssf_threshold, options_.profile_sample_fraction};
+  return {options_.spmm.tiling, options_.ssf_threshold, options_.profile_sample_fraction,
+          options_.spmm.precision};
 }
 
 std::shared_ptr<const SpmmPlan> SpmmEngine::plan_for(const Csr& A, bool* was_hit) const {
@@ -46,8 +48,29 @@ SpmmReport SpmmEngine::run(const Csr& A, const DenseMatrix& B) const {
   report.result = executor.execute(*plan, B);
 
   if (options_.verify) {
-    const DenseMatrix ref = spmm_reference(A, B);
-    report.max_abs_error = report.result.C.max_abs_diff(ref);
+    if (options_.spmm.precision == Precision::kF32) {
+      // The historical exact path, untouched: f32 kernels are bitwise
+      // deterministic against the f32 reference.
+      const DenseMatrix ref = spmm_reference(A, B);
+      report.max_abs_error = report.result.C.max_abs_diff(ref);
+    } else {
+      // Cross-precision verification: widen everything to binary64 and
+      // apply the fSPMV bound with per-row accumulation headroom.
+      dispatch_precision(options_.spmm.precision, [&](auto tag) {
+        using V = typename decltype(tag)::type;
+        const CsrT<V>& a = plan->operands_at<V>().csr;
+        const DenseMatrixT<V> b = retype<V>(B);
+        const DenseMatrixT<double> ref = spmm_reference_f64(a, b);
+        const DenseMatrixT<double> actual = options_.spmm.precision == Precision::kF64
+                                                ? report.result.C64
+                                                : retype<double>(report.result.C);
+        report.max_abs_error = actual.max_abs_diff(ref);
+        const double eps = options_.verify_eps > 0.0
+                               ? options_.verify_eps
+                               : default_tolerance(options_.spmm.precision);
+        report.tolerance = ToleranceComparator(eps).compare(ref, actual, a, b);
+      });
+    }
   }
   if (options_.run_baseline) {
     report.baseline = executor.execute(KernelKind::kCsrCStationaryRowWarp, *plan, B);

@@ -16,6 +16,7 @@
 
 #include "core/executor.hpp"
 #include "core/plan.hpp"
+#include "transform/comparator.hpp"
 
 namespace nmdt {
 
@@ -26,8 +27,15 @@ struct EngineOptions {
   /// re-derives it); pass a trained value for other workload mixes.
   double ssf_threshold = default_ssf_threshold();
   /// Verify the kernel output against the dense reference (the paper
-  /// verifies against cuSPARSE output, Sec. 5.1).
+  /// verifies against cuSPARSE output, Sec. 5.1).  At the canonical f32
+  /// precision the comparison is the historical exact max-abs-diff
+  /// check; at other precisions the binary64 reference is compared
+  /// under the fSPMV tolerance bound (transform/comparator.hpp) with
+  /// `verify_eps`.
   bool verify = true;
+  /// Tolerance for non-f32 verification; <= 0 uses the precision's
+  /// default_tolerance().
+  double verify_eps = 0.0;
   /// Also run the baseline kernel and report speedup.
   bool run_baseline = true;
   /// Row fraction used to profile A; 1.0 scans the full matrix, smaller
@@ -49,6 +57,9 @@ struct SpmmReport {
   std::optional<SpmmResult> baseline;  ///< CSR C-stationary row-per-warp
   double speedup_vs_baseline = 1.0;
   double max_abs_error = 0.0;  ///< vs dense reference when verify = true
+  /// Tolerance verdict of the fSPMV-bound comparison; engaged only for
+  /// non-f32 runs with verify = true (f32 keeps the exact check above).
+  std::optional<ToleranceVerdict> tolerance;
   /// True when the plan (profile + conversions) came from the cache —
   /// i.e. this call performed no profiling or format conversion.
   bool plan_cache_hit = false;

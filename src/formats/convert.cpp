@@ -6,12 +6,13 @@
 
 namespace nmdt {
 
-Csr csr_from_coo(const Coo& coo_in) {
+template <class V>
+CsrT<V> csr_from_coo(const CooT<V>& coo_in) {
   coo_in.validate();
-  Coo coo = coo_in;
+  CooT<V> coo = coo_in;
   coo.coalesce();
 
-  Csr csr;
+  CsrT<V> csr;
   csr.rows = coo.rows;
   csr.cols = coo.cols;
   csr.row_ptr.assign(static_cast<usize>(coo.rows) + 1, 0);
@@ -31,8 +32,9 @@ Csr csr_from_coo(const Coo& coo_in) {
   return csr;
 }
 
-Coo coo_from_csr(const Csr& csr) {
-  Coo coo;
+template <class V>
+CooT<V> coo_from_csr(const CsrT<V>& csr) {
+  CooT<V> coo;
   coo.rows = csr.rows;
   coo.cols = csr.cols;
   coo.row.reserve(csr.val.size());
@@ -44,8 +46,9 @@ Coo coo_from_csr(const Csr& csr) {
   return coo;
 }
 
-Csc csc_from_csr(const Csr& csr) {
-  Csc csc;
+template <class V>
+CscT<V> csc_from_csr(const CsrT<V>& csr) {
+  CscT<V> csc;
   csc.rows = csr.rows;
   csc.cols = csr.cols;
   csc.col_ptr.assign(static_cast<usize>(csr.cols) + 1, 0);
@@ -68,8 +71,9 @@ Csc csc_from_csr(const Csr& csr) {
   return csc;
 }
 
-Csr csr_from_csc(const Csc& csc) {
-  Csr csr;
+template <class V>
+CsrT<V> csr_from_csc(const CscT<V>& csc) {
+  CsrT<V> csr;
   csr.rows = csc.rows;
   csr.cols = csc.cols;
   csr.row_ptr.assign(static_cast<usize>(csc.rows) + 1, 0);
@@ -91,10 +95,14 @@ Csr csr_from_csc(const Csc& csc) {
   return csr;
 }
 
-Csc csc_from_coo(const Coo& coo) { return csc_from_csr(csr_from_coo(coo)); }
+template <class V>
+CscT<V> csc_from_coo(const CooT<V>& coo) {
+  return csc_from_csr(csr_from_coo(coo));
+}
 
-Dcsr dcsr_from_csr(const Csr& csr) {
-  Dcsr d;
+template <class V>
+DcsrT<V> dcsr_from_csr(const CsrT<V>& csr) {
+  DcsrT<V> d;
   d.rows = csr.rows;
   d.cols = csr.cols;
   d.col_idx = csr.col_idx;
@@ -108,8 +116,9 @@ Dcsr dcsr_from_csr(const Csr& csr) {
   return d;
 }
 
-Csr csr_from_dcsr(const Dcsr& d) {
-  Csr csr;
+template <class V>
+CsrT<V> csr_from_dcsr(const DcsrT<V>& d) {
+  CsrT<V> csr;
   csr.rows = d.rows;
   csr.cols = d.cols;
   csr.col_idx = d.col_idx;
@@ -122,8 +131,9 @@ Csr csr_from_dcsr(const Dcsr& d) {
   return csr;
 }
 
-DenseMatrix dense_from_csr(const Csr& csr) {
-  DenseMatrix m(csr.rows, csr.cols, 0.0f);
+template <class V>
+DenseMatrixT<V> dense_from_csr(const CsrT<V>& csr) {
+  DenseMatrixT<V> m(csr.rows, csr.cols, V{});
   for (index_t r = 0; r < csr.rows; ++r) {
     for (index_t k = csr.row_ptr[r]; k < csr.row_ptr[r + 1]; ++k) {
       m.at(r, csr.col_idx[k]) = csr.val[k];
@@ -132,16 +142,35 @@ DenseMatrix dense_from_csr(const Csr& csr) {
   return m;
 }
 
-Csr csr_from_dense(const DenseMatrix& m, value_t zero_tolerance) {
-  Coo coo;
+template <class V>
+CsrT<V> csr_from_dense(const DenseMatrixT<V>& m, V zero_tolerance) {
+  CooT<V> coo;
   coo.rows = m.rows();
   coo.cols = m.cols();
+  const double tol = std::abs(VTraits<V>::to_f64(zero_tolerance));
   for (index_t r = 0; r < m.rows(); ++r) {
     for (index_t c = 0; c < m.cols(); ++c) {
-      if (std::abs(m.at(r, c)) > zero_tolerance) coo.push(r, c, m.at(r, c));
+      if (std::abs(VTraits<V>::to_f64(m.at(r, c))) > tol) coo.push(r, c, m.at(r, c));
     }
   }
   return csr_from_coo(coo);
 }
+
+#define NMDT_INSTANTIATE_CONVERT(V)                                      \
+  template CsrT<V> csr_from_coo(const CooT<V>&);                         \
+  template CooT<V> coo_from_csr(const CsrT<V>&);                         \
+  template CscT<V> csc_from_csr(const CsrT<V>&);                         \
+  template CsrT<V> csr_from_csc(const CscT<V>&);                         \
+  template CscT<V> csc_from_coo(const CooT<V>&);                         \
+  template DcsrT<V> dcsr_from_csr(const CsrT<V>&);                       \
+  template CsrT<V> csr_from_dcsr(const DcsrT<V>&);                       \
+  template DenseMatrixT<V> dense_from_csr(const CsrT<V>&);               \
+  template CsrT<V> csr_from_dense(const DenseMatrixT<V>&, V)
+
+NMDT_INSTANTIATE_CONVERT(float);
+NMDT_INSTANTIATE_CONVERT(double);
+NMDT_INSTANTIATE_CONVERT(bf16_t);
+
+#undef NMDT_INSTANTIATE_CONVERT
 
 }  // namespace nmdt

@@ -6,6 +6,10 @@
 // (Sec. 3.3) that the online engine eliminates.  transform/ implements
 // the hardware engine; tests assert its output is bit-identical to
 // tiled_dcsr_from_* here.
+//
+// Every conversion is templated on the stored value scalar V
+// (util/precision.hpp): structural conversions permute values without
+// rounding, so converting-then-retyping equals retyping-then-converting.
 #pragma once
 
 #include "formats/coo.hpp"
@@ -16,19 +20,28 @@
 
 namespace nmdt {
 
-Csr csr_from_coo(const Coo& coo);   ///< duplicates are summed
-Coo coo_from_csr(const Csr& csr);
+template <class V>
+CsrT<V> csr_from_coo(const CooT<V>& coo);  ///< duplicates are summed
+template <class V>
+CooT<V> coo_from_csr(const CsrT<V>& csr);
 
-Csc csc_from_csr(const Csr& csr);
-Csr csr_from_csc(const Csc& csc);
-Csc csc_from_coo(const Coo& coo);
+template <class V>
+CscT<V> csc_from_csr(const CsrT<V>& csr);
+template <class V>
+CsrT<V> csr_from_csc(const CscT<V>& csc);
+template <class V>
+CscT<V> csc_from_coo(const CooT<V>& coo);
 
 /// Densify: drop empty rows into the row_idx indirection (Fig. 6 right).
-Dcsr dcsr_from_csr(const Csr& csr);
-Csr csr_from_dcsr(const Dcsr& dcsr);
+template <class V>
+DcsrT<V> dcsr_from_csr(const CsrT<V>& csr);
+template <class V>
+CsrT<V> csr_from_dcsr(const DcsrT<V>& dcsr);
 
 /// Expand to a dense matrix (testing / small examples only).
-DenseMatrix dense_from_csr(const Csr& csr);
-Csr csr_from_dense(const DenseMatrix& m, value_t zero_tolerance = 0.0f);
+template <class V>
+DenseMatrixT<V> dense_from_csr(const CsrT<V>& csr);
+template <class V>
+CsrT<V> csr_from_dense(const DenseMatrixT<V>& m, V zero_tolerance = V{});
 
 }  // namespace nmdt

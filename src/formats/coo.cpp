@@ -7,19 +7,22 @@
 
 namespace nmdt {
 
-double Coo::density() const {
+template <class V>
+double CooT<V>::density() const {
   if (rows <= 0 || cols <= 0) return 0.0;
   return static_cast<double>(nnz()) /
          (static_cast<double>(rows) * static_cast<double>(cols));
 }
 
-void Coo::push(index_t r, index_t c, value_t v) {
+template <class V>
+void CooT<V>::push(index_t r, index_t c, V v) {
   row.push_back(r);
   col.push_back(c);
   val.push_back(v);
 }
 
-void Coo::coalesce() {
+template <class V>
+void CooT<V>::coalesce() {
   const usize n = val.size();
   std::vector<usize> order(n);
   std::iota(order.begin(), order.end(), usize{0});
@@ -29,13 +32,14 @@ void Coo::coalesce() {
   });
 
   std::vector<index_t> nr, nc;
-  std::vector<value_t> nv;
+  std::vector<V> nv;
   nr.reserve(n);
   nc.reserve(n);
   nv.reserve(n);
   for (usize k : order) {
     if (!nr.empty() && nr.back() == row[k] && nc.back() == col[k]) {
-      nv.back() += val[k];
+      nv.back() = VTraits<V>::from_compute(VTraits<V>::to_compute(nv.back()) +
+                                           VTraits<V>::to_compute(val[k]));
     } else {
       nr.push_back(row[k]);
       nc.push_back(col[k]);
@@ -47,7 +51,8 @@ void Coo::coalesce() {
   val = std::move(nv);
 }
 
-void Coo::validate() const {
+template <class V>
+void CooT<V>::validate() const {
   NMDT_REQUIRE(rows >= 0 && cols >= 0, "COO dimensions must be non-negative");
   NMDT_REQUIRE(row.size() == val.size() && col.size() == val.size(),
                "COO vectors must have equal length");
@@ -58,5 +63,9 @@ void Coo::validate() const {
                  "COO column coordinate out of range at entry " + std::to_string(k));
   }
 }
+
+template struct CooT<float>;
+template struct CooT<double>;
+template struct CooT<bf16_t>;
 
 }  // namespace nmdt

@@ -6,13 +6,15 @@
 
 namespace nmdt {
 
-double Csc::density() const {
+template <class V>
+double CscT<V>::density() const {
   if (rows <= 0 || cols <= 0) return 0.0;
   return static_cast<double>(nnz()) /
          (static_cast<double>(rows) * static_cast<double>(cols));
 }
 
-void Csc::validate() const {
+template <class V>
+void CscT<V>::validate() const {
   NMDT_REQUIRE(rows >= 0 && cols >= 0, "CSC dimensions must be non-negative");
   NMDT_REQUIRE(col_ptr.size() == static_cast<usize>(cols) + 1,
                "CSC col_ptr must have cols+1 entries");
@@ -34,5 +36,9 @@ void Csc::validate() const {
     }
   }
 }
+
+template struct CscT<float>;
+template struct CscT<double>;
+template struct CscT<bf16_t>;
 
 }  // namespace nmdt

@@ -6,13 +6,15 @@
 
 namespace nmdt {
 
-double Csr::density() const {
+template <class V>
+double CsrT<V>::density() const {
   if (rows <= 0 || cols <= 0) return 0.0;
   return static_cast<double>(nnz()) /
          (static_cast<double>(rows) * static_cast<double>(cols));
 }
 
-i64 Csr::nonzero_rows() const {
+template <class V>
+i64 CsrT<V>::nonzero_rows() const {
   i64 n = 0;
   for (index_t r = 0; r < rows; ++r) {
     if (!row_empty(r)) ++n;
@@ -20,7 +22,8 @@ i64 Csr::nonzero_rows() const {
   return n;
 }
 
-void Csr::validate() const {
+template <class V>
+void CsrT<V>::validate() const {
   NMDT_REQUIRE(rows >= 0 && cols >= 0, "CSR dimensions must be non-negative");
   NMDT_REQUIRE(row_ptr.size() == static_cast<usize>(rows) + 1,
                "CSR row_ptr must have rows+1 entries");
@@ -42,5 +45,9 @@ void Csr::validate() const {
     }
   }
 }
+
+template struct CsrT<float>;
+template struct CsrT<double>;
+template struct CsrT<bf16_t>;
 
 }  // namespace nmdt

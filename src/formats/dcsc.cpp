@@ -6,7 +6,8 @@
 
 namespace nmdt {
 
-void Dcsc::validate() const {
+template <class V>
+void DcscT<V>::validate() const {
   NMDT_REQUIRE(rows >= 0 && cols >= 0, "DCSC dimensions must be non-negative");
   NMDT_REQUIRE(col_ptr.size() == col_idx.size() + 1,
                "DCSC col_ptr must have nnz_cols+1 entries");
@@ -31,8 +32,9 @@ void Dcsc::validate() const {
   }
 }
 
-Dcsc dcsc_from_csc(const Csc& csc) {
-  Dcsc d;
+template <class V>
+DcscT<V> dcsc_from_csc(const CscT<V>& csc) {
+  DcscT<V> d;
   d.rows = csc.rows;
   d.cols = csc.cols;
   d.row_idx = csc.row_idx;
@@ -46,8 +48,9 @@ Dcsc dcsc_from_csc(const Csc& csc) {
   return d;
 }
 
-Csc csc_from_dcsc(const Dcsc& d) {
-  Csc csc;
+template <class V>
+CscT<V> csc_from_dcsc(const DcscT<V>& d) {
+  CscT<V> csc;
   csc.rows = d.rows;
   csc.cols = d.cols;
   csc.row_idx = d.row_idx;
@@ -60,8 +63,9 @@ Csc csc_from_dcsc(const Dcsc& d) {
   return csc;
 }
 
-Csc transpose_view(const Csr& csr) {
-  Csc out;
+template <class V>
+CscT<V> transpose_view(const CsrT<V>& csr) {
+  CscT<V> out;
   out.rows = csr.cols;  // transpose: A^T is cols x rows
   out.cols = csr.rows;
   out.col_ptr = csr.row_ptr;
@@ -70,8 +74,9 @@ Csc transpose_view(const Csr& csr) {
   return out;
 }
 
-Csr transpose_view(const Csc& csc) {
-  Csr out;
+template <class V>
+CsrT<V> transpose_view(const CscT<V>& csc) {
+  CsrT<V> out;
   out.rows = csc.cols;
   out.cols = csc.rows;
   out.row_ptr = csc.col_ptr;
@@ -79,5 +84,22 @@ Csr transpose_view(const Csc& csc) {
   out.val = csc.val;
   return out;
 }
+
+template struct DcscT<float>;
+template struct DcscT<double>;
+template struct DcscT<bf16_t>;
+
+template DcscT<float> dcsc_from_csc(const CscT<float>&);
+template DcscT<double> dcsc_from_csc(const CscT<double>&);
+template DcscT<bf16_t> dcsc_from_csc(const CscT<bf16_t>&);
+template CscT<float> csc_from_dcsc(const DcscT<float>&);
+template CscT<double> csc_from_dcsc(const DcscT<double>&);
+template CscT<bf16_t> csc_from_dcsc(const DcscT<bf16_t>&);
+template CscT<float> transpose_view(const CsrT<float>&);
+template CscT<double> transpose_view(const CsrT<double>&);
+template CscT<bf16_t> transpose_view(const CsrT<bf16_t>&);
+template CsrT<float> transpose_view(const CscT<float>&);
+template CsrT<double> transpose_view(const CscT<double>&);
+template CsrT<bf16_t> transpose_view(const CscT<bf16_t>&);
 
 }  // namespace nmdt

@@ -8,6 +8,9 @@
 // index.  Structurally it is a Dcsr of the transpose, and the
 // conversion engine produces it by walking CSR rows exactly as it walks
 // CSC columns (transform/engine.hpp::convert_strip_dcsc).
+//
+// Templated on the stored value scalar V (util/precision.hpp); `Dcsc`
+// aliases the default-precision instantiation.
 #pragma once
 
 #include <span>
@@ -15,17 +18,21 @@
 
 #include "formats/csc.hpp"
 #include "formats/csr.hpp"
+#include "util/precision.hpp"
 #include "util/types.hpp"
 
 namespace nmdt {
 
-struct Dcsc {
+template <class V>
+struct DcscT {
+  using value_type = V;
+
   index_t rows = 0;
   index_t cols = 0;
   std::vector<index_t> col_idx;  ///< non-empty columns, strictly ascending
   std::vector<index_t> col_ptr;  ///< nnz_cols+1 entries
   std::vector<index_t> row_idx;  ///< nnz entries
-  std::vector<value_t> val;      ///< nnz entries
+  std::vector<V> val;            ///< nnz entries
 
   i64 nnz() const { return static_cast<i64>(val.size()); }
   i64 nnz_cols() const { return static_cast<i64>(col_idx.size()); }
@@ -36,34 +43,47 @@ struct Dcsc {
   std::span<const index_t> dense_col_rows(i64 k) const {
     return {row_idx.data() + col_ptr[k], static_cast<usize>(dense_col_nnz(k))};
   }
-  std::span<const value_t> dense_col_vals(i64 k) const {
+  std::span<const V> dense_col_vals(i64 k) const {
     return {val.data() + col_ptr[k], static_cast<usize>(dense_col_nnz(k))};
   }
 
   void validate() const;
 };
 
+using Dcsc = DcscT<value_t>;
+
+extern template struct DcscT<float>;
+extern template struct DcscT<double>;
+extern template struct DcscT<bf16_t>;
+
 /// Densify: drop empty columns of a CSC matrix.
-Dcsc dcsc_from_csc(const Csc& csc);
-Csc csc_from_dcsc(const Dcsc& dcsc);
+template <class V>
+DcscT<V> dcsc_from_csc(const CscT<V>& csc);
+template <class V>
+CscT<V> csc_from_dcsc(const DcscT<V>& dcsc);
 
 /// Reinterpret a CSR matrix as the CSC of its transpose (pure copy of
 /// the three vectors with dimensions swapped) — the relabeling that
 /// lets one engine datapath serve both conversion directions.
-Csc transpose_view(const Csr& csr);
-Csr transpose_view(const Csc& csc);
+template <class V>
+CscT<V> transpose_view(const CsrT<V>& csr);
+template <class V>
+CsrT<V> transpose_view(const CscT<V>& csc);
 
 /// One tile of A in DCSC form, produced from a *horizontal* strip of
 /// `strip_width` rows advancing `tile_height` columns per request.
 /// Local coordinates, mirroring DcsrTile.
-struct DcscTile {
+template <class V>
+struct DcscTileT {
   index_t strip_id = 0;   ///< horizontal strip index (rows)
   index_t row_begin = 0;  ///< global row of the strip's first row
   index_t col_begin = 0;  ///< global column of the tile's first column
-  Dcsc body;
+  DcscT<V> body;
 
   i64 nnz() const { return body.nnz(); }
   i64 nnz_cols() const { return body.nnz_cols(); }
 };
+
+using DcscTile = DcscTileT<value_t>;
 
 }  // namespace nmdt

@@ -6,7 +6,8 @@
 
 namespace nmdt {
 
-void Dcsr::validate() const {
+template <class V>
+void DcsrT<V>::validate() const {
   NMDT_REQUIRE(rows >= 0 && cols >= 0, "DCSR dimensions must be non-negative");
   NMDT_REQUIRE(row_ptr.size() == row_idx.size() + 1,
                "DCSR row_ptr must have nnz_rows+1 entries");
@@ -29,5 +30,9 @@ void Dcsr::validate() const {
                  "DCSR column index out of range at entry " + std::to_string(k));
   }
 }
+
+template struct DcsrT<float>;
+template struct DcsrT<double>;
+template struct DcsrT<bf16_t>;
 
 }  // namespace nmdt

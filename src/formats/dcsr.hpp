@@ -5,22 +5,29 @@
 // into, ~99% of rows are empty (Fig. 5), so DCSR removes both the
 // redundant row_ptr traffic and the wasted warp slots spent skipping
 // empty rows.
+//
+// Templated on the stored value scalar V (util/precision.hpp); `Dcsr`
+// aliases the default-precision instantiation.
 #pragma once
 
 #include <span>
 #include <vector>
 
+#include "util/precision.hpp"
 #include "util/types.hpp"
 
 namespace nmdt {
 
-struct Dcsr {
+template <class V>
+struct DcsrT {
+  using value_type = V;
+
   index_t rows = 0;  ///< logical row count (including empty rows)
   index_t cols = 0;  ///< logical column count
   std::vector<index_t> row_idx;  ///< non-empty rows, strictly ascending
   std::vector<index_t> row_ptr;  ///< nnz_rows+1 entries
   std::vector<index_t> col_idx;  ///< nnz entries
-  std::vector<value_t> val;      ///< nnz entries
+  std::vector<V> val;            ///< nnz entries
 
   i64 nnz() const { return static_cast<i64>(val.size()); }
   i64 nnz_rows() const { return static_cast<i64>(row_idx.size()); }
@@ -33,11 +40,17 @@ struct Dcsr {
   std::span<const index_t> dense_row_cols(i64 k) const {
     return {col_idx.data() + row_ptr[k], static_cast<usize>(dense_row_nnz(k))};
   }
-  std::span<const value_t> dense_row_vals(i64 k) const {
+  std::span<const V> dense_row_vals(i64 k) const {
     return {val.data() + row_ptr[k], static_cast<usize>(dense_row_nnz(k))};
   }
 
   void validate() const;
 };
+
+using Dcsr = DcsrT<value_t>;
+
+extern template struct DcsrT<float>;
+extern template struct DcsrT<double>;
+extern template struct DcsrT<bf16_t>;
 
 }  // namespace nmdt

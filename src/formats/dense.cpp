@@ -7,26 +7,39 @@
 
 namespace nmdt {
 
-DenseMatrix::DenseMatrix(index_t rows, index_t cols, value_t fill_value)
+template <class V>
+DenseMatrixT<V>::DenseMatrixT(index_t rows, index_t cols, V fill_value)
     : rows_(rows), cols_(cols) {
   NMDT_REQUIRE(rows >= 0 && cols >= 0, "DenseMatrix dimensions must be non-negative");
   data_.assign(static_cast<usize>(rows) * static_cast<usize>(cols), fill_value);
 }
 
-void DenseMatrix::fill(value_t v) { std::fill(data_.begin(), data_.end(), v); }
-
-void DenseMatrix::randomize(Rng& rng) {
-  for (auto& x : data_) x = static_cast<value_t>(rng.uniform(-1.0, 1.0));
+template <class V>
+void DenseMatrixT<V>::fill(V v) {
+  std::fill(data_.begin(), data_.end(), v);
 }
 
-double DenseMatrix::max_abs_diff(const DenseMatrix& other) const {
+template <class V>
+void DenseMatrixT<V>::randomize(Rng& rng) {
+  for (auto& x : data_) {
+    x = VTraits<V>::from_f32(static_cast<float>(rng.uniform(-1.0, 1.0)));
+  }
+}
+
+template <class V>
+double DenseMatrixT<V>::max_abs_diff(const DenseMatrixT<V>& other) const {
   NMDT_REQUIRE(rows_ == other.rows_ && cols_ == other.cols_,
                "max_abs_diff requires matrices of equal shape");
   double worst = 0.0;
   for (usize i = 0; i < data_.size(); ++i) {
-    worst = std::max(worst, std::abs(static_cast<double>(data_[i]) - other.data_[i]));
+    worst = std::max(worst, std::abs(VTraits<V>::to_f64(data_[i]) -
+                                     VTraits<V>::to_f64(other.data_[i])));
   }
   return worst;
 }
+
+template class DenseMatrixT<float>;
+template class DenseMatrixT<double>;
+template class DenseMatrixT<bf16_t>;
 
 }  // namespace nmdt

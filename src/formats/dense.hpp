@@ -2,51 +2,69 @@
 // output C of SpMM.  Row-major keeps a warp's K-wide access to one row
 // of B contiguous, which is the layout the paper's row-per-warp mapping
 // assumes.
+//
+// Templated on the stored value scalar V (util/precision.hpp);
+// `DenseMatrix` aliases the default-precision instantiation.
 #pragma once
 
 #include <span>
 #include <vector>
 
+#include "util/precision.hpp"
 #include "util/rng.hpp"
 #include "util/types.hpp"
 
 namespace nmdt {
 
-class DenseMatrix {
+template <class V>
+class DenseMatrixT {
  public:
-  DenseMatrix() = default;
-  DenseMatrix(index_t rows, index_t cols, value_t fill = 0.0f);
+  using value_type = V;
+
+  DenseMatrixT() = default;
+  DenseMatrixT(index_t rows, index_t cols, V fill = V{});
 
   index_t rows() const { return rows_; }
   index_t cols() const { return cols_; }
-  i64 size_bytes() const { return static_cast<i64>(data_.size()) * kValueBytes; }
-
-  value_t& at(index_t r, index_t c) { return data_[static_cast<usize>(r) * cols_ + c]; }
-  value_t at(index_t r, index_t c) const { return data_[static_cast<usize>(r) * cols_ + c]; }
-
-  std::span<value_t> row(index_t r) {
-    return {data_.data() + static_cast<usize>(r) * cols_, static_cast<usize>(cols_)};
-  }
-  std::span<const value_t> row(index_t r) const {
-    return {data_.data() + static_cast<usize>(r) * cols_, static_cast<usize>(cols_)};
+  i64 size_bytes() const {
+    return static_cast<i64>(data_.size()) * static_cast<i64>(sizeof(V));
   }
 
-  std::span<const value_t> data() const { return data_; }
-  std::span<value_t> data() { return data_; }
+  V& at(index_t r, index_t c) { return data_[static_cast<usize>(r) * cols_ + c]; }
+  V at(index_t r, index_t c) const { return data_[static_cast<usize>(r) * cols_ + c]; }
 
-  void fill(value_t v);
+  std::span<V> row(index_t r) {
+    return {data_.data() + static_cast<usize>(r) * cols_, static_cast<usize>(cols_)};
+  }
+  std::span<const V> row(index_t r) const {
+    return {data_.data() + static_cast<usize>(r) * cols_, static_cast<usize>(cols_)};
+  }
+
+  std::span<const V> data() const { return data_; }
+  std::span<V> data() { return data_; }
+
+  void fill(V v);
 
   /// Fill with uniform values in [-1, 1); deterministic given the rng.
+  /// Values are drawn as binary32 and narrowed/widened into V, so the
+  /// same seed yields the same *canonical* value at every precision
+  /// (modulo the precision's own storage rounding).
   void randomize(Rng& rng);
 
   /// Max absolute elementwise difference to another matrix of the same
   /// shape (throws FormatError on shape mismatch).
-  double max_abs_diff(const DenseMatrix& other) const;
+  double max_abs_diff(const DenseMatrixT& other) const;
 
  private:
   index_t rows_ = 0;
   index_t cols_ = 0;
-  std::vector<value_t> data_;
+  std::vector<V> data_;
 };
+
+using DenseMatrix = DenseMatrixT<value_t>;
+
+extern template class DenseMatrixT<float>;
+extern template class DenseMatrixT<double>;
+extern template class DenseMatrixT<bf16_t>;
 
 }  // namespace nmdt

@@ -22,7 +22,8 @@ u64 MatrixFingerprint::combined() const {
   return h;
 }
 
-MatrixFingerprint fingerprint_of(const Csr& csr) {
+template <class V>
+MatrixFingerprint fingerprint_of(const CsrT<V>& csr) {
   MatrixFingerprint fp;
   fp.rows = csr.rows;
   fp.cols = csr.cols;
@@ -31,8 +32,12 @@ MatrixFingerprint fingerprint_of(const Csr& csr) {
       fnv1a64(csr.row_ptr.data(), csr.row_ptr.size() * sizeof(index_t));
   fp.structure_hash = fnv1a64(csr.col_idx.data(),
                               csr.col_idx.size() * sizeof(index_t), fp.structure_hash);
-  fp.value_hash = fnv1a64(csr.val.data(), csr.val.size() * sizeof(value_t));
+  fp.value_hash = fnv1a64(csr.val.data(), csr.val.size() * sizeof(V));
   return fp;
 }
+
+template MatrixFingerprint fingerprint_of(const CsrT<float>&);
+template MatrixFingerprint fingerprint_of(const CsrT<double>&);
+template MatrixFingerprint fingerprint_of(const CsrT<bf16_t>&);
 
 }  // namespace nmdt

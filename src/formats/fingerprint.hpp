@@ -35,6 +35,11 @@ struct MatrixFingerprint {
 /// FNV-1a 64-bit over a byte range, chainable via `seed`.
 u64 fnv1a64(const void* data, usize len, u64 seed = 0xcbf29ce484222325ULL);
 
-MatrixFingerprint fingerprint_of(const Csr& csr);
+/// Works at any value precision; the value hash covers the raw stored
+/// bytes (sizeof(V) per element), so the same matrix retyped to another
+/// precision fingerprints differently — as it must, since the stored
+/// numerics differ.
+template <class V>
+MatrixFingerprint fingerprint_of(const CsrT<V>& csr);
 
 }  // namespace nmdt

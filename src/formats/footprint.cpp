@@ -2,32 +2,36 @@
 
 namespace nmdt {
 
-Footprint footprint(const Csr& m) {
+template <class V>
+Footprint footprint(const CsrT<V>& m) {
   Footprint f;
-  f.data_bytes = m.nnz() * kValueBytes;
+  f.data_bytes = m.nnz() * static_cast<i64>(sizeof(V));
   f.metadata_bytes = m.nnz() * kIndexBytes +
                      static_cast<i64>(m.row_ptr.size()) * kIndexBytes;
   return f;
 }
 
-Footprint footprint(const Csc& m) {
+template <class V>
+Footprint footprint(const CscT<V>& m) {
   Footprint f;
-  f.data_bytes = m.nnz() * kValueBytes;
+  f.data_bytes = m.nnz() * static_cast<i64>(sizeof(V));
   f.metadata_bytes = m.nnz() * kIndexBytes +
                      static_cast<i64>(m.col_ptr.size()) * kIndexBytes;
   return f;
 }
 
-Footprint footprint(const Dcsr& m) {
+template <class V>
+Footprint footprint(const DcsrT<V>& m) {
   Footprint f;
-  f.data_bytes = m.nnz() * kValueBytes;
+  f.data_bytes = m.nnz() * static_cast<i64>(sizeof(V));
   f.metadata_bytes = m.nnz() * kIndexBytes +
                      static_cast<i64>(m.row_ptr.size()) * kIndexBytes +
                      static_cast<i64>(m.row_idx.size()) * kIndexBytes;
   return f;
 }
 
-Footprint footprint(const TiledCsr& m) {
+template <class V>
+Footprint footprint(const TiledCsrT<V>& m) {
   Footprint f;
   for (const auto& strip : m.strips) {
     for (const auto& tile : strip) f += footprint(tile.body);
@@ -35,7 +39,8 @@ Footprint footprint(const TiledCsr& m) {
   return f;
 }
 
-Footprint footprint(const TiledDcsr& m) {
+template <class V>
+Footprint footprint(const TiledDcsrT<V>& m) {
   Footprint f;
   for (const auto& strip : m.strips) {
     for (const auto& tile : strip) f += footprint(tile.body);
@@ -43,8 +48,21 @@ Footprint footprint(const TiledDcsr& m) {
   return f;
 }
 
-i64 csr_bytes(i64 rows, i64 nnz) {
-  return (kValueBytes + kIndexBytes) * nnz + kIndexBytes * (rows + 1);
+i64 csr_bytes(i64 rows, i64 nnz, i64 value_bytes) {
+  return (value_bytes + kIndexBytes) * nnz + kIndexBytes * (rows + 1);
 }
+
+#define NMDT_INSTANTIATE_FOOTPRINT(V)                 \
+  template Footprint footprint(const CsrT<V>&);       \
+  template Footprint footprint(const CscT<V>&);       \
+  template Footprint footprint(const DcsrT<V>&);      \
+  template Footprint footprint(const TiledCsrT<V>&);  \
+  template Footprint footprint(const TiledDcsrT<V>&)
+
+NMDT_INSTANTIATE_FOOTPRINT(float);
+NMDT_INSTANTIATE_FOOTPRINT(double);
+NMDT_INSTANTIATE_FOOTPRINT(bf16_t);
+
+#undef NMDT_INSTANTIATE_FOOTPRINT
 
 }  // namespace nmdt

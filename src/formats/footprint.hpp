@@ -1,20 +1,25 @@
 // Storage-footprint accounting under the paper's byte conventions
-// (Sec. 2): 4 bytes per index, 4 bytes per value.
+// (Sec. 2): 4 bytes per index, sizeof(V) bytes per value.
 //
-//   CSR        : data 4·nnz,  metadata 4·nnz (col_idx) + 4·(rows+1)
-//   CSC        : data 4·nnz,  metadata 4·nnz (row_idx) + 4·(cols+1)
-//   DCSR       : data 4·nnz,  metadata 4·nnz + 4·(nnz_rows+1) + 4·nnz_rows
+//   CSR        : data v·nnz,  metadata 4·nnz (col_idx) + 4·(rows+1)
+//   CSC        : data v·nnz,  metadata 4·nnz (row_idx) + 4·(cols+1)
+//   DCSR       : data v·nnz,  metadata 4·nnz + 4·(nnz_rows+1) + 4·nnz_rows
 //   tiled CSR  : Σ tile CSR footprints — each tile pays a full
 //                (tile_rows+1) row_ptr even when nearly all rows are
 //                empty, which is the Fig. 8 pathology
 //   tiled DCSR : Σ tile DCSR footprints — the 1.3–1.4x-vs-untiled-CSR
 //                overhead of Fig. 9
+//
+// The value byte-width `v` follows the container's scalar type (4 at the
+// paper's FP32 default, 8 at f64, 2 at bf16); the analytical helpers
+// take it as an explicit parameter instead of assuming kValueBytes.
 #pragma once
 
 #include "formats/csc.hpp"
 #include "formats/csr.hpp"
 #include "formats/dcsr.hpp"
 #include "formats/tiling.hpp"
+#include "util/precision.hpp"
 
 namespace nmdt {
 
@@ -31,13 +36,19 @@ struct Footprint {
   }
 };
 
-Footprint footprint(const Csr& m);
-Footprint footprint(const Csc& m);
-Footprint footprint(const Dcsr& m);
-Footprint footprint(const TiledCsr& m);
-Footprint footprint(const TiledDcsr& m);
+template <class V>
+Footprint footprint(const CsrT<V>& m);
+template <class V>
+Footprint footprint(const CscT<V>& m);
+template <class V>
+Footprint footprint(const DcsrT<V>& m);
+template <class V>
+Footprint footprint(const TiledCsrT<V>& m);
+template <class V>
+Footprint footprint(const TiledDcsrT<V>& m);
 
-/// Analytical CSR size in bytes: 8·nnz + 4·(rows+1) (paper Sec. 2).
-i64 csr_bytes(i64 rows, i64 nnz);
+/// Analytical CSR size in bytes: (value_bytes+4)·nnz + 4·(rows+1)
+/// (paper Sec. 2 at value_bytes = 4).
+i64 csr_bytes(i64 rows, i64 nnz, i64 value_bytes = kValueBytes);
 
 }  // namespace nmdt

@@ -1,0 +1,66 @@
+// Precision re-typing of value arrays.
+//
+// The provenance rule for the precision axis (DESIGN.md "Precision
+// model"): matrices are generated/ingested at the canonical f32
+// precision, then *retyped* to the run's precision — widening to f64 is
+// exact, narrowing to bf16 applies the round-to-nearest-even store rule
+// once per element.  Structural conversions (CSR→CSC, tiling, ...) only
+// permute values, so retype-then-convert equals convert-then-retype and
+// every derived operand of a plan sees the same rounded value.
+#pragma once
+
+#include "formats/csc.hpp"
+#include "formats/csr.hpp"
+#include "formats/dense.hpp"
+#include "util/precision.hpp"
+
+namespace nmdt {
+
+/// One element VS → VD through binary64 (exact for every supported pair
+/// except the deliberate narrowing into bf16/f32 storage).
+template <class VD, class VS>
+VD convert_value(VS v) {
+  using CD = typename VTraits<VD>::compute_t;
+  return VTraits<VD>::from_compute(static_cast<CD>(VTraits<VS>::to_f64(v)));
+}
+
+template <class VD, class VS>
+std::vector<VD> retype_values(const std::vector<VS>& src) {
+  std::vector<VD> out;
+  out.reserve(src.size());
+  for (const VS& v : src) out.push_back(convert_value<VD>(v));
+  return out;
+}
+
+template <class VD, class VS>
+CsrT<VD> retype(const CsrT<VS>& m) {
+  CsrT<VD> out;
+  out.rows = m.rows;
+  out.cols = m.cols;
+  out.row_ptr = m.row_ptr;
+  out.col_idx = m.col_idx;
+  out.val = retype_values<VD>(m.val);
+  return out;
+}
+
+template <class VD, class VS>
+CscT<VD> retype(const CscT<VS>& m) {
+  CscT<VD> out;
+  out.rows = m.rows;
+  out.cols = m.cols;
+  out.col_ptr = m.col_ptr;
+  out.row_idx = m.row_idx;
+  out.val = retype_values<VD>(m.val);
+  return out;
+}
+
+template <class VD, class VS>
+DenseMatrixT<VD> retype(const DenseMatrixT<VS>& m) {
+  DenseMatrixT<VD> out(m.rows(), m.cols());
+  auto dst = out.data();
+  auto src = m.data();
+  for (usize i = 0; i < src.size(); ++i) dst[i] = convert_value<VD>(src[i]);
+  return out;
+}
+
+}  // namespace nmdt

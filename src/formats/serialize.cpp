@@ -7,6 +7,7 @@
 #include <iterator>
 #include <ostream>
 #include <sstream>
+#include <type_traits>
 
 #include "fault/fault.hpp"
 #include "util/crc32.hpp"
@@ -17,11 +18,21 @@ namespace nmdt {
 namespace {
 
 constexpr char kMagic[4] = {'N', 'M', 'D', 'T'};
-// Version 2 appends a CRC32 trailer over the kind + payload bytes;
-// version 1 (no checksum) is rejected with a re-save hint.
-constexpr u32 kVersion = 2;
+// Version 2 appends a CRC32 trailer over the kind + payload bytes and
+// implies 4-byte (FP32) values; version 3 additionally records the
+// value byte-width inside the payload.  Float matrices keep writing
+// version 2 so default-precision artifacts are byte-identical across
+// the precision refactor; version 1 (no checksum) is rejected with a
+// re-save hint.
+constexpr u32 kVersionF32 = 2;
+constexpr u32 kVersionTyped = 3;
 constexpr u32 kKindCsr = 1;
 constexpr u32 kKindDense = 2;
+
+template <class V>
+constexpr u32 stream_version() {
+  return std::is_same_v<V, float> ? kVersionF32 : kVersionTyped;
+}
 
 void write_u32(std::ostream& os, u32 v) {
   os.write(reinterpret_cast<const char*>(&v), sizeof(v));
@@ -38,9 +49,9 @@ void write_vector(std::ostream& os, const std::vector<T>& v) {
 }
 
 /// magic + version + payload + CRC32(payload) trailer.
-void write_stream(std::ostream& os, const std::string& payload) {
+void write_stream(std::ostream& os, u32 version, const std::string& payload) {
   os.write(kMagic, sizeof(kMagic));
-  write_u32(os, kVersion);
+  write_u32(os, version);
   os.write(payload.data(), static_cast<std::streamsize>(payload.size()));
   write_u32(os, crc32(payload.data(), payload.size()));
 }
@@ -84,10 +95,11 @@ struct PayloadReader {
 };
 
 /// Read magic + version, slurp the rest, verify the CRC32 trailer, and
-/// return the verified payload bytes.  Integrity failures (missing
-/// trailer, checksum mismatch) are detected-but-unrecoverable: the
-/// on-disk source of truth is damaged, so they surface as FormatError.
-std::string read_verified_payload(std::istream& is) {
+/// return the verified payload bytes (and the stream version via
+/// *version_out).  Integrity failures (missing trailer, checksum
+/// mismatch) are detected-but-unrecoverable: the on-disk source of
+/// truth is damaged, so they surface as FormatError.
+std::string read_verified_payload(std::istream& is, u32* version_out) {
   char magic[4] = {};
   is.read(magic, sizeof(magic));
   if (!is.good() || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
@@ -101,9 +113,10 @@ std::string read_verified_payload(std::istream& is) {
         "NMDT binary version 1 predates the checksum trailer; re-save the "
         "matrix with this version of the tools");
   }
-  if (version != kVersion) {
+  if (version != kVersionF32 && version != kVersionTyped) {
     throw ParseError("unsupported NMDT binary version " + std::to_string(version));
   }
+  *version_out = version;
   std::string rest((std::istreambuf_iterator<char>(is)),
                    std::istreambuf_iterator<char>());
   if (rest.size() < sizeof(u32)) {
@@ -129,61 +142,87 @@ void check_kind(u32 kind, u32 expected_kind) {
   }
 }
 
+/// Version-2 streams imply 4-byte FP32 values; version-3 streams carry
+/// the width after the kind word.  Either way the stored width must
+/// match the requested value type — no silent reinterpretation.
+template <class V>
+void check_value_width(u32 version, PayloadReader& r) {
+  const u32 stored = version == kVersionF32 ? static_cast<u32>(sizeof(float))
+                                            : r.read_u32("value width");
+  if (stored != sizeof(V)) {
+    throw ParseError("NMDT binary holds " + std::to_string(stored) +
+                     "-byte values; requested value type " +
+                     precision_name(VTraits<V>::kPrecision) + " is " +
+                     std::to_string(sizeof(V)) +
+                     "-byte — load at the stored precision and retype");
+  }
+}
+
 // 2^31 entries of 4 bytes = 8 GiB per vector: anything above is either
 // corruption or far outside this library's scale.
 constexpr i64 kSanityMax = i64{1} << 31;
 
 }  // namespace
 
-void save_csr(std::ostream& os, const Csr& m) {
+template <class V>
+void save_csr(std::ostream& os, const CsrT<V>& m) {
   m.validate();
   std::ostringstream buf(std::ios::binary);
   write_u32(buf, kKindCsr);
+  if (stream_version<V>() == kVersionTyped) write_u32(buf, sizeof(V));
   write_i64(buf, m.rows);
   write_i64(buf, m.cols);
   write_vector(buf, m.row_ptr);
   write_vector(buf, m.col_idx);
   write_vector(buf, m.val);
-  write_stream(os, buf.str());
+  write_stream(os, stream_version<V>(), buf.str());
   NMDT_REQUIRE(os.good(), "write failed while saving CSR");
 }
 
-Csr load_csr(std::istream& is) {
-  const std::string payload = read_verified_payload(is);
+template <class V>
+CsrT<V> load_csr(std::istream& is) {
+  u32 version = 0;
+  const std::string payload = read_verified_payload(is, &version);
   PayloadReader r{payload.data(), payload.size()};
   check_kind(r.read_u32("kind"), kKindCsr);
-  Csr m;
+  check_value_width<V>(version, r);
+  CsrT<V> m;
   m.rows = static_cast<index_t>(r.read_i64("rows"));
   m.cols = static_cast<index_t>(r.read_i64("cols"));
   m.row_ptr = r.read_vector<index_t>("row_ptr", kSanityMax);
   m.col_idx = r.read_vector<index_t>("col_idx", kSanityMax);
-  m.val = r.read_vector<value_t>("val", kSanityMax);
+  m.val = r.read_vector<V>("val", kSanityMax);
   m.validate();  // corruption that survives the checksum dies here
   return m;
 }
 
-void save_dense(std::ostream& os, const DenseMatrix& m) {
+template <class V>
+void save_dense(std::ostream& os, const DenseMatrixT<V>& m) {
   std::ostringstream buf(std::ios::binary);
   write_u32(buf, kKindDense);
+  if (stream_version<V>() == kVersionTyped) write_u32(buf, sizeof(V));
   write_i64(buf, m.rows());
   write_i64(buf, m.cols());
   buf.write(reinterpret_cast<const char*>(m.data().data()),
-            static_cast<std::streamsize>(m.data().size() * sizeof(value_t)));
-  write_stream(os, buf.str());
+            static_cast<std::streamsize>(m.data().size() * sizeof(V)));
+  write_stream(os, stream_version<V>(), buf.str());
   NMDT_REQUIRE(os.good(), "write failed while saving dense matrix");
 }
 
-DenseMatrix load_dense(std::istream& is) {
-  const std::string payload = read_verified_payload(is);
+template <class V>
+DenseMatrixT<V> load_dense(std::istream& is) {
+  u32 version = 0;
+  const std::string payload = read_verified_payload(is, &version);
   PayloadReader r{payload.data(), payload.size()};
   check_kind(r.read_u32("kind"), kKindDense);
+  check_value_width<V>(version, r);
   const i64 rows = r.read_i64("rows");
   const i64 cols = r.read_i64("cols");
   if (rows < 0 || cols < 0 || (rows > 0 && cols > kSanityMax / rows)) {
     throw ParseError("implausible dense dimensions");
   }
-  DenseMatrix m(static_cast<index_t>(rows), static_cast<index_t>(cols));
-  r.read(m.data().data(), m.data().size() * sizeof(value_t), "dense payload");
+  DenseMatrixT<V> m(static_cast<index_t>(rows), static_cast<index_t>(cols));
+  r.read(m.data().data(), m.data().size() * sizeof(V), "dense payload");
   return m;
 }
 
@@ -218,23 +257,45 @@ std::string read_file_bytes(const std::string& path) {
 
 }  // namespace
 
-void save_csr_file(const std::string& path, const Csr& m) {
-  save_to_file(path, m, [](std::ostream& os, const Csr& x) { save_csr(os, x); });
-}
-
-Csr load_csr_file(const std::string& path) {
-  std::istringstream is(read_file_bytes(path), std::ios::binary);
-  return load_csr(is);
-}
-
-void save_dense_file(const std::string& path, const DenseMatrix& m) {
+template <class V>
+void save_csr_file(const std::string& path, const CsrT<V>& m) {
   save_to_file(path, m,
-               [](std::ostream& os, const DenseMatrix& x) { save_dense(os, x); });
+               [](std::ostream& os, const CsrT<V>& x) { save_csr(os, x); });
 }
 
-DenseMatrix load_dense_file(const std::string& path) {
+template <class V>
+CsrT<V> load_csr_file(const std::string& path) {
   std::istringstream is(read_file_bytes(path), std::ios::binary);
-  return load_dense(is);
+  return load_csr<V>(is);
 }
+
+template <class V>
+void save_dense_file(const std::string& path, const DenseMatrixT<V>& m) {
+  save_to_file(path, m, [](std::ostream& os, const DenseMatrixT<V>& x) {
+    save_dense(os, x);
+  });
+}
+
+template <class V>
+DenseMatrixT<V> load_dense_file(const std::string& path) {
+  std::istringstream is(read_file_bytes(path), std::ios::binary);
+  return load_dense<V>(is);
+}
+
+#define NMDT_INSTANTIATE_SERIALIZE(V)                                        \
+  template void save_csr(std::ostream&, const CsrT<V>&);                     \
+  template void save_csr_file(const std::string&, const CsrT<V>&);           \
+  template CsrT<V> load_csr(std::istream&);                                  \
+  template CsrT<V> load_csr_file(const std::string&);                        \
+  template void save_dense(std::ostream&, const DenseMatrixT<V>&);           \
+  template void save_dense_file(const std::string&, const DenseMatrixT<V>&); \
+  template DenseMatrixT<V> load_dense(std::istream&);                        \
+  template DenseMatrixT<V> load_dense_file(const std::string&)
+
+NMDT_INSTANTIATE_SERIALIZE(float);
+NMDT_INSTANTIATE_SERIALIZE(double);
+NMDT_INSTANTIATE_SERIALIZE(bf16_t);
+
+#undef NMDT_INSTANTIATE_SERIALIZE
 
 }  // namespace nmdt

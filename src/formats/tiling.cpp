@@ -7,18 +7,20 @@
 
 namespace nmdt {
 
-u32 dcsr_tile_crc(const DcsrTile& tile) {
+template <class V>
+u32 dcsr_tile_crc(const DcsrTileT<V>& tile) {
   const index_t header[5] = {tile.strip_id, tile.row_begin, tile.col_begin,
                              tile.body.rows, tile.body.cols};
   u32 c = crc32(header, sizeof(header));
   c = crc32(tile.body.row_idx.data(), tile.body.row_idx.size() * sizeof(index_t), c);
   c = crc32(tile.body.row_ptr.data(), tile.body.row_ptr.size() * sizeof(index_t), c);
   c = crc32(tile.body.col_idx.data(), tile.body.col_idx.size() * sizeof(index_t), c);
-  c = crc32(tile.body.val.data(), tile.body.val.size() * sizeof(value_t), c);
+  c = crc32(tile.body.val.data(), tile.body.val.size() * sizeof(V), c);
   return c;
 }
 
-bool verify_dcsr_tile(const DcsrTile& tile) {
+template <class V>
+bool verify_dcsr_tile(const DcsrTileT<V>& tile) {
   if (tile.crc_valid && dcsr_tile_crc(tile) != tile.crc) return false;
   try {
     tile.body.validate();
@@ -33,7 +35,8 @@ void TilingSpec::validate() const {
   NMDT_CHECK_CONFIG(tile_height > 0, "TilingSpec.tile_height must be positive");
 }
 
-i64 TiledDcsr::nnz() const {
+template <class V>
+i64 TiledDcsrT<V>::nnz() const {
   i64 n = 0;
   for (const auto& strip : strips) {
     for (const auto& tile : strip) n += tile.nnz();
@@ -41,7 +44,8 @@ i64 TiledDcsr::nnz() const {
   return n;
 }
 
-i64 TiledDcsr::total_nnz_rows() const {
+template <class V>
+i64 TiledDcsrT<V>::total_nnz_rows() const {
   i64 n = 0;
   for (const auto& strip : strips) {
     for (const auto& tile : strip) n += tile.nnz_rows();
@@ -49,7 +53,8 @@ i64 TiledDcsr::total_nnz_rows() const {
   return n;
 }
 
-i64 TiledCsr::nnz() const {
+template <class V>
+i64 TiledCsrT<V>::nnz() const {
   i64 n = 0;
   for (const auto& strip : strips) {
     for (const auto& tile : strip) n += tile.nnz();
@@ -60,19 +65,21 @@ i64 TiledCsr::nnz() const {
 namespace {
 
 /// Gather per-tile COO buckets in one pass over the CSR matrix.
+template <class V>
 struct TileBuckets {
   index_t num_strips = 0;
   index_t num_tile_rows = 0;
   // bucket[s * num_tile_rows + t] holds (local_row, local_col, val).
   struct Entry {
     index_t r, c;
-    value_t v;
+    V v;
   };
   std::vector<std::vector<Entry>> buckets;
 };
 
-TileBuckets bucketize(const Csr& csr, const TilingSpec& spec) {
-  TileBuckets out;
+template <class V>
+TileBuckets<V> bucketize(const CsrT<V>& csr, const TilingSpec& spec) {
+  TileBuckets<V> out;
   out.num_strips = spec.num_strips(csr.cols);
   out.num_tile_rows = spec.tiles_per_strip(csr.rows);
   out.buckets.resize(static_cast<usize>(out.num_strips) * out.num_tile_rows);
@@ -92,20 +99,21 @@ TileBuckets bucketize(const Csr& csr, const TilingSpec& spec) {
 
 }  // namespace
 
-TiledDcsr tiled_dcsr_from_csr(const Csr& csr, const TilingSpec& spec) {
+template <class V>
+TiledDcsrT<V> tiled_dcsr_from_csr(const CsrT<V>& csr, const TilingSpec& spec) {
   csr.validate();
   spec.validate();
-  TiledDcsr out;
+  TiledDcsrT<V> out;
   out.rows = csr.rows;
   out.cols = csr.cols;
   out.spec = spec;
 
-  TileBuckets b = bucketize(csr, spec);
+  TileBuckets<V> b = bucketize(csr, spec);
   out.strips.resize(b.num_strips);
   for (index_t s = 0; s < b.num_strips; ++s) {
     out.strips[s].resize(b.num_tile_rows);
     for (index_t t = 0; t < b.num_tile_rows; ++t) {
-      DcsrTile& tile = out.strips[s][t];
+      DcsrTileT<V>& tile = out.strips[s][t];
       tile.strip_id = s;
       tile.row_begin = t * spec.tile_height;
       tile.col_begin = s * spec.strip_width;
@@ -131,20 +139,21 @@ TiledDcsr tiled_dcsr_from_csr(const Csr& csr, const TilingSpec& spec) {
   return out;
 }
 
-TiledCsr tiled_csr_from_csr(const Csr& csr, const TilingSpec& spec) {
+template <class V>
+TiledCsrT<V> tiled_csr_from_csr(const CsrT<V>& csr, const TilingSpec& spec) {
   csr.validate();
   spec.validate();
-  TiledCsr out;
+  TiledCsrT<V> out;
   out.rows = csr.rows;
   out.cols = csr.cols;
   out.spec = spec;
 
-  TileBuckets b = bucketize(csr, spec);
+  TileBuckets<V> b = bucketize(csr, spec);
   out.strips.resize(b.num_strips);
   for (index_t s = 0; s < b.num_strips; ++s) {
     out.strips[s].resize(b.num_tile_rows);
     for (index_t t = 0; t < b.num_tile_rows; ++t) {
-      CsrTile& tile = out.strips[s][t];
+      CsrTileT<V>& tile = out.strips[s][t];
       tile.strip_id = s;
       tile.row_begin = t * spec.tile_height;
       tile.col_begin = s * spec.strip_width;
@@ -169,8 +178,9 @@ TiledCsr tiled_csr_from_csr(const Csr& csr, const TilingSpec& spec) {
   return out;
 }
 
-Coo coo_from_tiled(const TiledDcsr& tiled) {
-  Coo coo;
+template <class V>
+CooT<V> coo_from_tiled(const TiledDcsrT<V>& tiled) {
+  CooT<V> coo;
   coo.rows = tiled.rows;
   coo.cols = tiled.cols;
   for (const auto& strip : tiled.strips) {
@@ -188,8 +198,9 @@ Coo coo_from_tiled(const TiledDcsr& tiled) {
   return coo;
 }
 
-Coo coo_from_tiled(const TiledCsr& tiled) {
-  Coo coo;
+template <class V>
+CooT<V> coo_from_tiled(const TiledCsrT<V>& tiled) {
+  CooT<V> coo;
   coo.rows = tiled.rows;
   coo.cols = tiled.cols;
   for (const auto& strip : tiled.strips) {
@@ -205,7 +216,8 @@ Coo coo_from_tiled(const TiledCsr& tiled) {
   return coo;
 }
 
-StripNnz strip_nnz_of(const Csr& csr, const TilingSpec& spec) {
+template <class V>
+StripNnz strip_nnz_of(const CsrT<V>& csr, const TilingSpec& spec) {
   StripNnz out;
   out.spec = spec;
   out.counts.assign(static_cast<usize>(spec.num_strips(csr.cols)), 0);
@@ -213,19 +225,21 @@ StripNnz strip_nnz_of(const Csr& csr, const TilingSpec& spec) {
   return out;
 }
 
-std::vector<Dcsr> strip_dcsr_from_csr(const Csr& csr, index_t strip_width) {
+template <class V>
+std::vector<DcsrT<V>> strip_dcsr_from_csr(const CsrT<V>& csr, index_t strip_width) {
   TilingSpec spec;
   spec.strip_width = strip_width;
   spec.tile_height = std::max<index_t>(csr.rows, 1);  // one tile = whole strip
-  TiledDcsr tiled = tiled_dcsr_from_csr(csr, spec);
-  std::vector<Dcsr> out;
+  TiledDcsrT<V> tiled = tiled_dcsr_from_csr(csr, spec);
+  std::vector<DcsrT<V>> out;
   out.reserve(tiled.strips.size());
   for (auto& strip : tiled.strips) out.push_back(std::move(strip.front().body));
   return out;
 }
 
-std::vector<double> strip_nonzero_row_density(const Csr& csr, index_t strip_width) {
-  const std::vector<Dcsr> strips = strip_dcsr_from_csr(csr, strip_width);
+template <class V>
+std::vector<double> strip_nonzero_row_density(const CsrT<V>& csr, index_t strip_width) {
+  const std::vector<DcsrT<V>> strips = strip_dcsr_from_csr(csr, strip_width);
   std::vector<double> density;
   density.reserve(strips.size());
   for (const auto& s : strips) {
@@ -235,5 +249,40 @@ std::vector<double> strip_nonzero_row_density(const Csr& csr, index_t strip_widt
   }
   return density;
 }
+
+template struct TiledDcsrT<float>;
+template struct TiledDcsrT<double>;
+template struct TiledDcsrT<bf16_t>;
+template struct TiledCsrT<float>;
+template struct TiledCsrT<double>;
+template struct TiledCsrT<bf16_t>;
+
+template u32 dcsr_tile_crc(const DcsrTileT<float>&);
+template u32 dcsr_tile_crc(const DcsrTileT<double>&);
+template u32 dcsr_tile_crc(const DcsrTileT<bf16_t>&);
+template bool verify_dcsr_tile(const DcsrTileT<float>&);
+template bool verify_dcsr_tile(const DcsrTileT<double>&);
+template bool verify_dcsr_tile(const DcsrTileT<bf16_t>&);
+template TiledDcsrT<float> tiled_dcsr_from_csr(const CsrT<float>&, const TilingSpec&);
+template TiledDcsrT<double> tiled_dcsr_from_csr(const CsrT<double>&, const TilingSpec&);
+template TiledDcsrT<bf16_t> tiled_dcsr_from_csr(const CsrT<bf16_t>&, const TilingSpec&);
+template TiledCsrT<float> tiled_csr_from_csr(const CsrT<float>&, const TilingSpec&);
+template TiledCsrT<double> tiled_csr_from_csr(const CsrT<double>&, const TilingSpec&);
+template TiledCsrT<bf16_t> tiled_csr_from_csr(const CsrT<bf16_t>&, const TilingSpec&);
+template StripNnz strip_nnz_of(const CsrT<float>&, const TilingSpec&);
+template StripNnz strip_nnz_of(const CsrT<double>&, const TilingSpec&);
+template StripNnz strip_nnz_of(const CsrT<bf16_t>&, const TilingSpec&);
+template CooT<float> coo_from_tiled(const TiledDcsrT<float>&);
+template CooT<double> coo_from_tiled(const TiledDcsrT<double>&);
+template CooT<bf16_t> coo_from_tiled(const TiledDcsrT<bf16_t>&);
+template CooT<float> coo_from_tiled(const TiledCsrT<float>&);
+template CooT<double> coo_from_tiled(const TiledCsrT<double>&);
+template CooT<bf16_t> coo_from_tiled(const TiledCsrT<bf16_t>&);
+template std::vector<DcsrT<float>> strip_dcsr_from_csr(const CsrT<float>&, index_t);
+template std::vector<DcsrT<double>> strip_dcsr_from_csr(const CsrT<double>&, index_t);
+template std::vector<DcsrT<bf16_t>> strip_dcsr_from_csr(const CsrT<bf16_t>&, index_t);
+template std::vector<double> strip_nonzero_row_density(const CsrT<float>&, index_t);
+template std::vector<double> strip_nonzero_row_density(const CsrT<double>&, index_t);
+template std::vector<double> strip_nonzero_row_density(const CsrT<bf16_t>&, index_t);
 
 }  // namespace nmdt

@@ -10,6 +10,10 @@
 // because that is what the hardware engine emits and what the kernel
 // needs to index the shared-memory-resident B tile.  Globals are
 // recovered via row_begin/col_begin.
+//
+// Tiled containers are templated on the stored value scalar V
+// (util/precision.hpp); the unsuffixed names alias the default-precision
+// instantiations.
 #pragma once
 
 #include <vector>
@@ -18,6 +22,7 @@
 #include "formats/csc.hpp"
 #include "formats/csr.hpp"
 #include "formats/dcsr.hpp"
+#include "util/precision.hpp"
 
 namespace nmdt {
 
@@ -38,11 +43,12 @@ struct TilingSpec {
 };
 
 /// One tile of A in DCSR form (the unit returned by GetDCSRTile).
-struct DcsrTile {
+template <class V>
+struct DcsrTileT {
   index_t strip_id = 0;
   index_t row_begin = 0;  ///< global row of the tile's first row
   index_t col_begin = 0;  ///< global column of the strip's first column
-  Dcsr body;              ///< body.rows = tile height, body.cols = strip width (clamped)
+  DcsrT<V> body;          ///< body.rows = tile height, body.cols = strip width (clamped)
   u32 crc = 0;            ///< CRC32 over body arrays, stamped at conversion
   bool crc_valid = false; ///< offline-built tiles skip the checksum
 
@@ -50,53 +56,75 @@ struct DcsrTile {
   i64 nnz_rows() const { return body.nnz_rows(); }
 };
 
+using DcsrTile = DcsrTileT<value_t>;
+
 /// One tile of A kept in CSR form (the inefficient strawman of Fig. 6).
-struct CsrTile {
+template <class V>
+struct CsrTileT {
   index_t strip_id = 0;
   index_t row_begin = 0;
   index_t col_begin = 0;
-  Csr body;
+  CsrT<V> body;
 
   i64 nnz() const { return body.nnz(); }
 };
 
-struct TiledDcsr {
+using CsrTile = CsrTileT<value_t>;
+
+template <class V>
+struct TiledDcsrT {
   index_t rows = 0;
   index_t cols = 0;
   TilingSpec spec;
   /// strips[s][t] is the tile at strip s, rows [t*H, (t+1)*H). All tiles
   /// are materialized (empty tiles carry only the 4-byte row_ptr stub).
-  std::vector<std::vector<DcsrTile>> strips;
+  std::vector<std::vector<DcsrTileT<V>>> strips;
 
   index_t num_strips() const { return static_cast<index_t>(strips.size()); }
   i64 nnz() const;
   i64 total_nnz_rows() const;  ///< sum of per-tile non-empty row segments
 };
 
-struct TiledCsr {
+using TiledDcsr = TiledDcsrT<value_t>;
+
+template <class V>
+struct TiledCsrT {
   index_t rows = 0;
   index_t cols = 0;
   TilingSpec spec;
-  std::vector<std::vector<CsrTile>> strips;
+  std::vector<std::vector<CsrTileT<V>>> strips;
 
   index_t num_strips() const { return static_cast<index_t>(strips.size()); }
   i64 nnz() const;
 };
 
+using TiledCsr = TiledCsrT<value_t>;
+
+extern template struct TiledDcsrT<float>;
+extern template struct TiledDcsrT<double>;
+extern template struct TiledDcsrT<bf16_t>;
+extern template struct TiledCsrT<float>;
+extern template struct TiledCsrT<double>;
+extern template struct TiledCsrT<bf16_t>;
+
 /// CRC32 over a tile's body arrays (row_idx, row_ptr, col_idx, val) and
 /// its coordinate header — the integrity fingerprint the conversion
 /// engine stamps on each freshly fabricated tile.
-u32 dcsr_tile_crc(const DcsrTile& tile);
+template <class V>
+u32 dcsr_tile_crc(const DcsrTileT<V>& tile);
 
 /// Integrity check at the consumption point: structural validate() of
 /// the body plus (when crc_valid) a CRC recheck against `tile.crc`.
 /// Returns false instead of throwing so recovery paths can retry.
-bool verify_dcsr_tile(const DcsrTile& tile);
+template <class V>
+bool verify_dcsr_tile(const DcsrTileT<V>& tile);
 
 /// Offline tiling (the preprocessing step whose cost and storage the
 /// near-memory engine avoids).
-TiledDcsr tiled_dcsr_from_csr(const Csr& csr, const TilingSpec& spec);
-TiledCsr tiled_csr_from_csr(const Csr& csr, const TilingSpec& spec);
+template <class V>
+TiledDcsrT<V> tiled_dcsr_from_csr(const CsrT<V>& csr, const TilingSpec& spec);
+template <class V>
+TiledCsrT<V> tiled_csr_from_csr(const CsrT<V>& csr, const TilingSpec& spec);
 
 /// Per-strip non-zero counts under `spec` — the strip-skip table the
 /// B-stationary kernels consult before touching a strip.  Derivable
@@ -107,19 +135,24 @@ struct StripNnz {
   std::vector<i64> counts;  ///< counts[s] = non-zeros in vertical strip s
 };
 
-StripNnz strip_nnz_of(const Csr& csr, const TilingSpec& spec);
+template <class V>
+StripNnz strip_nnz_of(const CsrT<V>& csr, const TilingSpec& spec);
 
 /// Reassemble into global-coordinate COO — used by the partition-property
 /// tests (every non-zero appears in exactly one tile).
-Coo coo_from_tiled(const TiledDcsr& tiled);
-Coo coo_from_tiled(const TiledCsr& tiled);
+template <class V>
+CooT<V> coo_from_tiled(const TiledDcsrT<V>& tiled);
+template <class V>
+CooT<V> coo_from_tiled(const TiledCsrT<V>& tiled);
 
 /// Per-strip DCSR over all rows (no tile_height cut). This is the
 /// "strip" granularity used in the Fig. 5 density analysis.
-std::vector<Dcsr> strip_dcsr_from_csr(const Csr& csr, index_t strip_width);
+template <class V>
+std::vector<DcsrT<V>> strip_dcsr_from_csr(const CsrT<V>& csr, index_t strip_width);
 
 /// Fraction of rows with at least one non-zero, per vertical strip
 /// (the quantity histogrammed in Fig. 5).
-std::vector<double> strip_nonzero_row_density(const Csr& csr, index_t strip_width);
+template <class V>
+std::vector<double> strip_nonzero_row_density(const CsrT<V>& csr, index_t strip_width);
 
 }  // namespace nmdt

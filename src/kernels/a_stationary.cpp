@@ -16,14 +16,17 @@
 
 namespace nmdt::detail {
 
-SpmmResult spmm_a_stationary(const SpmmOperands& ops, const DenseMatrix& B,
+template <class V>
+SpmmResult spmm_a_stationary(const SpmmOperandsT<V>& ops, const DenseMatrixT<V>& B,
                              const SpmmConfig& cfg) {
-  const Csr& A = *ops.csr;
+  using CT = typename VTraits<V>::compute_t;
+  constexpr i64 kVB = static_cast<i64>(sizeof(V));
+  const CsrT<V>& A = *ops.csr;
   const TilingSpec& spec = cfg.tiling;
-  std::optional<TiledCsr> local;
-  const TiledCsr& tiled = (ops.tiled_csr && ops.tiled_csr->spec == spec)
-                              ? *ops.tiled_csr
-                              : local.emplace(tiled_csr_from_csr(A, spec));
+  std::optional<TiledCsrT<V>> local;
+  const TiledCsrT<V>& tiled = (ops.tiled_csr && ops.tiled_csr->spec == spec)
+                                  ? *ops.tiled_csr
+                                  : local.emplace(tiled_csr_from_csr(A, spec));
 
   const index_t K = B.cols();
 
@@ -46,14 +49,14 @@ SpmmResult spmm_a_stationary(const SpmmOperands& ops, const DenseMatrix& B,
   const i64 total_entries = strip_entry_start[num_strips];
 
   ShardSet shards(cfg, static_cast<i64>(num_strips), kStripGrain);
-  PartialC partial(A.rows, K, shards.size());
+  PartialCT<CT> partial(A.rows, K, shards.size());
   shards.run([&](int sh, ShardRange range, Ctx& ctx) {
     const DenseLayout b = DenseLayout::allocate(B, ctx.mem, "B");
-    const DenseLayout c = DenseLayout::allocate(A.rows, K, ctx.mem, "C");
+    const DenseLayout c = DenseLayout::allocate(A.rows, K, kVB, ctx.mem, "C");
     const u64 rowptr_base = ctx.mem.allocate(total_rowptr * kIndexBytes, "A.tiles.row_ptr");
     const u64 entry_base =
-        ctx.mem.allocate(total_entries * (kIndexBytes + kValueBytes), "A.tiles.entries");
-    DenseMatrix& C = partial.shard(sh);
+        ctx.mem.allocate(total_entries * (kIndexBytes + kVB), "A.tiles.entries");
+    DenseMatrixT<CT>& C = partial.shard(sh);
     std::vector<u64> b_addrs;
 
     for (i64 s = range.begin; s < range.end; ++s) {
@@ -69,8 +72,8 @@ SpmmResult spmm_a_stationary(const SpmmOperands& ops, const DenseMatrix& B,
         rowptr_off += static_cast<i64>(tile.body.row_ptr.size());
         if (tile.nnz() > 0) {
           ctx.mem.warp_load(
-              entry_base + static_cast<u64>(entry_off) * (kIndexBytes + kValueBytes),
-              tile.nnz() * (kIndexBytes + kValueBytes));
+              entry_base + static_cast<u64>(entry_off) * (kIndexBytes + kVB),
+              tile.nnz() * (kIndexBytes + kVB));
         }
         entry_off += tile.nnz();
         if (tile.nnz() == 0) continue;
@@ -85,7 +88,7 @@ SpmmResult spmm_a_stationary(const SpmmOperands& ops, const DenseMatrix& B,
           ++ctx.counters.warp_visits;
           ctx.counters.serial_iterations += static_cast<u64>(cnt);
           ctx.counters.observe_chain(static_cast<u64>(cnt));  // ≤ strip width
-          value_t* NMDT_RESTRICT c_row = C.row(grow).data();
+          CT* NMDT_RESTRICT c_row = C.row(grow).data();
           b_addrs.clear();
           for (index_t j = tile.body.row_ptr[lr]; j < tile.body.row_ptr[lr + 1]; ++j) {
             const index_t gcol = tile.col_begin + tile.body.col_idx[j];
@@ -98,10 +101,10 @@ SpmmResult spmm_a_stationary(const SpmmOperands& ops, const DenseMatrix& B,
             axpy_row(tile.body.val[j], B.row(gcol).data(), c_row, K);
             ctx.counters.flops += static_cast<u64>(2 * K);
           }
-          ctx.mem.warp_load_run(b_addrs, static_cast<i64>(K) * kValueBytes);
+          ctx.mem.warp_load_run(b_addrs, static_cast<i64>(K) * kVB);
           // Partial C row for this tile, atomically merged.
           ctx.waves(InstrClass::kMemory, K);
-          ctx.mem.warp_atomic(c.addr(grow), static_cast<i64>(K) * kValueBytes);
+          ctx.mem.warp_atomic(c.addr(grow), static_cast<i64>(K) * kVB);
           ++ctx.counters.atomic_updates;
         }
       }
@@ -109,7 +112,14 @@ SpmmResult spmm_a_stationary(const SpmmOperands& ops, const DenseMatrix& B,
   });
   Ctx& merged = shards.merge();
   merged.counters.kernel_launches = 1;
-  return finish(merged, partial.take());
+  return finish<V>(merged, partial.take());
 }
+
+template SpmmResult spmm_a_stationary(const SpmmOperandsT<float>&,
+                                      const DenseMatrixT<float>&, const SpmmConfig&);
+template SpmmResult spmm_a_stationary(const SpmmOperandsT<double>&,
+                                      const DenseMatrixT<double>&, const SpmmConfig&);
+template SpmmResult spmm_a_stationary(const SpmmOperandsT<bf16_t>&,
+                                      const DenseMatrixT<bf16_t>&, const SpmmConfig&);
 
 }  // namespace nmdt::detail

@@ -36,9 +36,13 @@ namespace {
 /// (shared memory): per dense row, stream the entries against the B
 /// tile and atomically add the partial C row.  The per-row atomics form
 /// one request run issued at tile end.
-void process_dcsr_tile(Ctx& ctx, const DcsrTile& tile, const DenseMatrix& B,
-                       DenseMatrix& C, const DenseLayout& c_layout, index_t b_col_begin,
+template <class V>
+void process_dcsr_tile(Ctx& ctx, const DcsrTileT<V>& tile, const DenseMatrixT<V>& B,
+                       DenseMatrixT<typename VTraits<V>::compute_t>& C,
+                       const DenseLayout& c_layout, index_t b_col_begin,
                        index_t tile_cols, std::vector<u64>& atomic_addrs) {
+  using CT = typename VTraits<V>::compute_t;
+  constexpr i64 kVB = static_cast<i64>(sizeof(V));
   atomic_addrs.clear();
   for (i64 g = 0; g < tile.body.nnz_rows(); ++g) {
     const index_t grow = tile.row_begin + tile.body.dense_row(g);
@@ -48,7 +52,7 @@ void process_dcsr_tile(Ctx& ctx, const DcsrTile& tile, const DenseMatrix& B,
     ++ctx.counters.warp_visits;
     ctx.counters.serial_iterations += cols.size();
     ctx.counters.observe_chain(cols.size());  // bounded by strip width
-    value_t* NMDT_RESTRICT c_row = C.row(grow).data() + b_col_begin;
+    CT* NMDT_RESTRICT c_row = C.row(grow).data() + b_col_begin;
     for (usize j = 0; j < cols.size(); ++j) {
       const index_t gcol = tile.col_begin + cols[j];
       // Broadcast entry read + shared-memory B row sweep + FMA waves.
@@ -64,7 +68,7 @@ void process_dcsr_tile(Ctx& ctx, const DcsrTile& tile, const DenseMatrix& B,
     atomic_addrs.push_back(c_layout.addr(grow, b_col_begin));
     ++ctx.counters.atomic_updates;
   }
-  ctx.mem.warp_atomic_run(atomic_addrs, static_cast<i64>(tile_cols) * kValueBytes);
+  ctx.mem.warp_atomic_run(atomic_addrs, static_cast<i64>(tile_cols) * kVB);
 }
 
 /// Offline preprocessing cost of building a tiled format: stream the
@@ -109,7 +113,8 @@ TileOffsets compute_offsets(const Tiled& tiled, MetaWordsFn&& meta_words_of) {
 
 /// Strip-skip table: take the plan's if it was built under this tiling,
 /// else compute locally (legacy path).
-const StripNnz& resolve_strip_nnz(const SpmmOperands& ops, const Csr& A,
+template <class V>
+const StripNnz& resolve_strip_nnz(const SpmmOperandsT<V>& ops, const CsrT<V>& A,
                                   const TilingSpec& spec, std::optional<StripNnz>& local) {
   if (ops.strip_nnz && ops.strip_nnz->spec == spec) return *ops.strip_nnz;
   return local.emplace(strip_nnz_of(A, spec));
@@ -117,32 +122,36 @@ const StripNnz& resolve_strip_nnz(const SpmmOperands& ops, const Csr& A,
 
 }  // namespace
 
-SpmmResult spmm_tiled_csr_b_stationary(const SpmmOperands& ops, const DenseMatrix& B,
-                                       const SpmmConfig& cfg) {
-  const Csr& A = *ops.csr;
+template <class V>
+SpmmResult spmm_tiled_csr_b_stationary(const SpmmOperandsT<V>& ops,
+                                       const DenseMatrixT<V>& B, const SpmmConfig& cfg) {
+  using CT = typename VTraits<V>::compute_t;
+  constexpr i64 kVB = static_cast<i64>(sizeof(V));
+  const CsrT<V>& A = *ops.csr;
   const TilingSpec& spec = cfg.tiling;
-  std::optional<TiledCsr> local;
-  const TiledCsr& tiled = (ops.tiled_csr && ops.tiled_csr->spec == spec)
-                              ? *ops.tiled_csr
-                              : local.emplace(tiled_csr_from_csr(A, spec));
+  std::optional<TiledCsrT<V>> local;
+  const TiledCsrT<V>& tiled = (ops.tiled_csr && ops.tiled_csr->spec == spec)
+                                  ? *ops.tiled_csr
+                                  : local.emplace(tiled_csr_from_csr(A, spec));
   std::optional<StripNnz> local_nnz;
   const StripNnz& strip_nnz = resolve_strip_nnz(ops, A, spec, local_nnz);
-  const TileOffsets off = compute_offsets(
-      tiled, [](const CsrTile& t) { return static_cast<i64>(t.body.row_ptr.size()); });
+  const TileOffsets off = compute_offsets(tiled, [](const CsrTileT<V>& t) {
+    return static_cast<i64>(t.body.row_ptr.size());
+  });
 
   const index_t K = B.cols();
   const index_t bt = spec.strip_width;  // B tile is bt×bt
 
   ShardSet shards(cfg, tiled.num_strips(), kStripGrain);
-  PartialC partial(A.rows, K, shards.size());
+  PartialCT<CT> partial(A.rows, K, shards.size());
   shards.run([&](int sh, ShardRange range, Ctx& ctx) {
     const DenseLayout b = DenseLayout::allocate(B, ctx.mem, "B");
-    const DenseLayout c = DenseLayout::allocate(A.rows, K, ctx.mem, "C");
+    const DenseLayout c = DenseLayout::allocate(A.rows, K, kVB, ctx.mem, "C");
     const u64 rowptr_base =
         ctx.mem.allocate(off.total_meta_words * kIndexBytes, "A.tiles.row_ptr");
     const u64 entry_base =
-        ctx.mem.allocate(off.total_entries * (kIndexBytes + kValueBytes), "A.tiles.entries");
-    DenseMatrix& C = partial.shard(sh);
+        ctx.mem.allocate(off.total_entries * (kIndexBytes + kVB), "A.tiles.entries");
+    DenseMatrixT<CT>& C = partial.shard(sh);
     std::vector<u64> b_addrs, atomic_addrs;
 
     const VisitOrder visits(K, bt, static_cast<index_t>(range.begin),
@@ -156,7 +165,7 @@ SpmmResult spmm_tiled_csr_b_stationary(const SpmmOperands& ops, const DenseMatri
       load_b_tile(ctx, b, s * spec.strip_width, width, bc, tile_cols, b_addrs);
 
       for (usize t = 0; t < tiled.strips[s].size(); ++t) {
-        const CsrTile& tile = tiled.strips[s][t];
+        const CsrTileT<V>& tile = tiled.strips[s][t];
         // Full row_ptr scan: (tile_rows+1) pointers regardless of how
         // many rows are empty — the redundant-metadata pathology.  The
         // scan itself costs warp visits proportional to tile height.
@@ -166,8 +175,8 @@ SpmmResult spmm_tiled_csr_b_stationary(const SpmmOperands& ops, const DenseMatri
                           static_cast<i64>(tile.body.row_ptr.size()) * kIndexBytes);
         if (tile.nnz() > 0) {
           ctx.mem.warp_load(
-              entry_base + static_cast<u64>(off.entries[s][t]) * (kIndexBytes + kValueBytes),
-              tile.nnz() * (kIndexBytes + kValueBytes));
+              entry_base + static_cast<u64>(off.entries[s][t]) * (kIndexBytes + kVB),
+              tile.nnz() * (kIndexBytes + kVB));
         }
 
         atomic_addrs.clear();
@@ -183,7 +192,7 @@ SpmmResult spmm_tiled_csr_b_stationary(const SpmmOperands& ops, const DenseMatri
           ++ctx.counters.warp_visits;
           ctx.counters.serial_iterations += static_cast<u64>(cnt);
           ctx.counters.observe_chain(static_cast<u64>(cnt));  // ≤ strip width
-          value_t* NMDT_RESTRICT c_row = C.row(grow).data() + bc;
+          CT* NMDT_RESTRICT c_row = C.row(grow).data() + bc;
           for (index_t j = tile.body.row_ptr[lr]; j < tile.body.row_ptr[lr + 1]; ++j) {
             const index_t gcol = tile.col_begin + tile.body.col_idx[j];
             ctx.issue(InstrClass::kMemory, ctx.cfg.arch.warp_size);
@@ -196,7 +205,7 @@ SpmmResult spmm_tiled_csr_b_stationary(const SpmmOperands& ops, const DenseMatri
           atomic_addrs.push_back(c.addr(grow, bc));
           ++ctx.counters.atomic_updates;
         }
-        ctx.mem.warp_atomic_run(atomic_addrs, static_cast<i64>(tile_cols) * kValueBytes);
+        ctx.mem.warp_atomic_run(atomic_addrs, static_cast<i64>(tile_cols) * kVB);
       }
     }
   });
@@ -204,20 +213,23 @@ SpmmResult spmm_tiled_csr_b_stationary(const SpmmOperands& ops, const DenseMatri
   merged.counters.kernel_launches = static_cast<u64>((K + bt - 1) / bt);
 
   const double prep = offline_tiling_cost_ns(footprint(A), footprint(tiled), cfg.arch);
-  return finish(merged, partial.take(), 1.0, {}, 0.0, prep);
+  return finish<V>(merged, partial.take(), 1.0, {}, 0.0, prep);
 }
 
-SpmmResult spmm_tiled_dcsr_b_stationary(const SpmmOperands& ops, const DenseMatrix& B,
-                                        const SpmmConfig& cfg) {
-  const Csr& A = *ops.csr;
+template <class V>
+SpmmResult spmm_tiled_dcsr_b_stationary(const SpmmOperandsT<V>& ops,
+                                        const DenseMatrixT<V>& B, const SpmmConfig& cfg) {
+  using CT = typename VTraits<V>::compute_t;
+  constexpr i64 kVB = static_cast<i64>(sizeof(V));
+  const CsrT<V>& A = *ops.csr;
   const TilingSpec& spec = cfg.tiling;
-  std::optional<TiledDcsr> local;
-  const TiledDcsr& tiled = (ops.tiled_dcsr && ops.tiled_dcsr->spec == spec)
-                               ? *ops.tiled_dcsr
-                               : local.emplace(tiled_dcsr_from_csr(A, spec));
+  std::optional<TiledDcsrT<V>> local;
+  const TiledDcsrT<V>& tiled = (ops.tiled_dcsr && ops.tiled_dcsr->spec == spec)
+                                   ? *ops.tiled_dcsr
+                                   : local.emplace(tiled_dcsr_from_csr(A, spec));
   std::optional<StripNnz> local_nnz;
   const StripNnz& strip_nnz = resolve_strip_nnz(ops, A, spec, local_nnz);
-  const TileOffsets off = compute_offsets(tiled, [](const DcsrTile& t) {
+  const TileOffsets off = compute_offsets(tiled, [](const DcsrTileT<V>& t) {
     return static_cast<i64>(t.body.row_idx.size() + t.body.row_ptr.size());
   });
 
@@ -225,15 +237,15 @@ SpmmResult spmm_tiled_dcsr_b_stationary(const SpmmOperands& ops, const DenseMatr
   const index_t bt = spec.strip_width;
 
   ShardSet shards(cfg, tiled.num_strips(), kStripGrain);
-  PartialC partial(A.rows, K, shards.size());
+  PartialCT<CT> partial(A.rows, K, shards.size());
   shards.run([&](int sh, ShardRange range, Ctx& ctx) {
     const DenseLayout b = DenseLayout::allocate(B, ctx.mem, "B");
-    const DenseLayout c = DenseLayout::allocate(A.rows, K, ctx.mem, "C");
+    const DenseLayout c = DenseLayout::allocate(A.rows, K, kVB, ctx.mem, "C");
     const u64 meta_base =
         ctx.mem.allocate(off.total_meta_words * kIndexBytes, "A.tiles.meta");
     const u64 entry_base =
-        ctx.mem.allocate(off.total_entries * (kIndexBytes + kValueBytes), "A.tiles.entries");
-    DenseMatrix& C = partial.shard(sh);
+        ctx.mem.allocate(off.total_entries * (kIndexBytes + kVB), "A.tiles.entries");
+    DenseMatrixT<CT>& C = partial.shard(sh);
     std::vector<u64> b_addrs, atomic_addrs;
 
     const VisitOrder visits(K, bt, static_cast<index_t>(range.begin),
@@ -247,7 +259,7 @@ SpmmResult spmm_tiled_dcsr_b_stationary(const SpmmOperands& ops, const DenseMatr
       load_b_tile(ctx, b, s * spec.strip_width, width, bc, tile_cols, b_addrs);
 
       for (usize t = 0; t < tiled.strips[s].size(); ++t) {
-        const DcsrTile& tile = tiled.strips[s][t];
+        const DcsrTileT<V>& tile = tiled.strips[s][t];
         const i64 meta_words =
             static_cast<i64>(tile.body.row_idx.size() + tile.body.row_ptr.size());
         // DCSR metadata: proportional to non-empty rows, not tile height.
@@ -257,10 +269,10 @@ SpmmResult spmm_tiled_dcsr_b_stationary(const SpmmOperands& ops, const DenseMatr
                           meta_words * kIndexBytes);
         if (tile.nnz() > 0) {
           ctx.mem.warp_load(
-              entry_base + static_cast<u64>(off.entries[s][t]) * (kIndexBytes + kValueBytes),
-              tile.nnz() * (kIndexBytes + kValueBytes));
+              entry_base + static_cast<u64>(off.entries[s][t]) * (kIndexBytes + kVB),
+              tile.nnz() * (kIndexBytes + kVB));
         }
-        process_dcsr_tile(ctx, tile, B, C, c, bc, tile_cols, atomic_addrs);
+        process_dcsr_tile<V>(ctx, tile, B, C, c, bc, tile_cols, atomic_addrs);
       }
     }
   });
@@ -268,15 +280,18 @@ SpmmResult spmm_tiled_dcsr_b_stationary(const SpmmOperands& ops, const DenseMatr
   merged.counters.kernel_launches = static_cast<u64>((K + bt - 1) / bt);
 
   const double prep = offline_tiling_cost_ns(footprint(A), footprint(tiled), cfg.arch);
-  return finish(merged, partial.take(), 1.0, {}, 0.0, prep);
+  return finish<V>(merged, partial.take(), 1.0, {}, 0.0, prep);
 }
 
-SpmmResult spmm_tiled_dcsr_online(const SpmmOperands& ops, const DenseMatrix& B,
+template <class V>
+SpmmResult spmm_tiled_dcsr_online(const SpmmOperandsT<V>& ops, const DenseMatrixT<V>& B,
                                   const SpmmConfig& cfg) {
-  const Csr& A = *ops.csr;
+  using CT = typename VTraits<V>::compute_t;
+  constexpr i64 kVB = static_cast<i64>(sizeof(V));
+  const CsrT<V>& A = *ops.csr;
   const TilingSpec& spec = cfg.tiling;
-  std::optional<Csc> local;
-  const Csc& csc = ops.csc ? *ops.csc : local.emplace(csc_from_csr(A));
+  std::optional<CscT<V>> local;
+  const CscT<V>& csc = ops.csc ? *ops.csc : local.emplace(csc_from_csr(A));
 
   const index_t K = B.cols();
   const index_t bt = spec.strip_width;
@@ -288,7 +303,7 @@ SpmmResult spmm_tiled_dcsr_online(const SpmmOperands& ops, const DenseMatrix& B,
   const StripPlacement placement(cfg.placement, cfg.arch.pseudo_channels);
 
   ShardSet shards(cfg, num_strips, kStripGrain);
-  PartialC partial(A.rows, K, shards.size());
+  PartialCT<CT> partial(A.rows, K, shards.size());
   // Per-shard engine occupancy and stats, folded in shard-index order
   // after the run.  Each strip phase is self-contained (busiest-engine
   // beat delta over the phase), so the per-shard sums add up to exactly
@@ -298,7 +313,7 @@ SpmmResult spmm_tiled_dcsr_online(const SpmmOperands& ops, const DenseMatrix& B,
 
   shards.run([&](int sh, ShardRange range, Ctx& ctx) {
     const DenseLayout b = DenseLayout::allocate(B, ctx.mem, "B");
-    const DenseLayout c = DenseLayout::allocate(A.rows, K, ctx.mem, "C");
+    const DenseLayout c = DenseLayout::allocate(A.rows, K, kVB, ctx.mem, "C");
     const CscDeviceLayout a = CscDeviceLayout::allocate(csc, ctx.mem);
 
     // One conversion engine per pseudo channel, private to the shard
@@ -307,7 +322,7 @@ SpmmResult spmm_tiled_dcsr_online(const SpmmOperands& ops, const DenseMatrix& B,
     engines.reserve(static_cast<usize>(cfg.arch.pseudo_channels));
     for (int ch = 0; ch < cfg.arch.pseudo_channels; ++ch) engines.emplace_back(cfg.engine_hw);
 
-    DenseMatrix& C = partial.shard(sh);
+    DenseMatrixT<CT>& C = partial.shard(sh);
     std::vector<u64> b_addrs, atomic_addrs;
 
     // Engine occupancy is phase-structured: the SMs sweep one strip's
@@ -344,7 +359,7 @@ SpmmResult spmm_tiled_dcsr_online(const SpmmOperands& ops, const DenseMatrix& B,
         ctx.waves(InstrClass::kMemory, tile_cols);
         b_addrs.push_back(b.addr(col, bc));
       }
-      ctx.mem.warp_load_run(b_addrs, static_cast<i64>(tile_cols) * kValueBytes);
+      ctx.mem.warp_load_run(b_addrs, static_cast<i64>(tile_cols) * kVB);
 
       StripCursor cursor(csc, s, spec);
       for (index_t row_start = 0, t = 0; row_start < A.rows;
@@ -354,10 +369,10 @@ SpmmResult spmm_tiled_dcsr_online(const SpmmOperands& ops, const DenseMatrix& B,
         // unit (Fig. 11); requests stream ahead of consumption, so they
         // pipeline rather than serializing the warp.
         ctx.issue(InstrClass::kMemory, ctx.cfg.arch.warp_size);
-        const DcsrTile tile = engines[static_cast<usize>(ch)].convert_tile_checked(
+        const DcsrTileT<V> tile = engines[static_cast<usize>(ch)].convert_tile_checked(
             csc, cursor, row_start, spec, &ctx.mem, &a, ch);
         if (tile.nnz() == 0) continue;
-        process_dcsr_tile(ctx, tile, B, C, c, bc, tile_cols, atomic_addrs);
+        process_dcsr_tile<V>(ctx, tile, B, C, c, bc, tile_cols, atomic_addrs);
       }
       u64 phase_max = 0;
       for (int ch = 0; ch < cfg.arch.pseudo_channels; ++ch) {
@@ -381,7 +396,21 @@ SpmmResult spmm_tiled_dcsr_online(const SpmmOperands& ops, const DenseMatrix& B,
     engine_busy_ns += shard_busy_ns[sh];
     total_engine += shard_engine[sh];
   }
-  return finish(merged, partial.take(), 1.0, total_engine, engine_busy_ns, 0.0);
+  return finish<V>(merged, partial.take(), 1.0, total_engine, engine_busy_ns, 0.0);
 }
+
+#define NMDT_INSTANTIATE_B_STATIONARY(V)                                        \
+  template SpmmResult spmm_tiled_csr_b_stationary(                              \
+      const SpmmOperandsT<V>&, const DenseMatrixT<V>&, const SpmmConfig&);      \
+  template SpmmResult spmm_tiled_dcsr_b_stationary(                             \
+      const SpmmOperandsT<V>&, const DenseMatrixT<V>&, const SpmmConfig&);      \
+  template SpmmResult spmm_tiled_dcsr_online(const SpmmOperandsT<V>&,           \
+                                             const DenseMatrixT<V>&, const SpmmConfig&)
+
+NMDT_INSTANTIATE_B_STATIONARY(float);
+NMDT_INSTANTIATE_B_STATIONARY(double);
+NMDT_INSTANTIATE_B_STATIONARY(bf16_t);
+
+#undef NMDT_INSTANTIATE_B_STATIONARY
 
 }  // namespace nmdt::detail

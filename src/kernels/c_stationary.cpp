@@ -17,10 +17,12 @@ namespace {
 
 /// Shared inner body of the row-per-warp kernels: process one non-empty
 /// row whose entries are already resident (CSR or DCSR row view).
-void row_per_warp_body(Ctx& ctx, std::span<const index_t> cols,
-                       std::span<const value_t> vals, const DenseMatrix& B,
-                       const DenseLayout& b_layout, std::span<value_t> c_row,
-                       index_t K, std::vector<u64>& addr_scratch) {
+template <class V>
+void row_per_warp_body(Ctx& ctx, std::span<const index_t> cols, std::span<const V> vals,
+                       const DenseMatrixT<V>& B, const DenseLayout& b_layout,
+                       std::span<typename VTraits<V>::compute_t> c_row, index_t K,
+                       std::vector<u64>& addr_scratch) {
+  constexpr i64 kVB = static_cast<i64>(sizeof(V));
   const i64 cnt = static_cast<i64>(cols.size());
   // Per non-zero: broadcast load of (col_idx, val) + loop control; the
   // warp walks its row serially (dependent iterations).
@@ -43,18 +45,21 @@ void row_per_warp_body(Ctx& ctx, std::span<const index_t> cols,
     axpy_row(vals[j], B.row(c).data(), c_row.data(), K);
   }
   // The row's B-row fetches form one request run.
-  ctx.mem.warp_load_run(addr_scratch, static_cast<i64>(K) * kValueBytes);
+  ctx.mem.warp_load_run(addr_scratch, static_cast<i64>(K) * kVB);
   ctx.counters.flops += static_cast<u64>(2 * cnt * K);
 }
 
 }  // namespace
 
-SpmmResult spmm_csr_row_warp(const SpmmOperands& ops, const DenseMatrix& B,
+template <class V>
+SpmmResult spmm_csr_row_warp(const SpmmOperandsT<V>& ops, const DenseMatrixT<V>& B,
                              const SpmmConfig& cfg) {
-  const Csr& A = *ops.csr;
+  using CT = typename VTraits<V>::compute_t;
+  constexpr i64 kVB = static_cast<i64>(sizeof(V));
+  const CsrT<V>& A = *ops.csr;
   const index_t K = B.cols();
   const i64 groups = (static_cast<i64>(A.rows) + 31) / 32;
-  DenseMatrix C(A.rows, K, 0.0f);
+  DenseMatrixT<CT> C(A.rows, K, CT{});
 
   ShardSet shards(cfg, groups, kRowGroupGrain);
   shards.run([&](int, ShardRange range, Ctx& ctx) {
@@ -62,7 +67,7 @@ SpmmResult spmm_csr_row_warp(const SpmmOperands& ops, const DenseMatrix& B,
     // addresses (and channel/operand attribution) match the serial run.
     const CsrLayout a = CsrLayout::allocate(A, ctx.mem);
     const DenseLayout b = DenseLayout::allocate(B, ctx.mem, "B");
-    const DenseLayout c = DenseLayout::allocate(A.rows, K, ctx.mem, "C");
+    const DenseLayout c = DenseLayout::allocate(A.rows, K, kVB, ctx.mem, "C");
     std::vector<u64> addr_scratch;
     for (i64 g = range.begin; g < range.end; ++g) {
       const index_t r0 = static_cast<index_t>(g) * 32;
@@ -86,33 +91,35 @@ SpmmResult spmm_csr_row_warp(const SpmmOperands& ops, const DenseMatrix& B,
         // Row entries stream in coalesced (values and column indices).
         ctx.mem.warp_load(a.col_idx + static_cast<u64>(A.row_ptr[r]) * kIndexBytes,
                           cnt * kIndexBytes);
-        ctx.mem.warp_load(a.val + static_cast<u64>(A.row_ptr[r]) * kValueBytes,
-                          cnt * kValueBytes);
-        row_per_warp_body(ctx, A.row_cols(r), A.row_vals(r), B, b, C.row(r), K,
-                          addr_scratch);
+        ctx.mem.warp_load(a.val + static_cast<u64>(A.row_ptr[r]) * kVB, cnt * kVB);
+        row_per_warp_body<V>(ctx, A.row_cols(r), A.row_vals(r), B, b, C.row(r), K,
+                             addr_scratch);
         // Write the finished C row once (C-stationary: single update).
         ctx.waves(InstrClass::kMemory, K);
-        ctx.mem.warp_store(c.addr(r), static_cast<i64>(K) * kValueBytes);
+        ctx.mem.warp_store(c.addr(r), static_cast<i64>(K) * kVB);
       }
     }
   });
   Ctx& merged = shards.merge();
   merged.counters.kernel_launches = 1;
-  return finish(merged, std::move(C));
+  return finish<V>(merged, std::move(C));
 }
 
-SpmmResult spmm_csr_row_thread(const SpmmOperands& ops, const DenseMatrix& B,
+template <class V>
+SpmmResult spmm_csr_row_thread(const SpmmOperandsT<V>& ops, const DenseMatrixT<V>& B,
                                const SpmmConfig& cfg) {
-  const Csr& A = *ops.csr;
+  using CT = typename VTraits<V>::compute_t;
+  constexpr i64 kVB = static_cast<i64>(sizeof(V));
+  const CsrT<V>& A = *ops.csr;
   const index_t K = B.cols();
   const i64 groups = (static_cast<i64>(A.rows) + 31) / 32;
-  DenseMatrix C(A.rows, K, 0.0f);
+  DenseMatrixT<CT> C(A.rows, K, CT{});
 
   ShardSet shards(cfg, groups, kRowGroupGrain);
   shards.run([&](int, ShardRange range, Ctx& ctx) {
     const CsrLayout a = CsrLayout::allocate(A, ctx.mem);
     const DenseLayout b = DenseLayout::allocate(B, ctx.mem, "B");
-    const DenseLayout c = DenseLayout::allocate(A.rows, K, ctx.mem, "C");
+    const DenseLayout c = DenseLayout::allocate(A.rows, K, kVB, ctx.mem, "C");
     std::vector<u64> idx_addrs, val_addrs, b_addrs;
     for (i64 g = range.begin; g < range.end; ++g) {
       const index_t r0 = static_cast<index_t>(g) * 32;
@@ -143,19 +150,19 @@ SpmmResult spmm_csr_row_thread(const SpmmOperands& ops, const DenseMatrix& B,
           ++active;
           const index_t j = A.row_ptr[r] + static_cast<index_t>(it);
           const index_t col = A.col_idx[j];
-          const value_t v = A.val[j];
+          const V v = A.val[j];
           // Uncoalesced per-lane loads: each lane pulls its own sector
           // for 4 useful bytes of col_idx/val, and walks its own B row.
           // The lanes of one iteration issue together — three runs.
           idx_addrs.push_back(a.col_idx + static_cast<u64>(j) * kIndexBytes);
-          val_addrs.push_back(a.val + static_cast<u64>(j) * kValueBytes);
+          val_addrs.push_back(a.val + static_cast<u64>(j) * kVB);
           b_addrs.push_back(b.addr(col));
           axpy_row(v, B.row(col).data(), C.row(r).data(), K);
           ctx.counters.flops += static_cast<u64>(2 * K);
         }
         ctx.mem.warp_load_run(idx_addrs, kIndexBytes);
-        ctx.mem.warp_load_run(val_addrs, kValueBytes);
-        ctx.mem.warp_load_run(b_addrs, static_cast<i64>(K) * kValueBytes);
+        ctx.mem.warp_load_run(val_addrs, kVB);
+        ctx.mem.warp_load_run(b_addrs, static_cast<i64>(K) * kVB);
         ctx.issue(InstrClass::kMemory, active, 3);
         ctx.issue(InstrClass::kControl, active);
         ctx.issue(InstrClass::kMemory, active, static_cast<u64>(K));  // B element loads
@@ -167,36 +174,39 @@ SpmmResult spmm_csr_row_thread(const SpmmOperands& ops, const DenseMatrix& B,
       for (index_t r = r0; r < r0 + rows_here; ++r) {
         if (A.row_empty(r)) continue;
         ++writers;
-        ctx.mem.warp_store(c.addr(r), static_cast<i64>(K) * kValueBytes);
+        ctx.mem.warp_store(c.addr(r), static_cast<i64>(K) * kVB);
       }
       ctx.issue(InstrClass::kMemory, writers, static_cast<u64>(K));
     }
   });
   Ctx& merged = shards.merge();
   merged.counters.kernel_launches = 1;
-  return finish(merged, std::move(C));
+  return finish<V>(merged, std::move(C));
 }
 
-SpmmResult spmm_dcsr_c_stationary(const SpmmOperands& ops, const DenseMatrix& B,
+template <class V>
+SpmmResult spmm_dcsr_c_stationary(const SpmmOperandsT<V>& ops, const DenseMatrixT<V>& B,
                                   const SpmmConfig& cfg) {
-  const Csr& A = *ops.csr;
+  using CT = typename VTraits<V>::compute_t;
+  constexpr i64 kVB = static_cast<i64>(sizeof(V));
+  const CsrT<V>& A = *ops.csr;
   // Offline densification is cheap and sequential (paper Sec. 5.2
   // includes untiled DCSR in the realistic baseline set): one streaming
   // pass over CSR, one write of the DCSR arrays.  Planned callers carry
   // the densified form; the legacy path converts one-shot.
-  std::optional<Dcsr> local;
-  const Dcsr& D = ops.dcsr ? *ops.dcsr : local.emplace(dcsr_from_csr(A));
+  std::optional<DcsrT<V>> local;
+  const DcsrT<V>& D = ops.dcsr ? *ops.dcsr : local.emplace(dcsr_from_csr(A));
 
   const index_t K = B.cols();
   const i64 nrows = D.nnz_rows();
   const i64 groups = (nrows + 31) / 32;
-  DenseMatrix C(A.rows, K, 0.0f);
+  DenseMatrixT<CT> C(A.rows, K, CT{});
 
   ShardSet shards(cfg, groups, kRowGroupGrain);
   shards.run([&](int, ShardRange range, Ctx& ctx) {
     const DcsrLayout a = DcsrLayout::allocate(D, ctx.mem);
     const DenseLayout b = DenseLayout::allocate(B, ctx.mem, "B");
-    const DenseLayout c = DenseLayout::allocate(A.rows, K, ctx.mem, "C");
+    const DenseLayout c = DenseLayout::allocate(A.rows, K, kVB, ctx.mem, "C");
     std::vector<u64> addr_scratch;
     for (i64 gr = range.begin; gr < range.end; ++gr) {
       const i64 g0 = gr * 32;
@@ -216,12 +226,11 @@ SpmmResult spmm_dcsr_c_stationary(const SpmmOperands& ops, const DenseMatrix& B,
         const i64 cnt = D.dense_row_nnz(g);
         ctx.mem.warp_load(a.col_idx + static_cast<u64>(D.row_ptr[g]) * kIndexBytes,
                           cnt * kIndexBytes);
-        ctx.mem.warp_load(a.val + static_cast<u64>(D.row_ptr[g]) * kValueBytes,
-                          cnt * kValueBytes);
-        row_per_warp_body(ctx, D.dense_row_cols(g), D.dense_row_vals(g), B, b, C.row(r),
-                          K, addr_scratch);
+        ctx.mem.warp_load(a.val + static_cast<u64>(D.row_ptr[g]) * kVB, cnt * kVB);
+        row_per_warp_body<V>(ctx, D.dense_row_cols(g), D.dense_row_vals(g), B, b,
+                             C.row(r), K, addr_scratch);
         ctx.waves(InstrClass::kMemory, K);
-        ctx.mem.warp_store(c.addr(r), static_cast<i64>(K) * kValueBytes);
+        ctx.mem.warp_store(c.addr(r), static_cast<i64>(K) * kVB);
       }
     }
   });
@@ -233,7 +242,21 @@ SpmmResult spmm_dcsr_c_stationary(const SpmmOperands& ops, const DenseMatrix& B,
   const Footprint fd = footprint(D);
   const double prep_ns = static_cast<double>(fc.total() + fd.total()) /
                          cfg.arch.total_bandwidth_gbps();
-  return finish(merged, std::move(C), 1.0, {}, 0.0, prep_ns);
+  return finish<V>(merged, std::move(C), 1.0, {}, 0.0, prep_ns);
 }
+
+#define NMDT_INSTANTIATE_C_STATIONARY(V)                                              \
+  template SpmmResult spmm_csr_row_warp(const SpmmOperandsT<V>&,                      \
+                                        const DenseMatrixT<V>&, const SpmmConfig&);   \
+  template SpmmResult spmm_csr_row_thread(const SpmmOperandsT<V>&,                    \
+                                          const DenseMatrixT<V>&, const SpmmConfig&); \
+  template SpmmResult spmm_dcsr_c_stationary(const SpmmOperandsT<V>&,                 \
+                                             const DenseMatrixT<V>&, const SpmmConfig&)
+
+NMDT_INSTANTIATE_C_STATIONARY(float);
+NMDT_INSTANTIATE_C_STATIONARY(double);
+NMDT_INSTANTIATE_C_STATIONARY(bf16_t);
+
+#undef NMDT_INSTANTIATE_C_STATIONARY
 
 }  // namespace nmdt::detail

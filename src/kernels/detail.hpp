@@ -1,5 +1,11 @@
 // Internal helpers shared by the SpMM kernel implementations.  Not part
 // of the public API.
+//
+// Precision: helpers are templated on the stored value type V.  Device
+// layouts size value arrays at sizeof(V) (the width the memory system
+// sees), while host-side accumulation runs at VTraits<V>::compute_t —
+// bf16 operands are widened to f32 for every FMA and narrowed once when
+// the result is stored (finish()).
 #pragma once
 
 #include <functional>
@@ -8,6 +14,7 @@
 
 #include "gpusim/warp.hpp"
 #include "kernels/spmm.hpp"
+#include "util/precision.hpp"
 
 #if defined(__GNUC__) || defined(__clang__)
 #define NMDT_RESTRICT __restrict__
@@ -17,26 +24,31 @@
 
 namespace nmdt::detail {
 
-/// Device placement of a row-major dense matrix.
+/// Device placement of a row-major dense matrix.  `vbytes` is the
+/// stored element width — it scales every address and every request
+/// size derived from this layout.
 struct DenseLayout {
   u64 base = 0;
   index_t cols = 0;
+  i64 vbytes = kValueBytes;
 
   u64 addr(index_t r, index_t col_off = 0) const {
     return base + (static_cast<u64>(r) * static_cast<u64>(cols) + static_cast<u64>(col_off)) *
-                      kValueBytes;
+                      static_cast<u64>(vbytes);
   }
 
-  static DenseLayout allocate(const DenseMatrix& m, MemorySystem& mem,
+  template <class V>
+  static DenseLayout allocate(const DenseMatrixT<V>& m, MemorySystem& mem,
                               const std::string& name) {
-    return {mem.allocate(m.size_bytes(), name), m.cols()};
+    return {mem.allocate(m.size_bytes(), name), m.cols(), static_cast<i64>(sizeof(V))};
   }
 
   /// Placement by shape only — shard bodies replay the allocation
   /// sequence without materializing a host-side matrix.
-  static DenseLayout allocate(index_t rows, index_t cols, MemorySystem& mem,
-                              const std::string& name) {
-    return {mem.allocate(static_cast<i64>(rows) * cols * kValueBytes, name), cols};
+  static DenseLayout allocate(index_t rows, index_t cols, i64 value_bytes,
+                              MemorySystem& mem, const std::string& name) {
+    return {mem.allocate(static_cast<i64>(rows) * cols * value_bytes, name), cols,
+            value_bytes};
   }
 };
 
@@ -46,11 +58,12 @@ struct CsrLayout {
   u64 col_idx = 0;
   u64 val = 0;
 
-  static CsrLayout allocate(const Csr& a, MemorySystem& mem) {
+  template <class V>
+  static CsrLayout allocate(const CsrT<V>& a, MemorySystem& mem) {
     CsrLayout l;
     l.row_ptr = mem.allocate(static_cast<i64>(a.row_ptr.size()) * kIndexBytes, "A.row_ptr");
     l.col_idx = mem.allocate(static_cast<i64>(a.col_idx.size()) * kIndexBytes, "A.col_idx");
-    l.val = mem.allocate(static_cast<i64>(a.val.size()) * kValueBytes, "A.val");
+    l.val = mem.allocate(static_cast<i64>(a.val.size() * sizeof(V)), "A.val");
     return l;
   }
 };
@@ -62,12 +75,13 @@ struct DcsrLayout {
   u64 col_idx = 0;
   u64 val = 0;
 
-  static DcsrLayout allocate(const Dcsr& a, MemorySystem& mem) {
+  template <class V>
+  static DcsrLayout allocate(const DcsrT<V>& a, MemorySystem& mem) {
     DcsrLayout l;
     l.row_idx = mem.allocate(static_cast<i64>(a.row_idx.size()) * kIndexBytes, "A.row_idx");
     l.row_ptr = mem.allocate(static_cast<i64>(a.row_ptr.size()) * kIndexBytes, "A.row_ptr");
     l.col_idx = mem.allocate(static_cast<i64>(a.col_idx.size()) * kIndexBytes, "A.col_idx");
-    l.val = mem.allocate(static_cast<i64>(a.val.size()) * kValueBytes, "A.val");
+    l.val = mem.allocate(static_cast<i64>(a.val.size() * sizeof(V)), "A.val");
     return l;
   }
 };
@@ -89,43 +103,62 @@ struct Ctx {
   }
 };
 
-/// Assemble the result: snapshot counters/memory, compute timing.
-SpmmResult finish(Ctx& ctx, DenseMatrix C, double compute_inflation = 1.0,
-                  EngineStats engine = {}, double engine_busy_ns = 0.0,
-                  double offline_prep_ns = 0.0);
+/// Store a compute-precision accumulator into the result at storage
+/// precision V: f32 moves it, f64 keeps the double matrix as `C64` and
+/// narrows a convenience view, bf16 rounds each element to the nearest
+/// bf16 (round-to-nearest-even, still held as f32 bits).
+template <class V>
+void store_result_c(SpmmResult& res, DenseMatrixT<typename VTraits<V>::compute_t>&& C);
+
+/// Assemble the result: snapshot counters/memory, compute timing, store
+/// C at precision V.
+template <class V>
+SpmmResult finish(Ctx& ctx, DenseMatrixT<typename VTraits<V>::compute_t> C,
+                  double compute_inflation = 1.0, EngineStats engine = {},
+                  double engine_busy_ns = 0.0, double offline_prep_ns = 0.0);
 
 /// Cooperative load of a B tile into shared memory: `width` B rows
 /// (one per A strip column) by `tile_cols` columns starting at
 /// (row_begin, col_begin).  `addr_scratch` is a reusable buffer for the
-/// batched request run.
+/// batched request run.  Request sizes scale with the layout's element
+/// width.
 void load_b_tile(Ctx& ctx, const DenseLayout& b, index_t row_begin, index_t width,
                  index_t col_begin, index_t tile_cols, std::vector<u64>& addr_scratch);
 
 /// c[0..k) += a·b[0..k): the K-blocked accumulate micro-kernel every
-/// kernel's FMA sweep routes through.  Eight-wide unrolled with
-/// restrict-qualified pointers so the compiler keeps the partials in
-/// registers (or vectorizes); each element still receives exactly one
-/// update per call, in the same per-element operation as the scalar
-/// loop it replaces, so the FP result is unchanged.
-inline void axpy_row(value_t a, const value_t* NMDT_RESTRICT b,
-                     value_t* NMDT_RESTRICT c, index_t k) {
+/// kernel's FMA sweep routes through.  Operands are stored values (V);
+/// the accumulator row is compute precision — bf16 widens to f32 per
+/// element (the FMA the near-memory engine literature assumes), f32/f64
+/// are identity widenings, so the float instantiation is the exact
+/// legacy micro-kernel.  Eight-wide unrolled with restrict-qualified
+/// pointers so the compiler keeps the partials in registers (or
+/// vectorizes); each element still receives exactly one update per
+/// call, in the same per-element operation as the scalar loop it
+/// replaces, so the FP result is unchanged.
+template <class V>
+inline void axpy_row(V a, const V* NMDT_RESTRICT b,
+                     typename VTraits<V>::compute_t* NMDT_RESTRICT c, index_t k) {
+  using VT = VTraits<V>;
+  const typename VT::compute_t av = VT::to_compute(a);
   index_t i = 0;
   for (; i + 8 <= k; i += 8) {
-    c[i + 0] += a * b[i + 0];
-    c[i + 1] += a * b[i + 1];
-    c[i + 2] += a * b[i + 2];
-    c[i + 3] += a * b[i + 3];
-    c[i + 4] += a * b[i + 4];
-    c[i + 5] += a * b[i + 5];
-    c[i + 6] += a * b[i + 6];
-    c[i + 7] += a * b[i + 7];
+    c[i + 0] += av * VT::to_compute(b[i + 0]);
+    c[i + 1] += av * VT::to_compute(b[i + 1]);
+    c[i + 2] += av * VT::to_compute(b[i + 2]);
+    c[i + 3] += av * VT::to_compute(b[i + 3]);
+    c[i + 4] += av * VT::to_compute(b[i + 4]);
+    c[i + 5] += av * VT::to_compute(b[i + 5]);
+    c[i + 6] += av * VT::to_compute(b[i + 6]);
+    c[i + 7] += av * VT::to_compute(b[i + 7]);
   }
-  for (; i < k; ++i) c[i] += a * b[i];
+  for (; i < k; ++i) c[i] += av * VT::to_compute(b[i]);
 }
 
 /// dst += src elementwise (the partial-C reduction step; always applied
 /// in ascending shard order so the FP accumulation order is fixed).
-void accumulate_dense(DenseMatrix& dst, const DenseMatrix& src);
+/// Instantiated at the compute precisions (float, double).
+template <class T>
+void accumulate_dense(DenseMatrixT<T>& dst, const DenseMatrixT<T>& src);
 
 // ---- Intra-kernel sharding ------------------------------------------
 //
@@ -184,18 +217,22 @@ class ShardSet {
 };
 
 /// Per-shard partial C buffers for kernels whose shards contribute to
-/// overlapping C rows (B-/A-stationary).  Shard 0's buffer doubles as
-/// the final C: take() folds shards 1..n-1 into it in index order.
-class PartialC {
+/// overlapping C rows (B-/A-stationary).  Buffers hold the compute
+/// precision T.  Shard 0's buffer doubles as the final C: take() folds
+/// shards 1..n-1 into it in index order.
+template <class T>
+class PartialCT {
  public:
-  PartialC(index_t rows, index_t cols, int shards);
+  PartialCT(index_t rows, index_t cols, int shards);
 
-  DenseMatrix& shard(int s) { return buffers_[static_cast<usize>(s)]; }
-  DenseMatrix take();
+  DenseMatrixT<T>& shard(int s) { return buffers_[static_cast<usize>(s)]; }
+  DenseMatrixT<T> take();
 
  private:
-  std::vector<DenseMatrix> buffers_;
+  std::vector<DenseMatrixT<T>> buffers_;
 };
+
+using PartialC = PartialCT<value_t>;
 
 /// Index-based generator of the (b_col_begin, strip) visit sequence of
 /// Sec. 3.1.3 for strips [strip_begin, strip_end): replaces the
@@ -231,27 +268,38 @@ class VisitOrder {
   TraversalOrder order_;
 };
 
-// Kernel implementations (one translation unit per family).  Each takes
+// Kernel implementations (one translation unit per family), templated
+// on the stored value type and explicitly instantiated for float,
+// double, and bf16_t in their defining translation units.  Each takes
 // the operand bundle and consumes the pre-converted artifact it needs,
 // converting locally only when the field is absent (legacy path) or
 // built under a different tiling than cfg.tiling.
-SpmmResult spmm_csr_row_warp(const SpmmOperands& A, const DenseMatrix& B,
+template <class V>
+SpmmResult spmm_csr_row_warp(const SpmmOperandsT<V>& A, const DenseMatrixT<V>& B,
                              const SpmmConfig& cfg);
-SpmmResult spmm_csr_row_thread(const SpmmOperands& A, const DenseMatrix& B,
+template <class V>
+SpmmResult spmm_csr_row_thread(const SpmmOperandsT<V>& A, const DenseMatrixT<V>& B,
                                const SpmmConfig& cfg);
-SpmmResult spmm_dcsr_c_stationary(const SpmmOperands& A, const DenseMatrix& B,
+template <class V>
+SpmmResult spmm_dcsr_c_stationary(const SpmmOperandsT<V>& A, const DenseMatrixT<V>& B,
                                   const SpmmConfig& cfg);
-SpmmResult spmm_tiled_csr_b_stationary(const SpmmOperands& A, const DenseMatrix& B,
+template <class V>
+SpmmResult spmm_tiled_csr_b_stationary(const SpmmOperandsT<V>& A, const DenseMatrixT<V>& B,
                                        const SpmmConfig& cfg);
-SpmmResult spmm_tiled_dcsr_b_stationary(const SpmmOperands& A, const DenseMatrix& B,
-                                        const SpmmConfig& cfg);
-SpmmResult spmm_tiled_dcsr_online(const SpmmOperands& A, const DenseMatrix& B,
+template <class V>
+SpmmResult spmm_tiled_dcsr_b_stationary(const SpmmOperandsT<V>& A,
+                                        const DenseMatrixT<V>& B, const SpmmConfig& cfg);
+template <class V>
+SpmmResult spmm_tiled_dcsr_online(const SpmmOperandsT<V>& A, const DenseMatrixT<V>& B,
                                   const SpmmConfig& cfg);
-SpmmResult spmm_a_stationary(const SpmmOperands& A, const DenseMatrix& B,
+template <class V>
+SpmmResult spmm_a_stationary(const SpmmOperandsT<V>& A, const DenseMatrixT<V>& B,
                              const SpmmConfig& cfg);
-SpmmResult spmm_merge_c_stationary(const SpmmOperands& A, const DenseMatrix& B,
+template <class V>
+SpmmResult spmm_merge_c_stationary(const SpmmOperandsT<V>& A, const DenseMatrixT<V>& B,
                                    const SpmmConfig& cfg);
-SpmmResult spmm_hong_hybrid(const SpmmOperands& A, const DenseMatrix& B,
+template <class V>
+SpmmResult spmm_hong_hybrid(const SpmmOperandsT<V>& A, const DenseMatrixT<V>& B,
                             const SpmmConfig& cfg);
 
 }  // namespace nmdt::detail

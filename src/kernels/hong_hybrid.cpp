@@ -13,6 +13,7 @@
 // statistics; correctness holds because SpMM is additive over any
 // partition of A's non-zeros.
 #include <algorithm>
+#include <type_traits>
 
 #include "kernels/detail.hpp"
 #include "util/error.hpp"
@@ -21,14 +22,16 @@ namespace nmdt::detail {
 
 namespace {
 
+template <class V>
 struct HongSplit {
-  Csr heavy;  ///< segments with >= threshold nnz in their strip
-  Csr light;  ///< everything else
+  CsrT<V> heavy;  ///< segments with >= threshold nnz in their strip
+  CsrT<V> light;  ///< everything else
 };
 
-HongSplit split_by_segment_weight(const Csr& A, const TilingSpec& spec,
-                                  index_t threshold) {
-  Coo heavy, light;
+template <class V>
+HongSplit<V> split_by_segment_weight(const CsrT<V>& A, const TilingSpec& spec,
+                                     index_t threshold) {
+  CooT<V> heavy, light;
   heavy.rows = light.rows = A.rows;
   heavy.cols = light.cols = A.cols;
   std::vector<i64> seg_count(static_cast<usize>(spec.num_strips(A.cols)));
@@ -39,7 +42,7 @@ HongSplit split_by_segment_weight(const Csr& A, const TilingSpec& spec,
     }
     for (index_t k = A.row_ptr[r]; k < A.row_ptr[r + 1]; ++k) {
       const index_t c = A.col_idx[k];
-      Coo& dst = seg_count[c / spec.strip_width] >= threshold ? heavy : light;
+      CooT<V>& dst = seg_count[c / spec.strip_width] >= threshold ? heavy : light;
       dst.push(r, c, A.val[k]);
     }
   }
@@ -48,31 +51,42 @@ HongSplit split_by_segment_weight(const Csr& A, const TilingSpec& spec,
 
 }  // namespace
 
-SpmmResult spmm_hong_hybrid(const SpmmOperands& ops, const DenseMatrix& B,
+template <class V>
+SpmmResult spmm_hong_hybrid(const SpmmOperandsT<V>& ops, const DenseMatrixT<V>& B,
                             const SpmmConfig& cfg) {
   NMDT_CHECK_CONFIG(cfg.hong_heavy_threshold > 0, "hong_heavy_threshold must be positive");
-  const Csr& A = *ops.csr;
+  using CT = typename VTraits<V>::compute_t;
+  const CsrT<V>& A = *ops.csr;
   // The heavy/light split depends on cfg.hong_heavy_threshold, not on A
   // alone, so it is not a plan-cacheable artifact: always derived here.
-  const HongSplit split = split_by_segment_weight(A, cfg.tiling, cfg.hong_heavy_threshold);
+  const HongSplit<V> split =
+      split_by_segment_weight(A, cfg.tiling, cfg.hong_heavy_threshold);
 
   const index_t K = B.cols();
   SpmmResult heavy_res;
   SpmmResult light_res;
   bool ran_heavy = false, ran_light = false;
   if (split.heavy.nnz() > 0) {
-    heavy_res = spmm_tiled_dcsr_b_stationary(SpmmOperands::from_csr(split.heavy), B, cfg);
+    heavy_res =
+        spmm_tiled_dcsr_b_stationary(SpmmOperandsT<V>::from_csr(split.heavy), B, cfg);
     ran_heavy = true;
   }
   if (split.light.nnz() > 0) {
-    light_res = spmm_csr_row_warp(SpmmOperands::from_csr(split.light), B, cfg);
+    light_res = spmm_csr_row_warp(SpmmOperandsT<V>::from_csr(split.light), B, cfg);
     ran_light = true;
   }
 
   SpmmResult out;
-  out.C = DenseMatrix(A.rows, K, 0.0f);
+  // Phase outputs merge at compute precision in a fixed order (heavy
+  // then light), then store once at precision V — the same store
+  // rounding discipline as a single-kernel run.
+  DenseMatrixT<CT> acc(A.rows, K, CT{});
   auto merge_phase = [&](const SpmmResult& phase) {
-    accumulate_dense(out.C, phase.C);
+    if constexpr (std::is_same_v<V, double>) {
+      accumulate_dense(acc, phase.C64);
+    } else {
+      accumulate_dense(acc, phase.C);
+    }
     out.counters += phase.counters;
     out.mem += phase.mem;
     // Phase preprocessing (heavy-part tiling) carries over; the split
@@ -81,6 +95,7 @@ SpmmResult spmm_hong_hybrid(const SpmmOperands& ops, const DenseMatrix& B,
   };
   if (ran_heavy) merge_phase(heavy_res);
   if (ran_light) merge_phase(light_res);
+  store_result_c<V>(out, std::move(acc));
 
   // The segment-weight split streams the whole CSR matrix once and
   // writes both parts — preprocessing on top of the heavy-part tiling.
@@ -92,5 +107,12 @@ SpmmResult spmm_hong_hybrid(const SpmmOperands& ops, const DenseMatrix& B,
   out.timing = compute_timing(cfg.arch, out.counters, out.mem, 1.0, 0.0);
   return out;
 }
+
+template SpmmResult spmm_hong_hybrid(const SpmmOperandsT<float>&,
+                                     const DenseMatrixT<float>&, const SpmmConfig&);
+template SpmmResult spmm_hong_hybrid(const SpmmOperandsT<double>&,
+                                     const DenseMatrixT<double>&, const SpmmConfig&);
+template SpmmResult spmm_hong_hybrid(const SpmmOperandsT<bf16_t>&,
+                                     const DenseMatrixT<bf16_t>&, const SpmmConfig&);
 
 }  // namespace nmdt::detail

@@ -25,22 +25,25 @@
 
 namespace nmdt::detail {
 
-SpmmResult spmm_merge_c_stationary(const SpmmOperands& ops, const DenseMatrix& B,
+template <class V>
+SpmmResult spmm_merge_c_stationary(const SpmmOperandsT<V>& ops, const DenseMatrixT<V>& B,
                                    const SpmmConfig& cfg) {
   NMDT_CHECK_CONFIG(cfg.merge_chunk > 0, "merge_chunk must be positive");
-  const Csr& A = *ops.csr;
-  std::optional<Dcsr> local;
-  const Dcsr& D = ops.dcsr ? *ops.dcsr : local.emplace(dcsr_from_csr(A));
+  using CT = typename VTraits<V>::compute_t;
+  constexpr i64 kVB = static_cast<i64>(sizeof(V));
+  const CsrT<V>& A = *ops.csr;
+  std::optional<DcsrT<V>> local;
+  const DcsrT<V>& D = ops.dcsr ? *ops.dcsr : local.emplace(dcsr_from_csr(A));
 
   const index_t K = B.cols();
   const index_t chunk = cfg.merge_chunk;
-  DenseMatrix C(A.rows, K, 0.0f);
+  DenseMatrixT<CT> C(A.rows, K, CT{});
 
   ShardSet shards(cfg, D.nnz_rows(), kMergeRowGrain);
   shards.run([&](int sh, ShardRange range, Ctx& ctx) {
     const DcsrLayout a = DcsrLayout::allocate(D, ctx.mem);
     const DenseLayout b = DenseLayout::allocate(B, ctx.mem, "B");
-    const DenseLayout c = DenseLayout::allocate(A.rows, K, ctx.mem, "C");
+    const DenseLayout c = DenseLayout::allocate(A.rows, K, kVB, ctx.mem, "C");
     std::vector<u64> b_addrs;
 
     if (sh == 0) {
@@ -56,7 +59,7 @@ SpmmResult spmm_merge_c_stationary(const SpmmOperands& ops, const DenseMatrix& B
       const index_t r = D.dense_row(g);
       const index_t row_begin = D.row_ptr[g];
       const index_t row_end = D.row_ptr[g + 1];
-      value_t* NMDT_RESTRICT c_row = C.row(r).data();
+      CT* NMDT_RESTRICT c_row = C.row(r).data();
 
       for (index_t span = row_begin; span < row_end; span += chunk) {
         const index_t span_end = std::min<index_t>(span + chunk, row_end);
@@ -71,7 +74,7 @@ SpmmResult spmm_merge_c_stationary(const SpmmOperands& ops, const DenseMatrix& B
         // Span's entries stream in coalesced.
         ctx.mem.warp_load(a.col_idx + static_cast<u64>(span) * kIndexBytes,
                           cnt * kIndexBytes);
-        ctx.mem.warp_load(a.val + static_cast<u64>(span) * kValueBytes, cnt * kValueBytes);
+        ctx.mem.warp_load(a.val + static_cast<u64>(span) * kVB, cnt * kVB);
         ctx.issue(InstrClass::kMemory, ctx.cfg.arch.warp_size, static_cast<u64>(cnt));
 
         // Accumulate the span into registers (math on the host directly
@@ -87,15 +90,15 @@ SpmmResult spmm_merge_c_stationary(const SpmmOperands& ops, const DenseMatrix& B
           axpy_row(D.val[j], B.row(col).data(), c_row, K);
           ctx.counters.flops += static_cast<u64>(2 * K);
         }
-        ctx.mem.warp_load_run(b_addrs, static_cast<i64>(K) * kValueBytes);
+        ctx.mem.warp_load_run(b_addrs, static_cast<i64>(K) * kVB);
 
         ctx.waves(InstrClass::kMemory, K);
         if (whole_row) {
           // Exclusive owner: plain store.
-          ctx.mem.warp_store(c.addr(r), static_cast<i64>(K) * kValueBytes);
+          ctx.mem.warp_store(c.addr(r), static_cast<i64>(K) * kVB);
         } else {
           // Split row: partial contribution merges atomically.
-          ctx.mem.warp_atomic(c.addr(r), static_cast<i64>(K) * kValueBytes);
+          ctx.mem.warp_atomic(c.addr(r), static_cast<i64>(K) * kVB);
           ++ctx.counters.atomic_updates;
         }
       }
@@ -103,7 +106,16 @@ SpmmResult spmm_merge_c_stationary(const SpmmOperands& ops, const DenseMatrix& B
   });
   Ctx& merged = shards.merge();
   merged.counters.kernel_launches = 1;
-  return finish(merged, std::move(C));
+  return finish<V>(merged, std::move(C));
 }
+
+template SpmmResult spmm_merge_c_stationary(const SpmmOperandsT<float>&,
+                                            const DenseMatrixT<float>&, const SpmmConfig&);
+template SpmmResult spmm_merge_c_stationary(const SpmmOperandsT<double>&,
+                                            const DenseMatrixT<double>&,
+                                            const SpmmConfig&);
+template SpmmResult spmm_merge_c_stationary(const SpmmOperandsT<bf16_t>&,
+                                            const DenseMatrixT<bf16_t>&,
+                                            const SpmmConfig&);
 
 }  // namespace nmdt::detail

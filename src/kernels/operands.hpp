@@ -13,6 +13,10 @@
 // legacy shim's stack frame) guarantees they outlive the kernel call.
 // `csr` is always required — it is the canonical operand every kernel
 // can derive from.
+//
+// The bundle is typed on the stored value precision V: every format in
+// one bundle carries the same scalar type, so a kernel can never mix
+// operands rounded at different precisions.
 #pragma once
 
 #include "formats/csc.hpp"
@@ -22,20 +26,24 @@
 
 namespace nmdt {
 
-struct SpmmOperands {
-  const Csr* csr = nullptr;               ///< required
-  const Csc* csc = nullptr;               ///< online tiled-DCSR kernel
-  const Dcsr* dcsr = nullptr;             ///< untiled DCSR kernels
-  const TiledDcsr* tiled_dcsr = nullptr;  ///< offline B-stationary arm
-  const TiledCsr* tiled_csr = nullptr;    ///< tiled-CSR strawman, A-stationary
-  const StripNnz* strip_nnz = nullptr;    ///< B-stationary strip-skip table
+template <class V>
+struct SpmmOperandsT {
+  const CsrT<V>* csr = nullptr;                ///< required
+  const CscT<V>* csc = nullptr;                ///< online tiled-DCSR kernel
+  const DcsrT<V>* dcsr = nullptr;              ///< untiled DCSR kernels
+  const TiledDcsrT<V>* tiled_dcsr = nullptr;   ///< offline B-stationary arm
+  const TiledCsrT<V>* tiled_csr = nullptr;     ///< tiled-CSR strawman, A-stationary
+  const StripNnz* strip_nnz = nullptr;         ///< B-stationary strip-skip table
 
   /// CSR-only bundle (every other format converts on demand).
-  static SpmmOperands from_csr(const Csr& a) {
-    SpmmOperands ops;
+  static SpmmOperandsT from_csr(const CsrT<V>& a) {
+    SpmmOperandsT ops;
     ops.csr = &a;
     return ops;
   }
 };
+
+/// Default-precision alias; existing f32 call sites use this name.
+using SpmmOperands = SpmmOperandsT<value_t>;
 
 }  // namespace nmdt

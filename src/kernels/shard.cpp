@@ -67,21 +67,31 @@ Ctx& ShardSet::merge() {
   return ctxs_[0];
 }
 
-void accumulate_dense(DenseMatrix& dst, const DenseMatrix& src) {
+template <class T>
+void accumulate_dense(DenseMatrixT<T>& dst, const DenseMatrixT<T>& src) {
   const auto s = src.data();
   auto d = dst.data();
   for (usize i = 0; i < d.size(); ++i) d[i] += s[i];
 }
 
-PartialC::PartialC(index_t rows, index_t cols, int shards) {
+template <class T>
+PartialCT<T>::PartialCT(index_t rows, index_t cols, int shards) {
   buffers_.reserve(static_cast<usize>(shards));
-  for (int s = 0; s < shards; ++s) buffers_.emplace_back(rows, cols, 0.0f);
+  for (int s = 0; s < shards; ++s) buffers_.emplace_back(rows, cols, T{});
 }
 
-DenseMatrix PartialC::take() {
-  DenseMatrix out = std::move(buffers_[0]);
+template <class T>
+DenseMatrixT<T> PartialCT<T>::take() {
+  DenseMatrixT<T> out = std::move(buffers_[0]);
   for (usize s = 1; s < buffers_.size(); ++s) accumulate_dense(out, buffers_[s]);
   return out;
 }
+
+// Compute precisions only: bf16 accumulates in f32, so the partial-C
+// machinery never holds bf16 elements.
+template void accumulate_dense(DenseMatrixT<float>&, const DenseMatrixT<float>&);
+template void accumulate_dense(DenseMatrixT<double>&, const DenseMatrixT<double>&);
+template class PartialCT<float>;
+template class PartialCT<double>;
 
 }  // namespace nmdt::detail

@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <optional>
+#include <type_traits>
 
+#include "formats/retype.hpp"
 #include "kernels/detail.hpp"
 #include "obs/scoped_timer.hpp"
 #include "obs/trace.hpp"
@@ -37,6 +39,9 @@ SpmmConfig evaluation_config(index_t n, index_t K) {
   NMDT_CHECK_CONFIG(n > 0 && K > 0, "evaluation_config requires positive dimensions");
   SpmmConfig cfg;
   cfg.mem_mode = MemMode::kCacheSim;
+  // The L2 ratio is anchored at the canonical f32 width for every
+  // precision: cross-precision comparisons then share one architecture
+  // and isolate the value-byte effect instead of also moving the cache.
   const i64 b_bytes = static_cast<i64>(n) * K * kValueBytes;
   const i64 set_bytes = static_cast<i64>(cfg.arch.l2_ways) * cfg.arch.l2_line_bytes;
   i64 l2 = static_cast<i64>(static_cast<double>(b_bytes) / 1.8);
@@ -49,8 +54,9 @@ SpmmConfig evaluation_config(index_t n, index_t K) {
 
 namespace {
 
-SpmmResult dispatch_spmm(KernelKind kind, const SpmmOperands& A, const DenseMatrix& B,
-                         const SpmmConfig& cfg) {
+template <class V>
+SpmmResult dispatch_spmm(KernelKind kind, const SpmmOperandsT<V>& A,
+                         const DenseMatrixT<V>& B, const SpmmConfig& cfg) {
   switch (kind) {
     case KernelKind::kCsrCStationaryRowWarp: return detail::spmm_csr_row_warp(A, B, cfg);
     case KernelKind::kCsrCStationaryRowThread:
@@ -70,8 +76,9 @@ SpmmResult dispatch_spmm(KernelKind kind, const SpmmOperands& A, const DenseMatr
 
 }  // namespace
 
-SpmmResult run_spmm(KernelKind kind, const SpmmOperands& A, const DenseMatrix& B,
-                    const SpmmConfig& cfg) {
+template <class V>
+SpmmResult run_spmm_t(KernelKind kind, const SpmmOperandsT<V>& A,
+                      const DenseMatrixT<V>& B, const SpmmConfig& cfg) {
   NMDT_REQUIRE(A.csr != nullptr, "SpmmOperands must carry the CSR operand");
   NMDT_REQUIRE(A.csr->cols == B.rows(), "SpMM shape mismatch: A.cols != B.rows");
   cfg.tiling.validate();
@@ -107,6 +114,7 @@ SpmmResult run_spmm(KernelKind kind, const SpmmOperands& A, const DenseMatrix& B
       .arg("nnz", static_cast<i64>(A.csr->nnz()))
       .arg("k", static_cast<i64>(B.cols()))
       .arg("jobs", cfg.jobs)
+      .arg("precision", precision_name(VTraits<V>::kPrecision))
       .arg("modelled_ns", res.timing.total_ns)
       .arg("flops", res.counters.flops)
       .arg("instr", res.counters.total_instr())
@@ -114,6 +122,29 @@ SpmmResult run_spmm(KernelKind kind, const SpmmOperands& A, const DenseMatrix& B
       .arg("dram_bytes", res.mem.total_dram_bytes())
       .arg("engine_busy_ns", res.engine_busy_ns);
   return res;
+}
+
+template SpmmResult run_spmm_t(KernelKind, const SpmmOperandsT<float>&,
+                               const DenseMatrixT<float>&, const SpmmConfig&);
+template SpmmResult run_spmm_t(KernelKind, const SpmmOperandsT<double>&,
+                               const DenseMatrixT<double>&, const SpmmConfig&);
+template SpmmResult run_spmm_t(KernelKind, const SpmmOperandsT<bf16_t>&,
+                               const DenseMatrixT<bf16_t>&, const SpmmConfig&);
+
+SpmmResult run_spmm(KernelKind kind, const SpmmOperands& A, const DenseMatrix& B,
+                    const SpmmConfig& cfg) {
+  if (cfg.precision == Precision::kF32) return run_spmm_t<float>(kind, A, B, cfg);
+  // Legacy untyped entry asked for a non-default precision: retype the
+  // canonical f32 operands once (derived formats rebuild on demand at
+  // the kernel's precision — structural conversions commute with
+  // retyping, so results match a fully pre-converted plan).
+  NMDT_REQUIRE(A.csr != nullptr, "SpmmOperands must carry the CSR operand");
+  return dispatch_precision(cfg.precision, [&](auto tag) -> SpmmResult {
+    using V = typename decltype(tag)::type;
+    const CsrT<V> a = retype<V>(*A.csr);
+    const DenseMatrixT<V> b = retype<V>(B);
+    return run_spmm_t<V>(kind, SpmmOperandsT<V>::from_csr(a), b, cfg);
+  });
 }
 
 SpmmResult run_spmm(KernelKind kind, const Csr& A, const DenseMatrix& B,
@@ -135,12 +166,62 @@ DenseMatrix spmm_reference(const Csr& A, const DenseMatrix& B) {
   return C;
 }
 
+template <class V>
+DenseMatrixT<double> spmm_reference_f64(const CsrT<V>& A, const DenseMatrixT<V>& B) {
+  NMDT_REQUIRE(A.cols == B.rows(), "SpMM shape mismatch: A.cols != B.rows");
+  DenseMatrixT<double> C(A.rows, B.cols(), 0.0);
+  for (index_t r = 0; r < A.rows; ++r) {
+    auto c_row = C.row(r);
+    for (index_t j = A.row_ptr[r]; j < A.row_ptr[r + 1]; ++j) {
+      const double a = VTraits<V>::to_f64(A.val[j]);
+      const auto b_row = B.row(A.col_idx[j]);
+      for (index_t k = 0; k < B.cols(); ++k) {
+        c_row[k] += a * VTraits<V>::to_f64(b_row[k]);
+      }
+    }
+  }
+  return C;
+}
+
+template DenseMatrixT<double> spmm_reference_f64(const CsrT<float>&,
+                                                 const DenseMatrixT<float>&);
+template DenseMatrixT<double> spmm_reference_f64(const CsrT<double>&,
+                                                 const DenseMatrixT<double>&);
+template DenseMatrixT<double> spmm_reference_f64(const CsrT<bf16_t>&,
+                                                 const DenseMatrixT<bf16_t>&);
+
 namespace detail {
 
-SpmmResult finish(Ctx& ctx, DenseMatrix C, double compute_inflation, EngineStats engine,
-                  double engine_busy_ns, double offline_prep_ns) {
+template <class V>
+void store_result_c(SpmmResult& res, DenseMatrixT<typename VTraits<V>::compute_t>&& C) {
+  res.precision = VTraits<V>::kPrecision;
+  if constexpr (std::is_same_v<V, double>) {
+    res.C = DenseMatrix(C.rows(), C.cols());
+    auto dst = res.C.data();
+    const auto src = C.data();
+    for (usize i = 0; i < dst.size(); ++i) dst[i] = static_cast<float>(src[i]);
+    res.C64 = std::move(C);
+  } else if constexpr (std::is_same_v<V, bf16_t>) {
+    // Store rounding: the accumulator ran in f32; C is *stored* at bf16,
+    // so round each element once (RNE) and keep the widened bits.
+    auto d = C.data();
+    for (usize i = 0; i < d.size(); ++i) d[i] = bf16_t(d[i]).to_float();
+    res.C = std::move(C);
+  } else {
+    res.C = std::move(C);
+  }
+}
+
+template void store_result_c<float>(SpmmResult&, DenseMatrixT<float>&&);
+template void store_result_c<double>(SpmmResult&, DenseMatrixT<double>&&);
+template void store_result_c<bf16_t>(SpmmResult&, DenseMatrixT<float>&&);
+
+template <class V>
+SpmmResult finish(Ctx& ctx, DenseMatrixT<typename VTraits<V>::compute_t> C,
+                  double compute_inflation, EngineStats engine, double engine_busy_ns,
+                  double offline_prep_ns) {
   SpmmResult res;
-  res.C = std::move(C);
+  store_result_c<V>(res, std::move(C));
   res.counters = ctx.counters;
   res.mem = ctx.mem.stats();
   res.engine = engine;
@@ -151,6 +232,13 @@ SpmmResult finish(Ctx& ctx, DenseMatrix C, double compute_inflation, EngineStats
   return res;
 }
 
+template SpmmResult finish<float>(Ctx&, DenseMatrixT<float>, double, EngineStats, double,
+                                  double);
+template SpmmResult finish<double>(Ctx&, DenseMatrixT<double>, double, EngineStats, double,
+                                   double);
+template SpmmResult finish<bf16_t>(Ctx&, DenseMatrixT<float>, double, EngineStats, double,
+                                   double);
+
 void load_b_tile(Ctx& ctx, const DenseLayout& b, index_t row_begin, index_t width,
                  index_t col_begin, index_t tile_cols, std::vector<u64>& addr_scratch) {
   // One coalesced load per B-tile row into shared memory, issued as a
@@ -160,7 +248,7 @@ void load_b_tile(Ctx& ctx, const DenseLayout& b, index_t row_begin, index_t widt
     ctx.waves(InstrClass::kMemory, tile_cols);
     addr_scratch.push_back(b.addr(row_begin + i, col_begin));
   }
-  ctx.mem.warp_load_run(addr_scratch, static_cast<i64>(tile_cols) * kValueBytes);
+  ctx.mem.warp_load_run(addr_scratch, static_cast<i64>(tile_cols) * b.vbytes);
 }
 
 }  // namespace detail

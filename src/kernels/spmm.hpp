@@ -45,6 +45,7 @@
 #include "kernels/operands.hpp"
 #include "sched/layout.hpp"
 #include "transform/engine.hpp"
+#include "util/precision.hpp"
 
 namespace nmdt {
 
@@ -99,6 +100,14 @@ struct SpmmConfig {
   /// kernel, degrade to the reference CSR baseline kernel instead of
   /// surfacing the FaultError (SpmmResult::used_fallback records it).
   bool fault_fallback = true;
+  /// Stored value precision of the A/B operands and the C output.
+  /// Arithmetic runs at the type's compute precision (bf16 widens to
+  /// f32 for every FMA); storage width is what the memory system sees,
+  /// so bf16 halves value traffic relative to f32.  The typed
+  /// `run_spmm_t<V>` entry points require V to match this field's
+  /// meaning only through the legacy untyped shim, which retypes its
+  /// f32 operands when the field requests another precision.
+  Precision precision = Precision::kF32;
 };
 
 /// The realistic evaluation configuration used by the benches and the
@@ -111,7 +120,16 @@ struct SpmmConfig {
 SpmmConfig evaluation_config(index_t n = 4096, index_t K = 64);
 
 struct SpmmResult {
+  /// C stored at the run's precision, held in f32 bits: an f32 run's
+  /// exact output; a bf16 run's output after the round-to-nearest-even
+  /// store (every element is bf16-representable, so bitwise comparison
+  /// across job counts remains exact).  For f64 runs this is a narrowed
+  /// convenience view — `C64` is the authoritative result.
   DenseMatrix C;
+  /// Full-precision result of an f64 run (empty at other precisions).
+  DenseMatrixT<double> C64;
+  /// Stored value precision this result was computed at.
+  Precision precision = Precision::kF32;
   KernelCounters counters;
   MemStats mem;
   TimingBreakdown timing;
@@ -135,14 +153,32 @@ struct SpmmResult {
 SpmmResult run_spmm(KernelKind kind, const SpmmOperands& A, const DenseMatrix& B,
                     const SpmmConfig& cfg);
 
+/// Typed entry point: operands and B stored at precision V, arithmetic
+/// at VTraits<V>::compute_t.  The f32 instantiation is the exact legacy
+/// code path (bit-identical results and simulated metrics).  Explicitly
+/// instantiated for float, double, and bf16_t.
+template <class V>
+SpmmResult run_spmm_t(KernelKind kind, const SpmmOperandsT<V>& A,
+                      const DenseMatrixT<V>& B, const SpmmConfig& cfg);
+
 /// Compatibility shim: A given as CSR only; kernels that consume other
 /// formats (CSC for online conversion, tiled forms for offline) convert
 /// internally, one-shot.  Prefer building an SpmmPlan (core/plan.hpp)
-/// when the same A is multiplied repeatedly.
+/// when the same A is multiplied repeatedly.  When `cfg.precision` is
+/// not f32 the f32 operands are retyped (one RNE rounding into bf16,
+/// exact widening into f64) before the typed kernel runs.
 SpmmResult run_spmm(KernelKind kind, const Csr& A, const DenseMatrix& B,
                     const SpmmConfig& cfg);
 
 /// Reference result: dense row-major triple loop (no simulation).
 DenseMatrix spmm_reference(const Csr& A, const DenseMatrix& B);
+
+/// Binary64 reference from operands *as stored at precision V*: every
+/// stored value is widened exactly to double and the triple loop
+/// accumulates in double.  This is the "expected" side of the
+/// tolerance-based verification — it isolates the kernels' reduced
+/// compute precision from the one-time storage rounding.
+template <class V>
+DenseMatrixT<double> spmm_reference_f64(const CsrT<V>& A, const DenseMatrixT<V>& B);
 
 }  // namespace nmdt

@@ -254,6 +254,59 @@ Csr gen_block_clustered(index_t n, index_t num_blocks, double intra_density,
   return csr_from_coo(coo);
 }
 
+Csr gen_magnitude_pruned(index_t rows, index_t cols, double density, index_t block_size,
+                         u64 seed) {
+  NMDT_CHECK_CONFIG(rows > 0 && cols > 0,
+                    "gen_magnitude_pruned requires positive dimensions");
+  NMDT_CHECK_CONFIG(density >= 0.0 && density <= 1.0, "density must be in [0, 1]");
+  NMDT_CHECK_CONFIG(block_size > 0 && block_size <= rows && block_size <= cols,
+                    "block_size must be in [1, min(rows, cols)]");
+  Rng rng(seed);
+  const index_t nb_r = (rows + block_size - 1) / block_size;
+  const index_t nb_c = (cols + block_size - 1) / block_size;
+  const i64 num_blocks = static_cast<i64>(nb_r) * nb_c;
+
+  // One magnitude score per block, drawn in block-row-major order (the
+  // block's pre-pruning L1 weight in a real layer); the top `density`
+  // fraction survives.  Ties break toward the lower block index so the
+  // cut is deterministic.
+  std::vector<double> score(static_cast<usize>(num_blocks));
+  for (double& s : score) s = std::abs(rng.normal());
+  const i64 keep =
+      std::min<i64>(num_blocks, static_cast<i64>(std::llround(
+                                    density * static_cast<double>(num_blocks))));
+  std::vector<i64> order(static_cast<usize>(num_blocks));
+  std::iota(order.begin(), order.end(), i64{0});
+  std::stable_sort(order.begin(), order.end(), [&](i64 a, i64 b) {
+    return score[static_cast<usize>(a)] > score[static_cast<usize>(b)];
+  });
+  std::vector<u8> kept(static_cast<usize>(num_blocks), 0);
+  for (i64 k = 0; k < keep; ++k) kept[static_cast<usize>(order[static_cast<usize>(k)])] = 1;
+
+  // Surviving blocks are fully dense; element values share the block's
+  // magnitude scale (weights that survive magnitude pruning cluster in
+  // magnitude).  Cells emit in row-major order so the CSR is sorted.
+  Csr csr;
+  csr.rows = rows;
+  csr.cols = cols;
+  csr.row_ptr.reserve(static_cast<usize>(rows) + 1);
+  csr.row_ptr.push_back(0);
+  for (index_t r = 0; r < rows; ++r) {
+    const index_t br = r / block_size;
+    for (index_t bc = 0; bc < nb_c; ++bc) {
+      if (!kept[static_cast<usize>(static_cast<i64>(br) * nb_c + bc)]) continue;
+      const double scale = score[static_cast<usize>(static_cast<i64>(br) * nb_c + bc)];
+      const index_t c_end = std::min<index_t>((bc + 1) * block_size, cols);
+      for (index_t c = bc * block_size; c < c_end; ++c) {
+        csr.col_idx.push_back(c);
+        csr.val.push_back(static_cast<value_t>(scale * rng.uniform(-1.0, 1.0)));
+      }
+    }
+    csr.row_ptr.push_back(static_cast<index_t>(csr.col_idx.size()));
+  }
+  return csr;
+}
+
 Csr gen_stencil_5pt(index_t grid_x, index_t grid_y) {
   NMDT_CHECK_CONFIG(grid_x > 0 && grid_y > 0, "stencil grid must be positive");
   const index_t n = grid_x * grid_y;

@@ -55,4 +55,16 @@ Csr gen_stencil_5pt(index_t grid_x, index_t grid_y);
 /// tests need precise counts.
 Csr gen_uniform_nnz(index_t rows, index_t cols, i64 nnz, u64 seed);
 
+/// Magnitude-pruned block sparsity (DLMC-shaped).  The weight matrix of
+/// a pruned DNN layer: partition rows×cols into block_size×block_size
+/// blocks, rank blocks by a sampled magnitude score, keep the top
+/// `density` fraction whole and prune the rest — the structured
+/// magnitude-pruning pattern of the Deep Learning Matrix Collection.
+/// Kept blocks are fully dense inside, giving near-uniform block
+/// scatter with strong spatial clustering; values within a block share
+/// its magnitude scale, as surviving weights do.  This is the natural
+/// bf16 workload for the precision axis.
+Csr gen_magnitude_pruned(index_t rows, index_t cols, double density, index_t block_size,
+                         u64 seed);
+
 }  // namespace nmdt

@@ -15,6 +15,7 @@ const char* family_name(MatrixFamily f) {
     case MatrixFamily::kBanded: return "banded";
     case MatrixFamily::kBlockClustered: return "block_clustered";
     case MatrixFamily::kStencil: return "stencil";
+    case MatrixFamily::kMagnitudePruned: return "magnitude_pruned";
   }
   return "unknown";
 }
@@ -38,6 +39,8 @@ Csr MatrixSpec::generate() const {
       return gen_block_clustered(rows, aux, density, density / 50.0, seed);
     case MatrixFamily::kStencil:
       return gen_stencil_5pt(aux, rows / aux);
+    case MatrixFamily::kMagnitudePruned:
+      return gen_magnitude_pruned(rows, cols, density, aux, seed);
   }
   throw ConfigError("unknown matrix family");
 }

@@ -20,6 +20,7 @@ enum class MatrixFamily {
   kBanded,
   kBlockClustered,
   kStencil,
+  kMagnitudePruned,  ///< DLMC-shaped magnitude-pruned block sparsity
 };
 
 const char* family_name(MatrixFamily f);
@@ -31,7 +32,7 @@ struct MatrixSpec {
   index_t cols = 0;
   double density = 0.0;  ///< target density (uniform/power-law/clustered)
   double skew = 0.0;     ///< zipf exponent (power-law) or rmat 'a'
-  index_t aux = 0;       ///< bandwidth / num_blocks / grid_x / rmat scale
+  index_t aux = 0;       ///< bandwidth / num_blocks / grid_x / rmat scale / block size
   u64 seed = 0;
 
   /// Materialize the matrix. Deterministic.

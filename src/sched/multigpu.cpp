@@ -14,6 +14,7 @@ MultiGpuPlan plan_multi_gpu(const MatrixStats& stats, index_t K, i64 a_format_by
   NMDT_CHECK_CONFIG(cfg.gpu_memory_gb > 0 && cfg.host_link_gbps > 0 &&
                         cfg.spmm_effective_gbps > 0,
                     "multi-GPU config rates must be positive");
+  NMDT_CHECK_CONFIG(cfg.value_bytes > 0, "multi-GPU config requires positive value_bytes");
 
   MultiGpuPlan plan;
   plan.gpus = cfg.gpus;
@@ -22,7 +23,7 @@ MultiGpuPlan plan_multi_gpu(const MatrixStats& stats, index_t K, i64 a_format_by
   // Each GPU owns a vertical strip of C: ceil(K / gpus) columns.
   const index_t cols_per_gpu = (K + cfg.gpus - 1) / cfg.gpus;
   const i64 n = stats.rows;
-  plan.b_bytes_per_gpu = n * static_cast<i64>(cols_per_gpu) * kValueBytes;
+  plan.b_bytes_per_gpu = n * static_cast<i64>(cols_per_gpu) * cfg.value_bytes;
   plan.c_bytes_per_gpu = plan.b_bytes_per_gpu;
 
   const double capacity = cfg.gpu_memory_gb * 1024.0 * 1024.0 * 1024.0;
@@ -30,7 +31,7 @@ MultiGpuPlan plan_multi_gpu(const MatrixStats& stats, index_t K, i64 a_format_by
   // besides the replicated A.
   const double free_bytes = capacity - static_cast<double>(plan.a_bytes);
   NMDT_CHECK_CONFIG(free_bytes > 0, "sparse matrix alone exceeds GPU memory");
-  const double bytes_per_col = static_cast<double>(n) * kValueBytes;
+  const double bytes_per_col = static_cast<double>(n) * cfg.value_bytes;
   const i64 max_chunk_cols = static_cast<i64>(free_bytes / (3.0 * bytes_per_col));
   NMDT_CHECK_CONFIG(max_chunk_cols > 0, "GPU memory too small for a single B column");
 

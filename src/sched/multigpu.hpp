@@ -20,6 +20,7 @@ struct MultiGpuConfig {
   double gpu_memory_gb = 16.0;       ///< per-GPU HBM capacity
   double host_link_gbps = 32.0;      ///< PCIe/NVLink per GPU
   double spmm_effective_gbps = 500.0;  ///< achieved DRAM bw of the SpMM kernel
+  i64 value_bytes = kValueBytes;       ///< stored element width of B/C
 };
 
 struct MultiGpuPlan {

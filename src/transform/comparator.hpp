@@ -13,8 +13,11 @@
 #pragma once
 
 #include <span>
+#include <vector>
 
-#include "util/types.hpp"
+#include "formats/csr.hpp"
+#include "formats/dense.hpp"
+#include "util/precision.hpp"
 
 namespace nmdt {
 
@@ -38,5 +41,72 @@ MinReduceResult linear_scan_min(std::span<const index_t> coords,
 /// Number of tree stages for an N-input unit (log2 rounded up) — the
 /// pipeline depth contribution of the comparator in Sec. 5.3.
 int comparator_stages(int lanes);
+
+// ---------------------------------------------------------------------------
+// Result-tolerance comparison (the fSPMV-style verification bound).
+//
+// Exact bitwise comparison is the right verdict only when the kernel
+// and the reference accumulate in the same precision; across precisions
+// (bf16/f32 kernel vs the binary64 reference) the honest check is the
+// normalized bound used by sparse BLAS test suites:
+//
+//     |expected - actual| / max_val < eps        (per element)
+//
+// where max_val bounds the magnitude the accumulation could legitimately
+// reach for that C row: row_nnz(A, r) * max|A_row| * max|B|.  The bound
+// scales with the number of FMAs feeding the element, so a long row is
+// allowed proportionally more rounding drift than a short one.
+// ---------------------------------------------------------------------------
+
+/// Outcome of a tolerance comparison over a whole C matrix.
+struct ToleranceVerdict {
+  bool pass = true;
+  u64 mismatched = 0;          ///< elements over the bound (or non-finite kind mismatch)
+  u64 compared = 0;            ///< elements examined
+  double max_rel_error = 0.0;  ///< max |e-a|/max_val over rows with max_val > 0
+  index_t first_row = -1;      ///< first failing element (row-major order)
+  index_t first_col = -1;
+  double first_expected = 0.0;
+  double first_actual = 0.0;
+};
+
+/// Element-tolerance comparator for kernel output vs the binary64
+/// reference.  Stateless apart from eps; one instance can verify many
+/// results.
+class ToleranceComparator {
+ public:
+  /// eps <= 0 degenerates to exact comparison everywhere.
+  explicit ToleranceComparator(double eps) : eps_(eps) {}
+
+  double eps() const { return eps_; }
+
+  /// Per-row magnitude bounds max_val[r] = row_nnz(r)·max|A_row|·max|B|.
+  /// An empty row (or all-zero row/B) yields 0, which demands an exact
+  /// match for that row — there is no accumulation to excuse drift.
+  template <class V>
+  static std::vector<double> row_scales(const CsrT<V>& A, const DenseMatrixT<V>& B);
+
+  /// Compare `actual` against `expected` using per-row bounds
+  /// `row_scale` (one entry per C row).  Verdict semantics:
+  ///  * finite elements: fail iff |e-a| > eps·max_val (the boundary
+  ///    |e-a| == eps·max_val passes);
+  ///  * max_val == 0: fail unless bit-equal as doubles (±0 conflate);
+  ///  * NaN expected: pass iff actual is NaN (payload ignored);
+  ///  * ±Inf expected: pass iff actual is the same-signed infinity.
+  ToleranceVerdict compare(const DenseMatrixT<double>& expected,
+                           const DenseMatrixT<double>& actual,
+                           std::span<const double> row_scale) const;
+
+  /// Convenience: derive the bounds from (A, B) and compare.
+  template <class V>
+  ToleranceVerdict compare(const DenseMatrixT<double>& expected,
+                           const DenseMatrixT<double>& actual, const CsrT<V>& A,
+                           const DenseMatrixT<V>& B) const {
+    return compare(expected, actual, row_scales(A, B));
+  }
+
+ private:
+  double eps_;
+};
 
 }  // namespace nmdt

@@ -11,15 +11,16 @@ namespace {
 /// Build the DCSR tiles of one strip given, for each row, the range of
 /// its entries falling inside the strip.  `row_begin_idx[r]` /
 /// `row_end_idx[r]` index into csr.col_idx.
-std::vector<DcsrTile> assemble_tiles(const Csr& csr, index_t strip_id,
-                                     const TilingSpec& spec,
-                                     std::span<const index_t> row_begin_idx,
-                                     std::span<const index_t> row_end_idx) {
+template <class V>
+std::vector<DcsrTileT<V>> assemble_tiles(const CsrT<V>& csr, index_t strip_id,
+                                         const TilingSpec& spec,
+                                         std::span<const index_t> row_begin_idx,
+                                         std::span<const index_t> row_end_idx) {
   const index_t col_begin = strip_id * spec.strip_width;
   const index_t num_tiles = spec.tiles_per_strip(csr.rows);
-  std::vector<DcsrTile> tiles(static_cast<usize>(num_tiles));
+  std::vector<DcsrTileT<V>> tiles(static_cast<usize>(num_tiles));
   for (index_t t = 0; t < num_tiles; ++t) {
-    DcsrTile& tile = tiles[static_cast<usize>(t)];
+    DcsrTileT<V>& tile = tiles[static_cast<usize>(t)];
     tile.strip_id = strip_id;
     tile.row_begin = t * spec.tile_height;
     tile.col_begin = col_begin;
@@ -43,7 +44,8 @@ std::vector<DcsrTile> assemble_tiles(const Csr& csr, index_t strip_id,
 
 /// Binary search for the first entry of row r with col >= bound,
 /// counting probe steps.
-index_t lower_bound_col(const Csr& csr, index_t r, index_t bound, u64& steps) {
+template <class V>
+index_t lower_bound_col(const CsrT<V>& csr, index_t r, index_t bound, u64& steps) {
   index_t lo = csr.row_ptr[r];
   index_t hi = csr.row_ptr[r + 1];
   while (lo < hi) {
@@ -60,9 +62,11 @@ index_t lower_bound_col(const Csr& csr, index_t r, index_t bound, u64& steps) {
 
 }  // namespace
 
-std::vector<DcsrTile> csr_stateless_convert_strip(const Csr& csr, index_t strip_id,
-                                                  const TilingSpec& spec,
-                                                  CsrConversionCosts& costs) {
+template <class V>
+std::vector<DcsrTileT<V>> csr_stateless_convert_strip(const CsrT<V>& csr,
+                                                      index_t strip_id,
+                                                      const TilingSpec& spec,
+                                                      CsrConversionCosts& costs) {
   spec.validate();
   NMDT_REQUIRE(strip_id >= 0 && strip_id < spec.num_strips(csr.cols),
                "strip_id out of range");
@@ -85,15 +89,17 @@ std::vector<DcsrTile> csr_stateless_convert_strip(const Csr& csr, index_t strip_
   return assemble_tiles(csr, strip_id, spec, begin_idx, end_idx);
 }
 
-CsrStatefulConverter::CsrStatefulConverter(const Csr& csr) : csr_(csr) {
+template <class V>
+CsrStatefulConverterT<V>::CsrStatefulConverterT(const CsrT<V>& csr) : csr_(csr) {
   frontier_.assign(csr.row_ptr.begin(), csr.row_ptr.end() - 1);
   // The jagged frontier: one cursor per matrix row, resident for the
   // whole conversion — this is the "large metadata storage" of Sec. 4.1.
   costs_.state_bytes = static_cast<i64>(frontier_.size()) * kIndexBytes;
 }
 
-std::vector<DcsrTile> CsrStatefulConverter::convert_strip(index_t strip_id,
-                                                          const TilingSpec& spec) {
+template <class V>
+std::vector<DcsrTileT<V>> CsrStatefulConverterT<V>::convert_strip(index_t strip_id,
+                                                                  const TilingSpec& spec) {
   spec.validate();
   NMDT_REQUIRE(strip_id == next_strip_,
                "stateful CSR converter requires sequential strip access (expected strip " +
@@ -117,5 +123,16 @@ std::vector<DcsrTile> CsrStatefulConverter::convert_strip(index_t strip_id,
   }
   return assemble_tiles(csr_, strip_id, spec, begin_idx, end_idx);
 }
+
+#define NMDT_INSTANTIATE_CSR_BASELINE(V)                                        \
+  template std::vector<DcsrTileT<V>> csr_stateless_convert_strip<V>(            \
+      const CsrT<V>&, index_t, const TilingSpec&, CsrConversionCosts&);         \
+  template class CsrStatefulConverterT<V>;
+
+NMDT_INSTANTIATE_CSR_BASELINE(float)
+NMDT_INSTANTIATE_CSR_BASELINE(double)
+NMDT_INSTANTIATE_CSR_BASELINE(bf16_t)
+
+#undef NMDT_INSTANTIATE_CSR_BASELINE
 
 }  // namespace nmdt

@@ -18,6 +18,10 @@
 // The CSC engine (transform/engine.hpp) needs only strip_width+1
 // col_ptr entries per strip and supports random strip access — the
 // comparison table is the Sec. 4.1 design argument.
+//
+// Both strawmen move indices and opaque value words, so they are
+// templated on the stored value type just like the engine proper: the
+// cost model is precision-independent except for emitted value bytes.
 #pragma once
 
 #include "formats/csr.hpp"
@@ -36,29 +40,34 @@ struct CsrConversionCosts {
 /// Stateless CSR→tiled-DCSR conversion of one strip (all its tiles).
 /// Output is identical to tiled_dcsr_from_csr's strip; costs accumulate
 /// into `costs`.
-std::vector<DcsrTile> csr_stateless_convert_strip(const Csr& csr, index_t strip_id,
-                                                  const TilingSpec& spec,
-                                                  CsrConversionCosts& costs);
+template <class V>
+std::vector<DcsrTileT<V>> csr_stateless_convert_strip(const CsrT<V>& csr,
+                                                      index_t strip_id,
+                                                      const TilingSpec& spec,
+                                                      CsrConversionCosts& costs);
 
 /// Stateful CSR→tiled-DCSR converter: owns the per-row jagged frontier.
 /// Strips must be visited left-to-right (sequential contract); random
 /// access would require re-deriving the frontier, i.e. the stateless
 /// scan.
-class CsrStatefulConverter {
+template <class V>
+class CsrStatefulConverterT {
  public:
-  explicit CsrStatefulConverter(const Csr& csr);
+  explicit CsrStatefulConverterT(const CsrT<V>& csr);
 
   /// Convert the next strip (strips must be requested in ascending
   /// order; throws FormatError otherwise).
-  std::vector<DcsrTile> convert_strip(index_t strip_id, const TilingSpec& spec);
+  std::vector<DcsrTileT<V>> convert_strip(index_t strip_id, const TilingSpec& spec);
 
   const CsrConversionCosts& costs() const { return costs_; }
 
  private:
-  const Csr& csr_;
+  const CsrT<V>& csr_;
   std::vector<index_t> frontier_;  ///< per-row cursor into col_idx
   index_t next_strip_ = 0;
   CsrConversionCosts costs_;
 };
+
+using CsrStatefulConverter = CsrStatefulConverterT<value_t>;
 
 }  // namespace nmdt

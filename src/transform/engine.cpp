@@ -20,7 +20,8 @@ namespace {
 /// by verify_dcsr_tile at the consumption point.  At most one site is
 /// installed at a time; the event key derives from the tile's stable
 /// coordinates plus the retry attempt, never from thread identity.
-void maybe_corrupt_tile(DcsrTile& tile, int attempt) {
+template <class V>
+void maybe_corrupt_tile(DcsrTileT<V>& tile, int attempt) {
   using fault::FaultSite;
   const u64 key = fault::mix(fault::mix(static_cast<u64>(tile.strip_id),
                                         static_cast<u64>(tile.row_begin)),
@@ -34,18 +35,19 @@ void maybe_corrupt_tile(DcsrTile& tile, int attempt) {
   flip(FaultSite::kTileColIdx, tile.body.col_idx.data(),
        tile.body.col_idx.size() * sizeof(index_t));
   flip(FaultSite::kTileVal, tile.body.val.data(),
-       tile.body.val.size() * sizeof(value_t));
+       tile.body.val.size() * sizeof(V));
 }
 
 }  // namespace
 
-CscDeviceLayout CscDeviceLayout::allocate(const Csc& csc, MemorySystem& mem) {
+template <class V>
+CscDeviceLayout CscDeviceLayout::allocate(const CscT<V>& csc, MemorySystem& mem) {
   CscDeviceLayout l;
   l.col_ptr_base = mem.allocate(static_cast<i64>(csc.col_ptr.size()) * kIndexBytes,
                                 "A.csc.col_ptr");
   l.row_idx_base = mem.allocate(static_cast<i64>(csc.row_idx.size()) * kIndexBytes,
                                 "A.csc.row_idx");
-  l.val_base = mem.allocate(static_cast<i64>(csc.val.size()) * kValueBytes, "A.csc.val");
+  l.val_base = mem.allocate(static_cast<i64>(csc.val.size() * sizeof(V)), "A.csc.val");
   return l;
 }
 
@@ -66,7 +68,8 @@ double EngineStats::busy_ns(const EngineHwModel& hw) const {
   return static_cast<double>(steps + requests) * hw.cycle_ns_sp;
 }
 
-StripCursor::StripCursor(const Csc& csc, index_t strip_id, const TilingSpec& spec)
+template <class V>
+StripCursor::StripCursor(const CscT<V>& csc, index_t strip_id, const TilingSpec& spec)
     : strip_id_(strip_id), col_begin_(strip_id * spec.strip_width) {
   spec.validate();
   NMDT_REQUIRE(strip_id >= 0 && col_begin_ < csc.cols,
@@ -85,10 +88,13 @@ ConversionEngine::ConversionEngine(EngineHwModel hw) : hw_(hw) {
                     "conversion engine supports 1..64 lanes");
 }
 
-DcsrTile ConversionEngine::convert_tile(const Csc& csc, StripCursor& cursor,
-                                        index_t row_start, const TilingSpec& spec,
-                                        MemorySystem* mem, const CscDeviceLayout* layout,
-                                        int pinned_channel, int fault_attempt) {
+template <class V>
+DcsrTileT<V> ConversionEngine::convert_tile(const CscT<V>& csc, StripCursor& cursor,
+                                            index_t row_start, const TilingSpec& spec,
+                                            MemorySystem* mem,
+                                            const CscDeviceLayout* layout,
+                                            int pinned_channel, int fault_attempt) {
+  constexpr i64 kVB = static_cast<i64>(sizeof(V));
   spec.validate();
   // Tile-granularity cancellation point: a strip conversion loop (online
   // kernel, offline tiling, planning) unwinds within one tile of a
@@ -107,7 +113,7 @@ DcsrTile ConversionEngine::convert_tile(const Csc& csc, StripCursor& cursor,
   cursor.advance_watermark(row_end);
   const int lanes = cursor.lanes();
 
-  DcsrTile tile;
+  DcsrTileT<V> tile;
   tile.strip_id = cursor.strip_id();
   tile.row_begin = row_start;
   tile.col_begin = cursor.col_begin();
@@ -171,21 +177,21 @@ DcsrTile ConversionEngine::convert_tile(const Csc& csc, StripCursor& cursor,
       ++tile.body.row_ptr.back();
       ++frontier[l];
       ++local.elements;
-      local.dram_bytes_in += kIndexBytes + kValueBytes;
+      local.dram_bytes_in += kIndexBytes + kVB;
       if (mem != nullptr && pinned_channel >= 0) {
-        mem->engine_read_channel(pinned_channel, kIndexBytes + kValueBytes);
+        mem->engine_read_channel(pinned_channel, kIndexBytes + kVB);
       } else if (mem != nullptr && layout != nullptr) {
         mem->engine_read(layout->row_idx_base + static_cast<u64>(src) * kIndexBytes,
                          kIndexBytes);
-        mem->engine_read(layout->val_base + static_cast<u64>(src) * kValueBytes,
-                         kValueBytes);
+        mem->engine_read(layout->val_base + static_cast<u64>(src) * static_cast<u64>(kVB),
+                         kVB);
       }
     }
   }
 
   // (4): stream the tile to the requesting SM over the crossbar.
   const i64 out_bytes =
-      static_cast<i64>(tile.body.val.size()) * (kValueBytes + kIndexBytes) +
+      static_cast<i64>(tile.body.val.size()) * (kVB + kIndexBytes) +
       static_cast<i64>(tile.body.row_ptr.size() + tile.body.row_idx.size()) * kIndexBytes;
   local.xbar_bytes_out += out_bytes;
   if (mem != nullptr) mem->xbar_transfer(out_bytes);
@@ -206,13 +212,16 @@ DcsrTile ConversionEngine::convert_tile(const Csc& csc, StripCursor& cursor,
   return tile;
 }
 
-DcsrTile ConversionEngine::convert_tile_checked(const Csc& csc, StripCursor& cursor,
-                                                index_t row_start, const TilingSpec& spec,
-                                                MemorySystem* mem,
-                                                const CscDeviceLayout* layout,
-                                                int pinned_channel) {
+template <class V>
+DcsrTileT<V> ConversionEngine::convert_tile_checked(const CscT<V>& csc,
+                                                    StripCursor& cursor,
+                                                    index_t row_start,
+                                                    const TilingSpec& spec,
+                                                    MemorySystem* mem,
+                                                    const CscDeviceLayout* layout,
+                                                    int pinned_channel) {
   const StripCursor::Snapshot snap = cursor.save();
-  DcsrTile tile =
+  DcsrTileT<V> tile =
       convert_tile(csc, cursor, row_start, spec, mem, layout, pinned_channel, 0);
   if (verify_dcsr_tile(tile)) return tile;
 
@@ -246,29 +255,32 @@ DcsrTile ConversionEngine::convert_tile_checked(const Csc& csc, StripCursor& cur
                    std::to_string(row_start) + ")");
 }
 
-std::vector<DcsrTile> ConversionEngine::convert_strip(const Csc& csc, index_t strip_id,
-                                                      const TilingSpec& spec,
-                                                      MemorySystem* mem,
-                                                      const CscDeviceLayout* layout) {
+template <class V>
+std::vector<DcsrTileT<V>> ConversionEngine::convert_strip(const CscT<V>& csc,
+                                                          index_t strip_id,
+                                                          const TilingSpec& spec,
+                                                          MemorySystem* mem,
+                                                          const CscDeviceLayout* layout) {
   StripCursor cursor(csc, strip_id, spec);
-  std::vector<DcsrTile> tiles;
+  std::vector<DcsrTileT<V>> tiles;
   for (index_t row_start = 0; row_start < csc.rows; row_start += spec.tile_height) {
     tiles.push_back(convert_tile_checked(csc, cursor, row_start, spec, mem, layout));
   }
   return tiles;
 }
 
-std::vector<DcscTile> ConversionEngine::convert_strip_dcsc(const Csr& csr,
-                                                           index_t strip_id,
-                                                           const TilingSpec& spec) {
+template <class V>
+std::vector<DcscTileT<V>> ConversionEngine::convert_strip_dcsc(const CsrT<V>& csr,
+                                                               index_t strip_id,
+                                                               const TilingSpec& spec) {
   // The CSR matrix is the CSC of its transpose: run the strip through
   // the normal datapath and relabel the output axes.
-  const Csc transposed = transpose_view(csr);
-  const std::vector<DcsrTile> raw = convert_strip(transposed, strip_id, spec);
-  std::vector<DcscTile> tiles;
+  const CscT<V> transposed = transpose_view(csr);
+  const std::vector<DcsrTileT<V>> raw = convert_strip(transposed, strip_id, spec);
+  std::vector<DcscTileT<V>> tiles;
   tiles.reserve(raw.size());
-  for (const DcsrTile& t : raw) {
-    DcscTile out;
+  for (const DcsrTileT<V>& t : raw) {
+    DcscTileT<V> out;
     out.strip_id = t.strip_id;
     out.row_begin = t.col_begin;   // transpose: strip columns are A rows
     out.col_begin = t.row_begin;   // tile advance direction is A columns
@@ -282,5 +294,26 @@ std::vector<DcscTile> ConversionEngine::convert_strip_dcsc(const Csr& csr,
   }
   return tiles;
 }
+
+#define NMDT_INSTANTIATE_ENGINE(V)                                                     \
+  template CscDeviceLayout CscDeviceLayout::allocate(const CscT<V>&, MemorySystem&);   \
+  template StripCursor::StripCursor(const CscT<V>&, index_t, const TilingSpec&);       \
+  template DcsrTileT<V> ConversionEngine::convert_tile(                                \
+      const CscT<V>&, StripCursor&, index_t, const TilingSpec&, MemorySystem*,         \
+      const CscDeviceLayout*, int, int);                                               \
+  template DcsrTileT<V> ConversionEngine::convert_tile_checked(                        \
+      const CscT<V>&, StripCursor&, index_t, const TilingSpec&, MemorySystem*,         \
+      const CscDeviceLayout*, int);                                                    \
+  template std::vector<DcsrTileT<V>> ConversionEngine::convert_strip(                  \
+      const CscT<V>&, index_t, const TilingSpec&, MemorySystem*,                       \
+      const CscDeviceLayout*);                                                         \
+  template std::vector<DcscTileT<V>> ConversionEngine::convert_strip_dcsc(             \
+      const CsrT<V>&, index_t, const TilingSpec&)
+
+NMDT_INSTANTIATE_ENGINE(float);
+NMDT_INSTANTIATE_ENGINE(double);
+NMDT_INSTANTIATE_ENGINE(bf16_t);
+
+#undef NMDT_INSTANTIATE_ENGINE
 
 }  // namespace nmdt

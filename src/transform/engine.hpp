@@ -37,8 +37,10 @@ struct CscDeviceLayout {
   u64 row_idx_base = 0;
   u64 val_base = 0;
 
-  /// Allocate the three arrays in `mem` for matrix `csc`.
-  static CscDeviceLayout allocate(const Csc& csc, MemorySystem& mem);
+  /// Allocate the three arrays in `mem` for matrix `csc` (value array
+  /// sized at the stored element width sizeof(V)).
+  template <class V>
+  static CscDeviceLayout allocate(const CscT<V>& csc, MemorySystem& mem);
 };
 
 struct EngineStats {
@@ -64,7 +66,10 @@ struct EngineStats {
 class StripCursor {
  public:
   /// Open strip `strip_id` of `csc`: frontier[l] = col_ptr[c0 + l].
-  StripCursor(const Csc& csc, index_t strip_id, const TilingSpec& spec);
+  /// The cursor holds indices only, so one cursor type serves every
+  /// value precision.
+  template <class V>
+  StripCursor(const CscT<V>& csc, index_t strip_id, const TilingSpec& spec);
 
   index_t strip_id() const { return strip_id_; }
   index_t col_begin() const { return col_begin_; }
@@ -121,11 +126,15 @@ class ConversionEngine {
   /// policy rather than globally interleaved — Sec. 6.1).
   /// `fault_attempt` keys the deterministic corruption injection (see
   /// fault/fault.hpp): retries of the same tile redraw the fault with a
-  /// fresh attempt index.
-  DcsrTile convert_tile(const Csc& csc, StripCursor& cursor, index_t row_start,
-                        const TilingSpec& spec, MemorySystem* mem = nullptr,
-                        const CscDeviceLayout* layout = nullptr, int pinned_channel = -1,
-                        int fault_attempt = 0);
+  /// fresh attempt index.  Templated on the stored value type: the
+  /// datapath moves indices and opaque value words, so the identical
+  /// comparator walk serves every precision — only the element width
+  /// (and hence DRAM/crossbar byte counts) changes.
+  template <class V>
+  DcsrTileT<V> convert_tile(const CscT<V>& csc, StripCursor& cursor, index_t row_start,
+                            const TilingSpec& spec, MemorySystem* mem = nullptr,
+                            const CscDeviceLayout* layout = nullptr,
+                            int pinned_channel = -1, int fault_attempt = 0);
 
   /// convert_tile plus the consumption-point integrity check (CRC32 +
   /// structural validate) and bounded recovery: on a mismatch the strip
@@ -134,23 +143,28 @@ class ConversionEngine {
   /// DRAM/crossbar traffic pinned to the first attempt so a recovered
   /// run is bit-identical to a fault-free one.  Throws FaultError when
   /// the retry budget is exhausted.
-  DcsrTile convert_tile_checked(const Csc& csc, StripCursor& cursor, index_t row_start,
-                                const TilingSpec& spec, MemorySystem* mem = nullptr,
-                                const CscDeviceLayout* layout = nullptr,
-                                int pinned_channel = -1);
+  template <class V>
+  DcsrTileT<V> convert_tile_checked(const CscT<V>& csc, StripCursor& cursor,
+                                    index_t row_start, const TilingSpec& spec,
+                                    MemorySystem* mem = nullptr,
+                                    const CscDeviceLayout* layout = nullptr,
+                                    int pinned_channel = -1);
 
   /// Convert an entire strip tile-by-tile (convenience for offline
   /// comparisons and tests).
-  std::vector<DcsrTile> convert_strip(const Csc& csc, index_t strip_id,
-                                      const TilingSpec& spec, MemorySystem* mem = nullptr,
-                                      const CscDeviceLayout* layout = nullptr);
+  template <class V>
+  std::vector<DcsrTileT<V>> convert_strip(const CscT<V>& csc, index_t strip_id,
+                                          const TilingSpec& spec,
+                                          MemorySystem* mem = nullptr,
+                                          const CscDeviceLayout* layout = nullptr);
 
   /// Sec. 4.1 wide-matrix path: convert one *horizontal* strip of a CSR
   /// matrix into DCSC tiles.  The CSR matrix is the CSC of its
   /// transpose, so the identical datapath serves both directions; only
   /// the output labelling differs.
-  std::vector<DcscTile> convert_strip_dcsc(const Csr& csr, index_t strip_id,
-                                           const TilingSpec& spec);
+  template <class V>
+  std::vector<DcscTileT<V>> convert_strip_dcsc(const CsrT<V>& csr, index_t strip_id,
+                                               const TilingSpec& spec);
 
  private:
   EngineHwModel hw_;

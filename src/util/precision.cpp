@@ -1,0 +1,34 @@
+#include "util/precision.hpp"
+
+#include "util/error.hpp"
+
+namespace nmdt {
+
+const char* precision_name(Precision p) {
+  switch (p) {
+    case Precision::kF64: return "f64";
+    case Precision::kBf16: return "bf16";
+    case Precision::kF32: default: return "f32";
+  }
+}
+
+Precision parse_precision(const std::string& s) {
+  if (s == "f32" || s == "fp32" || s == "float") return Precision::kF32;
+  if (s == "f64" || s == "fp64" || s == "double") return Precision::kF64;
+  if (s == "bf16" || s == "bfloat16") return Precision::kBf16;
+  throw ConfigError("unknown precision '" + s + "' (expected f32, f64, or bf16)");
+}
+
+double default_tolerance(Precision p) {
+  switch (p) {
+    // ~10x the binary64 unit roundoff: accumulation-order slack only.
+    case Precision::kF64: return 1e-12;
+    // 8-bit mantissa storage rounding on A, B, and the final store:
+    // 2^-8 ≈ 3.9e-3 per rounding, with headroom for K-wide dot products.
+    case Precision::kBf16: return 3e-2;
+    // ~100x the binary32 unit roundoff.
+    case Precision::kF32: default: return 1e-5;
+  }
+}
+
+}  // namespace nmdt
