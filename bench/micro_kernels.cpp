@@ -200,8 +200,16 @@ int run(int argc, char** argv) {
     serial_cfg.jobs = 1;
     SpmmConfig parallel_cfg = cfg;
     parallel_cfg.jobs = jobs;
+    // Counting-mode serial arm: the same kernel with the event-free
+    // counter pipeline (MemMode::kCounting), the configuration the
+    // serial-perf gate tracks.  When the timed sweep already runs in
+    // counting mode this arm coincides with the serial one but is timed
+    // independently so the field is always present.
+    SpmmConfig counting_cfg = serial_cfg;
+    counting_cfg.mem_mode = MemMode::kCounting;
     const SpmmExecutor serial_exec(serial_cfg);
     const SpmmExecutor parallel_exec(parallel_cfg);
+    const SpmmExecutor counting_exec(counting_cfg);
 
     const SpmmResult serial_res = serial_exec.execute(kind, *plan, B);
     const SpmmResult parallel_res = parallel_exec.execute(kind, *plan, B);
@@ -212,13 +220,15 @@ int run(int argc, char** argv) {
 
     const ArmTiming serial = time_kernel(kind, serial_exec, *plan, B, warmup, iters);
     const ArmTiming parallel = time_kernel(kind, parallel_exec, *plan, B, warmup, iters);
+    const ArmTiming counting = time_kernel(kind, counting_exec, *plan, B, warmup, iters);
     // A lone host core serializes both arms: any ratio it produces is
     // scheduler noise, not a speedup — report null instead.
     const bool speedup_defined = host_cores > 1 && parallel.best_ms > 0.0;
     const double speedup = speedup_defined ? serial.best_ms / parallel.best_ms : 0.0;
 
     std::cout << "  " << kernel_name(kind) << ": serial " << serial.best_ms
-              << " ms, jobs=" << jobs << " " << parallel.best_ms << " ms, speedup ";
+              << " ms, counting " << counting.best_ms << " ms, jobs=" << jobs << " "
+              << parallel.best_ms << " ms, speedup ";
     if (speedup_defined) std::cout << speedup;
     else std::cout << "n/a (single core)";
     std::cout << (identical ? "" : "  [MISMATCH]") << "\n";
@@ -226,6 +236,7 @@ int run(int argc, char** argv) {
     json << (first ? "" : ",\n") << "    {\"name\": \"" << kernel_name(kind)
          << "\", \"serial_best_ms\": " << serial.best_ms
          << ", \"serial_mean_ms\": " << serial.mean_ms
+         << ", \"counting_best_ms\": " << counting.best_ms
          << ", \"parallel_best_ms\": " << parallel.best_ms
          << ", \"parallel_mean_ms\": " << parallel.mean_ms << ", \"speedup\": ";
     if (speedup_defined) json << speedup;

@@ -52,6 +52,16 @@ cmp "$smoke_dir/sweep.csv" "$smoke_dir/sweep_resumed.csv"
 timeout 60 ./build/examples/example_trace_lint --journal "$smoke_dir/sweep.nmdj"
 timeout 60 ./build/examples/example_trace_lint --trace BENCH_kernels.json --json-only
 
+echo "==== tier-1: forced-scalar SIMD path (NMDT_SIMD=off) ===="
+# The portable fallback must never rot: re-run the SIMD/kernel
+# determinism tests and one full kernel sweep with dispatch forced to
+# the scalar tier.  Bit-identity across tiers means the outputs here
+# match the SIMD run exactly.
+timeout 300 env NMDT_SIMD=off ./build/tests/simd_test
+timeout 600 env NMDT_SIMD=off ./build/tests/kernels_test
+timeout 300 env NMDT_SIMD=off ./build/examples/example_nmdt_cli --cmd run --k 16 \
+  --kernel all
+
 echo "==== tier-1: precision smoke (f64/f32/bf16 kernel sweep) ===="
 # One matrix through all nine kernels at every stored precision: each
 # run checks jobs {1,4} bit-identity within the precision and the fSPMV
@@ -65,11 +75,20 @@ done
 echo "==== tier-1: serial-perf regression gate (f32) ===="
 # Re-time the kernels at f32 on the same matrix the committed
 # BENCH_kernels.json baseline used (medium scale) and fail on a >10%
-# serial_best_ms slowdown for any kernel.
+# slowdown for any kernel's gated metric (serial_best_ms and, where
+# the baseline has it, the counting-mode fast-path counting_best_ms).
 timeout 900 ./build/bench/micro_kernels --scale medium --iters 3 \
   --precision f32 --out "$smoke_dir/bench_now.json"
 timeout 60 python3 scripts/check_serial_perf.py \
   BENCH_kernels.json "$smoke_dir/bench_now.json" --max-slowdown 0.10
+
+echo "==== tier-1: counting-mode sweep (fast-path smoke) ===="
+# The counting fast path is the default-mode hot configuration: time
+# the whole kernel set in counting mode so a fast-path regression (or a
+# bit-identity break, which micro_kernels exits 1 on) fails tier-1 even
+# when the cachesim numbers above stay flat.
+timeout 900 ./build/bench/micro_kernels --scale medium --iters 3 \
+  --precision f32 --mode counting --out "$smoke_dir/bench_counting.json"
 
 if [[ "$run_tsan" == 1 ]]; then
   echo "==== tier-1: tsan preset (concurrency tests) ===="

@@ -1,6 +1,7 @@
 #include "gpusim/memory_system.hpp"
 
 #include <algorithm>
+#include <atomic>
 
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
@@ -139,9 +140,11 @@ void MemorySystem::merge(const MemorySystem& other) {
   merges.add(1);
   obs::TraceSpan span("mem.merge");
   stats_ += other.stats_;
-  span.arg("channels", static_cast<i64>(stats_.channels.size()))
-      .arg("merged_dram_bytes", other.stats_.total_dram_bytes())
-      .arg("total_dram_bytes", stats_.total_dram_bytes());
+  if (span.enabled()) {
+    span.arg("channels", static_cast<i64>(stats_.channels.size()))
+        .arg("merged_dram_bytes", other.stats_.total_dram_bytes())
+        .arg("total_dram_bytes", stats_.total_dram_bytes());
+  }
 }
 
 void MemorySystem::dram_access(u64 addr, i64 bytes, int kind) {
@@ -177,34 +180,95 @@ void for_each_sector(u64 addr, i64 bytes, i64 sector, Fn&& fn) {
   const u64 last = (addr + static_cast<u64>(bytes) - 1) / static_cast<u64>(sector);
   for (u64 s = first; s <= last; ++s) fn(s * static_cast<u64>(sector));
 }
+
+/// Counting-mode fast-path switch (test hook; see the header).  Relaxed
+/// atomic: flipped only between runs, read concurrently by shard
+/// threads.
+std::atomic<bool> g_counting_fast_path{true};
 }  // namespace
 
+void MemorySystem::set_counting_fast_path_for_test(bool enabled) {
+  g_counting_fast_path.store(enabled, std::memory_order_relaxed);
+}
+
+bool MemorySystem::counting_fast_path_enabled() {
+  return g_counting_fast_path.load(std::memory_order_relaxed);
+}
+
+void MemorySystem::counting_access(u64 addr, i64 bytes, int kind) {
+  // One warp request, granule-aggregated: every sector of a granule
+  // hashes to the same channel (Interleaver::channel_of depends only on
+  // addr >> granule_shift) and lies in the same allocation (regions are
+  // granule-aligned with a guard granule between them), so a run of n
+  // sectors inside one granule books the same totals as n per-sector
+  // events — with one channel hash and one operand lookup.
+  if (bytes <= 0) return;
+  const i64 sector = arch_.l2_sector_bytes;
+  const u64 granule_mask = ~(static_cast<u64>(interleave_.granule_bytes()) - 1);
+  const u64 first = addr / static_cast<u64>(sector);
+  const u64 last = (addr + static_cast<u64>(bytes) - 1) / static_cast<u64>(sector);
+  const i64 sectors = static_cast<i64>(last - first + 1);
+  stats_.l2_service_bytes += sector * sectors;
+  const i64 per_sector =
+      kind == 2 ? static_cast<i64>(static_cast<double>(sector) * arch_.atomic_cost_multiplier)
+                : sector;
+  if (kind == 2) stats_.atomic_rmw_bytes += sector * sectors;
+  u64 s = first;
+  while (s <= last) {
+    const u64 sector_addr = s * static_cast<u64>(sector);
+    // First sector index beyond this granule.
+    const u64 granule_end =
+        ((sector_addr & granule_mask) + static_cast<u64>(interleave_.granule_bytes())) /
+        static_cast<u64>(sector);
+    const u64 run_end = granule_end <= last ? granule_end : last + 1;
+    const i64 n = static_cast<i64>(run_end - s);
+    ChannelStats& ch =
+        stats_.channels[static_cast<usize>(interleave_.channel_of(sector_addr))];
+    ch.requests += n;
+    switch (kind) {
+      case 0: ch.read_bytes += per_sector * n; break;
+      case 1: ch.write_bytes += per_sector * n; break;
+      default: ch.atomic_bytes += per_sector * n; break;
+    }
+    operand_slot(sector_addr) += per_sector * n;
+    s = run_end;
+  }
+}
+
 void MemorySystem::warp_load(u64 addr, i64 bytes) {
+  if (mode_ == MemMode::kCounting && counting_fast_path_enabled()) {
+    counting_access(addr, bytes, 0);
+    return;
+  }
   for_each_sector(addr, bytes, arch_.l2_sector_bytes, [&](u64 sector_addr) {
     stats_.l2_service_bytes += arch_.l2_sector_bytes;
     if (mode_ == MemMode::kCacheSim) {
       const auto r = l2_->access(sector_addr, /*is_write=*/false);
       if (r.dram_read_bytes > 0) dram_access(sector_addr, r.dram_read_bytes, 0);
       if (r.dram_write_bytes > 0) dram_access(sector_addr, r.dram_write_bytes, 1);
-      stats_.l2 = l2_->stats();
     } else {
       dram_access(sector_addr, arch_.l2_sector_bytes, 0);
     }
   });
+  if (mode_ == MemMode::kCacheSim) stats_.l2 = l2_->stats();
 }
 
 void MemorySystem::warp_store(u64 addr, i64 bytes) {
+  if (mode_ == MemMode::kCounting && counting_fast_path_enabled()) {
+    counting_access(addr, bytes, 1);
+    return;
+  }
   for_each_sector(addr, bytes, arch_.l2_sector_bytes, [&](u64 sector_addr) {
     stats_.l2_service_bytes += arch_.l2_sector_bytes;
     if (mode_ == MemMode::kCacheSim) {
       const auto r = l2_->access(sector_addr, /*is_write=*/true);
       if (r.dram_read_bytes > 0) dram_access(sector_addr, r.dram_read_bytes, 0);
       if (r.dram_write_bytes > 0) dram_access(sector_addr, r.dram_write_bytes, 1);
-      stats_.l2 = l2_->stats();
     } else {
       dram_access(sector_addr, arch_.l2_sector_bytes, 1);
     }
   });
+  if (mode_ == MemMode::kCacheSim) stats_.l2 = l2_->stats();
 }
 
 void MemorySystem::warp_atomic(u64 addr, i64 bytes) {
@@ -213,6 +277,10 @@ void MemorySystem::warp_atomic(u64 addr, i64 bytes) {
   // atomic_cost_multiplier× LLC bandwidth (tracked in atomic_rmw_bytes
   // and charged by the timing model).  Only misses/writebacks reach
   // DRAM — charged at the atomic (2×) rate there too.
+  if (mode_ == MemMode::kCounting && counting_fast_path_enabled()) {
+    counting_access(addr, bytes, 2);
+    return;
+  }
   for_each_sector(addr, bytes, arch_.l2_sector_bytes, [&](u64 sector_addr) {
     stats_.l2_service_bytes += arch_.l2_sector_bytes;
     stats_.atomic_rmw_bytes += arch_.l2_sector_bytes;
@@ -220,59 +288,31 @@ void MemorySystem::warp_atomic(u64 addr, i64 bytes) {
       const auto r = l2_->access(sector_addr, /*is_write=*/true);
       if (r.dram_read_bytes > 0) dram_access(sector_addr, r.dram_read_bytes, 2);
       if (r.dram_write_bytes > 0) dram_access(sector_addr, r.dram_write_bytes, 1);
-      stats_.l2 = l2_->stats();
     } else {
       dram_access(sector_addr, arch_.l2_sector_bytes, 2);
     }
   });
+  if (mode_ == MemMode::kCacheSim) stats_.l2 = l2_->stats();
 }
 
 void MemorySystem::warp_load_run(std::span<const u64> addrs, i64 bytes_each) {
-  if (mode_ == MemMode::kCacheSim) {
+  if (mode_ == MemMode::kCacheSim || !counting_fast_path_enabled()) {
     // The L2 / DRAM bank models are stateful: preserve the exact
     // per-entry event order so stats match the unbatched path bit for
-    // bit.
+    // bit.  (With the fast path disabled this is also the counting-mode
+    // event path the equality tests compare against.)
     for (u64 addr : addrs) warp_load(addr, bytes_each);
     return;
   }
-  if (bytes_each <= 0) return;
-  const i64 sector = arch_.l2_sector_bytes;
-  for (u64 addr : addrs) {
-    const u64 first = addr / static_cast<u64>(sector);
-    const u64 last = (addr + static_cast<u64>(bytes_each) - 1) / static_cast<u64>(sector);
-    for (u64 s = first; s <= last; ++s) {
-      const u64 sector_addr = s * static_cast<u64>(sector);
-      stats_.l2_service_bytes += sector;
-      ChannelStats& ch = stats_.channels[static_cast<usize>(interleave_.channel_of(sector_addr))];
-      ++ch.requests;
-      ch.read_bytes += sector;
-      operand_slot(sector_addr) += sector;
-    }
-  }
+  for (u64 addr : addrs) counting_access(addr, bytes_each, 0);
 }
 
 void MemorySystem::warp_atomic_run(std::span<const u64> addrs, i64 bytes_each) {
-  if (mode_ == MemMode::kCacheSim) {
+  if (mode_ == MemMode::kCacheSim || !counting_fast_path_enabled()) {
     for (u64 addr : addrs) warp_atomic(addr, bytes_each);
     return;
   }
-  if (bytes_each <= 0) return;
-  const i64 sector = arch_.l2_sector_bytes;
-  const i64 effective =
-      static_cast<i64>(static_cast<double>(sector) * arch_.atomic_cost_multiplier);
-  for (u64 addr : addrs) {
-    const u64 first = addr / static_cast<u64>(sector);
-    const u64 last = (addr + static_cast<u64>(bytes_each) - 1) / static_cast<u64>(sector);
-    for (u64 s = first; s <= last; ++s) {
-      const u64 sector_addr = s * static_cast<u64>(sector);
-      stats_.l2_service_bytes += sector;
-      stats_.atomic_rmw_bytes += sector;
-      ChannelStats& ch = stats_.channels[static_cast<usize>(interleave_.channel_of(sector_addr))];
-      ++ch.requests;
-      ch.atomic_bytes += effective;
-      operand_slot(sector_addr) += effective;
-    }
-  }
+  for (u64 addr : addrs) counting_access(addr, bytes_each, 2);
 }
 
 void MemorySystem::engine_read(u64 addr, i64 bytes) {

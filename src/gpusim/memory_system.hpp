@@ -91,6 +91,13 @@ class MemorySystem {
   /// Atomic RMW on [addr, addr+bytes): charged 2× at the owning channel.
   void warp_atomic(u64 addr, i64 bytes);
 
+  /// Test hook: when disabled, counting-mode warp requests take the
+  /// generic per-sector event path instead of the granule-aggregated
+  /// counting fast path, so tests can pin the two bit-identical.
+  /// Process-global; call between runs only.  Default: enabled.
+  static void set_counting_fast_path_for_test(bool enabled);
+  static bool counting_fast_path_enabled();
+
   /// Batched equivalents: one call per *run* of same-sized warp requests
   /// (a row's B-row fetches, a tile's per-row C atomics).  Addresses are
   /// processed in order, so byte / hit / row-buffer accounting is
@@ -128,6 +135,13 @@ class MemorySystem {
 
  private:
   void dram_access(u64 addr, i64 bytes, int kind);  // 0=read,1=write,2=atomic
+
+  /// Counting-mode fast path for one warp request: per-granule
+  /// aggregated sector accounting (channel hash and operand lookup once
+  /// per interleave granule instead of once per 32 B sector).  Totals
+  /// are bit-identical to the per-sector event path because the channel
+  /// map is constant within a granule and allocations never share one.
+  void counting_access(u64 addr, i64 bytes, int kind);
 
   /// Operand tag of the allocation containing `addr` ("?" when outside
   /// any allocation — e.g. a writeback of an evicted line is attributed

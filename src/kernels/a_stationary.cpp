@@ -89,19 +89,29 @@ SpmmResult spmm_a_stationary(const SpmmOperandsT<V>& ops, const DenseMatrixT<V>&
           ctx.counters.serial_iterations += static_cast<u64>(cnt);
           ctx.counters.observe_chain(static_cast<u64>(cnt));  // ≤ strip width
           CT* NMDT_RESTRICT c_row = C.row(grow).data();
+          const index_t jb = tile.body.row_ptr[lr];
+          const index_t je = tile.body.row_ptr[lr + 1];
+          // Every non-zero streams a K-wide B row from DRAM: B has no
+          // residency anywhere in this strategy.  The row's fetches
+          // form one request run; the per-non-zero issue calls collapse
+          // into one ×cnt call (linear identity).
+          ctx.waves(InstrClass::kMemory, K, static_cast<u64>(cnt));
+          ctx.waves(InstrClass::kFp, K, static_cast<u64>(cnt));
+          ctx.counters.flops += static_cast<u64>(2 * cnt * K);
           b_addrs.clear();
-          for (index_t j = tile.body.row_ptr[lr]; j < tile.body.row_ptr[lr + 1]; ++j) {
-            const index_t gcol = tile.col_begin + tile.body.col_idx[j];
-            // Every non-zero streams a K-wide B row from DRAM: B has no
-            // residency anywhere in this strategy.  The row's fetches
-            // form one request run.
-            ctx.waves(InstrClass::kMemory, K);
-            ctx.waves(InstrClass::kFp, K);
-            b_addrs.push_back(b.addr(gcol));
-            axpy_row(tile.body.val[j], B.row(gcol).data(), c_row, K);
-            ctx.counters.flops += static_cast<u64>(2 * K);
-          }
+          for (index_t j = jb; j < je; ++j)
+            b_addrs.push_back(b.addr(tile.col_begin + tile.body.col_idx[j]));
           ctx.mem.warp_load_run(b_addrs, static_cast<i64>(K) * kVB);
+          // Host FP sweep, cache-blocked over B columns (bit-identical:
+          // ascending-j contribution order per C element is preserved).
+          const index_t bc = b_block_cols(kVB, K);
+          for (index_t k0 = 0; k0 < K; k0 += bc) {
+            const index_t kb = std::min<index_t>(bc, K - k0);
+            for (index_t j = jb; j < je; ++j) {
+              const index_t gcol = tile.col_begin + tile.body.col_idx[j];
+              axpy_row(tile.body.val[j], B.row(gcol).data() + k0, c_row + k0, kb);
+            }
+          }
           // Partial C row for this tile, atomically merged.
           ctx.waves(InstrClass::kMemory, K);
           ctx.mem.warp_atomic(c.addr(grow), static_cast<i64>(K) * kVB);

@@ -27,6 +27,7 @@
 #include <optional>
 
 #include "kernels/detail.hpp"
+#include "transform/arena.hpp"
 
 namespace nmdt::detail {
 
@@ -53,14 +54,18 @@ void process_dcsr_tile(Ctx& ctx, const DcsrTileT<V>& tile, const DenseMatrixT<V>
     ctx.counters.serial_iterations += cols.size();
     ctx.counters.observe_chain(cols.size());  // bounded by strip width
     CT* NMDT_RESTRICT c_row = C.row(grow).data() + b_col_begin;
+    // Broadcast entry read + shared-memory B row sweep + FMA waves, one
+    // ×cnt issue call per class (linear identity with the per-non-zero
+    // calls).  The B sweep is bounded by the tile width, so the tiled
+    // kernels are already cache-blocked by construction.
+    const u64 cnt = static_cast<u64>(cols.size());
+    ctx.issue(InstrClass::kMemory, ctx.cfg.arch.warp_size, cnt);
+    ctx.waves(InstrClass::kMemory, tile_cols, cnt);
+    ctx.waves(InstrClass::kFp, tile_cols, cnt);
+    ctx.counters.flops += static_cast<u64>(2 * tile_cols) * cnt;
     for (usize j = 0; j < cols.size(); ++j) {
       const index_t gcol = tile.col_begin + cols[j];
-      // Broadcast entry read + shared-memory B row sweep + FMA waves.
-      ctx.issue(InstrClass::kMemory, ctx.cfg.arch.warp_size);
-      ctx.waves(InstrClass::kMemory, tile_cols);
-      ctx.waves(InstrClass::kFp, tile_cols);
       axpy_row(vals[j], B.row(gcol).data() + b_col_begin, c_row, tile_cols);
-      ctx.counters.flops += static_cast<u64>(2 * tile_cols);
     }
     // Partial-sum accumulation: atomicAdd of the tile_cols-wide C row
     // segment (other SMs may be contributing to the same C tile).
@@ -193,13 +198,13 @@ SpmmResult spmm_tiled_csr_b_stationary(const SpmmOperandsT<V>& ops,
           ctx.counters.serial_iterations += static_cast<u64>(cnt);
           ctx.counters.observe_chain(static_cast<u64>(cnt));  // ≤ strip width
           CT* NMDT_RESTRICT c_row = C.row(grow).data() + bc;
+          ctx.issue(InstrClass::kMemory, ctx.cfg.arch.warp_size, static_cast<u64>(cnt));
+          ctx.waves(InstrClass::kMemory, tile_cols, static_cast<u64>(cnt));
+          ctx.waves(InstrClass::kFp, tile_cols, static_cast<u64>(cnt));
+          ctx.counters.flops += static_cast<u64>(2 * cnt * tile_cols);
           for (index_t j = tile.body.row_ptr[lr]; j < tile.body.row_ptr[lr + 1]; ++j) {
             const index_t gcol = tile.col_begin + tile.body.col_idx[j];
-            ctx.issue(InstrClass::kMemory, ctx.cfg.arch.warp_size);
-            ctx.waves(InstrClass::kMemory, tile_cols);
-            ctx.waves(InstrClass::kFp, tile_cols);
             axpy_row(tile.body.val[j], B.row(gcol).data() + bc, c_row, tile_cols);
-            ctx.counters.flops += static_cast<u64>(2 * tile_cols);
           }
           ctx.waves(InstrClass::kMemory, tile_cols);
           atomic_addrs.push_back(c.addr(grow, bc));
@@ -356,12 +361,17 @@ SpmmResult spmm_tiled_dcsr_online(const SpmmOperandsT<V>& ops, const DenseMatrix
       b_addrs.clear();
       for (index_t col = col_begin; col < col_end; ++col) {
         if (csc.col_ptr[col + 1] == csc.col_ptr[col]) continue;
-        ctx.waves(InstrClass::kMemory, tile_cols);
         b_addrs.push_back(b.addr(col, bc));
       }
+      ctx.waves(InstrClass::kMemory, tile_cols, static_cast<u64>(b_addrs.size()));
       ctx.mem.warp_load_run(b_addrs, static_cast<i64>(tile_cols) * kVB);
 
       StripCursor cursor(csc, s, spec);
+      // One tile buffer per strip sweep, refilled in place, and a fresh
+      // arena epoch: steady state converts every tile of the strip with
+      // zero heap allocations.
+      ConversionArena::local().reset();
+      DcsrTileT<V> tile;
       for (index_t row_start = 0, t = 0; row_start < A.rows;
            row_start += spec.tile_height, ++t) {
         const int ch = placement.channel_for(s, t);
@@ -369,8 +379,8 @@ SpmmResult spmm_tiled_dcsr_online(const SpmmOperandsT<V>& ops, const DenseMatrix
         // unit (Fig. 11); requests stream ahead of consumption, so they
         // pipeline rather than serializing the warp.
         ctx.issue(InstrClass::kMemory, ctx.cfg.arch.warp_size);
-        const DcsrTileT<V> tile = engines[static_cast<usize>(ch)].convert_tile_checked(
-            csc, cursor, row_start, spec, &ctx.mem, &a, ch);
+        engines[static_cast<usize>(ch)].convert_tile_checked_into(
+            tile, csc, cursor, row_start, spec, &ctx.mem, &a, ch);
         if (tile.nnz() == 0) continue;
         process_dcsr_tile<V>(ctx, tile, B, C, c, bc, tile_cols, atomic_addrs);
       }

@@ -33,19 +33,27 @@ void row_per_warp_body(Ctx& ctx, std::span<const index_t> cols, std::span<const 
   // end — nothing bounds the chain (unlike tiling, which cuts rows at
   // strip width).
   ctx.counters.observe_chain(static_cast<u64>(cnt));
+  // Per non-zero, lanes sweep the K columns of B row c in 32-wide
+  // waves: one load and one FMA per wave (the K%32 tail runs partially
+  // active — the paper's row-per-warp remainder imbalance).  The issue
+  // helpers are linear in their repeat count, so one call carrying
+  // ×cnt books totals bit-identical to cnt per-non-zero calls.
+  ctx.waves(InstrClass::kMemory, K, static_cast<u64>(cnt));
+  ctx.waves(InstrClass::kFp, K, static_cast<u64>(cnt));
   addr_scratch.clear();
-  for (i64 j = 0; j < cnt; ++j) {
-    const index_t c = cols[j];
-    // Lanes sweep the K columns of B row c in 32-wide waves: one load
-    // and one FMA per wave (the K%32 tail runs partially active — the
-    // paper's row-per-warp remainder imbalance).
-    ctx.waves(InstrClass::kMemory, K);
-    ctx.waves(InstrClass::kFp, K);
-    addr_scratch.push_back(b_layout.addr(c));
-    axpy_row(vals[j], B.row(c).data(), c_row.data(), K);
-  }
+  for (i64 j = 0; j < cnt; ++j) addr_scratch.push_back(b_layout.addr(cols[j]));
   // The row's B-row fetches form one request run.
   ctx.mem.warp_load_run(addr_scratch, static_cast<i64>(K) * kVB);
+  // Host FP sweep, cache-blocked over the B column dimension: every
+  // non-zero of the row revisits its B row one L1-sized panel at a time
+  // (see b_block_cols).  Per C element the contributions still land in
+  // ascending-j order, so C is bit-identical to the unblocked sweep.
+  const index_t bc = b_block_cols(kVB, K);
+  for (index_t k0 = 0; k0 < K; k0 += bc) {
+    const index_t kb = std::min<index_t>(bc, K - k0);
+    for (i64 j = 0; j < cnt; ++j)
+      axpy_row(vals[j], B.row(cols[j]).data() + k0, c_row.data() + k0, kb);
+  }
   ctx.counters.flops += static_cast<u64>(2 * cnt * K);
 }
 
@@ -158,8 +166,8 @@ SpmmResult spmm_csr_row_thread(const SpmmOperandsT<V>& ops, const DenseMatrixT<V
           val_addrs.push_back(a.val + static_cast<u64>(j) * kVB);
           b_addrs.push_back(b.addr(col));
           axpy_row(v, B.row(col).data(), C.row(r).data(), K);
-          ctx.counters.flops += static_cast<u64>(2 * K);
         }
+        ctx.counters.flops += static_cast<u64>(2 * K) * static_cast<u64>(active);
         ctx.mem.warp_load_run(idx_addrs, kIndexBytes);
         ctx.mem.warp_load_run(val_addrs, kVB);
         ctx.mem.warp_load_run(b_addrs, static_cast<i64>(K) * kVB);

@@ -15,6 +15,7 @@
 #include "gpusim/warp.hpp"
 #include "kernels/spmm.hpp"
 #include "util/precision.hpp"
+#include "util/simd.hpp"
 
 #if defined(__GNUC__) || defined(__clang__)
 #define NMDT_RESTRICT __restrict__
@@ -125,33 +126,40 @@ SpmmResult finish(Ctx& ctx, DenseMatrixT<typename VTraits<V>::compute_t> C,
 void load_b_tile(Ctx& ctx, const DenseLayout& b, index_t row_begin, index_t width,
                  index_t col_begin, index_t tile_cols, std::vector<u64>& addr_scratch);
 
-/// c[0..k) += a·b[0..k): the K-blocked accumulate micro-kernel every
-/// kernel's FMA sweep routes through.  Operands are stored values (V);
-/// the accumulator row is compute precision — bf16 widens to f32 per
-/// element (the FMA the near-memory engine literature assumes), f32/f64
-/// are identity widenings, so the float instantiation is the exact
-/// legacy micro-kernel.  Eight-wide unrolled with restrict-qualified
-/// pointers so the compiler keeps the partials in registers (or
-/// vectorizes); each element still receives exactly one update per
-/// call, in the same per-element operation as the scalar loop it
-/// replaces, so the FP result is unchanged.
+/// c[0..k) += a·b[0..k): the accumulate micro-kernel every kernel's FMA
+/// sweep routes through, dispatched to the SIMD tier resolved at
+/// startup (util/simd.hpp: AVX2 / NEON / portable scalar).  Operands
+/// are stored values (V); the accumulator row is compute precision —
+/// bf16 widens to f32 per element, f32/f64 are identity widenings.
+/// Every tier performs, per element, exactly one IEEE multiply followed
+/// by one IEEE add (never a fused multiply-add), so each element still
+/// receives the same single update as the scalar loop this replaces and
+/// the FP result is unchanged bitwise at every tier.
 template <class V>
 inline void axpy_row(V a, const V* NMDT_RESTRICT b,
                      typename VTraits<V>::compute_t* NMDT_RESTRICT c, index_t k) {
-  using VT = VTraits<V>;
-  const typename VT::compute_t av = VT::to_compute(a);
-  index_t i = 0;
-  for (; i + 8 <= k; i += 8) {
-    c[i + 0] += av * VT::to_compute(b[i + 0]);
-    c[i + 1] += av * VT::to_compute(b[i + 1]);
-    c[i + 2] += av * VT::to_compute(b[i + 2]);
-    c[i + 3] += av * VT::to_compute(b[i + 3]);
-    c[i + 4] += av * VT::to_compute(b[i + 4]);
-    c[i + 5] += av * VT::to_compute(b[i + 5]);
-    c[i + 6] += av * VT::to_compute(b[i + 6]);
-    c[i + 7] += av * VT::to_compute(b[i + 7]);
-  }
-  for (; i < k; ++i) c[i] += av * VT::to_compute(b[i]);
+  simd::axpy<V>(a, b, c, k);
+}
+
+/// Dense-B panel width (columns) for the host-side cache blocking of
+/// the c-stationary / merge / a-stationary compute loops.  When a row's
+/// (or span's) nnz all accumulate into one shared C row, sweeping the
+/// full K columns per non-zero walks value_bytes·K of B per touch; once
+/// the working set of touched B rows outgrows L1 every pass streams
+/// from L2/DRAM.  Blocking the column dimension revisits the same B
+/// rows one panel at a time instead.  Per C element the contributing
+/// products are still added in ascending-nnz order — blocking permutes
+/// work only ACROSS columns, never within one accumulator — so C is
+/// bit-identical to the unblocked sweep.  Returns K (no blocking) when
+/// one panel already covers the row.
+inline index_t b_block_cols(i64 vbytes, index_t K) {
+  // Target: ~64 resident B rows per panel in half of a 32 KiB L1.
+  constexpr i64 kPanelBudgetBytes = 16 * 1024;
+  i64 block = kPanelBudgetBytes / (64 * vbytes);
+  block = (block / 32) * 32;  // keep panels warp-aligned
+  if (block < 32) block = 32;
+  if (block >= static_cast<i64>(K)) return K;
+  return static_cast<index_t>(block);
 }
 
 /// dst += src elementwise (the partial-C reduction step; always applied

@@ -79,18 +79,24 @@ SpmmResult spmm_merge_c_stationary(const SpmmOperandsT<V>& ops, const DenseMatri
 
         // Accumulate the span into registers (math on the host directly
         // into C — partials sum associatively up to FP rounding).  The
-        // span's B-row fetches form one request run.
+        // span's B-row fetches form one request run; the per-non-zero
+        // issue calls collapse into one ×cnt call (linear identity).
+        ctx.waves(InstrClass::kMemory, K, static_cast<u64>(cnt));
+        ctx.waves(InstrClass::kFp, K, static_cast<u64>(cnt));
+        ctx.counters.flops += static_cast<u64>(2 * cnt * K);
         b_addrs.clear();
-        for (index_t j = span; j < span_end; ++j) {
-          // D shares A's entry ordering (densification drops only rows).
-          const index_t col = D.col_idx[j];
-          ctx.waves(InstrClass::kMemory, K);
-          ctx.waves(InstrClass::kFp, K);
-          b_addrs.push_back(b.addr(col));
-          axpy_row(D.val[j], B.row(col).data(), c_row, K);
-          ctx.counters.flops += static_cast<u64>(2 * K);
-        }
+        for (index_t j = span; j < span_end; ++j) b_addrs.push_back(b.addr(D.col_idx[j]));
         ctx.mem.warp_load_run(b_addrs, static_cast<i64>(K) * kVB);
+        // Host FP sweep, cache-blocked over B columns (bit-identical:
+        // per C element the span's contributions keep ascending-j
+        // order; D shares A's entry ordering — densification drops
+        // only rows).
+        const index_t bc = b_block_cols(kVB, K);
+        for (index_t k0 = 0; k0 < K; k0 += bc) {
+          const index_t kb = std::min<index_t>(bc, K - k0);
+          for (index_t j = span; j < span_end; ++j)
+            axpy_row(D.val[j], B.row(D.col_idx[j]).data() + k0, c_row + k0, kb);
+        }
 
         ctx.waves(InstrClass::kMemory, K);
         if (whole_row) {

@@ -50,11 +50,17 @@ void ShardSet::run(const std::function<void(int, ShardRange, Ctx&)>& body) {
     obs::TraceSpan sp("shard");
     Ctx& ctx = ctxs_[static_cast<usize>(s)];
     body(shard, r, ctx);
-    sp.arg("shard", shard)
-        .arg("begin", r.begin)
-        .arg("end", r.end)
-        .arg("instr", ctx.counters.total_instr())
-        .arg("dram_bytes", ctx.mem.stats().total_dram_bytes());
+    // Arg values are computed at the call site even when no trace
+    // session is installed, and total_dram_bytes() walks every channel
+    // — skip the whole emission when nobody is listening (the
+    // counting-mode fast path runs with tracing off).
+    if (sp.enabled()) {
+      sp.arg("shard", shard)
+          .arg("begin", r.begin)
+          .arg("end", r.end)
+          .arg("instr", ctx.counters.total_instr())
+          .arg("dram_bytes", ctx.mem.stats().total_dram_bytes());
+    }
   });
 }
 

@@ -1,0 +1,58 @@
+#include "transform/arena.hpp"
+
+#include <algorithm>
+
+namespace nmdt {
+
+namespace {
+constexpr usize kMinChunkBytes = usize{64} * 1024;
+}
+
+ConversionArena& ConversionArena::local() {
+  thread_local ConversionArena arena;
+  return arena;
+}
+
+void* ConversionArena::alloc_bytes(usize bytes, usize align) {
+  ++stats_.allocs;
+  for (;;) {
+    if (current_ < chunks_.size()) {
+      Chunk& c = chunks_[current_];
+      const usize aligned = (used_ + align - 1) & ~(align - 1);
+      if (aligned + bytes <= c.size) {
+        used_ = aligned + bytes;
+        return c.data.get() + aligned;
+      }
+      // Doesn't fit: move to the next chunk (its tail is wasted until
+      // the enclosing scope rewinds — bounded by one allocation).
+      if (current_ + 1 < chunks_.size()) {
+        ++current_;
+        used_ = 0;
+        continue;
+      }
+    }
+    // Grow: double the last chunk, at least kMinChunkBytes, at least
+    // the request (plus alignment slack).
+    const usize last = chunks_.empty() ? 0 : chunks_.back().size;
+    const usize size = std::max({kMinChunkBytes, last * 2, bytes + align});
+    chunks_.push_back({std::make_unique<std::byte[]>(size), size});
+    ++stats_.chunk_allocs;
+    stats_.capacity_bytes += size;
+    current_ = chunks_.size() - 1;
+    used_ = 0;
+  }
+}
+
+void ConversionArena::rewind(usize chunk, usize used) {
+  ++stats_.rewinds;
+  current_ = chunk;
+  used_ = used;
+}
+
+void ConversionArena::reset() {
+  ++stats_.resets;
+  current_ = 0;
+  used_ = 0;
+}
+
+}  // namespace nmdt

@@ -6,6 +6,7 @@
 #include "fault/fault.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "transform/arena.hpp"
 #include "transform/comparator.hpp"
 #include "util/cancel.hpp"
 #include "util/error.hpp"
@@ -94,11 +95,25 @@ DcsrTileT<V> ConversionEngine::convert_tile(const CscT<V>& csc, StripCursor& cur
                                             MemorySystem* mem,
                                             const CscDeviceLayout* layout,
                                             int pinned_channel, int fault_attempt) {
+  DcsrTileT<V> tile;
+  convert_tile_into(tile, csc, cursor, row_start, spec, mem, layout, pinned_channel,
+                    fault_attempt);
+  return tile;
+}
+
+template <class V>
+void ConversionEngine::convert_tile_into(DcsrTileT<V>& out, const CscT<V>& csc,
+                                         StripCursor& cursor, index_t row_start,
+                                         const TilingSpec& spec, MemorySystem* mem,
+                                         const CscDeviceLayout* layout,
+                                         int pinned_channel, int fault_attempt) {
   constexpr i64 kVB = static_cast<i64>(sizeof(V));
   spec.validate();
   // Tile-granularity cancellation point: a strip conversion loop (online
   // kernel, offline tiling, planning) unwinds within one tile of a
-  // cancellation request instead of finishing the whole strip.
+  // cancellation request instead of finishing the whole strip.  The
+  // arena scope below makes the unwind leak-free: tile scratch rewinds
+  // with the stack.
   poll_cancellation();
   NMDT_REQUIRE(row_start >= 0 && row_start < csc.rows, "row_start out of range");
   NMDT_REQUIRE(row_start >= cursor.watermark(),
@@ -113,13 +128,13 @@ DcsrTileT<V> ConversionEngine::convert_tile(const CscT<V>& csc, StripCursor& cur
   cursor.advance_watermark(row_end);
   const int lanes = cursor.lanes();
 
-  DcsrTileT<V> tile;
-  tile.strip_id = cursor.strip_id();
-  tile.row_begin = row_start;
-  tile.col_begin = cursor.col_begin();
-  tile.body.rows = row_end - row_start;
-  tile.body.cols = lanes;
-  tile.body.row_ptr.push_back(0);
+  out.strip_id = cursor.strip_id();
+  out.row_begin = row_start;
+  out.col_begin = cursor.col_begin();
+  out.body.rows = row_end - row_start;
+  out.body.cols = lanes;
+  out.crc = 0;
+  out.crc_valid = false;
 
   EngineStats local;
   ++local.requests;
@@ -145,8 +160,25 @@ DcsrTileT<V> ConversionEngine::convert_tile(const CscT<V>& csc, StripCursor& cur
     }
   }
 
-  std::vector<index_t> coords(static_cast<usize>(lanes));
-  std::vector<u8> valid(static_cast<usize>(lanes));
+  // Tile scratch from the thread-local arena (rewound on scope exit):
+  // lane registers plus staging arrays sized by cheap upper bounds —
+  // emitted rows are distinct coordinates in [row_start, row_end), and
+  // emitted elements cannot exceed what is left of the strip.
+  ConversionArena& arena = ConversionArena::local();
+  const ConversionArena::Scope tile_scope(arena);
+  const auto coords = arena.alloc<index_t>(static_cast<usize>(lanes));
+  const auto valid = arena.alloc<u8>(static_cast<usize>(lanes));
+  const usize max_rows = static_cast<usize>(row_end - row_start);
+  usize max_elems = 0;
+  for (int l = 0; l < lanes; ++l)
+    max_elems += static_cast<usize>(boundary[l] - frontier[l]);
+  const auto row_idx_s = arena.alloc<index_t>(max_rows);
+  const auto row_ptr_s = arena.alloc<index_t>(max_rows + 1);
+  const auto col_idx_s = arena.alloc<index_t>(max_elems);
+  const auto val_s = arena.alloc<V>(max_elems);
+  usize nrows = 0;
+  usize nelems = 0;
+  row_ptr_s[0] = 0;
 
   for (;;) {
     // (1)+(2): load each lane's frontier coordinate; a lane is live if
@@ -167,14 +199,16 @@ DcsrTileT<V> ConversionEngine::convert_tile(const CscT<V>& csc, StripCursor& cur
 
     // (3): emit one DCSR row from every lane holding the minimum.
     ++local.steps;
-    tile.body.row_idx.push_back(min.min_coord - row_start);
-    tile.body.row_ptr.push_back(tile.body.row_ptr.back());
+    row_idx_s[nrows] = min.min_coord - row_start;
+    index_t row_elems = row_ptr_s[nrows];
+    ++nrows;
     for (int l = 0; l < lanes; ++l) {
       if ((min.lane_mask >> l & 1) == 0) continue;
       const index_t src = frontier[l];
-      tile.body.col_idx.push_back(l);
-      tile.body.val.push_back(csc.val[src]);
-      ++tile.body.row_ptr.back();
+      col_idx_s[nelems] = l;
+      val_s[nelems] = csc.val[src];
+      ++nelems;
+      ++row_elems;
       ++frontier[l];
       ++local.elements;
       local.dram_bytes_in += kIndexBytes + kVB;
@@ -187,29 +221,40 @@ DcsrTileT<V> ConversionEngine::convert_tile(const CscT<V>& csc, StripCursor& cur
                          kVB);
       }
     }
+    row_ptr_s[nrows] = row_elems;
   }
+
+  // Publish the staged rows into the caller's tile: clear-and-assign
+  // keeps the vectors' capacity, so a reused tile allocates nothing
+  // once warm (a fresh tile pays one exact-size allocation per array
+  // instead of a push_back growth sequence).
+  out.body.row_idx.assign(row_idx_s.data(), row_idx_s.data() + nrows);
+  out.body.row_ptr.assign(row_ptr_s.data(), row_ptr_s.data() + nrows + 1);
+  out.body.col_idx.assign(col_idx_s.data(), col_idx_s.data() + nelems);
+  out.body.val.assign(val_s.data(), val_s.data() + nelems);
 
   // (4): stream the tile to the requesting SM over the crossbar.
   const i64 out_bytes =
-      static_cast<i64>(tile.body.val.size()) * (kVB + kIndexBytes) +
-      static_cast<i64>(tile.body.row_ptr.size() + tile.body.row_idx.size()) * kIndexBytes;
+      static_cast<i64>(nelems) * (kVB + kIndexBytes) +
+      static_cast<i64>(nrows + 1 + nrows) * kIndexBytes;
   local.xbar_bytes_out += out_bytes;
   if (mem != nullptr) mem->xbar_transfer(out_bytes);
 
   stats_ += local;
-  span.arg("strip", static_cast<i64>(cursor.strip_id()))
-      .arg("row_begin", static_cast<i64>(row_start))
-      .arg("rows_emitted", local.steps)
-      .arg("elements", local.elements)
-      .arg("dram_bytes_in", local.dram_bytes_in)
-      .arg("xbar_bytes_out", local.xbar_bytes_out);
+  if (span.enabled()) {
+    span.arg("strip", static_cast<i64>(cursor.strip_id()))
+        .arg("row_begin", static_cast<i64>(row_start))
+        .arg("rows_emitted", local.steps)
+        .arg("elements", local.elements)
+        .arg("dram_bytes_in", local.dram_bytes_in)
+        .arg("xbar_bytes_out", local.xbar_bytes_out);
+  }
 
   // Stamp the integrity fingerprint on the pristine tile, then give the
   // injection layer its shot at the in-transit copy.
-  tile.crc = dcsr_tile_crc(tile);
-  tile.crc_valid = true;
-  maybe_corrupt_tile(tile, fault_attempt);
-  return tile;
+  out.crc = dcsr_tile_crc(out);
+  out.crc_valid = true;
+  maybe_corrupt_tile(out, fault_attempt);
 }
 
 template <class V>
@@ -220,17 +265,31 @@ DcsrTileT<V> ConversionEngine::convert_tile_checked(const CscT<V>& csc,
                                                     MemorySystem* mem,
                                                     const CscDeviceLayout* layout,
                                                     int pinned_channel) {
+  DcsrTileT<V> tile;
+  convert_tile_checked_into(tile, csc, cursor, row_start, spec, mem, layout,
+                            pinned_channel);
+  return tile;
+}
+
+template <class V>
+void ConversionEngine::convert_tile_checked_into(DcsrTileT<V>& out, const CscT<V>& csc,
+                                                 StripCursor& cursor, index_t row_start,
+                                                 const TilingSpec& spec,
+                                                 MemorySystem* mem,
+                                                 const CscDeviceLayout* layout,
+                                                 int pinned_channel) {
   const StripCursor::Snapshot snap = cursor.save();
-  DcsrTileT<V> tile =
-      convert_tile(csc, cursor, row_start, spec, mem, layout, pinned_channel, 0);
-  if (verify_dcsr_tile(tile)) return tile;
+  convert_tile_into(out, csc, cursor, row_start, spec, mem, layout, pinned_channel, 0);
+  if (verify_dcsr_tile(out)) return;
 
   // Integrity failure at the consumption point.  The first attempt's
   // conversion itself was fault-free (corruption is applied to the
   // output copy), so its simulated DRAM/crossbar traffic and engine
   // counters already match the fault-free run exactly; retries therefore
   // run with no MemorySystem and the engine stats pinned back to the
-  // post-attempt-0 value, keeping a recovered run bit-identical.
+  // post-attempt-0 value, keeping a recovered run bit-identical.  Each
+  // retry refills `out` through a fresh arena scope — the rewound arena
+  // hands back the same scratch bytes attempt after attempt.
   const EngineStats pinned = stats_;
   for (int attempt = 1; attempt <= fault::kMaxRetries; ++attempt) {
     fault::note_detected();
@@ -240,11 +299,11 @@ DcsrTileT<V> ConversionEngine::convert_tile_checked(const CscT<V>& csc,
         .arg("row_begin", static_cast<i64>(row_start))
         .arg("attempt", attempt);
     cursor.restore(snap);
-    tile = convert_tile(csc, cursor, row_start, spec, nullptr, nullptr, -1, attempt);
+    convert_tile_into(out, csc, cursor, row_start, spec, nullptr, nullptr, -1, attempt);
     stats_ = pinned;
-    if (verify_dcsr_tile(tile)) {
+    if (verify_dcsr_tile(out)) {
       fault::note_recovered();
-      return tile;
+      return;
     }
   }
   fault::note_detected();
@@ -263,6 +322,7 @@ std::vector<DcsrTileT<V>> ConversionEngine::convert_strip(const CscT<V>& csc,
                                                           const CscDeviceLayout* layout) {
   StripCursor cursor(csc, strip_id, spec);
   std::vector<DcsrTileT<V>> tiles;
+  ConversionArena::local().reset();
   for (index_t row_start = 0; row_start < csc.rows; row_start += spec.tile_height) {
     tiles.push_back(convert_tile_checked(csc, cursor, row_start, spec, mem, layout));
   }
@@ -301,9 +361,15 @@ std::vector<DcscTileT<V>> ConversionEngine::convert_strip_dcsc(const CsrT<V>& cs
   template DcsrTileT<V> ConversionEngine::convert_tile(                                \
       const CscT<V>&, StripCursor&, index_t, const TilingSpec&, MemorySystem*,         \
       const CscDeviceLayout*, int, int);                                               \
+  template void ConversionEngine::convert_tile_into(                                   \
+      DcsrTileT<V>&, const CscT<V>&, StripCursor&, index_t, const TilingSpec&,         \
+      MemorySystem*, const CscDeviceLayout*, int, int);                                \
   template DcsrTileT<V> ConversionEngine::convert_tile_checked(                        \
       const CscT<V>&, StripCursor&, index_t, const TilingSpec&, MemorySystem*,         \
       const CscDeviceLayout*, int);                                                    \
+  template void ConversionEngine::convert_tile_checked_into(                           \
+      DcsrTileT<V>&, const CscT<V>&, StripCursor&, index_t, const TilingSpec&,         \
+      MemorySystem*, const CscDeviceLayout*, int);                                     \
   template std::vector<DcsrTileT<V>> ConversionEngine::convert_strip(                  \
       const CscT<V>&, index_t, const TilingSpec&, MemorySystem*,                       \
       const CscDeviceLayout*);                                                         \

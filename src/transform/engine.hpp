@@ -136,6 +136,20 @@ class ConversionEngine {
                             const CscDeviceLayout* layout = nullptr,
                             int pinned_channel = -1, int fault_attempt = 0);
 
+  /// convert_tile into a caller-owned tile: `out` is cleared and
+  /// refilled, retaining its vectors' capacity, and all transient
+  /// scratch comes from the thread-local ConversionArena — so a caller
+  /// that reuses one tile across a strip (the online kernel) performs
+  /// zero steady-state heap allocations per tile.  Identical output and
+  /// simulated accounting to convert_tile (which is now a thin wrapper
+  /// over this).
+  template <class V>
+  void convert_tile_into(DcsrTileT<V>& out, const CscT<V>& csc, StripCursor& cursor,
+                         index_t row_start, const TilingSpec& spec,
+                         MemorySystem* mem = nullptr,
+                         const CscDeviceLayout* layout = nullptr,
+                         int pinned_channel = -1, int fault_attempt = 0);
+
   /// convert_tile plus the consumption-point integrity check (CRC32 +
   /// structural validate) and bounded recovery: on a mismatch the strip
   /// cursor is rewound and the tile reconverted, up to
@@ -149,6 +163,18 @@ class ConversionEngine {
                                     MemorySystem* mem = nullptr,
                                     const CscDeviceLayout* layout = nullptr,
                                     int pinned_channel = -1);
+
+  /// convert_tile_checked into a caller-owned tile (see
+  /// convert_tile_into).  The cursor-snapshot recovery path is
+  /// preserved: each retry rewinds the cursor AND refills `out` from a
+  /// fresh arena scope, with engine stats pinned to attempt 0, so a
+  /// recovered tile is bit-identical to a fault-free conversion.
+  template <class V>
+  void convert_tile_checked_into(DcsrTileT<V>& out, const CscT<V>& csc,
+                                 StripCursor& cursor, index_t row_start,
+                                 const TilingSpec& spec, MemorySystem* mem = nullptr,
+                                 const CscDeviceLayout* layout = nullptr,
+                                 int pinned_channel = -1);
 
   /// Convert an entire strip tile-by-tile (convenience for offline
   /// comparisons and tests).

@@ -1,0 +1,297 @@
+// SIMD tier detection, binding, and the per-tier axpy implementations.
+//
+// This TU is compiled with -ffp-contract=off (see src/CMakeLists.txt):
+// the scalar references here define the mul-then-add numerics the
+// vector tiers must reproduce bitwise, so the compiler must not fuse
+// them into FMAs on architectures where it legally could (aarch64).
+// The vector tiers use unfused mul/add intrinsics for the same reason.
+
+#include "util/simd.hpp"
+
+#include <cctype>
+#include <cstdlib>
+#include <string>
+
+#if defined(__x86_64__) || defined(__i386__)
+#include <immintrin.h>
+#define NMDT_SIMD_X86 1
+#elif defined(__aarch64__) || defined(__ARM_NEON)
+#include <arm_neon.h>
+#define NMDT_SIMD_NEON 1
+#endif
+
+#if defined(__GNUC__) || defined(__clang__)
+#define NMDT_SIMD_RESTRICT __restrict__
+#else
+#define NMDT_SIMD_RESTRICT
+#endif
+
+namespace nmdt::simd {
+
+// ---- Portable scalar tier (the numerics reference) -------------------
+
+void axpy_f32_scalar(float a, const float* NMDT_SIMD_RESTRICT b,
+                     float* NMDT_SIMD_RESTRICT c, index_t k) {
+  index_t i = 0;
+  for (; i + 8 <= k; i += 8) {
+    c[i + 0] += a * b[i + 0];
+    c[i + 1] += a * b[i + 1];
+    c[i + 2] += a * b[i + 2];
+    c[i + 3] += a * b[i + 3];
+    c[i + 4] += a * b[i + 4];
+    c[i + 5] += a * b[i + 5];
+    c[i + 6] += a * b[i + 6];
+    c[i + 7] += a * b[i + 7];
+  }
+  for (; i < k; ++i) c[i] += a * b[i];
+}
+
+void axpy_f64_scalar(double a, const double* NMDT_SIMD_RESTRICT b,
+                     double* NMDT_SIMD_RESTRICT c, index_t k) {
+  index_t i = 0;
+  for (; i + 8 <= k; i += 8) {
+    c[i + 0] += a * b[i + 0];
+    c[i + 1] += a * b[i + 1];
+    c[i + 2] += a * b[i + 2];
+    c[i + 3] += a * b[i + 3];
+    c[i + 4] += a * b[i + 4];
+    c[i + 5] += a * b[i + 5];
+    c[i + 6] += a * b[i + 6];
+    c[i + 7] += a * b[i + 7];
+  }
+  for (; i < k; ++i) c[i] += a * b[i];
+}
+
+void axpy_bf16_scalar(bf16_t a, const bf16_t* NMDT_SIMD_RESTRICT b,
+                      float* NMDT_SIMD_RESTRICT c, index_t k) {
+  const float av = a.to_float();
+  index_t i = 0;
+  for (; i + 8 <= k; i += 8) {
+    c[i + 0] += av * b[i + 0].to_float();
+    c[i + 1] += av * b[i + 1].to_float();
+    c[i + 2] += av * b[i + 2].to_float();
+    c[i + 3] += av * b[i + 3].to_float();
+    c[i + 4] += av * b[i + 4].to_float();
+    c[i + 5] += av * b[i + 5].to_float();
+    c[i + 6] += av * b[i + 6].to_float();
+    c[i + 7] += av * b[i + 7].to_float();
+  }
+  for (; i < k; ++i) c[i] += av * b[i].to_float();
+}
+
+// ---- AVX2 tier (x86-64) ----------------------------------------------
+//
+// target("avx2") lets a baseline-ISA TU emit AVX2 encodings for these
+// functions only; the dispatcher never binds them unless CPUID reports
+// AVX2.  mul+add stay separate instructions — _mm256_fmadd_* would
+// round once instead of twice and break bit-identity with the scalar
+// reference.
+
+#if defined(NMDT_SIMD_X86)
+
+__attribute__((target("avx2"))) static void axpy_f32_avx2(float a, const float* b,
+                                                          float* c, index_t k) {
+  const __m256 av = _mm256_set1_ps(a);
+  index_t i = 0;
+  for (; i + 16 <= k; i += 16) {
+    const __m256 p0 = _mm256_mul_ps(av, _mm256_loadu_ps(b + i));
+    const __m256 p1 = _mm256_mul_ps(av, _mm256_loadu_ps(b + i + 8));
+    _mm256_storeu_ps(c + i, _mm256_add_ps(_mm256_loadu_ps(c + i), p0));
+    _mm256_storeu_ps(c + i + 8, _mm256_add_ps(_mm256_loadu_ps(c + i + 8), p1));
+  }
+  for (; i + 8 <= k; i += 8) {
+    const __m256 p = _mm256_mul_ps(av, _mm256_loadu_ps(b + i));
+    _mm256_storeu_ps(c + i, _mm256_add_ps(_mm256_loadu_ps(c + i), p));
+  }
+  for (; i < k; ++i) c[i] += a * b[i];
+}
+
+__attribute__((target("avx2"))) static void axpy_f64_avx2(double a, const double* b,
+                                                          double* c, index_t k) {
+  const __m256d av = _mm256_set1_pd(a);
+  index_t i = 0;
+  for (; i + 8 <= k; i += 8) {
+    const __m256d p0 = _mm256_mul_pd(av, _mm256_loadu_pd(b + i));
+    const __m256d p1 = _mm256_mul_pd(av, _mm256_loadu_pd(b + i + 4));
+    _mm256_storeu_pd(c + i, _mm256_add_pd(_mm256_loadu_pd(c + i), p0));
+    _mm256_storeu_pd(c + i + 4, _mm256_add_pd(_mm256_loadu_pd(c + i + 4), p1));
+  }
+  for (; i + 4 <= k; i += 4) {
+    const __m256d p = _mm256_mul_pd(av, _mm256_loadu_pd(b + i));
+    _mm256_storeu_pd(c + i, _mm256_add_pd(_mm256_loadu_pd(c + i), p));
+  }
+  for (; i < k; ++i) c[i] += a * b[i];
+}
+
+__attribute__((target("avx2"))) static void axpy_bf16_avx2(bf16_t a, const bf16_t* b,
+                                                           float* c, index_t k) {
+  const float af = a.to_float();
+  const __m256 av = _mm256_set1_ps(af);
+  index_t i = 0;
+  for (; i + 8 <= k; i += 8) {
+    // Widen 8 bf16 (top halves of binary32) to 8 exact floats: zero-
+    // extend u16→u32, shift into the high half, reinterpret as float.
+    const __m128i raw = _mm_loadu_si128(reinterpret_cast<const __m128i*>(b + i));
+    const __m256i wide = _mm256_slli_epi32(_mm256_cvtepu16_epi32(raw), 16);
+    const __m256 bv = _mm256_castsi256_ps(wide);
+    const __m256 p = _mm256_mul_ps(av, bv);
+    _mm256_storeu_ps(c + i, _mm256_add_ps(_mm256_loadu_ps(c + i), p));
+  }
+  for (; i < k; ++i) c[i] += af * b[i].to_float();
+}
+
+#endif  // NMDT_SIMD_X86
+
+// ---- NEON tier (aarch64) ---------------------------------------------
+//
+// vmulq/vaddq, never vfmaq: Advanced SIMD FMLA fuses, which would break
+// bit-identity with the scalar reference.
+
+#if defined(NMDT_SIMD_NEON)
+
+static void axpy_f32_neon(float a, const float* b, float* c, index_t k) {
+  const float32x4_t av = vdupq_n_f32(a);
+  index_t i = 0;
+  for (; i + 8 <= k; i += 8) {
+    const float32x4_t p0 = vmulq_f32(av, vld1q_f32(b + i));
+    const float32x4_t p1 = vmulq_f32(av, vld1q_f32(b + i + 4));
+    vst1q_f32(c + i, vaddq_f32(vld1q_f32(c + i), p0));
+    vst1q_f32(c + i + 4, vaddq_f32(vld1q_f32(c + i + 4), p1));
+  }
+  for (; i + 4 <= k; i += 4) {
+    const float32x4_t p = vmulq_f32(av, vld1q_f32(b + i));
+    vst1q_f32(c + i, vaddq_f32(vld1q_f32(c + i), p));
+  }
+  for (; i < k; ++i) c[i] += a * b[i];
+}
+
+static void axpy_f64_neon(double a, const double* b, double* c, index_t k) {
+  const float64x2_t av = vdupq_n_f64(a);
+  index_t i = 0;
+  for (; i + 4 <= k; i += 4) {
+    const float64x2_t p0 = vmulq_f64(av, vld1q_f64(b + i));
+    const float64x2_t p1 = vmulq_f64(av, vld1q_f64(b + i + 2));
+    vst1q_f64(c + i, vaddq_f64(vld1q_f64(c + i), p0));
+    vst1q_f64(c + i + 2, vaddq_f64(vld1q_f64(c + i + 2), p1));
+  }
+  for (; i + 2 <= k; i += 2) {
+    const float64x2_t p = vmulq_f64(av, vld1q_f64(b + i));
+    vst1q_f64(c + i, vaddq_f64(vld1q_f64(c + i), p));
+  }
+  for (; i < k; ++i) c[i] += a * b[i];
+}
+
+static void axpy_bf16_neon(bf16_t a, const bf16_t* b, float* c, index_t k) {
+  const float af = a.to_float();
+  const float32x4_t av = vdupq_n_f32(af);
+  index_t i = 0;
+  for (; i + 4 <= k; i += 4) {
+    const uint16x4_t raw = vld1_u16(reinterpret_cast<const u16*>(b + i));
+    const float32x4_t bv = vreinterpretq_f32_u32(vshll_n_u16(raw, 16));
+    const float32x4_t p = vmulq_f32(av, bv);
+    vst1q_f32(c + i, vaddq_f32(vld1q_f32(c + i), p));
+  }
+  for (; i < k; ++i) c[i] += af * b[i].to_float();
+}
+
+#endif  // NMDT_SIMD_NEON
+
+// ---- Detection, binding, dispatch state ------------------------------
+
+AxpyF32Fn axpy_f32 = &axpy_f32_scalar;
+AxpyF64Fn axpy_f64 = &axpy_f64_scalar;
+AxpyBf16Fn axpy_bf16 = &axpy_bf16_scalar;
+
+namespace {
+
+Tier g_tier = Tier::kScalar;
+
+void bind(Tier t) {
+  g_tier = t;
+  switch (t) {
+#if defined(NMDT_SIMD_X86)
+    case Tier::kAvx2:
+      axpy_f32 = &axpy_f32_avx2;
+      axpy_f64 = &axpy_f64_avx2;
+      axpy_bf16 = &axpy_bf16_avx2;
+      return;
+#endif
+#if defined(NMDT_SIMD_NEON)
+    case Tier::kNeon:
+      axpy_f32 = &axpy_f32_neon;
+      axpy_f64 = &axpy_f64_neon;
+      axpy_bf16 = &axpy_bf16_neon;
+      return;
+#endif
+    default:
+      axpy_f32 = &axpy_f32_scalar;
+      axpy_f64 = &axpy_f64_scalar;
+      axpy_bf16 = &axpy_bf16_scalar;
+      return;
+  }
+}
+
+Tier best_supported() {
+  if (tier_supported(Tier::kAvx2)) return Tier::kAvx2;
+  if (tier_supported(Tier::kNeon)) return Tier::kNeon;
+  return Tier::kScalar;
+}
+
+/// NMDT_SIMD override: off|scalar force the fallback, avx2|neon request
+/// a tier (granted only when supported), anything else selects auto.
+Tier resolve_tier() {
+  const char* env = std::getenv("NMDT_SIMD");
+  std::string v;
+  for (const char* p = env; p && *p; ++p)
+    v.push_back(static_cast<char>(std::tolower(static_cast<unsigned char>(*p))));
+  if (v == "off" || v == "scalar") return Tier::kScalar;
+  if (v == "avx2") return tier_supported(Tier::kAvx2) ? Tier::kAvx2 : Tier::kScalar;
+  if (v == "neon") return tier_supported(Tier::kNeon) ? Tier::kNeon : Tier::kScalar;
+  return best_supported();
+}
+
+/// Bind before main() so every kernel call (and active_tier()) sees the
+/// resolved tier without a per-call check.
+struct BindAtStartup {
+  BindAtStartup() { bind(resolve_tier()); }
+} g_bind_at_startup;
+
+}  // namespace
+
+const char* tier_name(Tier t) {
+  switch (t) {
+    case Tier::kAvx2: return "avx2";
+    case Tier::kNeon: return "neon";
+    case Tier::kScalar: default: return "scalar";
+  }
+}
+
+Tier active_tier() { return g_tier; }
+
+bool tier_supported(Tier t) {
+  switch (t) {
+    case Tier::kScalar:
+      return true;
+    case Tier::kAvx2:
+#if defined(NMDT_SIMD_X86)
+      return __builtin_cpu_supports("avx2") != 0;
+#else
+      return false;
+#endif
+    case Tier::kNeon:
+#if defined(NMDT_SIMD_NEON)
+      return true;
+#else
+      return false;
+#endif
+  }
+  return false;
+}
+
+bool force_tier(Tier t) {
+  if (!tier_supported(t)) return false;
+  bind(t);
+  return true;
+}
+
+}  // namespace nmdt::simd

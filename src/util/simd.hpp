@@ -1,0 +1,87 @@
+// Runtime-dispatched SIMD micro-kernels for the host-side FP hot loops.
+//
+// The kernels' axpy_row (c[0..k) += a·b[0..k)) accounts for most of the
+// serial wall-clock at bench scale; this shim replaces the
+// compiler-vectorized scalar loop with explicit AVX2 (x86-64) / NEON
+// (aarch64) implementations selected ONCE at startup from CPUID plus an
+// NMDT_SIMD environment override, behind a portable scalar fallback.
+//
+// Bit-identity contract: every tier performs, per element, exactly one
+// IEEE multiply followed by one IEEE add at the compute precision —
+// never a fused multiply-add.  The baseline build (no -mfma) cannot
+// contract the scalar loop, so the established numerics are
+// separate-rounded mul-then-add; the vector paths use unfused
+// mul/add intrinsics and simd.cpp compiles with -ffp-contract=off so
+// the scalar reference in that TU matches on every architecture
+// (aarch64 GCC would otherwise fuse).  tests/simd_test.cpp pins the
+// dispatched result bitwise against the scalar reference for all three
+// precisions, ragged K, and unaligned pointers.
+//
+// Environment override (resolved once, before the first dispatch):
+//   NMDT_SIMD=off|scalar   force the portable fallback
+//   NMDT_SIMD=avx2|neon    request a tier (falls back to scalar when
+//                          the host does not support it)
+//   NMDT_SIMD=auto         default: best supported tier
+#pragma once
+
+#include "util/precision.hpp"
+#include "util/types.hpp"
+
+namespace nmdt::simd {
+
+enum class Tier : u8 {
+  kScalar = 0,  ///< portable fallback (compiler-vectorized at best)
+  kAvx2 = 1,    ///< x86-64 AVX2 (unfused mul+add; FMA deliberately unused)
+  kNeon = 2,    ///< aarch64 Advanced SIMD (unfused mul+add)
+};
+
+const char* tier_name(Tier t);
+
+/// Tier the dispatched entry points are currently bound to.  Resolved
+/// from NMDT_SIMD + CPU detection by a static initializer in simd.cpp,
+/// so it is stable before main() and any kernel call.
+Tier active_tier();
+
+/// True when the host CPU can execute tier `t`.
+bool tier_supported(Tier t);
+
+/// Test hook: rebind the dispatched entry points to tier `t`.  Returns
+/// false (and leaves the binding untouched) when the host does not
+/// support the tier.  Not thread-safe against concurrently running
+/// kernels — call between runs only.
+bool force_tier(Tier t);
+
+using AxpyF32Fn = void (*)(float a, const float* b, float* c, index_t k);
+using AxpyF64Fn = void (*)(double a, const double* b, double* c, index_t k);
+using AxpyBf16Fn = void (*)(bf16_t a, const bf16_t* b, float* c, index_t k);
+
+/// Dispatched entry points (bound once at startup; see force_tier).
+extern AxpyF32Fn axpy_f32;
+extern AxpyF64Fn axpy_f64;
+extern AxpyBf16Fn axpy_bf16;
+
+/// Portable scalar references — the numerics every tier must reproduce
+/// bitwise (compiled with -ffp-contract=off).  Exposed for tests.
+void axpy_f32_scalar(float a, const float* b, float* c, index_t k);
+void axpy_f64_scalar(double a, const double* b, double* c, index_t k);
+void axpy_bf16_scalar(bf16_t a, const bf16_t* b, float* c, index_t k);
+
+/// Typed front door: routes V ∈ {float, double, bf16_t} to the matching
+/// dispatched entry point.
+template <class V>
+inline void axpy(V a, const V* b, typename VTraits<V>::compute_t* c, index_t k);
+
+template <>
+inline void axpy<float>(float a, const float* b, float* c, index_t k) {
+  axpy_f32(a, b, c, k);
+}
+template <>
+inline void axpy<double>(double a, const double* b, double* c, index_t k) {
+  axpy_f64(a, b, c, k);
+}
+template <>
+inline void axpy<bf16_t>(bf16_t a, const bf16_t* b, float* c, index_t k) {
+  axpy_bf16(a, b, c, k);
+}
+
+}  // namespace nmdt::simd

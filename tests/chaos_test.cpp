@@ -21,7 +21,10 @@
 #include "core/executor.hpp"
 #include "core/plan.hpp"
 #include "fault/fault.hpp"
+#include "formats/convert.hpp"
 #include "formats/serialize.hpp"
+#include "transform/arena.hpp"
+#include "transform/engine.hpp"
 #include "kernels/spmm.hpp"
 #include "matgen/generators.hpp"
 #include "obs/metrics.hpp"
@@ -180,6 +183,87 @@ TEST(Chaos, PersistentTileFaultDegradesToVerifiedFallback) {
 
   cfg.fault_fallback = false;
   EXPECT_THROW(run_spmm(KernelKind::kTiledDcsrOnline, A, B, cfg), FaultError);
+}
+
+// Arena-backed reconversion: bit-flip recovery in convert_tile_checked
+// now takes all its tile scratch from the thread-local ConversionArena
+// (one RAII scope per attempt).  The recovered tiles must stay bitwise
+// equal to fault-free conversion, the engine counters must stay pinned
+// to the first attempt, and — the arena contract — the retries must be
+// served from reused chunks, not fresh heap allocations.
+TEST(Chaos, ArenaReconversionReusesScratchAndStaysBitIdentical) {
+  const Csr A = chaos_matrix();
+  const Csc csc = csc_from_csr(A);
+  const TilingSpec spec{64, 64};
+  const index_t strips = spec.num_strips(A.cols);
+
+  // Fault-free reference tiles, strip by strip.
+  ConversionEngine ref_engine;
+  std::vector<std::vector<DcsrTile>> ref_tiles;
+  for (index_t s = 0; s < strips; ++s) {
+    ref_tiles.push_back(ref_engine.convert_strip<value_t>(csc, s, spec));
+  }
+
+  // Same conversion under tile-value bit flips, through the reused-tile
+  // entry point the online kernel uses.  The rate is low enough that
+  // the deterministic draw never exhausts the retry budget, high enough
+  // that retries actually happen (asserted below).
+  reset_metrics();
+  const fault::FaultScope inject({fault::FaultSite::kTileVal, 0.1, 3});
+  ConversionEngine engine;
+  ConversionArena& arena = ConversionArena::local();
+  const auto convert_strip_reused = [&](index_t s) {
+    ConversionArena::local().reset();
+    StripCursor cursor(csc, s, spec);
+    DcsrTile tile;
+    std::vector<DcsrTile> out;
+    for (index_t row_start = 0; row_start < csc.rows; row_start += spec.tile_height) {
+      engine.convert_tile_checked_into(tile, csc, cursor, row_start, spec);
+      out.push_back(tile);
+    }
+    return out;
+  };
+
+  // Warm the arena on the first strip, then require steady state: no
+  // strip after it may grow the arena, retries included.
+  u64 rewinds_before = arena.stats().rewinds;
+  std::vector<std::vector<DcsrTile>> got;
+  got.push_back(convert_strip_reused(0));
+  const u64 warm_chunks = arena.stats().chunk_allocs;
+  const u64 warm_capacity = arena.stats().capacity_bytes;
+  for (index_t s = 1; s < strips; ++s) got.push_back(convert_strip_reused(s));
+  EXPECT_EQ(arena.stats().chunk_allocs, warm_chunks);
+  EXPECT_EQ(arena.stats().capacity_bytes, warm_capacity);
+
+  // One scope close per conversion attempt: with recovered faults in
+  // the run, rewinds must exceed the tile count.
+  i64 tiles_total = 0;
+  for (const auto& strip : got) tiles_total += static_cast<i64>(strip.size());
+  EXPECT_GT(static_cast<i64>(arena.stats().rewinds - rewinds_before), tiles_total);
+
+  const FaultCounters c = read_fault_counters();
+  expect_accounted(c);
+  EXPECT_GT(c.injected, 0) << "no bit flips fired: the test is vacuous";
+  EXPECT_GT(c.recovered, 0);
+  EXPECT_EQ(c.unrecovered, 0);
+
+  // Recovered output: bitwise equal tiles, engine stats pinned to the
+  // fault-free accounting.
+  ASSERT_EQ(got.size(), ref_tiles.size());
+  for (usize s = 0; s < got.size(); ++s) {
+    ASSERT_EQ(got[s].size(), ref_tiles[s].size());
+    for (usize t = 0; t < got[s].size(); ++t) {
+      SCOPED_TRACE("strip " + std::to_string(s) + " tile " + std::to_string(t));
+      const DcsrTile& x = got[s][t];
+      const DcsrTile& y = ref_tiles[s][t];
+      EXPECT_EQ(x.crc, y.crc);
+      EXPECT_EQ(x.body.row_idx, y.body.row_idx);
+      EXPECT_EQ(x.body.row_ptr, y.body.row_ptr);
+      EXPECT_EQ(x.body.col_idx, y.body.col_idx);
+      EXPECT_EQ(x.body.val, y.body.val);
+    }
+  }
+  EXPECT_EQ(engine.stats(), ref_engine.stats());
 }
 
 TEST(Chaos, PersistentShardFaultSurfacesTypedErrorWithoutFallback) {
