@@ -32,7 +32,21 @@
 //   --precision {f32,f64,bf16}  stored value type of the timed sweep
 //                    (default f32)
 //   --out <path>     JSON report path (default BENCH_kernels.json)
+//   --history <path> bench-trajectory JSONL to append this run to
+//                    (default results/bench_history.jsonl; 'none' = off)
+//
+// The report header carries a "host" provenance object (CPU model,
+// cores, SIMD tier, compiler, build type) so downstream tooling
+// (scripts/check_serial_perf.py) only ever compares timings
+// like-for-like.  Each kernel row additionally carries an "hw" object
+// with hardware-counter deltas from one profiled serial execute
+// (perf_event where available, rusage fallback elsewhere; export
+// NMDT_PERF_EVENTS=off to suppress the profiled pass entirely).
 #include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <ctime>
+#include <filesystem>
 #include <fstream>
 #include <iostream>
 #include <string>
@@ -44,6 +58,7 @@
 #include "kernels/spmm.hpp"
 #include "matgen/suite.hpp"
 #include "obs/metrics.hpp"
+#include "obs/profiler.hpp"
 #include "obs/scoped_timer.hpp"
 #include "util/cli.hpp"
 #include "util/error.hpp"
@@ -83,6 +98,31 @@ ArmTiming time_kernel(KernelKind kind, const SpmmExecutor& exec, const SpmmPlan&
   return t;
 }
 
+/// Geometric mean of strictly-positive timings (clamped below at 1 ns
+/// so a pathological zero sample cannot poison the product).
+double geomean_ms(const std::vector<double>& xs) {
+  if (xs.empty()) return 0.0;
+  double acc = 0.0;
+  for (double x : xs) acc += std::log(std::max(x, 1e-6));
+  return std::exp(acc / static_cast<double>(xs.size()));
+}
+
+/// UTC wall-clock stamp for the history line (ISO 8601, second
+/// granularity — history entries are ordered, not compared, by it).
+std::string utc_timestamp() {
+  const std::time_t now =
+      std::chrono::system_clock::to_time_t(std::chrono::system_clock::now());
+  std::tm tm{};
+#if defined(_WIN32)
+  gmtime_s(&tm, &now);
+#else
+  gmtime_r(&now, &tm);
+#endif
+  char buf[32];
+  std::strftime(buf, sizeof(buf), "%Y-%m-%dT%H:%M:%SZ", &tm);
+  return buf;
+}
+
 template <class T>
 bool bitwise_equal(const DenseMatrixT<T>& x, const DenseMatrixT<T>& y) {
   const auto xs = x.data();
@@ -104,11 +144,18 @@ int run(int argc, char** argv) {
   cli.declare("mode", "memory model: counting | cachesim (default cachesim)");
   cli.declare("precision", "stored value type: f32 | f64 | bf16 (default f32)");
   cli.declare("out", "JSON report path (default BENCH_kernels.json)");
+  cli.declare("history",
+              "bench-trajectory JSONL appended with this run's provenance and "
+              "timings (default results/bench_history.jsonl; 'none' disables)");
   if (cli.has("help")) {
     std::cout << cli.help("micro_kernels: serial vs sharded kernel timing");
     return 0;
   }
   cli.validate();
+  // Hardware-counter attribution is on by default in the bench — the
+  // request degrades to rusage (or to nothing, under
+  // NMDT_PERF_EVENTS=off) without ever failing the run.
+  obs::set_profiling_enabled(true);
 
   const std::string scale_name = cli.get("scale", "medium");
   SuiteScale scale = SuiteScale::kMedium;
@@ -125,6 +172,7 @@ int run(int argc, char** argv) {
   const std::string mode_name = cli.get("mode", "cachesim");
   const Precision precision = parse_precision(cli.get("precision", "f32"));
   const std::string out_path = cli.get("out", "BENCH_kernels.json");
+  const std::string history_path = cli.get("history", "results/bench_history.jsonl");
   const int host_cores = ThreadPool::default_jobs();
 
   // The largest suite matrix is the one whose serial latency bounds a
@@ -185,6 +233,9 @@ int run(int argc, char** argv) {
        << "  \"precision\": \"" << precision_name(precision) << "\",\n"
        << "  \"jobs\": " << jobs << ",\n"
        << "  \"host_cores\": " << host_cores << ",\n"
+       << "  \"host\": " << obs::host_info().json() << ",\n"
+       << "  \"profiler_backend\": \""
+       << obs::backend_name(obs::profiler_backend()) << "\",\n"
        << "  \"warmup\": " << warmup << ",\n"
        << "  \"iters\": " << iters << ",\n"
        << "  \"note\": \"speedup is parallel-arm best vs serial best; null "
@@ -193,6 +244,11 @@ int run(int argc, char** argv) {
        << ", \"profile_ms\": " << profile_ms << ", \"convert_ms\": " << convert_ms
        << "},\n"
        << "  \"kernels\": [\n";
+
+  // Accumulated for the bench-history line: per-kernel serial /
+  // counting bests in kAllKernels order.
+  std::vector<std::string> hist_names;
+  std::vector<double> hist_serial, hist_counting;
 
   bool first = true;
   for (KernelKind kind : kAllKernels) {
@@ -226,6 +282,20 @@ int run(int argc, char** argv) {
     const bool speedup_defined = host_cores > 1 && parallel.best_ms > 0.0;
     const double speedup = speedup_defined ? serial.best_ms / parallel.best_ms : 0.0;
 
+    // One profiled serial execute per kernel: hardware-counter deltas
+    // (IPC, LLC misses) attribute WHY a timing moved, not just that it
+    // did.  Skipped entirely (no extra execute) when profiling is off.
+    std::string hw_json = "null";
+    if (obs::profiling_enabled()) {
+      obs::ProfScope prof;
+      (void)serial_exec.execute(kind, *plan, B);
+      hw_json = prof.sample().json();
+    }
+
+    hist_names.push_back(kernel_name(kind));
+    hist_serial.push_back(serial.best_ms);
+    hist_counting.push_back(counting.best_ms);
+
     std::cout << "  " << kernel_name(kind) << ": serial " << serial.best_ms
               << " ms, counting " << counting.best_ms << " ms, jobs=" << jobs << " "
               << parallel.best_ms << " ms, speedup ";
@@ -241,7 +311,8 @@ int run(int argc, char** argv) {
          << ", \"parallel_mean_ms\": " << parallel.mean_ms << ", \"speedup\": ";
     if (speedup_defined) json << speedup;
     else json << "null";
-    json << ", \"bit_identical\": " << (identical ? "true" : "false") << "}";
+    json << ", \"bit_identical\": " << (identical ? "true" : "false")
+         << ", \"hw\": " << hw_json << "}";
     first = false;
     if (!identical) {
       std::cerr << "FATAL: sharded run diverged for " << kernel_name(kind) << "\n";
@@ -293,6 +364,31 @@ int run(int argc, char** argv) {
   obs::MetricsRegistry::global().write_json(json);
   json << "}\n";
   std::cout << "wrote " << out_path << "\n";
+
+  // Bench trajectory: append one self-contained JSONL line per run so
+  // scripts/check_serial_perf.py --history can gate against the rolling
+  // best and render the trend, instead of a single frozen baseline.
+  if (!history_path.empty() && history_path != "none") {
+    const auto parent = std::filesystem::path(history_path).parent_path();
+    std::error_code ec;
+    if (!parent.empty()) std::filesystem::create_directories(parent, ec);
+    std::ofstream hist(history_path, std::ios::app);
+    NMDT_REQUIRE(hist.good(), "cannot open bench history path");
+    hist << "{\"ts\": \"" << utc_timestamp() << "\", \"bench\": \"micro_kernels\""
+         << ", \"matrix\": \"" << pick->name << "\", \"k\": " << K << ", \"mode\": \""
+         << mode_name << "\", \"precision\": \"" << precision_name(precision)
+         << "\", \"iters\": " << iters << ", \"host\": " << obs::host_info().json()
+         << ", \"serial_geomean_ms\": " << geomean_ms(hist_serial)
+         << ", \"counting_geomean_ms\": " << geomean_ms(hist_counting)
+         << ", \"kernels\": [";
+    for (usize i = 0; i < hist_names.size(); ++i) {
+      hist << (i == 0 ? "" : ", ") << "{\"name\": \"" << hist_names[i]
+           << "\", \"serial_best_ms\": " << hist_serial[i]
+           << ", \"counting_best_ms\": " << hist_counting[i] << "}";
+    }
+    hist << "]}\n";
+    std::cout << "history +1 -> " << history_path << "\n";
+  }
   return 0;
 }
 

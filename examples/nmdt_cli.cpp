@@ -26,7 +26,9 @@
 // sweep.nmdj` replays the journal and runs only the remainder —
 // bit-identical to an uninterrupted sweep.  `--arm-timeout` /
 // `--suite-timeout` bound runaway arms / the whole sweep.
+#include <algorithm>
 #include <csignal>
+#include <fstream>
 #include <iostream>
 #include <optional>
 
@@ -41,7 +43,9 @@
 #include "formats/serialize.hpp"
 #include "matgen/generators.hpp"
 #include "obs/metrics.hpp"
+#include "obs/profiler.hpp"
 #include "obs/trace.hpp"
+#include "obs/trace_analysis.hpp"
 #include "transform/comparator.hpp"
 #include "util/cli.hpp"
 #include "util/error.hpp"
@@ -321,6 +325,49 @@ int cmd_suite(const CliParser& cli) {
   return 0;
 }
 
+/// Offline trace analytics: load a `--trace` artifact back in and emit
+/// a self-contained markdown report (hotspots, critical path, folded
+/// stacks), optionally diffed against a second trace.
+int cmd_report(const CliParser& cli) {
+  const std::string in_path = cli.get("in", "");
+  if (in_path.empty()) {
+    throw ParseError("--cmd report requires --in <trace.json> (a --trace artifact)");
+  }
+  const obs::TraceProfile profile = obs::analyze_trace_file(in_path);
+
+  obs::ReportOptions opts;
+  opts.top_n = static_cast<usize>(std::max<i64>(1, cli.get_int("top", 15)));
+  opts.trace_label = in_path;
+
+  std::optional<obs::TraceProfile> base;
+  const std::string diff_path = cli.get("diff", "");
+  if (!diff_path.empty()) {
+    base = obs::analyze_trace_file(diff_path);
+    opts.diff_label = diff_path;
+  }
+
+  const std::string folded_path = cli.get("folded", "");
+  if (!folded_path.empty()) {
+    std::ofstream folded(folded_path);
+    NMDT_REQUIRE(folded.good(), "cannot open folded-stacks output path");
+    folded << obs::folded_stacks(profile);
+    std::cerr << "folded stacks: " << folded_path << " (" << profile.folded.size()
+              << " stacks)\n";
+  }
+
+  const std::string out = cli.get("out", "");
+  if (out.empty()) {
+    obs::write_markdown_report(std::cout, profile, opts, base ? &*base : nullptr);
+  } else {
+    std::ofstream os(out);
+    NMDT_REQUIRE(os.good(), "cannot open report output path");
+    obs::write_markdown_report(os, profile, opts, base ? &*base : nullptr);
+    std::cerr << "report: " << out << " (" << profile.spans.size() << " spans, "
+              << profile.labels.size() << " labels)\n";
+  }
+  return 0;
+}
+
 /// Exit codes documented in README: each typed error class is
 /// distinguishable by scripts.  130 follows the shell convention for
 /// SIGINT-terminated processes.
@@ -338,7 +385,7 @@ int exit_code_for(const std::exception& e) {
 
 int main(int argc, char** argv) {
   CliParser cli(argc, argv);
-  cli.declare("cmd", "profile | run | convert | suite");
+  cli.declare("cmd", "profile | run | convert | suite | report");
   cli.declare("matrix", "input: .mtx (Matrix Market) or .bin (NMDT binary)");
   cli.declare("out", "output file (convert/suite)");
   cli.declare("k", "dense columns (run/suite; default 64)");
@@ -378,6 +425,14 @@ int main(int argc, char** argv) {
   cli.declare("suite-timeout",
               "deadline for the whole sweep in ms; expiry cancels in-flight arms "
               "and exits 6 (suite; default 0 = off)");
+  cli.declare("perf",
+              "attach hardware-counter args (hw.*) to kernel/plan/arm trace "
+              "spans via perf_event_open, falling back to rusage where "
+              "unavailable; NMDT_PERF_EVENTS=off disables (any cmd)");
+  cli.declare("in", "input trace JSON, a --trace artifact (report)");
+  cli.declare("diff", "baseline trace JSON to diff against (report)");
+  cli.declare("folded", "write collapsed flamegraph stacks to this path (report)");
+  cli.declare("top", "hotspot table rows (report; default 15)");
   if (cli.has("help")) {
     std::cout << cli.help("nmdt_cli: profile / run / convert / suite");
     return 0;
@@ -398,6 +453,7 @@ int main(int argc, char** argv) {
     NMDT_CHECK_CONFIG(plan.rate >= 0.0 && plan.rate <= 1.0,
                       "--fault-rate must be in [0, 1]");
     if (plan.site != fault::FaultSite::kNone) fault_scope.emplace(plan);
+    if (cli.has("perf")) obs::set_profiling_enabled(true);
     if (!trace_path.empty()) {
       session.emplace();
       session->install();
@@ -407,6 +463,7 @@ int main(int argc, char** argv) {
     else if (cmd == "run") rc = cmd_run(cli);
     else if (cmd == "convert") rc = cmd_convert(cli);
     else if (cmd == "suite") rc = cmd_suite(cli);
+    else if (cmd == "report") rc = cmd_report(cli);
     else throw ParseError("unknown --cmd '" + cmd + "' (try --help)");
   } catch (const std::exception& e) {
     std::cerr << "error: " << describe_exception(e) << "\n";

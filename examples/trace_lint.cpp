@@ -4,7 +4,8 @@
 // carries the required keys — used as the tier-1 trace smoke check.
 //
 //   ./example_trace_lint --trace trace.json
-//   ./example_trace_lint --trace metrics.json --json-only   (syntax check only)
+//   ./example_trace_lint --trace any.json --json-only       (syntax check only)
+//   ./example_trace_lint --metrics metrics.json             (--metrics snapshot)
 //   ./example_trace_lint --journal sweep.nmdj               (checkpoint journal)
 //
 // --journal reads a binary checkpoint journal (core/journal.hpp),
@@ -50,6 +51,9 @@ int main(int argc, char** argv) {
   nmdt::CliParser cli(argc, argv);
   cli.declare("trace", "trace/metrics JSON file to validate");
   cli.declare("json-only", "only check JSON well-formedness, not the trace schema");
+  cli.declare("metrics",
+              "validate a --metrics counters/gauges/histograms snapshot "
+              "(schema + histogram bucket invariants)");
   cli.declare("journal",
               "validate a binary checkpoint journal and print its summary JSON");
   if (cli.has("help")) {
@@ -59,10 +63,30 @@ int main(int argc, char** argv) {
   cli.validate();
   const std::string journal_path = cli.get("journal", "");
   if (!journal_path.empty()) return lint_journal(journal_path);
+  const std::string metrics_path = cli.get("metrics", "");
+  if (!metrics_path.empty()) {
+    std::ifstream in(metrics_path, std::ios::binary);
+    if (!in) {
+      std::cerr << "trace_lint: cannot open " << metrics_path << "\n";
+      return 2;
+    }
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    std::string error;
+    nmdt::obs::MetricsCheckReport report;
+    if (!nmdt::obs::validate_metrics_json(buf.str(), &error, &report)) {
+      std::cerr << "trace_lint: " << metrics_path << ": " << error << "\n";
+      return 1;
+    }
+    std::cout << metrics_path << ": ok — " << report.counters << " counters, "
+              << report.gauges << " gauges, " << report.histograms
+              << " histograms\n";
+    return 0;
+  }
   const std::string path = cli.get("trace", "");
   if (path.empty()) {
-    std::cerr << "trace_lint: --trace <file.json> or --journal <file.nmdj> is "
-                 "required\n";
+    std::cerr << "trace_lint: --trace <file.json>, --metrics <file.json> or "
+                 "--journal <file.nmdj> is required\n";
     return 2;
   }
   std::ifstream in(path, std::ios::binary);

@@ -31,14 +31,34 @@ cachesim baseline.
 after printing the comparison (never combined with a failing exit: if
 the gate fails, the baseline is left untouched).
 
+Host provenance: reports written by the current bench carry a "host"
+object (CPU model, cores, SIMD tier, compiler, build type).  When both
+reports carry one and the fingerprints differ, the timings are not
+comparable — the gate prints exactly why and exits 0 (skip, not
+failure).  A baseline predating the field gates as before, with a note.
+
+History mode (--history PATH, single positional report): instead of a
+frozen two-point comparison, gate the current report against the
+rolling per-kernel best of every comparable entry in the bench
+trajectory JSONL that micro_kernels appends to
+(results/bench_history.jsonl).  Comparable = same matrix, k, mode,
+precision, and host fingerprint.  The same fractional + absolute slack
+rules apply, and the geomean trajectory is rendered as a sparkline so a
+slow drift across many runs is visible even when every individual step
+stayed inside the slack.
+
 Usage: check_serial_perf.py BASELINE.json CURRENT.json
          [--max-slowdown 0.10] [--min-improvement FRAC] [--update-baseline]
+       check_serial_perf.py CURRENT.json --history results/bench_history.jsonl
+         [--max-slowdown 0.10]
 """
 import argparse
 import json
 import math
 import shutil
 import sys
+
+SPARK_LEVELS = "▁▂▃▄▅▆▇█"
 
 
 def load(path):
@@ -66,10 +86,148 @@ def serial_times(report):
     return out
 
 
+def host_fingerprint(report):
+    """Comparable-host identity, or None for reports predating the field."""
+    host = report.get("host")
+    if not isinstance(host, dict):
+        return None
+    return "|".join(str(host.get(f, "?")) for f in
+                    ("cpu_model", "host_cores", "simd_tier", "compiler",
+                     "build_type", "os"))
+
+
+def check_hosts_comparable(base, curr, base_label="baseline"):
+    """True when gating may proceed.  False means the hosts provably
+    differ — the caller should skip (exit 0), never fail."""
+    bfp, cfp = host_fingerprint(base), host_fingerprint(curr)
+    if bfp is None:
+        print(f"check_serial_perf: {base_label} has no host provenance "
+              "(pre-provenance vintage) — gating anyway")
+        return True
+    if cfp is None:
+        print("check_serial_perf: current report has no host provenance — "
+              "gating anyway")
+        return True
+    if bfp != cfp:
+        print("check_serial_perf: HOST MISMATCH — timings are not comparable, "
+              "gate skipped:\n"
+              f"  {base_label}: {bfp}\n"
+              f"  current:  {cfp}\n"
+              "  (regenerate the baseline on this host to re-arm the gate)")
+        return False
+    return True
+
+
+def sparkline(values, width=32):
+    vals = [v for v in values if isinstance(v, (int, float)) and math.isfinite(v)]
+    if not vals:
+        return ""
+    if len(vals) > width:  # keep the per-bucket max so spikes survive
+        out, n = [], len(vals)
+        for b in range(width):
+            lo, hi = b * n // width, max(b * n // width + 1, (b + 1) * n // width)
+            out.append(max(vals[lo:hi]))
+        vals = out
+    lo, hi = min(vals), max(vals)
+    if hi <= lo:
+        return SPARK_LEVELS[3] * len(vals)
+    return "".join(SPARK_LEVELS[
+        min(7, int((v - lo) / (hi - lo) * 7.999))] for v in vals)
+
+
+def load_history(path):
+    """Parse the JSONL trajectory; malformed lines are counted, not fatal
+    (a crash mid-append must never wedge the gate)."""
+    entries, bad = [], 0
+    try:
+        with open(path) as f:
+            for line in f:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    entries.append(json.loads(line))
+                except json.JSONDecodeError:
+                    bad += 1
+    except OSError as e:
+        print(f"check_serial_perf: cannot read history {path}: {e}",
+              file=sys.stderr)
+        sys.exit(2)
+    if bad:
+        print(f"check_serial_perf: history: skipped {bad} malformed line(s)")
+    return entries
+
+
+def run_history_mode(args):
+    curr = load(args.reports[0])
+    entries = load_history(args.history)
+    cfp = host_fingerprint(curr)
+
+    def comparable(e):
+        if any(e.get(k) != curr.get(k) for k in ("matrix", "k")):
+            return False
+        if e.get("mode") != curr.get("mode"):
+            return False
+        if e.get("precision", "f32") != curr.get("precision", "f32"):
+            return False
+        efp = host_fingerprint(e)
+        return efp is None or cfp is None or efp == cfp
+
+    matched = [e for e in entries if comparable(e)]
+    skipped = len(entries) - len(matched)
+    print(f"check_serial_perf: history {args.history}: {len(entries)} entries, "
+          f"{len(matched)} comparable ({skipped} other workload/host)")
+    if not matched:
+        print("check_serial_perf: no comparable history — nothing to gate "
+              "against (first run on this host/workload)")
+        return
+
+    # Rolling best per kernel: the tightest bar any comparable run set.
+    best = {}
+    for e in matched:
+        for name, t in serial_times(e).items():
+            if t and t > 0 and (name not in best or t < best[name]):
+                best[name] = t
+
+    failures = []
+    for name, now in sorted(serial_times(curr).items()):
+        if name not in best or not now:
+            print(f"  {name}: no history entry, skipped")
+            continue
+        was = best[name]
+        ratio = now / was if was > 0 else float("inf")
+        slack = max(was * args.max_slowdown, args.abs_slack_ms)
+        verdict = "ok"
+        if now - was > slack:
+            verdict = "REGRESSION"
+            failures.append(name)
+        print(f"  {name}: rolling best {was:.4f} ms -> {now:.4f} ms "
+              f"(x{ratio:.3f}) {verdict}")
+
+    # Trajectory: geomean of the gated metric per entry, current last.
+    series = [geomean(serial_times(e).values()) for e in matched]
+    series.append(geomean(serial_times(curr).values()))
+    print(f"  trajectory (geomean ms, {len(series)} runs, current last): "
+          f"{sparkline(series)}  [{min(series):.4f} .. {max(series):.4f}]")
+
+    if failures:
+        print(f"check_serial_perf: slower than rolling best by > "
+              f"{args.max_slowdown:.0%} + slack for: {', '.join(failures)}",
+              file=sys.stderr)
+        sys.exit(1)
+    print(f"check_serial_perf: all kernels within {args.max_slowdown:.0%} "
+          "of the rolling best")
+
+
 def main():
     ap = argparse.ArgumentParser()
-    ap.add_argument("baseline")
-    ap.add_argument("current")
+    ap.add_argument("reports", nargs="+",
+                    help="BASELINE.json CURRENT.json, or just CURRENT.json "
+                         "with --history")
+    ap.add_argument("--history", default=None,
+                    help="bench trajectory JSONL (micro_kernels --history); "
+                         "gates the single positional report against the "
+                         "rolling best of comparable entries")
     ap.add_argument("--max-slowdown", type=float, default=0.10,
                     help="allowed fractional increase per gated metric (default 0.10)")
     ap.add_argument("--abs-slack-ms", type=float, default=1.0,
@@ -85,8 +243,22 @@ def main():
                          "gate passes")
     args = ap.parse_args()
 
+    if args.history is not None:
+        if len(args.reports) != 1:
+            ap.error("--history takes exactly one positional report")
+        run_history_mode(args)
+        return
+    if len(args.reports) != 2:
+        ap.error("expected BASELINE.json CURRENT.json (or --history)")
+    args.baseline, args.current = args.reports
+
     base = load(args.baseline)
     curr = load(args.current)
+
+    # Different hosts produce incomparable wall-clock: skip, explain,
+    # exit 0 — a laptop rebuild must not "regress" a CI baseline.
+    if not check_hosts_comparable(base, curr):
+        return
 
     # Same workload, or the comparison is meaningless.
     for key in ("matrix", "k"):

@@ -16,6 +16,7 @@
 #include "fault/fault.hpp"
 #include "formats/retype.hpp"
 #include "obs/metrics.hpp"
+#include "obs/profiler.hpp"
 #include "obs/scoped_timer.hpp"
 #include "obs/trace.hpp"
 #include "util/error.hpp"
@@ -458,6 +459,7 @@ std::vector<SuiteRow> run_suite(std::span<const MatrixSpec> specs, const SpmmCon
             obs::TraceTrack arm_track(suite_track, kernel_name(kind),
                                       static_cast<u64>(idx));
             obs::TraceSpan sp("suite.arm");
+            obs::ProfScope prof(sp);  // hw.* args when profiling is enabled
             try {
               arm_token.poll();
               fault::transient_point(

@@ -4,6 +4,7 @@
 #include "fault/fault.hpp"
 #include "formats/footprint.hpp"
 #include "formats/retype.hpp"
+#include "obs/profiler.hpp"
 #include "obs/scoped_timer.hpp"
 #include "obs/trace.hpp"
 #include "util/error.hpp"
@@ -72,6 +73,7 @@ SpmmPlan::SpmmPlan(const Csr& A, const PlanOptions& opts) : options_(opts) {
       opts.profile_sample_fraction > 0.0 && opts.profile_sample_fraction <= 1.0,
       "profile_sample_fraction must be in (0, 1]");
   obs::TraceSpan span("plan.build");
+  obs::ProfScope prof(span);  // hw.* args when profiling is enabled
   obs::ScopedTimer timer("plan.build_ms");
   obs::MetricsRegistry::global().counter("plan.builds").add(1);
   {

@@ -6,6 +6,7 @@
 
 #include "formats/retype.hpp"
 #include "kernels/detail.hpp"
+#include "obs/profiler.hpp"
 #include "obs/scoped_timer.hpp"
 #include "obs/trace.hpp"
 #include "util/error.hpp"
@@ -86,6 +87,10 @@ SpmmResult run_spmm_t(KernelKind kind, const SpmmOperandsT<V>& A,
   runs.add(1);
   obs::ScopedTimer timer("kernel.host_ms");
   obs::TraceSpan span(kernel_name(kind));
+  // Destroyed before `span`, so the hw.* counter args land on the
+  // kernel span (profiling enabled only — spans stay deterministic
+  // otherwise).
+  obs::ProfScope prof(span);
   // Only a non-default plan is installed; the default leaves whatever
   // plan an outer scope (suite runner, CLI) already put in place.
   std::optional<fault::FaultScope> fault_scope;

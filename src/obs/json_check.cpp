@@ -2,6 +2,7 @@
 
 #include <cctype>
 #include <cstdlib>
+#include <limits>
 #include <map>
 #include <set>
 #include <string>
@@ -10,23 +11,6 @@
 namespace nmdt::obs {
 
 namespace {
-
-// A deliberately small JSON value tree: enough structure to validate
-// schemas, nothing more.
-struct JsonValue {
-  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
-  Kind kind = Kind::kNull;
-  bool boolean = false;
-  double number = 0.0;
-  std::string str;
-  std::vector<JsonValue> array;
-  std::map<std::string, JsonValue> object;
-
-  const JsonValue* find(const std::string& key) const {
-    auto it = object.find(key);
-    return it == object.end() ? nullptr : &it->second;
-  }
-};
 
 class Parser {
  public:
@@ -216,6 +200,10 @@ bool has_number(const JsonValue& obj, const std::string& key) {
 
 }  // namespace
 
+bool json_parse(std::string_view text, JsonValue& out, std::string* error) {
+  return Parser(text).parse(out, error);
+}
+
 bool json_is_valid(std::string_view text, std::string* error) {
   JsonValue root;
   return Parser(text).parse(root, error);
@@ -257,6 +245,69 @@ bool validate_chrome_trace(std::string_view text, std::string* error,
     }
   }
   rep.tracks = tids.size();
+  if (report) *report = rep;
+  return true;
+}
+
+bool validate_metrics_json(std::string_view text, std::string* error,
+                           MetricsCheckReport* report) {
+  JsonValue root;
+  if (!Parser(text).parse(root, error)) return false;
+  auto fail = [&](const std::string& msg) {
+    if (error) *error = msg;
+    return false;
+  };
+  if (root.kind != JsonValue::Kind::kObject) return fail("metrics root is not an object");
+  MetricsCheckReport rep;
+  for (const char* section : {"counters", "gauges", "histograms"}) {
+    const JsonValue* sec = root.find(section);
+    if (sec == nullptr || sec->kind != JsonValue::Kind::kObject) {
+      return fail(std::string("missing '") + section + "' object");
+    }
+  }
+  for (const auto& [name, v] : root.find("counters")->object) {
+    if (v.kind != JsonValue::Kind::kNumber) {
+      return fail("counter '" + name + "' is not numeric");
+    }
+    ++rep.counters;
+  }
+  for (const auto& [name, v] : root.find("gauges")->object) {
+    if (v.kind != JsonValue::Kind::kNumber) {
+      return fail("gauge '" + name + "' is not numeric");
+    }
+    ++rep.gauges;
+  }
+  for (const auto& [name, h] : root.find("histograms")->object) {
+    const std::string at = "histogram '" + name + "'";
+    if (h.kind != JsonValue::Kind::kObject) return fail(at + " is not an object");
+    for (const char* key : {"count", "sum", "min", "max", "mean"}) {
+      if (!has_number(h, key)) return fail(at + " lacks numeric '" + key + "'");
+    }
+    const JsonValue* buckets = h.find("buckets");
+    if (buckets == nullptr || buckets->kind != JsonValue::Kind::kArray) {
+      return fail(at + " lacks a 'buckets' array");
+    }
+    double bucket_total = 0.0;
+    double prev_le = -std::numeric_limits<double>::infinity();
+    for (usize i = 0; i < buckets->array.size(); ++i) {
+      const JsonValue& b = buckets->array[i];
+      const std::string bat = at + " bucket " + std::to_string(i);
+      if (b.kind != JsonValue::Kind::kObject) return fail(bat + " is not an object");
+      if (!has_number(b, "le") || !has_number(b, "count")) {
+        return fail(bat + " lacks numeric 'le'/'count'");
+      }
+      const double le = b.find("le")->number;
+      if (le <= prev_le) return fail(bat + " breaks ascending 'le' order");
+      prev_le = le;
+      bucket_total += b.find("count")->number;
+    }
+    // Every observation lands in exactly one bucket, so the bucket
+    // counts must reconstruct the histogram count.
+    if (bucket_total != h.find("count")->number) {
+      return fail(at + " bucket counts do not sum to 'count'");
+    }
+    ++rep.histograms;
+  }
   if (report) *report = rep;
   return true;
 }

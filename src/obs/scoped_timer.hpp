@@ -1,12 +1,14 @@
 // RAII wall-clock timer reporting into a MetricsRegistry histogram —
-// the structured replacement for ad-hoc Stopwatch + manual bookkeeping
-// in the suite runner, plan builder, and bench harnesses.  Observes
-// elapsed host milliseconds exactly once, either at stop() (which also
-// returns the value) or at destruction.
+// the single host-side clock source feeding traces, metrics, and the
+// bench harnesses (simulated GPU time comes from gpusim::TimingModel,
+// never from this clock).  Observes elapsed host milliseconds exactly
+// once, either at stop() (which also returns the value) or at
+// destruction.
 #pragma once
 
+#include <chrono>
+
 #include "obs/metrics.hpp"
-#include "util/stopwatch.hpp"
 
 namespace nmdt::obs {
 
@@ -21,10 +23,15 @@ class ScopedTimer {
 
   ~ScopedTimer() { stop(); }
 
+  /// Elapsed host milliseconds since construction.
+  double elapsed_ms() const {
+    return std::chrono::duration<double, std::milli>(clock::now() - start_).count();
+  }
+
   /// Record the elapsed milliseconds into the histogram (first call
   /// only) and return them.
   double stop() {
-    const double ms = sw_.elapsed_ms();
+    const double ms = elapsed_ms();
     if (!stopped_) {
       stopped_ = true;
       hist_->observe(ms);
@@ -33,7 +40,8 @@ class ScopedTimer {
   }
 
  private:
-  Stopwatch sw_;
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_ = clock::now();
   Histogram* hist_;
   bool stopped_ = false;
 };

@@ -1,0 +1,318 @@
+#include "obs/trace_analysis.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "obs/json_check.hpp"
+#include "util/ascii_plot.hpp"
+#include "util/error.hpp"
+
+namespace nmdt::obs {
+
+namespace {
+
+/// Span end-time comparisons tolerate the exporter's %.3f µs rounding.
+constexpr double kEps = 5e-4;
+
+struct RawSpan {
+  std::string name;
+  u64 track = 0;
+  double ts_us = 0.0;
+  double dur_us = 0.0;
+};
+
+std::vector<RawSpan> load_spans(std::string_view chrome_json) {
+  JsonValue root;
+  std::string error;
+  if (!json_parse(chrome_json, root, &error)) {
+    throw ParseError("trace is not valid JSON: " + error);
+  }
+  if (root.kind != JsonValue::Kind::kObject) {
+    throw ParseError("trace root is not an object");
+  }
+  const JsonValue* events = root.find("traceEvents");
+  if (events == nullptr || events->kind != JsonValue::Kind::kArray) {
+    throw ParseError("trace lacks a traceEvents array");
+  }
+  std::vector<RawSpan> spans;
+  spans.reserve(events->array.size());
+  for (const JsonValue& ev : events->array) {
+    if (ev.kind != JsonValue::Kind::kObject) continue;
+    const JsonValue* ph = ev.find("ph");
+    if (ph == nullptr || ph->kind != JsonValue::Kind::kString || ph->str != "X") continue;
+    const JsonValue* name = ev.find("name");
+    const JsonValue* ts = ev.find("ts");
+    const JsonValue* dur = ev.find("dur");
+    const JsonValue* tid = ev.find("tid");
+    if (name == nullptr || name->kind != JsonValue::Kind::kString) continue;
+    if (ts == nullptr || ts->kind != JsonValue::Kind::kNumber) continue;
+    if (dur == nullptr || dur->kind != JsonValue::Kind::kNumber) continue;
+    RawSpan s;
+    s.name = name->str;
+    s.ts_us = ts->number;
+    s.dur_us = dur->number;
+    s.track = tid != nullptr && tid->kind == JsonValue::Kind::kNumber
+                  ? static_cast<u64>(tid->number)
+                  : 0;
+    spans.push_back(std::move(s));
+  }
+  return spans;
+}
+
+std::string stack_path(const std::vector<AnalyzedSpan>& spans, i64 idx) {
+  std::vector<const std::string*> names;
+  for (i64 i = idx; i >= 0; i = spans[static_cast<usize>(i)].parent) {
+    names.push_back(&spans[static_cast<usize>(i)].name);
+  }
+  std::string out;
+  for (auto it = names.rbegin(); it != names.rend(); ++it) {
+    if (!out.empty()) out += ';';
+    out += **it;
+  }
+  return out;
+}
+
+void append_ms(std::string& out, double us) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.3f", us * 1e-3);
+  out += buf;
+}
+
+std::string ms(double us) {
+  std::string out;
+  append_ms(out, us);
+  return out;
+}
+
+}  // namespace
+
+TraceProfile analyze_trace(std::string_view chrome_json) {
+  std::vector<RawSpan> raw = load_spans(chrome_json);
+  TraceProfile p;
+
+  // Within a track spans are serial and properly nested (RAII), so
+  // sorting by (ts asc, dur desc) puts every parent immediately before
+  // its first child and a stack sweep reconstructs the tree.
+  std::stable_sort(raw.begin(), raw.end(), [](const RawSpan& a, const RawSpan& b) {
+    if (a.track != b.track) return a.track < b.track;
+    if (a.ts_us != b.ts_us) return a.ts_us < b.ts_us;
+    return a.dur_us > b.dur_us;
+  });
+
+  p.spans.reserve(raw.size());
+  std::vector<i64> stack;  // indices into p.spans, innermost last
+  u64 cur_track = 0;
+  std::map<u64, bool> seen_tracks;
+  for (RawSpan& r : raw) {
+    if (p.spans.empty() || r.track != cur_track) {
+      stack.clear();
+      cur_track = r.track;
+    }
+    seen_tracks[r.track] = true;
+    while (!stack.empty()) {
+      const AnalyzedSpan& top = p.spans[static_cast<usize>(stack.back())];
+      if (r.ts_us + r.dur_us <= top.ts_us + top.dur_us + kEps &&
+          r.ts_us >= top.ts_us - kEps) {
+        break;  // nested inside the current top
+      }
+      stack.pop_back();
+    }
+    AnalyzedSpan s;
+    s.name = std::move(r.name);
+    s.track = r.track;
+    s.ts_us = r.ts_us;
+    s.dur_us = r.dur_us;
+    s.self_us = r.dur_us;
+    s.depth = static_cast<int>(stack.size());
+    s.parent = stack.empty() ? -1 : stack.back();
+    if (s.parent >= 0) {
+      AnalyzedSpan& par = p.spans[static_cast<usize>(s.parent)];
+      par.self_us = std::max(0.0, par.self_us - s.dur_us);
+    }
+    p.spans.push_back(std::move(s));
+    stack.push_back(static_cast<i64>(p.spans.size()) - 1);
+  }
+  p.tracks = seen_tracks.size();
+
+  // Aggregates.
+  std::map<std::string, LabelStat> by_label;
+  std::map<std::string, std::vector<std::pair<double, double>>> samples;  // (ts, dur)
+  double min_ts = 0.0, max_end = 0.0;
+  bool any = false;
+  for (const AnalyzedSpan& s : p.spans) {
+    LabelStat& l = by_label[s.name];
+    l.label = s.name;
+    ++l.count;
+    l.incl_us += s.dur_us;
+    l.excl_us += s.self_us;
+    l.max_incl_us = std::max(l.max_incl_us, s.dur_us);
+    samples[s.name].emplace_back(s.ts_us, s.dur_us);
+    p.total_excl_us += s.self_us;
+    if (!any || s.ts_us < min_ts) min_ts = s.ts_us;
+    max_end = std::max(max_end, s.ts_us + s.dur_us);
+    any = true;
+  }
+  p.wall_us = any ? max_end - min_ts : 0.0;
+  for (auto& [label, ts_durs] : samples) {
+    std::sort(ts_durs.begin(), ts_durs.end());
+    LabelStat& l = by_label[label];
+    l.series_us.reserve(ts_durs.size());
+    for (const auto& [ts, dur] : ts_durs) l.series_us.push_back(dur);
+  }
+  p.labels.reserve(by_label.size());
+  for (auto& [label, stat] : by_label) p.labels.push_back(std::move(stat));
+  std::sort(p.labels.begin(), p.labels.end(), [](const LabelStat& a, const LabelStat& b) {
+    if (a.excl_us != b.excl_us) return a.excl_us > b.excl_us;
+    return a.label < b.label;
+  });
+
+  // Folded stacks: every span books its exclusive time against its
+  // root-to-self name path.
+  for (usize i = 0; i < p.spans.size(); ++i) {
+    p.folded[stack_path(p.spans, static_cast<i64>(i))] += p.spans[i].self_us;
+  }
+
+  // Critical path: the longest root span, descending into the longest
+  // child at each level.  Ties break toward the earlier span so the
+  // path is deterministic for a deterministic span tree.
+  std::vector<std::vector<i64>> children(p.spans.size());
+  std::vector<i64> roots;
+  for (usize i = 0; i < p.spans.size(); ++i) {
+    if (p.spans[i].parent >= 0) {
+      children[static_cast<usize>(p.spans[i].parent)].push_back(static_cast<i64>(i));
+    } else {
+      roots.push_back(static_cast<i64>(i));
+    }
+  }
+  auto longest = [&](const std::vector<i64>& cands) {
+    i64 best = -1;
+    for (i64 c : cands) {
+      if (best < 0 || p.spans[static_cast<usize>(c)].dur_us >
+                          p.spans[static_cast<usize>(best)].dur_us) {
+        best = c;
+      }
+    }
+    return best;
+  };
+  for (i64 at = longest(roots); at >= 0;
+       at = longest(children[static_cast<usize>(at)])) {
+    const AnalyzedSpan& s = p.spans[static_cast<usize>(at)];
+    p.critical_path.push_back({s.name, s.dur_us, s.self_us, s.depth});
+  }
+  return p;
+}
+
+TraceProfile analyze_trace_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw ParseError("cannot open trace file: " + path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return analyze_trace(buf.str());
+}
+
+std::string folded_stacks(const TraceProfile& p) {
+  std::string out;
+  for (const auto& [stack, us] : p.folded) {
+    const long long ns = std::llround(us * 1e3);
+    if (ns <= 0) continue;  // below export resolution
+    out += stack;
+    out += ' ';
+    out += std::to_string(ns);
+    out += '\n';
+  }
+  return out;
+}
+
+std::vector<LabelDelta> diff_profiles(const TraceProfile& base, const TraceProfile& cur) {
+  std::map<std::string, LabelDelta> by_label;
+  for (const LabelStat& l : base.labels) {
+    LabelDelta& d = by_label[l.label];
+    d.label = l.label;
+    d.count_base = l.count;
+    d.excl_base_us = l.excl_us;
+  }
+  for (const LabelStat& l : cur.labels) {
+    LabelDelta& d = by_label[l.label];
+    d.label = l.label;
+    d.count_cur = l.count;
+    d.excl_cur_us = l.excl_us;
+  }
+  std::vector<LabelDelta> out;
+  out.reserve(by_label.size());
+  for (auto& [label, d] : by_label) out.push_back(std::move(d));
+  std::sort(out.begin(), out.end(), [](const LabelDelta& a, const LabelDelta& b) {
+    const double da = std::abs(a.delta_us()), db = std::abs(b.delta_us());
+    if (da != db) return da > db;
+    return a.label < b.label;
+  });
+  return out;
+}
+
+void write_markdown_report(std::ostream& os, const TraceProfile& p,
+                           const ReportOptions& opts, const TraceProfile* diff_base) {
+  os << "# nmdt trace report\n\n";
+  if (!opts.trace_label.empty()) os << "- **trace:** `" << opts.trace_label << "`\n";
+  os << "- **spans:** " << p.spans.size() << " across " << p.tracks << " tracks\n"
+     << "- **wall:** " << ms(p.wall_us) << " ms · **busy (Σ exclusive):** "
+     << ms(p.total_excl_us) << " ms\n\n";
+
+  os << "## Hotspots — top " << opts.top_n << " by exclusive time\n\n"
+     << "| # | label | count | excl ms | % busy | incl ms | mean ms | trend |\n"
+     << "|--:|---|--:|--:|--:|--:|--:|---|\n";
+  usize rank = 0;
+  for (const LabelStat& l : p.labels) {
+    if (++rank > opts.top_n) break;
+    const double pct = p.total_excl_us > 0.0 ? 100.0 * l.excl_us / p.total_excl_us : 0.0;
+    char pct_buf[16];
+    std::snprintf(pct_buf, sizeof(pct_buf), "%.1f%%", pct);
+    os << "| " << rank << " | `" << l.label << "` | " << l.count << " | "
+       << ms(l.excl_us) << " | " << pct_buf << " | " << ms(l.incl_us) << " | "
+       << ms(l.mean_incl_us()) << " | " << sparkline(l.series_us, 16) << " |\n";
+  }
+  if (rank == 0) os << "| — | (no spans) | | | | | | |\n";
+  os << "\n";
+
+  os << "## Critical path\n\n"
+     << "Longest root span, descending into the longest child at each level:\n\n";
+  if (p.critical_path.empty()) {
+    os << "(no spans)\n";
+  } else {
+    int step = 0;
+    for (const CriticalPathNode& n : p.critical_path) {
+      os << ++step << ". `" << n.name << "` — " << ms(n.incl_us) << " ms inclusive ("
+         << ms(n.self_us) << " ms self)\n";
+    }
+  }
+  os << "\n";
+
+  os << "## Folded stacks (flamegraph)\n\n"
+     << "`stack <integer ns>` lines — feed to flamegraph.pl / speedscope / "
+        "inferno:\n\n```\n"
+     << folded_stacks(p) << "```\n\n";
+
+  if (diff_base != nullptr) {
+    os << "## Diff vs `" << (opts.diff_label.empty() ? "baseline" : opts.diff_label)
+       << "`\n\n"
+       << "Positive Δ means this trace spends more exclusive time there than "
+          "the baseline.\n\n"
+       << "| label | base excl ms | this excl ms | Δ ms | ratio |\n"
+       << "|---|--:|--:|--:|--:|\n";
+    const std::vector<LabelDelta> deltas = diff_profiles(*diff_base, p);
+    usize shown = 0;
+    for (const LabelDelta& d : deltas) {
+      if (++shown > opts.top_n) break;
+      char ratio_buf[24];
+      if (d.ratio() > 0.0) std::snprintf(ratio_buf, sizeof(ratio_buf), "%.2fx", d.ratio());
+      else std::snprintf(ratio_buf, sizeof(ratio_buf), "new");
+      os << "| `" << d.label << "` | " << ms(d.excl_base_us) << " | "
+         << ms(d.excl_cur_us) << " | " << ms(d.delta_us()) << " | " << ratio_buf
+         << " |\n";
+    }
+    os << "\n";
+  }
+}
+
+}  // namespace nmdt::obs

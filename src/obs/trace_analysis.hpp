@@ -1,0 +1,112 @@
+// Offline analytics over exported Chrome trace-event JSON: load a
+// `--trace` artifact back in, reconstruct span nesting, and answer the
+// questions every optimization PR re-derives by hand — where exclusive
+// time goes (hotspots), which chain of spans bounds the run (critical
+// path), what a flamegraph of it looks like (folded stacks), and what
+// changed between two runs (diff).
+//
+// The input is the tracer's own export (obs/trace.hpp): spans within a
+// logical track are serial and properly nested, so nesting
+// reconstruction is a single stack sweep per track over spans sorted by
+// (ts asc, dur desc).  Tracks are independent lanes; stacks never cross
+// them.  Parsing reuses the json_check value tree — one JSON dialect
+// for writing, validating, and reading.
+//
+// All derived quantities are pure functions of the span tree (names,
+// tracks, ts, dur), so analyzing the deterministic trace of a jobs=N
+// run yields the same label set and stack shapes run-to-run; only the
+// time values move.
+#pragma once
+
+#include <map>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "util/types.hpp"
+
+namespace nmdt::obs {
+
+/// One complete span with its reconstructed position in the tree.
+struct AnalyzedSpan {
+  std::string name;
+  u64 track = 0;
+  double ts_us = 0.0;
+  double dur_us = 0.0;   ///< inclusive
+  double self_us = 0.0;  ///< exclusive: dur minus direct children
+  int depth = 0;         ///< 0 = root of its track
+  i64 parent = -1;       ///< index into TraceProfile::spans; -1 = root
+};
+
+/// Per-label aggregate across every span with that name.
+struct LabelStat {
+  std::string label;
+  usize count = 0;
+  double incl_us = 0.0;
+  double excl_us = 0.0;
+  double max_incl_us = 0.0;
+  std::vector<double> series_us;  ///< chronological inclusive durations
+  double mean_incl_us() const {
+    return count == 0 ? 0.0 : incl_us / static_cast<double>(count);
+  }
+};
+
+struct CriticalPathNode {
+  std::string name;
+  double incl_us = 0.0;
+  double self_us = 0.0;
+  int depth = 0;
+};
+
+struct TraceProfile {
+  std::vector<AnalyzedSpan> spans;
+  std::vector<LabelStat> labels;  ///< sorted by exclusive time, descending
+  /// Longest root span, descending into the longest child at each level.
+  std::vector<CriticalPathNode> critical_path;
+  /// Flamegraph folded stacks: "root;child;leaf" -> exclusive time.
+  /// Values are microseconds; folded_stacks() renders integer ns.
+  std::map<std::string, double> folded;
+  double wall_us = 0.0;        ///< max(ts + dur) − min(ts) over all spans
+  double total_excl_us = 0.0;  ///< Σ self over all spans (= Σ root dur)
+  usize tracks = 0;
+};
+
+/// Analyze an exported Chrome trace.  Throws ParseError on malformed
+/// JSON or a missing traceEvents array; events that are not complete
+/// ("X") spans are ignored.
+TraceProfile analyze_trace(std::string_view chrome_json);
+TraceProfile analyze_trace_file(const std::string& path);
+
+/// Folded-stacks flamegraph lines ("a;b;c <integer ns>\n", sorted by
+/// stack), ready for flamegraph.pl / speedscope / inferno.
+std::string folded_stacks(const TraceProfile& p);
+
+/// Per-label comparison of two profiles (matched by label name; a label
+/// absent from one side contributes zeros there).
+struct LabelDelta {
+  std::string label;
+  usize count_base = 0, count_cur = 0;
+  double excl_base_us = 0.0, excl_cur_us = 0.0;
+  double delta_us() const { return excl_cur_us - excl_base_us; }
+  /// cur/base exclusive ratio; 0 when the base side is empty.
+  double ratio() const { return excl_base_us > 0.0 ? excl_cur_us / excl_base_us : 0.0; }
+};
+
+/// Diff `cur` against `base`, sorted by |delta| descending.
+std::vector<LabelDelta> diff_profiles(const TraceProfile& base, const TraceProfile& cur);
+
+struct ReportOptions {
+  usize top_n = 15;
+  std::string trace_label;  ///< shown in the report header (e.g. the path)
+  std::string diff_label;   ///< label of the diff baseline, when diffing
+};
+
+/// Self-contained markdown report: provenance header, top-N exclusive
+/// hotspot table with per-label duration sparklines, critical path,
+/// folded-stacks section, and (when `diff_base` is given) a per-label
+/// delta table.
+void write_markdown_report(std::ostream& os, const TraceProfile& p,
+                           const ReportOptions& opts,
+                           const TraceProfile* diff_base = nullptr);
+
+}  // namespace nmdt::obs

@@ -11,6 +11,43 @@
 
 namespace nmdt {
 
+std::string sparkline(const std::vector<double>& ys, usize width) {
+  static const char* kLevels[] = {"▁", "▂", "▃", "▄", "▅", "▆", "▇", "█"};
+  std::vector<double> vals;
+  vals.reserve(ys.size());
+  for (double y : ys) {
+    if (std::isfinite(y)) vals.push_back(y);
+  }
+  if (vals.empty() || width == 0) return "";
+  // Bucket long series down to `width` cells, keeping the max per bucket
+  // so a single spike stays visible after downsampling.
+  std::vector<double> cells;
+  if (vals.size() <= width) {
+    cells = vals;
+  } else {
+    cells.resize(width);
+    for (usize c = 0; c < width; ++c) {
+      const usize lo = c * vals.size() / width;
+      const usize hi = std::max(lo + 1, (c + 1) * vals.size() / width);
+      double m = vals[lo];
+      for (usize i = lo + 1; i < hi && i < vals.size(); ++i) m = std::max(m, vals[i]);
+      cells[c] = m;
+    }
+  }
+  const auto [mn_it, mx_it] = std::minmax_element(cells.begin(), cells.end());
+  const double mn = *mn_it, mx = *mx_it;
+  std::string out;
+  for (double v : cells) {
+    int level = 3;  // flat series render mid-height
+    if (mx > mn) {
+      level = static_cast<int>((v - mn) / (mx - mn) * 7.0 + 0.5);
+      level = std::clamp(level, 0, 7);
+    }
+    out += kLevels[level];
+  }
+  return out;
+}
+
 AsciiScatter::AsciiScatter(int width, int height) : width_(width), height_(height) {
   NMDT_CHECK_CONFIG(width >= 10 && height >= 4, "scatter grid too small");
 }

@@ -11,6 +11,13 @@
 
 namespace nmdt {
 
+/// One-line Unicode block sparkline ("▁▂▅█") of a series, min-max
+/// normalized; series longer than `width` are bucketed (max per bucket,
+/// so spikes survive downsampling).  Non-finite samples are dropped;
+/// an empty or all-equal series renders flat.  Used by the trace-report
+/// hotspot tables and the bench-trajectory renderer.
+std::string sparkline(const std::vector<double>& ys, usize width = 24);
+
 class AsciiScatter {
  public:
   /// `width`×`height` character cells.

@@ -63,6 +63,44 @@ TEST(Metrics, HistogramBucketsArePowerOfTwoBounds) {
   EXPECT_DOUBLE_EQ(Histogram::bucket_bound(Histogram::kZero + 3), 8.0);
 }
 
+TEST(Metrics, HistogramBoundaryObservationsLandInExactlyOneBucket) {
+  // Boundary cases of the log2 bucket function: 0 and negatives pin to
+  // bucket 0; exact powers of two land ON their bound (observe uses
+  // ceil(log2)); everything past 2^(kBuckets-1-kZero) clamps into the
+  // last bucket instead of indexing out of range.
+  Histogram h;
+  h.observe(0.0);                                      // -> bucket 0
+  h.observe(-3.5);                                     // -> bucket 0
+  h.observe(1.0);                                      // == 2^0 -> kZero
+  h.observe(2.0);                                      // == 2^1 -> kZero + 1
+  h.observe(2.0 + 1e-9);                               // just over -> kZero + 2
+  h.observe(Histogram::bucket_bound(Histogram::kBuckets - 1));  // last bound
+  h.observe(1e18);                                     // beyond every bound
+  h.observe(static_cast<double>(UINT64_MAX));          // clamps, not UB
+  const auto s = h.snapshot();
+  EXPECT_EQ(s.buckets[0], 2u);
+  EXPECT_EQ(s.buckets[Histogram::kZero], 1u);
+  EXPECT_EQ(s.buckets[Histogram::kZero + 1], 1u);
+  EXPECT_EQ(s.buckets[Histogram::kZero + 2], 1u);
+  EXPECT_EQ(s.buckets[Histogram::kBuckets - 1], 3u);
+  // Every observation landed in exactly one bucket (the invariant the
+  // --metrics validator re-checks on every snapshot).
+  u64 total = 0;
+  for (u64 b : s.buckets) total += b;
+  EXPECT_EQ(total, s.count);
+  EXPECT_EQ(s.count, 8u);
+}
+
+TEST(Metrics, HistogramSubUnitObservationsUseNegativeExponentBuckets) {
+  Histogram h;
+  h.observe(0.5);      // == 2^-1 -> kZero - 1
+  h.observe(1.0e-9);   // below 2^-20: clamps to bucket 0
+  const auto s = h.snapshot();
+  EXPECT_EQ(s.buckets[Histogram::kZero - 1], 1u);
+  EXPECT_EQ(s.buckets[0], 1u);
+  EXPECT_DOUBLE_EQ(s.min, 1.0e-9);
+}
+
 TEST(Metrics, HistogramEmptySnapshotHasZeroMinMax) {
   Histogram h;
   const auto s = h.snapshot();
@@ -267,6 +305,60 @@ TEST(JsonCheck, RejectsNonTraceSchemas) {
       &error, &report))
       << error;
   EXPECT_EQ(report.complete_spans, 1u);
+}
+
+// ---------------------------------------------------------------------
+// Metrics-snapshot validator (backs `trace_lint --metrics`).
+
+TEST(MetricsCheck, RegistrySnapshotRoundTripsThroughValidator) {
+  MetricsRegistry& reg = MetricsRegistry::global();
+  reg.reset();
+  reg.counter("mcheck.count").add(7);
+  reg.gauge("mcheck.gauge").set(-2.5);
+  Histogram& h = reg.histogram("mcheck.hist");
+  h.observe(0.0);
+  h.observe(1.0);
+  h.observe(1e18);
+  std::ostringstream os;
+  reg.write_json(os);
+
+  std::string error;
+  MetricsCheckReport report;
+  ASSERT_TRUE(validate_metrics_json(os.str(), &error, &report)) << error;
+  EXPECT_GE(report.counters, 1u);
+  EXPECT_GE(report.gauges, 1u);
+  EXPECT_GE(report.histograms, 1u);
+}
+
+TEST(MetricsCheck, RejectsMissingSectionsAndBrokenInvariants) {
+  std::string error;
+  EXPECT_FALSE(validate_metrics_json("[]", &error));  // not an object
+  EXPECT_FALSE(validate_metrics_json("{\"counters\": {}}", &error));  // no gauges
+  EXPECT_FALSE(validate_metrics_json(
+      "{\"counters\": {\"c\": \"NaN\"}, \"gauges\": {}, \"histograms\": {}}",
+      &error));  // non-numeric counter
+  // Histogram whose bucket counts do not sum to `count`.
+  EXPECT_FALSE(validate_metrics_json(
+      "{\"counters\": {}, \"gauges\": {}, \"histograms\": {\"h\": "
+      "{\"count\": 3, \"sum\": 1.0, \"min\": 0.0, \"max\": 1.0, \"mean\": 0.33, "
+      "\"buckets\": [{\"le\": 1.0, \"count\": 1}]}}}",
+      &error));
+  EXPECT_NE(error.find("bucket"), std::string::npos) << error;
+  // Buckets with non-ascending bounds.
+  EXPECT_FALSE(validate_metrics_json(
+      "{\"counters\": {}, \"gauges\": {}, \"histograms\": {\"h\": "
+      "{\"count\": 2, \"sum\": 1.0, \"min\": 0.0, \"max\": 1.0, \"mean\": 0.5, "
+      "\"buckets\": [{\"le\": 4.0, \"count\": 1}, {\"le\": 2.0, \"count\": 1}]}}}",
+      &error));
+  // The same document with ascending bounds and a correct sum passes.
+  MetricsCheckReport report;
+  EXPECT_TRUE(validate_metrics_json(
+      "{\"counters\": {}, \"gauges\": {}, \"histograms\": {\"h\": "
+      "{\"count\": 2, \"sum\": 1.0, \"min\": 0.0, \"max\": 1.0, \"mean\": 0.5, "
+      "\"buckets\": [{\"le\": 2.0, \"count\": 1}, {\"le\": 4.0, \"count\": 1}]}}}",
+      &error, &report))
+      << error;
+  EXPECT_EQ(report.histograms, 1u);
 }
 
 }  // namespace

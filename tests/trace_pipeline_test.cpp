@@ -17,8 +17,10 @@
 #include <tuple>
 #include <vector>
 
+#include "core/executor.hpp"
 #include "core/spmm_engine.hpp"
 #include "kernels/spmm.hpp"
+#include "util/error.hpp"
 #include "matgen/generators.hpp"
 #include "obs/json_check.hpp"
 #include "obs/trace.hpp"
@@ -187,6 +189,65 @@ TEST(TraceDeterminism, SuiteSpanTreeIsStableAcrossRuns) {
     return tree;
   };
   EXPECT_EQ(traced_suite(), traced_suite());
+}
+
+// ---------------------------------------------------------------------
+// Cancellation: a sweep interrupted mid-suite still exports a
+// schema-valid trace covering the work that did complete — the first
+// artifact anyone reads when diagnosing why a run was cut short.
+
+TEST(TracePipeline, MidSuiteCancellationStillExportsSchemaValidTrace) {
+  std::vector<MatrixSpec> specs(4);
+  specs[0] = {"uniform-a", MatrixFamily::kUniform, 96, 96, 0.05, 0.0, 0, 11};
+  specs[1] = {"uniform-b", MatrixFamily::kUniform, 96, 96, 0.08, 0.0, 0, 12};
+  specs[2] = {"uniform-c", MatrixFamily::kUniform, 96, 96, 0.06, 0.0, 0, 13};
+  specs[3] = {"uniform-d", MatrixFamily::kUniform, 96, 96, 0.07, 0.0, 0, 14};
+
+  const std::string path = testing::TempDir() + "nmdt_trace_cancel.nmdj";
+  std::remove(path.c_str());
+  SuiteOptions opts;
+  opts.jobs = 1;  // serial arms: the cut point is exactly reproducible
+  opts.journal_path = path;
+  // Fire the cancel from the worker-side checkpoint hook right after
+  // the first journal append (row 0's plan entry): with jobs=1 every
+  // arm behind it observes the request at its entry poll and is
+  // abandoned, and run_suite throws CancelledError after the drain.
+  opts.on_checkpoint = [&](usize entries) {
+    if (entries == 1) opts.cancel.request(CancelReason::kUser);
+  };
+
+  obs::TraceSession session;
+  session.install();
+  EXPECT_THROW((void)run_suite(specs, SpmmConfig{}, 4, {}, opts), CancelledError);
+  session.uninstall();
+  std::remove(path.c_str());
+
+  // The interrupted session still holds spans for the completed prefix
+  // and exports exactly the same schema an uninterrupted run would.
+  ASSERT_FALSE(session.events().empty());
+  std::ostringstream os;
+  session.write_chrome_json(os);
+  std::string error;
+  obs::TraceCheckReport report;
+  ASSERT_TRUE(obs::validate_chrome_trace(os.str(), &error, &report)) << error;
+  EXPECT_GT(report.complete_spans, 0u);
+
+  usize runs = 0, arms_done = 0, arms_abandoned = 0;
+  for (const auto& ev : session.events()) {
+    runs += ev.name == "suite.run" ? 1 : 0;
+    if (ev.name == "suite.arm") {
+      if (ev.args_json.find("\"cancelled\":1") != std::string::npos) {
+        ++arms_abandoned;
+      } else {
+        ++arms_done;
+      }
+    }
+  }
+  EXPECT_EQ(runs, 1u);  // the suite.run span closed on the throw path
+  // Abandoned arms are visible in the trace (the `cancelled` arg), and
+  // the sweep really was cut short: nowhere near all 16 arms committed.
+  EXPECT_GE(arms_abandoned, 1u);
+  EXPECT_LT(arms_done, specs.size() * 4);
 }
 
 // ---------------------------------------------------------------------
