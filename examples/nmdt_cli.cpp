@@ -368,19 +368,6 @@ int cmd_report(const CliParser& cli) {
   return 0;
 }
 
-/// Exit codes documented in README: each typed error class is
-/// distinguishable by scripts.  130 follows the shell convention for
-/// SIGINT-terminated processes.
-int exit_code_for(const std::exception& e) {
-  if (dynamic_cast<const CancelledError*>(&e)) return 130;
-  if (dynamic_cast<const TimeoutError*>(&e)) return 6;
-  if (dynamic_cast<const FaultError*>(&e)) return 5;
-  if (dynamic_cast<const ConfigError*>(&e)) return 4;
-  if (dynamic_cast<const FormatError*>(&e)) return 3;
-  if (dynamic_cast<const ParseError*>(&e)) return 2;
-  return 1;
-}
-
 }  // namespace
 
 int main(int argc, char** argv) {

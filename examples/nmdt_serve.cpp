@@ -1,0 +1,208 @@
+// nmdt_serve: SpMM-as-a-service over JSON lines on stdin/stdout.
+//
+//   ./example_nmdt_serve --workers 2 --queue-capacity 64 &
+//   echo '{"id":"r1","matrix":"gen:uniform:256x256:0.02:1","k":16}' \
+//     | ./example_nmdt_serve
+//
+// One request per input line, one JSON response line per request (see
+// src/service/protocol.hpp for the schema).  Admission control sheds
+// over-capacity and over-quota requests with typed OverloadError
+// responses carrying a retry_after_ms hint; admitted requests are
+// served by a worker pool sharing one concurrency-hardened PlanCache,
+// with concurrent requests against the same (matrix, kernel, precision)
+// coalesced into one kernel execution.  Per-request deadlines unwind as
+// TimeoutError responses; unrecovered conversion faults degrade to the
+// reference CSR kernel (or a typed FaultError response with
+// --no-fault-fallback).
+//
+// Graceful shutdown: SIGTERM/SIGINT (or stdin EOF) stops admission,
+// drains every in-flight and queued request, flushes the --metrics
+// snapshot, and exits 0.  A second signal escalates: in-flight work is
+// cancelled cooperatively and answered with CancelledError responses —
+// still exactly one response per accepted request, still exit 0.
+// Operational errors on a single request never kill the daemon; only a
+// malformed command line exits non-zero (the README exit-code table).
+#include <atomic>
+#include <csignal>
+#include <iostream>
+#include <limits>
+
+#include "fault/fault.hpp"
+#include "obs/metrics.hpp"
+#include "service/server.hpp"
+#include "util/cli.hpp"
+#include "util/error.hpp"
+#include "util/line_reader.hpp"
+
+using namespace nmdt;
+using namespace nmdt::service;
+
+namespace {
+
+/// Signal → main-loop handshake.  The handler only touches lock-free
+/// state: a flag the read loop polls (SA_RESTART is off, so the blocked
+/// stdin read returns early), and — on the second signal — the server's
+/// CancelToken, whose request() is a lone CAS.
+std::atomic<int> g_signals{0};
+
+CancelToken& escalation_token() {
+  static CancelToken token;
+  return token;
+}
+
+extern "C" void on_shutdown_signal(int) {
+  if (g_signals.fetch_add(1, std::memory_order_relaxed) >= 1) {
+    escalation_token().request(CancelReason::kUser);
+  }
+}
+
+void install_signal_handlers() {
+  (void)escalation_token();  // construct before any signal can arrive
+#if defined(__unix__) || defined(__APPLE__)
+  struct sigaction sa{};
+  sa.sa_handler = on_shutdown_signal;
+  sigemptyset(&sa.sa_mask);
+  sa.sa_flags = 0;  // no SA_RESTART: interrupt the blocking stdin read
+  sigaction(SIGINT, &sa, nullptr);
+  sigaction(SIGTERM, &sa, nullptr);
+#else
+  std::signal(SIGINT, on_shutdown_signal);
+  std::signal(SIGTERM, on_shutdown_signal);
+#endif
+}
+
+ServerOptions options_from(const CliParser& cli) {
+  ServerOptions opts;
+  opts.workers = static_cast<int>(cli.get_int("workers", 2));
+  opts.queue_capacity = static_cast<usize>(
+      std::max<i64>(1, cli.get_int("queue-capacity", 64)));
+  opts.tenant_rate = cli.get_double("tenant-rate", 0.0);
+  opts.tenant_burst = cli.get_double("tenant-burst", 8.0);
+  opts.default_deadline_ms = cli.get_double("default-deadline-ms", 0.0);
+  opts.plan_cache_bytes = cli.get_int("plan-cache-mb", 512) << 20;
+  opts.plan_ttl_ms = cli.get_double("plan-ttl-ms", 0.0);
+  opts.coalesce_max = static_cast<int>(cli.get_int("coalesce-max", 4));
+  opts.coalesce_max_k = static_cast<index_t>(cli.get_int("coalesce-max-k", 256));
+  opts.jobs = static_cast<int>(cli.get_int("jobs", 1));
+  opts.fault_fallback = !cli.has("no-fault-fallback");
+  return opts;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CliParser cli(argc, argv);
+  cli.declare("workers", "worker threads serving admitted requests (default 2)");
+  cli.declare("queue-capacity",
+              "bounded admission queue depth; overflow sheds with OverloadError "
+              "(default 64)");
+  cli.declare("tenant-rate",
+              "per-tenant token-bucket refill, requests/second; 0 disables "
+              "quotas (default 0)");
+  cli.declare("tenant-burst", "per-tenant token-bucket capacity (default 8)");
+  cli.declare("default-deadline-ms",
+              "deadline for requests without their own; 0 = none (default 0)");
+  cli.declare("plan-cache-mb", "PlanCache byte budget in MiB (default 512)");
+  cli.declare("plan-ttl-ms",
+              "evict cached plans older than this; 0 = no TTL (default 0)");
+  cli.declare("coalesce-max",
+              "max concurrent same-key requests batched into one kernel "
+              "execution; 1 disables coalescing (default 4)");
+  cli.declare("coalesce-max-k", "max combined B columns per batch (default 256)");
+  cli.declare("jobs", "intra-kernel shard threads per execution (default 1)");
+  cli.declare("max-line-bytes",
+              "request line byte cap; longer lines get a ParseError response "
+              "(default 1 MiB)");
+  cli.declare("metrics",
+              "write a counters/gauges/histograms JSON snapshot here on exit");
+  cli.declare("no-fault-fallback",
+              "surface unrecovered conversion faults as FaultError responses "
+              "instead of degrading to the reference CSR kernel");
+  cli.declare("fault-site",
+              "fault injection site for chaos testing: none | tile_row_id | "
+              "tile_col_idx | tile_val | cache_entry | suite_arm | shard_exec | "
+              "serialized_stream (default none)");
+  cli.declare("fault-rate", "per-event injection probability in [0, 1] (default 0)");
+  cli.declare("fault-seed", "seed of the deterministic fault sequence (default 0)");
+  if (cli.has("help")) {
+    std::cout << cli.help("nmdt_serve: JSON-lines SpMM request daemon");
+    return 0;
+  }
+
+  std::string metrics_path;
+  std::optional<fault::FaultScope> fault_scope;
+  try {
+    cli.validate();
+    metrics_path = cli.get("metrics", "");
+    const usize max_line_bytes = static_cast<usize>(std::max<i64>(
+        64, cli.get_int("max-line-bytes", static_cast<i64>(kDefaultMaxLineBytes))));
+    fault::FaultPlan plan;
+    plan.site = fault::parse_site(cli.get("fault-site", "none"));
+    plan.rate = cli.get_double("fault-rate", 0.0);
+    plan.seed = static_cast<u64>(cli.get_int("fault-seed", 0));
+    NMDT_CHECK_CONFIG(plan.rate >= 0.0 && plan.rate <= 1.0,
+                      "--fault-rate must be in [0, 1]");
+    if (plan.site != fault::FaultSite::kNone) fault_scope.emplace(plan);
+
+    const ServerOptions opts = options_from(cli);
+    SpmmServer server(opts, [](const Response& r) {
+      // Called under the server's sink mutex: one response per line,
+      // flushed so clients see it before the next is serialized.
+      std::cout << to_json_line(r) << '\n' << std::flush;
+    });
+    // Chain the escalation token to the server: a second SIGTERM
+    // request()s it, which cancels the server's in-flight work.
+    escalation_token() = server.cancel_token();
+    install_signal_handlers();
+    server.start();
+    std::cerr << "nmdt_serve: ready (workers=" << opts.workers
+              << " queue=" << opts.queue_capacity
+              << " coalesce=" << opts.coalesce_max << ")\n";
+
+    std::string line;
+    u64 line_no = 0;
+    while (g_signals.load(std::memory_order_relaxed) == 0) {
+      try {
+        if (!read_bounded_line(std::cin, line, max_line_bytes, "request")) break;
+      } catch (const std::exception& e) {
+        // Oversized line: typed response, then discard the remainder so
+        // the next request starts on a line boundary.  ignore()
+        // discards without buffering, so the cap still bounds memory.
+        ++line_no;
+        Response r = error_response("line-" + std::to_string(line_no), "default", e);
+        std::cout << to_json_line(r) << '\n' << std::flush;
+        std::cin.clear();
+        std::cin.ignore(std::numeric_limits<std::streamsize>::max(), '\n');
+        continue;
+      }
+      ++line_no;
+      if (line.empty() || line == "\r") continue;
+      try {
+        server.submit(parse_request(line, line_no));
+      } catch (const std::exception& e) {
+        // Parse failures never reach the queue: answer directly.
+        Response r = error_response("line-" + std::to_string(line_no), "default", e);
+        std::cout << to_json_line(r) << '\n' << std::flush;
+      }
+    }
+
+    std::cerr << "nmdt_serve: draining\n";
+    server.begin_shutdown();
+    server.drain();
+    const ServerStats s = server.stats();
+    std::cerr << "nmdt_serve: done (submitted=" << s.submitted
+              << " accepted=" << s.accepted << " ok=" << s.completed_ok
+              << " error=" << s.completed_error
+              << " shed=" << (s.shed_queue_full + s.shed_over_quota + s.shed_shutdown)
+              << " coalesced=" << s.coalesced_requests << ")\n";
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << describe_exception(e) << "\n";
+    if (!metrics_path.empty()) obs::MetricsRegistry::global().write_json_file(metrics_path);
+    return exit_code_for(e);
+  }
+  if (!metrics_path.empty()) {
+    obs::MetricsRegistry::global().write_json_file(metrics_path);
+    std::cerr << "metrics: " << metrics_path << "\n";
+  }
+  return 0;
+}

@@ -135,6 +135,59 @@ timeout 900 ./build/bench/micro_kernels --scale medium --iters 3 \
   --precision f32 --mode counting --out "$smoke_dir/bench_counting.json" \
   --history results/bench_history.jsonl
 
+echo "==== tier-1: service smoke (daemon burst + SIGTERM drain) ===="
+# The SpMM daemon end to end: start it on a FIFO so stdin stays open,
+# feed a mixed burst (valid, coalescible, malformed JSON, over-quota,
+# past-deadline), SIGTERM it mid-flight, and assert the graceful-
+# shutdown contract: every request line got exactly one response line,
+# the process exited 0, and the flushed metrics snapshot is
+# schema-valid.
+service_dir=build/service_smoke
+rm -rf "$service_dir" && mkdir -p "$service_dir"
+mkfifo "$service_dir/requests.fifo"
+./build/examples/example_nmdt_serve --workers 2 --tenant-rate 0.001 \
+  --tenant-burst 4 --metrics "$service_dir/metrics.json" \
+  < "$service_dir/requests.fifo" > "$service_dir/responses.jsonl" \
+  2> "$service_dir/serve.log" &
+serve_pid=$!
+exec 3> "$service_dir/requests.fifo"  # keep the write end open
+{
+  echo '{"id":"ok-1","matrix":"gen:uniform:128x128:0.05:1","k":8}'
+  echo '{"id":"ok-2","matrix":"gen:uniform:128x128:0.05:1","k":8,"b_seed":3}'
+  echo '{"id":"ok-3","matrix":"gen:uniform:128x128:0.05:1","k":8,"b_seed":4}'
+  echo '{"id":"ok-1-again","tenant":"t2","matrix":"gen:uniform:128x128:0.05:1","k":8}'
+  echo 'this is not json'
+  echo '{"id":"bad-field","matrix":"gen:uniform:64x64:0.1:1","bogus":true}'
+  echo '{"id":"late","matrix":"gen:uniform:128x128:0.05:1","k":8,"deadline_ms":0.001}'
+  echo '{"id":"q-1","tenant":"hog","matrix":"gen:uniform:64x64:0.1:1","k":8}'
+  echo '{"id":"q-2","tenant":"hog","matrix":"gen:uniform:64x64:0.1:1","k":8}'
+  echo '{"id":"q-3","tenant":"hog","matrix":"gen:uniform:64x64:0.1:1","k":8}'
+  echo '{"id":"q-4","tenant":"hog","matrix":"gen:uniform:64x64:0.1:1","k":8}'
+  echo '{"id":"q-5","tenant":"hog","matrix":"gen:uniform:64x64:0.1:1","k":8}'
+} >&3
+sleep 1  # let the burst reach the admission edge mid-flight
+kill -TERM "$serve_pid"
+exec 3>&-  # close the FIFO write end
+rc=0; wait "$serve_pid" || rc=$?
+test "$rc" -eq 0  # graceful drain exits 0
+# Exactly one response per request line (12 in, 12 out).
+test "$(wc -l < "$service_dir/responses.jsonl")" -eq 12
+grep -q '"id":"ok-1"' "$service_dir/responses.jsonl"
+grep '"id":"q-5"' "$service_dir/responses.jsonl" | grep OverloadError \
+  | grep -q retry_after_ms
+grep '"status":"error"' "$service_dir/responses.jsonl" | grep -q ParseError
+# Identical requests must produce identical result bits (crc match),
+# the same bit-identity batch mode guarantees.
+crc1=$(grep '"id":"ok-1"' "$service_dir/responses.jsonl" \
+  | grep -o '"c_crc32":[0-9]*' | cut -d: -f2)
+crc2=$(grep '"id":"ok-1-again"' "$service_dir/responses.jsonl" \
+  | grep -o '"c_crc32":[0-9]*' | cut -d: -f2)
+test -n "$crc1" && test "$crc1" = "$crc2"
+# The metrics snapshot flushed on shutdown passes the schema lint.
+timeout 60 ./build/examples/example_trace_lint --metrics "$service_dir/metrics.json"
+grep -q "service.completed" "$service_dir/metrics.json"
+rm -f "$service_dir/requests.fifo"
+
 if [[ "$run_tsan" == 1 ]]; then
   echo "==== tier-1: tsan preset (concurrency tests) ===="
   timeout 600 cmake --preset tsan

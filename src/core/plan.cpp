@@ -134,8 +134,10 @@ usize PlanCache::KeyHash::operator()(const Key& k) const {
   return static_cast<usize>(h);
 }
 
-PlanCache::PlanCache(i64 byte_budget) : budget_(byte_budget) {
+PlanCache::PlanCache(i64 byte_budget, double ttl_ms)
+    : budget_(byte_budget), ttl_ms_(ttl_ms) {
   NMDT_CHECK_CONFIG(byte_budget > 0, "plan cache byte budget must be positive");
+  NMDT_CHECK_CONFIG(ttl_ms >= 0.0, "plan cache TTL must be >= 0 (0 disables)");
   stats_.byte_budget = budget_;
 }
 
@@ -148,8 +150,10 @@ std::shared_ptr<const SpmmPlan> PlanCache::get_or_build(const Csr& A,
   obs::TraceSpan span("plan_cache.lookup");
   const Key key{fingerprint_of(A), opts};
   bool recovering = false;
+  std::shared_ptr<InFlight> flight;
+  bool builder = false;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    std::unique_lock<std::mutex> lock(mu_);
     auto it = index_.find(key);
     if (it != index_.end()) {
       // Re-verify the entry against the freshly computed fingerprint on
@@ -158,48 +162,102 @@ std::shared_ptr<const SpmmPlan> PlanCache::get_or_build(const Csr& A,
       // damaged while resident.
       const bool injected =
           fault::should_inject(fault::FaultSite::kCacheEntry, key.fp.combined());
-      const bool corrupt = injected || !(it->second->second->fingerprint() == key.fp);
-      if (!corrupt) {
+      const bool corrupt =
+          injected || !(it->second->second.plan->fingerprint() == key.fp);
+      const bool expired =
+          !corrupt && ttl_ms_ > 0.0 &&
+          std::chrono::duration<double, std::milli>(Clock::now() -
+                                                    it->second->second.built_at)
+                  .count() > ttl_ms_;
+      if (!corrupt && !expired) {
         lru_.splice(lru_.begin(), lru_, it->second);  // bump to most recent
         ++stats_.hits;
         hit_counter.add(1);
         if (was_hit) *was_hit = true;
         span.arg("hit", i64{1});
-        return lru_.front().second;
+        return lru_.front().second.plan;
       }
-      if (injected) fault::note_injected();
-      fault::note_detected();
-      recovering = true;
-      stats_.bytes -= it->second->second->bytes();
+      // Either way the entry is unusable: evict it and fall through to
+      // the (single-flighted) rebuild path.
+      stats_.bytes -= it->second->second.plan->bytes();
       lru_.erase(it->second);
       index_.erase(it);
       stats_.entries = index_.size();
-      ++stats_.corrupt_evictions;
-      obs::MetricsRegistry::global().counter("plan_cache.corrupt_evictions").add(1);
-      span.arg("corrupt_eviction", i64{1});
+      if (corrupt) {
+        if (injected) fault::note_injected();
+        fault::note_detected();
+        recovering = true;
+        ++stats_.corrupt_evictions;
+        obs::MetricsRegistry::global().counter("plan_cache.corrupt_evictions").add(1);
+        span.arg("corrupt_eviction", i64{1});
+      } else {
+        ++stats_.ttl_evictions;
+        obs::MetricsRegistry::global().counter("plan_cache.ttl_evictions").add(1);
+        span.arg("ttl_eviction", i64{1});
+      }
     }
-    ++stats_.misses;
-    miss_counter.add(1);
+    if (auto fit = inflight_.find(key); fit != inflight_.end()) {
+      // Another thread is already building this exact plan: join it
+      // instead of building a duplicate (single-flight).
+      flight = fit->second;
+      ++stats_.hits;
+      ++stats_.single_flight_shares;
+      hit_counter.add(1);
+      obs::MetricsRegistry::global().counter("plan_cache.single_flight_shares").add(1);
+    } else {
+      flight = std::make_shared<InFlight>();
+      inflight_[key] = flight;
+      builder = true;
+      ++stats_.misses;
+      miss_counter.add(1);
+    }
   }
+
+  if (!builder) {
+    span.arg("hit", i64{1}).arg("single_flight", i64{1});
+    std::unique_lock<std::mutex> wait_lock(flight->m);
+    flight->cv.wait(wait_lock, [&] { return flight->done; });
+    // The builder's failure is every waiter's failure: rethrow the same
+    // typed error each caller would have hit building it itself.
+    if (flight->error) std::rethrow_exception(flight->error);
+    if (was_hit) *was_hit = true;
+    return flight->plan;
+  }
+
   span.arg("hit", i64{0});
-  // Build outside the lock: planning is the expensive part, and two
-  // threads racing on the same key merely build twice (second insert
-  // finds the entry and reuses it).
-  auto plan = build_plan(A, opts);
+  // Build outside the lock: planning is the expensive part, and the
+  // in-flight registration above guarantees no duplicate work.
+  std::shared_ptr<const SpmmPlan> plan;
+  try {
+    plan = build_plan(A, opts);
+  } catch (...) {
+    {
+      std::lock_guard<std::mutex> fl(flight->m);
+      flight->error = std::current_exception();
+      flight->done = true;
+    }
+    flight->cv.notify_all();
+    std::lock_guard<std::mutex> lock(mu_);
+    inflight_.erase(key);
+    throw;
+  }
   if (recovering) fault::note_recovered();
   if (was_hit) *was_hit = false;
+  {
+    std::lock_guard<std::mutex> fl(flight->m);
+    flight->plan = plan;
+    flight->done = true;
+  }
+  flight->cv.notify_all();
 
   std::lock_guard<std::mutex> lock(mu_);
-  if (auto it = index_.find(key); it != index_.end()) {
-    lru_.splice(lru_.begin(), lru_, it->second);
-    return lru_.front().second;  // lost the race: adopt the winner
-  }
+  inflight_.erase(key);
   if (plan->bytes() > budget_) {
     ++stats_.oversize;  // usable, but never resident
     obs::MetricsRegistry::global().counter("plan_cache.oversize").add(1);
     return plan;
   }
-  lru_.emplace_front(key, plan);
+  lru_.emplace_front(key, Entry{plan, Clock::now()});
   index_[key] = lru_.begin();
   stats_.bytes += plan->bytes();
   stats_.entries = index_.size();
@@ -214,7 +272,7 @@ void PlanCache::evict_to_budget_locked() {
       obs::MetricsRegistry::global().counter("plan_cache.evictions");
   while (stats_.bytes > budget_ && !lru_.empty()) {
     const auto& victim = lru_.back();
-    stats_.bytes -= victim.second->bytes();
+    stats_.bytes -= victim.second.plan->bytes();
     index_.erase(victim.first);
     lru_.pop_back();
     ++stats_.evictions;

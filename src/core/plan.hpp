@@ -15,6 +15,8 @@
 // calls against the same A skip profiling and conversion entirely.
 #pragma once
 
+#include <chrono>
+#include <condition_variable>
 #include <list>
 #include <memory>
 #include <mutex>
@@ -146,21 +148,44 @@ struct PlanCacheStats {
   /// Entries whose fingerprint re-verification failed on lookup (real or
   /// injected corruption); each was evicted and rebuilt as a miss.
   u64 corrupt_evictions = 0;
+  /// Entries past the TTL at lookup time; each was evicted and rebuilt
+  /// as a miss (0 forever when the cache has no TTL).
+  u64 ttl_evictions = 0;
+  /// Lookups that joined another thread's in-flight build of the same
+  /// key instead of building a duplicate (single-flight).  Counted in
+  /// `hits` too — the share got a plan without paying for one — so the
+  /// conservation invariant stays hits + misses == completed lookups
+  /// and misses == plan builds started.
+  u64 single_flight_shares = 0;
   i64 bytes = 0;       ///< current resident artifact bytes
   i64 byte_budget = 0;
   usize entries = 0;
 };
 
-/// Thread-safe LRU plan cache with a byte budget.  Shareable between an
-/// engine and the suite runner's worker threads.
+/// Thread-safe LRU plan cache with a byte budget — the shared service
+/// tier of the Plan → Cache → Execute pipeline, shareable between an
+/// engine, the suite runner's workers, and the request daemon.
+///
+/// Concurrency hardening for the service tier:
+///   * single-flight builds: N concurrent get_or_build calls for one
+///     (fingerprint, options) key build the plan exactly once; the
+///     N − 1 latecomers block on the builder and share its result (or
+///     rethrow its typed failure).
+///   * TTL: entries older than `ttl_ms` at lookup are evicted and
+///     rebuilt, bounding how long a long-lived daemon serves a plan
+///     whose backing file may have changed on disk.  0 disables.
+///   * corrupt-entry evict-and-rebuild (fingerprint re-verification on
+///     every hit) is preserved under contention: the rebuild after a
+///     corrupt eviction is itself single-flighted.
 class PlanCache {
  public:
   static constexpr i64 kDefaultByteBudget = i64{512} << 20;  // 512 MiB
 
-  explicit PlanCache(i64 byte_budget = kDefaultByteBudget);
+  explicit PlanCache(i64 byte_budget = kDefaultByteBudget, double ttl_ms = 0.0);
 
   /// Return the cached plan for (A, opts), building and inserting it on
-  /// a miss.  `was_hit` (optional) reports which path was taken.
+  /// a miss.  `was_hit` (optional) reports which path was taken
+  /// (single-flight shares report as hits).
   std::shared_ptr<const SpmmPlan> get_or_build(const Csr& A, const PlanOptions& opts,
                                                bool* was_hit = nullptr);
 
@@ -168,6 +193,8 @@ class PlanCache {
   void clear();
 
  private:
+  using Clock = std::chrono::steady_clock;
+
   struct Key {
     MatrixFingerprint fp;
     PlanOptions opts;
@@ -176,14 +203,29 @@ class PlanCache {
   struct KeyHash {
     usize operator()(const Key& k) const;
   };
-  using LruList = std::list<std::pair<Key, std::shared_ptr<const SpmmPlan>>>;
+  struct Entry {
+    std::shared_ptr<const SpmmPlan> plan;
+    Clock::time_point built_at;
+  };
+  /// Rendezvous for one in-flight build: the builder publishes the plan
+  /// (or its exception) and notifies; latecomers wait on `cv`.
+  struct InFlight {
+    std::mutex m;
+    std::condition_variable cv;
+    bool done = false;
+    std::shared_ptr<const SpmmPlan> plan;
+    std::exception_ptr error;
+  };
+  using LruList = std::list<std::pair<Key, Entry>>;
 
   void evict_to_budget_locked();
 
   mutable std::mutex mu_;
   i64 budget_;
+  double ttl_ms_;
   LruList lru_;  ///< front = most recently used
   std::unordered_map<Key, LruList::iterator, KeyHash> index_;
+  std::unordered_map<Key, std::shared_ptr<InFlight>, KeyHash> inflight_;
   PlanCacheStats stats_;
 };
 

@@ -7,10 +7,19 @@
 #include <sstream>
 
 #include "util/error.hpp"
+#include "util/line_reader.hpp"
 
 namespace nmdt {
 
 namespace {
+
+/// One Matrix Market line is a banner, a size triple, or one entry —
+/// tens of bytes from any legitimate producer.  The cap turns an
+/// adversarial newline-free stream into a typed ParseError instead of
+/// unbounded std::string growth.
+bool get_line(std::istream& is, std::string& line) {
+  return read_bounded_line(is, line, kDefaultMaxLineBytes, "matrix market");
+}
 
 std::string to_lower(std::string s) {
   std::transform(s.begin(), s.end(), s.begin(),
@@ -29,7 +38,7 @@ Coo read_matrix_market(std::istream& is) {
   i64 lineno = 0;
 
   // Banner: %%MatrixMarket matrix coordinate <field> <symmetry>
-  if (!std::getline(is, line)) fail(1, "empty input");
+  if (!get_line(is, line)) fail(1, "empty input");
   ++lineno;
   std::istringstream banner(to_lower(line));
   std::string magic, object, fmt, field, symmetry;
@@ -50,7 +59,7 @@ Coo read_matrix_market(std::istream& is) {
   // Size line (skipping comments).
   i64 rows = 0, cols = 0, entries = 0;
   for (;;) {
-    if (!std::getline(is, line)) fail(lineno, "missing size line");
+    if (!get_line(is, line)) fail(lineno, "missing size line");
     ++lineno;
     if (!line.empty() && line[0] == '%') continue;
     if (line.find_first_not_of(" \t\r") == std::string::npos) continue;
@@ -80,7 +89,7 @@ Coo read_matrix_market(std::istream& is) {
 
   i64 seen = 0;
   while (seen < entries) {
-    if (!std::getline(is, line)) fail(lineno, "unexpected end of file");
+    if (!get_line(is, line)) fail(lineno, "unexpected end of file");
     ++lineno;
     if (!line.empty() && line[0] == '%') continue;
     if (line.find_first_not_of(" \t\r") == std::string::npos) continue;
@@ -101,7 +110,7 @@ Coo read_matrix_market(std::istream& is) {
   // Anything after the declared entries (other than comments and blank
   // lines) means the size line lied about nnz — reject it rather than
   // silently dropping data.
-  while (std::getline(is, line)) {
+  while (get_line(is, line)) {
     ++lineno;
     if (!line.empty() && line[0] == '%') continue;
     if (line.find_first_not_of(" \t\r") == std::string::npos) continue;

@@ -1,0 +1,494 @@
+#include "service/server.hpp"
+
+#include <algorithm>
+#include <charconv>
+
+#include "formats/matrix_market.hpp"
+#include "formats/serialize.hpp"
+#include "matgen/generators.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "util/crc32.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace nmdt::service {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+constexpr index_t kMaxGenDim = index_t{1} << 20;
+
+/// Split "a:b:c" on ':'; no empty-segment collapsing.
+std::vector<std::string> split_colon(const std::string& s) {
+  std::vector<std::string> out;
+  usize start = 0;
+  for (usize i = 0; i <= s.size(); ++i) {
+    if (i == s.size() || s[i] == ':') {
+      out.push_back(s.substr(start, i - start));
+      start = i + 1;
+    }
+  }
+  return out;
+}
+
+i64 parse_i64_field(const std::string& s, const char* what) {
+  i64 v = 0;
+  const auto [p, ec] = std::from_chars(s.data(), s.data() + s.size(), v);
+  if (ec != std::errc{} || p != s.data() + s.size()) {
+    throw ParseError(std::string("matrix spec: malformed ") + what + " '" + s + "'");
+  }
+  return v;
+}
+
+double parse_double_field(const std::string& s, const char* what) {
+  try {
+    usize consumed = 0;
+    const double v = std::stod(s, &consumed);
+    if (consumed != s.size()) throw std::invalid_argument(s);
+    return v;
+  } catch (const std::exception&) {
+    throw ParseError(std::string("matrix spec: malformed ") + what + " '" + s + "'");
+  }
+}
+
+bool ends_with(const std::string& s, const std::string& suffix) {
+  return s.size() >= suffix.size() &&
+         s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+/// The B operand of one request, generated exactly the way
+/// `nmdt_cli run` generates it: Rng(b_seed) filling an (A.cols × k)
+/// matrix — the bit-identity contract between service and batch mode.
+DenseMatrix request_b(const Csr& A, const Request& req) {
+  Rng rng(req.b_seed);
+  DenseMatrix B(A.cols, req.k);
+  B.randomize(rng);
+  return B;
+}
+
+/// Effective per-request deadline in ms (0 = none).
+double effective_deadline_ms(const Request& req, const ServerOptions& opts) {
+  return req.deadline_ms > 0.0 ? req.deadline_ms : opts.default_deadline_ms;
+}
+
+}  // namespace
+
+Csr load_matrix_spec(const std::string& spec) {
+  if (spec.rfind("gen:", 0) == 0) {
+    const auto parts = split_colon(spec);
+    if (parts.size() != 5) {
+      throw ParseError("matrix spec '" + spec +
+                       "': expected gen:<kind>:<rows>x<cols>:<density>:<seed>");
+    }
+    const std::string& kind = parts[1];
+    const auto x = parts[2].find('x');
+    if (x == std::string::npos) {
+      throw ParseError("matrix spec: malformed dimensions '" + parts[2] + "'");
+    }
+    const i64 rows = parse_i64_field(parts[2].substr(0, x), "rows");
+    const i64 cols = parse_i64_field(parts[2].substr(x + 1), "cols");
+    if (rows < 1 || cols < 1 || rows > kMaxGenDim || cols > kMaxGenDim) {
+      throw ParseError("matrix spec: dimensions must be in [1, " +
+                       std::to_string(kMaxGenDim) + "]");
+    }
+    const double density = parse_double_field(parts[3], "density");
+    if (!(density >= 0.0 && density <= 1.0)) {
+      throw ParseError("matrix spec: density must be in [0, 1]");
+    }
+    const u64 seed = static_cast<u64>(parse_i64_field(parts[4], "seed"));
+    const auto r = static_cast<index_t>(rows);
+    const auto c = static_cast<index_t>(cols);
+    if (kind == "uniform") return gen_uniform(r, c, density, seed);
+    if (kind == "powerlaw_rows") return gen_powerlaw_rows(r, c, density, 1.2, seed);
+    if (kind == "powerlaw_cols") return gen_powerlaw_cols(r, c, density, 1.2, seed);
+    throw ParseError("matrix spec: unknown generator '" + kind +
+                     "' (expected uniform | powerlaw_rows | powerlaw_cols)");
+  }
+  if (ends_with(spec, ".bin")) return load_csr_file(spec);
+  if (ends_with(spec, ".mtx")) return csr_from_coo(read_matrix_market_file(spec));
+  throw ParseError("matrix spec '" + spec +
+                   "' is neither gen:<...> nor a .mtx/.bin path");
+}
+
+SpmmServer::SpmmServer(ServerOptions opts, ResponseSink sink)
+    : opts_(opts),
+      sink_(std::move(sink)),
+      queue_(opts.queue_capacity),
+      quotas_(opts.tenant_rate, opts.tenant_burst),
+      plan_cache_(opts.plan_cache_bytes, opts.plan_ttl_ms) {
+  NMDT_CHECK_CONFIG(opts_.workers >= 1, "server needs at least one worker");
+  NMDT_CHECK_CONFIG(opts_.jobs >= 0, "server jobs must be >= 0");
+  NMDT_CHECK_CONFIG(opts_.matrix_cache_entries >= 1,
+                    "matrix cache needs at least one entry");
+  NMDT_CHECK_CONFIG(sink_ != nullptr, "server needs a response sink");
+}
+
+SpmmServer::~SpmmServer() { drain(); }
+
+void SpmmServer::start() {
+  workers_.reserve(static_cast<usize>(opts_.workers));
+  for (int i = 0; i < opts_.workers; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+void SpmmServer::respond(const Response& r) {
+  std::lock_guard<std::mutex> lock(sink_mu_);
+  sink_(r);
+}
+
+bool SpmmServer::submit(Request req) {
+  static obs::Counter& submitted = obs::MetricsRegistry::global().counter("service.submitted");
+  static obs::Counter& accepted = obs::MetricsRegistry::global().counter("service.accepted");
+  static obs::Counter& shed = obs::MetricsRegistry::global().counter("service.shed");
+  submitted.add(1);
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    ++stats_.submitted;
+  }
+  const auto now = Clock::now();
+  Ticket t;
+  t.req = std::move(req);
+  const auto shed_with = [&](const OverloadError& e, u64 ServerStats::*slot) {
+    shed.add(1);
+    {
+      std::lock_guard<std::mutex> lock(stats_mu_);
+      ++(stats_.*slot);
+    }
+    respond(error_response(t.req, e));
+  };
+  if (static_cast<State>(state_.load(std::memory_order_acquire)) != State::kRunning) {
+    shed_with(OverloadError("server is shutting down; request rejected",
+                            /*retry_after_ms=*/-1),
+              &ServerStats::shed_shutdown);
+    return false;
+  }
+  i64 retry_ms = 0;
+  if (!quotas_.try_admit(t.req.tenant, now, &retry_ms)) {
+    shed_with(OverloadError("tenant '" + t.req.tenant + "' is over its request quota",
+                            retry_ms),
+              &ServerStats::shed_over_quota);
+    return false;
+  }
+  t.admitted_at = now;
+  t.cancel = CancelToken::child_of(cancel_);
+  const double deadline_ms = effective_deadline_ms(t.req, opts_);
+  if (deadline_ms > 0.0) {
+    const auto at = now + std::chrono::duration_cast<Clock::duration>(
+                              std::chrono::duration<double, std::milli>(deadline_ms));
+    t.cancel.set_deadline(at, CancelReason::kDeadline);
+    t.deadline = at;
+  }
+  if (!queue_.try_push(std::move(t), &retry_ms)) {
+    // try_push only moves the ticket on success, so t.req is intact on
+    // the shed path.
+    shed_with(OverloadError("admission queue is full", retry_ms),
+              &ServerStats::shed_queue_full);
+    return false;
+  }
+  accepted.add(1);
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    ++stats_.accepted;
+  }
+  obs::MetricsRegistry::global().gauge("service.queue_depth").set(
+      static_cast<double>(queue_.depth()));
+  return true;
+}
+
+void SpmmServer::begin_shutdown() {
+  int expected = static_cast<int>(State::kRunning);
+  state_.compare_exchange_strong(expected, static_cast<int>(State::kDraining),
+                                 std::memory_order_acq_rel);
+  queue_.close();
+}
+
+void SpmmServer::drain() {
+  begin_shutdown();
+  for (auto& w : workers_) {
+    if (w.joinable()) w.join();
+  }
+  workers_.clear();
+  state_.store(static_cast<int>(State::kStopped), std::memory_order_release);
+}
+
+void SpmmServer::cancel_all() { cancel_.request(CancelReason::kUser); }
+
+ServerStats SpmmServer::stats() const {
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  return stats_;
+}
+
+std::shared_ptr<const Csr> SpmmServer::matrix_for(const std::string& spec) {
+  {
+    std::lock_guard<std::mutex> lock(matrix_mu_);
+    for (auto it = matrix_lru_.begin(); it != matrix_lru_.end(); ++it) {
+      if (it->first == spec) {
+        matrix_lru_.splice(matrix_lru_.begin(), matrix_lru_, it);
+        return matrix_lru_.front().second;
+      }
+    }
+  }
+  // Load outside the lock; a racing duplicate load is wasted work, not
+  // a correctness problem (the LRU adopts whichever lands last).
+  auto loaded = std::make_shared<const Csr>(load_matrix_spec(spec));
+  std::lock_guard<std::mutex> lock(matrix_mu_);
+  matrix_lru_.emplace_front(spec, loaded);
+  while (matrix_lru_.size() > opts_.matrix_cache_entries) matrix_lru_.pop_back();
+  return loaded;
+}
+
+SpmmConfig SpmmServer::exec_config(index_t rows, index_t k, Precision precision) const {
+  SpmmConfig cfg = evaluation_config(rows, k);
+  cfg.jobs = opts_.jobs;
+  cfg.precision = precision;
+  cfg.fault_fallback = opts_.fault_fallback;
+  return cfg;
+}
+
+void SpmmServer::worker_loop() {
+  while (auto first = queue_.pop()) {
+    std::vector<Ticket> group;
+    group.push_back(std::move(*first));
+    if (opts_.coalesce_max > 1) {
+      const Request& head = group.front().req;
+      index_t k_budget = opts_.coalesce_max_k > head.k
+                             ? opts_.coalesce_max_k - head.k
+                             : 0;
+      auto more = queue_.pop_matching(
+          [&](const Ticket& t) {
+            if (t.req.matrix != head.matrix || t.req.precision != head.precision ||
+                t.req.kernel != head.kernel || t.req.k > k_budget) {
+              return false;
+            }
+            k_budget -= t.req.k;
+            return true;
+          },
+          static_cast<usize>(opts_.coalesce_max - 1));
+      for (auto& t : more) group.push_back(std::move(t));
+    }
+    obs::MetricsRegistry::global().gauge("service.queue_depth").set(
+        static_cast<double>(queue_.depth()));
+    const auto batch_start = Clock::now();
+    try {
+      process_group(std::move(group));
+    } catch (...) {
+      // process_group answers every ticket itself; anything escaping is
+      // a server bug, but a worker must never die silently mid-drain —
+      // swallow and keep serving (the response-per-ticket invariant is
+      // preserved by the per-ticket handlers below).
+    }
+    queue_.note_service_ms(
+        std::chrono::duration<double, std::milli>(Clock::now() - batch_start).count());
+  }
+}
+
+void SpmmServer::process_group(std::vector<Ticket> group) {
+  static obs::Counter& coalesced_batches =
+      obs::MetricsRegistry::global().counter("service.coalesced_batches");
+  obs::TraceSpan span("service.batch");
+  span.arg("size", static_cast<i64>(group.size()));
+
+  const Request& head = group.front().req;
+  std::shared_ptr<const Csr> A;
+  std::shared_ptr<const SpmmPlan> plan;
+  try {
+    A = matrix_for(head.matrix);
+    plan = plan_cache_.get_or_build(
+        *A, PlanOptions{TilingSpec{64, 64}, default_ssf_threshold(), 1.0,
+                        head.precision});
+  } catch (const std::exception& e) {
+    // Matrix resolution / planning failed: same typed failure for every
+    // member (they share the coalescing key, hence the matrix).
+    for (auto& t : group) finish_error(t, e, static_cast<int>(group.size()));
+    return;
+  }
+
+  if (group.size() > 1) {
+    coalesced_batches.add(1);
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    ++stats_.coalesced_batches;
+    stats_.coalesced_requests += group.size();
+  }
+
+  if (group.size() == 1) {
+    process_single(group.front(), plan, *A, 1);
+    return;
+  }
+
+  // Batched path: drop members already past their deadline (each gets
+  // its TimeoutError response), then run the survivors as one kernel
+  // call on the column-concatenated B.
+  std::vector<Ticket*> live;
+  for (auto& t : group) {
+    try {
+      t.cancel.poll();
+      live.push_back(&t);
+    } catch (const std::exception& e) {
+      finish_error(t, e, static_cast<int>(group.size()));
+    }
+  }
+  if (live.empty()) return;
+  if (live.size() == 1) {
+    process_single(*live.front(), plan, *A, static_cast<int>(group.size()));
+    return;
+  }
+
+  index_t total_k = 0;
+  for (const Ticket* t : live) total_k += t->req.k;
+  DenseMatrix B(A->cols, total_k);
+  {
+    index_t off = 0;
+    for (const Ticket* t : live) {
+      const DenseMatrix member_b = request_b(*A, t->req);
+      for (index_t r = 0; r < member_b.rows(); ++r) {
+        const auto src = member_b.row(r);
+        std::copy(src.begin(), src.end(), B.row(r).begin() + off);
+      }
+      off += t->req.k;
+    }
+  }
+
+  // One token guards the whole batch: child of the server token, armed
+  // with the earliest member deadline.  If it fires (or anything else
+  // throws), the batch degrades to per-member solo runs below — one
+  // expiring member must not consume its neighbours' results.
+  CancelToken batch_token = CancelToken::child_of(cancel_);
+  {
+    std::optional<Clock::time_point> earliest;
+    for (const Ticket* t : live) {
+      if (t->deadline && (!earliest || *t->deadline < *earliest)) {
+        earliest = t->deadline;
+      }
+    }
+    if (earliest) batch_token.set_deadline(*earliest, CancelReason::kDeadline);
+  }
+  const KernelKind kind = head.kernel.value_or(plan->kernel());
+  const auto exec_start = Clock::now();
+  std::optional<SpmmResult> batched;
+  try {
+    CancelScope scope(batch_token);
+    batch_token.poll();
+    batched = SpmmExecutor(exec_config(A->rows, total_k, head.precision))
+                  .execute(kind, *plan, B);
+  } catch (const std::exception&) {
+    batched.reset();
+  }
+  if (!batched) {
+    // Graceful degradation: the batch failed as a unit (deadline, fault,
+    // cancellation); each member re-runs alone under its own token so
+    // per-member outcomes are typed individually.
+    for (Ticket* t : live) process_single(*t, plan, *A, static_cast<int>(group.size()));
+    return;
+  }
+  const double exec_ms =
+      std::chrono::duration<double, std::milli>(Clock::now() - exec_start).count();
+
+  // Split C back per member.  Each member's bits are exactly what a
+  // solo run of its request would have produced (per-column accumulation
+  // order depends only on A).
+  index_t off = 0;
+  for (Ticket* t : live) {
+    Response resp;
+    resp.id = t->req.id;
+    resp.tenant = t->req.tenant;
+    resp.ok = true;
+    resp.kernel = kernel_name(kind);
+    resp.precision = precision_name(t->req.precision);
+    resp.rows = A->rows;
+    resp.k = t->req.k;
+    resp.coalesced = static_cast<int>(group.size());
+    resp.used_fallback = batched->used_fallback;
+    resp.queue_ms = std::chrono::duration<double, std::milli>(exec_start -
+                                                              t->admitted_at)
+                        .count();
+    resp.exec_ms = exec_ms;
+    if (t->req.precision == Precision::kF64) {
+      DenseMatrixT<double> slice(A->rows, t->req.k);
+      for (index_t r = 0; r < A->rows; ++r) {
+        const auto src = batched->C64.row(r);
+        std::copy(src.begin() + off, src.begin() + off + t->req.k,
+                  slice.row(r).begin());
+      }
+      const auto d = slice.data();
+      resp.c_crc32 = crc32(d.data(), d.size() * sizeof(double));
+      if (t->req.return_c) resp.c_hex = hex_encode(d.data(), d.size() * sizeof(double));
+    } else {
+      DenseMatrix slice(A->rows, t->req.k);
+      for (index_t r = 0; r < A->rows; ++r) {
+        const auto src = batched->C.row(r);
+        std::copy(src.begin() + off, src.begin() + off + t->req.k,
+                  slice.row(r).begin());
+      }
+      const auto d = slice.data();
+      resp.c_crc32 = crc32(d.data(), d.size() * sizeof(float));
+      if (t->req.return_c) resp.c_hex = hex_encode(d.data(), d.size() * sizeof(float));
+    }
+    off += t->req.k;
+    finish_ok(resp);
+  }
+}
+
+void SpmmServer::process_single(Ticket& t, const std::shared_ptr<const SpmmPlan>& plan,
+                                const Csr& A, int coalesced_with) {
+  const auto exec_start = Clock::now();
+  try {
+    CancelScope scope(t.cancel);
+    t.cancel.poll();
+    const KernelKind kind = t.req.kernel.value_or(plan->kernel());
+    const DenseMatrix B = request_b(A, t.req);
+    const SpmmResult result =
+        SpmmExecutor(exec_config(A.rows, t.req.k, t.req.precision))
+            .execute(kind, *plan, B);
+    Response resp;
+    resp.id = t.req.id;
+    resp.tenant = t.req.tenant;
+    resp.ok = true;
+    resp.kernel = kernel_name(kind);
+    resp.precision = precision_name(t.req.precision);
+    resp.rows = A.rows;
+    resp.k = t.req.k;
+    resp.coalesced = coalesced_with;
+    resp.used_fallback = result.used_fallback;
+    resp.queue_ms =
+        std::chrono::duration<double, std::milli>(exec_start - t.admitted_at).count();
+    resp.exec_ms =
+        std::chrono::duration<double, std::milli>(Clock::now() - exec_start).count();
+    const auto bits = result_bits(result);
+    resp.c_crc32 = crc32(bits.data(), bits.size());
+    if (t.req.return_c) resp.c_hex = hex_encode(bits.data(), bits.size());
+    finish_ok(resp);
+  } catch (const std::exception& e) {
+    finish_error(t, e, coalesced_with);
+  }
+}
+
+void SpmmServer::finish_ok(const Response& resp) {
+  static obs::Counter& completed =
+      obs::MetricsRegistry::global().counter("service.completed");
+  completed.add(1);
+  obs::MetricsRegistry::global().histogram("service.queue_ms").observe(resp.queue_ms);
+  obs::MetricsRegistry::global().histogram("service.exec_ms").observe(resp.exec_ms);
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    ++stats_.completed_ok;
+  }
+  respond(resp);
+}
+
+void SpmmServer::finish_error(const Ticket& t, const std::exception& e,
+                              int coalesced_with) {
+  static obs::Counter& failed = obs::MetricsRegistry::global().counter("service.failed");
+  failed.add(1);
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    ++stats_.completed_error;
+  }
+  Response resp = error_response(t.req, e);
+  resp.coalesced = coalesced_with;
+  respond(resp);
+}
+
+}  // namespace nmdt::service

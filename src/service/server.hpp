@@ -1,0 +1,177 @@
+// SpMM-as-a-service: the long-lived request server behind
+// examples/nmdt_serve.
+//
+// Architecture (the scheduler/worker split of the async-SGD exemplar,
+// PAPERS.md): a submit edge that either admits a request into a
+// bounded queue or sheds it with a typed OverloadError (admission.hpp:
+// queue bound + per-tenant token buckets), a pool of worker threads
+// that pop tickets, and a shared concurrency-hardened PlanCache so a
+// stream of requests against the same matrix pays the expensive
+// plan/convert step once — the paper's amortization argument turned
+// into a resident service tier.
+//
+// Request coalescing: a worker that pops a ticket also claims every
+// queued ticket with the same (matrix, kernel, precision) coalescing
+// key (up to coalesce_max / coalesce_max_k), concatenates their B
+// panels column-wise, and runs ONE kernel execution against the one
+// resident plan, then splits C back per request.  Each column of
+// C = A·B depends only on its own column of B, accumulated in A's
+// non-zero order, so every coalesced request's result stays
+// bit-identical to a solo run (pinned by the service tests).  If the
+// batched execution fails (one member's deadline expired mid-run, a
+// fault surfaced), the group degrades gracefully: each member re-runs
+// individually under its own CancelToken so one victim cannot take its
+// neighbours down.
+//
+// Per-request deadlines: every admitted ticket carries a CancelToken
+// child of the server token with its deadline armed at admission; the
+// kernels poll it cooperatively, so an expired request unwinds as a
+// typed TimeoutError *response* — never a stuck worker, never a dead
+// process.
+//
+// Shutdown state machine: kRunning → (begin_shutdown) → kDraining —
+// submit() sheds new requests with OverloadError("shutting down",
+// retry_after_ms = -1) while workers drain every already-admitted
+// ticket — → (drain joins the workers) → kStopped.  The invariant the
+// chaos suite pins: every admitted request gets exactly one response,
+// shed requests get exactly one OverloadError response, and the
+// process exits only after the queue is empty.
+#pragma once
+
+#include <atomic>
+#include <list>
+#include <memory>
+#include <thread>
+
+#include "core/executor.hpp"
+#include "core/plan.hpp"
+#include "service/admission.hpp"
+#include "service/protocol.hpp"
+
+namespace nmdt::service {
+
+struct ServerOptions {
+  int workers = 2;
+  usize queue_capacity = 64;
+  /// Per-tenant token-bucket refill rate (requests/second); <= 0
+  /// disables quotas.
+  double tenant_rate = 0.0;
+  double tenant_burst = 8.0;
+  /// Deadline applied to requests that do not carry their own; <= 0
+  /// means no default deadline.
+  double default_deadline_ms = 0.0;
+  i64 plan_cache_bytes = PlanCache::kDefaultByteBudget;
+  /// PlanCache TTL (0 disables) — bounds how long a daemon serves a
+  /// plan whose backing matrix file may have changed on disk.
+  double plan_ttl_ms = 0.0;
+  /// Coalescing bounds: max requests per batch and max combined B
+  /// columns.  coalesce_max <= 1 disables coalescing.
+  int coalesce_max = 4;
+  index_t coalesce_max_k = 256;
+  /// Intra-kernel shard threads per execution (SpmmConfig::jobs).
+  int jobs = 1;
+  /// Loaded/generated matrices kept resident, keyed by spec string.
+  usize matrix_cache_entries = 16;
+  /// Degrade unrecovered conversion faults to the reference CSR kernel
+  /// (typed FaultError response when false).
+  bool fault_fallback = true;
+};
+
+struct ServerStats {
+  u64 submitted = 0;
+  u64 accepted = 0;
+  u64 shed_queue_full = 0;
+  u64 shed_over_quota = 0;
+  u64 shed_shutdown = 0;
+  u64 completed_ok = 0;
+  u64 completed_error = 0;
+  u64 coalesced_batches = 0;   ///< batches serving more than one request
+  u64 coalesced_requests = 0;  ///< requests served inside such batches
+};
+
+/// Responses are delivered through this sink, possibly from several
+/// worker threads concurrently — the sink serializes (nmdt_serve wraps
+/// stdout in a mutex).
+using ResponseSink = std::function<void(const Response&)>;
+
+/// Resolve a request's matrix spec: "gen:<kind>:<rows>x<cols>:<density>
+/// :<seed>" (kinds: uniform, powerlaw_rows, powerlaw_cols), a .mtx
+/// path, or a .bin path.  Throws ParseError on malformed specs — the
+/// same function the tests use to build the batch-mode reference side.
+Csr load_matrix_spec(const std::string& spec);
+
+class SpmmServer {
+ public:
+  SpmmServer(ServerOptions opts, ResponseSink sink);
+  ~SpmmServer();  ///< begin_shutdown() + drain() if still running
+
+  SpmmServer(const SpmmServer&) = delete;
+  SpmmServer& operator=(const SpmmServer&) = delete;
+
+  /// Launch the worker pool.  Tickets submitted before start() queue up
+  /// and are served once workers exist (tests use this to stage
+  /// deterministic coalescing batches).
+  void start();
+
+  /// Admission edge.  Every call produces exactly one response through
+  /// the sink, now (shed: OverloadError with retry_after_ms; parse-time
+  /// deadline of 0 is still admitted and times out in the worker) or
+  /// later (worker).  Returns true when the request was admitted.
+  bool submit(Request req);
+
+  /// Reject new submissions from now on; already-admitted tickets keep
+  /// draining.  Idempotent.  Safe to call from any thread (but not from
+  /// a signal handler — signal handlers should request() a copy of
+  /// cancel_token() or set a flag the main loop acts on).
+  void begin_shutdown();
+
+  /// Block until every admitted ticket has been served and the workers
+  /// have exited.  Implies begin_shutdown().
+  void drain();
+
+  /// Cancel in-flight work (kUser): pending and running tickets unwind
+  /// cooperatively and respond CancelledError.  For the "second SIGTERM
+  /// means now" escalation path.
+  void cancel_all();
+
+  /// Copyable server-wide token; every per-request token chains to it.
+  CancelToken cancel_token() const { return cancel_; }
+
+  ServerStats stats() const;
+  PlanCacheStats plan_cache_stats() const { return plan_cache_.stats(); }
+  usize queue_depth() const { return queue_.depth(); }
+
+ private:
+  enum class State : int { kRunning = 0, kDraining, kStopped };
+
+  void worker_loop();
+  void process_group(std::vector<Ticket> group);
+  /// Serve one ticket alone under its own token (the non-coalesced and
+  /// the degraded-group path).  Always emits exactly one response.
+  void process_single(Ticket& t, const std::shared_ptr<const SpmmPlan>& plan,
+                      const Csr& A, int coalesced_with);
+  std::shared_ptr<const Csr> matrix_for(const std::string& spec);
+  void finish_ok(const Response& resp);
+  void finish_error(const Ticket& t, const std::exception& e, int coalesced_with);
+  void respond(const Response& r);
+  SpmmConfig exec_config(index_t rows, index_t k, Precision precision) const;
+
+  ServerOptions opts_;
+  ResponseSink sink_;
+  std::mutex sink_mu_;
+  CancelToken cancel_;
+  AdmissionQueue queue_;
+  TenantQuotas quotas_;
+  PlanCache plan_cache_;
+  std::atomic<int> state_{static_cast<int>(State::kRunning)};
+  std::vector<std::thread> workers_;
+
+  // Small LRU of resolved matrices keyed by spec string.
+  std::mutex matrix_mu_;
+  std::list<std::pair<std::string, std::shared_ptr<const Csr>>> matrix_lru_;
+
+  mutable std::mutex stats_mu_;
+  ServerStats stats_;
+};
+
+}  // namespace nmdt::service

@@ -8,6 +8,7 @@ namespace {
 const char* type_name_of(const std::exception& e) {
   if (dynamic_cast<const TimeoutError*>(&e)) return "TimeoutError";
   if (dynamic_cast<const CancelledError*>(&e)) return "CancelledError";
+  if (dynamic_cast<const OverloadError*>(&e)) return "OverloadError";
   if (dynamic_cast<const FaultError*>(&e)) return "FaultError";
   if (dynamic_cast<const ParseError*>(&e)) return "ParseError";
   if (dynamic_cast<const FormatError*>(&e)) return "FormatError";
@@ -16,6 +17,17 @@ const char* type_name_of(const std::exception& e) {
   return "std::exception";
 }
 }  // namespace
+
+int exit_code_for(const std::exception& e) {
+  if (dynamic_cast<const CancelledError*>(&e)) return 130;
+  if (dynamic_cast<const OverloadError*>(&e)) return 7;
+  if (dynamic_cast<const TimeoutError*>(&e)) return 6;
+  if (dynamic_cast<const FaultError*>(&e)) return 5;
+  if (dynamic_cast<const ConfigError*>(&e)) return 4;
+  if (dynamic_cast<const FormatError*>(&e)) return 3;
+  if (dynamic_cast<const ParseError*>(&e)) return 2;
+  return 1;
+}
 
 std::string describe_exception(const std::exception& e) {
   return std::string(type_name_of(e)) + ": " + e.what();
@@ -31,6 +43,7 @@ std::exception_ptr exception_from_description(const std::string& description) {
   try {
     if (type == "TimeoutError") throw TimeoutError(msg);
     if (type == "CancelledError") throw CancelledError(msg);
+    if (type == "OverloadError") throw OverloadError(msg);
     if (type == "FaultError") throw FaultError(msg);
     if (type == "ParseError") throw ParseError(msg);
     if (type == "FormatError") throw FormatError(msg);

@@ -11,6 +11,8 @@
 #include <stdexcept>
 #include <string>
 
+#include "util/types.hpp"
+
 namespace nmdt {
 
 /// Base class for all library errors.
@@ -61,6 +63,26 @@ class CancelledError : public Error {
  public:
   explicit CancelledError(const std::string& what) : Error(what) {}
 };
+
+/// Load shedding: the service refused to take on more work (admission
+/// queue full, tenant over quota, server draining for shutdown).  The
+/// request was *never started* — retrying after `retry_after_ms` is
+/// always safe.  A hint < 0 means "do not retry" (shutdown).
+class OverloadError : public Error {
+ public:
+  explicit OverloadError(const std::string& what, i64 retry_after_ms = 0)
+      : Error(what), retry_after_ms_(retry_after_ms) {}
+  i64 retry_after_ms() const { return retry_after_ms_; }
+
+ private:
+  i64 retry_after_ms_ = 0;
+};
+
+/// The one exit-code table every binary shares (pinned by a test and
+/// documented in README "Exit codes"): 2 ParseError, 3 FormatError,
+/// 4 ConfigError, 5 FaultError, 6 TimeoutError, 7 OverloadError,
+/// 130 CancelledError, 1 anything else.
+int exit_code_for(const std::exception& e);
 
 /// "TypeName: what()" for a caught exception — the uniform FAILED(...)
 /// label the suite runner and CLI attach to typed errors.

@@ -1,0 +1,30 @@
+#include "util/line_reader.hpp"
+
+#include <istream>
+
+#include "util/error.hpp"
+
+namespace nmdt {
+
+bool read_bounded_line(std::istream& is, std::string& line, usize max_bytes,
+                       const char* what) {
+  line.clear();
+  if (!is.good()) return false;
+  std::streambuf* sb = is.rdbuf();
+  for (;;) {
+    const int c = sb->sbumpc();
+    if (c == std::streambuf::traits_type::eof()) {
+      is.setstate(line.empty() ? (std::ios::eofbit | std::ios::failbit)
+                               : std::ios::eofbit);
+      return !line.empty();
+    }
+    if (c == '\n') return true;
+    if (line.size() >= max_bytes) {
+      throw ParseError(std::string(what) + " line exceeds the " +
+                       std::to_string(max_bytes) + "-byte limit");
+    }
+    line.push_back(static_cast<char>(c));
+  }
+}
+
+}  // namespace nmdt

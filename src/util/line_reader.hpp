@@ -1,0 +1,33 @@
+// Bounded text-line ingestion.
+//
+// Every place that reads attacker-controllable text line-by-line — the
+// Matrix Market parser, the service's JSON-lines request decoder —
+// must not let one newline-free stream grow a std::string without
+// bound.  read_bounded_line is std::getline with a byte cap: a line
+// longer than `max_bytes` throws a typed ParseError naming the source
+// (`what`) instead of exhausting memory, and everything shorter behaves
+// exactly like std::getline ('\n' consumed and dropped, '\r' kept for
+// the caller's whitespace handling, false on immediate EOF).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "util/types.hpp"
+
+namespace nmdt {
+
+/// Default cap, generous for every legitimate producer: a Matrix Market
+/// entry line is tens of bytes, a service request line well under 4 KiB.
+inline constexpr usize kDefaultMaxLineBytes = usize{1} << 20;  // 1 MiB
+
+/// Read one '\n'-terminated line (the terminator is consumed but not
+/// stored) into `line`.  Returns false when the stream is already at
+/// EOF; throws ParseError("<what> line exceeds ...") once the line
+/// passes `max_bytes` — the stream is left mid-line and should be
+/// abandoned.
+bool read_bounded_line(std::istream& is, std::string& line,
+                       usize max_bytes = kDefaultMaxLineBytes,
+                       const char* what = "input");
+
+}  // namespace nmdt

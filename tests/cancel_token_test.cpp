@@ -1,0 +1,200 @@
+// CancelToken concurrency tests: parent/child chaining, typed
+// deadline/cancellation polling, and — the service-tier hardening
+// case — concurrent request()/set_deadline()/poll() hammering from
+// many threads (the tsan preset runs this suite under ThreadSanitizer).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include "util/cancel.hpp"
+#include "util/error.hpp"
+
+namespace nmdt {
+namespace {
+
+using Clock = CancelToken::Clock;
+using std::chrono::milliseconds;
+
+TEST(CancelToken, FreshTokenIsNotCancelled) {
+  CancelToken token;
+  EXPECT_FALSE(token.cancelled());
+  EXPECT_EQ(token.reason(), CancelReason::kNone);
+  EXPECT_NO_THROW(token.poll());
+}
+
+TEST(CancelToken, FirstRequestWinsAndCopiesShareState) {
+  CancelToken token;
+  const CancelToken copy = token;
+  token.request(CancelReason::kUser);
+  token.request(CancelReason::kDeadline);  // ignored: first request won
+  EXPECT_TRUE(copy.cancelled());
+  EXPECT_EQ(copy.reason(), CancelReason::kUser);
+  EXPECT_THROW(copy.poll(), CancelledError);
+}
+
+TEST(CancelToken, PollThrowsTypedErrorPerReason) {
+  CancelToken user;
+  user.request(CancelReason::kUser);
+  EXPECT_THROW(user.poll(), CancelledError);
+
+  CancelToken deadline;
+  deadline.set_deadline(Clock::now() - milliseconds(1), CancelReason::kDeadline);
+  EXPECT_TRUE(deadline.cancelled());
+  EXPECT_THROW(deadline.poll(), TimeoutError);
+
+  CancelToken suite;
+  suite.set_deadline(Clock::now() - milliseconds(1), CancelReason::kSuiteDeadline);
+  EXPECT_THROW(suite.poll(), CancelledError);
+}
+
+TEST(CancelToken, FutureDeadlineExpiresWithoutAnyRequest) {
+  CancelToken token;
+  token.set_deadline(Clock::now() + milliseconds(20), CancelReason::kDeadline);
+  EXPECT_FALSE(token.cancelled());
+  std::this_thread::sleep_for(milliseconds(40));
+  EXPECT_TRUE(token.cancelled());
+  EXPECT_EQ(token.reason(), CancelReason::kDeadline);
+}
+
+TEST(CancelToken, ChildObservesParentCancellation) {
+  CancelToken parent;
+  CancelToken child = CancelToken::child_of(parent);
+  CancelToken grandchild = CancelToken::child_of(child);
+  EXPECT_FALSE(grandchild.cancelled());
+  parent.request(CancelReason::kUser);
+  EXPECT_TRUE(child.cancelled());
+  EXPECT_TRUE(grandchild.cancelled());
+  EXPECT_EQ(grandchild.reason(), CancelReason::kUser);
+  EXPECT_THROW(grandchild.poll(), CancelledError);
+}
+
+TEST(CancelToken, ChildCancellationDoesNotPropagateUpward) {
+  // The service invariant: expiring one request's token (a child of the
+  // server token) must not take the server — or sibling requests —
+  // down with it.
+  CancelToken server;
+  CancelToken victim = CancelToken::child_of(server);
+  CancelToken sibling = CancelToken::child_of(server);
+  victim.set_deadline(Clock::now() - milliseconds(1), CancelReason::kDeadline);
+  EXPECT_TRUE(victim.cancelled());
+  EXPECT_FALSE(server.cancelled());
+  EXPECT_FALSE(sibling.cancelled());
+}
+
+TEST(CancelToken, OwnReasonShadowsAncestorReason) {
+  CancelToken parent;
+  CancelToken child = CancelToken::child_of(parent);
+  child.set_deadline(Clock::now() - milliseconds(1), CancelReason::kDeadline);
+  parent.request(CancelReason::kUser);
+  // The child's own deadline is consulted before the ancestor chain.
+  EXPECT_EQ(child.reason(), CancelReason::kDeadline);
+  EXPECT_THROW(child.poll(), TimeoutError);
+}
+
+TEST(CancelToken, ConcurrentRequestAndDeadlineHammerFromManyThreads) {
+  // N threads race request()s, set_deadline()s, and child creation
+  // against constant poll()ing — the exact contention pattern of the
+  // request daemon's submit edge (admission thread arming deadlines)
+  // racing its signal handler (request from signal context) and worker
+  // polls.  TSan must stay quiet and exactly one reason must win.
+  constexpr int kRounds = 50;
+  constexpr int kThreads = 8;
+  for (int round = 0; round < kRounds; ++round) {
+    CancelToken root;
+    std::atomic<bool> go{false};
+    std::atomic<int> observed_cancelled{0};
+    std::vector<std::thread> threads;
+    threads.reserve(kThreads);
+    for (int t = 0; t < kThreads; ++t) {
+      threads.emplace_back([&, t] {
+        while (!go.load(std::memory_order_acquire)) std::this_thread::yield();
+        switch (t % 4) {
+          case 0:
+            root.request(CancelReason::kUser);
+            break;
+          case 1:
+            root.set_deadline(Clock::now() - milliseconds(1),
+                              CancelReason::kDeadline);
+            break;
+          case 2:
+            root.set_deadline(Clock::now() + std::chrono::hours(1),
+                              CancelReason::kDeadline);
+            break;
+          default: {
+            CancelToken child = CancelToken::child_of(root);
+            for (int i = 0; i < 100; ++i) {
+              try {
+                child.poll();
+              } catch (const Error&) {
+                observed_cancelled.fetch_add(1, std::memory_order_relaxed);
+                break;
+              }
+              std::this_thread::yield();
+            }
+            break;
+          }
+        }
+      });
+    }
+    go.store(true, std::memory_order_release);
+    for (auto& th : threads) th.join();
+    // A request() definitely ran, so the token ends cancelled with a
+    // typed reason — whichever store won the race.
+    EXPECT_TRUE(root.cancelled());
+    const CancelReason r = root.reason();
+    EXPECT_TRUE(r == CancelReason::kUser || r == CancelReason::kDeadline);
+    EXPECT_THROW(root.poll(), Error);
+  }
+}
+
+TEST(CancelToken, ConcurrentChildChainingUnderParentCancellation) {
+  // Threads build child chains while another cancels the root: every
+  // chain, whenever it was built, must observe the cancellation.
+  CancelToken root;
+  std::atomic<bool> go{false};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&] {
+      while (!go.load(std::memory_order_acquire)) std::this_thread::yield();
+      for (int i = 0; i < 200; ++i) {
+        CancelToken child = CancelToken::child_of(root);
+        CancelToken grand = CancelToken::child_of(child);
+        if (root.cancelled()) {
+          EXPECT_TRUE(grand.cancelled());
+        }
+      }
+    });
+  }
+  threads.emplace_back([&] {
+    while (!go.load(std::memory_order_acquire)) std::this_thread::yield();
+    root.request(CancelReason::kUser);
+  });
+  go.store(true, std::memory_order_release);
+  for (auto& th : threads) th.join();
+  CancelToken late = CancelToken::child_of(root);
+  EXPECT_TRUE(late.cancelled());
+}
+
+TEST(CancelToken, ScopeInstallsAndRestoresThreadLocal) {
+  EXPECT_EQ(current_cancel_token(), nullptr);
+  EXPECT_NO_THROW(poll_cancellation());  // agnostic outside any scope
+  CancelToken outer_token;
+  {
+    CancelScope outer(outer_token);
+    ASSERT_NE(current_cancel_token(), nullptr);
+    CancelToken inner_token;
+    inner_token.request(CancelReason::kUser);
+    {
+      CancelScope inner(inner_token);
+      EXPECT_THROW(poll_cancellation(), CancelledError);
+    }
+    EXPECT_NO_THROW(poll_cancellation());  // outer restored
+  }
+  EXPECT_EQ(current_cancel_token(), nullptr);
+}
+
+}  // namespace
+}  // namespace nmdt

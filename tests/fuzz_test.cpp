@@ -11,8 +11,10 @@
 #include "formats/serialize.hpp"
 #include "kernels/spmm.hpp"
 #include "matgen/generators.hpp"
+#include "service/protocol.hpp"
 #include "transform/engine.hpp"
 #include "util/error.hpp"
+#include "util/line_reader.hpp"
 #include "util/rng.hpp"
 
 #include <cstdio>
@@ -280,6 +282,95 @@ TEST(Fuzz, StaleJournalFingerprintIsRejectedBeforeResume) {
   EXPECT_THROW(verify_journal(replay, 0xbeef, 4, 8, 4), ConfigError);
   EXPECT_THROW(verify_journal(replay, 0xfeed, 5, 8, 4), ConfigError);
   EXPECT_THROW(verify_journal(replay, 0xfeed, 4, 16, 4), ConfigError);
+}
+
+TEST(Fuzz, MutatedServiceRequestsParseOrThrowTypedError) {
+  // The daemon's request decoder is the service's attack surface:
+  // random single-byte corruptions of a valid request line must parse
+  // to a valid Request or throw a typed ParseError — never crash, never
+  // throw anything untyped.
+  const std::string valid =
+      R"({"id":"r1","tenant":"t","matrix":"gen:uniform:64x64:0.05:1","k":16,)"
+      R"("b_seed":7,"kernel":"auto","precision":"f32","deadline_ms":100,)"
+      R"("return_c":false})";
+  // Sanity: the uncorrupted line parses.
+  ASSERT_EQ(service::parse_request(valid, 1).k, 16);
+
+  Rng rng(0xf025);
+  int benign = 0, rejected = 0;
+  for (int trial = 0; trial < 500; ++trial) {
+    std::string line = valid;
+    const int mutations = 1 + static_cast<int>(rng.below(3));
+    for (int m = 0; m < mutations; ++m) {
+      const usize pos = rng.below(line.size());
+      switch (rng.below(3)) {
+        case 0: line[pos] = static_cast<char>(rng.below(256)); break;
+        case 1: line.erase(pos, 1); break;
+        default: {
+          const char insert[2] = {static_cast<char>(rng.below(128)), '\0'};
+          line = line.substr(0, pos) + insert + line.substr(pos);
+          break;
+        }
+      }
+      if (line.empty()) line = "x";
+    }
+    try {
+      const service::Request req = service::parse_request(line, 1);
+      EXPECT_GE(req.k, 1);  // every accepted request satisfies the caps
+      EXPECT_LE(req.k, service::kMaxRequestK);
+      EXPECT_FALSE(req.matrix.empty());
+      ++benign;
+    } catch (const ParseError&) {
+      ++rejected;
+    }
+  }
+  EXPECT_EQ(benign + rejected, 500);
+  EXPECT_GT(rejected, 0);  // corruptions really were exercised
+}
+
+TEST(Fuzz, RandomGarbageRequestLinesAlwaysThrowTyped) {
+  Rng rng(0xf026);
+  for (int trial = 0; trial < 200; ++trial) {
+    std::string line;
+    const usize len = rng.below(120);
+    for (usize i = 0; i < len; ++i) {
+      line.push_back(static_cast<char>(rng.below(256)));
+    }
+    try {
+      (void)service::parse_request(line, static_cast<u64>(trial));
+    } catch (const ParseError&) {
+      // typed rejection is the expected outcome for garbage
+    }
+  }
+}
+
+TEST(Fuzz, BoundedLineReaderCapsNewlineFreeStreams) {
+  // A newline-free stream (or one oversized line) must surface as a
+  // typed ParseError at the cap, not as unbounded buffering.
+  std::istringstream huge(std::string(4096, 'a'));
+  std::string line;
+  EXPECT_THROW(read_bounded_line(huge, line, 1024, "request"), ParseError);
+
+  // At or under the cap, behavior matches std::getline exactly.
+  std::istringstream ok("short\r\nsecond line\nlast");
+  ASSERT_TRUE(read_bounded_line(ok, line, 1024, "request"));
+  EXPECT_EQ(line, "short\r");  // '\r' kept, '\n' consumed and dropped
+  ASSERT_TRUE(read_bounded_line(ok, line, 1024, "request"));
+  EXPECT_EQ(line, "second line");
+  ASSERT_TRUE(read_bounded_line(ok, line, 1024, "request"));
+  EXPECT_EQ(line, "last");  // unterminated final line still returned
+  EXPECT_FALSE(read_bounded_line(ok, line, 1024, "request"));  // EOF
+}
+
+TEST(Fuzz, MatrixMarketOverlongLineIsATypedParseError) {
+  // The matrix_market reader shares the bounded-line reader: a header
+  // comment longer than the cap is rejected, not buffered without
+  // bound.
+  std::string text = "%%MatrixMarket matrix coordinate real general\n%";
+  text.append(kDefaultMaxLineBytes + 16, 'c');
+  text += "\n2 2 1\n1 1 1.0\n";
+  std::istringstream is(text);
+  EXPECT_THROW(read_matrix_market(is), ParseError);
 }
 
 TEST(Fuzz, EngineHandlesArbitraryValidInputs) {

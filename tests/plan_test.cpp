@@ -190,6 +190,136 @@ TEST(PlanCache, ConcurrentHammerRacingCancellationConservesStats) {
   EXPECT_LE(s.bytes, s.byte_budget);
 }
 
+TEST(PlanCache, SingleFlightBuildsOnceUnderConcurrentRequests) {
+  // N threads released simultaneously against one cold key: exactly one
+  // builds, the rest rendezvous on the in-flight build and share its
+  // plan.  The stats conservation holds with the shares counted as
+  // hits: hits + misses == lookups, misses == builds.
+  constexpr int kThreads = 8;
+  const Csr A = gen_uniform(200, 200, 0.05, 21);
+  const PlanOptions opts;
+  PlanCache cache;
+
+  std::atomic<int> ready{0};
+  std::atomic<bool> go{false};
+  std::vector<std::shared_ptr<const SpmmPlan>> plans(kThreads);
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      ready.fetch_add(1);
+      while (!go.load(std::memory_order_acquire)) std::this_thread::yield();
+      plans[static_cast<usize>(t)] = cache.get_or_build(A, opts);
+    });
+  }
+  while (ready.load() < kThreads) std::this_thread::yield();
+  go.store(true, std::memory_order_release);
+  for (auto& th : threads) th.join();
+
+  // Everyone got the same plan instance — nobody built a duplicate.
+  for (int t = 1; t < kThreads; ++t) EXPECT_EQ(plans[0].get(), plans[static_cast<usize>(t)].get());
+  const PlanCacheStats s = cache.stats();
+  EXPECT_EQ(s.misses, 1u);
+  EXPECT_EQ(s.hits, static_cast<u64>(kThreads - 1));
+  EXPECT_EQ(s.hits + s.misses, static_cast<u64>(kThreads));
+  // Latecomers that arrived while the build was in flight are counted
+  // as shares; ones that arrived after it landed are plain hits.  Both
+  // are hits, so conservation holds either way.
+  EXPECT_LE(s.single_flight_shares, s.hits);
+  EXPECT_EQ(s.entries, 1u);
+}
+
+TEST(PlanCache, SingleFlightSharesABuildFailure) {
+  // Latecomers joined to a failing build must observe the builder's
+  // typed exception, and the key must stay buildable afterwards.
+  const Csr A = gen_uniform(64, 64, 0.1, 5);
+  PlanOptions opts;
+  opts.profile_sample_fraction = -1.0;  // the build throws ConfigError
+  PlanCache cache;
+  constexpr int kThreads = 4;
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      try {
+        cache.get_or_build(A, opts);
+      } catch (const Error&) {
+        failures.fetch_add(1);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(failures.load(), kThreads);  // every caller saw a typed error
+  EXPECT_EQ(cache.stats().entries, 0u);  // nothing poisoned the cache
+}
+
+TEST(PlanCache, TtlExpiresEntriesAndRebuilds) {
+  const Csr A = gen_uniform(100, 100, 0.05, 9);
+  const PlanOptions opts;
+  PlanCache cache(PlanCache::kDefaultByteBudget, /*ttl_ms=*/5.0);
+  const auto first = cache.get_or_build(A, opts);
+  const auto quick = cache.get_or_build(A, opts);  // fresh: a plain hit
+  EXPECT_EQ(first.get(), quick.get());
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  bool was_hit = true;
+  const auto rebuilt = cache.get_or_build(A, opts, &was_hit);
+  EXPECT_FALSE(was_hit);
+  EXPECT_NE(first.get(), rebuilt.get());  // the stale plan was evicted
+  const PlanCacheStats s = cache.stats();
+  EXPECT_EQ(s.ttl_evictions, 1u);
+  EXPECT_EQ(s.misses, 2u);
+  EXPECT_EQ(s.hits, 1u);
+  EXPECT_EQ(s.entries, 1u);
+}
+
+TEST(PlanCache, ZeroTtlNeverExpires) {
+  const Csr A = gen_uniform(64, 64, 0.1, 3);
+  PlanCache cache;  // ttl_ms = 0: entries live forever
+  const auto p1 = cache.get_or_build(A, {});
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  const auto p2 = cache.get_or_build(A, {});
+  EXPECT_EQ(p1.get(), p2.get());
+  EXPECT_EQ(cache.stats().ttl_evictions, 0u);
+}
+
+TEST(PlanCache, RejectsNegativeTtl) {
+  EXPECT_THROW(PlanCache(PlanCache::kDefaultByteBudget, -1.0), ConfigError);
+}
+
+TEST(PlanCache, SingleFlightHammerConservesStatsUnderChurn) {
+  // The service-tier composition: many threads, several keys, a tight
+  // budget (evictions), and single-flight rendezvous all racing.  The
+  // conservation invariant must hold exactly, and builds must equal
+  // misses.
+  constexpr int kThreads = 6;
+  const PlanOptions opts;
+  std::vector<Csr> matrices;
+  for (u64 s = 1; s <= 4; ++s) matrices.push_back(gen_uniform(160, 160, 0.05, s));
+  const i64 one = build_plan(matrices[0], opts)->bytes();
+  PlanCache cache(one * 2);  // room for ~2 of 4
+
+  std::atomic<u64> lookups{0};
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      Rng rng(0x51f7 + static_cast<u64>(t));
+      while (!stop.load(std::memory_order_relaxed)) {
+        cache.get_or_build(matrices[rng.below(matrices.size())], opts);
+        lookups.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+  while (lookups.load(std::memory_order_relaxed) < 300) std::this_thread::yield();
+  stop.store(true, std::memory_order_relaxed);
+  for (auto& th : threads) th.join();
+
+  const PlanCacheStats s = cache.stats();
+  EXPECT_EQ(s.hits + s.misses, lookups.load());
+  EXPECT_GT(s.evictions, 0u);
+  EXPECT_LE(s.bytes, s.byte_budget);
+}
+
 TEST(Plan, ConvertsEveryOperandFormat) {
   const Csr A = gen_powerlaw_rows(300, 200, 0.02, 1.2, 5);
   const auto plan = build_plan(A);

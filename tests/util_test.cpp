@@ -243,5 +243,41 @@ TEST(Cli, RejectsPositional) {
   EXPECT_THROW(CliParser(2, argv), ParseError);
 }
 
+TEST(ExitCodes, PinsTheDocumentedErrorToExitCodeTable) {
+  // The README exit-code table, pinned so scripts (and tier1.sh) can
+  // rely on it: every typed error class maps to a distinct code, both
+  // live objects and exceptions rebuilt from their wire descriptions.
+  EXPECT_EQ(exit_code_for(ParseError("x")), 2);
+  EXPECT_EQ(exit_code_for(FormatError("x")), 3);
+  EXPECT_EQ(exit_code_for(ConfigError("x")), 4);
+  EXPECT_EQ(exit_code_for(FaultError("x")), 5);
+  EXPECT_EQ(exit_code_for(TimeoutError("x")), 6);
+  EXPECT_EQ(exit_code_for(OverloadError("x")), 7);
+  EXPECT_EQ(exit_code_for(CancelledError("x")), 130);
+  EXPECT_EQ(exit_code_for(std::runtime_error("x")), 1);
+  EXPECT_EQ(exit_code_for(Error("x")), 1);  // untyped base stays generic
+}
+
+TEST(ExitCodes, DerivedClassesKeepTheirSlotAfterDescriptionRoundTrip) {
+  // describe_exception → exception_from_description → exit_code_for
+  // must agree with the original object's code (the journal replays
+  // errors through this path).
+  const OverloadError shed("queue full", 250);
+  EXPECT_EQ(shed.retry_after_ms(), 250);
+  try {
+    std::rethrow_exception(exception_from_description(describe_exception(shed)));
+    FAIL() << "expected a rethrow";
+  } catch (const std::exception& e) {
+    EXPECT_EQ(exit_code_for(e), 7);
+  }
+  try {
+    std::rethrow_exception(
+        exception_from_description(describe_exception(TimeoutError("late"))));
+    FAIL() << "expected a rethrow";
+  } catch (const std::exception& e) {
+    EXPECT_EQ(exit_code_for(e), 6);
+  }
+}
+
 }  // namespace
 }  // namespace nmdt
