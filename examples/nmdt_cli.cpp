@@ -46,6 +46,7 @@
 #include "obs/profiler.hpp"
 #include "obs/trace.hpp"
 #include "obs/trace_analysis.hpp"
+#include "proc/suite.hpp"
 #include "transform/comparator.hpp"
 #include "util/cli.hpp"
 #include "util/error.hpp"
@@ -277,17 +278,27 @@ int cmd_suite(const CliParser& cli) {
   };
   SpmmConfig suite_cfg = evaluation_config(4096, K);
   suite_cfg.precision = parse_precision(cli.get("precision", "f32"));
+  // --isolate-workers N runs every row/arm in supervised worker
+  // *processes*: crashes are retried with backoff, poison arms are
+  // quarantined as WorkerError, and rows stay bit-identical to the
+  // in-process path at any worker count.
+  const int isolate = static_cast<int>(cli.get_int("isolate-workers", 0));
+  proc::ProcOptions proc_opts;
+  proc_opts.workers = isolate;
+  proc_opts.worker_mem_mb = cli.get_int("worker-mem-mb", 0);
+  const auto suite_progress = [](usize done, usize total, const SuiteRow& r) {
+    if (!r.ok()) {
+      std::cerr << r.spec.name << ": " << r.failure_summary() << "\n";
+    } else if (done % 25 == 0) {
+      std::cerr << done << "/" << total << "\n";
+    }
+  };
   std::vector<SuiteRow> rows;
   try {
-    rows = run_suite(standard_suite(scale), suite_cfg, K,
-                     [](usize done, usize total, const SuiteRow& r) {
-                       if (!r.ok()) {
-                         std::cerr << r.spec.name << ": " << r.failure_summary() << "\n";
-                       } else if (done % 25 == 0) {
-                         std::cerr << done << "/" << total << "\n";
-                       }
-                     },
-                     opts);
+    rows = isolate > 0
+               ? proc::run_suite_isolated(standard_suite(scale), suite_cfg, K,
+                                          suite_progress, opts, proc_opts)
+               : run_suite(standard_suite(scale), suite_cfg, K, suite_progress, opts);
   } catch (const CancelledError&) {
     resume_hint();
     throw;
@@ -393,7 +404,8 @@ int main(int argc, char** argv) {
   cli.declare("metrics", "write a counters/gauges/histograms JSON snapshot (any cmd)");
   cli.declare("fault-site",
               "fault injection site: none | tile_row_id | tile_col_idx | tile_val | "
-              "cache_entry | suite_arm | shard_exec | serialized_stream (default none)");
+              "cache_entry | suite_arm | shard_exec | serialized_stream | "
+              "worker_abort | worker_hang (default none)");
   cli.declare("fault-rate", "per-event injection probability in [0, 1] (default 0)");
   cli.declare("fault-seed", "seed of the deterministic fault sequence (default 0)");
   cli.declare("error-policy",
@@ -412,6 +424,14 @@ int main(int argc, char** argv) {
   cli.declare("suite-timeout",
               "deadline for the whole sweep in ms; expiry cancels in-flight arms "
               "and exits 6 (suite; default 0 = off)");
+  cli.declare("isolate-workers",
+              "run the sweep in N supervised worker processes: crashes retry "
+              "with backoff, poison arms become typed WorkerError rows (exit 8 "
+              "under fail_fast), output stays bit-identical to in-process "
+              "(suite; default 0 = in-process)");
+  cli.declare("worker-mem-mb",
+              "RLIMIT_AS cap per isolated worker in MiB (suite; default 0 = "
+              "unlimited)");
   cli.declare("perf",
               "attach hardware-counter args (hw.*) to kernel/plan/arm trace "
               "spans via perf_event_open, falling back to rusage where "

@@ -20,12 +20,16 @@
 // snapshot, and exits 0.  A second signal escalates: in-flight work is
 // cancelled cooperatively and answered with CancelledError responses —
 // still exactly one response per accepted request, still exit 0.
-// Operational errors on a single request never kill the daemon; only a
-// malformed command line exits non-zero (the README exit-code table).
+// SIGHUP flushes a live --metrics snapshot without draining (poll the
+// daemon's counters mid-run).  Operational errors on a single request
+// never kill the daemon; only a malformed command line exits non-zero
+// (the README exit-code table).
 #include <atomic>
+#include <chrono>
 #include <csignal>
 #include <iostream>
 #include <limits>
+#include <thread>
 
 #include "fault/fault.hpp"
 #include "obs/metrics.hpp"
@@ -56,6 +60,15 @@ extern "C" void on_shutdown_signal(int) {
   }
 }
 
+/// SIGHUP → "flush a live metrics snapshot now, keep serving".  The
+/// handler only sets this flag; a housekeeping thread does the actual
+/// file write (write_json_file is nowhere near async-signal-safe).
+std::atomic<bool> g_flush_metrics{false};
+
+extern "C" void on_flush_signal(int) {
+  g_flush_metrics.store(true, std::memory_order_relaxed);
+}
+
 void install_signal_handlers() {
   (void)escalation_token();  // construct before any signal can arrive
 #if defined(__unix__) || defined(__APPLE__)
@@ -65,6 +78,13 @@ void install_signal_handlers() {
   sa.sa_flags = 0;  // no SA_RESTART: interrupt the blocking stdin read
   sigaction(SIGINT, &sa, nullptr);
   sigaction(SIGTERM, &sa, nullptr);
+  struct sigaction hup{};
+  hup.sa_handler = on_flush_signal;
+  sigemptyset(&hup.sa_mask);
+  // SA_RESTART on purpose: a flush must NOT interrupt the blocking
+  // stdin read — the daemon keeps serving, only the snapshot changes.
+  hup.sa_flags = SA_RESTART;
+  sigaction(SIGHUP, &hup, nullptr);
 #else
   std::signal(SIGINT, on_shutdown_signal);
   std::signal(SIGTERM, on_shutdown_signal);
@@ -85,6 +105,9 @@ ServerOptions options_from(const CliParser& cli) {
   opts.coalesce_max_k = static_cast<index_t>(cli.get_int("coalesce-max-k", 256));
   opts.jobs = static_cast<int>(cli.get_int("jobs", 1));
   opts.fault_fallback = !cli.has("no-fault-fallback");
+  opts.queue_hint_ms = cli.get_double("queue-hint-ms", 10.0);
+  opts.isolate_workers = static_cast<int>(cli.get_int("isolate-workers", 0));
+  opts.worker_mem_mb = cli.get_int("worker-mem-mb", 0);
   return opts;
 }
 
@@ -110,6 +133,16 @@ int main(int argc, char** argv) {
               "execution; 1 disables coalescing (default 4)");
   cli.declare("coalesce-max-k", "max combined B columns per batch (default 256)");
   cli.declare("jobs", "intra-kernel shard threads per execution (default 1)");
+  cli.declare("queue-hint-ms",
+              "expected per-request service time seeding the admission EWMA, "
+              "so cold-start retry_after_ms hints are honest (default 10)");
+  cli.declare("isolate-workers",
+              "execute kernels in N supervised worker processes: crashes are "
+              "respawned+retried, poison requests answered with WorkerError; "
+              "0 = in-process (default 0)");
+  cli.declare("worker-mem-mb",
+              "address-space rlimit per isolated worker in MiB; 0 = unlimited "
+              "(default 0)");
   cli.declare("max-line-bytes",
               "request line byte cap; longer lines get a ParseError response "
               "(default 1 MiB)");
@@ -121,7 +154,7 @@ int main(int argc, char** argv) {
   cli.declare("fault-site",
               "fault injection site for chaos testing: none | tile_row_id | "
               "tile_col_idx | tile_val | cache_entry | suite_arm | shard_exec | "
-              "serialized_stream (default none)");
+              "serialized_stream | worker_abort | worker_hang (default none)");
   cli.declare("fault-rate", "per-event injection probability in [0, 1] (default 0)");
   cli.declare("fault-seed", "seed of the deterministic fault sequence (default 0)");
   if (cli.has("help")) {
@@ -157,7 +190,41 @@ int main(int argc, char** argv) {
     server.start();
     std::cerr << "nmdt_serve: ready (workers=" << opts.workers
               << " queue=" << opts.queue_capacity
-              << " coalesce=" << opts.coalesce_max << ")\n";
+              << " coalesce=" << opts.coalesce_max
+              << (opts.isolate_workers > 0
+                      ? " isolate=" + std::to_string(opts.isolate_workers)
+                      : std::string())
+              << ")\n";
+
+    // Housekeeping: service SIGHUP flush requests off the signal path.
+    // The read loop stays blocked in stdin (SA_RESTART), so this thread
+    // is the only place a live snapshot can be written from.  The guard
+    // joins on every exit path, including exceptions.
+    struct Housekeeper {
+      std::atomic<bool> stop{false};
+      std::thread thread;
+      ~Housekeeper() {
+        stop.store(true, std::memory_order_relaxed);
+        if (thread.joinable()) thread.join();
+      }
+    } housekeeper;
+    housekeeper.thread = std::thread([&] {
+      const auto service_flush = [&] {
+        if (!g_flush_metrics.exchange(false, std::memory_order_relaxed)) return;
+        if (!metrics_path.empty()) {
+          obs::MetricsRegistry::global().write_json_file(metrics_path);
+          std::cerr << "nmdt_serve: metrics snapshot flushed to "
+                    << metrics_path << "\n";
+        } else {
+          std::cerr << "nmdt_serve: SIGHUP ignored (no --metrics path)\n";
+        }
+      };
+      while (!housekeeper.stop.load(std::memory_order_relaxed)) {
+        service_flush();
+        std::this_thread::sleep_for(std::chrono::milliseconds(100));
+      }
+      service_flush();  // a HUP racing shutdown is serviced, not dropped
+    });
 
     std::string line;
     u64 line_no = 0;

@@ -86,14 +86,31 @@ def serial_times(report):
     return out
 
 
+HOST_FIELDS = ("cpu_model", "host_cores", "simd_tier", "compiler",
+               "build_type", "os")
+
+
 def host_fingerprint(report):
     """Comparable-host identity, or None for reports predating the field."""
     host = report.get("host")
     if not isinstance(host, dict):
         return None
-    return "|".join(str(host.get(f, "?")) for f in
-                    ("cpu_model", "host_cores", "simd_tier", "compiler",
-                     "build_type", "os"))
+    return "|".join(str(host.get(f, "?")) for f in HOST_FIELDS)
+
+
+def host_field_diff(a_fp, b_fp):
+    """Per-field lines for the fields where two fingerprints disagree —
+    'cpu_model: Xeon X -> EPYC Y', so the operator sees *what* changed
+    (new toolchain? different box? debug build?) without eyeballing two
+    opaque pipe-joined strings."""
+    a_parts, b_parts = a_fp.split("|"), b_fp.split("|")
+    lines = []
+    for field, a_val, b_val in zip(HOST_FIELDS, a_parts, b_parts):
+        if a_val != b_val:
+            lines.append(f"    {field}: {a_val} -> {b_val}")
+    if not lines:  # differing fingerprints must differ somewhere visible
+        lines.append(f"    (fingerprint shape differs: {a_fp!r} vs {b_fp!r})")
+    return lines
 
 
 def check_hosts_comparable(base, curr, base_label="baseline"):
@@ -113,6 +130,8 @@ def check_hosts_comparable(base, curr, base_label="baseline"):
               "gate skipped:\n"
               f"  {base_label}: {bfp}\n"
               f"  current:  {cfp}\n"
+              "  fields that differ:\n" +
+              "\n".join(host_field_diff(bfp, cfp)) + "\n"
               "  (regenerate the baseline on this host to re-arm the gate)")
         return False
     return True
@@ -163,6 +182,8 @@ def run_history_mode(args):
     entries = load_history(args.history)
     cfp = host_fingerprint(curr)
 
+    mismatched_hosts = {}  # fingerprint -> entry count, same workload only
+
     def comparable(e):
         if any(e.get(k) != curr.get(k) for k in ("matrix", "k")):
             return False
@@ -171,12 +192,22 @@ def run_history_mode(args):
         if e.get("precision", "f32") != curr.get("precision", "f32"):
             return False
         efp = host_fingerprint(e)
-        return efp is None or cfp is None or efp == cfp
+        if efp is not None and cfp is not None and efp != cfp:
+            mismatched_hosts[efp] = mismatched_hosts.get(efp, 0) + 1
+            return False
+        return True
 
     matched = [e for e in entries if comparable(e)]
     skipped = len(entries) - len(matched)
     print(f"check_serial_perf: history {args.history}: {len(entries)} entries, "
           f"{len(matched)} comparable ({skipped} other workload/host)")
+    for efp, count in mismatched_hosts.items():
+        # Same workload, different host: say exactly which provenance
+        # fields diverged so a toolchain/box change is diagnosable from
+        # the gate log alone.
+        print(f"check_serial_perf: HOST MISMATCH — {count} same-workload "
+              "history entries excluded; fields that differ:\n" +
+              "\n".join(host_field_diff(efp, cfp)))
     if not matched:
         print("check_serial_perf: no comparable history — nothing to gate "
               "against (first run on this host/workload)")

@@ -188,6 +188,41 @@ timeout 60 ./build/examples/example_trace_lint --metrics "$service_dir/metrics.j
 grep -q "service.completed" "$service_dir/metrics.json"
 rm -f "$service_dir/requests.fifo"
 
+echo "==== tier-1: supervisor chaos (isolated suite + kill -9 = same bytes) ===="
+# The crash-isolation headline: a process-isolated sweep with workers
+# randomly abort()ing (worker_abort fires in the child; retries re-draw
+# per attempt, so every arm eventually lands) AND an external kill -9
+# of a live worker mid-sweep must produce a CSV byte-identical to the
+# plain in-process run — crashes cost retries, never correctness.
+proc_dir=build/proc_smoke
+rm -rf "$proc_dir" && mkdir -p "$proc_dir"
+timeout 600 ./build/examples/example_nmdt_cli --cmd suite --scale tiny --k 8 \
+  --out "$proc_dir/ref.csv"
+timeout 600 ./build/examples/example_nmdt_cli --cmd suite --scale tiny --k 8 \
+  --isolate-workers 3 --fault-site worker_abort --fault-rate 0.08 \
+  --fault-seed 7 --metrics "$proc_dir/metrics.json" \
+  --out "$proc_dir/isolated.csv" &
+suite_pid=$!
+# Best-effort external kill: SIGKILL one forked worker while the sweep
+# runs (the supervisor must respawn it and re-dispatch its arm).  The
+# backgrounded pid is the `timeout` wrapper, so workers are two levels
+# down: timeout -> nmdt_cli -> worker.
+for _ in 1 2 3 4 5 6 7 8 9 10; do
+  cli=$(pgrep -P "$suite_pid" | head -n 1 || true)
+  victim=""
+  if [[ -n "$cli" ]]; then victim=$(pgrep -P "$cli" | head -n 1 || true); fi
+  if [[ -n "$victim" ]]; then kill -9 "$victim" 2>/dev/null || true; break; fi
+  sleep 0.05
+done
+rc=0; wait "$suite_pid" || rc=$?
+test "$rc" -eq 0
+cmp "$proc_dir/ref.csv" "$proc_dir/isolated.csv"
+# The supervisor really did absorb crashes (injected and/or kill -9).
+crashes=$(grep -o '"proc.crashes": [0-9]*' "$proc_dir/metrics.json" \
+  | grep -o '[0-9]*$')
+test -n "$crashes" && test "$crashes" -ge 1
+timeout 60 ./build/examples/example_trace_lint --metrics "$proc_dir/metrics.json"
+
 if [[ "$run_tsan" == 1 ]]; then
   echo "==== tier-1: tsan preset (concurrency tests) ===="
   timeout 600 cmake --preset tsan

@@ -208,6 +208,21 @@ constexpr u32 kMaxFrameBytes = kMaxStringBytes + 256;
 
 }  // namespace
 
+std::string encode_profile(const MatrixProfile& profile) {
+  ByteWriter w;
+  put_profile(w, profile);
+  return w.out;
+}
+
+MatrixProfile decode_profile(std::string_view bytes) {
+  ByteReader r{bytes.data(), bytes.size()};
+  MatrixProfile p = get_profile(r);
+  if (r.left != 0) {
+    throw FormatError("malformed encoded MatrixProfile: trailing bytes");
+  }
+  return p;
+}
+
 u64 suite_fingerprint(std::span<const MatrixSpec> specs, const SpmmConfig& cfg,
                       index_t K, int arm_count) {
   u64 h = fnv1a64(nullptr, 0);

@@ -98,6 +98,14 @@ struct JournalReplay {
   bool empty() const { return !has_header && rows.empty(); }
 };
 
+/// Flat little-endian byte encoding of a MatrixProfile — the exact
+/// field layout journal row_planned entries use.  Shared with the
+/// worker-process pipe protocol (src/proc) so a profile that crossed a
+/// process boundary journals bit-identically to one produced in
+/// process.  decode throws FormatError on a truncated buffer.
+std::string encode_profile(const MatrixProfile& profile);
+MatrixProfile decode_profile(std::string_view bytes);
+
 /// Parse a journal byte stream.  Incomplete trailing frames are dropped
 /// (torn_tail); an empty stream yields an empty replay (fresh start).
 /// Throws ParseError on bad magic/version and FormatError on a CRC

@@ -18,6 +18,8 @@ const char* site_name(FaultSite site) {
     case FaultSite::kSuiteArm: return "suite_arm";
     case FaultSite::kShardExec: return "shard_exec";
     case FaultSite::kSerializedStream: return "serialized_stream";
+    case FaultSite::kWorkerAbort: return "worker_abort";
+    case FaultSite::kWorkerHang: return "worker_hang";
   }
   return "unknown";
 }
@@ -25,12 +27,14 @@ const char* site_name(FaultSite site) {
 FaultSite parse_site(const std::string& name) {
   for (FaultSite s : {FaultSite::kNone, FaultSite::kTileRowId, FaultSite::kTileColIdx,
                       FaultSite::kTileVal, FaultSite::kCacheEntry, FaultSite::kSuiteArm,
-                      FaultSite::kShardExec, FaultSite::kSerializedStream}) {
+                      FaultSite::kShardExec, FaultSite::kSerializedStream,
+                      FaultSite::kWorkerAbort, FaultSite::kWorkerHang}) {
     if (name == site_name(s)) return s;
   }
   throw ConfigError("unknown fault site '" + name +
                     "' (expected one of: none, tile_row_id, tile_col_idx, tile_val, "
-                    "cache_entry, suite_arm, shard_exec, serialized_stream)");
+                    "cache_entry, suite_arm, shard_exec, serialized_stream, "
+                    "worker_abort, worker_hang)");
 }
 
 namespace {

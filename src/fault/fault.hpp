@@ -38,6 +38,8 @@ enum class FaultSite : int {
   kSuiteArm,          ///< transient (throwing) failure in a suite arm
   kShardExec,         ///< transient (throwing) failure in a kernel shard
   kSerializedStream,  ///< truncation of a serialized matrix on load
+  kWorkerAbort,       ///< supervised worker process abort()s on task receipt
+  kWorkerHang,        ///< supervised worker process wedges (heartbeats stop)
 };
 
 const char* site_name(FaultSite site);

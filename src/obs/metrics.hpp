@@ -92,6 +92,14 @@ class MetricsRegistry {
   void write_json(std::ostream& os) const;
   void write_json_file(const std::string& path) const;
 
+  /// Fork-safety hooks for proc::Supervisor, which fork()s worker
+  /// processes from a process that may have threads doing instrument
+  /// lookups: holding the registry lock across fork() guarantees the
+  /// child never inherits it in a locked state (its first counter()
+  /// call would deadlock otherwise).  Not for general use.
+  void fork_prepare() { mu_.lock(); }
+  void fork_release() { mu_.unlock(); }
+
  private:
   mutable std::mutex mu_;
   std::map<std::string, std::unique_ptr<Counter>> counters_;

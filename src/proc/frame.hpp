@@ -1,0 +1,110 @@
+// CRC-framed pipe protocol between the Supervisor and its worker
+// processes (src/proc/supervisor.hpp).
+//
+// Framing follows the checkpoint journal's convention (core/journal):
+//   frame := u32 payload_len | payload | u32 crc32(payload)
+// with payload[0] a FrameType tag and the rest type-specific fields.
+// The decoder is incremental — a pipe read() delivers arbitrary byte
+// slices — and strict: an implausible length, a CRC mismatch, an
+// unknown type tag, or an empty payload is a typed ParseError, never
+// UB and never a hang.  A *partial* trailing frame is simply "not yet"
+// (next() returns nullopt); on a pipe it only becomes an error when
+// the writer dies mid-frame, which the supervisor detects as EOF with
+// a non-idle decoder.
+//
+// Field-level encoding inside payloads uses WireWriter/WireReader:
+// little-endian fixed-width integers and u32-length-prefixed strings,
+// bounds-checked on the way out (ParseError, not FormatError — a torn
+// or flipped frame is a *protocol* failure of an untrusted byte
+// stream, like a malformed request line).
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "util/types.hpp"
+
+namespace nmdt::proc {
+
+enum class FrameType : u8 {
+  kHello = 1,      ///< worker → supervisor: ready (after rlimit/signal setup)
+  kTask = 2,       ///< supervisor → worker: one task dispatch
+  kResult = 3,     ///< worker → supervisor: one task outcome
+  kHeartbeat = 4,  ///< worker → supervisor: liveness ping
+  kShutdown = 5,   ///< supervisor → worker: exit cleanly
+};
+
+/// Payload cap (excluding the type tag).  Generous — result frames may
+/// carry dense C panels for the service backend — but finite, so a
+/// corrupt length prefix can never drive an allocation by itself.
+inline constexpr u32 kMaxFramePayloadBytes = u32{1} << 28;
+
+struct Frame {
+  FrameType type = FrameType::kHello;
+  std::string payload;  ///< type-specific fields (tag stripped)
+};
+
+/// One on-the-wire frame: length prefix, type tag, payload, CRC32.
+std::string encode_frame(FrameType type, std::string_view payload);
+
+/// Incremental frame parser over an untrusted byte stream.
+class FrameDecoder {
+ public:
+  /// Buffer `n` raw bytes from the pipe.
+  void feed(const void* data, usize n);
+
+  /// Next complete frame, or nullopt when more bytes are needed.
+  /// Throws ParseError on a corrupt frame (bad length, bad CRC,
+  /// unknown type, empty payload); the decoder is poisoned afterwards
+  /// and must be discarded.
+  std::optional<Frame> next();
+
+  /// True when no partial frame is buffered — EOF here is a clean
+  /// close, EOF with buffered bytes is a writer that died mid-frame.
+  bool idle() const { return off_ == buf_.size(); }
+
+ private:
+  std::string buf_;
+  usize off_ = 0;  ///< consumed prefix of buf_
+};
+
+/// Payload field writer (journal ByteWriter conventions).
+struct WireWriter {
+  std::string out;
+
+  void bytes(const void* p, usize n) { out.append(static_cast<const char*>(p), n); }
+  void put_u8(u8 v) { bytes(&v, sizeof(v)); }
+  void put_u32(u32 v) { bytes(&v, sizeof(v)); }
+  void put_u64(u64 v) { bytes(&v, sizeof(v)); }
+  void put_i64(i64 v) { bytes(&v, sizeof(v)); }
+  void put_f64(double v) { bytes(&v, sizeof(v)); }
+  void put_str(std::string_view s) {
+    put_u32(static_cast<u32>(s.size()));
+    bytes(s.data(), s.size());
+  }
+};
+
+/// Bounds-checked payload reader; running out of bytes (layout
+/// disagreement, corruption that passed CRC) throws ParseError.
+class WireReader {
+ public:
+  explicit WireReader(std::string_view bytes) : p_(bytes.data()), left_(bytes.size()) {}
+
+  void bytes(void* dst, usize n, const char* what);
+  u8 get_u8(const char* what);
+  u32 get_u32(const char* what);
+  u64 get_u64(const char* what);
+  i64 get_i64(const char* what);
+  double get_f64(const char* what);
+  std::string get_str(const char* what);
+  usize left() const { return left_; }
+  /// Throws ParseError unless every byte was consumed.
+  void expect_done(const char* what) const;
+
+ private:
+  const char* p_;
+  usize left_;
+};
+
+}  // namespace nmdt::proc

@@ -51,8 +51,11 @@ bool TenantQuotas::try_admit(const std::string& tenant,
   return it->second.try_take(now, retry_after_ms);
 }
 
-AdmissionQueue::AdmissionQueue(usize capacity) : capacity_(capacity) {
+AdmissionQueue::AdmissionQueue(usize capacity, double service_hint_ms)
+    : capacity_(capacity), ewma_service_ms_(service_hint_ms) {
   NMDT_CHECK_CONFIG(capacity > 0, "admission queue capacity must be > 0");
+  NMDT_CHECK_CONFIG(service_hint_ms > 0.0,
+                    "admission queue service hint must be > 0 ms");
 }
 
 bool AdmissionQueue::try_push(Ticket&& t, i64* retry_after_ms) {
@@ -117,6 +120,11 @@ usize AdmissionQueue::depth() const {
 void AdmissionQueue::note_service_ms(double ms) {
   std::lock_guard<std::mutex> lock(mu_);
   ewma_service_ms_ = 0.8 * ewma_service_ms_ + 0.2 * std::max(0.0, ms);
+}
+
+double AdmissionQueue::ewma_service_ms() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return ewma_service_ms_;
 }
 
 }  // namespace nmdt::service

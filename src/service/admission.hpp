@@ -90,7 +90,12 @@ class AdmissionQueue {
  public:
   using Clock = std::chrono::steady_clock;
 
-  explicit AdmissionQueue(usize capacity);
+  /// `service_hint_ms` seeds the EWMA behind the queue-full retry hint:
+  /// until real batches complete, retry_after_ms is depth × this value,
+  /// so an operator who knows the workload (e.g. ~2 ms small-K requests
+  /// vs ~200 ms planning-heavy ones) can make even the *first* shed
+  /// hints honest instead of inheriting a one-size guess.
+  explicit AdmissionQueue(usize capacity, double service_hint_ms = 10.0);
 
   /// Enqueue, or return false with *retry_after_ms = depth × EWMA
   /// service time (the honest "come back when the backlog has drained"
@@ -118,13 +123,17 @@ class AdmissionQueue {
   /// completed batch's service time).
   void note_service_ms(double ms);
 
+  /// Current EWMA service-time estimate (the configured hint until the
+  /// first note_service_ms sample arrives) — exposed for tests.
+  double ewma_service_ms() const;
+
  private:
   const usize capacity_;
   mutable std::mutex mu_;
   std::condition_variable cv_;
   std::deque<Ticket> q_;
   bool closed_ = false;
-  double ewma_service_ms_ = 10.0;  ///< seed guess until real samples arrive
+  double ewma_service_ms_;  ///< seeded by the ctor hint, then EWMA-tracked
 };
 
 }  // namespace nmdt::service

@@ -8,6 +8,7 @@
 #include "matgen/generators.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "proc/frame.hpp"
 #include "util/crc32.hpp"
 #include "util/error.hpp"
 #include "util/rng.hpp"
@@ -73,6 +74,95 @@ double effective_deadline_ms(const Request& req, const ServerOptions& opts) {
   return req.deadline_ms > 0.0 ? req.deadline_ms : opts.default_deadline_ms;
 }
 
+/// The one task kind on the service supervisor pipe: execute a request.
+constexpr u8 kTaskExec = 1;
+
+/// Worker-process handler for isolate_workers mode.  Runs in the child:
+/// resolves the matrix and plan through *child-local* caches (the
+/// parent's PlanCache / matrix LRU are never touched across the fork —
+/// their mutexes and shared_ptr control blocks stay parent-owned), then
+/// executes exactly the expressions process_single uses, so responses
+/// are bit-identical to in-process serving.
+proc::TaskHandler make_exec_handler(ServerOptions opts) {
+  struct ChildState {
+    PlanCache plans;
+    std::list<std::pair<std::string, std::shared_ptr<const Csr>>> matrices;
+    ChildState(i64 bytes, double ttl) : plans(bytes, ttl) {}
+  };
+  auto state = std::make_shared<ChildState>(opts.plan_cache_bytes, opts.plan_ttl_ms);
+  return [opts = std::move(opts), state](u8 kind, u64 /*key*/,
+                                         const std::string& payload) -> std::string {
+    if (kind != kTaskExec) {
+      throw ParseError("service worker: unknown task kind " + std::to_string(int{kind}));
+    }
+    proc::WireReader r(payload);
+    const std::string matrix = r.get_str("exec matrix spec");
+    const auto k = static_cast<index_t>(r.get_u64("exec k"));
+    const u64 b_seed = r.get_u64("exec b_seed");
+    const i64 kernel_id = r.get_i64("exec kernel");
+    const auto precision = static_cast<Precision>(r.get_u8("exec precision"));
+    const bool return_c = r.get_u8("exec return_c") != 0;
+    const double deadline_ms = r.get_f64("exec deadline");
+    r.expect_done("exec task");
+
+    // Child-local matrix LRU, same policy as SpmmServer::matrix_for.
+    std::shared_ptr<const Csr> A;
+    for (auto it = state->matrices.begin(); it != state->matrices.end(); ++it) {
+      if (it->first == matrix) {
+        state->matrices.splice(state->matrices.begin(), state->matrices, it);
+        A = state->matrices.front().second;
+        break;
+      }
+    }
+    if (!A) {
+      A = std::make_shared<const Csr>(load_matrix_spec(matrix));
+      state->matrices.emplace_front(matrix, A);
+      while (state->matrices.size() > opts.matrix_cache_entries) {
+        state->matrices.pop_back();
+      }
+    }
+    const auto plan = state->plans.get_or_build(
+        *A, PlanOptions{TilingSpec{64, 64}, default_ssf_threshold(), 1.0, precision});
+
+    // The remaining deadline travels with the task; the kernels poll it
+    // in the child exactly where they poll in-process.
+    const CancelToken token;
+    if (deadline_ms > 0.0) {
+      token.set_deadline(CancelToken::Clock::now() +
+                             std::chrono::duration_cast<CancelToken::Clock::duration>(
+                                 std::chrono::duration<double, std::milli>(deadline_ms)),
+                         CancelReason::kDeadline);
+    }
+    CancelScope scope(token);
+    token.poll();
+    const KernelKind kind_run =
+        kernel_id >= 0 ? static_cast<KernelKind>(kernel_id) : plan->kernel();
+    Rng rng(b_seed);
+    DenseMatrix B(A->cols, k);
+    B.randomize(rng);
+    SpmmConfig cfg = evaluation_config(A->rows, k);
+    cfg.jobs = opts.jobs;
+    cfg.precision = precision;
+    cfg.fault_fallback = opts.fault_fallback;
+    const auto exec_start = Clock::now();
+    const SpmmResult result = SpmmExecutor(cfg).execute(kind_run, *plan, B);
+    const double exec_ms =
+        std::chrono::duration<double, std::milli>(Clock::now() - exec_start).count();
+
+    const auto bits = result_bits(result);
+    proc::WireWriter w;
+    w.put_u8(result.used_fallback ? 1 : 0);
+    w.put_str(kernel_name(kind_run));
+    w.put_i64(static_cast<i64>(A->rows));
+    w.put_u32(crc32(bits.data(), bits.size()));
+    w.put_f64(exec_ms);
+    w.put_str(return_c
+                  ? std::string(reinterpret_cast<const char*>(bits.data()), bits.size())
+                  : std::string());
+    return w.out;
+  };
+}
+
 }  // namespace
 
 Csr load_matrix_spec(const std::string& spec) {
@@ -115,7 +205,7 @@ Csr load_matrix_spec(const std::string& spec) {
 SpmmServer::SpmmServer(ServerOptions opts, ResponseSink sink)
     : opts_(opts),
       sink_(std::move(sink)),
-      queue_(opts.queue_capacity),
+      queue_(opts.queue_capacity, opts.queue_hint_ms),
       quotas_(opts.tenant_rate, opts.tenant_burst),
       plan_cache_(opts.plan_cache_bytes, opts.plan_ttl_ms) {
   NMDT_CHECK_CONFIG(opts_.workers >= 1, "server needs at least one worker");
@@ -123,11 +213,25 @@ SpmmServer::SpmmServer(ServerOptions opts, ResponseSink sink)
   NMDT_CHECK_CONFIG(opts_.matrix_cache_entries >= 1,
                     "matrix cache needs at least one entry");
   NMDT_CHECK_CONFIG(sink_ != nullptr, "server needs a response sink");
+  // One supervised task per ticket: coalescing would batch tickets into
+  // a shared child execution, coupling their failure domains — exactly
+  // what isolation exists to prevent.
+  if (opts_.isolate_workers > 0) opts_.coalesce_max = 1;
 }
 
 SpmmServer::~SpmmServer() { drain(); }
 
 void SpmmServer::start() {
+  // Fork the supervised fleet BEFORE spawning worker threads: fork()
+  // from a single-threaded process is the only fork whose child memory
+  // image is guaranteed lock-free (proc/supervisor.hpp fork-safety
+  // notes).
+  if (opts_.isolate_workers > 0 && !supervisor_) {
+    proc::ProcOptions popts;
+    popts.workers = opts_.isolate_workers;
+    popts.worker_mem_mb = opts_.worker_mem_mb;
+    supervisor_ = std::make_unique<proc::Supervisor>(popts, make_exec_handler(opts_));
+  }
   workers_.reserve(static_cast<usize>(opts_.workers));
   for (int i = 0; i < opts_.workers; ++i) {
     workers_.emplace_back([this] { worker_loop(); });
@@ -211,6 +315,10 @@ void SpmmServer::drain() {
     if (w.joinable()) w.join();
   }
   workers_.clear();
+  // Workers are gone, so no call() is in flight; the supervised fleet
+  // can exit.  (Order matters: shutting the supervisor down first would
+  // strand draining tickets as WorkerError.)
+  if (supervisor_) supervisor_->shutdown();
   state_.store(static_cast<int>(State::kStopped), std::memory_order_release);
 }
 
@@ -290,6 +398,13 @@ void SpmmServer::process_group(std::vector<Ticket> group) {
       obs::MetricsRegistry::global().counter("service.coalesced_batches");
   obs::TraceSpan span("service.batch");
   span.arg("size", static_cast<i64>(group.size()));
+
+  if (supervisor_) {
+    // Isolated mode (coalesce_max forced to 1, so groups are singleton;
+    // the loop is belt-and-braces): each ticket is one supervised task.
+    for (auto& t : group) process_isolated(t);
+    return;
+  }
 
   const Request& head = group.front().req;
   std::shared_ptr<const Csr> A;
@@ -462,6 +577,61 @@ void SpmmServer::process_single(Ticket& t, const std::shared_ptr<const SpmmPlan>
     finish_ok(resp);
   } catch (const std::exception& e) {
     finish_error(t, e, coalesced_with);
+  }
+}
+
+void SpmmServer::process_isolated(Ticket& t) {
+  const auto exec_start = Clock::now();
+  try {
+    // Admission-time failures (expired deadline, cancel_all) are typed
+    // here in the parent; the child only ever sees live work.
+    t.cancel.poll();
+    double remaining_ms = 0.0;
+    if (t.deadline) {
+      remaining_ms =
+          std::chrono::duration<double, std::milli>(*t.deadline - exec_start).count();
+      if (remaining_ms <= 0.0) remaining_ms = 0.001;  // let the child's poll type it
+    }
+    proc::WireWriter w;
+    w.put_str(t.req.matrix);
+    w.put_u64(static_cast<u64>(t.req.k));
+    w.put_u64(t.req.b_seed);
+    w.put_i64(t.req.kernel ? static_cast<i64>(*t.req.kernel) : i64{-1});
+    w.put_u8(static_cast<u8>(t.req.precision));
+    w.put_u8(t.req.return_c ? 1 : 0);
+    w.put_f64(remaining_ms);
+    // The task key feeds worker_abort / worker_hang fault draws; derive
+    // it from the request id so chaos plans target requests stably.
+    const u64 key = crc32(t.req.id.data(), t.req.id.size());
+    proc::TaskOutcome out = supervisor_->call(kTaskExec, key, std::move(w.out));
+    if (!out.ok) {
+      // Typed child failure (TimeoutError, FaultError, ParseError …) or
+      // a WorkerError quarantine: rebuild the typed exception so the
+      // response carries the same error_type / exit semantics as
+      // in-process serving.
+      std::rethrow_exception(exception_from_description(out.error));
+    }
+    proc::WireReader r(out.payload);
+    Response resp;
+    resp.id = t.req.id;
+    resp.tenant = t.req.tenant;
+    resp.ok = true;
+    resp.used_fallback = r.get_u8("exec result fallback") != 0;
+    resp.kernel = r.get_str("exec result kernel");
+    resp.rows = static_cast<index_t>(r.get_i64("exec result rows"));
+    resp.c_crc32 = r.get_u32("exec result crc");
+    resp.exec_ms = r.get_f64("exec result time");
+    const std::string c_bits = r.get_str("exec result bits");
+    r.expect_done("exec result");
+    resp.precision = precision_name(t.req.precision);
+    resp.k = t.req.k;
+    resp.coalesced = 1;
+    resp.queue_ms =
+        std::chrono::duration<double, std::milli>(exec_start - t.admitted_at).count();
+    if (t.req.return_c) resp.c_hex = hex_encode(c_bits.data(), c_bits.size());
+    finish_ok(resp);
+  } catch (const std::exception& e) {
+    finish_error(t, e, 1);
   }
 }
 

@@ -45,6 +45,7 @@
 
 #include "core/executor.hpp"
 #include "core/plan.hpp"
+#include "proc/supervisor.hpp"
 #include "service/admission.hpp"
 #include "service/protocol.hpp"
 
@@ -75,6 +76,21 @@ struct ServerOptions {
   /// Degrade unrecovered conversion faults to the reference CSR kernel
   /// (typed FaultError response when false).
   bool fault_fallback = true;
+  /// Seed for the admission queue's service-time EWMA in ms (> 0): the
+  /// retry_after_ms hint on queue-full sheds before any real batch has
+  /// completed.  Tune to the expected request cost so cold-start hints
+  /// are honest.
+  double queue_hint_ms = 10.0;
+  /// Execute kernels in N supervised worker *processes* instead of the
+  /// worker threads (opt-in crash isolation, src/proc): a SIGSEGV /
+  /// OOM-kill / wedge takes down one request's worker, which is
+  /// respawned and the work retried; a poison request is quarantined as
+  /// a typed WorkerError response instead of killing the daemon.
+  /// 0 = classic in-process execution.  Forces coalesce_max = 1 (each
+  /// ticket is one supervised task).
+  int isolate_workers = 0;
+  /// RLIMIT_AS per isolated worker in MiB (0 = unlimited).
+  i64 worker_mem_mb = 0;
 };
 
 struct ServerStats {
@@ -150,6 +166,10 @@ class SpmmServer {
   /// the degraded-group path).  Always emits exactly one response.
   void process_single(Ticket& t, const std::shared_ptr<const SpmmPlan>& plan,
                       const Csr& A, int coalesced_with);
+  /// Serve one ticket in a supervised worker process (isolate_workers
+  /// mode).  Always emits exactly one response; worker crashes surface
+  /// as typed WorkerError responses after the retry budget.
+  void process_isolated(Ticket& t);
   std::shared_ptr<const Csr> matrix_for(const std::string& spec);
   void finish_ok(const Response& resp);
   void finish_error(const Ticket& t, const std::exception& e, int coalesced_with);
@@ -165,6 +185,9 @@ class SpmmServer {
   PlanCache plan_cache_;
   std::atomic<int> state_{static_cast<int>(State::kRunning)};
   std::vector<std::thread> workers_;
+  /// Non-null in isolate_workers mode; created in start() before the
+  /// worker threads exist (fork-before-threads, proc/supervisor.hpp).
+  std::unique_ptr<proc::Supervisor> supervisor_;
 
   // Small LRU of resolved matrices keyed by spec string.
   std::mutex matrix_mu_;

@@ -6,6 +6,7 @@ namespace nmdt {
 
 namespace {
 const char* type_name_of(const std::exception& e) {
+  if (dynamic_cast<const WorkerError*>(&e)) return "WorkerError";
   if (dynamic_cast<const TimeoutError*>(&e)) return "TimeoutError";
   if (dynamic_cast<const CancelledError*>(&e)) return "CancelledError";
   if (dynamic_cast<const OverloadError*>(&e)) return "OverloadError";
@@ -20,6 +21,7 @@ const char* type_name_of(const std::exception& e) {
 
 int exit_code_for(const std::exception& e) {
   if (dynamic_cast<const CancelledError*>(&e)) return 130;
+  if (dynamic_cast<const WorkerError*>(&e)) return 8;
   if (dynamic_cast<const OverloadError*>(&e)) return 7;
   if (dynamic_cast<const TimeoutError*>(&e)) return 6;
   if (dynamic_cast<const FaultError*>(&e)) return 5;
@@ -41,6 +43,7 @@ std::exception_ptr exception_from_description(const std::string& description) {
     msg = description.substr(sep + 2);
   }
   try {
+    if (type == "WorkerError") throw WorkerError(msg);
     if (type == "TimeoutError") throw TimeoutError(msg);
     if (type == "CancelledError") throw CancelledError(msg);
     if (type == "OverloadError") throw OverloadError(msg);

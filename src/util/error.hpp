@@ -78,10 +78,21 @@ class OverloadError : public Error {
   i64 retry_after_ms_ = 0;
 };
 
+/// A supervised worker *process* died (SIGSEGV/SIGKILL/abort, RLIMIT_AS
+/// breach, missed heartbeat) often enough to exhaust its retry budget —
+/// the arm it was running is quarantined rather than re-dispatched
+/// forever (src/proc/supervisor.hpp).  Distinct from FaultError: the
+/// failure was a process crash, not a detected in-process fault, so the
+/// result bits were never produced at all.  CLI exit code 8.
+class WorkerError : public Error {
+ public:
+  explicit WorkerError(const std::string& what) : Error(what) {}
+};
+
 /// The one exit-code table every binary shares (pinned by a test and
 /// documented in README "Exit codes"): 2 ParseError, 3 FormatError,
 /// 4 ConfigError, 5 FaultError, 6 TimeoutError, 7 OverloadError,
-/// 130 CancelledError, 1 anything else.
+/// 8 WorkerError, 130 CancelledError, 1 anything else.
 int exit_code_for(const std::exception& e);
 
 /// "TypeName: what()" for a caught exception — the uniform FAILED(...)

@@ -297,6 +297,41 @@ TEST(Admission, QueueShedsWhenFullAndDrainsAfterClose) {
   EXPECT_FALSE(q.pop().has_value());  // closed AND empty
 }
 
+TEST(Admission, ColdStartServiceHintSeedsTheEwmaAndTheShedHint) {
+  // Before any batch completes, the EWMA is exactly the configured hint
+  // (no magic constant, no zero cold start), and queue-full sheds quote
+  // depth × hint.
+  EXPECT_EQ(AdmissionQueue(4).ewma_service_ms(), 10.0);  // documented default
+  AdmissionQueue q(2, /*service_hint_ms=*/200.0);
+  EXPECT_EQ(q.ewma_service_ms(), 200.0);
+  i64 retry = 0;
+  for (const char* id : {"h1", "h2"}) {
+    Ticket t;
+    t.req = make_request(id);
+    ASSERT_TRUE(q.try_push(std::move(t), &retry));
+  }
+  Ticket overflow;
+  overflow.req = make_request("h3");
+  EXPECT_FALSE(q.try_push(std::move(overflow), &retry));
+  // Shed hint = ceil((depth + 1) × EWMA) = 3 × 200 ms, from the hint
+  // alone — an operator-tuned value, not a guess.
+  EXPECT_EQ(retry, 600);
+  // Misconfiguration is typed, not silently clamped.
+  EXPECT_THROW(AdmissionQueue(4, 0.0), ConfigError);
+  EXPECT_THROW(AdmissionQueue(4, -1.0), ConfigError);
+}
+
+TEST(Admission, ServiceTimeSamplesConvergeTheEwmaAwayFromTheHint) {
+  AdmissionQueue q(4, /*service_hint_ms=*/100.0);
+  // EWMA update is 0.8·old + 0.2·sample.
+  q.note_service_ms(50.0);
+  EXPECT_DOUBLE_EQ(q.ewma_service_ms(), 0.8 * 100.0 + 0.2 * 50.0);
+  for (int i = 0; i < 100; ++i) q.note_service_ms(50.0);
+  EXPECT_NEAR(q.ewma_service_ms(), 50.0, 0.01);  // hint fully forgotten
+  q.note_service_ms(-5.0);  // negative samples clamp to 0, never poison
+  EXPECT_GE(q.ewma_service_ms(), 0.0);
+}
+
 TEST(Admission, PopMatchingClaimsInOrderAndLeavesRestQueued) {
   AdmissionQueue q(8);
   for (const char* id : {"a1", "b1", "a2", "b2", "a3"}) {

@@ -253,6 +253,7 @@ TEST(ExitCodes, PinsTheDocumentedErrorToExitCodeTable) {
   EXPECT_EQ(exit_code_for(FaultError("x")), 5);
   EXPECT_EQ(exit_code_for(TimeoutError("x")), 6);
   EXPECT_EQ(exit_code_for(OverloadError("x")), 7);
+  EXPECT_EQ(exit_code_for(WorkerError("x")), 8);
   EXPECT_EQ(exit_code_for(CancelledError("x")), 130);
   EXPECT_EQ(exit_code_for(std::runtime_error("x")), 1);
   EXPECT_EQ(exit_code_for(Error("x")), 1);  // untyped base stays generic
@@ -276,6 +277,15 @@ TEST(ExitCodes, DerivedClassesKeepTheirSlotAfterDescriptionRoundTrip) {
     FAIL() << "expected a rethrow";
   } catch (const std::exception& e) {
     EXPECT_EQ(exit_code_for(e), 6);
+  }
+  // WorkerError crosses the supervisor's result pipe as a description
+  // and must land back in slot 8 (the quarantine → fail_fast path).
+  try {
+    std::rethrow_exception(exception_from_description(
+        describe_exception(WorkerError("worker process killed by signal 9"))));
+    FAIL() << "expected a rethrow";
+  } catch (const WorkerError& e) {
+    EXPECT_EQ(exit_code_for(e), 8);
   }
 }
 
